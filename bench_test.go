@@ -1,0 +1,330 @@
+// Package-level benchmarks: one family per table/figure of the paper, as
+// indexed in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// BenchmarkTableI_* regenerate the §V-A comparison, BenchmarkTableII_* the
+// §V-B comparison (on the laptop-scale grid; use cmd/opm-bench -full for the
+// paper-scale instance), BenchmarkAdaptive_* the §III-B claim,
+// BenchmarkOpMatrix_* the §IV matrix construction, BenchmarkBasis_* the §I
+// basis discussion, and BenchmarkScaling_* the §IV complexity claim.
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"opmsim/internal/basis"
+	"opmsim/internal/core"
+	"opmsim/internal/fft"
+	"opmsim/internal/freqdom"
+	"opmsim/internal/mat"
+	"opmsim/internal/mor"
+	"opmsim/internal/netgen"
+	"opmsim/internal/sparse"
+	"opmsim/internal/transient"
+	"opmsim/internal/waveform"
+)
+
+// --- Table I: fractional transmission line, OPM vs FFT-1 vs FFT-2 ---------
+
+func lineFixture(b *testing.B) (*core.System, []waveform.Signal, float64, float64) {
+	b.Helper()
+	cfg := netgen.DefaultFractionalLine()
+	drive := waveform.Pulse(0, 1e-3, 0.1e-9, 0.1e-9, 0.1e-9, 0.8e-9, 0)
+	mna, err := netgen.FractionalLine(cfg, drive, waveform.Zero())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return mna.Sys, mna.Inputs, cfg.Order, 2.7e-9
+}
+
+func BenchmarkTableI_OPM(b *testing.B) {
+	sys, u, _, T := lineFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(sys, u, 8, T, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchFFT(b *testing.B, n int) {
+	sys, u, alpha, T := lineFixture(b)
+	var eD, aD, bD *mat.Dense
+	for _, t := range sys.Terms {
+		switch t.Order {
+		case alpha:
+			eD = t.Coeff.ToDense()
+		case 0:
+			aD = t.Coeff.ToDense().Scale(-1)
+		}
+	}
+	bD = sys.B.ToDense()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := freqdom.Solve(eD, aD, bD, u, alpha, T, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableI_FFT1(b *testing.B) { benchFFT(b, 8) }
+func BenchmarkTableI_FFT2(b *testing.B) { benchFFT(b, 100) }
+
+// --- Table II: 3-D power grid, OPM on NA vs classical methods on MNA ------
+
+type gridFixture struct {
+	na, mna *core.System
+	naIn    []waveform.Signal
+	mnaIn   []waveform.Signal
+	e, a, b *sparse.CSR
+}
+
+func newGridFixture(b *testing.B, rows int) *gridFixture {
+	b.Helper()
+	cfg := netgen.DefaultPowerGrid()
+	cfg.Rows, cfg.Cols = rows, rows
+	grid, err := netgen.PowerGrid3D(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	na, err := grid.Netlist.NA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mna, err := grid.Netlist.MNA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, a, bb, err := mna.DAE()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &gridFixture{na: na.Sys, mna: mna.Sys, naIn: na.Inputs, mnaIn: mna.Inputs, e: e, a: a, b: bb}
+}
+
+const (
+	tableIITime = 10e-9
+	tableIIStep = 10e-12
+)
+
+func BenchmarkTableII_OPM_NA(b *testing.B) {
+	fx := newGridFixture(b, 16)
+	m := int(tableIITime / tableIIStep)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(fx.na, fx.naIn, m, tableIITime, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchTransient(b *testing.B, method transient.Method, h float64) {
+	fx := newGridFixture(b, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transient.Simulate(fx.e, fx.a, fx.b, fx.mnaIn, tableIITime, h, method, transient.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTableII_BEuler_h10ps(b *testing.B) { benchTransient(b, transient.BackwardEuler, 10e-12) }
+func BenchmarkTableII_BEuler_h5ps(b *testing.B)  { benchTransient(b, transient.BackwardEuler, 5e-12) }
+func BenchmarkTableII_BEuler_h1ps(b *testing.B)  { benchTransient(b, transient.BackwardEuler, 1e-12) }
+func BenchmarkTableII_Gear_h10ps(b *testing.B)   { benchTransient(b, transient.Gear2, 10e-12) }
+func BenchmarkTableII_Trap_h10ps(b *testing.B)   { benchTransient(b, transient.Trapezoidal, 10e-12) }
+
+// --- Adaptive step (§III-B) ------------------------------------------------
+
+func adaptiveFixture(b *testing.B) (*core.System, []waveform.Signal) {
+	b.Helper()
+	c := sparse.NewCOO(1, 1)
+	c.Add(0, 0, 1)
+	one := c.ToCSR()
+	sys, err := core.NewDAE(one, one.Scale(-1), one)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys, []waveform.Signal{waveform.Pulse(0, 1, 2, 0.01, 0.01, 1, 0)}
+}
+
+func BenchmarkAdaptive_Uniform4096(b *testing.B) {
+	sys, u := adaptiveFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(sys, u, 4096, 8, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAdaptive_Auto(b *testing.B) {
+	sys, u := adaptiveFixture(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.SolveAdaptiveAuto(sys, u, 8, core.AdaptiveOptions{Tol: 1e-4}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Operational-matrix construction (§IV, eq. 21–23) ----------------------
+
+func BenchmarkOpMatrix_FractionalCoeffs(b *testing.B) {
+	for _, m := range []int{64, 512, 4096} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			bpf, err := basis.NewBPF(m, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = bpf.DiffCoeffs(0.5)
+			}
+		})
+	}
+}
+
+func BenchmarkOpMatrix_AdaptiveParlett(b *testing.B) {
+	steps := make([]float64, 64)
+	h := 0.01
+	for i := range steps {
+		steps[i] = h
+		h *= 1.05
+	}
+	ab, err := basis.NewAdaptiveBPF(steps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ab.DiffMatrixAlpha(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Basis ablation (§I) ----------------------------------------------------
+
+func benchBasis(b *testing.B, mk func() (basis.Basis, error)) {
+	e := mat.NewDenseFrom(1, 1, []float64{1})
+	a := mat.NewDenseFrom(1, 1, []float64{-1})
+	bm := mat.NewDenseFrom(1, 1, []float64{1})
+	u := []waveform.Signal{waveform.Sine(1, 0.5, 0)}
+	bas, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveGeneric(e, a, bm, u, bas); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBasis_BPF(b *testing.B) {
+	benchBasis(b, func() (basis.Basis, error) { return basis.NewBPF(32, 2) })
+}
+func BenchmarkBasis_Walsh(b *testing.B) {
+	benchBasis(b, func() (basis.Basis, error) { return basis.NewWalsh(32, 2) })
+}
+func BenchmarkBasis_Haar(b *testing.B) {
+	benchBasis(b, func() (basis.Basis, error) { return basis.NewHaar(32, 2) })
+}
+func BenchmarkBasis_Legendre(b *testing.B) {
+	benchBasis(b, func() (basis.Basis, error) { return basis.NewLegendre(32, 2) })
+}
+
+// --- Complexity scaling (§IV) ----------------------------------------------
+
+func BenchmarkScaling_StatesN(b *testing.B) {
+	for _, rows := range []int{8, 16, 24} {
+		fx := newGridFixture(b, rows)
+		b.Run(fmt.Sprintf("n=%d", fx.mna.N()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(fx.mna, fx.mnaIn, 200, tableIITime, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkScaling_ColumnsM_Fractional(b *testing.B) {
+	sys, u, _, T := lineFixture(b)
+	for _, m := range []int{128, 256, 512} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(sys, u, m, T, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---------------------------------------------
+
+func BenchmarkSparseLU_Grid(b *testing.B) {
+	fx := newGridFixture(b, 16)
+	m := sparse.Combine(200e9, fx.e, 1, fx.a.Scale(-1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sparse.Factor(m, sparse.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT_1024(b *testing.B) {
+	x := make([]float64, 1024)
+	for i := range x {
+		x[i] = float64(i % 17)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = fft.FFTReal(x)
+	}
+}
+
+func BenchmarkFFT_Bluestein100(b *testing.B) {
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = float64(i % 13)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = fft.FFTReal(x)
+	}
+}
+
+// --- MOR ablation ------------------------------------------------------------
+
+func BenchmarkMOR_ReduceAndSolve(b *testing.B) {
+	fx := newGridFixture(b, 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rom, err := mor.Reduce(fx.e, fx.a, fx.b, 24, 1e9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys, err := rom.System(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Solve(sys, fx.mnaIn, 1000, tableIITime, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

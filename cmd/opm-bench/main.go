@@ -1,0 +1,122 @@
+// Command opm-bench regenerates every table and figure of the paper's
+// evaluation (plus the ablations listed in DESIGN.md) and prints them with
+// the paper's reference numbers alongside.
+//
+// Usage:
+//
+//	opm-bench -experiment table1|table2|waveforms|adaptive|opmatrix|bases|scaling|all [flags]
+//
+// The paper-scale Table II instance (NA ≈ 75 K states) is gated behind
+// -full; the default grid is laptop-scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opmsim/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run: table1, table2, waveforms, adaptive, opmatrix, bases, scaling, mor, fracfit, walshtrend, all")
+		full       = flag.Bool("full", false, "run Table II at paper scale (~75K NA states; needs several GB and minutes)")
+		repeat     = flag.Int("repeat", 10, "timing repetitions for Table I")
+		gridRows   = flag.Int("grid", 0, "override Table II grid rows/cols (0 = default 16)")
+	)
+	flag.Parse()
+	if err := run(*experiment, *full, *repeat, *gridRows); err != nil {
+		fmt.Fprintln(os.Stderr, "opm-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, full bool, repeat, gridRows int) error {
+	runOne := func(name string) error {
+		switch name {
+		case "table1":
+			cfg := experiments.DefaultTableI()
+			cfg.Repeat = repeat
+			tbl, _, err := experiments.TableI(cfg)
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+		case "table2":
+			cfg := experiments.DefaultTableII()
+			if full {
+				cfg = experiments.FullTableII()
+				fmt.Println("running paper-scale grid; this takes minutes and several GB...")
+			}
+			if gridRows > 0 {
+				cfg.Grid.Rows, cfg.Grid.Cols = gridRows, gridRows
+			}
+			tbl, _, err := experiments.TableII(cfg)
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+		case "waveforms":
+			tbl, err := experiments.Waveforms(experiments.DefaultTableI(), 27)
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+		case "adaptive":
+			tbl, err := experiments.Adaptive(experiments.DefaultAdaptive())
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+		case "opmatrix":
+			tbl, err := experiments.OpMatrix()
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+		case "bases":
+			tbl, err := experiments.Bases(32, 2)
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+		case "scaling":
+			tbl, err := experiments.Scaling()
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+		case "mor":
+			tbl, err := experiments.MOR()
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+		case "fracfit":
+			tbl, err := experiments.FracFit()
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+		case "walshtrend":
+			tbl, err := experiments.WalshTrend()
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+	if experiment == "all" {
+		for _, name := range []string{"table1", "table2", "waveforms", "adaptive", "opmatrix", "bases", "scaling", "mor", "fracfit", "walshtrend"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(experiment)
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunFastExperiments(t *testing.T) {
+	for _, name := range []string{"opmatrix", "bases", "adaptive"} {
+		if err := run(name, false, 1, 0); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunTableIQuick(t *testing.T) {
+	if err := run("table1", false, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTableIISmallGrid(t *testing.T) {
+	if err := run("table2", false, 1, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", false, 1, 0); err == nil {
+		t.Fatal("accepted unknown experiment")
+	}
+}

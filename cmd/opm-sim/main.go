@@ -1,0 +1,365 @@
+// Command opm-sim simulates a SPICE-flavoured netlist with the OPM method
+// (or a classical baseline) and prints the requested node voltages as
+// tab-separated series.
+//
+// Usage:
+//
+//	opm-sim -netlist circuit.cir [-method opm|beuler|trap|gear|glet] \
+//	        [-steps 512] [-tstop 1m] [-nodes out,n2] [-points 100]
+//
+// The netlist's ".tran step stop" directive supplies defaults for -steps and
+// -tstop. Fractional elements (CPE cards "P<name> a b value alpha") require
+// -method opm or -method glet (the Grünwald–Letnikov cross-check).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"opmsim/internal/circuit"
+	"opmsim/internal/core"
+	"opmsim/internal/glet"
+	"opmsim/internal/sparse"
+	"opmsim/internal/transient"
+	"opmsim/internal/waveform"
+)
+
+// interpAt linearly interpolates (ts, vs) at t, clamping outside the range.
+func interpAt(ts, vs []float64, t float64) float64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	if t <= ts[0] {
+		return vs[0]
+	}
+	last := len(ts) - 1
+	if t >= ts[last] {
+		return vs[last]
+	}
+	lo, hi := 0, last
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if ts[mid] <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	frac := (t - ts[lo]) / (ts[hi] - ts[lo])
+	return vs[lo] + frac*(vs[hi]-vs[lo])
+}
+
+func main() {
+	var (
+		netlistPath = flag.String("netlist", "", "netlist file (required)")
+		method      = flag.String("method", "opm", "solver: opm, beuler, trap, gear, trbdf2, glet")
+		steps       = flag.Int("steps", 0, "number of time steps (default from .tran)")
+		tstop       = flag.String("tstop", "", "simulation span, SPICE units (default from .tran)")
+		nodes       = flag.String("nodes", "", "comma-separated node names to print (default: all)")
+		points      = flag.Int("points", 50, "number of output sample points")
+		ac          = flag.String("ac", "", "AC sweep instead of transient: \"wstart,wstop,points\" (rad/s, SPICE units ok)")
+		op          = flag.Bool("op", false, "print the DC operating point instead of a transient")
+	)
+	flag.Parse()
+	if *op {
+		if err := runOP(*netlistPath); err != nil {
+			fmt.Fprintln(os.Stderr, "opm-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *ac != "" {
+		if err := runAC(*netlistPath, *ac, *nodes); err != nil {
+			fmt.Fprintln(os.Stderr, "opm-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*netlistPath, *method, *steps, *tstop, *nodes, *points); err != nil {
+		fmt.Fprintln(os.Stderr, "opm-sim:", err)
+		os.Exit(1)
+	}
+}
+
+// runOP prints the DC operating point (Newton-based for diode netlists).
+func runOP(netlistPath string) error {
+	if netlistPath == "" {
+		return fmt.Errorf("-netlist is required")
+	}
+	f, err := os.Open(netlistPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	deck, err := circuit.Parse(f)
+	if err != nil {
+		return err
+	}
+	mna, err := deck.Netlist.MNA()
+	if err != nil {
+		return err
+	}
+	x, err := mna.DCOperatingPoint()
+	if err != nil {
+		return err
+	}
+	if deck.Title != "" {
+		fmt.Printf("# %s\n", deck.Title)
+	}
+	fmt.Println("# DC operating point")
+	for i, name := range mna.StateNames {
+		fmt.Printf("%s\t%.6g\n", name, x[i])
+	}
+	return nil
+}
+
+// runAC performs a small-signal frequency sweep and prints a Bode table for
+// the first input channel.
+func runAC(netlistPath, spec, nodes string) error {
+	if netlistPath == "" {
+		return fmt.Errorf("-netlist is required")
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return fmt.Errorf("-ac needs \"wstart,wstop,points\", got %q", spec)
+	}
+	w0, err := circuit.ParseValue(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad -ac start: %w", err)
+	}
+	w1, err := circuit.ParseValue(parts[1])
+	if err != nil {
+		return fmt.Errorf("bad -ac stop: %w", err)
+	}
+	var np int
+	if _, err := fmt.Sscan(parts[2], &np); err != nil {
+		return fmt.Errorf("bad -ac points: %w", err)
+	}
+	f, err := os.Open(netlistPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	deck, err := circuit.Parse(f)
+	if err != nil {
+		return err
+	}
+	mna, err := deck.Netlist.MNA()
+	if err != nil {
+		return err
+	}
+	stateIdx, labels, err := selectStates(deck, mna, nodes)
+	if err != nil {
+		return err
+	}
+	omega, err := circuit.LogSpace(w0, w1, np)
+	if err != nil {
+		return err
+	}
+	res, err := mna.AC(omega)
+	if err != nil {
+		return err
+	}
+	fmt.Print("omega")
+	for _, l := range labels {
+		fmt.Printf("\t|%s| dB\targ %s deg", l, l)
+	}
+	fmt.Println()
+	for k, w := range res.Omega {
+		fmt.Printf("%.6g", w)
+		for _, s := range stateIdx {
+			fmt.Printf("\t%.4f\t%.3f", res.MagDB(s, 0)[k], res.PhaseDeg(s, 0)[k])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func run(netlistPath, method string, steps int, tstop, nodes string, points int) error {
+	if netlistPath == "" {
+		return fmt.Errorf("-netlist is required")
+	}
+	f, err := os.Open(netlistPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	deck, err := circuit.Parse(f)
+	if err != nil {
+		return err
+	}
+	T, m, err := resolveSpan(deck, tstop, steps)
+	if err != nil {
+		return err
+	}
+	mna, err := deck.Netlist.MNA()
+	if err != nil {
+		return err
+	}
+	stateIdx, labels, err := selectStates(deck, mna, nodes)
+	if err != nil {
+		return err
+	}
+	if points < 2 {
+		points = 50
+	}
+	times := waveform.UniformTimes(points, T)
+	var x0 []float64
+	if len(deck.ICs) > 0 {
+		x0, err = mna.InitialState(deck.ICs)
+		if err != nil {
+			return err
+		}
+	}
+
+	var series [][]float64
+	switch method {
+	case "opm":
+		var sol *core.Solution
+		var err error
+		if mna.Nonlinear != nil {
+			if x0 != nil {
+				return fmt.Errorf(".ic is not supported for nonlinear netlists")
+			}
+			sol, err = core.SolveNonlinear(mna.Sys, mna.Nonlinear, mna.Inputs, m, T, core.NonlinearOptions{})
+		} else {
+			sol, err = core.Solve(mna.Sys, mna.Inputs, m, T, core.Options{X0: x0})
+		}
+		if err != nil {
+			return err
+		}
+		series = make([][]float64, len(stateIdx))
+		for i, s := range stateIdx {
+			series[i] = make([]float64, len(times))
+			for k, t := range times {
+				series[i][k] = sol.StateAt(s, t)
+			}
+		}
+	case "glet":
+		// Grünwald–Letnikov stepper for single-order fractional netlists.
+		if mna.Nonlinear != nil {
+			return fmt.Errorf("glet cannot simulate nonlinear netlists (use -method opm)")
+		}
+		alpha := mna.Sys.MaxOrder()
+		var e *sparse.CSR
+		var g *sparse.CSR
+		for _, term := range mna.Sys.Terms {
+			switch term.Order {
+			case alpha:
+				e = term.Coeff
+			case 0:
+				g = term.Coeff
+			default:
+				return fmt.Errorf("glet requires a single differential order, found %g and %g", term.Order, alpha)
+			}
+		}
+		if e == nil || g == nil {
+			return fmt.Errorf("glet needs one differential and one conductance term")
+		}
+		res, err := glet.Solve(e, g.Scale(-1), mna.Sys.B, mna.Inputs, alpha, T, T/float64(m))
+		if err != nil {
+			return err
+		}
+		series = make([][]float64, len(stateIdx))
+		for i, s := range stateIdx {
+			row := res.X.Row(s)
+			series[i] = make([]float64, len(times))
+			for k, t := range times {
+				series[i][k] = interpAt(res.Times, row, t)
+			}
+		}
+	case "beuler", "trap", "gear", "trbdf2":
+		e, a, b, err := mna.DAE()
+		if err != nil {
+			return fmt.Errorf("%s requires an integer-order netlist: %w", method, err)
+		}
+		tm := map[string]transient.Method{
+			"beuler": transient.BackwardEuler,
+			"trap":   transient.Trapezoidal,
+			"gear":   transient.Gear2,
+			"trbdf2": transient.TRBDF2,
+		}[method]
+		res, err := transient.Simulate(e, a, b, mna.Inputs, T, T/float64(m), tm, transient.Options{X0: x0})
+		if err != nil {
+			return err
+		}
+		series = make([][]float64, len(stateIdx))
+		for i, s := range stateIdx {
+			series[i] = res.SampleState(s, times)
+		}
+	default:
+		return fmt.Errorf("unknown method %q", method)
+	}
+
+	if deck.Title != "" {
+		fmt.Printf("# %s\n", deck.Title)
+	}
+	fmt.Printf("# method=%s steps=%d tstop=%g states=%d\n", method, m, T, mna.Sys.N())
+	fmt.Print("t")
+	for _, l := range labels {
+		fmt.Printf("\t%s", l)
+	}
+	fmt.Println()
+	for k, t := range times {
+		fmt.Printf("%.6g", t)
+		for i := range series {
+			fmt.Printf("\t%.6g", series[i][k])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func resolveSpan(deck *circuit.Deck, tstop string, steps int) (T float64, m int, err error) {
+	if tstop != "" {
+		T, err = circuit.ParseValue(tstop)
+		if err != nil {
+			return 0, 0, fmt.Errorf("bad -tstop: %w", err)
+		}
+	} else if deck.Tran != nil {
+		T = deck.Tran.Stop
+	} else {
+		return 0, 0, fmt.Errorf("no -tstop and no .tran directive")
+	}
+	m = steps
+	if m == 0 {
+		if deck.Tran != nil {
+			m = int(deck.Tran.Stop/deck.Tran.Step + 0.5)
+		} else {
+			m = 512
+		}
+	}
+	if T <= 0 || m < 1 {
+		return 0, 0, fmt.Errorf("invalid span T=%g, steps=%d", T, m)
+	}
+	return T, m, nil
+}
+
+func selectStates(deck *circuit.Deck, mna *circuit.MNA, nodes string) (idx []int, labels []string, err error) {
+	if nodes == "" {
+		for i, name := range mna.StateNames {
+			idx = append(idx, i)
+			labels = append(labels, name)
+		}
+		return idx, labels, nil
+	}
+	for _, name := range strings.Split(nodes, ",") {
+		name = strings.TrimSpace(name)
+		want := "v(" + name + ")"
+		found := -1
+		for i, sn := range mna.StateNames {
+			if sn == want {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, nil, fmt.Errorf("node %q not found (known states: %s)", name, strings.Join(mna.StateNames, ", "))
+		}
+		idx = append(idx, found)
+		labels = append(labels, want)
+	}
+	return idx, labels, nil
+}

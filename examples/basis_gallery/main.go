@@ -1,0 +1,114 @@
+// Basis gallery: the paper's §I notes that OPM "can readily switch to using
+// other basis functions, each having its own merits." This example solves the
+// same RC system in four bases — block-pulse, Walsh, Haar and shifted
+// Legendre — with the same coefficient budget, for a smooth and for a
+// switching input, and prints the accuracy of each.
+//
+//	go run ./examples/basis_gallery
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"opmsim/internal/basis"
+	"opmsim/internal/core"
+	"opmsim/internal/mat"
+	"opmsim/internal/waveform"
+)
+
+func main() {
+	const (
+		m = 32
+		T = 2.0
+	)
+	e := mat.NewDenseFrom(1, 1, []float64{1})
+	a := mat.NewDenseFrom(1, 1, []float64{-1})
+	b := mat.NewDenseFrom(1, 1, []float64{1})
+
+	bases := make(map[string]basis.Basis)
+	if bp, err := basis.NewBPF(m, T); err == nil {
+		bases["block-pulse"] = bp
+	}
+	if w, err := basis.NewWalsh(m, T); err == nil {
+		bases["walsh"] = w
+	}
+	if h, err := basis.NewHaar(m, T); err == nil {
+		bases["haar"] = h
+	}
+	if l, err := basis.NewLegendre(m, T); err == nil {
+		bases["legendre"] = l
+	}
+
+	w := 2 * math.Pi * 0.5
+	den := 1 + w*w
+	scenarios := []struct {
+		name  string
+		u     waveform.Signal
+		exact func(float64) float64
+	}{
+		{
+			name: "smooth sine drive",
+			u:    waveform.Sine(1, 0.5, 0),
+			exact: func(t float64) float64 {
+				return (math.Sin(w*t)-w*math.Cos(w*t))/den + w/den*math.Exp(-t)
+			},
+		},
+		{
+			name: "switching pulse drive",
+			u:    waveform.Pulse(0, 1, T/4, 1e-6, 1e-6, T/4, 0),
+			exact: func(t float64) float64 {
+				t0, t1 := T/4, T/2
+				switch {
+				case t < t0:
+					return 0
+				case t < t1:
+					return 1 - math.Exp(-(t - t0))
+				default:
+					return (1 - math.Exp(-(t1 - t0))) * math.Exp(-(t - t1))
+				}
+			},
+		},
+	}
+
+	probe := waveform.UniformTimes(500, T*0.999)
+	for _, sc := range scenarios {
+		fmt.Printf("\n%s (m=%d coefficients per basis):\n", sc.name, m)
+		for _, name := range []string{"block-pulse", "walsh", "haar", "legendre"} {
+			bas := bases[name]
+			x, err := core.SolveGeneric(e, a, b, []waveform.Signal{sc.u}, bas)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rms := 0.0
+			for _, t := range probe {
+				d := bas.Reconstruct(x.Row(0), t) - sc.exact(t)
+				rms += d * d
+			}
+			rms = math.Sqrt(rms / float64(len(probe)))
+			fmt.Printf("  %-12s RMS error %.3e\n", name, rms)
+		}
+	}
+	fmt.Println("\nLegendre crushes the smooth case (spectral accuracy) but rings at the")
+	fmt.Println("switch (Gibbs); the piecewise-constant family is robust either way —")
+	fmt.Println("pick the basis to match the waveform, as the paper suggests.")
+
+	// Bonus: the Laguerre basis lives on [0, ∞) and needs no horizon at
+	// all for decaying responses — ẋ = −x + e^{−2t} has x = e^{−t} − e^{−2t}.
+	lag, err := basis.NewLaguerre(m, 0.8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, err := core.SolveGeneric(e, a, b,
+		[]waveform.Signal{waveform.ExpDecay(1, 0.5)}, lag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLaguerre on [0, ∞) with m=%d, decaying drive e^{−2t}:\n", m)
+	fmt.Println("  t      x Laguerre   x exact")
+	for _, tt := range []float64{0.5, 1, 2, 4, 8} {
+		exact := math.Exp(-tt) - math.Exp(-2*tt)
+		fmt.Printf("  %4.1f   %+.6f    %+.6f\n", tt, lag.Reconstruct(x.Row(0), tt), exact)
+	}
+}

@@ -1,0 +1,90 @@
+// Signal integrity on an RC interconnect tree: drive a clock-distribution
+// tree with a PRBS pattern, simulate with OPM, and measure the worst-case
+// eye opening at the leaves plus the 50%-crossing delay of an isolated step.
+//
+//	go run ./examples/interconnect
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"opmsim/internal/core"
+	"opmsim/internal/netgen"
+	"opmsim/internal/waveform"
+)
+
+func main() {
+	const (
+		depth = 4
+		rDrv  = 150.0  // driver output resistance, Ω
+		rSeg  = 80.0   // per-segment wire resistance, Ω
+		cNode = 25e-15 // per-node load, F
+		rise  = 20e-12
+	)
+	// Step-response delay first (classic Elmore-style characterization).
+	step, err := netgen.RCTree(depth, rDrv, rSeg, cNode, waveform.Step(1, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("binary RC tree depth %d: %d states, %d leaves\n",
+		depth, step.Sys.N(), step.Sys.Outputs())
+	const Tstep = 2e-9
+	sol, err := core.Solve(step.Sys, step.Inputs, 4096, Tstep, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	leaf := func(tt float64) float64 { return sol.OutputAt(tt)[0] }
+	t50, err := waveform.CrossTime(leaf, 0.5, 0, Tstep, true, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := waveform.RiseTime(leaf, 1, 0, Tstep, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("50%% step delay at the leaves: %.1f ps; 10–90%% rise: %.1f ps\n\n", t50*1e12, tr*1e12)
+
+	// PRBS eye sweep: sample every leaf at the bit centers over 32 bits;
+	// the gap between the worst sampled high and the worst sampled low is
+	// the (center-sampled) eye opening. ISI closes the eye as the bit time
+	// approaches the tree's RC tail.
+	fmt.Println("bit time   worst high   worst low   eye opening")
+	for _, bitTime := range []float64{800e-12, 400e-12, 250e-12, 150e-12} {
+		prbs, err := waveform.PRBS(0, 1, bitTime, rise, 29)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mna, err := netgen.RCTree(depth, rDrv, rSeg, cNode, prbs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		T := 32 * bitTime
+		prbsSol, err := core.Solve(mna.Sys, mna.Inputs, 8192, T, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Measure the worst eye across all leaves (skip 4 fill-in bits).
+		bitAt := func(k int) bool { return prbs((float64(k)+0.5)*bitTime) > 0.5 }
+		worst := &waveform.EyeMetrics{Opening: math.Inf(1)}
+		for leaf := 0; leaf < mna.Sys.Outputs(); leaf++ {
+			y := func(t float64) float64 { return prbsSol.OutputAt(t)[leaf] }
+			m, err := waveform.Eye(y, bitAt, bitTime, 4, 32)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if m.Opening < worst.Opening {
+				worst = m
+			}
+		}
+		verdict := fmt.Sprintf("%+.3f V", worst.Opening)
+		if worst.Opening <= 0 {
+			verdict += "  (CLOSED)"
+		}
+		fmt.Printf("%6.0f ps   %8.3f V   %7.3f V   %s\n",
+			bitTime*1e12, worst.WorstHigh, worst.WorstLow, verdict)
+	}
+	fmt.Println("\nThe eye closes as the bit time approaches the tree's RC settling tail —")
+	fmt.Println("the ISI picture every link designer draws, straight from the OPM solver.")
+}

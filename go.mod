@@ -1,0 +1,3 @@
+module opmsim
+
+go 1.22

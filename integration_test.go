@@ -1,0 +1,302 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"opmsim/internal/circuit"
+	"opmsim/internal/core"
+	"opmsim/internal/freqdom"
+	"opmsim/internal/glet"
+	"opmsim/internal/mat"
+	"opmsim/internal/mor"
+	"opmsim/internal/netgen"
+	"opmsim/internal/sparse"
+	"opmsim/internal/transient"
+	"opmsim/internal/waveform"
+)
+
+// Integration: every time-domain method in the repository must agree on the
+// same linear circuit. Netlist text → parser → MNA → {OPM, trapezoidal,
+// Gear, TR-BDF2, backward Euler} → common sample grid.
+func TestIntegrationAllMethodsAgreeOnRLC(t *testing.T) {
+	deck := `integration rlc
+V1 in 0 SIN(0 1 200)
+R1 in mid 100
+L1 mid out 10m
+C1 out 0 1u
+R2 out 0 1k
+.tran 10u 20m
+`
+	d, err := circuit.Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mna, err := d.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := d.Tran.Stop
+	m := int(T/d.Tran.Step + 0.5)
+	outIdx := -1
+	for i, n := range mna.StateNames {
+		if n == "v(out)" {
+			outIdx = i
+		}
+	}
+	if outIdx < 0 {
+		t.Fatalf("v(out) not in %v", mna.StateNames)
+	}
+
+	opm, err := core.Solve(mna.Sys, mna.Inputs, m, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, a, b, err := mna.DAE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := T / float64(m)
+	probe := []float64{0.2 * T, 0.45 * T, 0.7 * T, 0.95 * T}
+	opmAt := func(tt float64) float64 {
+		// Sample at the containing interval's midpoint for a fair
+		// comparison with pointwise methods.
+		j := int(tt / h)
+		return opm.StateAt(outIdx, (float64(j)+0.5)*h)
+	}
+	for _, method := range []transient.Method{
+		transient.BackwardEuler, transient.Trapezoidal, transient.Gear2, transient.TRBDF2,
+	} {
+		res, err := transient.Simulate(e, a, b, mna.Inputs, T, h, method, transient.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		for _, tt := range probe {
+			j := int(tt / h)
+			mid := (float64(j) + 0.5) * h
+			want := res.SampleState(outIdx, []float64{mid})[0]
+			got := opmAt(tt)
+			tol := 2e-3 // backward Euler is first-order; others much closer
+			if method != transient.BackwardEuler {
+				tol = 2e-4
+			}
+			if math.Abs(got-want) > tol {
+				t.Fatalf("%v vs OPM at t=%g: %g vs %g", method, mid, want, got)
+			}
+		}
+	}
+}
+
+// Integration: the three fractional solvers (OPM, Grünwald–Letnikov,
+// frequency-domain FFT) agree on a fractional circuit within their
+// respective discretization errors.
+func TestIntegrationFractionalMethodsAgree(t *testing.T) {
+	deck := `fractional integration
+I1 0 n1 SIN(0.5 0.5 0.25)
+R1 n1 0 1
+P1 n1 0 1 0.5
+`
+	d, err := circuit.Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mna, err := d.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 4.0
+	m := 4096
+	opm, err := core.Solve(mna.Sys, mna.Inputs, m, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract (E, A) for the baselines.
+	var eC, gC = mna.Sys.Terms[0].Coeff, mna.Sys.Terms[1].Coeff
+	if mna.Sys.Terms[0].Order == 0 {
+		eC, gC = gC, eC
+	}
+	aC := gC.Scale(-1)
+	gl, err := glet.Solve(eC, aC, mna.Sys.B, mna.Inputs, 0.5, T, T/float64(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := T / float64(m)
+	for _, tt := range []float64{1, 2, 3.5} {
+		j := int(tt / h)
+		mid := (float64(j) + 0.5) * h
+		vOPM := opm.StateAt(0, mid)
+		vGL := gl.X.At(0, j)
+		if math.Abs(vOPM-vGL) > 5e-3*(1+math.Abs(vOPM)) {
+			t.Fatalf("OPM vs GL at t=%g: %g vs %g", mid, vOPM, vGL)
+		}
+	}
+	// The frequency-domain method returns the *periodic* response; a
+	// fractional transient converges to it only algebraically (t^{−α}
+	// tail), so a pointwise comparison at modest T is not meaningful — the
+	// freqdom package validates itself against analytic periodic responses
+	// instead. Here we only check it runs on the exported matrices.
+	if _, err := freqdom.Solve(eC.ToDense(), aC.ToDense(), mna.Sys.B.ToDense(),
+		mna.Inputs, 0.5, T, 128); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Integration: MOR → OPM → lift: reduced simulation lifted back to the full
+// space matches full-order node voltages, not just outputs.
+func TestIntegrationMORLiftedStates(t *testing.T) {
+	mna, err := netgen.RCLadder(30, 100, 1e-9, waveform.Step(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, a, b, err := mna.DAE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rom, err := mor.Reduce(e, a, b, 10, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redSys, err := rom.System(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T, m := 10e-6, 512
+	full, err := core.Solve(mna.Sys, mna.Inputs, m, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := core.Solve(redSys, mna.Inputs, m, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := T / float64(m)
+	for _, j := range []int{100, 300, 500} {
+		tt := (float64(j) + 0.5) * h
+		z := make([]float64, rom.Order())
+		for i := range z {
+			z[i] = red.StateAt(i, tt)
+		}
+		x := rom.Lift(z)
+		for _, state := range []int{1, 15, 29} {
+			want := full.StateAt(state, tt)
+			if math.Abs(x[state]-want) > 5e-3*(1+math.Abs(want)) {
+				t.Fatalf("lifted state %d at t=%g: %g vs full %g", state, tt, x[state], want)
+			}
+		}
+	}
+}
+
+// Integration: stability analysis agrees with time-domain behavior — an RLC
+// tank's pencil eigenvalues predict its ringing frequency, which the OPM
+// waveform exhibits.
+func TestIntegrationEigenvaluesPredictRinging(t *testing.T) {
+	n := circuit.New()
+	a, bN := n.Node("a"), n.Node("b")
+	if err := n.AddI("I1", 0, a, waveform.Pulse(0, 1e-3, 0, 1e-9, 1e-9, 20e-9, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Low series resistance keeps the tank underdamped (critical series
+	// damping is 2√(L/C) ≈ 63 Ω).
+	_ = n.AddR("Rsrc", a, 0, 5)
+	_ = n.AddL("L1", a, bN, 1e-6)
+	_ = n.AddC("C1", bN, 0, 1e-9)
+	_ = n.AddR("Rq", bN, 0, 10e3)
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eC, gC = mna.Sys.Terms[0].Coeff, mna.Sys.Terms[1].Coeff
+	if mna.Sys.Terms[0].Order == 0 {
+		eC, gC = gC, eC
+	}
+	ev, err := core.PencilEigenvalues(eC, gC.Scale(-1), 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected ringing near ω₀ = 1/√(LC) ≈ 3.16e7 rad/s.
+	w0 := 1 / math.Sqrt(1e-6*1e-9)
+	found := 0.0
+	for _, v := range ev {
+		if imag(v) > 0 {
+			found = imag(v)
+		}
+	}
+	if math.Abs(found-w0) > 0.1*w0 {
+		t.Fatalf("pencil ringing %g rad/s, want ≈%g", found, w0)
+	}
+	// Time domain: measure the ringing period from zero crossings of the
+	// post-pulse response at node b.
+	T := 1e-6
+	sol, err := core.Solve(mna.Sys, mna.Inputs, 16384, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crossings []float64
+	prev := sol.StateAt(1, 30e-9)
+	for tt := 30e-9; tt < 600e-9; tt += T / 16384 {
+		cur := sol.StateAt(1, tt)
+		if prev < 0 && cur >= 0 {
+			crossings = append(crossings, tt)
+		}
+		prev = cur
+	}
+	if len(crossings) < 2 {
+		t.Fatalf("no ringing observed (crossings %v)", crossings)
+	}
+	period := (crossings[len(crossings)-1] - crossings[0]) / float64(len(crossings)-1)
+	wMeasured := 2 * math.Pi / period
+	if math.Abs(wMeasured-found) > 0.1*found {
+		t.Fatalf("measured ringing %g rad/s vs pencil %g", wMeasured, found)
+	}
+}
+
+// Integration: Matrix Market export/import of circuit matrices preserves the
+// simulation result exactly.
+func TestIntegrationMatrixMarketRoundTrip(t *testing.T) {
+	mna, err := netgen.RCLadder(10, 1e3, 1e-6, waveform.Step(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, a, b, err := mna.DAE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bufE, bufA strings.Builder
+	if err := sparse.WriteMatrixMarket(&bufE, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteMatrixMarket(&bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := sparse.ReadMatrixMarket(strings.NewReader(bufE.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := sparse.ReadMatrixMarket(strings.NewReader(bufA.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equalf(e.ToDense(), e2.ToDense(), 0) || !mat.Equalf(a.ToDense(), a2.ToDense(), 0) {
+		t.Fatal("Matrix Market round trip changed the matrices")
+	}
+	sys1, err := core.NewDAE(e, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := core.NewDAE(e2, a2, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := core.Solve(sys1, mna.Inputs, 128, 20e-3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := core.Solve(sys2, mna.Inputs, 128, 20e-3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mat.Equalf(s1.Coefficients(), s2.Coefficients(), 0) {
+		t.Fatal("round-tripped matrices changed the solution")
+	}
+}

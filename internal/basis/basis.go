@@ -1,0 +1,62 @@
+// Package basis implements the orthogonal-function bases behind the OPM
+// method: the block-pulse functions (BPFs) of §II with their integral and
+// differential operational matrices (eqs. 3–8), the adaptive-step variants of
+// §III-B (eqs. 16–17), the fractional operational matrices of §IV
+// (eqs. 21–25), and — following the paper's observation that "OPM can readily
+// switch to using other basis functions" — Walsh, Haar and shifted-Legendre
+// bases with their integration matrices.
+package basis
+
+import "opmsim/internal/mat"
+
+// Basis is a finite family of m basis functions on the time span [0, T).
+// A function f is represented by a coefficient vector c with
+// f(t) ≈ Σ_i c_i φ_i(t).
+type Basis interface {
+	// Name identifies the basis family (for reports and benches).
+	Name() string
+	// Size returns the number of basis functions m.
+	Size() int
+	// Span returns the time span T.
+	Span() float64
+	// Eval evaluates basis function i at time t ∈ [0, T).
+	Eval(i int, t float64) float64
+	// Expand computes the coefficient vector of f.
+	Expand(f func(float64) float64) []float64
+	// Reconstruct evaluates Σ c_i φ_i(t).
+	Reconstruct(coef []float64, t float64) float64
+	// IntegrationMatrix returns H with ∫₀ᵗ φ(τ)dτ ≈ Hφ(t) (eq. 3).
+	IntegrationMatrix() *mat.Dense
+}
+
+// Reconstruct is a convenience helper shared by implementations.
+func reconstruct(b Basis, coef []float64, t float64) float64 {
+	s := 0.0
+	for i, c := range coef {
+		if c != 0 {
+			s += c * b.Eval(i, t)
+		}
+	}
+	return s
+}
+
+// gauss5Nodes/Weights are the 5-point Gauss–Legendre rule on [-1, 1], used to
+// compute interval averages and projections in Expand implementations.
+var gauss5Nodes = [5]float64{
+	-0.9061798459386640, -0.5384693101056831, 0, 0.5384693101056831, 0.9061798459386640,
+}
+
+var gauss5Weights = [5]float64{
+	0.2369268850561891, 0.4786286704993665, 0.5688888888888889, 0.4786286704993665, 0.2369268850561891,
+}
+
+// integrate5 integrates f over [a, b] with the 5-point Gauss rule.
+func integrate5(f func(float64) float64, a, b float64) float64 {
+	mid := (a + b) / 2
+	half := (b - a) / 2
+	s := 0.0
+	for i := range gauss5Nodes {
+		s += gauss5Weights[i] * f(mid+half*gauss5Nodes[i])
+	}
+	return s * half
+}

@@ -1,0 +1,333 @@
+package basis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"opmsim/internal/mat"
+	"opmsim/internal/specfn"
+)
+
+func TestNewBPFValidation(t *testing.T) {
+	if _, err := NewBPF(0, 1); err == nil {
+		t.Fatal("NewBPF accepted m=0")
+	}
+	if _, err := NewBPF(4, 0); err == nil {
+		t.Fatal("NewBPF accepted T=0")
+	}
+}
+
+func TestBPFPartitionOfUnity(t *testing.T) {
+	b, _ := NewBPF(8, 2)
+	for _, tt := range []float64{0, 0.3, 0.99, 1.5, 1.999} {
+		s := 0.0
+		for i := 0; i < 8; i++ {
+			s += b.Eval(i, tt)
+		}
+		if s != 1 {
+			t.Fatalf("Σφ_i(%g) = %g, want 1", tt, s)
+		}
+	}
+}
+
+func TestBPFExpandConstant(t *testing.T) {
+	b, _ := NewBPF(5, 1)
+	c := b.Expand(func(float64) float64 { return 3 })
+	for i, v := range c {
+		if math.Abs(v-3) > 1e-12 {
+			t.Fatalf("coef[%d] = %g, want 3", i, v)
+		}
+	}
+}
+
+func TestBPFExpandLinear(t *testing.T) {
+	// Interval average of t over [ih, (i+1)h) is (i+1/2)h.
+	b, _ := NewBPF(4, 2)
+	c := b.Expand(func(t float64) float64 { return t })
+	h := 0.5
+	for i, v := range c {
+		want := (float64(i) + 0.5) * h
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("coef[%d] = %g, want %g", i, v, want)
+		}
+	}
+}
+
+func TestBPFReconstructInverseOfExpandForPiecewiseConstant(t *testing.T) {
+	b, _ := NewBPF(6, 3)
+	coef := []float64{1, -2, 3, 0, 5, 7}
+	f := func(t float64) float64 { return b.Reconstruct(coef, t) }
+	got := b.Expand(f)
+	for i := range coef {
+		if math.Abs(got[i]-coef[i]) > 1e-12 {
+			t.Fatalf("round trip coef[%d] = %g, want %g", i, got[i], coef[i])
+		}
+	}
+}
+
+// H(m) has the exact structure of eq. (4).
+func TestBPFIntegrationMatrixStructure(t *testing.T) {
+	b, _ := NewBPF(4, 2)
+	h := b.Step()
+	H := b.IntegrationMatrix()
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			switch {
+			case i == j:
+				want = h / 2
+			case j > i:
+				want = h
+			}
+			if H.At(i, j) != want {
+				t.Fatalf("H[%d][%d] = %g, want %g", i, j, H.At(i, j), want)
+			}
+		}
+	}
+}
+
+// The integration matrix actually integrates: coefficients of ∫f should be
+// Hᵀ·f_coef (from ∫fᵀφ = fᵀHφ).
+func TestBPFIntegrationMatrixIntegrates(t *testing.T) {
+	b, _ := NewBPF(64, 2)
+	f := func(t float64) float64 { return math.Sin(3 * t) }
+	intF := func(t float64) float64 { return (1 - math.Cos(3*t)) / 3 }
+	fc := b.Expand(f)
+	got := b.IntegrationMatrix().MulVecT(fc, nil)
+	want := b.Expand(intF)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 2e-3 {
+			t.Fatalf("∫ coef[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+// D(m) = H(m)⁻¹ (eq. 7): their product is the identity.
+func TestBPFDiffIsInverseOfIntegration(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 8, 33} {
+		b, _ := NewBPF(m, 1.7)
+		prod := mat.Mul(b.DiffMatrix(1), b.IntegrationMatrix())
+		if !mat.Equalf(prod, mat.Eye(m), 1e-9) {
+			t.Fatalf("m=%d: D·H != I", m)
+		}
+	}
+}
+
+// D(m) matches the explicit Toeplitz form printed in §III-A.
+func TestBPFDiffMatrixStructure(t *testing.T) {
+	b, _ := NewBPF(4, 4) // h = 1, so prefactor 2/h = 2
+	d := b.DiffMatrix(1)
+	want := mat.NewDenseFrom(4, 4, []float64{
+		2, -4, 4, -4,
+		0, 2, -4, 4,
+		0, 0, 2, -4,
+		0, 0, 0, 2,
+	})
+	if !mat.Equalf(d, want, 1e-12) {
+		t.Fatalf("D =\n%v want\n%v", d, want)
+	}
+}
+
+// The worked example of eq. (24): D^{3/2}(4) with the printed coefficients.
+func TestBPFFractionalMatrixPaperExample(t *testing.T) {
+	b, _ := NewBPF(4, 4) // h = 1
+	d := b.DiffMatrix(1.5)
+	pre := math.Pow(2, 1.5)
+	want := mat.NewDenseFrom(4, 4, []float64{
+		1, -3, 4.5, -5.5,
+		0, 1, -3, 4.5,
+		0, 0, 1, -3,
+		0, 0, 0, 1,
+	}).Scale(pre)
+	if !mat.Equalf(d, want, 1e-9) {
+		t.Fatalf("D^{3/2} =\n%v want\n%v", d, want)
+	}
+}
+
+// The identity stated below eq. (24): (D^{3/2})² equals the integer-matrix
+// power D³ (the paper's printed "(D(4))²" is a typo; squaring an order-3/2
+// operator yields order 3, and both sides match exactly in the truncated
+// algebra).
+func TestBPFFractionalSquareIdentity(t *testing.T) {
+	b, _ := NewBPF(4, 2)
+	lhs := mat.Mul(b.DiffMatrix(1.5), b.DiffMatrix(1.5))
+	rhs := mat.MatPowInt(b.DiffMatrix(1), 3)
+	if !mat.Equalf(lhs, rhs, 1e-7*(1+rhs.MaxAbs())) {
+		t.Fatalf("(D^1.5)² != D³\nlhs\n%v rhs\n%v", lhs, rhs)
+	}
+}
+
+// Property: semigroup Dᵅ·Dᵝ = Dᵅ⁺ᵝ in the truncated algebra.
+func TestBPFFractionalSemigroupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(12)
+		b, err := NewBPF(m, 0.5+rng.Float64())
+		if err != nil {
+			return false
+		}
+		al := 0.2 + rng.Float64()
+		be := 0.2 + rng.Float64()
+		lhs := mat.Mul(b.DiffMatrix(al), b.DiffMatrix(be))
+		rhs := b.DiffMatrix(al + be)
+		return mat.Equalf(lhs, rhs, 1e-7*(1+rhs.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: fractional integration inverts fractional differentiation.
+func TestBPFFractionalInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(10)
+		b, err := NewBPF(m, 0.5+rng.Float64())
+		if err != nil {
+			return false
+		}
+		al := 0.2 + rng.Float64()*1.5
+		prod := mat.Mul(b.DiffMatrix(al), b.DiffMatrix(-al))
+		return mat.Equalf(prod, mat.Eye(m), 1e-7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fractional differentiation of a half-power: the BPF half-derivative of
+// t^{1/2} should approximate Γ(3/2)·√π/... — we check against the classical
+// Riemann–Liouville result d^{1/2}/dt^{1/2} t = 2√(t/π).
+func TestBPFHalfDerivativeOfT(t *testing.T) {
+	b, _ := NewBPF(512, 1)
+	fc := b.Expand(func(t float64) float64 { return t })
+	// Coefficients of d^{1/2}f: (Dᵀ)^{1/2} f via column convention
+	// dᵅf = fᵀ Dᵅ φ, so coefficient vector is (Dᵅ)ᵀ f.
+	got := b.DiffMatrix(0.5).MulVecT(fc, nil)
+	for i := 32; i < 512; i += 61 {
+		tt := (float64(i) + 0.5) / 512
+		want := 2 * math.Sqrt(tt/math.Pi)
+		if math.Abs(got[i]-want) > 2e-2*(1+want) {
+			t.Fatalf("d½t at t=%g: got %g, want %g", tt, got[i], want)
+		}
+	}
+}
+
+func TestAdaptiveBPFValidation(t *testing.T) {
+	if _, err := NewAdaptiveBPF(nil); err == nil {
+		t.Fatal("NewAdaptiveBPF accepted empty steps")
+	}
+	if _, err := NewAdaptiveBPF([]float64{0.1, -0.2}); err == nil {
+		t.Fatal("NewAdaptiveBPF accepted negative step")
+	}
+}
+
+// With equal steps the adaptive matrices reduce to the uniform ones.
+func TestAdaptiveReducesToUniform(t *testing.T) {
+	m, T := 6, 3.0
+	u, _ := NewBPF(m, T)
+	steps := make([]float64, m)
+	for i := range steps {
+		steps[i] = T / float64(m)
+	}
+	a, _ := NewAdaptiveBPF(steps)
+	if !mat.Equalf(a.IntegrationMatrix(), u.IntegrationMatrix(), 1e-12) {
+		t.Fatal("adaptive H != uniform H for equal steps")
+	}
+	if !mat.Equalf(a.DiffMatrix(), u.DiffMatrix(1), 1e-12) {
+		t.Fatal("adaptive D != uniform D for equal steps")
+	}
+}
+
+// D̃·H̃ = I for arbitrary positive steps.
+func TestAdaptiveDiffInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(10)
+		steps := make([]float64, m)
+		for i := range steps {
+			steps[i] = 0.05 + rng.Float64()
+		}
+		a, err := NewAdaptiveBPF(steps)
+		if err != nil {
+			return false
+		}
+		prod := mat.Mul(a.DiffMatrix(), a.IntegrationMatrix())
+		return mat.Equalf(prod, mat.Eye(m), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Adaptive fractional: (D̃^{1/2})² = D̃ when steps are distinct (eq. 25).
+func TestAdaptiveFractionalSquare(t *testing.T) {
+	steps := []float64{0.1, 0.15, 0.22, 0.31, 0.44, 0.6}
+	a, _ := NewAdaptiveBPF(steps)
+	half, err := a.DiffMatrixAlpha(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := mat.Mul(half, half)
+	want := a.DiffMatrix()
+	if !mat.Equalf(sq, want, 1e-7*(1+want.MaxAbs())) {
+		t.Fatal("(D̃^½)² != D̃")
+	}
+}
+
+func TestAdaptiveFractionalRejectsEqualSteps(t *testing.T) {
+	a, _ := NewAdaptiveBPF([]float64{0.1, 0.1, 0.2})
+	if _, err := a.DiffMatrixAlpha(0.5); err == nil {
+		t.Fatal("DiffMatrixAlpha accepted repeated steps for fractional α")
+	}
+	// Integer α is fine even with repeated steps.
+	if _, err := a.DiffMatrixAlpha(2); err != nil {
+		t.Fatalf("integer α failed: %v", err)
+	}
+}
+
+func TestAdaptiveReconstructLookup(t *testing.T) {
+	a, _ := NewAdaptiveBPF([]float64{1, 2, 0.5})
+	coef := []float64{10, 20, 30}
+	cases := map[float64]float64{0.5: 10, 1.0: 20, 2.9: 20, 3.2: 30, -1: 0, 3.6: 0}
+	for tt, want := range cases {
+		if got := a.Reconstruct(coef, tt); got != want {
+			t.Fatalf("Reconstruct(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestAdaptiveEdges(t *testing.T) {
+	a, _ := NewAdaptiveBPF([]float64{1, 2, 3})
+	edges := a.Edges()
+	want := []float64{0, 1, 3, 6}
+	for i := range want {
+		if math.Abs(edges[i]-want[i]) > 1e-15 {
+			t.Fatalf("edges = %v, want %v", edges, want)
+		}
+	}
+	if a.Span() != 6 {
+		t.Fatalf("Span = %g, want 6", a.Span())
+	}
+}
+
+// The fractional-integration operational matrix D^{−α} reproduces the
+// closed-form Riemann–Liouville moments I^α[τ^p] = Γ(p+1)/Γ(p+1+α)·t^{p+α}.
+func TestBPFFractionalIntegralMoments(t *testing.T) {
+	b, _ := NewBPF(512, 1)
+	for _, alpha := range []float64{0.3, 0.5, 0.8} {
+		for _, p := range []float64{0, 1, 2} {
+			fc := b.Expand(func(tt float64) float64 { return math.Pow(tt, p) })
+			got := b.DiffMatrix(-alpha).MulVecT(fc, nil)
+			for i := 100; i < 512; i += 130 {
+				tt := (float64(i) + 0.5) / 512
+				want := specfn.RLKernelMoment(alpha, p, tt)
+				if math.Abs(got[i]-want) > 2e-2*(1+want) {
+					t.Fatalf("α=%g p=%g: I^α at t=%g = %g, want %g", alpha, p, tt, got[i], want)
+				}
+			}
+		}
+	}
+}

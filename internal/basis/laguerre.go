@@ -1,0 +1,166 @@
+package basis
+
+import (
+	"fmt"
+	"math"
+
+	"opmsim/internal/mat"
+)
+
+// Laguerre is the scaled Laguerre-function basis on [0, ∞):
+//
+//	φ_n(t) = √(2p)·e^{−pt}·L_n(2pt),   n = 0..m−1,
+//
+// orthonormal in L²[0, ∞). The paper lists Laguerre functions among the
+// alternative OPM bases; they suit decaying (dissipative) waveforms on a
+// semi-infinite horizon, with the time scale set by the pole p.
+//
+// Its integration operational matrix is upper-triangular Toeplitz,
+// (1/p)·(1, −2, 2, −2, ...) — derived in closed form from the Laplace-domain
+// representation Φ_n(s) = √(2p)·(s−p)ⁿ/(s+p)ⁿ⁺¹ and verified numerically by
+// the tests.
+type Laguerre struct {
+	m int
+	p float64
+
+	nodes   []float64 // Gauss–Laguerre nodes (weight e^{−u})
+	weights []float64
+}
+
+// NewLaguerre returns the m-function Laguerre basis with pole p > 0.
+func NewLaguerre(m int, p float64) (*Laguerre, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("basis: Laguerre requires m > 0, got %d", m)
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("basis: Laguerre requires pole p > 0, got %g", p)
+	}
+	n := m + 24 // headroom: integrands carry an e^{u/2} factor
+	nodes, weights, err := gaussLaguerre(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Laguerre{m: m, p: p, nodes: nodes, weights: weights}, nil
+}
+
+// Name implements Basis.
+func (b *Laguerre) Name() string { return "laguerre" }
+
+// Size implements Basis.
+func (b *Laguerre) Size() int { return b.m }
+
+// Span implements Basis; the Laguerre horizon is semi-infinite.
+func (b *Laguerre) Span() float64 { return math.Inf(1) }
+
+// Pole returns the time-scale parameter p.
+func (b *Laguerre) Pole() float64 { return b.p }
+
+// Eval implements Basis.
+func (b *Laguerre) Eval(i int, t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return math.Sqrt(2*b.p) * math.Exp(-b.p*t) * laguerreL(i, 2*b.p*t)
+}
+
+// Expand implements Basis: c_n = ∫₀^∞ f·φ_n dt by Gauss–Laguerre quadrature
+// after the substitution u = 2pt.
+func (b *Laguerre) Expand(f func(float64) float64) []float64 {
+	c := make([]float64, b.m)
+	inv := 1 / math.Sqrt(2*b.p)
+	for q, u := range b.nodes {
+		// Weight e^{−u} is implicit in the rule; the integrand carries the
+		// residual e^{u/2} from φ_n's e^{−pt} = e^{−u/2}.
+		fu := f(u/(2*b.p)) * math.Exp(u/2) * b.weights[q] * inv
+		l0, l1 := 1.0, 1-u
+		for n := 0; n < b.m; n++ {
+			var ln float64
+			switch n {
+			case 0:
+				ln = l0
+			case 1:
+				ln = l1
+			default:
+				ln = ((float64(2*n-1)-u)*l1 - float64(n-1)*l0) / float64(n)
+				l0, l1 = l1, ln
+			}
+			c[n] += fu * ln
+		}
+	}
+	return c
+}
+
+// Reconstruct implements Basis.
+func (b *Laguerre) Reconstruct(coef []float64, t float64) float64 {
+	return reconstruct(b, coef, t)
+}
+
+// IntegrationMatrix implements Basis with the closed form derived above:
+// row pattern (1/p)·(1, −2, 2, −2, ...), truncated at m terms.
+func (b *Laguerre) IntegrationMatrix() *mat.Dense {
+	h := mat.NewDense(b.m, b.m)
+	for i := 0; i < b.m; i++ {
+		h.Set(i, i, 1/b.p)
+		for j := i + 1; j < b.m; j++ {
+			v := 2 / b.p
+			if (j-i)%2 == 1 {
+				v = -v
+			}
+			h.Set(i, j, v)
+		}
+	}
+	return h
+}
+
+// laguerreL evaluates the Laguerre polynomial L_n(x) by recurrence.
+func laguerreL(n int, x float64) float64 {
+	switch n {
+	case 0:
+		return 1
+	case 1:
+		return 1 - x
+	}
+	l0, l1 := 1.0, 1-x
+	for k := 2; k <= n; k++ {
+		l0, l1 = l1, ((float64(2*k-1)-x)*l1-float64(k-1)*l0)/float64(k)
+	}
+	return l1
+}
+
+// gaussLaguerre computes the n-point Gauss–Laguerre rule (weight e^{−x} on
+// [0, ∞)) by Newton iteration.
+func gaussLaguerre(n int) (nodes, weights []float64, err error) {
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	x := 0.0
+	for i := 0; i < n; i++ {
+		// Stroud–Secrest initial guesses.
+		switch i {
+		case 0:
+			x = 3.0 / (1 + 2.4*float64(n))
+		case 1:
+			x += 15.0 / (1 + 2.5*float64(n))
+		default:
+			x += (1 + 2.55*float64(i-1)) / (1.9 * float64(i-1)) * (x - nodes[i-2])
+		}
+		ok := false
+		for iter := 0; iter < 200; iter++ {
+			l := laguerreL(n, x)
+			// L'_n(x) = n(L_n(x) − L_{n−1}(x))/x.
+			dl := float64(n) * (l - laguerreL(n-1, x)) / x
+			dx := -l / dl
+			x += dx
+			if math.Abs(dx) < 1e-14*(1+x) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return nil, nil, fmt.Errorf("basis: Gauss–Laguerre Newton failed at node %d", i)
+		}
+		nodes[i] = x
+		lm1 := laguerreL(n-1, x)
+		weights[i] = x / (float64(n) * float64(n) * lm1 * lm1)
+	}
+	return nodes, weights, nil
+}

@@ -1,0 +1,125 @@
+package basis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLaguerreValidation(t *testing.T) {
+	if _, err := NewLaguerre(0, 1); err == nil {
+		t.Fatal("accepted m=0")
+	}
+	if _, err := NewLaguerre(4, 0); err == nil {
+		t.Fatal("accepted p=0")
+	}
+}
+
+func TestGaussLaguerreRule(t *testing.T) {
+	nodes, weights, err := gaussLaguerre(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ∫₀^∞ e^{−x} dx = 1, ∫ x e^{−x} = 1, ∫ x⁵ e^{−x} = 120.
+	moments := []float64{1, 1, 2, 6, 24, 120}
+	for k, want := range moments {
+		s := 0.0
+		for i := range nodes {
+			s += weights[i] * math.Pow(nodes[i], float64(k))
+		}
+		if math.Abs(s-want) > 1e-9*want {
+			t.Fatalf("moment %d = %g, want %g", k, s, want)
+		}
+	}
+}
+
+func TestLaguerreOrthonormal(t *testing.T) {
+	b, err := NewLaguerre(6, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ⟨φ_i, φ_j⟩ = δ_ij, checked with a fine trapezoid on [0, 60].
+	inner := func(i, j int) float64 {
+		const steps = 60000
+		const tmax = 60.0
+		h := tmax / steps
+		s := 0.0
+		for k := 0; k <= steps; k++ {
+			tt := float64(k) * h
+			w := 1.0
+			if k == 0 || k == steps {
+				w = 0.5
+			}
+			s += w * b.Eval(i, tt) * b.Eval(j, tt)
+		}
+		return s * h
+	}
+	for i := 0; i < 6; i++ {
+		for j := i; j < 6; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if got := inner(i, j); math.Abs(got-want) > 1e-4 {
+				t.Fatalf("⟨φ%d,φ%d⟩ = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestLaguerreExpandSelf(t *testing.T) {
+	b, _ := NewLaguerre(5, 1)
+	// Expanding φ₂ must give e₂.
+	f := func(tt float64) float64 { return b.Eval(2, tt) }
+	c := b.Expand(f)
+	for i, v := range c {
+		want := 0.0
+		if i == 2 {
+			want = 1
+		}
+		if math.Abs(v-want) > 1e-8 {
+			t.Fatalf("coef[%d] = %g, want %g", i, v, want)
+		}
+	}
+}
+
+func TestLaguerreExpandReconstructDecaying(t *testing.T) {
+	b, _ := NewLaguerre(24, 0.5)
+	f := func(tt float64) float64 { return tt * math.Exp(-tt) }
+	c := b.Expand(f)
+	for _, tt := range []float64{0.3, 1, 2.5, 5} {
+		if got := b.Reconstruct(c, tt); math.Abs(got-f(tt)) > 1e-5 {
+			t.Fatalf("Laguerre reconstruction at %g = %g, want %g", tt, got, f(tt))
+		}
+	}
+}
+
+// The closed-form integration matrix must actually integrate: coefficients
+// of ∫f are Hᵀ·coef(f).
+func TestLaguerreIntegrationMatrix(t *testing.T) {
+	b, _ := NewLaguerre(30, 0.7)
+	f := func(tt float64) float64 { return math.Exp(-tt) }
+	intF := func(tt float64) float64 { return 1 - math.Exp(-tt) }
+	fc := b.Expand(f)
+	got := b.IntegrationMatrix().MulVecT(fc, nil)
+	want := b.Expand(intF)
+	// 1 − e^{−t} does not decay, so its Laguerre tail converges slowly;
+	// compare the leading coefficients only.
+	for i := 0; i < 12; i++ {
+		if math.Abs(got[i]-want[i]) > 2e-2*(1+math.Abs(want[i])) {
+			t.Fatalf("∫ coef[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLaguerreSpanInfinite(t *testing.T) {
+	b, _ := NewLaguerre(3, 1)
+	if !math.IsInf(b.Span(), 1) {
+		t.Fatal("Laguerre span should be +Inf")
+	}
+	if b.Eval(0, -1) != 0 {
+		t.Fatal("Laguerre nonzero for t<0")
+	}
+	if b.Pole() != 1 {
+		t.Fatal("Pole accessor broken")
+	}
+}

@@ -1,0 +1,153 @@
+package basis
+
+import (
+	"fmt"
+	"math"
+
+	"opmsim/internal/mat"
+)
+
+// Legendre is the shifted-Legendre basis on [0, T):
+// ψ_n(t) = P_n(2t/T − 1) for n = 0..m−1. Unlike the piecewise-constant
+// bases, its functions are smooth polynomials, so it approximates smooth
+// waveforms spectrally well but rings at discontinuities — the trade-off the
+// paper's basis discussion hints at.
+type Legendre struct {
+	m int
+	T float64
+
+	nodes   []float64 // Gauss–Legendre nodes on [-1, 1] for Expand
+	weights []float64
+}
+
+// NewLegendre returns the m-term shifted-Legendre basis on [0, T).
+func NewLegendre(m int, T float64) (*Legendre, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("basis: Legendre requires m > 0, got %d", m)
+	}
+	if T <= 0 {
+		return nil, fmt.Errorf("basis: Legendre requires T > 0, got %g", T)
+	}
+	n := m + 8 // quadrature exact up to degree 2n−1 ≫ 2m
+	nodes, weights := gaussLegendre(n)
+	return &Legendre{m: m, T: T, nodes: nodes, weights: weights}, nil
+}
+
+// Name implements Basis.
+func (b *Legendre) Name() string { return "legendre" }
+
+// Size implements Basis.
+func (b *Legendre) Size() int { return b.m }
+
+// Span implements Basis.
+func (b *Legendre) Span() float64 { return b.T }
+
+// Eval implements Basis using the three-term recurrence.
+func (b *Legendre) Eval(i int, t float64) float64 {
+	x := 2*t/b.T - 1
+	return legendreP(i, x)
+}
+
+// Expand implements Basis: c_n = (2n+1)/T ∫ f(t) ψ_n(t) dt by Gauss
+// quadrature mapped to [0, T].
+func (b *Legendre) Expand(f func(float64) float64) []float64 {
+	c := make([]float64, b.m)
+	for q, x := range b.nodes {
+		t := (x + 1) * b.T / 2
+		fv := f(t) * b.weights[q] * b.T / 2
+		// Accumulate P_n(x) via the recurrence once per node.
+		p0, p1 := 1.0, x
+		for n := 0; n < b.m; n++ {
+			var pn float64
+			switch n {
+			case 0:
+				pn = p0
+			case 1:
+				pn = p1
+			default:
+				pn = (float64(2*n-1)*x*p1 - float64(n-1)*p0) / float64(n)
+				p0, p1 = p1, pn
+			}
+			c[n] += fv * pn * float64(2*n+1) / b.T
+		}
+	}
+	return c
+}
+
+// Reconstruct implements Basis.
+func (b *Legendre) Reconstruct(coef []float64, t float64) float64 {
+	return reconstruct(b, coef, t)
+}
+
+// IntegrationMatrix implements Basis with the classical relation
+// ∫₀ᵗ ψ_n = (T/2)/(2n+1)·(ψ_{n+1} − ψ_{n−1}) for n ≥ 1 and
+// ∫₀ᵗ ψ_0 = (T/2)(ψ_0 + ψ_1); the ψ_m term of the last row is truncated.
+func (b *Legendre) IntegrationMatrix() *mat.Dense {
+	h := mat.NewDense(b.m, b.m)
+	h.Set(0, 0, b.T/2)
+	if b.m > 1 {
+		h.Set(0, 1, b.T/2)
+	}
+	for n := 1; n < b.m; n++ {
+		k := b.T / 2 / float64(2*n+1)
+		h.Set(n, n-1, -k)
+		if n+1 < b.m {
+			h.Set(n, n+1, k)
+		}
+	}
+	return h
+}
+
+// legendreP evaluates the Legendre polynomial P_n(x).
+func legendreP(n int, x float64) float64 {
+	switch n {
+	case 0:
+		return 1
+	case 1:
+		return x
+	}
+	p0, p1 := 1.0, x
+	for k := 2; k <= n; k++ {
+		p0, p1 = p1, (float64(2*k-1)*x*p1-float64(k-1)*p0)/float64(k)
+	}
+	return p1
+}
+
+// legendrePDeriv returns P_n(x) and P'_n(x).
+func legendrePDeriv(n int, x float64) (p, dp float64) {
+	if n == 0 {
+		return 1, 0
+	}
+	p0, p1 := 1.0, x
+	for k := 2; k <= n; k++ {
+		p0, p1 = p1, (float64(2*k-1)*x*p1-float64(k-1)*p0)/float64(k)
+	}
+	dp = float64(n) * (x*p1 - p0) / (x*x - 1)
+	return p1, dp
+}
+
+// gaussLegendre computes the n-point Gauss–Legendre nodes and weights on
+// [-1, 1] by Newton iteration from the Chebyshev initial guess.
+func gaussLegendre(n int) (nodes, weights []float64) {
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	for i := 0; i < (n+1)/2; i++ {
+		x := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var dp float64
+		for iter := 0; iter < 100; iter++ {
+			var p float64
+			p, dp = legendrePDeriv(n, x)
+			dx := -p / dp
+			x += dx
+			if math.Abs(dx) < 1e-15 {
+				break
+			}
+		}
+		w := 2 / ((1 - x*x) * dp * dp)
+		nodes[i] = -x
+		nodes[n-1-i] = x
+		weights[i] = w
+		weights[n-1-i] = w
+	}
+	return nodes, weights
+}

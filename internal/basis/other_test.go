@@ -1,0 +1,238 @@
+package basis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWalshValidation(t *testing.T) {
+	for _, m := range []int{0, 3, 6, -4} {
+		if _, err := NewWalsh(m, 1); err == nil {
+			t.Fatalf("NewWalsh accepted m=%d", m)
+		}
+	}
+}
+
+func TestWalshSequencyOrder(t *testing.T) {
+	w, err := NewWalsh(16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if got := w.SignChanges(i); got != i {
+			t.Fatalf("Walsh function %d has %d sign changes, want %d", i, got, i)
+		}
+	}
+}
+
+func TestWalshOrthogonality(t *testing.T) {
+	w, _ := NewWalsh(8, 2)
+	// ∫ψ_iψ_j = T·δ_ij for ±1-valued functions on disjoint pulses.
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			s := integrate5ForTest(func(t float64) float64 { return w.Eval(i, t) * w.Eval(j, t) }, 0, 2, 64)
+			want := 0.0
+			if i == j {
+				want = 2
+			}
+			if math.Abs(s-want) > 1e-9 {
+				t.Fatalf("⟨ψ%d,ψ%d⟩ = %g, want %g", i, j, s, want)
+			}
+		}
+	}
+}
+
+func TestWalshExpandReconstruct(t *testing.T) {
+	w, _ := NewWalsh(32, 1)
+	f := func(t float64) float64 { return math.Sin(2 * math.Pi * t) }
+	c := w.Expand(f)
+	// Reconstruction at pulse midpoints equals the interval average:
+	// compare against a BPF expansion of the same function.
+	b, _ := NewBPF(32, 1)
+	bc := b.Expand(f)
+	for i := 0; i < 32; i++ {
+		tt := (float64(i) + 0.5) / 32
+		if math.Abs(w.Reconstruct(c, tt)-bc[i]) > 1e-10 {
+			t.Fatalf("Walsh reconstruction at %g = %g, want %g", tt, w.Reconstruct(c, tt), bc[i])
+		}
+	}
+}
+
+// The Walsh integration matrix integrates, matching the BPF result.
+func TestWalshIntegrationMatrix(t *testing.T) {
+	w, _ := NewWalsh(64, 2)
+	f := func(t float64) float64 { return math.Exp(-t) }
+	intF := func(t float64) float64 { return 1 - math.Exp(-t) }
+	fc := w.Expand(f)
+	got := w.IntegrationMatrix().MulVecT(fc, nil)
+	want := w.Expand(intF)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 2e-2 {
+			t.Fatalf("Walsh ∫ coef[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHaarValidation(t *testing.T) {
+	if _, err := NewHaar(5, 1); err == nil {
+		t.Fatal("NewHaar accepted m=5")
+	}
+}
+
+func TestHaarStructure(t *testing.T) {
+	h, err := NewHaar(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ψ₀ ≡ 1.
+	for _, tt := range []float64{0.1, 0.5, 0.9} {
+		if h.Eval(0, tt) != 1 {
+			t.Fatalf("Haar ψ₀(%g) = %g", tt, h.Eval(0, tt))
+		}
+	}
+	// ψ₁ is the full-width mother wavelet: +1 then −1.
+	if h.Eval(1, 0.25) != 1 || h.Eval(1, 0.75) != -1 {
+		t.Fatalf("Haar ψ₁ wrong: %g, %g", h.Eval(1, 0.25), h.Eval(1, 0.75))
+	}
+	// Every non-constant function integrates to zero over [0, T).
+	for i := 1; i < 8; i++ {
+		s := integrate5ForTest(func(t float64) float64 { return h.Eval(i, t) }, 0, 1, 64)
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("∫ψ%d = %g, want 0", i, s)
+		}
+	}
+}
+
+func TestHaarExpandRoundTrip(t *testing.T) {
+	h, _ := NewHaar(16, 1)
+	b, _ := NewBPF(16, 1)
+	f := func(t float64) float64 { return t*t - 0.3*t }
+	hc := h.Expand(f)
+	bc := b.Expand(f)
+	for i := 0; i < 16; i++ {
+		tt := (float64(i) + 0.5) / 16
+		if math.Abs(h.Reconstruct(hc, tt)-bc[i]) > 1e-10 {
+			t.Fatalf("Haar reconstruction differs from BPF average at pulse %d", i)
+		}
+	}
+}
+
+func TestHaarIntegrationMatrix(t *testing.T) {
+	h, _ := NewHaar(64, 1)
+	f := func(t float64) float64 { return math.Cos(3 * t) }
+	intF := func(t float64) float64 { return math.Sin(3*t) / 3 }
+	fc := h.Expand(f)
+	got := h.IntegrationMatrix().MulVecT(fc, nil)
+	want := h.Expand(intF)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 2e-2 {
+			t.Fatalf("Haar ∫ coef[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLegendreValidation(t *testing.T) {
+	if _, err := NewLegendre(0, 1); err == nil {
+		t.Fatal("NewLegendre accepted m=0")
+	}
+	if _, err := NewLegendre(4, -1); err == nil {
+		t.Fatal("NewLegendre accepted T<0")
+	}
+}
+
+func TestLegendreEvalKnown(t *testing.T) {
+	l, _ := NewLegendre(5, 2) // x = t−1 on [0,2)
+	// P₂(x) = (3x²−1)/2 at t = 1.5 → x = 0.5 → 0.5·(0.75−1) = −0.125.
+	if got := l.Eval(2, 1.5); math.Abs(got+0.125) > 1e-12 {
+		t.Fatalf("P₂ at t=1.5: %g, want −0.125", got)
+	}
+	// P₃(x) = (5x³−3x)/2 at x = 1 → 1.
+	if got := l.Eval(3, 2-1e-12); math.Abs(got-1) > 1e-6 {
+		t.Fatalf("P₃ at right edge: %g, want 1", got)
+	}
+}
+
+func TestLegendreExpandPolynomialExact(t *testing.T) {
+	l, _ := NewLegendre(4, 1)
+	// f(t) = ψ₂(t) should expand to the unit coefficient vector e₂.
+	f := func(t float64) float64 { return l.Eval(2, t) }
+	c := l.Expand(f)
+	for i, v := range c {
+		want := 0.0
+		if i == 2 {
+			want = 1
+		}
+		if math.Abs(v-want) > 1e-10 {
+			t.Fatalf("coef[%d] = %g, want %g", i, v, want)
+		}
+	}
+}
+
+func TestLegendreExpandReconstructSmooth(t *testing.T) {
+	l, _ := NewLegendre(16, 1)
+	f := func(t float64) float64 { return math.Exp(2 * t) }
+	c := l.Expand(f)
+	for _, tt := range []float64{0.1, 0.35, 0.72, 0.95} {
+		if got := l.Reconstruct(c, tt); math.Abs(got-f(tt)) > 1e-8 {
+			t.Fatalf("Legendre reconstruction at %g = %g, want %g", tt, got, f(tt))
+		}
+	}
+}
+
+func TestLegendreIntegrationMatrix(t *testing.T) {
+	l, _ := NewLegendre(20, 1)
+	f := func(t float64) float64 { return math.Sin(5 * t) }
+	intF := func(t float64) float64 { return (1 - math.Cos(5*t)) / 5 }
+	fc := l.Expand(f)
+	got := l.IntegrationMatrix().MulVecT(fc, nil)
+	want := l.Expand(intF)
+	for i := 0; i < 18; i++ { // last coefficients feel the truncation
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("Legendre ∫ coef[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestGaussLegendreRule(t *testing.T) {
+	nodes, weights := gaussLegendre(12)
+	// Integrates polynomials up to degree 23 exactly; check ∫x⁸ = 2/9.
+	s := 0.0
+	for i := range nodes {
+		s += weights[i] * math.Pow(nodes[i], 8)
+	}
+	if math.Abs(s-2.0/9) > 1e-13 {
+		t.Fatalf("GL ∫x⁸ = %g, want %g", s, 2.0/9)
+	}
+	// Weights sum to 2.
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	if math.Abs(sum-2) > 1e-13 {
+		t.Fatalf("GL weights sum %g, want 2", sum)
+	}
+}
+
+// Basis interface compliance.
+func TestBasisInterfaceCompliance(t *testing.T) {
+	bpf, _ := NewBPF(8, 1)
+	ad, _ := NewAdaptiveBPF([]float64{0.1, 0.2, 0.3, 0.4})
+	w, _ := NewWalsh(8, 1)
+	h, _ := NewHaar(8, 1)
+	l, _ := NewLegendre(8, 1)
+	for _, b := range []Basis{bpf, ad, w, h, l} {
+		if b.Size() <= 0 || b.Span() <= 0 || b.Name() == "" {
+			t.Fatalf("basis %T misbehaves", b)
+		}
+	}
+}
+
+// integrate5ForTest is composite Gauss quadrature used only by tests.
+func integrate5ForTest(f func(float64) float64, a, b float64, panels int) float64 {
+	s := 0.0
+	w := (b - a) / float64(panels)
+	for i := 0; i < panels; i++ {
+		s += integrate5(f, a+float64(i)*w, a+float64(i+1)*w)
+	}
+	return s
+}

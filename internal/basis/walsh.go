@@ -1,0 +1,158 @@
+package basis
+
+import (
+	"fmt"
+	"math/bits"
+
+	"opmsim/internal/mat"
+)
+
+// pcBasis is a basis of piecewise-constant functions expressed as linear
+// combinations of m block-pulse functions: ψ(t) = W·φ(t) for an invertible
+// transform matrix W. Walsh and Haar bases are both of this form, so their
+// expansion and integration matrices follow from the BPF ones by similarity:
+//
+//	∫ψ = W ∫φ = W·H_bpf·φ = (W·H_bpf·W⁻¹)·ψ.
+type pcBasis struct {
+	name string
+	bpf  *BPF
+	w    *mat.Dense // ψ = W φ
+	winv *mat.Dense
+}
+
+func newPCBasis(name string, m int, T float64, w *mat.Dense) (*pcBasis, error) {
+	bpf, err := NewBPF(m, T)
+	if err != nil {
+		return nil, err
+	}
+	winv, err := mat.Inverse(w)
+	if err != nil {
+		return nil, fmt.Errorf("basis: %s transform not invertible: %w", name, err)
+	}
+	return &pcBasis{name: name, bpf: bpf, w: w, winv: winv}, nil
+}
+
+// Name implements Basis.
+func (b *pcBasis) Name() string { return b.name }
+
+// Size implements Basis.
+func (b *pcBasis) Size() int { return b.bpf.m }
+
+// Span implements Basis.
+func (b *pcBasis) Span() float64 { return b.bpf.T }
+
+// Eval implements Basis: ψ_i(t) = Σ_k W[i][k] φ_k(t), a single lookup since
+// the pulses are disjoint.
+func (b *pcBasis) Eval(i int, t float64) float64 {
+	k := int(t / b.bpf.h)
+	if k < 0 || k >= b.bpf.m || t < 0 {
+		return 0
+	}
+	return b.w.At(i, k)
+}
+
+// Expand implements Basis: from f = f_bpfᵀ φ and ψ = Wφ we need c with
+// cᵀW = f_bpfᵀ, i.e. c = W⁻ᵀ f_bpf.
+func (b *pcBasis) Expand(f func(float64) float64) []float64 {
+	fb := b.bpf.Expand(f)
+	return b.winv.MulVecT(fb, nil)
+}
+
+// Reconstruct implements Basis.
+func (b *pcBasis) Reconstruct(coef []float64, t float64) float64 {
+	k := int(t / b.bpf.h)
+	if k < 0 || k >= b.bpf.m || t < 0 {
+		return 0
+	}
+	s := 0.0
+	for i, c := range coef {
+		s += c * b.w.At(i, k)
+	}
+	return s
+}
+
+// IntegrationMatrix implements Basis via the similarity transform above.
+func (b *pcBasis) IntegrationMatrix() *mat.Dense {
+	return mat.Mul(mat.Mul(b.w, b.bpf.IntegrationMatrix()), b.winv)
+}
+
+// Walsh is the sequency-ordered Walsh basis on [0, T): m = 2^k functions
+// taking values ±1, ordered from low to high "frequency" (sign-change
+// count) — the ordering the paper's §I alludes to when suggesting Walsh
+// functions for capturing the overall waveform trend.
+type Walsh struct{ *pcBasis }
+
+// NewWalsh returns the m-function Walsh basis; m must be a power of two.
+func NewWalsh(m int, T float64) (*Walsh, error) {
+	if m <= 0 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("basis: Walsh requires m to be a power of two, got %d", m)
+	}
+	w := mat.NewDense(m, m)
+	bitsN := bits.TrailingZeros(uint(m))
+	for i := 0; i < m; i++ {
+		// Sequency-ordered Walsh: row i is the Hadamard row indexed by the
+		// bit-reversed Gray code of i.
+		g := uint(i) ^ (uint(i) >> 1)
+		r := bits.Reverse(g) >> (bits.UintSize - bitsN)
+		for k := 0; k < m; k++ {
+			if bits.OnesCount(uint(k)&r)%2 == 0 {
+				w.Set(i, k, 1)
+			} else {
+				w.Set(i, k, -1)
+			}
+		}
+	}
+	pc, err := newPCBasis("walsh", m, T, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Walsh{pc}, nil
+}
+
+// SignChanges returns the number of sign changes of Walsh function i, which
+// must equal i in sequency order.
+func (b *Walsh) SignChanges(i int) int {
+	n := 0
+	for k := 1; k < b.Size(); k++ {
+		if b.w.At(i, k) != b.w.At(i, k-1) {
+			n++
+		}
+	}
+	return n
+}
+
+// Haar is the (unnormalized) Haar wavelet basis on [0, T): the constant
+// function plus dyadically scaled ±1 square wavelets. m must be a power of
+// two.
+type Haar struct{ *pcBasis }
+
+// NewHaar returns the m-function Haar basis; m must be a power of two.
+func NewHaar(m int, T float64) (*Haar, error) {
+	if m <= 0 || m&(m-1) != 0 {
+		return nil, fmt.Errorf("basis: Haar requires m to be a power of two, got %d", m)
+	}
+	w := mat.NewDense(m, m)
+	for k := 0; k < m; k++ {
+		w.Set(0, k, 1)
+	}
+	row := 1
+	for level := 1; level <= m; level *= 2 {
+		if level == m {
+			break
+		}
+		width := m / level // support width in pulses
+		for pos := 0; pos < level; pos++ {
+			start := pos * width
+			for k := 0; k < width/2; k++ {
+				w.Set(row, start+k, 1)
+				w.Set(row, start+width/2+k, -1)
+			}
+			row++
+		}
+	}
+	pc, err := newPCBasis("haar", m, T, w)
+	if err != nil {
+		return nil, err
+	}
+	return &Haar{pc}, nil
+}

@@ -1,0 +1,132 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"opmsim/internal/mat"
+)
+
+// ACResult holds a small-signal frequency sweep: H[k][o][i] is the transfer
+// from input channel i to output o at angular frequency Omega[k].
+type ACResult struct {
+	Omega []float64
+	H     [][][]complex128
+}
+
+// maxACDim bounds the dense complex solves used by the AC sweep.
+const maxACDim = 2000
+
+// AC computes the small-signal transfer functions at the given angular
+// frequencies by solving
+//
+//	(Σ_k (jω)^{α_k}·E_k)·X = B
+//
+// per frequency — fractional CPE terms contribute their exact (jω)^α
+// admittance, no approximation involved. Outputs follow the system's C
+// (identity when unset). Nonlinear elements are not linearized; they must be
+// absent.
+func (m *MNA) AC(omega []float64) (*ACResult, error) {
+	if m.Nonlinear != nil {
+		return nil, fmt.Errorf("circuit: AC analysis requires a linear netlist (no diodes)")
+	}
+	if len(omega) == 0 {
+		return nil, fmt.Errorf("circuit: AC needs at least one frequency")
+	}
+	n := m.Sys.N()
+	if n > maxACDim {
+		return nil, fmt.Errorf("circuit: AC limited to n ≤ %d, got %d", maxACDim, n)
+	}
+	p := m.Sys.Inputs()
+	q := m.Sys.Outputs()
+	res := &ACResult{Omega: append([]float64(nil), omega...), H: make([][][]complex128, len(omega))}
+	bD := m.Sys.B.ToDense()
+	for k, w := range omega {
+		if w <= 0 {
+			return nil, fmt.Errorf("circuit: AC frequencies must be positive, got %g", w)
+		}
+		sys := mat.NewCDense(n, n)
+		for _, term := range m.Sys.Terms {
+			s := fracJw(w, term.Order)
+			c := term.Coeff
+			for i := 0; i < c.R; i++ {
+				for pp := c.RowPtr[i]; pp < c.RowPtr[i+1]; pp++ {
+					sys.Add(i, c.ColIdx[pp], s*complex(c.Val[pp], 0))
+				}
+			}
+		}
+		f, err := mat.CLUFactor(sys)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: AC system singular at ω=%g: %w", w, err)
+		}
+		res.H[k] = make([][]complex128, q)
+		for o := 0; o < q; o++ {
+			res.H[k][o] = make([]complex128, p)
+		}
+		rhs := make([]complex128, n)
+		for in := 0; in < p; in++ {
+			for i := 0; i < n; i++ {
+				rhs[i] = complex(bD.At(i, in), 0)
+			}
+			x := f.Solve(rhs)
+			if m.Sys.C == nil {
+				for o := 0; o < q; o++ {
+					res.H[k][o][in] = x[o]
+				}
+			} else {
+				c := m.Sys.C
+				for o := 0; o < q; o++ {
+					var acc complex128
+					for pp := c.RowPtr[o]; pp < c.RowPtr[o+1]; pp++ {
+						acc += complex(c.Val[pp], 0) * x[c.ColIdx[pp]]
+					}
+					res.H[k][o][in] = acc
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// fracJw returns (jω)^α on the principal branch (α = 0 → 1, α = 1 → jω).
+func fracJw(w, alpha float64) complex128 {
+	if alpha == 0 {
+		return 1
+	}
+	mag := math.Pow(w, alpha)
+	ph := alpha * math.Pi / 2
+	return complex(mag*math.Cos(ph), mag*math.Sin(ph))
+}
+
+// LogSpace returns n angular frequencies logarithmically spaced over
+// [wStart, wStop].
+func LogSpace(wStart, wStop float64, n int) ([]float64, error) {
+	if wStart <= 0 || wStop <= wStart || n < 2 {
+		return nil, fmt.Errorf("circuit: LogSpace needs 0 < start < stop and n ≥ 2")
+	}
+	out := make([]float64, n)
+	l0, l1 := math.Log(wStart), math.Log(wStop)
+	for i := range out {
+		out[i] = math.Exp(l0 + (l1-l0)*float64(i)/float64(n-1))
+	}
+	return out, nil
+}
+
+// MagDB returns 20·log₁₀|H| for output o, input i across the sweep.
+func (r *ACResult) MagDB(o, i int) []float64 {
+	out := make([]float64, len(r.Omega))
+	for k := range out {
+		out[k] = 20 * math.Log10(cmplx.Abs(r.H[k][o][i]))
+	}
+	return out
+}
+
+// PhaseDeg returns the phase in degrees for output o, input i.
+func (r *ACResult) PhaseDeg(o, i int) []float64 {
+	out := make([]float64, len(r.Omega))
+	for k := range out {
+		out[k] = cmplx.Phase(r.H[k][o][i]) * 180 / math.Pi
+	}
+	return out
+}

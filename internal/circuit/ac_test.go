@@ -1,0 +1,188 @@
+package circuit
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"opmsim/internal/core"
+	"opmsim/internal/waveform"
+)
+
+func coreSolve(t *testing.T, m *MNA, steps int, T float64) (*core.Solution, error) {
+	t.Helper()
+	return core.Solve(m.Sys, m.Inputs, steps, T, core.Options{})
+}
+
+func rcLowpassMNA(t *testing.T) *MNA {
+	t.Helper()
+	n := New()
+	in, out := n.Node("in"), n.Node("out")
+	if err := n.AddV("V1", in, 0, waveform.Sine(1, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR("R1", in, out, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddC("C1", out, 0, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := mna.VoltageSelector(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sysC, err := mna.Sys.WithOutput(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mna.Sys = sysC
+	return mna
+}
+
+func TestACLowpassCorner(t *testing.T) {
+	mna := rcLowpassMNA(t)
+	wc := 1.0 / (1e3 * 1e-6) // 1000 rad/s
+	res, err := mna.AC([]float64{wc / 100, wc, wc * 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Passband: |H| ≈ 1, phase ≈ 0.
+	if db := res.MagDB(0, 0)[0]; math.Abs(db) > 0.01 {
+		t.Fatalf("passband = %g dB, want 0", db)
+	}
+	// Corner: −3.01 dB, −45°.
+	if db := res.MagDB(0, 0)[1]; math.Abs(db+3.0103) > 0.01 {
+		t.Fatalf("corner = %g dB, want −3.01", db)
+	}
+	if ph := res.PhaseDeg(0, 0)[1]; math.Abs(ph+45) > 0.1 {
+		t.Fatalf("corner phase = %g°, want −45", ph)
+	}
+	// Stopband: −40 dB at 100×ωc.
+	if db := res.MagDB(0, 0)[2]; math.Abs(db+40) > 0.1 {
+		t.Fatalf("stopband = %g dB, want −40", db)
+	}
+}
+
+// The exact constant-phase signature of a CPE: the impedance of R in series
+// with a CPE seen from a current drive has phase −α·90° at high frequency.
+func TestACConstantPhaseElement(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	alpha := 0.6
+	if err := n.AddI("I1", 0, a, waveform.Sine(1, 1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddCPE("P1", a, 0, 1, alpha); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR("Rbig", a, 0, 1e9); err != nil { // DC path only
+		t.Fatal(err)
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mna.AC([]float64{10, 100, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPh := -alpha * 90
+	for k := range res.Omega {
+		if ph := res.PhaseDeg(0, 0)[k]; math.Abs(ph-wantPh) > 0.5 {
+			t.Fatalf("CPE phase at ω=%g is %g°, want %g°", res.Omega[k], ph, wantPh)
+		}
+		// |Z| = ω^{−α}.
+		want := 20 * math.Log10(math.Pow(res.Omega[k], -alpha))
+		if db := res.MagDB(0, 0)[k]; math.Abs(db-want) > 0.1 {
+			t.Fatalf("CPE magnitude at ω=%g is %g dB, want %g", res.Omega[k], db, want)
+		}
+	}
+}
+
+// AC agrees with the time-domain steady state: drive the lowpass with a
+// sine at ωc and compare the OPM steady-state amplitude with |H(jωc)|.
+func TestACMatchesTimeDomainSteadyState(t *testing.T) {
+	mna := rcLowpassMNA(t)
+	wc := 1000.0
+	res, err := mna.AC([]float64{wc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gain := cmplx.Abs(res.H[0][0][0])
+
+	// Rebuild with the drive at f = ωc/2π and measure the late-time peak.
+	n := New()
+	in, out := n.Node("in"), n.Node("out")
+	_ = n.AddV("V1", in, 0, waveform.Sine(1, wc/(2*math.Pi), 0))
+	_ = n.AddR("R1", in, out, 1e3)
+	_ = n.AddC("C1", out, 0, 1e-6)
+	m2, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 50e-3 // many periods and time constants
+	sol, err := coreSolve(t, m2, 16384, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, tt := range waveform.UniformTimes(2000, T) {
+		if tt < 30e-3 {
+			continue
+		}
+		peak = math.Max(peak, math.Abs(sol.StateAt(1, tt)))
+	}
+	if math.Abs(peak-gain) > 0.01 {
+		t.Fatalf("time-domain steady peak %g vs AC gain %g", peak, gain)
+	}
+}
+
+func TestACValidation(t *testing.T) {
+	mna := rcLowpassMNA(t)
+	if _, err := mna.AC(nil); err == nil {
+		t.Fatal("accepted empty sweep")
+	}
+	if _, err := mna.AC([]float64{-1}); err == nil {
+		t.Fatal("accepted negative frequency")
+	}
+	// Nonlinear netlist refused.
+	n := New()
+	a := n.Node("a")
+	_ = n.AddV("V1", a, 0, waveform.Constant(1))
+	b := n.Node("b")
+	_ = n.AddDiode("D1", a, b, 0, 0)
+	_ = n.AddR("R1", b, 0, 1)
+	nl, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nl.AC([]float64{1}); err == nil {
+		t.Fatal("accepted nonlinear netlist")
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	w, err := LogSpace(1, 1000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-9*want[i] {
+			t.Fatalf("LogSpace = %v", w)
+		}
+	}
+	if _, err := LogSpace(0, 1, 4); err == nil {
+		t.Fatal("accepted start 0")
+	}
+	if _, err := LogSpace(1, 1, 4); err == nil {
+		t.Fatal("accepted empty range")
+	}
+	if _, err := LogSpace(1, 10, 1); err == nil {
+		t.Fatal("accepted n=1")
+	}
+}

@@ -1,0 +1,257 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"opmsim/internal/core"
+	"opmsim/internal/sparse"
+	"opmsim/internal/waveform"
+)
+
+// Parser coverage for the controlled-source cards.
+func TestParseControlledSources(t *testing.T) {
+	deck := `amp
+V1 in 0 DC 1
+G1 out 0 in 0 2m
+E1 buf 0 out 0 3
+RL out 0 1k
+RB buf 0 1k
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Netlist.Stats()
+	if s.VCCS != 1 || s.VCVS != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	mna, err := d.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := mna.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v(out) = −gm·RL = −2; v(buf) = 3·v(out) = −6.
+	var vout, vbuf float64
+	for i, name := range mna.StateNames {
+		switch name {
+		case "v(out)":
+			vout = dc[i]
+		case "v(buf)":
+			vbuf = dc[i]
+		}
+	}
+	if math.Abs(vout+2) > 1e-9 || math.Abs(vbuf+6) > 1e-9 {
+		t.Fatalf("dc: vout=%g vbuf=%g, want −2, −6", vout, vbuf)
+	}
+	if _, err := Parse(strings.NewReader("t\nG1 a 0 b\n")); err == nil {
+		t.Fatal("accepted short G card")
+	}
+}
+
+func TestControlledSourceValidation(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	if err := n.AddVCCS("G1", a, 0, a, a, 1); err == nil {
+		t.Fatal("accepted identical controlling terminals")
+	}
+	if err := n.AddVCVS("E1", a, 0, 99, 0, 1); err == nil {
+		t.Fatal("accepted unknown controlling node")
+	}
+}
+
+func TestNAWithVCCSAndRejectsVCVS(t *testing.T) {
+	n := New()
+	a, b := n.Node("a"), n.Node("b")
+	_ = n.AddI("I1", 0, a, waveform.Sine(1e-3, 10, 0))
+	_ = n.AddC("C1", a, 0, 1e-6)
+	_ = n.AddC("C2", b, 0, 1e-6)
+	_ = n.AddR("R1", a, 0, 1e3)
+	_ = n.AddR("R2", b, 0, 1e3)
+	_ = n.AddL("L1", a, b, 1e-3)
+	_ = n.AddVCCS("G1", b, 0, a, 0, 1e-3)
+	na, err := n.NA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NA and MNA agree with the VCCS present.
+	T := 0.2
+	solNA, err := core.Solve(na.Sys, na.Inputs, 2048, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solMNA, err := core.Solve(mna.Sys, mna.Inputs, 2048, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.05, 0.1, 0.15} {
+		for i := 0; i < 2; i++ {
+			x, y := solNA.StateAt(i, tt), solMNA.StateAt(i, tt)
+			if math.Abs(x-y) > 1e-4+0.02*math.Abs(y) {
+				t.Fatalf("NA vs MNA with VCCS at node %d t=%g: %g vs %g", i, tt, x, y)
+			}
+		}
+	}
+	_ = n.AddVCVS("E1", a, 0, b, 0, 2)
+	if _, err := n.NA(); err == nil {
+		t.Fatal("NA accepted VCVS")
+	}
+}
+
+func TestDCOperatingPointFloatingNode(t *testing.T) {
+	n := New()
+	a, b := n.Node("a"), n.Node("b")
+	_ = n.AddV("V1", a, 0, waveform.Constant(1))
+	_ = n.AddC("C1", a, b, 1e-6) // node b floats at DC
+	_ = n.AddC("C2", b, 0, 1e-6)
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mna.DCOperatingPoint(); err == nil {
+		t.Fatal("DC accepted a floating node")
+	}
+}
+
+// VCCS as a transconductance amplifier: input RC divider drives a VCCS into
+// a load resistor; DC gain = −gm·Rload (current convention: positive gm
+// pulls current out of the output node).
+func TestVCCSAmplifier(t *testing.T) {
+	n := New()
+	in, out := n.Node("in"), n.Node("out")
+	if err := n.AddV("V1", in, 0, waveform.Step(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddVCCS("G1", out, 0, in, 0, 2e-3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR("RL", out, 0, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := mna.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v_out: current gm·v_in leaves node out → v_out = −gm·RL·v_in = −2.
+	vout := dc[1]
+	if math.Abs(vout+2) > 1e-9 {
+		t.Fatalf("VCCS DC output = %g, want −2", vout)
+	}
+}
+
+// VCVS as an ideal amplifier: v_out = gain·v_in.
+func TestVCVSGain(t *testing.T) {
+	n := New()
+	in, out := n.Node("in"), n.Node("out")
+	if err := n.AddV("V1", in, 0, waveform.Step(0.5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddVCVS("E1", out, 0, in, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR("RL", out, 0, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// States: v(in), v(out), i(E1), i(V1).
+	if len(mna.StateNames) != 4 {
+		t.Fatalf("states = %v", mna.StateNames)
+	}
+	sol, err := core.Solve(mna.Sys, mna.Inputs, 64, 1e-3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.StateAt(1, 0.5e-3); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("VCVS output = %g, want 5", got)
+	}
+}
+
+// A VCCS-based gyrator turns a capacitor into a synthetic inductor: two
+// back-to-back VCCS with transconductance g loading a capacitor C emulate
+// L = C/g². Check the resonance of the synthetic LC tank.
+func TestGyratorSyntheticInductor(t *testing.T) {
+	n := New()
+	a, b := n.Node("a"), n.Node("b")
+	g := 1e-3
+	cap := 1e-9
+	// Gyrator between port a and internal node b.
+	if err := n.AddVCCS("G1", b, 0, a, 0, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddVCCS("G2", a, 0, b, 0, -g); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddC("C1", b, 0, cap); err != nil {
+		t.Fatal(err)
+	}
+	// Port-side tank capacitor and drive.
+	cTank := 1e-9
+	if err := n.AddC("C2", a, 0, cTank); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR("Rq", a, 0, 100e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddI("I1", 0, a, waveform.Pulse(0, 1e-3, 0, 1e-9, 1e-9, 5e-9, 0)); err != nil {
+		t.Fatal(err)
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthetic L = C/g² = 1e-9/1e-6 = 1e-3; ω₀ = 1/√(L·C2) = 1e6 rad/s.
+	abscissa, err := core.SpectralAbscissa(mna.Sys, 2e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abscissa >= 0 {
+		t.Fatalf("gyrator tank unstable: %g", abscissa)
+	}
+	ev, err := core.PencilEigenvalues(mnaE(mna), mnaA(mna), 2e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect a conjugate pair near ±j·1e6.
+	found := false
+	for _, v := range ev {
+		if math.Abs(math.Abs(imag(v))-1e6) < 2e4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no resonance near 1e6 rad/s in %v", ev)
+	}
+}
+
+func mnaE(m *MNA) *sparse.CSR {
+	for _, t := range m.Sys.Terms {
+		if t.Order == 1 {
+			return t.Coeff
+		}
+	}
+	return nil
+}
+
+func mnaA(m *MNA) *sparse.CSR {
+	for _, t := range m.Sys.Terms {
+		if t.Order == 0 {
+			return t.Coeff.Scale(-1)
+		}
+	}
+	return nil
+}

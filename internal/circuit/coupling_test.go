@@ -1,0 +1,170 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"opmsim/internal/core"
+	"opmsim/internal/waveform"
+)
+
+// An ideal-ish transformer: sine into the primary, resistive load on the
+// secondary. With K → 1 and equal inductances, the steady-state secondary
+// voltage approaches the primary voltage scaled by the turns ratio (here 1).
+func TestTransformerVoltageTransfer(t *testing.T) {
+	n := New()
+	p, s := n.Node("p"), n.Node("s")
+	f := 1e3
+	if err := n.AddV("V1", p, 0, waveform.Sine(1, f, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Large magnetizing inductance relative to the load impedance at f.
+	if err := n.AddL("L1", p, 0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddL("L2", s, 0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddK("K1", "L1", "L2", 0.999); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR("RL", s, 0, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 5e-3 // five cycles
+	sol, err := core.Solve(mna.Sys, mna.Inputs, 8192, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the initial transient, the secondary peak should be close to
+	// the primary's 1 V (K²-coupled, unity turns ratio).
+	peak := 0.0
+	for _, tt := range waveform.UniformTimes(400, T) {
+		if tt < 2e-3 {
+			continue
+		}
+		peak = math.Max(peak, math.Abs(sol.StateAt(1, tt)))
+	}
+	if peak < 0.9 || peak > 1.05 {
+		t.Fatalf("secondary peak = %g, want ≈1 for a tightly coupled 1:1 transformer", peak)
+	}
+}
+
+// Turns ratio: L2/L1 = 4 gives a 1:2 voltage step-up.
+func TestTransformerStepUp(t *testing.T) {
+	n := New()
+	p, s := n.Node("p"), n.Node("s")
+	_ = n.AddV("V1", p, 0, waveform.Sine(1, 1e3, 0))
+	_ = n.AddL("L1", p, 0, 1.0)
+	_ = n.AddL("L2", s, 0, 4.0)
+	_ = n.AddK("K1", "L1", "L2", 0.9999)
+	_ = n.AddR("RL", s, 0, 10e3)
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(mna.Sys, mna.Inputs, 8192, 5e-3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := 0.0
+	for _, tt := range waveform.UniformTimes(400, 5e-3) {
+		if tt < 2e-3 {
+			continue
+		}
+		peak = math.Max(peak, math.Abs(sol.StateAt(1, tt)))
+	}
+	if math.Abs(peak-2) > 0.15 {
+		t.Fatalf("step-up secondary peak = %g, want ≈2", peak)
+	}
+}
+
+// Energy sanity: the coupled L-matrix [[L1, M], [M, L2]] must stay positive
+// definite for |K| < 1 — OPM would blow up otherwise. Run a short transient
+// and check boundedness with K close to 1.
+func TestCouplingStability(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	b := n.Node("b")
+	_ = n.AddI("I1", 0, a, waveform.Pulse(0, 1e-3, 0, 1e-6, 1e-6, 1e-4, 0))
+	_ = n.AddL("L1", a, 0, 1e-3)
+	_ = n.AddL("L2", b, 0, 1e-3)
+	_ = n.AddK("K1", "L1", "L2", 0.95)
+	_ = n.AddR("R1", a, 0, 100)
+	_ = n.AddR("R2", b, 0, 100)
+	_ = n.AddC("C1", a, 0, 1e-9)
+	_ = n.AddC("C2", b, 0, 1e-9)
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abscissa, err := core.SpectralAbscissa(mna.Sys, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abscissa >= 0 {
+		t.Fatalf("coupled passive network unstable: %g", abscissa)
+	}
+}
+
+func TestAddKValidation(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	_ = n.AddL("L1", a, 0, 1)
+	if err := n.AddK("", "L1", "L2", 0.5); err == nil {
+		t.Fatal("accepted empty name")
+	}
+	if err := n.AddK("K1", "L1", "L1", 0.5); err == nil {
+		t.Fatal("accepted self-coupling")
+	}
+	if err := n.AddK("K1", "L1", "L2", 1.5); err == nil {
+		t.Fatal("accepted |K| ≥ 1")
+	}
+	if err := n.AddK("K1", "L1", "L2", 0); err == nil {
+		t.Fatal("accepted K = 0")
+	}
+	if err := n.AddK("K1", "L1", "L2", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddK("K1", "L1", "L3", 0.5); err == nil {
+		t.Fatal("accepted duplicate coupling name")
+	}
+	// L2 never declared: MNA must fail.
+	_ = n.AddV("V1", a, 0, waveform.Step(1, 0))
+	if _, err := n.MNA(); err == nil {
+		t.Fatal("MNA accepted coupling to unknown inductor")
+	}
+	// NA refuses couplings outright.
+	if _, err := n.NA(); err == nil {
+		t.Fatal("NA accepted mutual inductance")
+	}
+}
+
+func TestParseKCard(t *testing.T) {
+	deck := `transformer
+V1 p 0 SIN 0 1 1k
+L1 p 0 1
+L2 s 0 1
+K1 L1 L2 0.99
+RL s 0 1k
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(d.Netlist.Couplings()); got != 1 {
+		t.Fatalf("couplings = %d", got)
+	}
+	// K card must not intern its inductor names as nodes.
+	if d.Netlist.NumNodes() != 2 {
+		t.Fatalf("nodes = %d, want 2 (K card leaked nodes)", d.Netlist.NumNodes())
+	}
+	if _, err := Parse(strings.NewReader("t\nK1 L1 L2 2\n")); err == nil {
+		t.Fatal("accepted K ≥ 1")
+	}
+}

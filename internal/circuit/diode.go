@@ -1,0 +1,109 @@
+package circuit
+
+import (
+	"fmt"
+	"math"
+
+	"opmsim/internal/sparse"
+)
+
+// DefaultIs and DefaultVt are the diode defaults (room-temperature silicon).
+const (
+	DefaultIs = 1e-14   // saturation current, A
+	DefaultVt = 0.02585 // thermal voltage, V
+)
+
+// AddDiode adds an ideal-exponential junction diode with anode a and
+// cathode b: i = Is·(exp((v_a − v_b)/Vt) − 1). Pass 0 for is/vt to get the
+// defaults. Diodes make the netlist nonlinear: simulate through
+// core.SolveNonlinear using the MNA's Nonlinear hook.
+func (n *Netlist) AddDiode(name string, a, b int, is, vt float64) error {
+	if is == 0 {
+		is = DefaultIs
+	}
+	if vt == 0 {
+		vt = DefaultVt
+	}
+	if is < 0 || vt <= 0 {
+		return fmt.Errorf("circuit: diode %q needs Is ≥ 0 and Vt > 0", name)
+	}
+	return n.add(Element{Kind: Diode, Name: name, NodeA: a, NodeB: b, Value: is, Order: vt})
+}
+
+// diodeEntry is one diode mapped to state indices (−1 = ground terminal).
+type diodeEntry struct {
+	a, b   int
+	is, vt float64
+}
+
+// DiodeNonlinearity implements core.Nonlinearity for the diodes of a
+// netlist: g(x) collects the diode currents into the KCL rows.
+type DiodeNonlinearity struct {
+	n       int
+	entries []diodeEntry
+}
+
+// Eval implements core.Nonlinearity.
+func (d *DiodeNonlinearity) Eval(x, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for _, e := range d.entries {
+		i, _ := e.current(x)
+		if e.a >= 0 {
+			out[e.a] += i
+		}
+		if e.b >= 0 {
+			out[e.b] -= i
+		}
+	}
+}
+
+// StampJacobian implements core.Nonlinearity.
+func (d *DiodeNonlinearity) StampJacobian(x []float64, jac *sparse.COO) {
+	for _, e := range d.entries {
+		_, gd := e.current(x)
+		if e.a >= 0 {
+			jac.Add(e.a, e.a, gd)
+			if e.b >= 0 {
+				jac.Add(e.a, e.b, -gd)
+			}
+		}
+		if e.b >= 0 {
+			jac.Add(e.b, e.b, gd)
+			if e.a >= 0 {
+				jac.Add(e.b, e.a, -gd)
+			}
+		}
+	}
+}
+
+// current returns the diode current and its conductance ∂i/∂v_d at the
+// voltages in x, with the standard exponent limiting: beyond vCrit = 40·Vt
+// the exponential is continued linearly (C¹), which keeps Newton iterations
+// finite during overshoot.
+func (e *diodeEntry) current(x []float64) (i, gd float64) {
+	vd := 0.0
+	if e.a >= 0 {
+		vd += x[e.a]
+	}
+	if e.b >= 0 {
+		vd -= x[e.b]
+	}
+	const lim = 40.0
+	arg := vd / e.vt
+	if arg > lim {
+		expLim := math.Exp(lim)
+		i = e.is * (expLim*(1+arg-lim) - 1)
+		gd = e.is / e.vt * expLim
+		return i, gd
+	}
+	ex := math.Exp(arg)
+	return e.is * (ex - 1), e.is / e.vt * ex
+}
+
+// Size returns the state dimension the nonlinearity acts on.
+func (d *DiodeNonlinearity) Size() int { return d.n }
+
+// Count returns the number of diodes.
+func (d *DiodeNonlinearity) Count() int { return len(d.entries) }

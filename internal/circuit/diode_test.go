@@ -1,0 +1,222 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"opmsim/internal/core"
+	"opmsim/internal/waveform"
+)
+
+// DC: series resistor + diode to ground. The node voltage solves the
+// transcendental equation (V − v)/R = Is(e^{v/Vt} − 1); compare the MNA
+// Newton solution against an independent bisection.
+func TestDiodeDCAgainstBisection(t *testing.T) {
+	const (
+		vsrc = 5.0
+		r    = 1e3
+		is   = 1e-14
+		vt   = 0.02585
+	)
+	n := New()
+	in, d := n.Node("in"), n.Node("d")
+	if err := n.AddV("V1", in, 0, waveform.Constant(vsrc)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR("R1", in, d, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDiode("D1", d, 0, is, vt); err != nil {
+		t.Fatal(err)
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mna.Nonlinear == nil || mna.Nonlinear.Count() != 1 {
+		t.Fatal("diode not registered in nonlinearity")
+	}
+	dc, err := mna.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent bisection for the diode voltage.
+	f := func(v float64) float64 { return (vsrc-v)/r - is*(math.Exp(v/vt)-1) }
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	want := (lo + hi) / 2
+	if math.Abs(dc[1]-want) > 1e-9 {
+		t.Fatalf("diode DC voltage = %.9f, bisection gives %.9f", dc[1], want)
+	}
+}
+
+// Transient: half-wave rectifier (sine → diode → R load). The output must
+// clip: positive half cycles pass minus one diode drop; negative half cycles
+// are blocked.
+func TestDiodeHalfWaveRectifier(t *testing.T) {
+	n := New()
+	in, out := n.Node("in"), n.Node("out")
+	if err := n.AddV("V1", in, 0, waveform.Sine(5, 50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDiode("D1", in, out, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR("RL", out, 0, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 40e-3 // two mains cycles
+	sol, err := core.SolveNonlinear(mna.Sys, mna.Nonlinear, mna.Inputs, 2048, T, core.NonlinearOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxOut, minOut float64
+	for _, tt := range waveform.UniformTimes(256, T) {
+		v := sol.StateAt(1, tt)
+		maxOut = math.Max(maxOut, v)
+		minOut = math.Min(minOut, v)
+	}
+	// Peak ≈ 5 V − ~0.7 V drop; negative excursions blocked (only the
+	// diode's tiny leakage times 1 kΩ, i.e. ~nV).
+	if maxOut < 3.8 || maxOut > 5 {
+		t.Fatalf("rectified peak = %g, want ≈4.3", maxOut)
+	}
+	if minOut < -1e-3 {
+		t.Fatalf("negative half-cycle leaked through: %g", minOut)
+	}
+}
+
+// Peak detector: rectifier charging a capacitor. The capacitor must hold
+// near the input peak between cycles (small droop through the bleed
+// resistor).
+func TestDiodePeakDetector(t *testing.T) {
+	n := New()
+	in, out := n.Node("in"), n.Node("out")
+	if err := n.AddV("V1", in, 0, waveform.Sine(5, 50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddDiode("D1", in, out, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddC("C1", out, 0, 10e-6); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR("Rb", out, 0, 100e3); err != nil {
+		t.Fatal(err)
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 60e-3
+	sol, err := core.SolveNonlinear(mna.Sys, mna.Nonlinear, mna.Inputs, 4096, T, core.NonlinearOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After the first quarter cycle the output should sit near the peak and
+	// never dip far below it (τ_bleed = 1 s ≫ cycle).
+	vAt := func(tt float64) float64 { return sol.StateAt(1, tt) }
+	peakish := vAt(5.2e-3)
+	if peakish < 3.8 {
+		t.Fatalf("peak detector did not charge: %g", peakish)
+	}
+	trough := vAt(17e-3) // between peaks
+	if trough < peakish-0.3 {
+		t.Fatalf("peak detector drooped too much: %g after %g", trough, peakish)
+	}
+}
+
+func TestDiodeValidationAndParse(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	if err := n.AddDiode("D1", a, 0, -1, 0); err == nil {
+		t.Fatal("accepted negative Is")
+	}
+	if err := n.AddDiode("D2", a, 0, 0, -1); err == nil {
+		t.Fatal("accepted negative Vt")
+	}
+	deck := `rectifier
+V1 in 0 SIN 0 5 50
+D1 in out 1e-14 0.02585
+RL out 0 1k
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Netlist.Stats().D != 1 {
+		t.Fatalf("Stats = %+v", d.Netlist.Stats())
+	}
+	mna, err := d.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mna.Nonlinear == nil {
+		t.Fatal("parsed diode lost")
+	}
+	// Defaults via 0 value.
+	d2, err := Parse(strings.NewReader("t\nV1 a 0 DC 1\nD1 a 0 0\nR1 a 0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range d2.Netlist.Elements() {
+		if e.Kind == Diode && (e.Value != DefaultIs || e.Order != DefaultVt) {
+			t.Fatalf("defaults not applied: %+v", e)
+		}
+	}
+}
+
+func TestDiodeBlocksLinearExports(t *testing.T) {
+	n := New()
+	a := n.Node("a")
+	_ = n.AddV("V1", a, 0, waveform.Constant(1))
+	b := n.Node("b")
+	_ = n.AddDiode("D1", a, b, 0, 0)
+	_ = n.AddR("R1", b, 0, 1)
+	_ = n.AddC("C1", b, 0, 1e-6)
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := mna.DAE(); err == nil {
+		t.Fatal("DAE export accepted nonlinear netlist")
+	}
+	if _, err := n.NA(); err == nil {
+		t.Fatal("NA accepted diode")
+	}
+}
+
+// The exponent limiting keeps Newton alive even from terrible initial
+// overshoot (5000 V across the diode at the first iterate).
+func TestDiodeExponentLimiting(t *testing.T) {
+	n := New()
+	in, d := n.Node("in"), n.Node("d")
+	_ = n.AddV("V1", in, 0, waveform.Constant(5000))
+	_ = n.AddR("R1", in, d, 1)
+	_ = n.AddDiode("D1", d, 0, 0, 0)
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := mna.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Physical solution: ~0.9–1.1 V across the diode carrying ~5 kA is
+	// unphysical hardware but a perfectly well-posed equation.
+	if dc[1] < 0.5 || dc[1] > 2 {
+		t.Fatalf("limited-exponential DC = %g, want O(1) volt", dc[1])
+	}
+}

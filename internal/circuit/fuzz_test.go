@@ -1,0 +1,77 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseValue checks that ParseValue never panics and returns finite
+// values on success.
+func FuzzParseValue(f *testing.F) {
+	for _, seed := range []string{
+		"1", "1k", "2.2meg", "-3.5u", "1e9", "0", "", "x", "1..2", "1kohm",
+		"1e", "1e+", "--1", "+.5n", "meg", "9999999999999999999t", "1mil",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseValue(s)
+		if err == nil && (math.IsNaN(v) || math.IsInf(v, 0)) {
+			t.Fatalf("ParseValue(%q) = %g without error", s, v)
+		}
+	})
+}
+
+// FuzzParse checks that the netlist parser never panics on arbitrary input
+// and that any accepted deck yields a structurally sound netlist.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		sampleDeck,
+		"t\nV1 a 0 DC 1\nR1 a 0 1k\n",
+		"t\nI1 0 b PWL(0 0 1 1)\nP1 b 0 1u 0.5\n.tran 1u 1m\n.end\n",
+		"* only a comment\n",
+		"",
+		"t\nR1 a b\n",
+		"t\n.tran\n",
+		"V1 in 0 PULSE(0 1 0 1n 1n 5n 10n)\nR1 in 0 1\n",
+		"t\nG1 o 0 i 0 1m\nE1 p 0 o 0 2\nV1 i 0 DC 1\nRL o 0 1k\nRP p 0 1k\n",
+		"t\nR1 a 0 1k ; comment\n\n\nC1 a 0 1u\nV1 a 0 SIN 0 1 1k\n",
+		"\xff\n(", // regression: punctuation-only line must not crash the tokenizer
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		deck, err := Parse(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Accepted decks must be internally consistent.
+		nl := deck.Netlist
+		for _, e := range nl.Elements() {
+			if e.Name == "" {
+				t.Fatal("accepted element without name")
+			}
+			if e.NodeA == e.NodeB {
+				t.Fatalf("accepted shorted element %q", e.Name)
+			}
+			if e.NodeA < 0 || e.NodeA > nl.NumNodes() || e.NodeB < 0 || e.NodeB > nl.NumNodes() {
+				t.Fatalf("element %q references out-of-range node", e.Name)
+			}
+			switch e.Kind {
+			case Resistor, Capacitor, Inductor, CPE:
+				if e.Value <= 0 {
+					t.Fatalf("accepted non-positive %s value %g", e.Kind, e.Value)
+				}
+			case VSource, ISource:
+				if e.Source == nil {
+					t.Fatalf("accepted source %q without signal", e.Name)
+				}
+			}
+		}
+		if deck.Tran != nil && (deck.Tran.Step <= 0 || deck.Tran.Stop < deck.Tran.Step) {
+			t.Fatalf("accepted invalid .tran %+v", deck.Tran)
+		}
+	})
+}

@@ -1,0 +1,223 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseValueTable(t *testing.T) {
+	cases := map[string]float64{
+		"1":     1,
+		"1.5":   1.5,
+		"-3":    -3,
+		"1k":    1e3,
+		"2.2K":  2.2e3,
+		"1meg":  1e6,
+		"10MEG": 1e7,
+		"1m":    1e-3,
+		"1u":    1e-6,
+		"1uF":   1e-6,
+		"100n":  1e-7,
+		"5p":    5e-12,
+		"2f":    2e-15,
+		"3g":    3e9,
+		"1t":    1e12,
+		"1e-3":  1e-3,
+		"2.5e6": 2.5e6,
+		"1kohm": 1e3,
+		"1.2nH": 1.2e-9,
+		"5v":    5,
+		"10ohm": 10,
+	}
+	for s, want := range cases {
+		got, err := ParseValue(s)
+		if err != nil {
+			t.Fatalf("ParseValue(%q): %v", s, err)
+		}
+		if math.Abs(got-want) > 1e-12*math.Abs(want) {
+			t.Fatalf("ParseValue(%q) = %g, want %g", s, got, want)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	for _, s := range []string{"", "abc", "1x", "--3", "1.2.3"} {
+		if _, err := ParseValue(s); err == nil {
+			t.Fatalf("ParseValue(%q) accepted", s)
+		}
+	}
+}
+
+const sampleDeck = `RC lowpass example
+* a comment line
+V1 in 0 PULSE(0 1 0 1n 1n 5n 10n)
+R1 in out 1k
+C1 out 0 1u ; trailing comment
+.tran 1u 1m
+.end
+`
+
+func TestParseDeck(t *testing.T) {
+	deck, err := Parse(strings.NewReader(sampleDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deck.Title != "RC lowpass example" {
+		t.Fatalf("Title = %q", deck.Title)
+	}
+	s := deck.Netlist.Stats()
+	if s.R != 1 || s.C != 1 || s.V != 1 || s.Nodes != 2 {
+		t.Fatalf("Stats = %+v", s)
+	}
+	if deck.Tran == nil || deck.Tran.Step != 1e-6 || deck.Tran.Stop != 1e-3 {
+		t.Fatalf("Tran = %+v", deck.Tran)
+	}
+	// Pulse source parsed: value at 3 ns should be 1.
+	var src Element
+	for _, e := range deck.Netlist.Elements() {
+		if e.Kind == VSource {
+			src = e
+		}
+	}
+	if src.Source == nil || math.Abs(src.Source(3e-9)-1) > 1e-12 {
+		t.Fatal("pulse source misparsed")
+	}
+}
+
+func TestParseAllSourceKinds(t *testing.T) {
+	deck := `sources
+V1 a 0 DC 5
+V2 b 0 STEP 2 1u
+V3 c 0 SIN 0 1 1k
+V4 d 0 SIN(0.5 1 1k 0.2)
+I1 0 e PWL(0 0 1u 1 2u 0)
+I2 0 f 3m
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	els := d.Netlist.Elements()
+	if len(els) != 6 {
+		t.Fatalf("parsed %d elements", len(els))
+	}
+	if v := els[0].Source(0); v != 5 {
+		t.Fatalf("DC = %g", v)
+	}
+	if v := els[1].Source(0); v != 0 {
+		t.Fatalf("STEP before t0 = %g", v)
+	}
+	if v := els[1].Source(2e-6); v != 2 {
+		t.Fatalf("STEP after t0 = %g", v)
+	}
+	if v := els[4].Source(1e-6); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("PWL peak = %g", v)
+	}
+	if v := els[5].Source(9); math.Abs(v-3e-3) > 1e-15 {
+		t.Fatalf("bare DC = %g", v)
+	}
+}
+
+func TestParseCPECard(t *testing.T) {
+	d, err := Parse(strings.NewReader("cpe\nI1 0 a DC 1\nP1 a 0 1u 0.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Netlist.Stats()
+	if s.CPE != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"t\nR1 a b\n",           // too few fields
+		"t\nQ1 a b 5\n",         // unknown card
+		"t\nV1 a 0 WUT 1\n",     // unknown source kind
+		"t\nV1 a 0 SIN 1\n",     // SIN arity
+		"t\nV1 a 0 PULSE 1 2\n", // PULSE arity
+		"t\nI1 a 0 PWL 0 0 1\n", // PWL odd args
+		"t\n.tran 1\n",          // tran arity
+		"t\n.tran 2 1\n",        // tran step > stop
+		"t\n.opts foo\n",        // unsupported directive
+		"t\nR1 a b 1x\n",        // bad value
+		"t\nP1 a 0 1u\n",        // CPE missing order
+	}
+	for _, deck := range bad {
+		if _, err := Parse(strings.NewReader(deck)); err == nil {
+			t.Fatalf("Parse accepted %q", deck)
+		}
+	}
+}
+
+func TestParseFirstLineCard(t *testing.T) {
+	// A deck whose first line is already a card gets no title.
+	d, err := Parse(strings.NewReader("R1 a b 1k\nV1 a 0 DC 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Title != "" {
+		t.Fatalf("Title = %q, want empty", d.Title)
+	}
+	if d.Netlist.Stats().R != 1 {
+		t.Fatal("first-line card lost")
+	}
+}
+
+// End-to-end: parse a fractional deck and simulate it.
+func TestParseAndSimulate(t *testing.T) {
+	deck := `fractional rc
+I1 0 n1 STEP 1
+R1 n1 0 1
+P1 n1 0 1 0.5
+.tran 1m 2
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mna, err := d.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mna.Sys.MaxOrder() != 0.5 {
+		t.Fatalf("MaxOrder = %g", mna.Sys.MaxOrder())
+	}
+}
+
+func TestParseICDirective(t *testing.T) {
+	deck := `ic test
+I1 0 n1 DC 0
+R1 n1 0 1
+C1 n1 0 1
+.ic n1=2.5
+.tran 10m 3
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ICs["n1"] != 2.5 {
+		t.Fatalf("ICs = %v", d.ICs)
+	}
+	mna, err := d.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0, err := mna.InitialState(d.ICs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x0[0] != 2.5 {
+		t.Fatalf("x0 = %v", x0)
+	}
+	if _, err := mna.InitialState(map[string]float64{"nosuch": 1}); err == nil {
+		t.Fatal("accepted unknown IC node")
+	}
+	for _, bad := range []string{"t\n.ic\n", "t\n.ic n1\n", "t\n.ic n1=\n", "t\n.ic =5\n", "t\n.ic n1=xx\n"} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}

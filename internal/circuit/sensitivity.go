@@ -1,0 +1,66 @@
+package circuit
+
+import (
+	"fmt"
+
+	"opmsim/internal/sparse"
+)
+
+// DCSensitivities computes the sensitivity of the DC voltage at targetNode
+// to every resistor in the netlist, ∂v(target)/∂R_k, using the adjoint
+// (transpose-network) method: one operating-point solve plus one adjoint
+// solve Gᵀ·λ = c yields all sensitivities at once —
+//
+//	∂v/∂R = (λ_a − λ_b)·(x_a − x_b)/R²
+//
+// for the resistor between nodes a and b. Only linear netlists are
+// supported; reactive elements have zero DC sensitivity and are omitted.
+// The operating point itself is returned alongside for convenience.
+func (n *Netlist) DCSensitivities(targetNode int) (map[string]float64, []float64, error) {
+	mna, err := n.MNA()
+	if err != nil {
+		return nil, nil, err
+	}
+	if mna.Nonlinear != nil {
+		return nil, nil, fmt.Errorf("circuit: DC sensitivities require a linear netlist")
+	}
+	tIdx, ok := mna.nodeOf[targetNode]
+	if !ok {
+		return nil, nil, fmt.Errorf("circuit: target node %d is ground or unknown", targetNode)
+	}
+	var g *sparse.CSR
+	for _, t := range mna.Sys.Terms {
+		if t.Order == 0 {
+			g = t.Coeff
+		}
+	}
+	x, err := mna.DCOperatingPoint()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Adjoint: Gᵀ·λ = e_target.
+	fac, err := sparse.Factor(g.T(), sparse.Options{Refine: true})
+	if err != nil {
+		return nil, nil, fmt.Errorf("circuit: adjoint system singular: %w", err)
+	}
+	c := make([]float64, mna.Sys.N())
+	c[tIdx] = 1
+	lambda := fac.Solve(c)
+
+	at := func(vec []float64, node int) float64 {
+		if idx, ok := mna.nodeOf[node]; ok {
+			return vec[idx]
+		}
+		return 0 // ground
+	}
+	sens := make(map[string]float64)
+	for _, e := range n.elements {
+		if e.Kind != Resistor {
+			continue
+		}
+		dl := at(lambda, e.NodeA) - at(lambda, e.NodeB)
+		dx := at(x, e.NodeA) - at(x, e.NodeB)
+		sens[e.Name] = dl * dx / (e.Value * e.Value)
+	}
+	return sens, x, nil
+}

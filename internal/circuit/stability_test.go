@@ -1,0 +1,80 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"opmsim/internal/core"
+	"opmsim/internal/waveform"
+)
+
+// The assembled MNA pencil of an RC lowpass has exactly one finite mode at
+// λ = −1/(RC); the voltage-source constraint contributes only infinite
+// eigenvalues, which the shift-invert analysis must filter.
+func TestMNASpectralAbscissaRC(t *testing.T) {
+	n := New()
+	in, out := n.Node("in"), n.Node("out")
+	if err := n.AddV("V1", in, 0, waveform.Step(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddR("R1", in, out, 1e3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddC("C1", out, 0, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// σ = 0 would coincide with A being singular through the source row, so
+	// shift into the right half plane.
+	abs, err := core.SpectralAbscissa(mna.Sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -1.0 / (1e3 * 1e-6)
+	if math.Abs(abs-want) > 1e-3*math.Abs(want) {
+		t.Fatalf("spectral abscissa = %g, want %g", abs, want)
+	}
+}
+
+// A passive RLC network must be stable; the fractional CPE version must
+// satisfy the Matignon sector criterion.
+func TestCircuitStability(t *testing.T) {
+	n := New()
+	a, b := n.Node("a"), n.Node("b")
+	_ = n.AddI("I1", 0, a, waveform.Step(1e-3, 0))
+	_ = n.AddR("R1", a, b, 10)
+	_ = n.AddL("L1", b, 0, 1e-3)
+	_ = n.AddC("C1", a, 0, 1e-6)
+	_ = n.AddR("R2", a, 0, 100)
+	mna, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	abs, err := core.SpectralAbscissa(mna.Sys, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if abs >= 0 {
+		t.Fatalf("passive RLC network reported unstable (abscissa %g)", abs)
+	}
+
+	nf := New()
+	nd := nf.Node("n1")
+	_ = nf.AddI("I1", 0, nd, waveform.Step(1, 0))
+	_ = nf.AddR("R1", nd, 0, 1)
+	_ = nf.AddCPE("P1", nd, 0, 1, 0.6)
+	mnaF, err := nf.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := core.FractionalStable(mnaF.Sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("passive fractional RC reported unstable")
+	}
+}

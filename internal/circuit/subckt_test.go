@@ -1,0 +1,157 @@
+package circuit
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"opmsim/internal/core"
+)
+
+const subcktDeck = `rc filter bank
+.subckt rcsec in out
+Rs in out 1k
+Cs out 0 1u
+.ends
+V1 a 0 STEP 1
+X1 a b rcsec
+X2 b c rcsec
+.tran 100u 20m
+`
+
+func TestSubcktExpansion(t *testing.T) {
+	d, err := Parse(strings.NewReader(subcktDeck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Netlist.Stats()
+	if s.R != 2 || s.C != 2 || s.V != 1 {
+		t.Fatalf("Stats = %+v, want 2R 2C 1V", s)
+	}
+	// Shared port node "b" must be one node: a, b, c = 3 nodes.
+	if s.Nodes != 3 {
+		t.Fatalf("nodes = %d, want 3", s.Nodes)
+	}
+	// The flattened two-section ladder behaves like RCLadder(2,...).
+	mna, err := d.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(mna.Sys, mna.Inputs, 1024, d.Tran.Stop, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cIdx := -1
+	for i, nm := range mna.StateNames {
+		if nm == "v(c)" {
+			cIdx = i
+		}
+	}
+	if cIdx < 0 {
+		t.Fatalf("v(c) not found in %v", mna.StateNames)
+	}
+	late := sol.StateAt(cIdx, d.Tran.Stop*0.99)
+	if late < 0.95 {
+		t.Fatalf("two-section ladder settled at %g, want ≈1", late)
+	}
+}
+
+func TestSubcktNested(t *testing.T) {
+	deck := `nested
+.subckt inner a b
+Ri a b 500
+.ends
+.subckt outer x y
+X1 x m inner
+X2 m y inner
+Cm m 0 1u
+.ends
+V1 p 0 DC 1
+Xo p q outer
+Rl q 0 1k
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.Netlist.Stats()
+	if s.R != 3 || s.C != 1 {
+		t.Fatalf("Stats = %+v, want 3R 1C", s)
+	}
+	mna, err := d.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := mna.DCOperatingPoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Divider: 1 V through 500+500 into 1k → v(q) = 0.5.
+	qIdx := -1
+	for i, nm := range mna.StateNames {
+		if nm == "v(q)" {
+			qIdx = i
+		}
+	}
+	if qIdx < 0 {
+		t.Fatalf("v(q) missing in %v", mna.StateNames)
+	}
+	if math.Abs(dc[qIdx]-0.5) > 1e-9 {
+		t.Fatalf("v(q) = %g, want 0.5", dc[qIdx])
+	}
+}
+
+func TestSubcktWithCoupling(t *testing.T) {
+	deck := `transformer module
+.subckt xfmr p s
+Lp p 0 1
+Ls s 0 1
+Kc Lp Ls 0.99
+.ends
+V1 in 0 SIN 0 1 1k
+X1 in out xfmr
+RL out 0 1k
+`
+	d, err := Parse(strings.NewReader(deck))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Netlist.Couplings()) != 1 {
+		t.Fatal("coupling inside subckt lost")
+	}
+	if _, err := d.Netlist.MNA(); err != nil {
+		t.Fatalf("coupled subckt failed to assemble: %v", err)
+	}
+}
+
+func TestSubcktErrors(t *testing.T) {
+	bad := []string{
+		"t\n.subckt s a\nR1 a 0 1\n",                  // unterminated
+		"t\n.ends\n",                                  // stray .ends
+		"t\n.subckt s a\n.tran 1 2\n.ends\n",          // directive inside
+		"t\n.subckt s a\nR1 a 0 1\n.ends\nX1 b c s\n", // port count mismatch
+		"t\nX1 a b nosuch\n",                          // unknown subckt
+		"t\n.subckt s a\nR1 a 0 1\n.ends\n.subckt s a\nR1 a 0 1\n.ends\n", // duplicate
+		"t\n.subckt s\n.ends\n",                       // no ports
+		"t\n.subckt a p\n.subckt b q\n.ends\n.ends\n", // nested defs
+	}
+	for _, deck := range bad {
+		if _, err := Parse(strings.NewReader(deck)); err == nil {
+			t.Fatalf("accepted %q", deck)
+		}
+	}
+}
+
+func TestSubcktRecursionLimit(t *testing.T) {
+	// A subckt that instantiates itself must hit the depth limit, not hang.
+	deck := `recursive
+.subckt loop a b
+X1 a b loop
+.ends
+V1 p 0 DC 1
+X0 p q loop
+`
+	if _, err := Parse(strings.NewReader(deck)); err == nil {
+		t.Fatal("accepted unbounded recursion")
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"opmsim/internal/basis"
+	"opmsim/internal/mat"
+	"opmsim/internal/sparse"
+	"opmsim/internal/waveform"
+)
+
+// SolveAdaptive simulates the system on the caller-supplied non-uniform time
+// steps, using the adaptive-step operational matrices of §III-B/§IV
+// (eqs. 17, 25). The per-column system matrix M_j = Σ_k D̃ᵅᵏ[j][j]·E_k depends
+// on the column only through h_j, so factorizations are cached by step size:
+// a schedule alternating between a few distinct step values pays for only
+// that many factorizations.
+//
+// For non-integer orders the steps must be pairwise distinct (eq. 25's
+// eigendecomposition requirement).
+func SolveAdaptive(sys *System, u []waveform.Signal, steps []float64, opt Options) (*Solution, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.X0 != nil {
+		return nil, fmt.Errorf("core: SolveAdaptive does not support X0 (shift the state externally)")
+	}
+	ab, err := basis.NewAdaptiveBPF(steps)
+	if err != nil {
+		return nil, err
+	}
+	uc, err := expandInputs(sys, u, ab)
+	if err != nil {
+		return nil, err
+	}
+	if sys.BOrder != 0 {
+		db, err := ab.DiffMatrixAlpha(sys.BOrder)
+		if err != nil {
+			return nil, fmt.Errorf("core: input order %g: %w", sys.BOrder, err)
+		}
+		uc = mat.Mul(uc, db)
+	}
+	n, m := sys.N(), len(steps)
+
+	// Materialize D̃ᵅᵏ for each term (dense m×m; the adaptive path is meant
+	// for modest m, where step placement replaces step count).
+	dmats := make([]*mat.Dense, len(sys.Terms))
+	for k, t := range sys.Terms {
+		switch t.Order {
+		case 0:
+			dmats[k] = mat.Eye(m)
+		default:
+			d, err := ab.DiffMatrixAlpha(t.Order)
+			if err != nil {
+				return nil, fmt.Errorf("core: term %d (order %g): %w", k, t.Order, err)
+			}
+			dmats[k] = d
+		}
+	}
+
+	cache := map[float64]*sparse.Factorization{}
+	factorFor := func(j int) (*sparse.Factorization, error) {
+		h := steps[j]
+		if f, ok := cache[h]; ok {
+			return f, nil
+		}
+		msys, err := assembleLeading(sys, func(k int) float64 { return dmats[k].At(j, j) })
+		if err != nil {
+			return nil, err
+		}
+		f, err := sparse.Factor(msys, sparse.Options{PivotTol: opt.PivotTol, Refine: opt.Refine})
+		if err != nil {
+			return nil, fmt.Errorf("core: column %d (h=%g): %w", j, h, err)
+		}
+		cache[h] = f
+		return f, nil
+	}
+
+	cols := make([][]float64, m)
+	rhs := make([]float64, n)
+	w := make([]float64, n)
+	for j := 0; j < m; j++ {
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		sys.B.MulVecAdd(1, ucColumn(uc, j), rhs)
+		for k, t := range sys.Terms {
+			if t.Order == 0 {
+				continue
+			}
+			d := dmats[k]
+			for i := range w {
+				w[i] = 0
+			}
+			for i := 0; i < j; i++ {
+				if c := d.At(i, j); c != 0 {
+					mat.Axpy(c, cols[i], w)
+				}
+			}
+			t.Coeff.MulVecAdd(-1, w, rhs)
+		}
+		fac, err := factorFor(j)
+		if err != nil {
+			return nil, err
+		}
+		cols[j] = fac.Solve(rhs)
+	}
+	x := mat.NewDense(n, m)
+	for j, col := range cols {
+		for i, v := range col {
+			x.Set(i, j, v)
+		}
+	}
+	return &Solution{sys: sys, bas: ab, x: x}, nil
+}
+
+// AdaptiveOptions configures the on-the-fly step controller.
+type AdaptiveOptions struct {
+	Options
+	// Tol is the local error tolerance per step (relative, default 1e-4).
+	Tol float64
+	// HMin and HMax bound the step size; defaults are T/1e6 and T/4.
+	HMin, HMax float64
+	// H0 is the initial step (default HMax/8).
+	H0 float64
+	// MaxSteps bounds the number of accepted steps (default 100000).
+	MaxSteps int
+}
+
+// AdaptiveStats reports what the controller did.
+type AdaptiveStats struct {
+	Accepted int
+	Rejected int
+}
+
+// SolveAdaptiveAuto simulates an integer-order system (all term orders 0 or
+// 1) over [0, T) choosing the time steps on the fly, the "error control
+// mechanism" the paper sketches in §III-B. Each step is solved twice — once
+// with h and once as two half-steps — and the difference drives a standard
+// step controller; for the order-1 column recurrence both solves share the
+// committed history, so the controller needs only O(1) extra state.
+func SolveAdaptiveAuto(sys *System, u []waveform.Signal, T float64, opt AdaptiveOptions) (*Solution, *AdaptiveStats, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, nil, err
+	}
+	for _, t := range sys.Terms {
+		if t.Order != 0 && t.Order != 1 {
+			return nil, nil, fmt.Errorf("core: SolveAdaptiveAuto requires orders in {0,1}, found %g (use SolveAdaptive with explicit steps)", t.Order)
+		}
+	}
+	if sys.BOrder != 0 {
+		return nil, nil, fmt.Errorf("core: SolveAdaptiveAuto does not support input order %g", sys.BOrder)
+	}
+	if T <= 0 {
+		return nil, nil, fmt.Errorf("core: SolveAdaptiveAuto requires T > 0")
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-4
+	}
+	if opt.HMax == 0 {
+		opt.HMax = T / 4
+	}
+	if opt.HMin == 0 {
+		opt.HMin = T / 1e6
+	}
+	if opt.H0 == 0 {
+		opt.H0 = opt.HMax / 8
+	}
+	if opt.MaxSteps == 0 {
+		opt.MaxSteps = 100000
+	}
+	n := sys.N()
+	uAt := func(t float64) []float64 {
+		v := make([]float64, len(u))
+		for c, sig := range u {
+			v[c] = sig(t)
+		}
+		return v
+	}
+	if len(u) != sys.Inputs() {
+		return nil, nil, fmt.Errorf("core: system has %d inputs, got %d signals", sys.Inputs(), len(u))
+	}
+
+	cache := map[float64]*sparse.Factorization{}
+	factorFor := func(h float64) (*sparse.Factorization, error) {
+		if f, ok := cache[h]; ok {
+			return f, nil
+		}
+		msys, err := assembleLeading(sys, func(k int) float64 {
+			if sys.Terms[k].Order == 1 {
+				return 2 / h
+			}
+			return 1
+		})
+		if err != nil {
+			return nil, err
+		}
+		f, err := sparse.Factor(msys, sparse.Options{PivotTol: opt.PivotTol, Refine: opt.Refine})
+		if err != nil {
+			return nil, err
+		}
+		cache[h] = f
+		return f, nil
+	}
+
+	// solveColumn computes the BPF coefficient for an interval [t, t+h)
+	// given the order-1 history vectors s_k (one per order-1 term), without
+	// committing them. It returns the coefficient.
+	solveColumn := func(t, h float64, s map[int][]float64) ([]float64, error) {
+		rhs := make([]float64, n)
+		// Interval-average of the input via the midpoint (adequate within
+		// the controller's own error tolerance).
+		sys.B.MulVecAdd(1, uAt(t+h/2), rhs)
+		for k, term := range sys.Terms {
+			if term.Order == 1 {
+				// rhs −= E·(w/h) where w is the step-independent part of the
+				// adaptive history (D̃ off-diagonal entries are ±4/h_j).
+				term.Coeff.MulVecAdd(-1/h, s[k], rhs)
+			}
+		}
+		fac, err := factorFor(h)
+		if err != nil {
+			return nil, err
+		}
+		return fac.Solve(rhs), nil
+	}
+	// advance updates the step-independent histories w ← −w − 4·x.
+	advance := func(s map[int][]float64, x []float64) {
+		for k := range s {
+			for i := range s[k] {
+				s[k][i] = -s[k][i] - 4*x[i]
+			}
+		}
+	}
+	cloneHist := func(s map[int][]float64) map[int][]float64 {
+		c := make(map[int][]float64, len(s))
+		for k, v := range s {
+			c[k] = append([]float64(nil), v...)
+		}
+		return c
+	}
+
+	hist := map[int][]float64{}
+	for k, term := range sys.Terms {
+		if term.Order == 1 {
+			hist[k] = make([]float64, n)
+		}
+	}
+
+	var steps []float64
+	var cols [][]float64
+	stats := &AdaptiveStats{}
+	t, h := 0.0, opt.H0
+	for t < T {
+		if len(steps) >= opt.MaxSteps {
+			return nil, nil, fmt.Errorf("core: adaptive controller exceeded %d steps (tol too tight?)", opt.MaxSteps)
+		}
+		if h > T-t {
+			h = T - t
+		}
+		if h < opt.HMin {
+			h = opt.HMin
+		}
+		full, err := solveColumn(t, h, hist)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Two half steps from the same history.
+		tmp := cloneHist(hist)
+		a, err := solveColumn(t, h/2, tmp)
+		if err != nil {
+			return nil, nil, err
+		}
+		advance(tmp, a)
+		b, err := solveColumn(t+h/2, h/2, tmp)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The interval average from the refined solve.
+		est := 0.0
+		scale := 0.0
+		for i := 0; i < n; i++ {
+			ref := (a[i] + b[i]) / 2
+			est += (full[i] - ref) * (full[i] - ref)
+			scale += ref * ref
+		}
+		est = math.Sqrt(est)
+		norm := opt.Tol * (1 + math.Sqrt(scale))
+		if est <= norm || h <= opt.HMin*1.0000001 {
+			// Accept the refined pair as two committed columns (better
+			// accuracy at no extra cost — the solves are already done).
+			advance(hist, a)
+			advance(hist, b)
+			steps = append(steps, h/2, h/2)
+			cols = append(cols, a, b)
+			stats.Accepted++
+			t += h
+		} else {
+			stats.Rejected++
+		}
+		// PI-style update; trapezoidal-order method → exponent 1/3.
+		fac := 0.9 * math.Pow(norm/math.Max(est, 1e-300), 1.0/3)
+		h *= math.Min(4, math.Max(0.2, fac))
+		if h > opt.HMax {
+			h = opt.HMax
+		}
+	}
+	ab, err := basis.NewAdaptiveBPF(steps)
+	if err != nil {
+		return nil, nil, err
+	}
+	x := mat.NewDense(n, len(steps))
+	for j, col := range cols {
+		for i, v := range col {
+			x.Set(i, j, v)
+		}
+	}
+	return &Solution{sys: sys, bas: ab, x: x}, stats, nil
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"opmsim/internal/basis"
+	"opmsim/internal/mat"
+	"opmsim/internal/specfn"
+	"opmsim/internal/waveform"
+)
+
+func TestSolveAdaptiveRCDistinctSteps(t *testing.T) {
+	// ẋ = −x + u with geometrically growing steps: the decay is fast early,
+	// slow late, so growing steps fit it naturally.
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	var steps []float64
+	h, total := 0.01, 0.0
+	for total < 4 && len(steps) < 200 {
+		steps = append(steps, h)
+		total += h
+		h *= 1.05
+	}
+	sol, err := SolveAdaptive(sys, []waveform.Signal{waveform.Step(1, 0)}, steps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate at interval midpoints (BPF coefficients are averages).
+	edges := sol.Basis().(interface{ Edges() []float64 }).Edges()
+	for j := 1; j < len(edges)-1; j += 13 {
+		tt := (edges[j] + edges[j+1]) / 2
+		want := 1 - math.Exp(-tt)
+		if got := sol.StateAt(0, tt); math.Abs(got-want) > 1e-3 {
+			t.Fatalf("adaptive x(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+// SolveAdaptive on a fractional system must satisfy the adaptive
+// operational-matrix equation E·X·D̃ᵅ − A·X = B·U exactly (eq. 27 with D̃ᵅ of
+// eq. 25): the column solver and a direct dense solve must agree. The
+// Parlett-based D̃ᵅ is well-conditioned only for modest m with well-separated
+// steps, so the test stays small — a documented limitation the paper's
+// eigendecomposition method shares.
+func TestSolveAdaptiveFractionalMatchesDense(t *testing.T) {
+	e := csrFrom(2, 2, []float64{1, 0, 0, 2})
+	a := csrFrom(2, 2, []float64{-1, 0.5, 0.2, -2})
+	b := csrFrom(2, 1, []float64{1, 0.5})
+	sys, err := NewFDE(e, a, b, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []float64{0.05, 0.08, 0.12, 0.2, 0.3, 0.45, 0.7}
+	u := []waveform.Signal{waveform.Sine(1, 0.4, 0.3)}
+	sol, err := SolveAdaptive(sys, u, steps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the equation densely and verify the residual.
+	ab, _ := basis.NewAdaptiveBPF(steps)
+	dAlpha, err := ab.DiffMatrixAlpha(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := sol.Coefficients()
+	lhs := mat.Sub(mat.Mul(e.ToDense(), mat.Mul(x, dAlpha)), mat.Mul(a.ToDense(), x))
+	uc := mat.NewDense(1, len(steps))
+	copy(uc.Row(0), ab.Expand(u[0]))
+	rhs := mat.Mul(b.ToDense(), uc)
+	if !mat.Equalf(lhs, rhs, 1e-8*(1+rhs.MaxAbs())) {
+		t.Fatalf("adaptive fractional residual too large:\nlhs\n%v rhs\n%v", lhs, rhs)
+	}
+}
+
+func TestSolveAdaptiveFractionalAccuracy(t *testing.T) {
+	// Modest-m accuracy check against the Mittag-Leffler step response.
+	sys, _ := NewFDE(scalarCSR(1), scalarCSR(-1), scalarCSR(1), 0.5)
+	var steps []float64
+	h, total := 0.01, 0.0
+	for total < 1.5 && len(steps) < 40 {
+		steps = append(steps, h)
+		total += h
+		h *= 1.18
+	}
+	sol, err := SolveAdaptive(sys, []waveform.Signal{waveform.Step(1, 0)}, steps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := sol.Basis().(interface{ Edges() []float64 }).Edges()
+	for j := 4; j < len(steps); j += 5 {
+		tt := (edges[j] + edges[j+1]) / 2
+		ml, err := specfn.MittagLeffler(0.5, -math.Sqrt(tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - ml
+		if got := sol.StateAt(0, tt); math.Abs(got-want) > 5e-2*(1+want) {
+			t.Fatalf("adaptive fractional x(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestSolveAdaptiveFractionalRejectsRepeatedSteps(t *testing.T) {
+	sys, _ := NewFDE(scalarCSR(1), scalarCSR(-1), scalarCSR(1), 0.5)
+	steps := []float64{0.1, 0.1, 0.2}
+	if _, err := SolveAdaptive(sys, []waveform.Signal{waveform.Zero()}, steps, Options{}); err == nil {
+		t.Fatal("SolveAdaptive accepted repeated steps for a fractional system")
+	}
+}
+
+func TestSolveAdaptiveRejectsX0(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	if _, err := SolveAdaptive(sys, []waveform.Signal{waveform.Zero()}, []float64{0.1, 0.2}, Options{X0: []float64{1}}); err == nil {
+		t.Fatal("SolveAdaptive accepted X0")
+	}
+}
+
+func TestSolveAdaptiveAutoTracksPulse(t *testing.T) {
+	// A system driven by a sharp pulse: the controller should take small
+	// steps around the pulse and large steps elsewhere.
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	u := waveform.Pulse(0, 1, 1.0, 0.01, 0.01, 0.3, 0)
+	T := 4.0
+	sol, stats, err := SolveAdaptiveAuto(sys, []waveform.Signal{u}, T, AdaptiveOptions{Tol: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Accepted == 0 {
+		t.Fatal("controller accepted no steps")
+	}
+	steps := sol.Basis().(interface{ Steps() []float64 }).Steps()
+	minH, maxH := math.Inf(1), 0.0
+	for _, h := range steps {
+		minH = math.Min(minH, h)
+		maxH = math.Max(maxH, h)
+	}
+	if maxH/minH < 4 {
+		t.Fatalf("controller did not adapt: min %g, max %g over %d steps", minH, maxH, len(steps))
+	}
+	// Accuracy check against a fine uniform solve.
+	ref, err := Solve(sys, []waveform.Signal{u}, 8192, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.5, 1.2, 1.5, 2.5, 3.5} {
+		if d := math.Abs(sol.StateAt(0, tt) - ref.StateAt(0, tt)); d > 5e-3 {
+			t.Fatalf("adaptive-auto x(%g) off by %g", tt, d)
+		}
+	}
+}
+
+func TestSolveAdaptiveAutoValidation(t *testing.T) {
+	sys, _ := NewFDE(scalarCSR(1), scalarCSR(-1), scalarCSR(1), 0.5)
+	if _, _, err := SolveAdaptiveAuto(sys, []waveform.Signal{waveform.Zero()}, 1, AdaptiveOptions{}); err == nil {
+		t.Fatal("SolveAdaptiveAuto accepted fractional system")
+	}
+	dae, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	if _, _, err := SolveAdaptiveAuto(dae, []waveform.Signal{waveform.Zero()}, 0, AdaptiveOptions{}); err == nil {
+		t.Fatal("SolveAdaptiveAuto accepted T=0")
+	}
+	if _, _, err := SolveAdaptiveAuto(dae, nil, 1, AdaptiveOptions{}); err == nil {
+		t.Fatal("SolveAdaptiveAuto accepted missing inputs")
+	}
+}
+
+func TestSolveAdaptiveAutoStepBudget(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	_, _, err := SolveAdaptiveAuto(sys, []waveform.Signal{waveform.Sine(1, 50, 0)}, 10,
+		AdaptiveOptions{Tol: 1e-12, MaxSteps: 8})
+	if err == nil {
+		t.Fatal("SolveAdaptiveAuto ignored MaxSteps")
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"opmsim/internal/waveform"
+)
+
+// A system driven by the derivative of its input must match the same system
+// driven directly by that derivative: ẋ = −x + u̇ with u = ramp (u̇ = step).
+func TestSolveInputDerivative(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	sysD := &System{Terms: sys.Terms, B: sys.B, BOrder: 1}
+	if err := sysD.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m, T := 512, 3.0
+	ramp, err := Solve(sysD, []waveform.Signal{waveform.Ramp(1, 0)}, m, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := Solve(sys, []waveform.Signal{waveform.Step(1, 0)}, m, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := T / float64(m)
+	for j := 4; j < m; j += 29 {
+		tt := (float64(j) + 0.5) * h
+		a, b := ramp.StateAt(0, tt), step.StateAt(0, tt)
+		if math.Abs(a-b) > 1e-3 {
+			t.Fatalf("derivative-input mismatch at t=%g: %g vs %g", tt, a, b)
+		}
+	}
+}
+
+// Adaptive path: same equivalence on non-uniform steps.
+func TestSolveAdaptiveInputDerivative(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	sysD := &System{Terms: sys.Terms, B: sys.B, BOrder: 1}
+	steps := []float64{0.05, 0.07, 0.1, 0.14, 0.2, 0.28, 0.4, 0.56}
+	ramp, err := SolveAdaptive(sysD, []waveform.Signal{waveform.Ramp(1, 0)}, steps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step, err := SolveAdaptive(sys, []waveform.Signal{waveform.Step(1, 0)}, steps, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := ramp.Basis().(interface{ Edges() []float64 }).Edges()
+	for j := 1; j < len(steps); j++ {
+		tt := (edges[j] + edges[j+1]) / 2
+		a, b := ramp.StateAt(0, tt), step.StateAt(0, tt)
+		if math.Abs(a-b) > 2e-2 {
+			t.Fatalf("adaptive derivative-input mismatch at t=%g: %g vs %g", tt, a, b)
+		}
+	}
+}
+
+func TestValidateRejectsNegativeBOrder(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	bad := &System{Terms: sys.Terms, B: sys.B, BOrder: -1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted negative BOrder")
+	}
+}
+
+func TestSolveAdaptiveAutoRejectsBOrder(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	sysD := &System{Terms: sys.Terms, B: sys.B, BOrder: 1}
+	if _, _, err := SolveAdaptiveAuto(sysD, []waveform.Signal{waveform.Zero()}, 1, AdaptiveOptions{}); err == nil {
+		t.Fatal("SolveAdaptiveAuto accepted BOrder != 0")
+	}
+}

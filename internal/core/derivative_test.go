@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"opmsim/internal/waveform"
+)
+
+func TestDerivativeAtFirstOrder(t *testing.T) {
+	// ẋ = −x + u, step input: x = 1 − e^{−t}, ẋ = e^{−t}.
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	m, T := 2048, 3.0
+	sol, err := Solve(sys, []waveform.Signal{waveform.Step(1, 0)}, m, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := T / float64(m)
+	for j := 50; j < m; j += 211 {
+		tt := (float64(j) + 0.5) * h
+		got, err := sol.DerivativeAt(0, 1, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(-tt)
+		if math.Abs(got-want) > 5e-3 {
+			t.Fatalf("ẋ(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestDerivativeAtZeroOrderIsState(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	sol, err := Solve(sys, []waveform.Signal{waveform.Step(1, 0)}, 64, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sol.DerivativeAt(0, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sol.StateAt(0, 0.5) {
+		t.Fatal("β=0 derivative differs from state")
+	}
+}
+
+func TestDerivativeAtNegativeOrderIntegrates(t *testing.T) {
+	// ∫₀ᵗ x with x = 1 − e^{−τ}: t − 1 + e^{−t}.
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	m, T := 2048, 3.0
+	sol, err := Solve(sys, []waveform.Signal{waveform.Step(1, 0)}, m, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := T / float64(m)
+	for j := 100; j < m; j += 301 {
+		tt := (float64(j) + 0.5) * h
+		got, err := sol.DerivativeAt(0, -1, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := tt - 1 + math.Exp(-tt)
+		if math.Abs(got-want) > 5e-3 {
+			t.Fatalf("∫x at %g = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestDerivativeAtHalfOrderOfRamp(t *testing.T) {
+	// Solve ẋ = u with ramp-producing input: x(t) = t for u = 1 (E=1, A=0).
+	sys := &System{
+		Terms: []Term{
+			{Order: 1, Coeff: scalarCSR(1)},
+			{Order: 0, Coeff: scalarCSR(0)},
+		},
+		B: scalarCSR(1),
+	}
+	m, T := 2048, 1.0
+	sol, err := Solve(sys, []waveform.Signal{waveform.Step(1, 0)}, m, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d^{1/2} t = 2√(t/π).
+	for _, tt := range []float64{0.2, 0.5, 0.9} {
+		got, err := sol.DerivativeAt(0, 0.5, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2 * math.Sqrt(tt/math.Pi)
+		if math.Abs(got-want) > 2e-2 {
+			t.Fatalf("d½x at %g = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestDerivativeAtOutOfRange(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	sol, err := Solve(sys, []waveform.Signal{waveform.Step(1, 0)}, 16, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := sol.DerivativeAt(0, 1, 5); err != nil || v != 0 {
+		t.Fatalf("out-of-range derivative = %g, %v", v, err)
+	}
+}
+
+func TestDerivativeAtRejectsAdaptive(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	sol, err := SolveAdaptive(sys, []waveform.Signal{waveform.Step(1, 0)}, []float64{0.1, 0.2, 0.3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sol.DerivativeAt(0, 1, 0.1); err == nil {
+		t.Fatal("DerivativeAt accepted an adaptive solution")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"opmsim/internal/basis"
+	"opmsim/internal/mat"
+	"opmsim/internal/sparse"
+	"opmsim/internal/waveform"
+)
+
+func fromDense(d *mat.Dense) *sparse.CSR { return sparse.FromDense(d) }
+
+func TestSolveGenericBPFMatchesColumnSolver(t *testing.T) {
+	e := mat.NewDenseFrom(2, 2, []float64{1, 0, 0, 1})
+	a := mat.NewDenseFrom(2, 2, []float64{-2, 1, 0, -1})
+	b := mat.NewDenseFrom(2, 1, []float64{1, 0.5})
+	u := []waveform.Signal{waveform.Sine(1, 0.5, 0)}
+	m, T := 32, 2.0
+	bpf, _ := basis.NewBPF(m, T)
+	x, err := SolveGeneric(e, a, b, u, bpf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, _ := NewDAE(fromDense(e), fromDense(a), fromDense(b))
+	sol, err := Solve(sys, u, m, T, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The generic path solves the integrated equation while the column
+	// solver inverts D exactly; the two are algebraically identical.
+	if !mat.Equalf(x, sol.Coefficients(), 1e-8*(1+x.MaxAbs())) {
+		t.Fatal("generic BPF solve differs from column solver")
+	}
+}
+
+func TestSolveGenericLegendreSmooth(t *testing.T) {
+	// On a smooth problem the Legendre basis needs far fewer coefficients:
+	// m = 12 already yields ~1e-5 accuracy where BPF needs thousands.
+	e := mat.NewDenseFrom(1, 1, []float64{1})
+	a := mat.NewDenseFrom(1, 1, []float64{-1})
+	b := mat.NewDenseFrom(1, 1, []float64{1})
+	u := []waveform.Signal{waveform.Constant(1)}
+	T := 2.0
+	leg, _ := basis.NewLegendre(12, T)
+	x, err := SolveGeneric(e, a, b, u, leg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.2, 0.7, 1.3, 1.9} {
+		want := 1 - math.Exp(-tt)
+		if got := leg.Reconstruct(x.Row(0), tt); math.Abs(got-want) > 1e-5 {
+			t.Fatalf("Legendre x(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestSolveGenericWalsh(t *testing.T) {
+	e := mat.NewDenseFrom(1, 1, []float64{1})
+	a := mat.NewDenseFrom(1, 1, []float64{-1})
+	b := mat.NewDenseFrom(1, 1, []float64{1})
+	u := []waveform.Signal{waveform.Step(1, 0)}
+	T := 2.0
+	w, _ := basis.NewWalsh(64, T)
+	x, err := SolveGeneric(e, a, b, u, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.25, 0.8, 1.5} {
+		want := 1 - math.Exp(-tt)
+		if got := w.Reconstruct(x.Row(0), tt); math.Abs(got-want) > 2e-2 {
+			t.Fatalf("Walsh x(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestSolveGenericValidation(t *testing.T) {
+	e := mat.NewDenseFrom(1, 1, []float64{1})
+	a := mat.NewDenseFrom(2, 2, []float64{1, 0, 0, 1})
+	b := mat.NewDenseFrom(1, 1, []float64{1})
+	bpf, _ := basis.NewBPF(4, 1)
+	if _, err := SolveGeneric(e, a, b, []waveform.Signal{waveform.Zero()}, bpf); err == nil {
+		t.Fatal("SolveGeneric accepted mismatched A")
+	}
+	if _, err := SolveGeneric(e, mat.NewDenseFrom(1, 1, []float64{-1}), b, nil, bpf); err == nil {
+		t.Fatal("SolveGeneric accepted missing inputs")
+	}
+	big, _ := basis.NewBPF(8192, 1)
+	if _, err := SolveGeneric(e, mat.NewDenseFrom(1, 1, []float64{-1}), b, []waveform.Signal{waveform.Zero()}, big); err == nil {
+		t.Fatal("SolveGeneric accepted oversized Kronecker system")
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"opmsim/internal/basis"
+	"opmsim/internal/mat"
+	"opmsim/internal/sparse"
+	"opmsim/internal/waveform"
+)
+
+// Nonlinearity is a static (memoryless) state nonlinearity g(x) appearing on
+// the left-hand side of the system:
+//
+//	Σ_k E_k·d^{α_k}x + g(x(t)) = B·u(t).
+//
+// Circuit-wise this covers diodes and other resistive nonlinear elements,
+// whose currents depend on the instantaneous node voltages.
+type Nonlinearity interface {
+	// Eval writes g(x) into out (len n each).
+	Eval(x, out []float64)
+	// StampJacobian accumulates ∂g/∂x at x into the assembly buffer.
+	StampJacobian(x []float64, jac *sparse.COO)
+}
+
+// NonlinearOptions configures SolveNonlinear.
+type NonlinearOptions struct {
+	Options
+	// MaxNewton bounds the Newton iterations per column (default 50).
+	MaxNewton int
+	// Tol is the Newton convergence tolerance on ‖δx‖/(1+‖x‖)
+	// (default 1e-10).
+	Tol float64
+}
+
+// SolveNonlinear simulates Σ_k E_k·d^{α_k}x + g(x) = B·u over [0, T) with m
+// uniform block-pulse intervals. Because g is static and BPFs are constant
+// per interval, collocation gives one nonlinear algebraic system per column,
+//
+//	M₀·x_j + g(x_j) = B·u_j − Σ_k E_k·s_j⁽ᵏ⁾,
+//
+// solved by Newton with an exact sparse Jacobian M₀ + ∂g/∂x. The history
+// machinery is identical to the linear Solve.
+func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T float64, opt NonlinearOptions) (*Solution, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("core: SolveNonlinear requires a nonlinearity (use Solve)")
+	}
+	if opt.X0 != nil {
+		return nil, fmt.Errorf("core: SolveNonlinear does not support X0")
+	}
+	if opt.MaxNewton <= 0 {
+		opt.MaxNewton = 50
+	}
+	if opt.Tol <= 0 {
+		opt.Tol = 1e-10
+	}
+	bpf, err := basis.NewBPF(m, T)
+	if err != nil {
+		return nil, err
+	}
+	uc, err := expandInputs(sys, u, bpf)
+	if err != nil {
+		return nil, err
+	}
+	if sys.BOrder != 0 {
+		uc = applyInputOrder(uc, bpf.DiffCoeffs(sys.BOrder))
+	}
+	n := sys.N()
+	coeffs := make([][]float64, len(sys.Terms))
+	for k, t := range sys.Terms {
+		coeffs[k] = bpf.DiffCoeffs(t.Order)
+	}
+	m0, err := assembleLeading(sys, func(k int) float64 { return coeffs[k][0] })
+	if err != nil {
+		return nil, err
+	}
+	hist := make([]*intHistory, len(sys.Terms))
+	for k, t := range sys.Terms {
+		if t.Order > 0 && t.Order == float64(int(t.Order)) {
+			hist[k] = newIntHistory(int(t.Order), bpf.Step(), n)
+		}
+	}
+
+	cols := make([][]float64, m)
+	rhs := make([]float64, n)
+	w := make([]float64, n)
+	gval := make([]float64, n)
+	resid := make([]float64, n)
+	xj := make([]float64, n)
+	for j := 0; j < m; j++ {
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		sys.B.MulVecAdd(1, ucColumn(uc, j), rhs)
+		for k, t := range sys.Terms {
+			switch {
+			case t.Order == 0:
+				continue
+			case hist[k] != nil:
+				t.Coeff.MulVecAdd(-1, hist[k].current(), rhs)
+			default:
+				for i := range w {
+					w[i] = 0
+				}
+				c := coeffs[k]
+				for i := 0; i < j; i++ {
+					mat.Axpy(c[j-i], cols[i], w)
+				}
+				t.Coeff.MulVecAdd(-1, w, rhs)
+			}
+		}
+		// Warm start from the previous column.
+		if j > 0 {
+			copy(xj, cols[j-1])
+		} else {
+			for i := range xj {
+				xj[i] = 0
+			}
+		}
+		converged := false
+		for it := 0; it < opt.MaxNewton; it++ {
+			// resid = M₀·x + g(x) − rhs.
+			for i := range resid {
+				resid[i] = -rhs[i]
+			}
+			m0.MulVecAdd(1, xj, resid)
+			g.Eval(xj, gval)
+			for i := range resid {
+				resid[i] += gval[i]
+			}
+			// Jacobian = M₀ + ∂g/∂x, assembled sparse each iteration.
+			jac := sparse.NewCOO(n, n)
+			for r := 0; r < n; r++ {
+				for p := m0.RowPtr[r]; p < m0.RowPtr[r+1]; p++ {
+					jac.Add(r, m0.ColIdx[p], m0.Val[p])
+				}
+			}
+			g.StampJacobian(xj, jac)
+			fac, err := sparse.Factor(jac.ToCSR(), sparse.Options{PivotTol: opt.PivotTol})
+			if err != nil {
+				return nil, fmt.Errorf("core: Newton Jacobian singular at column %d: %w", j, err)
+			}
+			delta := fac.Solve(resid)
+			norm := 0.0
+			xnorm := 0.0
+			for i := range xj {
+				xj[i] -= delta[i]
+				norm += delta[i] * delta[i]
+				xnorm += xj[i] * xj[i]
+			}
+			if norm <= opt.Tol*opt.Tol*(1+xnorm) {
+				converged = true
+				break
+			}
+		}
+		if !converged {
+			return nil, fmt.Errorf("core: Newton failed to converge at column %d (t≈%g)", j, (float64(j)+0.5)*bpf.Step())
+		}
+		cols[j] = append([]float64(nil), xj...)
+		for k := range sys.Terms {
+			if hist[k] != nil {
+				hist[k].advance(cols[j])
+			}
+		}
+	}
+	x := mat.NewDense(n, m)
+	for j, col := range cols {
+		for i, v := range col {
+			x.Set(i, j, v)
+		}
+	}
+	return &Solution{sys: sys, bas: bpf, x: x}, nil
+}

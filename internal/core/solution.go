@@ -1,0 +1,102 @@
+package core
+
+import (
+	"fmt"
+
+	"opmsim/internal/basis"
+	"opmsim/internal/mat"
+)
+
+// Solution is a simulated response: the coefficient matrix X of
+// x(t) = X·φ(t) together with the basis it is expressed in.
+type Solution struct {
+	sys *System
+	bas basis.Basis
+	x   *mat.Dense // n×m coefficients
+}
+
+// Basis returns the basis the solution is expanded in.
+func (s *Solution) Basis() basis.Basis { return s.bas }
+
+// Coefficients returns the n×m coefficient matrix X (a live reference).
+func (s *Solution) Coefficients() *mat.Dense { return s.x }
+
+// StateAt evaluates state component i at time t.
+func (s *Solution) StateAt(i int, t float64) float64 {
+	return s.bas.Reconstruct(s.x.Row(i), t)
+}
+
+// OutputAt evaluates the output vector y(t) = C·x(t).
+func (s *Solution) OutputAt(t float64) []float64 {
+	n := s.sys.N()
+	xv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xv[i] = s.StateAt(i, t)
+	}
+	if s.sys.C == nil {
+		return xv
+	}
+	return s.sys.C.MulVec(xv, nil)
+}
+
+// SampleOutputs evaluates all output channels on the given time grid,
+// returning one row per channel.
+func (s *Solution) SampleOutputs(times []float64) [][]float64 {
+	q := s.sys.Outputs()
+	out := make([][]float64, q)
+	for c := range out {
+		out[c] = make([]float64, len(times))
+	}
+	for k, t := range times {
+		y := s.OutputAt(t)
+		for c := range out {
+			out[c][k] = y[c]
+		}
+	}
+	return out
+}
+
+// SampleStates evaluates all state components on the given time grid,
+// returning one row per state.
+func (s *Solution) SampleStates(times []float64) [][]float64 {
+	n := s.sys.N()
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, len(times))
+		for k, t := range times {
+			out[i][k] = s.StateAt(i, t)
+		}
+	}
+	return out
+}
+
+// DerivativeAt evaluates the fractional derivative d^β x_i/dt^β at time t by
+// applying the operational matrix to the solution coefficients:
+// coef(dᵝx) = (Dᵝ)ᵀ·coef(x). Only uniform block-pulse solutions support
+// this; β may be any real number (negative β yields fractional integrals).
+func (s *Solution) DerivativeAt(i int, beta, t float64) (float64, error) {
+	bpf, ok := s.bas.(*basis.BPF)
+	if !ok {
+		return 0, fmt.Errorf("core: DerivativeAt requires a uniform block-pulse solution, have %s", s.bas.Name())
+	}
+	if beta == 0 {
+		return s.StateAt(i, t), nil
+	}
+	j := int(t / bpf.Step())
+	if j < 0 || j >= bpf.Size() {
+		return 0, nil
+	}
+	c := bpf.DiffCoeffs(beta)
+	row := s.x.Row(i)
+	y := 0.0
+	for k := 0; k <= j; k++ {
+		y += row[k] * c[j-k]
+	}
+	return y, nil
+}
+
+// String summarizes the solution.
+func (s *Solution) String() string {
+	return fmt.Sprintf("core.Solution{n=%d, m=%d, basis=%s, T=%g}",
+		s.sys.N(), s.bas.Size(), s.bas.Name(), s.bas.Span())
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"opmsim/internal/mat"
+	"opmsim/internal/sparse"
+)
+
+// maxEigDim bounds the dense eigenvalue computation used for pencil
+// analysis; larger systems should be analyzed by other means.
+const maxEigDim = 600
+
+// PencilEigenvalues returns the finite eigenvalues of the matrix pencil
+// (E, A) of a descriptor system E·ẋ = A·x, i.e. the λ with
+// det(λE − A) = 0, computed by the shift-invert transformation
+//
+//	(σE − A)⁻¹·E·x = μ·x   ⇔   λ = σ − 1/μ,
+//
+// which maps the pencil's infinite eigenvalues (the algebraic constraints of
+// a DAE with singular E) to μ = 0, where they are filtered out. σ must not
+// itself be an eigenvalue; σ = 0 works whenever A is nonsingular.
+func PencilEigenvalues(e, a *sparse.CSR, sigma float64) ([]complex128, error) {
+	n := e.R
+	if e.C != n || a.R != n || a.C != n {
+		return nil, fmt.Errorf("core: pencil matrices must be square and equal-sized")
+	}
+	if n > maxEigDim {
+		return nil, fmt.Errorf("core: pencil analysis limited to n ≤ %d, got %d", maxEigDim, n)
+	}
+	shifted := sparse.Combine(sigma, e, -1, a)
+	fac, err := sparse.Factor(shifted, sparse.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("core: σ = %g is (numerically) an eigenvalue of the pencil: %w", sigma, err)
+	}
+	// Dense M = (σE − A)⁻¹E, column by column.
+	ed := e.ToDense()
+	m := mat.NewDense(n, n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = ed.At(i, j)
+		}
+		sol := fac.Solve(col)
+		for i := 0; i < n; i++ {
+			m.Set(i, j, sol[i])
+		}
+	}
+	mu, err := mat.Eigenvalues(m)
+	if err != nil {
+		return nil, err
+	}
+	// Back-transform, dropping μ ≈ 0 (infinite pencil eigenvalues). The
+	// threshold must be relative to the largest μ: when σ lies far from the
+	// whole spectrum every finite eigenvalue maps to a small μ = 1/(σ−λ),
+	// and an absolute cutoff would wrongly discard them all.
+	maxMu := 0.0
+	for _, v := range mu {
+		if a := cmplx.Abs(v); a > maxMu {
+			maxMu = a
+		}
+	}
+	if maxMu == 0 {
+		return nil, nil
+	}
+	tol := 1e-9 * maxMu
+	var ev []complex128
+	for _, v := range mu {
+		if cmplx.Abs(v) <= tol {
+			continue
+		}
+		ev = append(ev, complex(sigma, 0)-1/v)
+	}
+	return ev, nil
+}
+
+// SpectralAbscissa returns the largest real part among the finite pencil
+// eigenvalues of a DAE system (Terms restricted to orders {0, 1}); negative
+// means asymptotically stable. For a fractional system of single order α the
+// stability sector condition |arg λ| > απ/2 applies instead — use
+// FractionalStable.
+func SpectralAbscissa(sys *System, sigma float64) (float64, error) {
+	e, a, err := daeParts(sys)
+	if err != nil {
+		return 0, err
+	}
+	ev, err := PencilEigenvalues(e, a, sigma)
+	if err != nil {
+		return 0, err
+	}
+	if len(ev) == 0 {
+		return math.Inf(-1), nil
+	}
+	worst := math.Inf(-1)
+	for _, v := range ev {
+		if real(v) > worst {
+			worst = real(v)
+		}
+	}
+	return worst, nil
+}
+
+// FractionalStable reports whether a single-order fractional system
+// E·dᵅx = A·x satisfies the Matignon stability criterion: every finite
+// pencil eigenvalue λ obeys |arg(λ)| > α·π/2.
+func FractionalStable(sys *System, sigma float64) (bool, error) {
+	var alpha float64
+	for _, t := range sys.Terms {
+		if t.Order > 0 {
+			if alpha != 0 && t.Order != alpha {
+				return false, fmt.Errorf("core: FractionalStable requires a single differential order")
+			}
+			alpha = t.Order
+		}
+	}
+	if alpha == 0 {
+		return false, fmt.Errorf("core: system has no differential term")
+	}
+	e, a, err := fracParts(sys, alpha)
+	if err != nil {
+		return false, err
+	}
+	ev, err := PencilEigenvalues(e, a, sigma)
+	if err != nil {
+		return false, err
+	}
+	bound := alpha * math.Pi / 2
+	for _, v := range ev {
+		if math.Abs(cmplx.Phase(v)) <= bound {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// daeParts extracts (E, A) with A = −(order-0 term) from a {0,1}-order
+// system.
+func daeParts(sys *System) (e, a *sparse.CSR, err error) {
+	return fracParts(sys, 1)
+}
+
+func fracParts(sys *System, order float64) (e, a *sparse.CSR, err error) {
+	for _, t := range sys.Terms {
+		switch t.Order {
+		case order:
+			e = t.Coeff
+		case 0:
+			a = t.Coeff.Scale(-1)
+		default:
+			return nil, nil, fmt.Errorf("core: pencil analysis requires orders {0, %g}, found %g", order, t.Order)
+		}
+	}
+	if e == nil || a == nil {
+		return nil, nil, fmt.Errorf("core: pencil analysis needs both an order-%g and an order-0 term", order)
+	}
+	return e, a, nil
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestPencilEigenvaluesSimpleODE(t *testing.T) {
+	// ẋ = −2x: single eigenvalue −2.
+	ev, err := PencilEigenvalues(scalarCSR(1), scalarCSR(-2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || cmplx.Abs(ev[0]-complex(-2, 0)) > 1e-9 {
+		t.Fatalf("ev = %v, want [-2]", ev)
+	}
+}
+
+func TestPencilEigenvaluesDAEFiltersInfinite(t *testing.T) {
+	// ẋ₁ = −x₁; 0 = 2x₁ − x₂ → one finite eigenvalue −1, one infinite.
+	e := csrFrom(2, 2, []float64{1, 0, 0, 0})
+	a := csrFrom(2, 2, []float64{-1, 0, 2, -1})
+	ev, err := PencilEigenvalues(e, a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || cmplx.Abs(ev[0]-complex(-1, 0)) > 1e-9 {
+		t.Fatalf("ev = %v, want [-1]", ev)
+	}
+}
+
+func TestPencilEigenvaluesOscillator(t *testing.T) {
+	// ẋ = [0 1; −ω² 0]x: eigenvalues ±iω.
+	w := 3.0
+	e := csrFrom(2, 2, []float64{1, 0, 0, 1})
+	a := csrFrom(2, 2, []float64{0, 1, -w * w, 0})
+	ev, err := PencilEigenvalues(e, a, 1) // σ=0 is fine too, use 1 for variety
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 2 {
+		t.Fatalf("ev = %v", ev)
+	}
+	for _, v := range ev {
+		if math.Abs(real(v)) > 1e-8 || math.Abs(math.Abs(imag(v))-w) > 1e-8 {
+			t.Fatalf("ev = %v, want ±%gi", ev, w)
+		}
+	}
+}
+
+func TestSpectralAbscissaStableSystem(t *testing.T) {
+	// Two decoupled modes −1 and −5: abscissa −1.
+	e := csrFrom(2, 2, []float64{1, 0, 0, 1})
+	a := csrFrom(2, 2, []float64{-1, 0, 0, -5})
+	sys, _ := NewDAE(e, a, csrFrom(2, 1, []float64{1, 1}))
+	abs, err := SpectralAbscissa(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(abs+1) > 1e-9 {
+		t.Fatalf("spectral abscissa = %g, want −1", abs)
+	}
+}
+
+func TestFractionalStableMatignon(t *testing.T) {
+	// dᵅx = −x: eigenvalue −1, arg = π > απ/2 for any α < 2 → stable.
+	sys, _ := NewFDE(scalarCSR(1), scalarCSR(-1), scalarCSR(1), 0.5)
+	ok, err := FractionalStable(sys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("fractional relaxation reported unstable")
+	}
+	// dᵅx = +x: eigenvalue +1, arg = 0 < απ/2 → unstable.
+	bad, _ := NewFDE(scalarCSR(1), scalarCSR(1), scalarCSR(1), 0.5)
+	ok, err = FractionalStable(bad, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("fractional anti-relaxation reported stable")
+	}
+}
+
+func TestFractionalStableSectorBoundary(t *testing.T) {
+	// Oscillator pair ±iω has |arg| = π/2: stable for α < 1, unstable for
+	// α > 1 (Matignon sector shrinks as α grows).
+	e := csrFrom(2, 2, []float64{1, 0, 0, 1})
+	a := csrFrom(2, 2, []float64{0, 1, -4, 0})
+	b := csrFrom(2, 1, []float64{0, 1})
+	mk := func(alpha float64) *System {
+		s, err := NewFDE(e, a, b, alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	if ok, err := FractionalStable(mk(0.5), 1); err != nil || !ok {
+		t.Fatalf("α=0.5 oscillator should be stable (err=%v)", err)
+	}
+	if ok, err := FractionalStable(mk(1.5), 1); err != nil || ok {
+		t.Fatalf("α=1.5 oscillator should be unstable (err=%v)", err)
+	}
+}
+
+func TestPencilValidation(t *testing.T) {
+	if _, err := PencilEigenvalues(csrFrom(1, 1, []float64{1}), csrFrom(2, 2, []float64{1, 0, 0, 1}), 0); err == nil {
+		t.Fatal("accepted mismatched pencil")
+	}
+	// σ exactly an eigenvalue → factorization failure.
+	if _, err := PencilEigenvalues(scalarCSR(1), scalarCSR(2), 2); err == nil {
+		t.Fatal("accepted σ equal to an eigenvalue")
+	}
+	// SpectralAbscissa rejects fractional terms.
+	sys, _ := NewFDE(scalarCSR(1), scalarCSR(-1), scalarCSR(1), 0.5)
+	if _, err := SpectralAbscissa(sys, 1); err == nil {
+		t.Fatal("SpectralAbscissa accepted a fractional system")
+	}
+	// FractionalStable rejects mixed orders.
+	mixed := &System{Terms: []Term{
+		{Order: 0.5, Coeff: scalarCSR(1)},
+		{Order: 1.5, Coeff: scalarCSR(1)},
+		{Order: 0, Coeff: scalarCSR(1)},
+	}, B: scalarCSR(1)}
+	if _, err := FractionalStable(mixed, 1); err == nil {
+		t.Fatal("FractionalStable accepted mixed orders")
+	}
+}
+
+// Regression: a shift far above the whole spectrum maps every finite
+// eigenvalue to a tiny μ = 1/(σ−λ); the drop threshold must be relative to
+// max|μ| or all of them are wrongly classified as infinite.
+func TestPencilEigenvaluesFarShift(t *testing.T) {
+	ev, err := PencilEigenvalues(scalarCSR(1), scalarCSR(-1), 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 1 || cmplx.Abs(ev[0]-complex(-1, 0)) > 1e-3 {
+		t.Fatalf("far-shift eigenvalues = %v, want [-1]", ev)
+	}
+}

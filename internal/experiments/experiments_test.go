@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Table I shape: FFT-2 (more frequency samples) must be closer to OPM than
+// FFT-1 — the central accuracy ordering of the paper's §V-A.
+func TestTableIShape(t *testing.T) {
+	cfg := DefaultTableI()
+	cfg.Repeat = 2
+	tbl, res, err := TableI(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ErrFFT2 >= res.ErrFFT1 {
+		t.Fatalf("FFT-2 error %.1f dB not below FFT-1 error %.1f dB", res.ErrFFT2, res.ErrFFT1)
+	}
+	if res.OPMTime <= 0 || res.FFT1Time <= 0 || res.FFT2Time <= 0 {
+		t.Fatal("missing timings")
+	}
+	// FFT-2 does 100 complex factorizations vs FFT-1's 8: it must be slower.
+	if res.FFT2Time <= res.FFT1Time {
+		t.Fatalf("FFT-2 (%v) not slower than FFT-1 (%v)", res.FFT2Time, res.FFT1Time)
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"Table I", "FFT-1", "FFT-2", "OPM", "dB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("printed table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Table II shape: backward Euler must lose accuracy relative to the
+// second-order methods at equal step, and must improve as its step shrinks —
+// the ordering Table II demonstrates.
+func TestTableIIShape(t *testing.T) {
+	cfg := DefaultTableII()
+	// Shrink for test runtime: smaller grid, shorter span.
+	cfg.Grid.Rows, cfg.Grid.Cols, cfg.Grid.Layers = 6, 6, 2
+	cfg.Grid.NumLoads = 5
+	cfg.T = 5e-9
+	cfg.BEulerSteps = []float64{10e-12, 5e-12, 2e-12}
+	tbl, res, err := TableII(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NAStates >= res.MNAStates {
+		t.Fatalf("NA states %d should be fewer than MNA states %d", res.NAStates, res.MNAStates)
+	}
+	// Rows: 3 b-Euler + Gear + trapezoidal.
+	if len(res.Baselines) != 5 {
+		t.Fatalf("baseline rows = %d", len(res.Baselines))
+	}
+	be10, be5, be2 := res.Baselines[0], res.Baselines[1], res.Baselines[2]
+	gear, trap := res.Baselines[3], res.Baselines[4]
+	// b-Euler improves monotonically with smaller steps.
+	if !(be2.ErrDB < be5.ErrDB && be5.ErrDB < be10.ErrDB) {
+		t.Fatalf("b-Euler errors not monotone: %g %g %g", be10.ErrDB, be5.ErrDB, be2.ErrDB)
+	}
+	// Second-order methods beat b-Euler at equal step.
+	if !(gear.ErrDB < be10.ErrDB && trap.ErrDB < be10.ErrDB) {
+		t.Fatalf("2nd-order methods (%g, %g dB) did not beat b-Euler (%g dB)", gear.ErrDB, trap.ErrDB, be10.ErrDB)
+	}
+	// Trapezoidal at matching step should agree with OPM closely; both are
+	// second-order so the residual disagreement is O(h²) on the load rise
+	// (~20 steps → ≈−45 dB here).
+	if trap.ErrDB > -40 {
+		t.Fatalf("trapezoidal vs OPM only %.1f dB — formulations disagree?", trap.ErrDB)
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Fatal("printed table missing title")
+	}
+}
+
+func TestWaveformsRuns(t *testing.T) {
+	cfg := DefaultTableI()
+	tbl, err := Waveforms(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tbl.Rows))
+	}
+}
+
+// Adaptive shape: at comparable accuracy the controller must use
+// substantially fewer columns than the finest uniform grid.
+func TestAdaptiveShape(t *testing.T) {
+	tbl, err := Adaptive(AdaptiveConfig{Tols: []float64{1e-4}, T: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(tbl.Rows))
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	if !strings.Contains(buf.String(), "adaptive tol") {
+		t.Fatal("adaptive row missing")
+	}
+}
+
+func TestOpMatrixChecks(t *testing.T) {
+	tbl, err := OpMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tbl.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "1 -3 4.5 -5.5") {
+		t.Fatalf("eq. (23) row missing:\n%s", out)
+	}
+}
+
+// Bases shape: Legendre beats the piecewise-constant bases on the smooth
+// input and loses on the switching input.
+func TestBasesShape(t *testing.T) {
+	tbl, err := Bases(32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// Row order: block-pulse, walsh, haar, legendre; columns: name, smooth, switching.
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	bpfSmooth := parse(tbl.Rows[0][1])
+	legSmooth := parse(tbl.Rows[3][1])
+	bpfSwitch := parse(tbl.Rows[0][2])
+	legSwitch := parse(tbl.Rows[3][2])
+	if legSmooth >= bpfSmooth {
+		t.Fatalf("Legendre smooth err %g not below BPF %g", legSmooth, bpfSmooth)
+	}
+	if legSwitch <= bpfSwitch {
+		t.Fatalf("Legendre switching err %g not above BPF %g (expected Gibbs)", legSwitch, bpfSwitch)
+	}
+}
+
+func TestScalingRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep is slow")
+	}
+	tbl, err := Scaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 7 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtDur(500 * time.Nanosecond); !strings.Contains(got, "ns") {
+		t.Fatalf("fmtDur ns: %q", got)
+	}
+	if got := fmtDur(5 * time.Microsecond); !strings.Contains(got, "µs") {
+		t.Fatalf("fmtDur µs: %q", got)
+	}
+	if got := fmtDur(5 * time.Millisecond); !strings.Contains(got, "ms") {
+		t.Fatalf("fmtDur ms: %q", got)
+	}
+	if got := fmtDur(2 * time.Second); !strings.Contains(got, "s") {
+		t.Fatalf("fmtDur s: %q", got)
+	}
+	if got := fmtStep(10e-12); got != "10 ps" {
+		t.Fatalf("fmtStep = %q", got)
+	}
+}
+
+// MOR shape: error improves monotonically with ROM order and the smallest
+// ROM is much faster than the full solve.
+func TestMORShape(t *testing.T) {
+	tbl, err := MOR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	var prev float64 = 1
+	for _, row := range tbl.Rows[1:] {
+		var db float64
+		if _, err := fmt.Sscan(row[3], &db); err != nil {
+			t.Fatalf("parse %q: %v", row[3], err)
+		}
+		if db >= prev {
+			t.Fatalf("ROM error not improving: %v then %v", prev, db)
+		}
+		prev = db
+	}
+}
+
+// FracFit shape: the native OPM row must beat every Oustaloup row on
+// accuracy, and Oustaloup accuracy must improve (or at least not degrade)
+// from the coarsest to the densest fit.
+func TestFracFitShape(t *testing.T) {
+	tbl, err := FracFit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	opmErr := parse(tbl.Rows[0][4])
+	coarsest := parse(tbl.Rows[1][4])
+	densest := parse(tbl.Rows[len(tbl.Rows)-1][4])
+	if opmErr >= densest {
+		t.Fatalf("OPM err %g not below best Oustaloup err %g", opmErr, densest)
+	}
+	if densest > coarsest {
+		t.Fatalf("denser fit got worse: %g vs %g", densest, coarsest)
+	}
+}
+
+// WalshTrend shape: at every truncation level below full, the Walsh
+// truncation must track the trend far better than the BPF truncation.
+func TestWalshTrendShape(t *testing.T) {
+	tbl, err := WalshTrend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := fmt.Sscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	for _, row := range tbl.Rows[:len(tbl.Rows)-1] { // skip the k=m row
+		w, b := parse(row[1]), parse(row[2])
+		if w*5 > b {
+			t.Fatalf("row %v: Walsh %g not ≪ BPF %g", row[0], w, b)
+		}
+	}
+}

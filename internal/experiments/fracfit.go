@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"opmsim/internal/core"
+	"opmsim/internal/fracfit"
+	"opmsim/internal/sparse"
+	"opmsim/internal/specfn"
+	"opmsim/internal/transient"
+	"opmsim/internal/waveform"
+)
+
+// FracFit runs the "traditional route" ablation behind the paper's §I
+// motivation: to simulate a fractional element with a classical transient
+// method one must first rationalize s^α (Oustaloup approximation), paying N
+// extra states per fractional element and a band-limited fit — whereas OPM
+// handles the FDE natively with zero extra states. The table sweeps the
+// Oustaloup order and reports fit quality, augmented-system size, runtime
+// and accuracy against the Mittag-Leffler analytic step response, with the
+// native OPM row for comparison.
+func FracFit() (*Table, error) {
+	const alpha = 0.5
+	const T = 8.0
+	exact := func(tt float64) (float64, error) {
+		ml, err := specfn.MittagLeffler(alpha, -math.Pow(tt, alpha))
+		if err != nil {
+			return 0, err
+		}
+		return 1 - ml, nil
+	}
+	probe := []float64{0.5, 1, 2, 4, 7}
+	maxErr := func(at func(float64) float64) (float64, error) {
+		worst := 0.0
+		for _, tt := range probe {
+			want, err := exact(tt)
+			if err != nil {
+				return 0, err
+			}
+			if d := math.Abs(at(tt) - want); d > worst {
+				worst = d
+			}
+		}
+		return worst, nil
+	}
+
+	tbl := &Table{
+		Title:  "Fractional realization ablation (§I motivation) — d^½x = −x + u, step response",
+		Header: []string{"Route", "Extra states", "Band fit err", "Runtime", "Max err vs Mittag-Leffler"},
+	}
+
+	// Native OPM.
+	one := sparse.NewCOO(1, 1)
+	one.Add(0, 0, 1)
+	sys, err := core.NewFDE(one.ToCSR(), one.ToCSR().Scale(-1), one.ToCSR(), alpha)
+	if err != nil {
+		return nil, err
+	}
+	var opmSol *core.Solution
+	opmTime, err := timeIt(3, func() error {
+		s, err := core.Solve(sys, []waveform.Signal{waveform.Step(1, 0)}, 4096, T, core.Options{})
+		opmSol = s
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	opmErr, err := maxErr(func(tt float64) float64 { return opmSol.StateAt(0, tt) })
+	if err != nil {
+		return nil, err
+	}
+	tbl.AddRow("OPM (native FDE)", "0", "—", fmtDur(opmTime), fmt.Sprintf("%.2e", opmErr))
+
+	// Oustaloup + trapezoidal at several section counts.
+	for _, n := range []int{6, 12, 24, 36} {
+		o, err := fracfit.New(alpha, 1e-5, 1e4, n)
+		if err != nil {
+			return nil, err
+		}
+		poles, res, d := o.StateSpace()
+		nf := len(poles)
+		dim := nf + 1
+		eC := sparse.NewCOO(dim, dim)
+		aC := sparse.NewCOO(dim, dim)
+		bC := sparse.NewCOO(dim, 1)
+		for k := 0; k < nf; k++ {
+			eC.Add(k, k, 1)
+			aC.Add(k, k, -poles[k])
+			aC.Add(k, nf, 1)
+			aC.Add(nf, k, -res[k])
+		}
+		aC.Add(nf, nf, -(d + 1))
+		bC.Add(nf, 0, 1)
+		var sim *transient.Result
+		dur, err := timeIt(3, func() error {
+			r, err := transient.Simulate(eC.ToCSR(), aC.ToCSR(), bC.ToCSR(),
+				[]waveform.Signal{waveform.Step(1, 0)}, T, T/4096, transient.Trapezoidal, transient.Options{})
+			sim = r
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		simErr, err := maxErr(func(tt float64) float64 {
+			return sim.SampleState(nf, []float64{tt})[0]
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(fmt.Sprintf("Oustaloup N=%d + trapezoidal", n),
+			fmt.Sprintf("%d", nf),
+			fmt.Sprintf("%.1e", o.MaxBandError(64)),
+			fmtDur(dur),
+			fmt.Sprintf("%.2e", simErr))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"the traditional route needs ~3 extra states per decade of bandwidth *per fractional element*; OPM needs none",
+		"Oustaloup accuracy PLATEAUS (band-limited fit + DC mismatch) no matter how many sections are paid,",
+		"while OPM's error keeps converging with m — the trade-off behind the paper's §I claim about FDEs and",
+		"traditional time-domain methods; on small scalar examples the rational route is cheaper per run")
+	return tbl, nil
+}

@@ -1,0 +1,184 @@
+// Package fft implements the discrete Fourier transform used by the
+// frequency-domain baseline of the paper (the "FFT-1"/"FFT-2" methods of
+// Table I): an iterative radix-2 Cooley–Tukey transform for power-of-two
+// lengths and Bluestein's chirp-z algorithm for arbitrary lengths — the
+// paper's FFT-2 variant uses 100 sampling points, which is not a power of
+// two.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT returns the forward DFT of x:
+// X[k] = Σ_n x[n]·exp(−2πi·kn/N). The input is not modified.
+func FFT(x []complex128) []complex128 {
+	return transform(x, false)
+}
+
+// IFFT returns the inverse DFT of x, normalized by 1/N so IFFT(FFT(x)) = x.
+func IFFT(x []complex128) []complex128 {
+	y := transform(x, true)
+	n := complex(float64(len(y)), 0)
+	for i := range y {
+		y[i] /= n
+	}
+	return y
+}
+
+// FFTReal transforms a real sequence, returning the full complex spectrum.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return transform(c, false)
+}
+
+// RFFT computes the DFT of a real sequence using the packed half-size
+// complex transform when the length is even (roughly halving the work), and
+// returns the full Hermitian spectrum. Odd lengths fall back to FFTReal.
+func RFFT(x []float64) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n%2 != 0 || n == 2 {
+		return FFTReal(x)
+	}
+	half := n / 2
+	z := make([]complex128, half)
+	for k := 0; k < half; k++ {
+		z[k] = complex(x[2*k], x[2*k+1])
+	}
+	zf := transform(z, false)
+	out := make([]complex128, n)
+	for k := 0; k <= half; k++ {
+		zk := zf[k%half]
+		zc := cmplx.Conj(zf[(half-k)%half])
+		even := (zk + zc) / 2
+		odd := (zk - zc) / complex(0, 2)
+		w := cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n))
+		out[k] = even + w*odd
+	}
+	for k := half + 1; k < n; k++ {
+		out[k] = cmplx.Conj(out[n-k])
+	}
+	return out
+}
+
+func transform(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	copy(out, x)
+	if n&(n-1) == 0 {
+		radix2(out, inverse)
+		return out
+	}
+	return bluestein(out, inverse)
+}
+
+// radix2 performs an in-place iterative Cooley–Tukey FFT; len(x) must be a
+// power of two.
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	if n == 1 {
+		return
+	}
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := sign * 2 * math.Pi / float64(size)
+		wstep := cmplx.Rect(1, step)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wstep
+			}
+		}
+	}
+}
+
+// bluestein computes an arbitrary-length DFT via the chirp-z transform,
+// reducing it to a power-of-two circular convolution.
+func bluestein(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp w[k] = exp(sign·πi·k²/n). Reduce k² mod 2n to avoid precision
+	// loss for large k.
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	m := 1
+	for m < 2*n-1 {
+		m <<= 1
+	}
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[m-k] = cmplx.Conj(chirp[k])
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	inv := complex(1/float64(m), 0)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * inv * chirp[k]
+	}
+	return out
+}
+
+// Freqs returns the angular frequencies ω_k (rad/s) associated with an
+// N-point DFT over a record of duration T, in standard FFT ordering: the
+// first ⌈N/2⌉ bins are non-negative frequencies k·2π/T, the remainder are the
+// negative frequencies (k−N)·2π/T. These drive the per-frequency solves of
+// the frequency-domain FDE baseline.
+func Freqs(n int, T float64) ([]float64, error) {
+	if n <= 0 || T <= 0 {
+		return nil, fmt.Errorf("fft: Freqs requires positive n and T, got n=%d T=%g", n, T)
+	}
+	w := make([]float64, n)
+	base := 2 * math.Pi / T
+	for k := 0; k < n; k++ {
+		kk := k
+		if k > n/2 {
+			kk = k - n
+		}
+		w[k] = float64(kk) * base
+	}
+	return w, nil
+}

@@ -1,0 +1,248 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naive O(n²) DFT for cross-validation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			s += x[j] * cmplx.Rect(1, -2*math.Pi*float64(k*j)/float64(n))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func randomComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	m := 0.0
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestFFTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Power-of-two and non-power-of-two (Bluestein) lengths, including the
+	// paper's N = 8 (FFT-1) and N = 100 (FFT-2).
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 25, 100} {
+		x := randomComplex(rng, n)
+		got := FFT(x)
+		want := naiveDFT(x)
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Fatalf("n=%d: FFT differs from naive DFT by %g", n, d)
+		}
+	}
+}
+
+func TestFFTDoesNotModifyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := randomComplex(rng, 16)
+	orig := append([]complex128(nil), x...)
+	FFT(x)
+	for i := range x {
+		if x[i] != orig[i] {
+			t.Fatal("FFT modified its input")
+		}
+	}
+}
+
+func TestFFTKnownImpulse(t *testing.T) {
+	// DFT of a unit impulse is all ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	for _, v := range FFT(x) {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse spectrum entry %v != 1", v)
+		}
+	}
+}
+
+func TestFFTKnownSinusoid(t *testing.T) {
+	// A pure complex exponential concentrates in one bin.
+	n := 64
+	x := make([]complex128, n)
+	bin := 5
+	for j := range x {
+		x[j] = cmplx.Rect(1, 2*math.Pi*float64(bin*j)/float64(n))
+	}
+	X := FFT(x)
+	for k := range X {
+		want := complex(0, 0)
+		if k == bin {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(X[k]-want) > 1e-9 {
+			t.Fatalf("bin %d = %v, want %v", k, X[k], want)
+		}
+	}
+}
+
+// Property: IFFT(FFT(x)) = x for arbitrary lengths.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		x := randomComplex(rng, n)
+		y := IFFT(FFT(x))
+		return maxDiff(x, y) <= 1e-9*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Parseval — Σ|x|² = (1/N)Σ|X|².
+func TestParsevalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(128)
+		x := randomComplex(rng, n)
+		X := FFT(x)
+		var ex, eX float64
+		for i := range x {
+			ex += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		for i := range X {
+			eX += real(X[i])*real(X[i]) + imag(X[i])*imag(X[i])
+		}
+		eX /= float64(n)
+		return math.Abs(ex-eX) <= 1e-8*(1+ex)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: linearity — FFT(a·x + y) = a·FFT(x) + FFT(y).
+func TestLinearityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(64)
+		x := randomComplex(rng, n)
+		y := randomComplex(rng, n)
+		a := complex(rng.NormFloat64(), rng.NormFloat64())
+		mixed := make([]complex128, n)
+		for i := range mixed {
+			mixed[i] = a*x[i] + y[i]
+		}
+		lhs := FFT(mixed)
+		fx, fy := FFT(x), FFT(y)
+		for i := range lhs {
+			if cmplx.Abs(lhs[i]-(a*fx[i]+fy[i])) > 1e-8*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTReal(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	got := FFTReal(x)
+	want := naiveDFT([]complex128{1, 2, 3, 4})
+	if d := maxDiff(got, want); d > 1e-12 {
+		t.Fatalf("FFTReal differs by %g", d)
+	}
+}
+
+func TestFreqs(t *testing.T) {
+	w, err := Freqs(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := math.Pi // 2π/T with T=2
+	want := []float64{0, base, 2 * base, -base}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("Freqs[%d] = %g, want %g", i, w[i], want[i])
+		}
+	}
+	if _, err := Freqs(0, 1); err == nil {
+		t.Fatal("Freqs accepted n=0")
+	}
+	if _, err := Freqs(4, 0); err == nil {
+		t.Fatal("Freqs accepted T=0")
+	}
+}
+
+func TestFreqsOdd(t *testing.T) {
+	w, err := Freqs(5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := 2 * math.Pi
+	want := []float64{0, base, 2 * base, -2 * base, -base}
+	for i := range want {
+		if math.Abs(w[i]-want[i]) > 1e-12 {
+			t.Fatalf("Freqs[%d] = %g, want %g", i, w[i], want[i])
+		}
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if FFT(nil) != nil {
+		t.Fatal("FFT(nil) != nil")
+	}
+	if IFFT(nil) != nil {
+		t.Fatal("IFFT(nil) != nil")
+	}
+}
+
+// Property: the packed real FFT matches the straightforward real transform
+// for all lengths (even → packed path, odd → fallback).
+func TestRFFTMatchesFFTRealProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		a := RFFT(x)
+		b := FFTReal(x)
+		return maxDiff(a, b) <= 1e-9*float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRFFTHermitianSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	X := RFFT(x)
+	for k := 1; k < 64; k++ {
+		if cmplx.Abs(X[k]-cmplx.Conj(X[64-k])) > 1e-10 {
+			t.Fatalf("Hermitian symmetry violated at bin %d", k)
+		}
+	}
+	if RFFT(nil) != nil {
+		t.Fatal("RFFT(nil) != nil")
+	}
+}

@@ -1,0 +1,124 @@
+// Package fracfit implements the Oustaloup recursive rational approximation
+// of the fractional differentiator s^α. It is the classical way to realize
+// fractional (constant-phase) behavior with integer-order networks, and —
+// within this repository — provides an independent integer-order route to
+// simulate fractional circuits that cross-checks the OPM fractional solver:
+// approximate s^α by poles and zeros, build the equivalent DAE, and hand it
+// to any classical transient method.
+package fracfit
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Oustaloup is the recursive approximation
+//
+//	s^α ≈ G · Π_{k=1..N} (s + z_k)/(s + p_k)
+//
+// valid over the frequency band [WLow, WHigh] (rad/s), with zeros and poles
+// geometrically interleaved:
+//
+//	z_k = ωl·(ωh/ωl)^{(2k−1−α)/(2N)},  p_k = ωl·(ωh/ωl)^{(2k−1+α)/(2N)}.
+type Oustaloup struct {
+	Alpha        float64
+	WLow, WHigh  float64
+	Zeros, Poles []float64
+	// Gain G makes |H(jω)| exact at the band's geometric center.
+	Gain float64
+}
+
+// New builds an N-section Oustaloup approximation of s^α (0 < |α| < 1) over
+// [wLow, wHigh].
+func New(alpha, wLow, wHigh float64, n int) (*Oustaloup, error) {
+	if alpha <= -1 || alpha >= 1 || alpha == 0 {
+		return nil, fmt.Errorf("fracfit: order must be in (−1,1)\\{0}, got %g", alpha)
+	}
+	if wLow <= 0 || wHigh <= wLow {
+		return nil, fmt.Errorf("fracfit: need 0 < wLow < wHigh, got [%g, %g]", wLow, wHigh)
+	}
+	if n < 1 || n > 60 {
+		return nil, fmt.Errorf("fracfit: sections must be in [1, 60], got %d", n)
+	}
+	o := &Oustaloup{Alpha: alpha, WLow: wLow, WHigh: wHigh,
+		Zeros: make([]float64, n), Poles: make([]float64, n), Gain: 1}
+	ratio := wHigh / wLow
+	for k := 1; k <= n; k++ {
+		o.Zeros[k-1] = wLow * math.Pow(ratio, (2*float64(k)-1-alpha)/(2*float64(n)))
+		o.Poles[k-1] = wLow * math.Pow(ratio, (2*float64(k)-1+alpha)/(2*float64(n)))
+	}
+	// Calibrate the gain at the geometric band center.
+	wc := math.Sqrt(wLow * wHigh)
+	want := cmplx.Pow(complex(0, wc), complex(alpha, 0))
+	have := o.Eval(complex(0, wc))
+	o.Gain = cmplx.Abs(want) / cmplx.Abs(have)
+	return o, nil
+}
+
+// Eval evaluates the rational approximation at a complex frequency s.
+func (o *Oustaloup) Eval(s complex128) complex128 {
+	h := complex(o.Gain, 0)
+	for k := range o.Zeros {
+		h *= (s + complex(o.Zeros[k], 0)) / (s + complex(o.Poles[k], 0))
+	}
+	return h
+}
+
+// StateSpace returns a minimal real diagonal realization of the
+// approximation: H(s) = D + Σ_k C_k/(s + P_k) with
+//
+//	ẋ_k = −P_k·x_k + u,   y = Σ C_k·x_k + D·u.
+//
+// Poles are distinct by construction, so the partial-fraction residues are
+// simple.
+func (o *Oustaloup) StateSpace() (poles, residues []float64, dterm float64) {
+	n := len(o.Poles)
+	poles = append([]float64(nil), o.Poles...)
+	residues = make([]float64, n)
+	dterm = o.Gain // H(∞) = G in the (s+z)/(s+p) form
+	for k := 0; k < n; k++ {
+		r := o.Gain
+		pk := o.Poles[k]
+		for j := 0; j < n; j++ {
+			r *= o.Zeros[j] - pk
+			if j != k {
+				r /= o.Poles[j] - pk
+			}
+		}
+		residues[k] = r
+	}
+	return poles, residues, dterm
+}
+
+// MaxBandError returns the worst relative magnitude error
+// ‖|H(jω)| − ω^α‖/ω^α over nProbe logarithmically spaced points in the
+// *interior* of the fitted band (one decade trimmed from each edge when the
+// band allows it — the approximation rolls off at the edges by construction,
+// so the usable band is designed wider than the band of interest).
+func (o *Oustaloup) MaxBandError(nProbe int) float64 {
+	if nProbe < 2 {
+		nProbe = 16
+	}
+	logL, logH := math.Log(o.WLow), math.Log(o.WHigh)
+	if logH-logL > 3*math.Ln10 {
+		logL += math.Ln10
+		logH -= math.Ln10
+	}
+	worst := 0.0
+	for i := 0; i < nProbe; i++ {
+		w := math.Exp(logL + (logH-logL)*float64(i)/float64(nProbe-1))
+		got := cmplx.Abs(o.Eval(complex(0, w)))
+		want := math.Pow(w, o.Alpha)
+		if e := math.Abs(got-want) / want; e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+// PhaseAt returns the phase of the approximation at ω (rad/s); the ideal
+// differentiator has constant phase α·π/2 inside the band.
+func (o *Oustaloup) PhaseAt(w float64) float64 {
+	return cmplx.Phase(o.Eval(complex(0, w)))
+}

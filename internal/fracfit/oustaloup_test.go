@@ -1,0 +1,195 @@
+package fracfit
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"opmsim/internal/core"
+	"opmsim/internal/sparse"
+	"opmsim/internal/specfn"
+	"opmsim/internal/transient"
+	"opmsim/internal/waveform"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1, 10, 3); err == nil {
+		t.Fatal("accepted α=0")
+	}
+	if _, err := New(1.5, 1, 10, 3); err == nil {
+		t.Fatal("accepted α=1.5")
+	}
+	if _, err := New(0.5, 10, 1, 3); err == nil {
+		t.Fatal("accepted inverted band")
+	}
+	if _, err := New(0.5, 1, 10, 0); err == nil {
+		t.Fatal("accepted 0 sections")
+	}
+}
+
+func TestMagnitudeAccuracyInBand(t *testing.T) {
+	o, err := New(0.5, 1e-2, 1e2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := o.MaxBandError(64); e > 0.02 {
+		t.Fatalf("band error %g > 2%%", e)
+	}
+}
+
+func TestConstantPhaseInBand(t *testing.T) {
+	// The phase transition region extends roughly a decade in from each
+	// band edge, so design the band two decades wider than the probe range
+	// and use 4 sections/decade to keep the ripple small.
+	o, err := New(0.5, 1e-4, 1e4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.5 * math.Pi / 2
+	for _, w := range []float64{0.1, 1, 10} {
+		if ph := o.PhaseAt(w); math.Abs(ph-want) > 0.02 {
+			t.Fatalf("phase at ω=%g is %g, want %g", w, ph, want)
+		}
+	}
+}
+
+// Property: the diagonal state-space realization reproduces the pole-zero
+// transfer function at arbitrary frequencies.
+func TestStateSpaceMatchesTransferProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := 0.1 + 0.8*rng.Float64()
+		if rng.Intn(2) == 0 {
+			alpha = -alpha
+		}
+		n := 2 + rng.Intn(8)
+		o, err := New(alpha, 1e-1, 1e3, n)
+		if err != nil {
+			return false
+		}
+		poles, res, d := o.StateSpace()
+		for trial := 0; trial < 5; trial++ {
+			w := math.Exp(math.Log(1e-2) + rng.Float64()*math.Log(1e6))
+			s := complex(0, w)
+			hs := complex(d, 0)
+			for k := range poles {
+				hs += complex(res[k], 0) / (s + complex(poles[k], 0))
+			}
+			if cmplx.Abs(hs-o.Eval(s)) > 1e-8*(1+cmplx.Abs(hs)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreSectionsImproveFit(t *testing.T) {
+	coarse, _ := New(0.5, 1e-2, 1e2, 4)
+	fine, _ := New(0.5, 1e-2, 1e2, 16)
+	if fine.MaxBandError(64) >= coarse.MaxBandError(64) {
+		t.Fatalf("more sections did not improve the fit: %g vs %g",
+			fine.MaxBandError(64), coarse.MaxBandError(64))
+	}
+}
+
+// The headline cross-check: simulate the fractional relaxation
+// d^½x = −x + u through the Oustaloup DAE with the trapezoidal rule (an
+// entirely integer-order pipeline) and compare against the Mittag-Leffler
+// analytic solution — the same reference the OPM fractional solver is tested
+// against.
+func TestOustaloupRelaxationVsMittagLeffler(t *testing.T) {
+	const alpha = 0.5
+	o, err := New(alpha, 1e-5, 1e4, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poles, res, d := o.StateSpace()
+	nf := len(poles)
+	// DAE over states [z₁..z_nf, x]:
+	//   ż_k = −p_k z_k + x,
+	//   0 = Σ r_k z_k + (d+1)·x − u   (the relaxation w + x = u with
+	//                                  w = H(s)x ≈ d^α x).
+	// In the E·ẋ = A·x + B·u convention the algebraic row
+	// 0 = −Σ r_k z_k − (d+1)·x + u carries negated coefficients.
+	dim := nf + 1
+	eC := sparse.NewCOO(dim, dim)
+	a2 := sparse.NewCOO(dim, dim)
+	bC := sparse.NewCOO(dim, 1)
+	for k := 0; k < nf; k++ {
+		eC.Add(k, k, 1)
+		a2.Add(k, k, -poles[k])
+		a2.Add(k, nf, 1)
+		a2.Add(nf, k, -res[k])
+	}
+	a2.Add(nf, nf, -(d + 1))
+	bC.Add(nf, 0, 1)
+	sim, err := transient.Simulate(eC.ToCSR(), a2.ToCSR(), bC.ToCSR(),
+		[]waveform.Signal{waveform.Step(1, 0)}, 8, 1e-3, transient.Trapezoidal, transient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{0.5, 1, 2, 4, 7} {
+		ml, err := specfn.MittagLeffler(alpha, -math.Pow(tt, alpha))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - ml
+		got := sim.SampleState(nf, []float64{tt})[0]
+		if math.Abs(got-want) > 2e-2*(1+want) {
+			t.Fatalf("Oustaloup relaxation x(%g) = %g, Mittag-Leffler %g", tt, got, want)
+		}
+	}
+}
+
+// And the same integer-order pipeline agrees with the OPM fractional solver
+// on a shared grid — closing the loop between the two approaches.
+func TestOustaloupAgreesWithOPM(t *testing.T) {
+	const alpha = 0.5
+	o, err := New(alpha, 1e-5, 1e4, 36)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poles, res, d := o.StateSpace()
+	nf := len(poles)
+	dim := nf + 1
+	eC := sparse.NewCOO(dim, dim)
+	a2 := sparse.NewCOO(dim, dim)
+	bC := sparse.NewCOO(dim, 1)
+	for k := 0; k < nf; k++ {
+		eC.Add(k, k, 1)
+		a2.Add(k, k, -poles[k])
+		a2.Add(k, nf, 1)
+		a2.Add(nf, k, -res[k])
+	}
+	a2.Add(nf, nf, -(d + 1))
+	bC.Add(nf, 0, 1)
+	u := []waveform.Signal{waveform.Sine(1, 0.2, 0)}
+	T := 6.0
+	sim, err := transient.Simulate(eC.ToCSR(), a2.ToCSR(), bC.ToCSR(), u, T, 1e-3,
+		transient.Trapezoidal, transient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := sparse.NewCOO(1, 1)
+	one.Add(0, 0, 1)
+	sys, err := core.NewFDE(one.ToCSR(), one.ToCSR().Scale(-1), one.ToCSR(), alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opm, err := core.Solve(sys, u, 4096, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{1, 2.5, 4, 5.5} {
+		a := sim.SampleState(nf, []float64{tt})[0]
+		b := opm.StateAt(0, tt)
+		if math.Abs(a-b) > 2e-2*(1+math.Abs(b)) {
+			t.Fatalf("Oustaloup vs OPM at t=%g: %g vs %g", tt, a, b)
+		}
+	}
+}

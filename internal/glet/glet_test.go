@@ -1,0 +1,137 @@
+package glet
+
+import (
+	"math"
+	"testing"
+
+	"opmsim/internal/sparse"
+	"opmsim/internal/specfn"
+	"opmsim/internal/waveform"
+)
+
+func scalarCSR(v float64) *sparse.CSR {
+	c := sparse.NewCOO(1, 1)
+	c.Add(0, 0, v)
+	return c.ToCSR()
+}
+
+func TestGLIntegerOrderMatchesBackwardEuler(t *testing.T) {
+	// α = 1 reduces GL to backward Euler: x_k = (x_{k−1} + h·u_k)/(1 + h).
+	h, T := 0.01, 1.0
+	res, err := Solve(scalarCSR(1), scalarCSR(-1), scalarCSR(1),
+		[]waveform.Signal{waveform.Step(1, 0)}, 1, T, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := 0.0
+	for k := range res.Times {
+		x = (x + h) / (1 + h)
+		if math.Abs(res.X.At(0, k)-x) > 1e-12 {
+			t.Fatalf("GL α=1 step %d = %g, want backward-Euler %g", k, res.X.At(0, k), x)
+		}
+	}
+}
+
+func TestGLFractionalRelaxation(t *testing.T) {
+	// d^½x = −x + 1: x(t) = 1 − E_½(−√t).
+	h, T := 0.002, 2.0
+	res, err := Solve(scalarCSR(1), scalarCSR(-1), scalarCSR(1),
+		[]waveform.Signal{waveform.Step(1, 0)}, 0.5, T, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 99; k < len(res.Times); k += 200 {
+		tt := res.Times[k]
+		ml, err := specfn.MittagLeffler(0.5, -math.Sqrt(tt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 - ml
+		if got := res.X.At(0, k); math.Abs(got-want) > 1e-2*(1+want) {
+			t.Fatalf("GL x(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestGLConvergence(t *testing.T) {
+	// Halving h should roughly halve the error (first-order scheme).
+	errAt := func(h float64) float64 {
+		res, err := Solve(scalarCSR(1), scalarCSR(-1), scalarCSR(1),
+			[]waveform.Signal{waveform.Step(1, 0)}, 0.5, 1, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := len(res.Times) - 1
+		ml, _ := specfn.MittagLeffler(0.5, -math.Sqrt(res.Times[k]))
+		return math.Abs(res.X.At(0, k) - (1 - ml))
+	}
+	e1, e2 := errAt(0.01), errAt(0.005)
+	if ratio := e1 / e2; ratio < 1.5 || ratio > 3.0 {
+		t.Fatalf("GL convergence ratio %g, want ≈2", ratio)
+	}
+}
+
+func TestGLValidation(t *testing.T) {
+	u := []waveform.Signal{waveform.Zero()}
+	e, a, b := scalarCSR(1), scalarCSR(-1), scalarCSR(1)
+	if _, err := Solve(e, a, b, nil, 0.5, 1, 0.1); err == nil {
+		t.Fatal("accepted missing inputs")
+	}
+	if _, err := Solve(e, a, b, u, 0, 1, 0.1); err == nil {
+		t.Fatal("accepted α=0")
+	}
+	if _, err := Solve(e, a, b, u, 0.5, 0, 0.1); err == nil {
+		t.Fatal("accepted T=0")
+	}
+	if _, err := Solve(e, a, b, u, 0.5, 1, 2); err == nil {
+		t.Fatal("accepted h>T")
+	}
+	bad := sparse.NewCOO(2, 2).ToCSR()
+	_ = bad
+	e2 := sparse.NewCOO(2, 2)
+	e2.Add(0, 0, 1)
+	if _, err := Solve(e2.ToCSR(), a, b, u, 0.5, 1, 0.1); err == nil {
+		t.Fatal("accepted dimension mismatch")
+	}
+}
+
+func TestGLShortMemoryApproximatesFull(t *testing.T) {
+	e, a, b := scalarCSR(1), scalarCSR(-1), scalarCSR(1)
+	u := []waveform.Signal{waveform.Step(1, 0)}
+	full, err := Solve(e, a, b, u, 0.5, 1, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := SolveShortMemory(e, a, b, u, 0.5, 1, 0.001, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Podlubny's bound: truncation error ~ T_mem^{−α}; with T_mem = 0.2 s
+	// and α = ½ that allows O(0.1) absolute deviation on an O(1) response.
+	k := len(full.Times) - 1
+	if d := math.Abs(full.X.At(0, k) - short.X.At(0, k)); d > 0.2 {
+		t.Fatalf("short-memory deviates by %g, beyond the theoretical bound", d)
+	}
+	// And a tighter window deviates more (monotone memory-accuracy trade).
+	tiny, err := SolveShortMemory(e, a, b, u, 0.5, 1, 0.001, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dShort := math.Abs(full.X.At(0, k) - short.X.At(0, k))
+	dTiny := math.Abs(full.X.At(0, k) - tiny.X.At(0, k))
+	if dTiny <= dShort {
+		t.Fatalf("window=20 error %g not worse than window=200 error %g", dTiny, dShort)
+	}
+}
+
+func TestGLShortMemoryZeroWindowIsFull(t *testing.T) {
+	e, a, b := scalarCSR(1), scalarCSR(-1), scalarCSR(1)
+	u := []waveform.Signal{waveform.Step(1, 0)}
+	full, _ := Solve(e, a, b, u, 0.5, 0.5, 0.01)
+	same, _ := SolveShortMemory(e, a, b, u, 0.5, 0.5, 0.01, 0)
+	for k := range full.Times {
+		if full.X.At(0, k) != same.X.At(0, k) {
+			t.Fatal("window=0 should equal full memory exactly")
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package mat
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CDense is a row-major dense matrix of complex128 values. It backs the
+// per-frequency solves of the FFT baseline, where the system matrix
+// (jω)^α E − A is complex.
+type CDense struct {
+	rows, cols int
+	data       []complex128
+}
+
+// NewCDense returns a zero-initialized r-by-c complex matrix.
+func NewCDense(r, c int) *CDense {
+	if r <= 0 || c <= 0 {
+		panic(fmt.Sprintf("mat: invalid dimensions %dx%d", r, c))
+	}
+	return &CDense{rows: r, cols: c, data: make([]complex128, r*c)}
+}
+
+// Rows returns the number of rows.
+func (m *CDense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *CDense) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *CDense) At(i, j int) complex128 { return m.data[i*m.cols+j] }
+
+// Set assigns v to the element at row i, column j.
+func (m *CDense) Set(i, j int, v complex128) { m.data[i*m.cols+j] = v }
+
+// Add adds v to the element at row i, column j.
+func (m *CDense) Add(i, j int, v complex128) { m.data[i*m.cols+j] += v }
+
+// Row returns a view of row i.
+func (m *CDense) Row(i int) []complex128 { return m.data[i*m.cols : (i+1)*m.cols] }
+
+// Clone returns a deep copy of m.
+func (m *CDense) Clone() *CDense {
+	c := NewCDense(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// MulVec computes y = m*x for complex vectors.
+func (m *CDense) MulVec(x, y []complex128) []complex128 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("mat: CDense MulVec length %d != cols %d", len(x), m.cols))
+	}
+	if len(y) != m.rows {
+		y = make([]complex128, m.rows)
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.Row(i)
+		var s complex128
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// CLU is a complex LU factorization with partial pivoting.
+type CLU struct {
+	lu  *CDense
+	piv []int
+}
+
+// CLUFactor computes a complex LU factorization with partial pivoting. The
+// input is not modified.
+func CLUFactor(a *CDense) (*CLU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: CLU of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	n := a.rows
+	f := &CLU{lu: a.Clone(), piv: make([]int, n)}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		p := k
+		max := cmplx.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		f.piv[k] = p
+		if max == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			lik := lu.At(i, k) * inv
+			lu.Set(i, k, lik)
+			if lik == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= lik * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve solves A x = b in place, overwriting and returning b.
+func (f *CLU) Solve(b []complex128) []complex128 {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: CLU solve length %d != %d", len(b), n))
+	}
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			b[k], b[p] = b[p], b[k]
+		}
+	}
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * b[j]
+		}
+		b[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * b[j]
+		}
+		b[i] = s / row[i]
+	}
+	return b
+}

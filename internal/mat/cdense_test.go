@@ -1,0 +1,78 @@
+package mat
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomCDense(rng *rand.Rand, n int) *CDense {
+	m := NewCDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+		m.Add(i, i, complex(float64(n), 0))
+	}
+	return m
+}
+
+func TestCLUSolveKnown(t *testing.T) {
+	a := NewCDense(2, 2)
+	a.Set(0, 0, 1+1i)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 0)
+	a.Set(1, 1, 3-1i)
+	x := []complex128{1 - 1i, 2i}
+	b := a.MulVec(x, nil)
+	f, err := CLUFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Solve(b)
+	for i := range x {
+		if cmplx.Abs(got[i]-x[i]) > 1e-12 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], x[i])
+		}
+	}
+}
+
+func TestCLUSingular(t *testing.T) {
+	a := NewCDense(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 1)
+	if _, err := CLUFactor(a); err == nil {
+		t.Fatal("CLUFactor accepted singular matrix")
+	}
+}
+
+// Property: complex solve leaves a tiny residual.
+func TestCLUSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := randomCDense(rng, n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		b := a.MulVec(x, nil)
+		fa, err := CLUFactor(a)
+		if err != nil {
+			return false
+		}
+		got := fa.Solve(append([]complex128(nil), b...))
+		for i := range got {
+			if cmplx.Abs(got[i]-x[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

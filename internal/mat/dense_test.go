@@ -1,0 +1,174 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDensePanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDense(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewDense(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestEye(t *testing.T) {
+	e := Eye(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if e.At(i, j) != want {
+				t.Fatalf("Eye(4)[%d,%d] = %g, want %g", i, j, e.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := randomDense(rand.New(rand.NewSource(1)), 5, 7)
+	if got := Mul(Eye(5), a); !Equalf(got, a, 0) {
+		t.Fatal("I*A != A")
+	}
+	if got := Mul(a, Eye(7)); !Equalf(got, a, 0) {
+		t.Fatal("A*I != A")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := NewDenseFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := NewDenseFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	want := NewDenseFrom(2, 2, []float64{58, 64, 139, 154})
+	if got := Mul(a, b); !Equalf(got, want, 1e-14) {
+		t.Fatalf("Mul =\n%v want\n%v", got, want)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomDense(rng, 4, 6)
+	if !Equalf(a.T().T(), a, 0) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}
+
+func TestMulVecAgainstMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomDense(rng, 6, 4)
+	x := randomVec(rng, 4)
+	xm := NewDense(4, 1)
+	for i, v := range x {
+		xm.Set(i, 0, v)
+	}
+	want := Mul(a, xm)
+	got := a.MulVec(x, nil)
+	for i := range got {
+		if math.Abs(got[i]-want.At(i, 0)) > 1e-13 {
+			t.Fatalf("MulVec[%d] = %g, want %g", i, got[i], want.At(i, 0))
+		}
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomDense(rng, 5, 3)
+	x := randomVec(rng, 5)
+	want := a.T().MulVec(x, nil)
+	got := a.MulVecT(x, nil)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-13 {
+			t.Fatalf("MulVecT[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomDense(rng, 3, 3)
+	b := randomDense(rng, 3, 3)
+	sum := AddTo(a, b)
+	diff := Sub(sum, b)
+	if !Equalf(diff, a, 1e-14) {
+		t.Fatal("A+B-B != A")
+	}
+	sc := a.Clone().Scale(2)
+	if !Equalf(sc, AddTo(a, a), 1e-14) {
+		t.Fatal("2A != A+A")
+	}
+}
+
+// Property: matrix multiplication is associative (within roundoff).
+func TestMulAssociativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		a, b, c := randomDense(rng, n, n), randomDense(rng, n, n), randomDense(rng, n, n)
+		left := Mul(Mul(a, b), c)
+		right := Mul(a, Mul(b, c))
+		return Equalf(left, right, 1e-9*(1+left.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (AB)ᵀ = BᵀAᵀ.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r, k, c := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a, b := randomDense(rng, r, k), randomDense(rng, k, c)
+		return Equalf(Mul(a, b).T(), Mul(b.T(), a.T()), 1e-11)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVecHelpers(t *testing.T) {
+	x := []float64{3, 4}
+	if got := Norm2(x); math.Abs(got-5) > 1e-15 {
+		t.Fatalf("Norm2 = %g, want 5", got)
+	}
+	if got := NormInf([]float64{-7, 2}); got != 7 {
+		t.Fatalf("NormInf = %g, want 7", got)
+	}
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %g, want 32", got)
+	}
+	y := []float64{1, 1}
+	Axpy(2, []float64{10, 20}, y)
+	if y[0] != 21 || y[1] != 41 {
+		t.Fatalf("Axpy = %v", y)
+	}
+	ScaleVec(0.5, y)
+	if y[0] != 10.5 {
+		t.Fatalf("ScaleVec = %v", y)
+	}
+}
+
+func randomDense(rng *rand.Rand, r, c int) *Dense {
+	m := NewDense(r, c)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randomVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}

@@ -1,0 +1,206 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// Eigenvalues returns all eigenvalues of a real square matrix, sorted by
+// real part (ties by imaginary part). The computation promotes to complex
+// arithmetic and runs a Hessenberg reduction followed by a shifted QR
+// iteration with deflation — simpler than the Francis double-shift and
+// entirely adequate for the moderate sizes the simulator needs (stability
+// analysis of descriptor pencils, basis diagnostics).
+func Eigenvalues(a *Dense) ([]complex128, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: Eigenvalues of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	n := a.rows
+	h := NewCDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			h.Set(i, j, complex(a.At(i, j), 0))
+		}
+	}
+	ev, err := eigHessenbergQR(h)
+	if err != nil {
+		return nil, err
+	}
+	// Clean tiny imaginary parts produced by roundoff on real spectra.
+	scale := a.MaxAbs()
+	for i, v := range ev {
+		if math.Abs(imag(v)) <= 1e-10*(1+scale) {
+			ev[i] = complex(real(v), 0)
+		}
+	}
+	sort.Slice(ev, func(i, j int) bool {
+		if real(ev[i]) != real(ev[j]) {
+			return real(ev[i]) < real(ev[j])
+		}
+		return imag(ev[i]) < imag(ev[j])
+	})
+	return ev, nil
+}
+
+// eigHessenbergQR computes the eigenvalues of a complex matrix in place.
+func eigHessenbergQR(h *CDense) ([]complex128, error) {
+	n := h.rows
+	hessenberg(h)
+	ev := make([]complex128, 0, n)
+	hi := n // active block is rows/cols [0, hi)
+	const maxIter = 120
+	for hi > 0 {
+		converged := false
+		for iter := 0; iter < maxIter; iter++ {
+			// Deflate any negligible subdiagonal inside the active block.
+			for k := hi - 1; k > 0; k-- {
+				sub := cmplx.Abs(h.At(k, k-1))
+				diag := cmplx.Abs(h.At(k-1, k-1)) + cmplx.Abs(h.At(k, k))
+				if sub <= 1e-15*(diag+1e-300) {
+					h.Set(k, k-1, 0)
+				}
+			}
+			if hi == 1 {
+				ev = append(ev, h.At(0, 0))
+				hi = 0
+				converged = true
+				break
+			}
+			if h.At(hi-1, hi-2) == 0 {
+				ev = append(ev, h.At(hi-1, hi-1))
+				hi--
+				converged = true
+				break
+			}
+			// Wilkinson shift from the trailing 2×2 block.
+			a := h.At(hi-2, hi-2)
+			b := h.At(hi-2, hi-1)
+			c := h.At(hi-1, hi-2)
+			d := h.At(hi-1, hi-1)
+			tr := a + d
+			det := a*d - b*c
+			disc := cmplx.Sqrt(tr*tr - 4*det)
+			l1 := (tr + disc) / 2
+			l2 := (tr - disc) / 2
+			shift := l1
+			if cmplx.Abs(l2-d) < cmplx.Abs(l1-d) {
+				shift = l2
+			}
+			qrStep(h, hi, shift)
+		}
+		if !converged {
+			// One more deflation attempt with a relaxed threshold before
+			// giving up.
+			if hi >= 2 && cmplx.Abs(h.At(hi-1, hi-2)) <= 1e-8*(cmplx.Abs(h.At(hi-1, hi-1))+1) {
+				ev = append(ev, h.At(hi-1, hi-1))
+				hi--
+				continue
+			}
+			return nil, fmt.Errorf("mat: QR iteration failed to converge at block %d", hi)
+		}
+	}
+	return ev, nil
+}
+
+// hessenberg reduces h to upper Hessenberg form with Householder
+// reflections (similarity transform; eigenvalues preserved).
+func hessenberg(h *CDense) {
+	n := h.rows
+	for k := 0; k < n-2; k++ {
+		// Build the reflector annihilating h[k+2:, k].
+		alpha := 0.0
+		for i := k + 1; i < n; i++ {
+			alpha += cmplx.Abs(h.At(i, k)) * cmplx.Abs(h.At(i, k))
+		}
+		alpha = math.Sqrt(alpha)
+		if alpha == 0 {
+			continue
+		}
+		x0 := h.At(k+1, k)
+		phase := complex(1, 0)
+		if x0 != 0 {
+			phase = x0 / complex(cmplx.Abs(x0), 0)
+		}
+		v := make([]complex128, n)
+		v[k+1] = x0 + phase*complex(alpha, 0)
+		for i := k + 2; i < n; i++ {
+			v[i] = h.At(i, k)
+		}
+		norm2 := 0.0
+		for i := k + 1; i < n; i++ {
+			norm2 += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
+		}
+		if norm2 == 0 {
+			continue
+		}
+		beta := complex(2/norm2, 0)
+		// H = I − β v v*; apply A ← H A H.
+		// Left: A ← A − β v (v* A).
+		for j := 0; j < n; j++ {
+			var s complex128
+			for i := k + 1; i < n; i++ {
+				s += cmplx.Conj(v[i]) * h.At(i, j)
+			}
+			s *= beta
+			for i := k + 1; i < n; i++ {
+				h.Add(i, j, -v[i]*s)
+			}
+		}
+		// Right: A ← A − β (A v) v*.
+		for i := 0; i < n; i++ {
+			var s complex128
+			for j := k + 1; j < n; j++ {
+				s += h.At(i, j) * v[j]
+			}
+			s *= beta
+			for j := k + 1; j < n; j++ {
+				h.Add(i, j, -s*cmplx.Conj(v[j]))
+			}
+		}
+	}
+}
+
+// qrStep performs one shifted QR sweep on the leading hi×hi Hessenberg block
+// using Givens rotations.
+func qrStep(h *CDense, hi int, shift complex128) {
+	type givens struct {
+		c complex128
+		s complex128
+	}
+	rots := make([]givens, hi-1)
+	for i := 0; i < hi; i++ {
+		h.Add(i, i, -shift)
+	}
+	// QR factorization by Givens on the subdiagonal.
+	for k := 0; k < hi-1; k++ {
+		a, b := h.At(k, k), h.At(k+1, k)
+		r := math.Hypot(cmplx.Abs(a), cmplx.Abs(b))
+		if r == 0 {
+			rots[k] = givens{c: 1, s: 0}
+			continue
+		}
+		c := a / complex(r, 0)
+		s := b / complex(r, 0)
+		rots[k] = givens{c: c, s: s}
+		// Apply rotation to rows k, k+1.
+		for j := k; j < hi; j++ {
+			x, y := h.At(k, j), h.At(k+1, j)
+			h.Set(k, j, cmplx.Conj(c)*x+cmplx.Conj(s)*y)
+			h.Set(k+1, j, -s*x+c*y)
+		}
+	}
+	// RQ: apply the rotations on the right.
+	for k := 0; k < hi-1; k++ {
+		c, s := rots[k].c, rots[k].s
+		for i := 0; i <= k+1 && i < hi; i++ {
+			x, y := h.At(i, k), h.At(i, k+1)
+			h.Set(i, k, x*c+y*s)
+			h.Set(i, k+1, -x*cmplx.Conj(s)+y*cmplx.Conj(c))
+		}
+	}
+	for i := 0; i < hi; i++ {
+		h.Add(i, i, shift)
+	}
+}

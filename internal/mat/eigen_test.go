@@ -1,0 +1,160 @@
+package mat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigenvaluesDiagonal(t *testing.T) {
+	a := NewDenseFrom(3, 3, []float64{
+		3, 0, 0,
+		0, -1, 0,
+		0, 0, 7,
+	})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 3, 7}
+	for i, w := range want {
+		if cmplx.Abs(ev[i]-complex(w, 0)) > 1e-10 {
+			t.Fatalf("ev = %v, want %v", ev, want)
+		}
+	}
+}
+
+func TestEigenvaluesTriangular(t *testing.T) {
+	a := NewDenseFrom(3, 3, []float64{
+		2, 5, -1,
+		0, 4, 3,
+		0, 0, -6,
+	})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-6, 2, 4}
+	for i, w := range want {
+		if cmplx.Abs(ev[i]-complex(w, 0)) > 1e-9 {
+			t.Fatalf("ev = %v, want %v", ev, want)
+		}
+	}
+}
+
+func TestEigenvaluesComplexPair(t *testing.T) {
+	// Rotation-like matrix: eigenvalues a ± bi.
+	a := NewDenseFrom(2, 2, []float64{
+		1, -2,
+		2, 1,
+	})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmplx.Abs(ev[0]-complex(1, -2)) > 1e-9 || cmplx.Abs(ev[1]-complex(1, 2)) > 1e-9 {
+		t.Fatalf("ev = %v, want 1∓2i", ev)
+	}
+}
+
+func TestEigenvaluesCompanion(t *testing.T) {
+	// Companion matrix of (x−1)(x−2)(x−3) = x³ − 6x² + 11x − 6.
+	a := NewDenseFrom(3, 3, []float64{
+		6, -11, 6,
+		1, 0, 0,
+		0, 1, 0,
+	})
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i, w := range want {
+		if cmplx.Abs(ev[i]-complex(w, 0)) > 1e-8 {
+			t.Fatalf("ev = %v, want %v", ev, want)
+		}
+	}
+}
+
+func TestEigenvaluesSymmetricReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	n := 8
+	a := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ev {
+		if imag(v) != 0 {
+			t.Fatalf("symmetric matrix produced complex eigenvalue %v", v)
+		}
+	}
+}
+
+// Property: Σλ = trace and Πλ = det.
+func TestEigenvaluesTraceDetProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		a := randomDense(rng, n, n)
+		ev, err := Eigenvalues(a)
+		if err != nil {
+			return false
+		}
+		var sum complex128
+		prod := complex(1, 0)
+		for _, v := range ev {
+			sum += v
+			prod *= v
+		}
+		tr := 0.0
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+		}
+		lu, err := LUFactor(a)
+		if err != nil {
+			// Singular matrix: determinant zero; accept if prod is tiny.
+			return cmplx.Abs(prod) < 1e-6
+		}
+		det := lu.Det()
+		scale := 1 + math.Abs(tr) + math.Abs(det)
+		return cmplx.Abs(sum-complex(tr, 0)) < 1e-7*scale &&
+			cmplx.Abs(prod-complex(det, 0)) < 1e-6*scale*(1+cmplx.Abs(prod))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigenvaluesNonSquare(t *testing.T) {
+	if _, err := Eigenvalues(NewDense(2, 3)); err == nil {
+		t.Fatal("accepted non-square matrix")
+	}
+}
+
+func TestEigenvaluesSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randomDense(rng, 10, 10)
+	ev, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sort.SliceIsSorted(ev, func(i, j int) bool {
+		if real(ev[i]) != real(ev[j]) {
+			return real(ev[i]) < real(ev[j])
+		}
+		return imag(ev[i]) < imag(ev[j])
+	}) {
+		t.Fatalf("eigenvalues not sorted: %v", ev)
+	}
+}

@@ -1,0 +1,152 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters an (numerically)
+// exactly singular pivot.
+var ErrSingular = errors.New("mat: matrix is singular")
+
+// LU holds an LU factorization with partial (row) pivoting: P*A = L*U, where
+// L is unit lower triangular and U is upper triangular, both packed into lu.
+type LU struct {
+	lu   *Dense
+	piv  []int // piv[k] = row swapped into position k at step k
+	sign int   // determinant sign from the permutation
+}
+
+// LUFactor computes the LU factorization of a square matrix a with partial
+// pivoting. The input is not modified.
+func LUFactor(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("mat: LU of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	n := a.rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Find pivot.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		f.piv[k] = p
+		if max == 0 {
+			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
+		}
+		if p != k {
+			rk, rp := lu.Row(k), lu.Row(p)
+			for j := range rk {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			f.sign = -f.sign
+		}
+		inv := 1 / lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			lik := lu.At(i, k) * inv
+			lu.Set(i, k, lik)
+			if lik == 0 {
+				continue
+			}
+			ri, rk := lu.Row(i), lu.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= lik * rk[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// N returns the factored dimension.
+func (f *LU) N() int { return f.lu.rows }
+
+// Solve solves A x = b in place: b is overwritten with the solution and also
+// returned. len(b) must equal the factored dimension.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("mat: LU solve length %d != %d", len(b), n))
+	}
+	// Apply permutation.
+	for k := 0; k < n; k++ {
+		if p := f.piv[k]; p != k {
+			b[k], b[p] = b[p], b[k]
+		}
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		row := f.lu.Row(i)
+		s := b[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * b[j]
+		}
+		b[i] = s
+	}
+	// Back substitution with upper triangle.
+	for i := n - 1; i >= 0; i-- {
+		row := f.lu.Row(i)
+		s := b[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * b[j]
+		}
+		b[i] = s / row[i]
+	}
+	return b
+}
+
+// SolveMatrix solves A X = B column by column, returning X as a new matrix.
+func (f *LU) SolveMatrix(b *Dense) *Dense {
+	n := f.lu.rows
+	if b.rows != n {
+		panic(fmt.Sprintf("mat: LU SolveMatrix rows %d != %d", b.rows, n))
+	}
+	x := NewDense(n, b.cols)
+	col := make([]float64, n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		f.Solve(col)
+		for i := 0; i < n; i++ {
+			x.Set(i, j, col[i])
+		}
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	d := float64(f.sign)
+	n := f.lu.rows
+	for i := 0; i < n; i++ {
+		d *= f.lu.At(i, i)
+	}
+	return d
+}
+
+// Solve solves the dense square system A x = b, returning a fresh solution
+// slice. It is a convenience wrapper around LUFactor + LU.Solve.
+func Solve(a *Dense, b []float64) ([]float64, error) {
+	f, err := LUFactor(a)
+	if err != nil {
+		return nil, err
+	}
+	x := make([]float64, len(b))
+	copy(x, b)
+	return f.Solve(x), nil
+}
+
+// Inverse returns A⁻¹ computed from an LU factorization.
+func Inverse(a *Dense) (*Dense, error) {
+	f, err := LUFactor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(Eye(a.rows)), nil
+}

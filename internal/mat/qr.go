@@ -1,0 +1,124 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization A = Q·R of an m×n matrix with
+// m ≥ n, stored compactly: the Householder reflectors (head included) live
+// on and below the diagonal of qr, the strict upper triangle of R above it,
+// and R's diagonal separately in rdiag.
+type QR struct {
+	qr    *Dense
+	rdiag []float64
+	m, n  int
+}
+
+// QRFactor computes the QR factorization of a (m ≥ n required). The input is
+// not modified.
+func QRFactor(a *Dense) (*QR, error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, fmt.Errorf("mat: QR requires rows ≥ cols, got %dx%d", m, n)
+	}
+	f := &QR{qr: a.Clone(), rdiag: make([]float64, n), m: m, n: n}
+	q := f.qr
+	for k := 0; k < n; k++ {
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, q.At(i, k))
+		}
+		if nrm == 0 {
+			f.rdiag[k] = 0
+			continue
+		}
+		if q.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			q.Set(i, k, q.At(i, k)/nrm)
+		}
+		q.Add(k, k, 1)
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += q.At(i, k) * q.At(i, j)
+			}
+			s = -s / q.At(k, k)
+			for i := k; i < m; i++ {
+				q.Add(i, j, s*q.At(i, k))
+			}
+		}
+		f.rdiag[k] = -nrm
+	}
+	return f, nil
+}
+
+// R returns the upper-triangular factor (n×n).
+func (f *QR) R() *Dense {
+	r := NewDense(f.n, f.n)
+	for i := 0; i < f.n; i++ {
+		r.Set(i, i, f.rdiag[i])
+		for j := i + 1; j < f.n; j++ {
+			r.Set(i, j, f.qr.At(i, j))
+		}
+	}
+	return r
+}
+
+// FullRank reports whether every R diagonal entry is nonzero.
+func (f *QR) FullRank() bool {
+	for _, d := range f.rdiag {
+		if d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveLeastSquares returns the minimizer x of ‖A·x − b‖₂ (len n). A must
+// have full column rank.
+func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		return nil, fmt.Errorf("mat: QR solve length %d != %d", len(b), f.m)
+	}
+	if !f.FullRank() {
+		return nil, fmt.Errorf("%w: matrix is rank deficient", ErrSingular)
+	}
+	y := append([]float64(nil), b...)
+	// y ← Qᵀ·y.
+	for k := 0; k < f.n; k++ {
+		if f.qr.At(k, k) == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < f.m; i++ {
+			s += f.qr.At(i, k) * y[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.m; i++ {
+			y[i] += s * f.qr.At(i, k)
+		}
+	}
+	// Back substitution with R.
+	x := make([]float64, f.n)
+	copy(x, y[:f.n])
+	for i := f.n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x, nil
+}
+
+// LeastSquares is a convenience wrapper: argmin ‖A·x − b‖₂.
+func LeastSquares(a *Dense, b []float64) ([]float64, error) {
+	f, err := QRFactor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveLeastSquares(b)
+}

@@ -1,0 +1,127 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQRSquareSolveMatchesLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	n := 8
+	a := randomDense(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	b := randomVec(rng, n)
+	viaLU, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaQR, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range viaLU {
+		if math.Abs(viaLU[i]-viaQR[i]) > 1e-9*(1+math.Abs(viaLU[i])) {
+			t.Fatalf("x[%d]: LU %g vs QR %g", i, viaLU[i], viaQR[i])
+		}
+	}
+}
+
+// Property: the least-squares residual is orthogonal to the column space,
+// i.e. Aᵀ(Ax − b) ≈ 0 (the normal equations).
+func TestQRNormalEquationsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(8)
+		a := randomDense(rng, m, n)
+		b := randomVec(rng, m)
+		x, err := LeastSquares(a, b)
+		if err != nil {
+			// Random tall matrices are almost surely full rank; treat a
+			// failure as a property violation.
+			return false
+		}
+		r := a.MulVec(x, nil)
+		for i := range r {
+			r[i] -= b[i]
+		}
+		atr := a.MulVecT(r, nil)
+		return NormInf(atr) <= 1e-8*(1+NormInf(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQRPolynomialFit(t *testing.T) {
+	// Fit y = 2 + 3t − t² exactly through a Vandermonde least-squares.
+	ts := []float64{-2, -1, 0, 0.5, 1, 2, 3}
+	a := NewDense(len(ts), 3)
+	b := make([]float64, len(ts))
+	for i, tt := range ts {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, tt)
+		a.Set(i, 2, tt*tt)
+		b[i] = 2 + 3*tt - tt*tt
+	}
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("coef[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestQRRFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	a := randomDense(rng, 6, 4)
+	f, err := QRFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.R()
+	if !IsUpperTriangular(r, 0) {
+		t.Fatal("R not upper triangular")
+	}
+	// ‖R column norms‖ relate to A: RᵀR = AᵀA.
+	ata := Mul(a.T(), a)
+	rtr := Mul(r.T(), r)
+	if !Equalf(ata, rtr, 1e-9*(1+ata.MaxAbs())) {
+		t.Fatal("RᵀR != AᵀA")
+	}
+	if !f.FullRank() {
+		t.Fatal("random tall matrix reported rank-deficient")
+	}
+}
+
+func TestQRValidation(t *testing.T) {
+	if _, err := QRFactor(NewDense(2, 3)); err == nil {
+		t.Fatal("accepted wide matrix")
+	}
+	// Rank-deficient: a column of zeros.
+	a := NewDense(4, 2)
+	for i := 0; i < 4; i++ {
+		a.Set(i, 0, float64(i+1))
+	}
+	f, err := QRFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FullRank() {
+		t.Fatal("zero column not detected")
+	}
+	if _, err := f.SolveLeastSquares([]float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("solved a rank-deficient system")
+	}
+	if _, err := f.SolveLeastSquares([]float64{1}); err == nil {
+		t.Fatal("accepted wrong-length rhs")
+	}
+}

@@ -1,0 +1,119 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SVD computes the thin singular value decomposition A = U·diag(σ)·Vᵀ of an
+// m×n matrix with m ≥ n, by one-sided Jacobi rotations (slow but simple and
+// very accurate — singular values come out with high relative precision).
+// U is m×n with orthonormal columns, V is n×n orthogonal, σ is descending.
+func SVD(a *Dense) (u *Dense, sigma []float64, v *Dense, err error) {
+	m, n := a.Rows(), a.Cols()
+	if m < n {
+		return nil, nil, nil, fmt.Errorf("mat: SVD requires rows ≥ cols, got %dx%d", m, n)
+	}
+	w := a.Clone()
+	v = Eye(n)
+	const maxSweeps = 60
+	tol := 1e-15
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Gram entries of columns p, q.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					wp, wq := w.At(i, p), w.At(i, q)
+					app += wp * wp
+					aqq += wq * wq
+					apq += wp * wq
+				}
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || apq == 0 {
+					continue
+				}
+				off += apq * apq
+				// Jacobi rotation annihilating the (p,q) Gram entry.
+				zeta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					wp, wq := w.At(i, p), w.At(i, q)
+					w.Set(i, p, c*wp-s*wq)
+					w.Set(i, q, s*wp+c*wq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if off == 0 {
+			break
+		}
+	}
+	// Extract singular values and left vectors.
+	sigma = make([]float64, n)
+	u = NewDense(m, n)
+	order := make([]int, n)
+	for j := range order {
+		order[j] = j
+		s := 0.0
+		for i := 0; i < m; i++ {
+			s += w.At(i, j) * w.At(i, j)
+		}
+		sigma[j] = math.Sqrt(s)
+	}
+	sort.Slice(order, func(x, y int) bool { return sigma[order[x]] > sigma[order[y]] })
+	sortedSigma := make([]float64, n)
+	vSorted := NewDense(n, n)
+	for newJ, oldJ := range order {
+		sortedSigma[newJ] = sigma[oldJ]
+		for i := 0; i < m; i++ {
+			if sigma[oldJ] > 0 {
+				u.Set(i, newJ, w.At(i, oldJ)/sigma[oldJ])
+			}
+		}
+		for i := 0; i < n; i++ {
+			vSorted.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return u, sortedSigma, vSorted, nil
+}
+
+// Cond2 returns the 2-norm condition number σ_max/σ_min of a (Inf when
+// singular).
+func Cond2(a *Dense) (float64, error) {
+	_, sigma, _, err := SVD(a)
+	if err != nil {
+		return 0, err
+	}
+	smin := sigma[len(sigma)-1]
+	if smin == 0 {
+		return math.Inf(1), nil
+	}
+	return sigma[0] / smin, nil
+}
+
+// Rank returns the numerical rank of a at relative tolerance tol (0 → a
+// sensible default of max(m,n)·eps).
+func Rank(a *Dense, tol float64) (int, error) {
+	_, sigma, _, err := SVD(a)
+	if err != nil {
+		return 0, err
+	}
+	if tol <= 0 {
+		tol = float64(a.Rows()) * 2.22e-16
+	}
+	r := 0
+	for _, s := range sigma {
+		if s > tol*sigma[0] {
+			r++
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,130 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSVDKnownDiagonal(t *testing.T) {
+	a := NewDenseFrom(3, 3, []float64{
+		0, 0, 3,
+		-5, 0, 0,
+		0, 1, 0,
+	})
+	_, sigma, _, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 3, 1}
+	for i, w := range want {
+		if math.Abs(sigma[i]-w) > 1e-12 {
+			t.Fatalf("σ = %v, want %v", sigma, want)
+		}
+	}
+}
+
+// Property: U·diag(σ)·Vᵀ reconstructs A, U and V are orthonormal, and σ is
+// sorted descending.
+func TestSVDReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(6)
+		a := randomDense(rng, m, n)
+		u, sigma, v, err := SVD(a)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if sigma[i] > sigma[i-1] {
+				return false
+			}
+		}
+		// Rebuild A.
+		usv := NewDense(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += u.At(i, k) * sigma[k] * v.At(j, k)
+				}
+				usv.Set(i, j, s)
+			}
+		}
+		if !Equalf(usv, a, 1e-9*(1+a.MaxAbs())) {
+			return false
+		}
+		// Orthonormality.
+		if !Equalf(Mul(u.T(), u), Eye(n), 1e-9) {
+			return false
+		}
+		return Equalf(Mul(v.T(), v), Eye(n), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: singular values squared are the eigenvalues of AᵀA.
+func TestSVDMatchesGramEigenvalues(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := randomDense(rng, 7, 5)
+	_, sigma, _, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := Eigenvalues(Mul(a.T(), a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eigenvalues ascend; σ² descend.
+	for i := range sigma {
+		want := real(ev[len(ev)-1-i])
+		if math.Abs(sigma[i]*sigma[i]-want) > 1e-8*(1+want) {
+			t.Fatalf("σ²[%d] = %g, eig = %g", i, sigma[i]*sigma[i], want)
+		}
+	}
+}
+
+func TestCond2AndRank(t *testing.T) {
+	// diag(10, 1, 0.1): condition 100, rank 3.
+	a := NewDenseFrom(3, 3, []float64{10, 0, 0, 0, 1, 0, 0, 0, 0.1})
+	c, err := Cond2(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-100) > 1e-9 {
+		t.Fatalf("cond = %g, want 100", c)
+	}
+	r, err := Rank(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 3 {
+		t.Fatalf("rank = %d, want 3", r)
+	}
+	// Rank-deficient.
+	b := NewDenseFrom(3, 2, []float64{1, 2, 2, 4, 3, 6})
+	rb, err := Rank(b, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb != 1 {
+		t.Fatalf("rank = %d, want 1", rb)
+	}
+	cb, err := Cond2(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(cb, 1) {
+		t.Fatalf("cond of singular matrix = %g, want +Inf", cb)
+	}
+}
+
+func TestSVDValidation(t *testing.T) {
+	if _, _, _, err := SVD(NewDense(2, 3)); err == nil {
+		t.Fatal("accepted wide matrix")
+	}
+}

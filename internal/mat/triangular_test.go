@@ -1,0 +1,115 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomDistinctUpper(rng *rand.Rand, n int) *Dense {
+	t := NewDense(n, n)
+	for i := 0; i < n; i++ {
+		// Positive, well-separated diagonal.
+		t.Set(i, i, 1+float64(i)+rng.Float64()*0.4)
+		for j := i + 1; j < n; j++ {
+			t.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return t
+}
+
+func TestTriPowIntegerMatchesRepeatedSquaring(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 3, 6, 10} {
+		tri := randomDistinctUpper(rng, n)
+		for _, k := range []int{1, 2, 3} {
+			got, err := TriPow(tri, float64(k))
+			if err != nil {
+				t.Fatalf("n=%d k=%d: %v", n, k, err)
+			}
+			want := MatPowInt(tri, k)
+			if !Equalf(got, want, 1e-8*(1+want.MaxAbs())) {
+				t.Fatalf("n=%d: TriPow(T,%d) != T^%d\ngot\n%vwant\n%v", n, k, k, got, want)
+			}
+		}
+	}
+}
+
+// Property: TriPow semigroup — T^a · T^b ≈ T^(a+b).
+func TestTriPowSemigroupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		tri := randomDistinctUpper(rng, n)
+		a := 0.2 + rng.Float64()*1.5
+		b := 0.2 + rng.Float64()*1.5
+		fa, err1 := TriPow(tri, a)
+		fb, err2 := TriPow(tri, b)
+		fab, err3 := TriPow(tri, a+b)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		prod := Mul(fa, fb)
+		return Equalf(prod, fab, 1e-7*(1+fab.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriPowHalfSquares(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	tri := randomDistinctUpper(rng, 8)
+	half, err := TriPow(tri, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq := Mul(half, half)
+	if !Equalf(sq, tri, 1e-8*(1+tri.MaxAbs())) {
+		t.Fatal("(T^½)² != T")
+	}
+}
+
+func TestTriPowRejectsBadInput(t *testing.T) {
+	// Lower-triangular content.
+	bad := NewDenseFrom(2, 2, []float64{1, 0, 1, 2})
+	if _, err := TriPow(bad, 0.5); err == nil {
+		t.Fatal("TriPow accepted non-upper-triangular input")
+	}
+	// Repeated diagonal.
+	rep := NewDenseFrom(2, 2, []float64{1, 3, 0, 1})
+	if _, err := TriPow(rep, 0.5); err == nil {
+		t.Fatal("TriPow accepted repeated diagonal")
+	}
+	// Non-positive diagonal.
+	neg := NewDenseFrom(2, 2, []float64{-1, 3, 0, 2})
+	if _, err := TriPow(neg, 0.5); err == nil {
+		t.Fatal("TriPow accepted negative diagonal")
+	}
+}
+
+func TestMatPowIntBasics(t *testing.T) {
+	a := NewDenseFrom(2, 2, []float64{1, 1, 0, 1})
+	if !Equalf(MatPowInt(a, 0), Eye(2), 0) {
+		t.Fatal("A^0 != I")
+	}
+	five := MatPowInt(a, 5)
+	if math.Abs(five.At(0, 1)-5) > 1e-14 {
+		t.Fatalf("shear^5 upper entry = %g, want 5", five.At(0, 1))
+	}
+}
+
+func TestIsUpperTriangular(t *testing.T) {
+	u := NewDenseFrom(2, 2, []float64{1, 2, 0, 3})
+	if !IsUpperTriangular(u, 0) {
+		t.Fatal("upper triangular not recognized")
+	}
+	u.Set(1, 0, 1e-3)
+	if IsUpperTriangular(u, 1e-6) {
+		t.Fatal("non-triangular accepted")
+	}
+	if !IsUpperTriangular(u, 1e-2) {
+		t.Fatal("tolerance not honored")
+	}
+}

@@ -1,0 +1,276 @@
+// Package mor implements Krylov-subspace model order reduction
+// (PRIMA-style block Arnoldi moment matching) for descriptor systems
+// E·ẋ = A·x + B·u. Reducing a 10⁵-state power grid to a few dozen states
+// before running OPM is the standard EDA workflow the paper's systems come
+// from; the ablation in cmd/opm-bench quantifies the speed/accuracy trade.
+package mor
+
+import (
+	"fmt"
+	"math"
+
+	"opmsim/internal/core"
+	"opmsim/internal/mat"
+	"opmsim/internal/sparse"
+)
+
+// ROM is a reduced-order model x ≈ V·z with
+//
+//	Ê·ż = Â·z + B̂·u,   Ê = Vᵀ·E·V, Â = Vᵀ·A·V, B̂ = Vᵀ·B,
+//
+// whose transfer function matches the first q/p block moments of the
+// original system around the expansion point s₀.
+type ROM struct {
+	E, A, B *mat.Dense
+	// V is the n×q orthonormal projection basis, stored column-major.
+	V [][]float64
+	// S0 is the expansion point used for moment matching.
+	S0 float64
+}
+
+// Order returns the reduced dimension q.
+func (r *ROM) Order() int { return len(r.V) }
+
+// FullDim returns the original dimension n.
+func (r *ROM) FullDim() int {
+	if len(r.V) == 0 {
+		return 0
+	}
+	return len(r.V[0])
+}
+
+// Reduce builds a ROM of (at most) the given order by block Arnoldi on the
+// Krylov operator K⁻¹·E with starting block K⁻¹·B, K = s₀·E − A. The
+// returned order can be smaller if the Krylov space deflates (exactly
+// captured dynamics). s₀ must make K nonsingular; s₀ = 0 works when A is
+// nonsingular, and a small positive s₀ handles singular A.
+//
+// Stability caveat: the one-sided Galerkin projection VᵀEV/VᵀAV provably
+// preserves stability only when E ⪰ 0 and A + Aᵀ ⪯ 0 — the natural MNA
+// structure of current-driven RC/RLC networks. For formulations with
+// voltage sources (unsymmetric constraint rows) the ROM can be unstable;
+// verify with core.SpectralAbscissa before trusting long transients, or
+// reformulate with current drives.
+func Reduce(e, a, b *sparse.CSR, order int, s0 float64) (*ROM, error) {
+	n := e.R
+	if e.C != n || a.R != n || a.C != n || b.R != n {
+		return nil, fmt.Errorf("mor: dimension mismatch")
+	}
+	if order < 1 || order > n {
+		return nil, fmt.Errorf("mor: order %d outside [1, %d]", order, n)
+	}
+	k := sparse.Combine(s0, e, -1, a)
+	fac, err := sparse.Factor(k, sparse.Options{Refine: true})
+	if err != nil {
+		return nil, fmt.Errorf("mor: s₀ = %g makes the pencil singular: %w", s0, err)
+	}
+	p := b.C
+	// Starting block: R = K⁻¹B, column by column.
+	var v [][]float64
+	col := make([]float64, n)
+	pending := make([][]float64, 0, p)
+	for c := 0; c < p; c++ {
+		for i := range col {
+			col[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			for q := b.RowPtr[i]; q < b.RowPtr[i+1]; q++ {
+				if b.ColIdx[q] == c {
+					col[i] = b.Val[q]
+				}
+			}
+		}
+		pending = append(pending, fac.Solve(col))
+	}
+	const deflateTol = 1e-12
+	orthonormalize := func(w []float64) bool {
+		// Modified Gram–Schmidt with one reorthogonalization pass.
+		for pass := 0; pass < 2; pass++ {
+			for _, q := range v {
+				mat.Axpy(-mat.Dot(q, w), q, w)
+			}
+		}
+		norm := mat.Norm2(w)
+		if norm < deflateTol {
+			return false
+		}
+		mat.ScaleVec(1/norm, w)
+		v = append(v, w)
+		return true
+	}
+	// Block Arnoldi: orthonormalize the pending block, then generate the
+	// next block as K⁻¹E applied to the newly accepted vectors.
+	for len(v) < order && len(pending) > 0 {
+		accepted := make([][]float64, 0, len(pending))
+		for _, w := range pending {
+			if len(v) >= order {
+				break
+			}
+			if orthonormalize(w) {
+				accepted = append(accepted, v[len(v)-1])
+			}
+		}
+		pending = pending[:0]
+		if len(accepted) == 0 {
+			break // Krylov space exhausted: exact ROM
+		}
+		tmp := make([]float64, n)
+		for _, q := range accepted {
+			e.MulVec(q, tmp)
+			pending = append(pending, fac.Solve(tmp))
+		}
+	}
+	if len(v) == 0 {
+		return nil, fmt.Errorf("mor: starting block is zero (B = 0?)")
+	}
+	qn := len(v)
+	rom := &ROM{
+		E:  project(e, v),
+		A:  project(a, v),
+		B:  projectRect(b, v),
+		V:  v,
+		S0: s0,
+	}
+	_ = qn
+	return rom, nil
+}
+
+// project computes Vᵀ·M·V for sparse M.
+func project(m *sparse.CSR, v [][]float64) *mat.Dense {
+	q := len(v)
+	n := len(v[0])
+	mv := make([][]float64, q)
+	for j := range v {
+		mv[j] = m.MulVec(v[j], make([]float64, n))
+	}
+	out := mat.NewDense(q, q)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			out.Set(i, j, mat.Dot(v[i], mv[j]))
+		}
+	}
+	return out
+}
+
+// projectRect computes Vᵀ·B for sparse B (n×p).
+func projectRect(b *sparse.CSR, v [][]float64) *mat.Dense {
+	q, p := len(v), b.C
+	out := mat.NewDense(q, p)
+	col := make([]float64, b.R)
+	for c := 0; c < p; c++ {
+		for i := range col {
+			col[i] = 0
+		}
+		for i := 0; i < b.R; i++ {
+			for pp := b.RowPtr[i]; pp < b.RowPtr[i+1]; pp++ {
+				if b.ColIdx[pp] == c {
+					col[i] = b.Val[pp]
+				}
+			}
+		}
+		for i := 0; i < q; i++ {
+			out.Set(i, c, mat.Dot(v[i], col))
+		}
+	}
+	return out
+}
+
+// ProjectOutput maps a full-order output matrix C (rows select outputs) to
+// the reduced space: Ĉ = C·V.
+func (r *ROM) ProjectOutput(c *sparse.CSR) (*mat.Dense, error) {
+	if c.C != r.FullDim() {
+		return nil, fmt.Errorf("mor: output matrix has %d columns, want %d", c.C, r.FullDim())
+	}
+	q := r.Order()
+	out := mat.NewDense(c.R, q)
+	for i := 0; i < c.R; i++ {
+		for p := c.RowPtr[i]; p < c.RowPtr[i+1]; p++ {
+			row, val := c.ColIdx[p], c.Val[p]
+			for j := 0; j < q; j++ {
+				out.Add(i, j, val*r.V[j][row])
+			}
+		}
+	}
+	return out, nil
+}
+
+// System converts the ROM to a core.System (with optional reduced output
+// map) so the OPM solvers run on it directly.
+func (r *ROM) System(cHat *mat.Dense) (*core.System, error) {
+	sys := &core.System{
+		Terms: []core.Term{
+			{Order: 1, Coeff: sparse.FromDense(r.E)},
+			{Order: 0, Coeff: sparse.FromDense(r.A).Scale(-1)},
+		},
+		B: sparse.FromDense(r.B),
+	}
+	if cHat != nil {
+		sys.C = sparse.FromDense(cHat)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// Lift expands a reduced state z back to the full space x = V·z.
+func (r *ROM) Lift(z []float64) []float64 {
+	n := r.FullDim()
+	x := make([]float64, n)
+	for j, q := range r.V {
+		mat.Axpy(z[j], q, x)
+	}
+	return x
+}
+
+// TransferFunction evaluates H(s) = C·(sE − A)⁻¹·B for dense matrices (used
+// by tests to verify moment matching between full and reduced models; the
+// full model should be converted with ToDense on small instances only).
+func TransferFunction(e, a, b, c *mat.Dense, s complex128) (*mat.CDense, error) {
+	n := e.Rows()
+	m := mat.NewCDense(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, s*complex(e.At(i, j), 0)-complex(a.At(i, j), 0))
+		}
+	}
+	f, err := mat.CLUFactor(m)
+	if err != nil {
+		return nil, err
+	}
+	p := b.Cols()
+	q := c.Rows()
+	h := mat.NewCDense(q, p)
+	rhs := make([]complex128, n)
+	for col := 0; col < p; col++ {
+		for i := 0; i < n; i++ {
+			rhs[i] = complex(b.At(i, col), 0)
+		}
+		x := f.Solve(rhs)
+		for row := 0; row < q; row++ {
+			var acc complex128
+			for i := 0; i < n; i++ {
+				acc += complex(c.At(row, i), 0) * x[i]
+			}
+			h.Set(row, col, acc)
+		}
+	}
+	return h, nil
+}
+
+// OrthonormalityDefect returns max |VᵀV − I| — a diagnostic for tests.
+func (r *ROM) OrthonormalityDefect() float64 {
+	worst := 0.0
+	for i := range r.V {
+		for j := range r.V {
+			d := mat.Dot(r.V[i], r.V[j])
+			if i == j {
+				d -= 1
+			}
+			if a := math.Abs(d); a > worst {
+				worst = a
+			}
+		}
+	}
+	return worst
+}

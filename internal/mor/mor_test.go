@@ -1,0 +1,254 @@
+package mor
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"opmsim/internal/core"
+	"opmsim/internal/netgen"
+	"opmsim/internal/sparse"
+	"opmsim/internal/waveform"
+)
+
+// ladderDAE builds the (E, A, B, C) of an n-section RC ladder driven by a
+// current source at the head, observing the tail voltage.
+func ladderDAE(t *testing.T, sections int) (e, a, b, c *sparse.CSR) {
+	t.Helper()
+	ec := sparse.NewCOO(sections, sections)
+	ac := sparse.NewCOO(sections, sections)
+	bc := sparse.NewCOO(sections, 1)
+	g := 1.0 // 1/R
+	for i := 0; i < sections; i++ {
+		ec.Add(i, i, 1) // C = 1 per node
+		ac.Add(i, i, -g)
+		if i > 0 {
+			ac.Add(i, i, -g)
+			ac.Add(i, i-1, g)
+			ac.Add(i-1, i, g)
+		}
+	}
+	bc.Add(0, 0, 1)
+	cc := sparse.NewCOO(1, sections)
+	cc.Add(0, sections-1, 1)
+	return ec.ToCSR(), ac.ToCSR(), bc.ToCSR(), cc.ToCSR()
+}
+
+func TestReduceOrthonormalBasis(t *testing.T) {
+	e, a, b, _ := ladderDAE(t, 40)
+	rom, err := Reduce(e, a, b, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rom.Order() != 10 || rom.FullDim() != 40 {
+		t.Fatalf("order %d, dim %d", rom.Order(), rom.FullDim())
+	}
+	if d := rom.OrthonormalityDefect(); d > 1e-10 {
+		t.Fatalf("VᵀV deviates from I by %g", d)
+	}
+}
+
+// Moment matching: the ROM transfer function must match the full one around
+// s₀ to near machine precision at low frequencies, degrading gracefully
+// further out.
+func TestReduceMomentMatching(t *testing.T) {
+	e, a, b, c := ladderDAE(t, 30)
+	rom, err := Reduce(e, a, b, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cHat, err := rom.ProjectOutput(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative accuracy degrades smoothly away from s₀ = 0: essentially
+	// exact at DC, sub-percent within the matched band.
+	tols := map[complex128]float64{0: 1e-10, 0.01i: 1e-6, 0.05i: 1e-4, 0.1i: 1e-2}
+	for s, tol := range tols {
+		hFull, err := TransferFunction(e.ToDense(), a.ToDense(), b.ToDense(), c.ToDense(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hRed, err := TransferFunction(rom.E, rom.A, rom.B, cHat, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diff := cmplx.Abs(hFull.At(0, 0)-hRed.At(0, 0)) / cmplx.Abs(hFull.At(0, 0))
+		if diff > tol {
+			t.Fatalf("H(%v): relative error %g > %g (full %v vs reduced %v)",
+				s, diff, tol, hFull.At(0, 0), hRed.At(0, 0))
+		}
+	}
+}
+
+// Time-domain: the ROM simulated by OPM must reproduce the full model's
+// step response at the observation node.
+func TestReduceTimeDomainMatchesFull(t *testing.T) {
+	e, a, b, c := ladderDAE(t, 60)
+	u := []waveform.Signal{waveform.Step(1, 0)}
+	m, T := 1024, 40.0
+
+	fullSys, err := core.NewDAE(e, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSys, err = fullSys.WithOutput(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.Solve(fullSys, u, m, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rom, err := Reduce(e, a, b, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cHat, err := rom.ProjectOutput(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redSys, err := rom.System(cHat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := core.Solve(redSys, u, m, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range []float64{2, 8, 16, 30, 39} {
+		yf := full.OutputAt(tt)[0]
+		yr := red.OutputAt(tt)[0]
+		if math.Abs(yf-yr) > 2e-3*(1+math.Abs(yf)) {
+			t.Fatalf("ROM output at t=%g: %g vs full %g", tt, yr, yf)
+		}
+	}
+}
+
+// Lift maps reduced states back with the projection: V·(Vᵀx) ≈ x for x in
+// the Krylov space (the starting vector certainly is).
+func TestLiftRoundTrip(t *testing.T) {
+	e, a, b, _ := ladderDAE(t, 20)
+	rom, err := Reduce(e, a, b, 6, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x = first basis vector: z = e₁ lifts to it exactly.
+	z := make([]float64, rom.Order())
+	z[0] = 1
+	x := rom.Lift(z)
+	for i := range x {
+		if math.Abs(x[i]-rom.V[0][i]) > 1e-14 {
+			t.Fatal("Lift broken")
+		}
+	}
+}
+
+// Deflation: asking for more order than the reachable subspace dimension
+// yields a smaller, exact ROM.
+func TestReduceDeflation(t *testing.T) {
+	// Two decoupled states, input touching only the first: reachable space
+	// is 1-D.
+	ec := sparse.NewCOO(2, 2)
+	ec.Add(0, 0, 1)
+	ec.Add(1, 1, 1)
+	ac := sparse.NewCOO(2, 2)
+	ac.Add(0, 0, -1)
+	ac.Add(1, 1, -2)
+	bc := sparse.NewCOO(2, 1)
+	bc.Add(0, 0, 1)
+	rom, err := Reduce(ec.ToCSR(), ac.ToCSR(), bc.ToCSR(), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rom.Order() != 1 {
+		t.Fatalf("deflated order = %d, want 1", rom.Order())
+	}
+}
+
+func TestReduceValidation(t *testing.T) {
+	e, a, b, _ := ladderDAE(t, 10)
+	if _, err := Reduce(e, a, b, 0, 0); err == nil {
+		t.Fatal("accepted order 0")
+	}
+	if _, err := Reduce(e, a, b, 11, 0); err == nil {
+		t.Fatal("accepted order > n")
+	}
+	// s₀ equal to an eigenvalue of the pencil: K singular.
+	bad := sparse.NewCOO(1, 1)
+	bad.Add(0, 0, 1)
+	acoo := sparse.NewCOO(1, 1)
+	acoo.Add(0, 0, 2)
+	if _, err := Reduce(bad.ToCSR(), acoo.ToCSR(), bad.ToCSR(), 1, 2); err == nil {
+		t.Fatal("accepted singular expansion point")
+	}
+	// Zero B.
+	zb := sparse.NewCOO(10, 1).ToCSR()
+	if _, err := Reduce(e, a, zb, 2, 0); err == nil {
+		t.Fatal("accepted zero input matrix")
+	}
+}
+
+// ROM of the power-grid MNA model reproduces the droop waveform at a load
+// node — the realistic use case.
+func TestReducePowerGrid(t *testing.T) {
+	cfg := netgen.DefaultPowerGrid()
+	cfg.Rows, cfg.Cols, cfg.Layers = 8, 8, 2
+	cfg.NumLoads = 4
+	grid, err := netgen.PowerGrid3D(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mna, err := grid.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, a, b, err := mna.DAE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := mna.VoltageSelector(grid.ObserveNodes[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expansion near the grid's time scale (≈1/ns).
+	rom, err := Reduce(e, a, b, 24, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cHat, err := rom.ProjectOutput(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	redSys, err := rom.System(cHat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSys, err := core.NewDAE(e, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullSys, err = fullSys.WithOutput(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T, m := 6e-9, 600
+	full, err := core.Solve(fullSys, mna.Inputs, m, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	red, err := core.Solve(redSys, mna.Inputs, m, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst, scale float64
+	for _, tt := range waveform.UniformTimes(50, T) {
+		d := math.Abs(full.OutputAt(tt)[0] - red.OutputAt(tt)[0])
+		worst = math.Max(worst, d)
+		scale = math.Max(scale, math.Abs(full.OutputAt(tt)[0]))
+	}
+	if worst > 0.05*scale {
+		t.Fatalf("ROM droop deviates by %g (scale %g)", worst, scale)
+	}
+}

@@ -1,0 +1,354 @@
+// Package netgen generates the benchmark networks of the paper's evaluation:
+// the 3-D RLC power grid of §V-B (Table II), a synthetic stand-in for the
+// 7-state fractional transmission-line model of §V-A (Table I), and RC
+// ladders for the adaptive-step and quickstart scenarios.
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"opmsim/internal/circuit"
+	"opmsim/internal/waveform"
+)
+
+// PowerGridConfig parameterizes the 3-D grid. Dimensions multiply out to the
+// node count: the paper's instance is ~75 K nodes (NA) / ~110 K states
+// (MNA); the defaults in DefaultPowerGrid are laptop-scale, and the bench
+// harness exposes flags to reproduce the full size.
+type PowerGridConfig struct {
+	Layers, Rows, Cols int
+	// BranchR is the in-plane segment resistance (Ω).
+	BranchR float64
+	// ViaL is the inter-layer via inductance (H).
+	ViaL float64
+	// NodeC is the decap/parasitic capacitance per node (F).
+	NodeC float64
+	// PadR ties top-layer pad nodes to the supply rail (analyzed as ground,
+	// so node voltages are IR-droop) every PadPitch nodes.
+	PadR     float64
+	PadPitch int
+	// NumLoads switching current loads are placed on random bottom-layer
+	// nodes, drawing trapezoidal pulses of LoadPeak amps with LoadRise
+	// rise/fall and LoadWidth on-time starting at LoadDelay.
+	NumLoads  int
+	LoadPeak  float64
+	LoadDelay float64
+	LoadRise  float64
+	LoadWidth float64
+	Seed      int64
+}
+
+// DefaultPowerGrid returns a small instance (3 layers × 16 × 16 ≈ 768 nodes)
+// with physically plausible on-chip values: mΩ-scale grid segments, pH vias,
+// fF decaps and mA switching loads on a nanosecond time base.
+func DefaultPowerGrid() PowerGridConfig {
+	return PowerGridConfig{
+		Layers: 3, Rows: 16, Cols: 16,
+		BranchR: 0.05, ViaL: 5e-12, NodeC: 50e-15,
+		PadR: 0.01, PadPitch: 4,
+		NumLoads: 32, LoadPeak: 5e-3,
+		LoadDelay: 0.5e-9, LoadRise: 0.2e-9, LoadWidth: 2e-9,
+		Seed: 1,
+	}
+}
+
+// PowerGrid is a generated grid: the netlist plus bookkeeping for the
+// experiment harness.
+type PowerGrid struct {
+	Netlist *circuit.Netlist
+	// LoadNodes are the netlist node ids carrying current loads.
+	LoadNodes []int
+	// ObserveNodes are representative nodes (grid center of each layer) for
+	// waveform comparison.
+	ObserveNodes []int
+	Config       PowerGridConfig
+}
+
+// PowerGrid3D builds the grid: in-plane resistor mesh per layer, inductive
+// vias between layers, capacitance at every node, resistive pads on the top
+// layer and pulsed current loads on the bottom layer. The structure admits
+// both formulations of §V-B: NA (second-order, node voltages only) and MNA
+// (first-order DAE with via currents as extra states).
+func PowerGrid3D(cfg PowerGridConfig) (*PowerGrid, error) {
+	if cfg.Layers < 1 || cfg.Rows < 2 || cfg.Cols < 2 {
+		return nil, fmt.Errorf("netgen: grid needs ≥1 layer and ≥2 rows/cols, got %dx%dx%d", cfg.Layers, cfg.Rows, cfg.Cols)
+	}
+	if cfg.BranchR <= 0 || cfg.NodeC <= 0 || cfg.PadR <= 0 {
+		return nil, fmt.Errorf("netgen: BranchR, NodeC, PadR must be positive")
+	}
+	if cfg.Layers > 1 && cfg.ViaL <= 0 {
+		return nil, fmt.Errorf("netgen: multi-layer grid needs positive ViaL")
+	}
+	if cfg.PadPitch < 1 {
+		cfg.PadPitch = 1
+	}
+	if cfg.NumLoads < 1 {
+		return nil, fmt.Errorf("netgen: need at least one load")
+	}
+	n := circuit.New()
+	node := func(l, r, c int) int {
+		return n.Node(fmt.Sprintf("n%d_%d_%d", l, r, c))
+	}
+	// In-plane resistor mesh.
+	for l := 0; l < cfg.Layers; l++ {
+		for r := 0; r < cfg.Rows; r++ {
+			for c := 0; c < cfg.Cols; c++ {
+				if c+1 < cfg.Cols {
+					if err := n.AddR(fmt.Sprintf("Rh%d_%d_%d", l, r, c), node(l, r, c), node(l, r, c+1), cfg.BranchR); err != nil {
+						return nil, err
+					}
+				}
+				if r+1 < cfg.Rows {
+					if err := n.AddR(fmt.Sprintf("Rv%d_%d_%d", l, r, c), node(l, r, c), node(l, r+1, c), cfg.BranchR); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+	// Vias (inductive) between adjacent layers.
+	for l := 0; l+1 < cfg.Layers; l++ {
+		for r := 0; r < cfg.Rows; r++ {
+			for c := 0; c < cfg.Cols; c++ {
+				if err := n.AddL(fmt.Sprintf("Lv%d_%d_%d", l, r, c), node(l, r, c), node(l+1, r, c), cfg.ViaL); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Node capacitance.
+	for l := 0; l < cfg.Layers; l++ {
+		for r := 0; r < cfg.Rows; r++ {
+			for c := 0; c < cfg.Cols; c++ {
+				if err := n.AddC(fmt.Sprintf("C%d_%d_%d", l, r, c), node(l, r, c), 0, cfg.NodeC); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// Pads on the top layer.
+	padCount := 0
+	for r := 0; r < cfg.Rows; r += cfg.PadPitch {
+		for c := 0; c < cfg.Cols; c += cfg.PadPitch {
+			if err := n.AddR(fmt.Sprintf("Rpad%d_%d", r, c), node(0, r, c), 0, cfg.PadR); err != nil {
+				return nil, err
+			}
+			padCount++
+		}
+	}
+	if padCount == 0 {
+		return nil, fmt.Errorf("netgen: pad pitch %d left the grid floating", cfg.PadPitch)
+	}
+	// Switching loads on the bottom layer.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bottom := cfg.Layers - 1
+	loadNodes := make([]int, 0, cfg.NumLoads)
+	for i := 0; i < cfg.NumLoads; i++ {
+		r, c := rng.Intn(cfg.Rows), rng.Intn(cfg.Cols)
+		id := node(bottom, r, c)
+		// Stagger load switching slightly for a realistic aggregate.
+		delay := cfg.LoadDelay * (1 + 0.5*rng.Float64())
+		src := waveform.Pulse(0, cfg.LoadPeak, delay, cfg.LoadRise, cfg.LoadRise, cfg.LoadWidth, 0)
+		if err := n.AddI(fmt.Sprintf("Iload%d", i), id, 0, src); err != nil {
+			return nil, err
+		}
+		loadNodes = append(loadNodes, id)
+	}
+	observe := make([]int, cfg.Layers)
+	for l := 0; l < cfg.Layers; l++ {
+		observe[l] = node(l, cfg.Rows/2, cfg.Cols/2)
+	}
+	return &PowerGrid{Netlist: n, LoadNodes: loadNodes, ObserveNodes: observe, Config: cfg}, nil
+}
+
+// FractionalLineConfig parameterizes the synthetic fractional
+// transmission-line model standing in for the §V-A example (whose exact
+// matrices the paper does not print — see DESIGN.md substitutions).
+type FractionalLineConfig struct {
+	// Sections is the number of ladder sections = state count (paper: 7).
+	Sections int
+	// Order is the fractional derivative order (paper: 1/2).
+	Order float64
+	// SectionR is the series resistance per section (Ω).
+	SectionR float64
+	// SectionC is the CPE pseudo-capacitance per section.
+	SectionC float64
+	// TermR terminates both ends to ground.
+	TermR float64
+}
+
+// DefaultFractionalLine reproduces the paper's dimensions: 7 states, 2
+// inputs/outputs, order 1/2, on the paper's [0, 2.7 ns) time base.
+func DefaultFractionalLine() FractionalLineConfig {
+	return FractionalLineConfig{Sections: 7, Order: 0.5, SectionR: 50, SectionC: 0.8e-9, TermR: 50}
+}
+
+// FractionalLine builds the model as a CPE ladder: nodes v₁..v_k chained by
+// section resistors, a CPE from every node to ground, current injections at
+// the two end nodes (2 inputs) and terminations at both ends. Its MNA is
+// exactly E·d^α x = A·x + B·u with x ∈ R^k, u, y ∈ R², matching eq. (29).
+// The returned MNA has C selecting the two port voltages.
+func FractionalLine(cfg FractionalLineConfig, drive1, drive2 waveform.Signal) (*circuit.MNA, error) {
+	if cfg.Sections < 2 {
+		return nil, fmt.Errorf("netgen: line needs at least 2 sections, got %d", cfg.Sections)
+	}
+	if cfg.Order <= 0 || cfg.Order >= 2 {
+		return nil, fmt.Errorf("netgen: fractional order must be in (0,2), got %g", cfg.Order)
+	}
+	if cfg.SectionR <= 0 || cfg.SectionC <= 0 || cfg.TermR <= 0 {
+		return nil, fmt.Errorf("netgen: section parameters must be positive")
+	}
+	if drive1 == nil || drive2 == nil {
+		return nil, fmt.Errorf("netgen: both port drives are required (use waveform.Zero for an idle port)")
+	}
+	n := circuit.New()
+	nodes := make([]int, cfg.Sections)
+	for i := range nodes {
+		nodes[i] = n.Node(fmt.Sprintf("v%d", i+1))
+	}
+	first, last := nodes[0], nodes[cfg.Sections-1]
+	if err := n.AddI("Iin1", 0, first, drive1); err != nil {
+		return nil, err
+	}
+	if err := n.AddI("Iin2", 0, last, drive2); err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < cfg.Sections; i++ {
+		if err := n.AddR(fmt.Sprintf("Rs%d", i+1), nodes[i], nodes[i+1], cfg.SectionR); err != nil {
+			return nil, err
+		}
+	}
+	for i, nd := range nodes {
+		if err := n.AddCPE(fmt.Sprintf("P%d", i+1), nd, 0, cfg.SectionC, cfg.Order); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.AddR("Rt1", first, 0, cfg.TermR); err != nil {
+		return nil, err
+	}
+	if err := n.AddR("Rt2", last, 0, cfg.TermR); err != nil {
+		return nil, err
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		return nil, err
+	}
+	c, err := mna.VoltageSelector(first, last)
+	if err != nil {
+		return nil, err
+	}
+	sysC, err := mna.Sys.WithOutput(c)
+	if err != nil {
+		return nil, err
+	}
+	mna.Sys = sysC
+	return mna, nil
+}
+
+// RCTree builds a balanced binary RC interconnect tree of the given depth:
+// the root is driven by a voltage source through a driver resistance, every
+// branch is an R segment, and every internal/leaf node carries a grounded
+// capacitor. It models clock/signal distribution networks; the leaf with the
+// longest path dominates the delay. Returns the MNA with C selecting all
+// leaf voltages.
+func RCTree(depth int, rDrv, rSeg, cNode float64, drive waveform.Signal) (*circuit.MNA, error) {
+	if depth < 1 || depth > 12 {
+		return nil, fmt.Errorf("netgen: tree depth must be in [1,12], got %d", depth)
+	}
+	if rDrv <= 0 || rSeg <= 0 || cNode <= 0 {
+		return nil, fmt.Errorf("netgen: tree needs positive R and C values")
+	}
+	if drive == nil {
+		return nil, fmt.Errorf("netgen: tree needs a drive signal")
+	}
+	n := circuit.New()
+	src := n.Node("src")
+	if err := n.AddV("Vdrv", src, 0, drive); err != nil {
+		return nil, err
+	}
+	root := n.Node("n0")
+	if err := n.AddR("Rdrv", src, root, rDrv); err != nil {
+		return nil, err
+	}
+	if err := n.AddC("C0", root, 0, cNode); err != nil {
+		return nil, err
+	}
+	// Level-order construction: node i has children 2i+1, 2i+2.
+	total := 1<<(depth+1) - 1
+	var leaves []int
+	for i := 1; i < total; i++ {
+		parent := n.Node(fmt.Sprintf("n%d", (i-1)/2))
+		me := n.Node(fmt.Sprintf("n%d", i))
+		if err := n.AddR(fmt.Sprintf("R%d", i), parent, me, rSeg); err != nil {
+			return nil, err
+		}
+		if err := n.AddC(fmt.Sprintf("C%d", i), me, 0, cNode); err != nil {
+			return nil, err
+		}
+		if 2*i+1 >= total {
+			leaves = append(leaves, me)
+		}
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		return nil, err
+	}
+	sel, err := mna.VoltageSelector(leaves...)
+	if err != nil {
+		return nil, err
+	}
+	sysC, err := mna.Sys.WithOutput(sel)
+	if err != nil {
+		return nil, err
+	}
+	mna.Sys = sysC
+	return mna, nil
+}
+
+// RCLadder builds an n-section RC ladder driven by a step voltage source —
+// the quickstart network. Section i has resistance r and capacitance c; the
+// far-end capacitor voltage is the usual observation point.
+func RCLadder(sections int, r, c float64, drive waveform.Signal) (*circuit.MNA, error) {
+	if sections < 1 {
+		return nil, fmt.Errorf("netgen: ladder needs at least one section")
+	}
+	if r <= 0 || c <= 0 {
+		return nil, fmt.Errorf("netgen: ladder needs positive R and C")
+	}
+	if drive == nil {
+		return nil, fmt.Errorf("netgen: ladder needs a drive signal")
+	}
+	n := circuit.New()
+	in := n.Node("in")
+	if err := n.AddV("Vin", in, 0, drive); err != nil {
+		return nil, err
+	}
+	prev := in
+	var lastNode int
+	for i := 1; i <= sections; i++ {
+		nd := n.Node(fmt.Sprintf("n%d", i))
+		if err := n.AddR(fmt.Sprintf("R%d", i), prev, nd, r); err != nil {
+			return nil, err
+		}
+		if err := n.AddC(fmt.Sprintf("C%d", i), nd, 0, c); err != nil {
+			return nil, err
+		}
+		prev = nd
+		lastNode = nd
+	}
+	mna, err := n.MNA()
+	if err != nil {
+		return nil, err
+	}
+	sel, err := mna.VoltageSelector(lastNode)
+	if err != nil {
+		return nil, err
+	}
+	sysC, err := mna.Sys.WithOutput(sel)
+	if err != nil {
+		return nil, err
+	}
+	mna.Sys = sysC
+	return mna, nil
+}

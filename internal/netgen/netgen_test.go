@@ -1,0 +1,299 @@
+package netgen
+
+import (
+	"math"
+	"testing"
+
+	"opmsim/internal/core"
+	"opmsim/internal/transient"
+	"opmsim/internal/waveform"
+)
+
+func TestPowerGridCounts(t *testing.T) {
+	cfg := DefaultPowerGrid()
+	cfg.Rows, cfg.Cols, cfg.Layers = 4, 5, 3
+	cfg.NumLoads = 6
+	g, err := PowerGrid3D(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Netlist.Stats()
+	nodes := 3 * 4 * 5
+	if s.Nodes != nodes {
+		t.Fatalf("nodes = %d, want %d", s.Nodes, nodes)
+	}
+	wantL := 2 * 4 * 5 // (layers-1)·rows·cols vias
+	if s.L != wantL {
+		t.Fatalf("inductors = %d, want %d", s.L, wantL)
+	}
+	if s.C != nodes {
+		t.Fatalf("capacitors = %d, want %d", s.C, nodes)
+	}
+	if s.I != 6 {
+		t.Fatalf("loads = %d, want 6", s.I)
+	}
+	if len(g.ObserveNodes) != 3 {
+		t.Fatalf("observe nodes = %d", len(g.ObserveNodes))
+	}
+	// MNA state count: nodes + inductor currents.
+	mna, err := g.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mna.Sys.N() != nodes+wantL {
+		t.Fatalf("MNA states = %d, want %d", mna.Sys.N(), nodes+wantL)
+	}
+	// NA state count: nodes only.
+	na, err := g.Netlist.NA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Sys.N() != nodes {
+		t.Fatalf("NA states = %d, want %d", na.Sys.N(), nodes)
+	}
+}
+
+func TestPowerGridValidation(t *testing.T) {
+	bad := DefaultPowerGrid()
+	bad.Rows = 1
+	if _, err := PowerGrid3D(bad); err == nil {
+		t.Fatal("accepted 1-row grid")
+	}
+	bad = DefaultPowerGrid()
+	bad.BranchR = 0
+	if _, err := PowerGrid3D(bad); err == nil {
+		t.Fatal("accepted zero branch resistance")
+	}
+	bad = DefaultPowerGrid()
+	bad.ViaL = 0
+	if _, err := PowerGrid3D(bad); err == nil {
+		t.Fatal("accepted zero via inductance on multilayer grid")
+	}
+	bad = DefaultPowerGrid()
+	bad.NumLoads = 0
+	if _, err := PowerGrid3D(bad); err == nil {
+		t.Fatal("accepted zero loads")
+	}
+}
+
+// Physics sanity: a grid driven by switching loads shows a droop that decays
+// back toward zero after the loads switch off, and the NA and MNA
+// formulations agree on it. This is the §V-B cross-check at small scale.
+func TestPowerGridNAvsMNA(t *testing.T) {
+	cfg := DefaultPowerGrid()
+	cfg.Rows, cfg.Cols, cfg.Layers = 6, 6, 2
+	cfg.NumLoads = 4
+	g, err := PowerGrid3D(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mna, err := g.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := g.Netlist.NA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 6e-9
+	m := 1024
+	solMNA, err := core.Solve(mna.Sys, mna.Inputs, m, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solNA, err := core.Solve(na.Sys, na.Inputs, m, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := g.ObserveNodes[len(g.ObserveNodes)-1] - 1 // state index of a bottom-layer center node voltage
+	droopSeen := false
+	h := T / float64(m)
+	for j := 20; j < m; j += 50 {
+		tt := (float64(j) + 0.5) * h
+		a, b := solNA.StateAt(obs, tt), solMNA.StateAt(obs, tt)
+		if math.Abs(a-b) > 2e-4+0.05*math.Abs(b) {
+			t.Fatalf("NA vs MNA droop at %g: %g vs %g", tt, a, b)
+		}
+		if math.Abs(b) > 1e-5 {
+			droopSeen = true
+		}
+	}
+	if !droopSeen {
+		t.Fatal("no droop observed — loads not wired?")
+	}
+}
+
+// The MNA grid model also runs under the classical methods (Table II's
+// comparison axis) and agrees with OPM.
+func TestPowerGridTransientAgreesWithOPM(t *testing.T) {
+	cfg := DefaultPowerGrid()
+	cfg.Rows, cfg.Cols, cfg.Layers = 5, 5, 2
+	cfg.NumLoads = 3
+	g, err := PowerGrid3D(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mna, err := g.Netlist.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, a, b, err := mna.DAE()
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := 5e-9
+	h := T / 2048
+	res, err := transient.Simulate(e, a, b, mna.Inputs, T, h, transient.Trapezoidal, transient.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(mna.Sys, mna.Inputs, 2048, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := g.ObserveNodes[0] - 1
+	for _, j := range []int{300, 900, 1700} {
+		tt := (float64(j) + 0.5) * h
+		want := res.SampleState(obs, []float64{tt})[0]
+		got := sol.StateAt(obs, tt)
+		if math.Abs(got-want) > 2e-5+0.02*math.Abs(want) {
+			t.Fatalf("OPM vs trapezoidal at %g: %g vs %g", tt, got, want)
+		}
+	}
+}
+
+func TestFractionalLineShape(t *testing.T) {
+	cfg := DefaultFractionalLine()
+	mna, err := FractionalLine(cfg, waveform.Step(1e-3, 0), waveform.Zero())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mna.Sys.N() != 7 {
+		t.Fatalf("states = %d, want 7", mna.Sys.N())
+	}
+	if mna.Sys.Inputs() != 2 || mna.Sys.Outputs() != 2 {
+		t.Fatalf("ports = %d/%d, want 2/2", mna.Sys.Inputs(), mna.Sys.Outputs())
+	}
+	if mna.Sys.MaxOrder() != 0.5 {
+		t.Fatalf("order = %g, want 0.5", mna.Sys.MaxOrder())
+	}
+	// Simulate on the paper's time base and check causality/stability:
+	// the response is finite and the far port lags the near port.
+	T := 2.7e-9
+	sol, err := core.Solve(mna.Sys, mna.Inputs, 256, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ys := sol.SampleOutputs(waveform.UniformTimes(64, T))
+	var maxNear, maxFar float64
+	for k := range ys[0] {
+		if math.IsNaN(ys[0][k]) || math.IsNaN(ys[1][k]) {
+			t.Fatal("NaN in response")
+		}
+		maxNear = math.Max(maxNear, math.Abs(ys[0][k]))
+		maxFar = math.Max(maxFar, math.Abs(ys[1][k]))
+	}
+	if maxNear == 0 || maxFar >= maxNear {
+		t.Fatalf("expected attenuated far-port response: near %g, far %g", maxNear, maxFar)
+	}
+}
+
+func TestFractionalLineValidation(t *testing.T) {
+	cfg := DefaultFractionalLine()
+	if _, err := FractionalLine(cfg, nil, waveform.Zero()); err == nil {
+		t.Fatal("accepted nil drive")
+	}
+	cfg.Sections = 1
+	if _, err := FractionalLine(cfg, waveform.Zero(), waveform.Zero()); err == nil {
+		t.Fatal("accepted 1 section")
+	}
+	cfg = DefaultFractionalLine()
+	cfg.Order = 2.5
+	if _, err := FractionalLine(cfg, waveform.Zero(), waveform.Zero()); err == nil {
+		t.Fatal("accepted order 2.5")
+	}
+	cfg = DefaultFractionalLine()
+	cfg.SectionR = 0
+	if _, err := FractionalLine(cfg, waveform.Zero(), waveform.Zero()); err == nil {
+		t.Fatal("accepted zero section R")
+	}
+}
+
+func TestRCLadder(t *testing.T) {
+	mna, err := RCLadder(5, 1e3, 1e-6, waveform.Step(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// States: in + 5 ladder nodes + 1 source current = 7.
+	if mna.Sys.N() != 7 {
+		t.Fatalf("states = %d, want 7", mna.Sys.N())
+	}
+	T := 30e-3
+	sol, err := core.Solve(mna.Sys, mna.Inputs, 1024, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y0 := sol.OutputAt(1e-3)[0]
+	yEnd := sol.OutputAt(T * 0.99)[0]
+	if !(y0 < 0.2 && yEnd > 0.8) {
+		t.Fatalf("ladder output should rise toward 1: early %g, late %g", y0, yEnd)
+	}
+	if _, err := RCLadder(0, 1, 1, waveform.Zero()); err == nil {
+		t.Fatal("accepted 0 sections")
+	}
+	if _, err := RCLadder(3, -1, 1, waveform.Zero()); err == nil {
+		t.Fatal("accepted negative R")
+	}
+	if _, err := RCLadder(3, 1, 1, nil); err == nil {
+		t.Fatal("accepted nil drive")
+	}
+}
+
+func TestRCTreeStructureAndDelay(t *testing.T) {
+	depth := 4
+	mna, err := RCTree(depth, 100, 50, 10e-15, waveform.Step(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nodes: src + (2^(depth+1) − 1) tree nodes; states add the V-source
+	// current.
+	wantNodes := 1 + (1<<(depth+1) - 1)
+	if mna.Sys.N() != wantNodes+1 {
+		t.Fatalf("states = %d, want %d", mna.Sys.N(), wantNodes+1)
+	}
+	if mna.Sys.Outputs() != 1<<depth {
+		t.Fatalf("leaf outputs = %d, want %d", mna.Sys.Outputs(), 1<<depth)
+	}
+	T := 100e-12
+	sol, err := core.Solve(mna.Sys, mna.Inputs, 2048, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All leaves of a balanced tree are symmetric: equal waveforms.
+	y := sol.OutputAt(T / 4)
+	for i := 1; i < len(y); i++ {
+		if math.Abs(y[i]-y[0]) > 1e-9 {
+			t.Fatalf("balanced tree leaves differ: %g vs %g", y[i], y[0])
+		}
+	}
+	// Rising toward 1 and monotone at the leaf.
+	early, late := sol.OutputAt(T / 20)[0], sol.OutputAt(T * 0.95)[0]
+	if !(early < late && late > 0.5 && late <= 1.0001) {
+		t.Fatalf("leaf response not rising: early %g, late %g", early, late)
+	}
+}
+
+func TestRCTreeValidation(t *testing.T) {
+	if _, err := RCTree(0, 1, 1, 1, waveform.Zero()); err == nil {
+		t.Fatal("accepted depth 0")
+	}
+	if _, err := RCTree(13, 1, 1, 1, waveform.Zero()); err == nil {
+		t.Fatal("accepted depth 13")
+	}
+	if _, err := RCTree(3, -1, 1, 1, waveform.Zero()); err == nil {
+		t.Fatal("accepted negative R")
+	}
+	if _, err := RCTree(3, 1, 1, 1, nil); err == nil {
+		t.Fatal("accepted nil drive")
+	}
+}

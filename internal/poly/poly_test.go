@@ -1,0 +1,165 @@
+package poly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialSeriesInteger(t *testing.T) {
+	// (1+q)^3 = 1 + 3q + 3q² + q³, with exact zero tail.
+	s := BinomialSeries(3, 1, 6)
+	want := []float64{1, 3, 3, 1, 0, 0}
+	for k, w := range want {
+		if math.Abs(s.Coef[k]-w) > 1e-14 {
+			t.Fatalf("coef[%d] = %g, want %g", k, s.Coef[k], w)
+		}
+	}
+}
+
+func TestBinomialSeriesNegative(t *testing.T) {
+	// (1+q)^{-1} = 1 - q + q² - q³ ...
+	s := BinomialSeries(-1, 1, 5)
+	for k := range s.Coef {
+		want := 1.0
+		if k%2 == 1 {
+			want = -1
+		}
+		if math.Abs(s.Coef[k]-want) > 1e-14 {
+			t.Fatalf("coef[%d] = %g, want %g", k, s.Coef[k], want)
+		}
+	}
+}
+
+func TestBinomialSeriesHalf(t *testing.T) {
+	// (1+q)^{1/2} = 1 + q/2 - q²/8 + q³/16 - 5q⁴/128 ...
+	s := BinomialSeries(0.5, 1, 5)
+	want := []float64{1, 0.5, -0.125, 0.0625, -5.0 / 128}
+	for k, w := range want {
+		if math.Abs(s.Coef[k]-w) > 1e-14 {
+			t.Fatalf("coef[%d] = %g, want %g", k, s.Coef[k], w)
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromCoef([]float64{1, 1, 0})  // 1 + q
+	b := FromCoef([]float64{1, -1, 0}) // 1 − q
+	c := a.Mul(b)                      // 1 − q²
+	want := []float64{1, 0, -1}
+	for k, w := range want {
+		if math.Abs(c.Coef[k]-w) > 1e-14 {
+			t.Fatalf("coef[%d] = %g, want %g", k, c.Coef[k], w)
+		}
+	}
+}
+
+// Rho reproduces the worked example of eq. (23)-(24): α = 3/2, m = 4 gives
+// (2/h)^{3/2} (1 − 3q + 4.5q² − 5.5q³).
+func TestRhoPaperExample(t *testing.T) {
+	h := 2.0 // makes the (2/h)^{3/2} prefactor equal 1
+	s := Rho(1.5, h, 4)
+	want := []float64{1, -3, 4.5, -5.5}
+	for k, w := range want {
+		if math.Abs(s.Coef[k]-w) > 1e-12 {
+			t.Fatalf("ρ_{3/2,4} coef[%d] = %g, want %g", k, s.Coef[k], w)
+		}
+	}
+	// And with a general h, the prefactor scales all coefficients.
+	h = 0.5
+	s = Rho(1.5, h, 4)
+	pre := math.Pow(2/h, 1.5)
+	for k, w := range want {
+		if math.Abs(s.Coef[k]-pre*w) > 1e-9 {
+			t.Fatalf("scaled coef[%d] = %g, want %g", k, s.Coef[k], pre*w)
+		}
+	}
+}
+
+// Rho with α = 1 must reproduce the order-1 differential matrix coefficients
+// (2/h)·(1, −2, 2, −2, ...) of eq. (7).
+func TestRhoOrderOne(t *testing.T) {
+	h := 0.1
+	s := Rho(1, h, 6)
+	for k := range s.Coef {
+		want := 2.0 / h
+		if k > 0 {
+			want = 2 / h * 2
+			if k%2 == 1 {
+				want = -want
+			}
+		}
+		if math.Abs(s.Coef[k]-want) > 1e-9 {
+			t.Fatalf("order-1 coef[%d] = %g, want %g", k, s.Coef[k], want)
+		}
+	}
+}
+
+// Property: semigroup ρ_α ⊛ ρ_β = ρ_{α+β} holds exactly under truncation.
+func TestRhoSemigroupProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(16)
+		h := 0.1 + rng.Float64()
+		a := 0.1 + rng.Float64()*2
+		b := 0.1 + rng.Float64()*2
+		prod := Rho(a, h, m).Mul(Rho(b, h, m))
+		want := Rho(a+b, h, m)
+		for k := 0; k < m; k++ {
+			scale := 1 + math.Abs(want.Coef[k])
+			if math.Abs(prod.Coef[k]-want.Coef[k]) > 1e-9*scale {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ρ_α ⊛ ρ_{−α} = 1 (the fractional differentiation and integration
+// matrices are mutual inverses in the truncated algebra).
+func TestRhoInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 2 + rng.Intn(12)
+		h := 0.1 + rng.Float64()
+		a := 0.1 + rng.Float64()*1.8
+		prod := Rho(a, h, m).Mul(Rho(-a, h, m))
+		if math.Abs(prod.Coef[0]-1) > 1e-10 {
+			return false
+		}
+		for k := 1; k < m; k++ {
+			if math.Abs(prod.Coef[k]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddScale(t *testing.T) {
+	a := FromCoef([]float64{1, 2, 3})
+	b := FromCoef([]float64{4, 5, 6})
+	c := a.Add(b).Scale(2)
+	want := []float64{10, 14, 18}
+	for k, w := range want {
+		if c.Coef[k] != w {
+			t.Fatalf("coef[%d] = %g, want %g", k, c.Coef[k], w)
+		}
+	}
+}
+
+func TestRhoPanicsOnBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Rho accepted non-positive h")
+		}
+	}()
+	Rho(0.5, 0, 4)
+}

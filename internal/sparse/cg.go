@@ -1,0 +1,91 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// CGResult reports the outcome of a conjugate-gradient solve.
+type CGResult struct {
+	X          []float64
+	Iterations int
+	Residual   float64 // final ‖b − A·x‖₂ / ‖b‖₂
+	Converged  bool
+}
+
+// CG solves the symmetric positive definite system A·x = b by the
+// conjugate-gradient method with Jacobi (diagonal) preconditioning. It is
+// provided for the nodal-analysis matrices of the power-grid substrate, which
+// are SPD when the network contains no voltage sources.
+func CG(a *CSR, b []float64, tol float64, maxIter int) (*CGResult, error) {
+	n := a.R
+	if a.C != n || len(b) != n {
+		return nil, fmt.Errorf("sparse: CG shape mismatch")
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	// Jacobi preconditioner.
+	dinv := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d := a.At(i, i)
+		if d <= 0 {
+			return nil, fmt.Errorf("sparse: CG requires positive diagonal, got %g at %d", d, i)
+		}
+		dinv[i] = 1 / d
+	}
+	normB := norm2(b)
+	if normB == 0 {
+		return &CGResult{X: make([]float64, n), Converged: true}, nil
+	}
+	x := make([]float64, n)
+	r := append([]float64(nil), b...)
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = dinv[i] * r[i]
+	}
+	p := append([]float64(nil), z...)
+	rz := dot(r, z)
+	ap := make([]float64, n)
+	for it := 1; it <= maxIter; it++ {
+		a.MulVec(p, ap)
+		alpha := rz / dot(p, ap)
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		res := norm2(r) / normB
+		if res <= tol {
+			return &CGResult{X: x, Iterations: it, Residual: res, Converged: true}, nil
+		}
+		for i := range z {
+			z[i] = dinv[i] * r[i]
+		}
+		rzNew := dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return &CGResult{X: x, Iterations: maxIter, Residual: norm2(r) / normB}, nil
+}
+
+func dot(x, y []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,234 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// ILU0 is an incomplete LU factorization with zero fill (the sparsity of
+// L + U equals that of A), used as a GMRES preconditioner for grids too
+// large for a direct factorization.
+type ILU0 struct {
+	n    int
+	csr  *CSR  // combined L\U values on A's pattern
+	diag []int // position of the diagonal entry in each row
+}
+
+// NewILU0 computes the ILU(0) factorization of a square matrix whose rows
+// all contain a structural diagonal entry.
+func NewILU0(a *CSR) (*ILU0, error) {
+	n := a.R
+	if a.C != n {
+		return nil, fmt.Errorf("sparse: ILU0 of non-square %dx%d matrix", a.R, a.C)
+	}
+	f := &ILU0{
+		n: n,
+		csr: &CSR{R: n, C: n,
+			RowPtr: append([]int(nil), a.RowPtr...),
+			ColIdx: append([]int(nil), a.ColIdx...),
+			Val:    append([]float64(nil), a.Val...)},
+		diag: make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		f.diag[i] = -1
+		for p := f.csr.RowPtr[i]; p < f.csr.RowPtr[i+1]; p++ {
+			if f.csr.ColIdx[p] == i {
+				f.diag[i] = p
+				break
+			}
+		}
+		if f.diag[i] < 0 {
+			return nil, fmt.Errorf("sparse: ILU0 needs a structural diagonal at row %d", i)
+		}
+	}
+	// IKJ variant restricted to the existing pattern.
+	colPos := make([]int, n)
+	for i := range colPos {
+		colPos[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		lo, hi := f.csr.RowPtr[i], f.csr.RowPtr[i+1]
+		for p := lo; p < hi; p++ {
+			colPos[f.csr.ColIdx[p]] = p
+		}
+		for p := lo; p < hi; p++ {
+			k := f.csr.ColIdx[p]
+			if k >= i {
+				break // ColIdx sorted: done with the strictly-lower part
+			}
+			piv := f.csr.Val[f.diag[k]]
+			if piv == 0 {
+				return nil, fmt.Errorf("%w: ILU0 zero pivot at row %d", ErrSingular, k)
+			}
+			lik := f.csr.Val[p] / piv
+			f.csr.Val[p] = lik
+			// Update the remainder of row i against row k of U.
+			for q := f.diag[k] + 1; q < f.csr.RowPtr[k+1]; q++ {
+				if pos := colPos[f.csr.ColIdx[q]]; pos >= 0 {
+					f.csr.Val[pos] -= lik * f.csr.Val[q]
+				}
+			}
+		}
+		if f.csr.Val[f.diag[i]] == 0 {
+			return nil, fmt.Errorf("%w: ILU0 zero pivot at row %d", ErrSingular, i)
+		}
+		for p := lo; p < hi; p++ {
+			colPos[f.csr.ColIdx[p]] = -1
+		}
+	}
+	return f, nil
+}
+
+// Apply solves (LU)z = r in place of the preconditioner application,
+// writing into z (allocated if needed) and returning it.
+func (f *ILU0) Apply(r, z []float64) []float64 {
+	if len(z) != f.n {
+		z = make([]float64, f.n)
+	}
+	copy(z, r)
+	// Forward: L has unit diagonal and the strictly-lower entries.
+	for i := 0; i < f.n; i++ {
+		s := z[i]
+		for p := f.csr.RowPtr[i]; p < f.diag[i]; p++ {
+			s -= f.csr.Val[p] * z[f.csr.ColIdx[p]]
+		}
+		z[i] = s
+	}
+	// Backward with U.
+	for i := f.n - 1; i >= 0; i-- {
+		s := z[i]
+		for p := f.diag[i] + 1; p < f.csr.RowPtr[i+1]; p++ {
+			s -= f.csr.Val[p] * z[f.csr.ColIdx[p]]
+		}
+		z[i] = s / f.csr.Val[f.diag[i]]
+	}
+	return z
+}
+
+// GMRESResult reports the outcome of a GMRES solve.
+type GMRESResult struct {
+	X          []float64
+	Iterations int
+	Residual   float64
+	Converged  bool
+}
+
+// GMRES solves A·x = b with restarted GMRES(m), optionally preconditioned by
+// an ILU(0) factorization (pass nil to run unpreconditioned). It is the
+// iterative alternative to the direct LU for very large grids.
+func GMRES(a *CSR, b []float64, pre *ILU0, restart int, tol float64, maxIter int) (*GMRESResult, error) {
+	n := a.R
+	if a.C != n || len(b) != n {
+		return nil, fmt.Errorf("sparse: GMRES shape mismatch")
+	}
+	if restart <= 0 {
+		restart = 30
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	if maxIter <= 0 {
+		maxIter = 10 * n
+	}
+	normB := norm2(b)
+	if normB == 0 {
+		return &GMRESResult{X: make([]float64, n), Converged: true}, nil
+	}
+	x := make([]float64, n)
+	r := make([]float64, n)
+	z := make([]float64, n)
+	totalIter := 0
+	for totalIter < maxIter {
+		// r = M⁻¹(b − A·x).
+		a.MulVec(x, r)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		if pre != nil {
+			copy(r, pre.Apply(r, z))
+		}
+		beta := norm2(r)
+		if beta/normB <= tol {
+			return &GMRESResult{X: x, Iterations: totalIter, Residual: beta / normB, Converged: true}, nil
+		}
+		// Arnoldi with Givens-rotation least squares.
+		v := make([][]float64, restart+1)
+		v[0] = make([]float64, n)
+		for i := range r {
+			v[0][i] = r[i] / beta
+		}
+		h := make([][]float64, restart+1)
+		for i := range h {
+			h[i] = make([]float64, restart)
+		}
+		cs := make([]float64, restart)
+		sn := make([]float64, restart)
+		g := make([]float64, restart+1)
+		g[0] = beta
+		k := 0
+		for ; k < restart && totalIter < maxIter; k++ {
+			totalIter++
+			w := a.MulVec(v[k], nil)
+			if pre != nil {
+				w = pre.Apply(w, nil)
+			}
+			for i := 0; i <= k; i++ {
+				h[i][k] = dot(w, v[i])
+				for j := range w {
+					w[j] -= h[i][k] * v[i][j]
+				}
+			}
+			h[k+1][k] = norm2(w)
+			if h[k+1][k] != 0 {
+				v[k+1] = make([]float64, n)
+				for j := range w {
+					v[k+1][j] = w[j] / h[k+1][k]
+				}
+			}
+			// Apply previous rotations to the new column.
+			for i := 0; i < k; i++ {
+				t := cs[i]*h[i][k] + sn[i]*h[i+1][k]
+				h[i+1][k] = -sn[i]*h[i][k] + cs[i]*h[i+1][k]
+				h[i][k] = t
+			}
+			den := math.Hypot(h[k][k], h[k+1][k])
+			if den == 0 {
+				cs[k], sn[k] = 1, 0
+			} else {
+				cs[k], sn[k] = h[k][k]/den, h[k+1][k]/den
+			}
+			h[k][k] = cs[k]*h[k][k] + sn[k]*h[k+1][k]
+			h[k+1][k] = 0
+			g[k+1] = -sn[k] * g[k]
+			g[k] = cs[k] * g[k]
+			if math.Abs(g[k+1])/normB <= tol {
+				k++
+				break
+			}
+			if h[k+1] == nil || v[k+1] == nil {
+				k++
+				break // lucky breakdown: exact solution in the Krylov space
+			}
+		}
+		// Back-substitute y from the triangular H and update x.
+		y := make([]float64, k)
+		for i := k - 1; i >= 0; i-- {
+			s := g[i]
+			for j := i + 1; j < k; j++ {
+				s -= h[i][j] * y[j]
+			}
+			y[i] = s / h[i][i]
+		}
+		for i := 0; i < k; i++ {
+			for j := range x {
+				x[j] += y[i] * v[i][j]
+			}
+		}
+	}
+	a.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	res := norm2(r) / normB
+	return &GMRESResult{X: x, Iterations: totalIter, Residual: res, Converged: res <= tol}, nil
+}

@@ -1,0 +1,185 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func laplacian2D(k int) *CSR {
+	n := k * k
+	coo := NewCOO(n, n)
+	id := func(i, j int) int { return i*k + j }
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			coo.Add(id(i, j), id(i, j), 4)
+			if i > 0 {
+				coo.Add(id(i, j), id(i-1, j), -1)
+			}
+			if i+1 < k {
+				coo.Add(id(i, j), id(i+1, j), -1)
+			}
+			if j > 0 {
+				coo.Add(id(i, j), id(i, j-1), -1)
+			}
+			if j+1 < k {
+				coo.Add(id(i, j), id(i, j+1), -1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func TestILU0ExactOnTriangularPattern(t *testing.T) {
+	// For a matrix whose LU factors fit inside A's pattern (tridiagonal),
+	// ILU(0) is the exact LU: Apply must solve exactly.
+	n := 20
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 3)
+		if i+1 < n {
+			coo.Add(i, i+1, -1)
+			coo.Add(i+1, i, -1)
+		}
+	}
+	a := coo.ToCSR()
+	ilu, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(want, nil)
+	got := ilu.Apply(b, nil)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("ILU0 tridiagonal solve x[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestILU0RequiresDiagonal(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 1, 1)
+	coo.Add(1, 0, 1)
+	if _, err := NewILU0(coo.ToCSR()); err == nil {
+		t.Fatal("ILU0 accepted missing structural diagonal")
+	}
+}
+
+func TestILU0NonSquare(t *testing.T) {
+	coo := NewCOO(2, 3)
+	coo.Add(0, 0, 1)
+	if _, err := NewILU0(coo.ToCSR()); err == nil {
+		t.Fatal("ILU0 accepted non-square matrix")
+	}
+}
+
+func TestGMRESUnpreconditioned(t *testing.T) {
+	a := laplacian2D(8)
+	n := a.R
+	rng := rand.New(rand.NewSource(2))
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(want, nil)
+	res, err := GMRES(a, b, nil, 30, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("GMRES did not converge: %g after %d", res.Residual, res.Iterations)
+	}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+			t.Fatalf("x[%d] = %g, want %g", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestGMRESILUFasterThanPlain(t *testing.T) {
+	a := laplacian2D(16)
+	n := a.R
+	rng := rand.New(rand.NewSource(3))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	plain, err := GMRES(a, b, nil, 30, 1e-10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ilu, err := NewILU0(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := GMRES(a, b, ilu, 30, 1e-10, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pre.Converged {
+		t.Fatalf("preconditioned GMRES failed: %g", pre.Residual)
+	}
+	if pre.Iterations >= plain.Iterations {
+		t.Fatalf("ILU0 preconditioning did not reduce iterations: %d vs %d", pre.Iterations, plain.Iterations)
+	}
+}
+
+func TestGMRESZeroRHS(t *testing.T) {
+	a := Identity(4)
+	res, err := GMRES(a, []float64{0, 0, 0, 0}, nil, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || norm2(res.X) != 0 {
+		t.Fatal("zero rhs should converge immediately to zero")
+	}
+}
+
+func TestGMRESShapeMismatch(t *testing.T) {
+	a := Identity(3)
+	if _, err := GMRES(a, []float64{1, 2}, nil, 0, 0, 0); err == nil {
+		t.Fatal("accepted wrong-length rhs")
+	}
+}
+
+// Property: preconditioned GMRES agrees with the direct solver on random
+// diagonally dominant nonsymmetric systems.
+func TestGMRESMatchesDirectProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		a := randomSparseSquare(rng, n, 0.15)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		fac, err := Factor(a, Options{})
+		if err != nil {
+			return false
+		}
+		direct := fac.Solve(b)
+		ilu, err := NewILU0(a)
+		if err != nil {
+			return false
+		}
+		it, err := GMRES(a, b, ilu, 30, 1e-12, 0)
+		if err != nil || !it.Converged {
+			return false
+		}
+		for i := range direct {
+			if math.Abs(it.X[i]-direct[i]) > 1e-6*(1+math.Abs(direct[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when factorization cannot find a usable pivot.
+var ErrSingular = errors.New("sparse: matrix is singular")
+
+// LU is a sparse LU factorization P·A = L·U produced by the left-looking
+// Gilbert–Peierls algorithm with threshold partial pivoting. L is unit lower
+// triangular (unit diagonal implicit) and U upper triangular, both stored by
+// column; row indices of L are original row numbers, row indices of U are
+// pivot positions.
+type LU struct {
+	n int
+
+	lp []int // L column pointers (len n+1)
+	li []int // L row indices (original rows)
+	lx []float64
+
+	up    []int // U column pointers (len n+1)
+	ui    []int // U row indices (pivot positions, strictly above diagonal)
+	ux    []float64
+	udiag []float64 // U diagonal (the pivots)
+
+	perm []int // pivot position -> original row
+	pinv []int // original row -> pivot position
+}
+
+// FactorLU factors the square sparse matrix a with pivot threshold tol in
+// (0, 1]: at each column the natural (diagonal) row is kept as pivot when its
+// magnitude is at least tol times the column maximum, which preserves
+// sparsity on the diagonally dominant matrices circuits produce; tol = 1
+// degenerates to full partial pivoting.
+func FactorLU(a *CSR, tol float64) (*LU, error) {
+	n := a.R
+	if a.C != n {
+		return nil, fmt.Errorf("sparse: FactorLU of non-square %dx%d matrix", a.R, a.C)
+	}
+	if tol <= 0 || tol > 1 {
+		return nil, fmt.Errorf("sparse: pivot threshold %g outside (0,1]", tol)
+	}
+	at := a.T() // CSC view: at row i holds column i of a.
+
+	f := &LU{
+		n:     n,
+		lp:    make([]int, 1, n+1),
+		up:    make([]int, 1, n+1),
+		udiag: make([]float64, n),
+		perm:  make([]int, n),
+		pinv:  make([]int, n),
+	}
+	for i := range f.pinv {
+		f.pinv[i] = -1
+	}
+
+	x := make([]float64, n)       // dense accumulator, indexed by original row
+	touched := make([]int, 0, 64) // original rows with (potentially) nonzero x
+	mark := make([]int, n)        // touch stamps for rows
+	for i := range mark {
+		mark[i] = -1
+	}
+	cmark := make([]int, n) // DFS stamps for columns
+	for i := range cmark {
+		cmark[i] = -1
+	}
+	dfsStack := make([]int, 0, 64)
+	posStack := make([]int, 0, 64)
+	topo := make([]int, 0, 64)
+
+	for j := 0; j < n; j++ {
+		// --- Symbolic: reach of A(:,j) through the columns of L built so far.
+		topo = topo[:0]
+		for p := at.RowPtr[j]; p < at.RowPtr[j+1]; p++ {
+			c := f.pinv[at.ColIdx[p]]
+			if c < 0 || cmark[c] == j {
+				continue
+			}
+			// Iterative DFS from column c; reverse post-order is prepended
+			// by collecting post-order then reversing at the end.
+			dfsStack = append(dfsStack[:0], c)
+			posStack = append(posStack[:0], f.lp[c])
+			cmark[c] = j
+			for len(dfsStack) > 0 {
+				top := len(dfsStack) - 1
+				k := dfsStack[top]
+				advanced := false
+				for q := posStack[top]; q < f.lp[k+1]; q++ {
+					child := f.pinv[f.li[q]]
+					if child >= 0 && cmark[child] != j {
+						cmark[child] = j
+						posStack[top] = q + 1
+						dfsStack = append(dfsStack, child)
+						posStack = append(posStack, f.lp[child])
+						advanced = true
+						break
+					}
+				}
+				if !advanced {
+					dfsStack = dfsStack[:top]
+					posStack = posStack[:top]
+					topo = append(topo, k) // post-order
+				}
+			}
+		}
+		// Reverse post-order = topological order (ancestors first).
+		for lo, hi := 0, len(topo)-1; lo < hi; lo, hi = lo+1, hi-1 {
+			topo[lo], topo[hi] = topo[hi], topo[lo]
+		}
+
+		// --- Numeric: scatter A(:,j), then eliminate along topo order.
+		touched = touched[:0]
+		for p := at.RowPtr[j]; p < at.RowPtr[j+1]; p++ {
+			r := at.ColIdx[p]
+			if mark[r] != j {
+				mark[r] = j
+				x[r] = 0
+				touched = append(touched, r)
+			}
+			x[r] += at.Val[p]
+		}
+		for _, k := range topo {
+			pr := f.perm[k]
+			if mark[pr] != j {
+				mark[pr] = j
+				x[pr] = 0
+				touched = append(touched, pr)
+			}
+			xk := x[pr]
+			if xk == 0 {
+				continue
+			}
+			for q := f.lp[k]; q < f.lp[k+1]; q++ {
+				r := f.li[q]
+				if mark[r] != j {
+					mark[r] = j
+					x[r] = 0
+					touched = append(touched, r)
+				}
+				x[r] -= f.lx[q] * xk
+			}
+		}
+
+		// --- Pivot: choose among unpivoted touched rows.
+		pivRow, maxAbs := -1, 0.0
+		diagOK := false
+		var diagVal float64
+		for _, r := range touched {
+			if f.pinv[r] >= 0 {
+				continue
+			}
+			if a := math.Abs(x[r]); a > maxAbs {
+				maxAbs, pivRow = a, r
+			}
+			if r == j {
+				diagOK, diagVal = true, x[r]
+			}
+		}
+		if pivRow < 0 || maxAbs == 0 {
+			return nil, fmt.Errorf("%w: no pivot for column %d", ErrSingular, j)
+		}
+		if diagOK && math.Abs(diagVal) >= tol*maxAbs && diagVal != 0 {
+			pivRow = j
+		}
+		pivVal := x[pivRow]
+		f.perm[j] = pivRow
+		f.pinv[pivRow] = j
+		f.udiag[j] = pivVal
+
+		// --- Store U(:,j) (pivoted rows) and L(:,j) (unpivoted rows).
+		for _, k := range topo {
+			v := x[f.perm[k]]
+			if v != 0 && k != j {
+				f.ui = append(f.ui, k)
+				f.ux = append(f.ux, v)
+			}
+		}
+		for _, r := range touched {
+			if f.pinv[r] >= 0 || r == pivRow {
+				continue
+			}
+			if v := x[r]; v != 0 {
+				f.li = append(f.li, r)
+				f.lx = append(f.lx, v/pivVal)
+			}
+		}
+		f.lp = append(f.lp, len(f.li))
+		f.up = append(f.up, len(f.ui))
+	}
+	return f, nil
+}
+
+// N returns the factored dimension.
+func (f *LU) N() int { return f.n }
+
+// NNZ returns the total stored nonzeros in L and U (including pivots).
+func (f *LU) NNZ() int { return len(f.lx) + len(f.ux) + f.n }
+
+// Solve solves A·x = b, overwriting b with intermediate values and returning
+// a newly allocated solution vector.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic(fmt.Sprintf("sparse: LU Solve length %d != %d", len(b), f.n))
+	}
+	work := append([]float64(nil), b...)
+	// Forward: L y = P b, processed column by column in pivot order.
+	for j := 0; j < f.n; j++ {
+		yj := work[f.perm[j]]
+		if yj == 0 {
+			continue
+		}
+		for q := f.lp[j]; q < f.lp[j+1]; q++ {
+			work[f.li[q]] -= f.lx[q] * yj
+		}
+	}
+	y := make([]float64, f.n)
+	for j := 0; j < f.n; j++ {
+		y[j] = work[f.perm[j]]
+	}
+	// Backward: U x = y, U stored by column with pivot-position rows.
+	for j := f.n - 1; j >= 0; j-- {
+		y[j] /= f.udiag[j]
+		xj := y[j]
+		if xj == 0 {
+			continue
+		}
+		for q := f.up[j]; q < f.up[j+1]; q++ {
+			y[f.ui[q]] -= f.ux[q] * xj
+		}
+	}
+	return y
+}
+
+// Options configures Factor.
+type Options struct {
+	// PivotTol is the threshold-pivoting tolerance in (0, 1]; 0 selects the
+	// default 0.1.
+	PivotTol float64
+	// NoRCM disables the reverse Cuthill–McKee pre-ordering.
+	NoRCM bool
+	// Refine enables one step of iterative refinement per solve.
+	Refine bool
+}
+
+// Factorization couples a sparse LU with the optional fill-reducing
+// pre-ordering and iterative refinement against the original matrix.
+type Factorization struct {
+	lu     *LU
+	a      *CSR  // original matrix (for refinement)
+	ord    []int // new -> old, nil when no pre-ordering
+	refine bool
+}
+
+// Factor computes a ready-to-solve factorization of the square matrix a.
+func Factor(a *CSR, opt Options) (*Factorization, error) {
+	tol := opt.PivotTol
+	if tol == 0 {
+		tol = 0.1
+	}
+	f := &Factorization{a: a, refine: opt.Refine}
+	work := a
+	// RCM pays off on mesh-like matrices; below ~64 unknowns its setup cost
+	// exceeds any fill reduction, so skip it.
+	if !opt.NoRCM && a.R >= 64 {
+		f.ord = RCM(a)
+		work = a.Permute(f.ord)
+	}
+	lu, err := FactorLU(work, tol)
+	if err != nil {
+		return nil, err
+	}
+	f.lu = lu
+	return f, nil
+}
+
+// N returns the system dimension.
+func (f *Factorization) N() int { return f.lu.n }
+
+// NNZFactors returns the nonzeros stored in the LU factors.
+func (f *Factorization) NNZFactors() int { return f.lu.NNZ() }
+
+// Solve solves A·x = b without modifying b.
+func (f *Factorization) Solve(b []float64) []float64 {
+	x := f.solveOnce(b)
+	if f.refine {
+		// One refinement step: r = b − A·x, x += A⁻¹ r.
+		r := f.a.MulVec(x, nil)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		d := f.solveOnce(r)
+		for i := range x {
+			x[i] += d[i]
+		}
+	}
+	return x
+}
+
+func (f *Factorization) solveOnce(b []float64) []float64 {
+	if f.ord == nil {
+		return f.lu.Solve(append([]float64(nil), b...))
+	}
+	n := f.lu.n
+	pb := make([]float64, n)
+	for newI, oldI := range f.ord {
+		pb[newI] = b[oldI]
+	}
+	px := f.lu.Solve(pb)
+	x := make([]float64, n)
+	for newI, oldI := range f.ord {
+		x[oldI] = px[newI]
+	}
+	return x
+}

@@ -1,0 +1,102 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMatrixMarket writes the matrix in MatrixMarket coordinate format
+// ("%%MatrixMarket matrix coordinate real general"), the lingua franca for
+// exchanging circuit matrices with external solvers and benchmark suites
+// (SuiteSparse, ngspice exports, ...). Indices are 1-based per the format.
+func WriteMatrixMarket(w io.Writer, a *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n%d %d %d\n", a.R, a.C, a.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < a.R; i++ {
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, a.ColIdx[p]+1, a.Val[p]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses a coordinate-format real MatrixMarket matrix.
+// "general" and "symmetric" symmetry qualifiers are supported (symmetric
+// files store only one triangle; the mirror entries are materialized).
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty MatrixMarket stream")
+	}
+	header := strings.Fields(strings.ToLower(sc.Text()))
+	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" || header[2] != "coordinate" {
+		return nil, fmt.Errorf("sparse: unsupported MatrixMarket header %q", sc.Text())
+	}
+	if header[3] != "real" && header[3] != "integer" {
+		return nil, fmt.Errorf("sparse: unsupported field type %q", header[3])
+	}
+	symmetric := false
+	switch header[4] {
+	case "general":
+	case "symmetric":
+		symmetric = true
+	default:
+		return nil, fmt.Errorf("sparse: unsupported symmetry %q", header[4])
+	}
+	// Skip comments, read the size line.
+	var rows, cols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscan(line, &rows, &cols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if rows <= 0 || cols <= 0 || nnz < 0 {
+		return nil, fmt.Errorf("sparse: invalid dimensions %dx%d nnz=%d", rows, cols, nnz)
+	}
+	coo := NewCOO(rows, cols)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		i, err1 := strconv.Atoi(fields[0])
+		j, err2 := strconv.Atoi(fields[1])
+		v, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("sparse: bad entry line %q", line)
+		}
+		if i < 1 || i > rows || j < 1 || j > cols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) out of range %dx%d", i, j, rows, cols)
+		}
+		coo.Add(i-1, j-1, v)
+		if symmetric && i != j {
+			coo.Add(j-1, i-1, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, read)
+	}
+	return coo.ToCSR(), nil
+}

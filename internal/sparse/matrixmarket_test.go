@@ -1,0 +1,84 @@
+package sparse
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"opmsim/internal/mat"
+)
+
+func TestMatrixMarketRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		a := randomSparseSquare(rng, n, 0.2)
+		var buf bytes.Buffer
+		if err := WriteMatrixMarket(&buf, a); err != nil {
+			return false
+		}
+		b, err := ReadMatrixMarket(&buf)
+		if err != nil {
+			return false
+		}
+		return mat.Equalf(a.ToDense(), b.ToDense(), 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% a comment
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 1.5
+`
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 1) != -1 || a.At(1, 0) != -1 {
+		t.Fatal("symmetric mirror entry missing")
+	}
+	if a.At(0, 0) != 2 || a.At(2, 2) != 1.5 {
+		t.Fatal("diagonal entries wrong")
+	}
+	if a.NNZ() != 5 {
+		t.Fatalf("NNZ = %d, want 5", a.NNZ())
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"%%MatrixMarket matrix array real general\n2 2\n",
+		"%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n-1 2 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1\n",        // too few entries
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1\n",        // out of range
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\nbogus line x\n", // unparsable
+	}
+	for _, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Fatalf("accepted %q", in)
+		}
+	}
+}
+
+func TestMatrixMarketIntegerField(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate integer general\n2 2 2\n1 1 3\n2 2 4\n"
+	a, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 3 || a.At(1, 1) != 4 {
+		t.Fatal("integer entries wrong")
+	}
+}

@@ -1,0 +1,333 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"opmsim/internal/mat"
+)
+
+func randomSparseSquare(rng *rand.Rand, n int, density float64) *CSR {
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		// Strong diagonal keeps the matrix comfortably nonsingular.
+		coo.Add(i, i, 4+rng.Float64())
+		for j := 0; j < n; j++ {
+			if i != j && rng.Float64() < density {
+				coo.Add(i, j, rng.NormFloat64())
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+func TestCOOToCSRSumsDuplicates(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 1, 2)
+	coo.Add(0, 1, 3)
+	coo.Add(1, 0, 1)
+	coo.Add(1, 0, -1) // cancels to zero, should be dropped
+	csr := coo.ToCSR()
+	if got := csr.At(0, 1); got != 5 {
+		t.Fatalf("At(0,1) = %g, want 5", got)
+	}
+	if csr.NNZ() != 1 {
+		t.Fatalf("NNZ = %d, want 1 (cancelled entry must be dropped)", csr.NNZ())
+	}
+}
+
+func TestCOOAddBounds(t *testing.T) {
+	coo := NewCOO(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add out of range did not panic")
+		}
+	}()
+	coo.Add(2, 0, 1)
+}
+
+func TestCSRMulVecAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomSparseSquare(rng, 20, 0.2)
+	d := a.ToDense()
+	x := make([]float64, 20)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	got := a.MulVec(x, nil)
+	want := d.MulVec(x, nil)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSRTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomSparseSquare(rng, 15, 0.15)
+	at := a.T()
+	if !mat.Equalf(at.ToDense(), a.ToDense().T(), 0) {
+		t.Fatal("T() mismatch against dense transpose")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSparseSquare(rng, 12, 0.2)
+	b := randomSparseSquare(rng, 12, 0.2)
+	got := Combine(2, a, -3, b).ToDense()
+	want := mat.Sub(a.ToDense().Scale(2), b.ToDense().Scale(3))
+	if !mat.Equalf(got, want, 1e-12) {
+		t.Fatal("Combine mismatch against dense computation")
+	}
+}
+
+func TestCombineCancellation(t *testing.T) {
+	a := Identity(3)
+	c := Combine(1, a, -1, a)
+	if c.NNZ() != 0 {
+		t.Fatalf("A - A has %d nonzeros, want 0", c.NNZ())
+	}
+}
+
+func TestPermuteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomSparseSquare(rng, 10, 0.25)
+	perm := rng.Perm(10)
+	p := a.Permute(perm)
+	// Check P·A·Pᵀ elementwise: p[new_i][new_j] == a[perm[new_i]][perm[new_j]].
+	for ni := 0; ni < 10; ni++ {
+		for nj := 0; nj < 10; nj++ {
+			if got, want := p.At(ni, nj), a.At(perm[ni], perm[nj]); got != want {
+				t.Fatalf("Permute(%d,%d) = %g, want %g", ni, nj, got, want)
+			}
+		}
+	}
+}
+
+func TestIdentityAndAt(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Fatalf("I(%d,%d) = %g", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randomSparseSquare(rng, 30, 0.1)
+	ord := RCM(a)
+	if len(ord) != 30 {
+		t.Fatalf("RCM length %d", len(ord))
+	}
+	seen := make([]bool, 30)
+	for _, v := range ord {
+		if v < 0 || v >= 30 || seen[v] {
+			t.Fatalf("RCM not a permutation: %v", ord)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRCMReducesBandwidthOnShuffledBandMatrix(t *testing.T) {
+	// Build a tridiagonal matrix, shuffle it, and check RCM restores a
+	// small bandwidth.
+	n := 50
+	rng := rand.New(rand.NewSource(6))
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+		if i+1 < n {
+			coo.Add(i, i+1, -1)
+			coo.Add(i+1, i, -1)
+		}
+	}
+	tri := coo.ToCSR()
+	shuffled := tri.Permute(rng.Perm(n))
+	before := Bandwidth(shuffled)
+	after := Bandwidth(shuffled.Permute(RCM(shuffled)))
+	if after > 2 {
+		t.Fatalf("RCM bandwidth %d (from %d), want ≤ 2 for a path graph", after, before)
+	}
+}
+
+func TestFactorLUAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 5, 20, 50} {
+		a := randomSparseSquare(rng, n, 0.15)
+		f, err := FactorLU(a, 0.1)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := f.Solve(b)
+		want, err := mat.Solve(a.ToDense(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d: x[%d] = %g, want %g", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFactorLUSingular(t *testing.T) {
+	coo := NewCOO(3, 3)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, 1)
+	// Row/column 2 empty -> structurally singular.
+	coo.Add(2, 2, 0)
+	if _, err := FactorLU(coo.ToCSR(), 0.1); err == nil {
+		t.Fatal("FactorLU accepted structurally singular matrix")
+	}
+}
+
+func TestFactorLUNeedsPivoting(t *testing.T) {
+	// Zero diagonal forces an off-diagonal pivot.
+	coo := NewCOO(2, 2)
+	coo.Add(0, 1, 1)
+	coo.Add(1, 0, 1)
+	f, err := FactorLU(coo.ToCSR(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{3, 4})
+	// A swaps coordinates, so x = (4, 3).
+	if math.Abs(x[0]-4) > 1e-14 || math.Abs(x[1]-3) > 1e-14 {
+		t.Fatalf("x = %v, want (4,3)", x)
+	}
+}
+
+// Property: Factor (with RCM + refinement) solves random diagonally dominant
+// systems to high accuracy.
+func TestFactorSolveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		a := randomSparseSquare(rng, n, 0.1)
+		fac, err := Factor(a, Options{Refine: true})
+		if err != nil {
+			return false
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := a.MulVec(want, nil)
+		x := fac.Solve(b)
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFactorRejectsBadTol(t *testing.T) {
+	a := Identity(2)
+	if _, err := FactorLU(a, 1.5); err == nil {
+		t.Fatal("FactorLU accepted tol > 1")
+	}
+	if _, err := FactorLU(a, -0.1); err == nil {
+		t.Fatal("FactorLU accepted tol < 0")
+	}
+}
+
+func TestLUSolvePreservesRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomSparseSquare(rng, 10, 0.2)
+	fac, err := Factor(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 10)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	orig := append([]float64(nil), b...)
+	fac.Solve(b)
+	for i := range b {
+		if b[i] != orig[i] {
+			t.Fatal("Factorization.Solve modified b")
+		}
+	}
+}
+
+func TestCGOnLaplacian(t *testing.T) {
+	// 1-D Laplacian with Dirichlet boundaries: SPD.
+	n := 64
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+		if i+1 < n {
+			coo.Add(i, i+1, -1)
+			coo.Add(i+1, i, -1)
+		}
+	}
+	a := coo.ToCSR()
+	rng := rand.New(rand.NewSource(9))
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := a.MulVec(want, nil)
+	res, err := CG(a, b, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("CG did not converge: residual %g after %d iters", res.Residual, res.Iterations)
+	}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+			t.Fatalf("x[%d] = %g, want %g", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	a := Identity(3)
+	res, err := CG(a, []float64{0, 0, 0}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || norm2(res.X) != 0 {
+		t.Fatal("CG on zero rhs should converge to zero instantly")
+	}
+}
+
+func TestCGRejectsNonPositiveDiagonal(t *testing.T) {
+	coo := NewCOO(2, 2)
+	coo.Add(0, 0, -1)
+	coo.Add(1, 1, 1)
+	if _, err := CG(coo.ToCSR(), []float64{1, 1}, 0, 0); err == nil {
+		t.Fatal("CG accepted non-positive diagonal")
+	}
+}
+
+func TestFromDenseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomSparseSquare(rng, 8, 0.3)
+	if !mat.Equalf(FromDense(a.ToDense()).ToDense(), a.ToDense(), 0) {
+		t.Fatal("FromDense/ToDense round trip failed")
+	}
+}

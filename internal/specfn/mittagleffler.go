@@ -1,0 +1,110 @@
+package specfn
+
+import (
+	"fmt"
+	"math"
+)
+
+// MittagLeffler returns the one-parameter Mittag-Leffler function
+// E_α(z) = Σ_{k≥0} z^k / Γ(αk + 1).
+//
+// E_α generalizes the exponential (E₁(z) = e^z) and gives the analytic step
+// response of the scalar fractional relaxation equation
+// dᵅx/dtᵅ = −λx + u: x(t) = (1 − E_α(−λtᵅ))/λ, which the FDE solver tests
+// validate against.
+func MittagLeffler(alpha, z float64) (float64, error) {
+	return MittagLeffler2(alpha, 1, z)
+}
+
+// MittagLeffler2 returns the two-parameter Mittag-Leffler function
+// E_{α,β}(z) = Σ_{k≥0} z^k / Γ(αk + β) for real z and 0 < α ≤ 2.
+//
+// The power series is used for |z| below a crossover; for large negative z
+// the alternating series suffers catastrophic cancellation in float64, so the
+// standard algebraic asymptotic expansion
+// E_{α,β}(z) ≈ −Σ_{k=1}^{K} z^{−k} / Γ(β − αk) is used instead. Accuracy is
+// roughly 1e-12 in the series regime and 1e-6 near the crossover.
+func MittagLeffler2(alpha, beta, z float64) (float64, error) {
+	if alpha <= 0 || alpha > 2 {
+		return math.NaN(), fmt.Errorf("specfn: MittagLeffler2 requires 0 < α ≤ 2, got %g", alpha)
+	}
+	if math.IsNaN(z) {
+		return math.NaN(), nil
+	}
+	// Exact special cases keep full float64 accuracy on the hot paths used
+	// in tests and analytic references.
+	switch {
+	case alpha == 1 && beta == 1:
+		return math.Exp(z), nil
+	case alpha == 2 && beta == 1 && z <= 0:
+		return math.Cos(math.Sqrt(-z)), nil
+	case alpha == 2 && beta == 2 && z < 0:
+		s := math.Sqrt(-z)
+		return math.Sin(s) / s, nil
+	}
+	if z >= 0 || math.Abs(z) <= seriesCrossover(alpha) {
+		return mlSeries(alpha, beta, z)
+	}
+	return mlAsymptoticNeg(alpha, beta, z), nil
+}
+
+// seriesCrossover picks the largest |z| for which the alternating Taylor
+// series is still trustworthy in float64: the peak term magnitude is about
+// exp(|z|^{1/α}), so we keep |z|^{1/α} ≲ 25 (peak ≈ e²⁵ ≈ 7e10, leaving ~5
+// good digits after cancellation against O(1) results).
+func seriesCrossover(alpha float64) float64 {
+	return math.Pow(25, alpha)
+}
+
+func mlSeries(alpha, beta, z float64) (float64, error) {
+	sum := 0.0
+	term := 0.0
+	zk := 1.0
+	for k := 0; k < 2000; k++ {
+		g := Gamma(alpha*float64(k) + beta)
+		if !math.IsInf(g, 0) && g != 0 {
+			term = zk / g
+			sum += term
+		}
+		zk *= z
+		if math.IsInf(zk, 0) {
+			return math.NaN(), fmt.Errorf("specfn: Mittag-Leffler series overflow at |z|=%g", math.Abs(z))
+		}
+		// Converged: two consecutive negligible terms (the series can have
+		// isolated zero terms when Γ hits a pole).
+		if k > 2 && math.Abs(term) < 1e-17*(1+math.Abs(sum)) && math.Abs(zk) < math.Abs(z)*1e300 {
+			if math.Abs(zk/Gamma(alpha*float64(k+1)+beta)) < 1e-17*(1+math.Abs(sum)) {
+				return sum, nil
+			}
+		}
+	}
+	return sum, nil
+}
+
+// mlAsymptoticNeg evaluates the algebraic expansion for z → −∞, valid for
+// 0 < α < 2 on the negative real axis.
+func mlAsymptoticNeg(alpha, beta, z float64) float64 {
+	sum := 0.0
+	zinv := 1 / z
+	zk := zinv
+	prev := math.Inf(1)
+	for k := 1; k <= 60; k++ {
+		g := Gamma(beta - alpha*float64(k))
+		zkCur := zk
+		zk *= zinv
+		if math.IsInf(g, 0) || g == 0 {
+			// Γ pole: the term vanishes identically; it must not reset the
+			// divergence detector below.
+			continue
+		}
+		term := zkCur / g
+		// Asymptotic series: stop when terms start growing again.
+		if a := math.Abs(term); a > prev {
+			break
+		} else {
+			prev = a
+		}
+		sum -= term
+	}
+	return sum
+}

@@ -1,0 +1,294 @@
+package specfn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaAgainstStdlib(t *testing.T) {
+	for _, x := range []float64{0.1, 0.5, 1, 1.5, 2, 3.7, 10, 20.25, -0.5, -1.5, -2.3} {
+		got := Gamma(x)
+		want := math.Gamma(x)
+		if math.Abs(got-want) > 1e-10*math.Abs(want) {
+			t.Fatalf("Gamma(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestGammaIntegerFactorials(t *testing.T) {
+	fact := 1.0
+	for n := 1; n <= 12; n++ {
+		if n > 1 {
+			fact *= float64(n - 1)
+		}
+		if got := Gamma(float64(n)); math.Abs(got-fact) > 1e-9*fact {
+			t.Fatalf("Γ(%d) = %g, want %g", n, got, fact)
+		}
+	}
+}
+
+func TestGammaHalf(t *testing.T) {
+	if got := Gamma(0.5); math.Abs(got-math.Sqrt(math.Pi)) > 1e-12 {
+		t.Fatalf("Γ(½) = %g, want √π", got)
+	}
+}
+
+func TestGammaPoles(t *testing.T) {
+	for _, x := range []float64{0, -1, -2} {
+		if !math.IsInf(Gamma(x), 0) {
+			t.Fatalf("Γ(%g) = %g, want Inf", x, Gamma(x))
+		}
+	}
+}
+
+func TestLogGamma(t *testing.T) {
+	for _, x := range []float64{0.3, 1, 2.5, 10, 100} {
+		want, _ := math.Lgamma(x)
+		if got := LogGamma(x); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("LogGamma(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+// Property: Γ(x+1) = x·Γ(x).
+func TestGammaRecurrenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := 0.1 + rng.Float64()*10
+		lhs := Gamma(x + 1)
+		rhs := x * Gamma(x)
+		return math.Abs(lhs-rhs) <= 1e-10*math.Abs(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinomialInteger(t *testing.T) {
+	// C(5, k) = 1 5 10 10 5 1 0
+	want := []float64{1, 5, 10, 10, 5, 1, 0}
+	for k, w := range want {
+		if got := Binomial(5, k); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("C(5,%d) = %g, want %g", k, got, w)
+		}
+	}
+}
+
+func TestBinomialNegativeK(t *testing.T) {
+	if Binomial(2.5, -1) != 0 {
+		t.Fatal("C(α, -1) != 0")
+	}
+}
+
+// Property: Pascal's rule C(α,k) = C(α−1,k) + C(α−1,k−1) for real α.
+func TestBinomialPascalProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alpha := rng.Float64()*8 - 2
+		k := 1 + rng.Intn(10)
+		lhs := Binomial(alpha, k)
+		rhs := Binomial(alpha-1, k) + Binomial(alpha-1, k-1)
+		return math.Abs(lhs-rhs) <= 1e-10*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGLWeightsIntegerOrder(t *testing.T) {
+	// α = 1: weights are 1, −1, 0, 0, ... (first difference).
+	w := GLWeights(1, 5)
+	want := []float64{1, -1, 0, 0, 0}
+	for k, x := range want {
+		if math.Abs(w[k]-x) > 1e-14 {
+			t.Fatalf("GL α=1 w[%d] = %g, want %g", k, w[k], x)
+		}
+	}
+	// α = 2: 1, −2, 1, 0, ... (second difference).
+	w = GLWeights(2, 5)
+	want = []float64{1, -2, 1, 0, 0}
+	for k, x := range want {
+		if math.Abs(w[k]-x) > 1e-14 {
+			t.Fatalf("GL α=2 w[%d] = %g, want %g", k, w[k], x)
+		}
+	}
+}
+
+func TestGLWeightsMatchBinomial(t *testing.T) {
+	alpha := 0.5
+	w := GLWeights(alpha, 10)
+	for k := range w {
+		want := Binomial(alpha, k)
+		if k%2 == 1 {
+			want = -want
+		}
+		if math.Abs(w[k]-want) > 1e-13 {
+			t.Fatalf("w[%d] = %g, want %g", k, w[k], want)
+		}
+	}
+}
+
+func TestGLWeightsEmpty(t *testing.T) {
+	if w := GLWeights(0.5, 0); len(w) != 0 {
+		t.Fatal("GLWeights(α,0) not empty")
+	}
+}
+
+func TestMittagLefflerExp(t *testing.T) {
+	for _, z := range []float64{-3, -1, -0.1, 0, 0.5, 2} {
+		got, err := MittagLeffler(1, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := math.Exp(z); math.Abs(got-want) > 1e-12*(1+want) {
+			t.Fatalf("E₁(%g) = %g, want %g", z, got, want)
+		}
+	}
+}
+
+func TestMittagLefflerCos(t *testing.T) {
+	// E₂(−z²) = cos(z). The special case is exact; also check the series
+	// path via a slightly perturbed β.
+	for _, z := range []float64{0.5, 1, 2, 4} {
+		got, err := MittagLeffler(2, -z*z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := math.Cos(z); math.Abs(got-want) > 1e-10 {
+			t.Fatalf("E₂(−%g²) = %g, want %g", z, got, want)
+		}
+	}
+}
+
+func TestMittagLeffler2SinCase(t *testing.T) {
+	// E_{2,2}(−z²) = sin(z)/z.
+	for _, z := range []float64{0.3, 1, 2.5} {
+		got, err := MittagLeffler2(2, 2, -z*z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := math.Sin(z) / z; math.Abs(got-want) > 1e-10 {
+			t.Fatalf("E₂,₂(−%g²) = %g, want %g", z, got, want)
+		}
+	}
+}
+
+func TestMittagLefflerHalfIdentity(t *testing.T) {
+	// E_{1/2}(z) = e^{z²} erfc(−z). For z = −x < 0:
+	// E_{1/2}(−x) = e^{x²} erfc(x).
+	for _, x := range []float64{0.1, 0.5, 1, 2} {
+		got, err := MittagLeffler(0.5, -x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(x*x) * math.Erfc(x)
+		if math.Abs(got-want) > 1e-8*(1+want) {
+			t.Fatalf("E_½(−%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestMittagLefflerAsymptoticRegime(t *testing.T) {
+	// Large negative argument with α = ½ exercises the asymptotic branch.
+	// Same identity: E_½(−x) = e^{x²}erfc(x) ~ 1/(x√π) for large x.
+	for _, x := range []float64{10, 30, 100} {
+		got, err := MittagLeffler(0.5, -x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Exp(x*x) * math.Erfc(x)
+		if math.Abs(got-want) > 1e-5*want {
+			t.Fatalf("asymptotic E_½(−%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestMittagLefflerMonotoneRelaxation(t *testing.T) {
+	// For 0 < α ≤ 1, E_α(−t) is completely monotone: positive, decreasing.
+	for _, alpha := range []float64{0.3, 0.5, 0.8, 1} {
+		prev := 1.0
+		for tt := 0.5; tt < 50; tt *= 1.7 {
+			v, err := MittagLeffler(alpha, -tt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v <= 0 || v >= prev {
+				t.Fatalf("E_%g(−%g) = %g not in (0, %g)", alpha, tt, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestMittagLefflerRejectsBadAlpha(t *testing.T) {
+	for _, a := range []float64{0, -1, 2.5} {
+		if _, err := MittagLeffler(a, -1); err == nil {
+			t.Fatalf("MittagLeffler accepted α=%g", a)
+		}
+	}
+}
+
+func TestMittagLefflerAtZero(t *testing.T) {
+	got, err := MittagLeffler2(0.7, 1.3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / Gamma(1.3)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("E_{0.7,1.3}(0) = %g, want %g", got, want)
+	}
+}
+
+func TestBeta(t *testing.T) {
+	// B(1,1) = 1; B(2,3) = 1/12; B(½,½) = π.
+	cases := []struct{ a, b, want float64 }{
+		{1, 1, 1},
+		{2, 3, 1.0 / 12},
+		{0.5, 0.5, math.Pi},
+		{5, 5, 1.0 / 630},
+	}
+	for _, c := range cases {
+		if got := Beta(c.a, c.b); math.Abs(got-c.want) > 1e-10*c.want {
+			t.Fatalf("B(%g,%g) = %g, want %g", c.a, c.b, got, c.want)
+		}
+	}
+	if !math.IsNaN(Beta(-1, 2)) {
+		t.Fatal("Beta accepted negative argument")
+	}
+}
+
+// Property: B(a,b) = B(b,a) and B(a+1,b) = B(a,b)·a/(a+b).
+func TestBetaIdentitiesProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.2 + rng.Float64()*8
+		b := 0.2 + rng.Float64()*8
+		sym := math.Abs(Beta(a, b)-Beta(b, a)) < 1e-12*Beta(a, b)
+		rec := math.Abs(Beta(a+1, b)-Beta(a, b)*a/(a+b)) < 1e-10*Beta(a, b)
+		return sym && rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLKernelMoment(t *testing.T) {
+	// I^1[τ⁰](t) = t; I^1[τ¹](t) = t²/2.
+	if got := RLKernelMoment(1, 0, 2); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("I¹[1](2) = %g, want 2", got)
+	}
+	if got := RLKernelMoment(1, 1, 2); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("I¹[τ](2) = %g, want 2", got)
+	}
+	// Half-integral of a constant: I^½[1](t) = 2√(t/π)·? — actually
+	// Γ(1)/Γ(1.5)·t^0.5 = t^0.5/Γ(1.5).
+	want := math.Sqrt(2) / Gamma(1.5)
+	if got := RLKernelMoment(0.5, 0, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("I^½[1](2) = %g, want %g", got, want)
+	}
+	if !math.IsNaN(RLKernelMoment(0, 1, 1)) {
+		t.Fatal("accepted α=0")
+	}
+}

@@ -1,0 +1,201 @@
+package transient
+
+import (
+	"math"
+	"testing"
+
+	"opmsim/internal/mat"
+	"opmsim/internal/sparse"
+	"opmsim/internal/waveform"
+)
+
+func scalarCSR(v float64) *sparse.CSR {
+	c := sparse.NewCOO(1, 1)
+	c.Add(0, 0, v)
+	return c.ToCSR()
+}
+
+func rcStep(t *testing.T, method Method, h float64) *Result {
+	t.Helper()
+	res, err := Simulate(scalarCSR(1), scalarCSR(-1), scalarCSR(1),
+		[]waveform.Signal{waveform.Step(1, 0)}, 4, h, method, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func maxErrVsExp(res *Result) float64 {
+	worst := 0.0
+	for k, tt := range res.Times {
+		want := 1 - math.Exp(-tt)
+		if d := math.Abs(res.X.At(0, k) - want); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestBackwardEulerConvergesFirstOrder(t *testing.T) {
+	e1 := maxErrVsExp(rcStep(t, BackwardEuler, 0.02))
+	e2 := maxErrVsExp(rcStep(t, BackwardEuler, 0.01))
+	if e1 > 0.02 {
+		t.Fatalf("bEuler error too large: %g", e1)
+	}
+	ratio := e1 / e2
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("bEuler halving step gave error ratio %g, want ≈2 (first order)", ratio)
+	}
+}
+
+func TestTrapezoidalConvergesSecondOrder(t *testing.T) {
+	e1 := maxErrVsExp(rcStep(t, Trapezoidal, 0.02))
+	e2 := maxErrVsExp(rcStep(t, Trapezoidal, 0.01))
+	ratio := e1 / e2
+	if ratio < 3.3 || ratio > 4.7 {
+		t.Fatalf("trapezoidal halving step gave error ratio %g, want ≈4 (second order)", ratio)
+	}
+}
+
+func TestGear2ConvergesSecondOrder(t *testing.T) {
+	e1 := maxErrVsExp(rcStep(t, Gear2, 0.02))
+	e2 := maxErrVsExp(rcStep(t, Gear2, 0.01))
+	ratio := e1 / e2
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Fatalf("Gear2 halving step gave error ratio %g, want ≈4", ratio)
+	}
+}
+
+func TestMethodsOrderedByAccuracy(t *testing.T) {
+	h := 0.02
+	be := maxErrVsExp(rcStep(t, BackwardEuler, h))
+	tr := maxErrVsExp(rcStep(t, Trapezoidal, h))
+	ge := maxErrVsExp(rcStep(t, Gear2, h))
+	if !(tr < be && ge < be) {
+		t.Fatalf("expected second-order methods to beat bEuler: be=%g tr=%g gear=%g", be, tr, ge)
+	}
+}
+
+func TestSimulateDAEConstraint(t *testing.T) {
+	// ẋ₁ = −x₁ + u; 0 = 2x₁ − x₂. Singular E exercises the descriptor path.
+	e := sparse.FromDense(mat.NewDenseFrom(2, 2, []float64{1, 0, 0, 0}))
+	a := sparse.FromDense(mat.NewDenseFrom(2, 2, []float64{-1, 0, 2, -1}))
+	b := sparse.FromDense(mat.NewDenseFrom(2, 1, []float64{1, 0}))
+	res, err := Simulate(e, a, b, []waveform.Signal{waveform.Step(1, 0)}, 2, 0.01, Trapezoidal, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.Times {
+		if math.Abs(res.X.At(1, k)-2*res.X.At(0, k)) > 1e-9 {
+			t.Fatalf("algebraic constraint violated at step %d", k)
+		}
+	}
+}
+
+func TestSimulateInitialCondition(t *testing.T) {
+	res, err := Simulate(scalarCSR(1), scalarCSR(-1), scalarCSR(1),
+		[]waveform.Signal{waveform.Zero()}, 2, 0.005, Trapezoidal, Options{X0: []float64{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, tt := range res.Times {
+		want := math.Exp(-tt)
+		if math.Abs(res.X.At(0, k)-want) > 1e-4 {
+			t.Fatalf("x(%g) = %g, want %g", tt, res.X.At(0, k), want)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	e, a, b := scalarCSR(1), scalarCSR(-1), scalarCSR(1)
+	u := []waveform.Signal{waveform.Zero()}
+	if _, err := Simulate(e, a, b, u, 0, 0.1, Trapezoidal, Options{}); err == nil {
+		t.Fatal("accepted T=0")
+	}
+	if _, err := Simulate(e, a, b, u, 1, 2, Trapezoidal, Options{}); err == nil {
+		t.Fatal("accepted h>T")
+	}
+	if _, err := Simulate(e, a, b, nil, 1, 0.1, Trapezoidal, Options{}); err == nil {
+		t.Fatal("accepted missing inputs")
+	}
+	if _, err := Simulate(e, a, b, u, 1, 0.1, Method(99), Options{}); err == nil {
+		t.Fatal("accepted unknown method")
+	}
+	if _, err := Simulate(e, a, b, u, 1, 0.1, Trapezoidal, Options{X0: []float64{1, 2}}); err == nil {
+		t.Fatal("accepted wrong-length X0")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if BackwardEuler.String() != "backward-euler" || Trapezoidal.String() != "trapezoidal" ||
+		Gear2.String() != "gear2" || Method(7).String() == "" {
+		t.Fatal("Method.String misbehaves")
+	}
+}
+
+func TestSampleStateInterp(t *testing.T) {
+	res := &Result{Times: []float64{0, 1, 2}, X: mat.NewDenseFrom(1, 3, []float64{0, 10, 0})}
+	got := res.SampleState(0, []float64{-1, 0.5, 1.5, 3})
+	want := []float64{0, 5, 5, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("SampleState = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestResultAccessors(t *testing.T) {
+	res := rcStep(t, Trapezoidal, 0.5)
+	if len(res.StateRow(0)) != len(res.Times) {
+		t.Fatal("StateRow length mismatch")
+	}
+	if v := res.At(0); len(v) != 1 || v[0] != 0 {
+		t.Fatalf("At(0) = %v, want [0]", v)
+	}
+}
+
+func TestTRBDF2ConvergesSecondOrder(t *testing.T) {
+	e1 := maxErrVsExp(rcStep(t, TRBDF2, 0.02))
+	e2 := maxErrVsExp(rcStep(t, TRBDF2, 0.01))
+	ratio := e1 / e2
+	if ratio < 3.0 || ratio > 5.0 {
+		t.Fatalf("TR-BDF2 halving step gave error ratio %g, want ≈4", ratio)
+	}
+}
+
+// L-stability: on a very stiff decay (λ = −10⁶, h = 0.1) trapezoidal rings
+// with slowly damped ±1 oscillations while TR-BDF2 crushes the transient
+// immediately.
+func TestTRBDF2LStability(t *testing.T) {
+	stiff := scalarCSR(-1e6)
+	u := []waveform.Signal{waveform.Zero()}
+	opts := Options{X0: []float64{1}}
+	trap, err := Simulate(scalarCSR(1), stiff, scalarCSR(1), u, 1, 0.1, Trapezoidal, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trb, err := Simulate(scalarCSR(1), stiff, scalarCSR(1), u, 1, 0.1, TRBDF2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 3 // after three steps
+	if math.Abs(trap.X.At(0, k)) < 0.9 {
+		t.Fatalf("expected trapezoidal ringing ≈±1, got %g", trap.X.At(0, k))
+	}
+	if math.Abs(trb.X.At(0, k)) > 1e-9 {
+		t.Fatalf("TR-BDF2 should annihilate the stiff transient, got %g", trb.X.At(0, k))
+	}
+}
+
+func TestTRBDF2MatchesOthersOnSmoothProblem(t *testing.T) {
+	h := 0.01
+	trb := maxErrVsExp(rcStep(t, TRBDF2, h))
+	trap := maxErrVsExp(rcStep(t, Trapezoidal, h))
+	// Same order; constants within a small factor of each other.
+	if trb > 5*trap {
+		t.Fatalf("TR-BDF2 error %g ≫ trapezoidal %g", trb, trap)
+	}
+	if TRBDF2.String() != "tr-bdf2" {
+		t.Fatal("String() wrong")
+	}
+}

@@ -1,0 +1,49 @@
+package waveform
+
+import "fmt"
+
+// EyeMetrics summarizes a center-sampled binary eye: the worst (lowest)
+// sampled value among launched ones, the worst (highest) among launched
+// zeros, and their difference — the vertical eye opening. A non-positive
+// opening means the eye is closed at this bit rate.
+type EyeMetrics struct {
+	WorstHigh float64
+	WorstLow  float64
+	Opening   float64
+	Bits      int
+}
+
+// Eye measures the center-sampled eye of a received waveform y against the
+// launched bit pattern: bits fromBit..toBit−1 are sampled at their centers
+// (k+½)·bitPeriod and classified by bit(k). Use fromBit to skip the channel
+// fill-in transient.
+func Eye(y Signal, bit func(k int) bool, bitPeriod float64, fromBit, toBit int) (*EyeMetrics, error) {
+	if y == nil || bit == nil {
+		return nil, fmt.Errorf("waveform: Eye needs a waveform and a bit pattern")
+	}
+	if bitPeriod <= 0 || fromBit < 0 || toBit <= fromBit {
+		return nil, fmt.Errorf("waveform: Eye needs bitPeriod > 0 and 0 ≤ fromBit < toBit")
+	}
+	m := &EyeMetrics{}
+	seenHigh, seenLow := false, false
+	for k := fromBit; k < toBit; k++ {
+		v := y((float64(k) + 0.5) * bitPeriod)
+		if bit(k) {
+			if !seenHigh || v < m.WorstHigh {
+				m.WorstHigh = v
+				seenHigh = true
+			}
+		} else {
+			if !seenLow || v > m.WorstLow {
+				m.WorstLow = v
+				seenLow = true
+			}
+		}
+		m.Bits++
+	}
+	if !seenHigh || !seenLow {
+		return nil, fmt.Errorf("waveform: Eye needs both ones and zeros in bits [%d, %d)", fromBit, toBit)
+	}
+	m.Opening = m.WorstHigh - m.WorstLow
+	return m, nil
+}

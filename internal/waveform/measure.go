@@ -1,0 +1,115 @@
+package waveform
+
+import (
+	"fmt"
+	"math"
+)
+
+// CrossTime returns the first time in [t0, t1] at which y crosses the given
+// level in the requested direction, located by scanning n samples and
+// refining with bisection. It returns an error if no crossing exists.
+func CrossTime(y Signal, level, t0, t1 float64, rising bool, n int) (float64, error) {
+	if y == nil || t1 <= t0 {
+		return 0, fmt.Errorf("waveform: CrossTime needs a signal and t0 < t1")
+	}
+	if n < 2 {
+		n = 256
+	}
+	h := (t1 - t0) / float64(n)
+	prevT := t0
+	prev := y(t0)
+	for k := 1; k <= n; k++ {
+		t := t0 + float64(k)*h
+		cur := y(t)
+		crossed := false
+		if rising {
+			crossed = prev < level && cur >= level
+		} else {
+			crossed = prev > level && cur <= level
+		}
+		if crossed {
+			lo, hi := prevT, t
+			for i := 0; i < 60; i++ {
+				mid := (lo + hi) / 2
+				v := y(mid)
+				if (rising && v < level) || (!rising && v > level) {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			return (lo + hi) / 2, nil
+		}
+		prevT, prev = t, cur
+	}
+	dir := "rising"
+	if !rising {
+		dir = "falling"
+	}
+	return 0, fmt.Errorf("waveform: no %s crossing of %g in [%g, %g]", dir, level, t0, t1)
+}
+
+// RiseTime returns the 10%–90% rise time of a step-like response that
+// settles to final over [t0, t1].
+func RiseTime(y Signal, final, t0, t1 float64, n int) (float64, error) {
+	if final == 0 {
+		return 0, fmt.Errorf("waveform: RiseTime needs a nonzero final value")
+	}
+	rising := final > 0
+	tLow, err := CrossTime(y, 0.1*final, t0, t1, rising, n)
+	if err != nil {
+		return 0, err
+	}
+	tHigh, err := CrossTime(y, 0.9*final, tLow, t1, rising, n)
+	if err != nil {
+		return 0, err
+	}
+	return tHigh - tLow, nil
+}
+
+// Overshoot returns the peak excursion beyond the final value as a fraction
+// of |final| (0 when the response never exceeds it), scanning n samples.
+func Overshoot(y Signal, final, t0, t1 float64, n int) (float64, error) {
+	if y == nil || t1 <= t0 || final == 0 {
+		return 0, fmt.Errorf("waveform: Overshoot needs a signal, t0 < t1 and final ≠ 0")
+	}
+	if n < 2 {
+		n = 1024
+	}
+	peak := 0.0
+	for k := 0; k <= n; k++ {
+		t := t0 + (t1-t0)*float64(k)/float64(n)
+		exc := (y(t) - final) / final // positive when beyond final, either sign
+		if exc > peak {
+			peak = exc
+		}
+	}
+	return peak, nil
+}
+
+// SettlingTime returns the earliest time after which y stays within ±band·
+// |final| of final through t1 (scanning n samples).
+func SettlingTime(y Signal, final, band, t0, t1 float64, n int) (float64, error) {
+	if y == nil || t1 <= t0 || final == 0 || band <= 0 {
+		return 0, fmt.Errorf("waveform: SettlingTime needs a signal, t0 < t1, final ≠ 0 and band > 0")
+	}
+	if n < 2 {
+		n = 1024
+	}
+	tol := band * math.Abs(final)
+	lastOutside := t0 - 1
+	h := (t1 - t0) / float64(n)
+	for k := 0; k <= n; k++ {
+		t := t0 + float64(k)*h
+		if math.Abs(y(t)-final) > tol {
+			lastOutside = t
+		}
+	}
+	if lastOutside >= t1-h {
+		return 0, fmt.Errorf("waveform: signal does not settle within ±%g%% by t=%g", band*100, t1)
+	}
+	if lastOutside < t0 {
+		return t0, nil
+	}
+	return lastOutside + h, nil
+}

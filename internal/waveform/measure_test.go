@@ -1,0 +1,107 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+// First-order step response 1 − e^{−t/τ}: every measure has a closed form.
+func TestMeasuresOnFirstOrderStep(t *testing.T) {
+	tau := 2.0
+	y := func(tt float64) float64 { return 1 - math.Exp(-tt/tau) }
+
+	// 50% crossing at τ·ln2.
+	t50, err := CrossTime(y, 0.5, 0, 20, true, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(t50-tau*math.Ln2) > 1e-9 {
+		t.Fatalf("t50 = %g, want %g", t50, tau*math.Ln2)
+	}
+
+	// 10–90 rise time = τ·ln9.
+	tr, err := RiseTime(y, 1, 0, 20, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr-tau*math.Log(9)) > 1e-9 {
+		t.Fatalf("rise time = %g, want %g", tr, tau*math.Log(9))
+	}
+
+	// Monotone response: zero overshoot.
+	os, err := Overshoot(y, 1, 0, 20, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os != 0 {
+		t.Fatalf("overshoot = %g, want 0", os)
+	}
+
+	// 2% settling at τ·ln50.
+	ts, err := SettlingTime(y, 1, 0.02, 0, 20, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tau * math.Log(50)
+	if math.Abs(ts-want) > 0.02 {
+		t.Fatalf("settling = %g, want %g", ts, want)
+	}
+}
+
+// Underdamped second-order step: overshoot = exp(−ζπ/√(1−ζ²)).
+func TestOvershootUnderdamped(t *testing.T) {
+	w0, zeta := 4.0, 0.3
+	wd := w0 * math.Sqrt(1-zeta*zeta)
+	y := func(tt float64) float64 {
+		return 1 - math.Exp(-zeta*w0*tt)*(math.Cos(wd*tt)+zeta*w0/wd*math.Sin(wd*tt))
+	}
+	os, err := Overshoot(y, 1, 0, 10, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-zeta * math.Pi / math.Sqrt(1-zeta*zeta))
+	if math.Abs(os-want) > 1e-4 {
+		t.Fatalf("overshoot = %g, want %g", os, want)
+	}
+}
+
+func TestCrossTimeFalling(t *testing.T) {
+	y := func(tt float64) float64 { return math.Exp(-tt) }
+	tc, err := CrossTime(y, 0.5, 0, 10, false, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tc-math.Ln2) > 1e-9 {
+		t.Fatalf("falling crossing = %g, want ln2", tc)
+	}
+}
+
+func TestMeasureErrors(t *testing.T) {
+	y := func(tt float64) float64 { return 0.2 }
+	if _, err := CrossTime(y, 0.5, 0, 1, true, 64); err == nil {
+		t.Fatal("found a crossing in a flat signal")
+	}
+	if _, err := CrossTime(nil, 0.5, 0, 1, true, 64); err == nil {
+		t.Fatal("accepted nil signal")
+	}
+	if _, err := CrossTime(y, 0.5, 1, 1, true, 64); err == nil {
+		t.Fatal("accepted empty window")
+	}
+	if _, err := RiseTime(y, 0, 0, 1, 64); err == nil {
+		t.Fatal("accepted zero final")
+	}
+	if _, err := Overshoot(y, 0, 0, 1, 64); err == nil {
+		t.Fatal("Overshoot accepted zero final")
+	}
+	if _, err := SettlingTime(y, 1, 0.01, 0, 1, 64); err == nil {
+		t.Fatal("flat-at-0.2 signal reported settled at 1")
+	}
+	if _, err := SettlingTime(y, 0.2, 0, 0, 1, 64); err == nil {
+		t.Fatal("accepted zero band")
+	}
+	// Already settled at t0.
+	ts, err := SettlingTime(func(float64) float64 { return 1 }, 1, 0.01, 0, 1, 64)
+	if err != nil || ts != 0 {
+		t.Fatalf("constant signal settling = %g, %v", ts, err)
+	}
+}

@@ -1,0 +1,257 @@
+// Package waveform provides time-domain signal sources, sampled waveforms,
+// and the error metrics the paper's evaluation uses — in particular the
+// relative error in dB of eq. (30).
+package waveform
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Signal is a scalar function of time, used for circuit sources and system
+// inputs.
+type Signal func(t float64) float64
+
+// Zero is the identically zero signal.
+func Zero() Signal { return func(float64) float64 { return 0 } }
+
+// Constant returns a constant signal.
+func Constant(level float64) Signal { return func(float64) float64 { return level } }
+
+// Step returns a step of the given level switching on at t0.
+func Step(level, t0 float64) Signal {
+	return func(t float64) float64 {
+		if t >= t0 {
+			return level
+		}
+		return 0
+	}
+}
+
+// Ramp returns a signal rising linearly from 0 at t0 with the given slope.
+func Ramp(slope, t0 float64) Signal {
+	return func(t float64) float64 {
+		if t <= t0 {
+			return 0
+		}
+		return slope * (t - t0)
+	}
+}
+
+// Sine returns amp·sin(2π·freq·t + phase).
+func Sine(amp, freq, phase float64) Signal {
+	return func(t float64) float64 {
+		return amp * math.Sin(2*math.Pi*freq*t+phase)
+	}
+}
+
+// ExpDecay returns amp·exp(−t/tau) for t ≥ 0 and 0 before.
+func ExpDecay(amp, tau float64) Signal {
+	return func(t float64) float64 {
+		if t < 0 {
+			return 0
+		}
+		return amp * math.Exp(-t/tau)
+	}
+}
+
+// DampedSine returns amp·exp(−t/tau)·sin(2π·freq·t) for t ≥ 0.
+func DampedSine(amp, tau, freq float64) Signal {
+	return func(t float64) float64 {
+		if t < 0 {
+			return 0
+		}
+		return amp * math.Exp(-t/tau) * math.Sin(2*math.Pi*freq*t)
+	}
+}
+
+// Pulse returns a trapezoidal pulse train in SPICE style: initial value v1,
+// pulsed value v2, delay td, rise tr, fall tf, pulse width pw, period per.
+// A zero period yields a single pulse.
+func Pulse(v1, v2, td, tr, tf, pw, per float64) Signal {
+	return func(t float64) float64 {
+		if t < td {
+			return v1
+		}
+		tt := t - td
+		if per > 0 {
+			tt = math.Mod(tt, per)
+		}
+		switch {
+		case tt < tr:
+			if tr == 0 {
+				return v2
+			}
+			return v1 + (v2-v1)*tt/tr
+		case tt < tr+pw:
+			return v2
+		case tt < tr+pw+tf:
+			if tf == 0 {
+				return v1
+			}
+			return v2 + (v1-v2)*(tt-tr-pw)/tf
+		default:
+			return v1
+		}
+	}
+}
+
+// PRBS returns a pseudo-random binary sequence driver for signal-integrity
+// work: bits from a 7-bit maximal-length LFSR (period 127) at the given bit
+// period, toggling between v0 and v1 with linear edges of the given rise
+// time. The same seed always produces the same pattern.
+func PRBS(v0, v1, bitPeriod, rise float64, seed uint8) (Signal, error) {
+	if bitPeriod <= 0 || rise < 0 || rise >= bitPeriod {
+		return nil, fmt.Errorf("waveform: PRBS needs 0 ≤ rise < bitPeriod, got rise=%g period=%g", rise, bitPeriod)
+	}
+	// Generate one full LFSR period of bits (x⁷ + x⁶ + 1, period 127).
+	state := seed&0x7f | 1 // never all-zero
+	bits := make([]bool, 127)
+	for i := range bits {
+		bits[i] = state&1 == 1
+		fb := ((state >> 0) ^ (state >> 1)) & 1 // taps 7,6 (LSB-first)
+		state = state>>1 | fb<<6
+	}
+	level := func(i int) float64 {
+		if bits[((i%127)+127)%127] {
+			return v1
+		}
+		return v0
+	}
+	return func(t float64) float64 {
+		if t < 0 {
+			return level(0)
+		}
+		i := int(t / bitPeriod)
+		frac := t - float64(i)*bitPeriod
+		cur := level(i)
+		if frac >= rise || rise == 0 {
+			return cur
+		}
+		prev := cur
+		if i > 0 {
+			prev = level(i - 1)
+		}
+		return prev + (cur-prev)*frac/rise
+	}, nil
+}
+
+// PWL returns a piecewise-linear signal through the given (time, value)
+// breakpoints, held constant outside their range. Points must be sorted by
+// time.
+func PWL(times, values []float64) (Signal, error) {
+	if len(times) != len(values) || len(times) == 0 {
+		return nil, fmt.Errorf("waveform: PWL needs equal non-empty point lists, got %d/%d", len(times), len(values))
+	}
+	for i := 1; i < len(times); i++ {
+		if times[i] <= times[i-1] {
+			return nil, fmt.Errorf("waveform: PWL times must be strictly increasing at index %d", i)
+		}
+	}
+	t := append([]float64(nil), times...)
+	v := append([]float64(nil), values...)
+	return func(tt float64) float64 {
+		if tt <= t[0] {
+			return v[0]
+		}
+		if tt >= t[len(t)-1] {
+			return v[len(v)-1]
+		}
+		i := sort.SearchFloat64s(t, tt)
+		if t[i] == tt {
+			return v[i]
+		}
+		frac := (tt - t[i-1]) / (t[i] - t[i-1])
+		return v[i-1] + frac*(v[i]-v[i-1])
+	}, nil
+}
+
+// Waveform is a sampled scalar signal.
+type Waveform struct {
+	Times  []float64
+	Values []float64
+}
+
+// Sample evaluates s at the given times.
+func Sample(s Signal, times []float64) *Waveform {
+	w := &Waveform{Times: append([]float64(nil), times...), Values: make([]float64, len(times))}
+	for i, t := range times {
+		w.Values[i] = s(t)
+	}
+	return w
+}
+
+// UniformTimes returns n sample instants at the midpoints of n equal
+// intervals covering [0, T) — the natural comparison grid for block-pulse
+// coefficient vectors.
+func UniformTimes(n int, T float64) []float64 {
+	ts := make([]float64, n)
+	h := T / float64(n)
+	for i := range ts {
+		ts[i] = (float64(i) + 0.5) * h
+	}
+	return ts
+}
+
+// Norm2 returns the Euclidean norm of the sample values.
+func (w *Waveform) Norm2() float64 {
+	s := 0.0
+	for _, v := range w.Values {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sub returns the samplewise difference w − o. The time grids must have the
+// same length; times are taken from w.
+func (w *Waveform) Sub(o *Waveform) (*Waveform, error) {
+	if len(w.Values) != len(o.Values) {
+		return nil, fmt.Errorf("waveform: Sub length mismatch %d vs %d", len(w.Values), len(o.Values))
+	}
+	out := &Waveform{Times: append([]float64(nil), w.Times...), Values: make([]float64, len(w.Values))}
+	for i := range out.Values {
+		out.Values[i] = w.Values[i] - o.Values[i]
+	}
+	return out, nil
+}
+
+// RelErrDB computes the paper's accuracy metric (eq. 30):
+//
+//	err = 20·log₁₀(‖y − ref‖₂ / ‖ref‖₂)
+//
+// More negative is better; identical waveforms return −Inf.
+func RelErrDB(y, ref *Waveform) (float64, error) {
+	d, err := y.Sub(ref)
+	if err != nil {
+		return 0, err
+	}
+	nref := ref.Norm2()
+	if nref == 0 {
+		return 0, fmt.Errorf("waveform: RelErrDB reference has zero norm")
+	}
+	return 20 * math.Log10(d.Norm2()/nref), nil
+}
+
+// RelErrDBVec applies eq. (30) to multi-channel data: rows of y and ref are
+// channels sampled on a common grid; the norms are taken over all channels.
+func RelErrDBVec(y, ref [][]float64) (float64, error) {
+	if len(y) != len(ref) {
+		return 0, fmt.Errorf("waveform: channel count mismatch %d vs %d", len(y), len(ref))
+	}
+	var diff2, ref2 float64
+	for c := range y {
+		if len(y[c]) != len(ref[c]) {
+			return 0, fmt.Errorf("waveform: channel %d length mismatch", c)
+		}
+		for i := range y[c] {
+			d := y[c][i] - ref[c][i]
+			diff2 += d * d
+			ref2 += ref[c][i] * ref[c][i]
+		}
+	}
+	if ref2 == 0 {
+		return 0, fmt.Errorf("waveform: RelErrDBVec reference has zero norm")
+	}
+	return 20 * math.Log10(math.Sqrt(diff2)/math.Sqrt(ref2)), nil
+}

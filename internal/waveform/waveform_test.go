@@ -1,0 +1,304 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStep(t *testing.T) {
+	s := Step(2, 1)
+	if s(0.5) != 0 || s(1) != 2 || s(3) != 2 {
+		t.Fatal("Step misbehaves")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	s := Ramp(3, 1)
+	if s(0.5) != 0 || math.Abs(s(2)-3) > 1e-15 {
+		t.Fatal("Ramp misbehaves")
+	}
+}
+
+func TestSine(t *testing.T) {
+	s := Sine(2, 1, 0)
+	if math.Abs(s(0.25)-2) > 1e-12 {
+		t.Fatalf("Sine peak = %g, want 2", s(0.25))
+	}
+}
+
+func TestExpDecay(t *testing.T) {
+	s := ExpDecay(4, 2)
+	if s(-1) != 0 {
+		t.Fatal("ExpDecay nonzero before 0")
+	}
+	if math.Abs(s(2)-4/math.E) > 1e-12 {
+		t.Fatalf("ExpDecay(2) = %g", s(2))
+	}
+}
+
+func TestDampedSine(t *testing.T) {
+	s := DampedSine(1, 1, 1)
+	if s(-0.1) != 0 {
+		t.Fatal("DampedSine nonzero before 0")
+	}
+	if math.Abs(s(0.25)-math.Exp(-0.25)) > 1e-12 {
+		t.Fatalf("DampedSine(0.25) = %g", s(0.25))
+	}
+}
+
+func TestPulseSingle(t *testing.T) {
+	// 0→1 pulse: delay 1, rise 0.5, width 2, fall 0.5, no repeat.
+	p := Pulse(0, 1, 1, 0.5, 0.5, 2, 0)
+	cases := map[float64]float64{
+		0.5: 0, 1.25: 0.5, 1.5: 1, 3.0: 1, 3.75: 0.5, 5: 0,
+	}
+	for tt, want := range cases {
+		if got := p(tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Pulse(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestPulsePeriodic(t *testing.T) {
+	p := Pulse(0, 1, 0, 0, 0, 1, 2)
+	if p(0.5) != 1 || p(1.5) != 0 || p(2.5) != 1 {
+		t.Fatal("periodic pulse misbehaves")
+	}
+}
+
+func TestPulseZeroRise(t *testing.T) {
+	p := Pulse(0, 5, 1, 0, 0, 1, 0)
+	if p(1) != 5 {
+		t.Fatalf("zero-rise pulse at t=td: %g, want 5", p(1))
+	}
+}
+
+func TestPWL(t *testing.T) {
+	s, err := PWL([]float64{0, 1, 2}, []float64{0, 10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[float64]float64{-1: 0, 0: 0, 0.5: 5, 1: 10, 1.5: 5, 2: 0, 3: 0}
+	for tt, want := range cases {
+		if got := s(tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("PWL(%g) = %g, want %g", tt, got, want)
+		}
+	}
+}
+
+func TestPWLValidation(t *testing.T) {
+	if _, err := PWL([]float64{0, 1}, []float64{0}); err == nil {
+		t.Fatal("PWL accepted mismatched lists")
+	}
+	if _, err := PWL([]float64{1, 1}, []float64{0, 1}); err == nil {
+		t.Fatal("PWL accepted non-increasing times")
+	}
+	if _, err := PWL(nil, nil); err == nil {
+		t.Fatal("PWL accepted empty lists")
+	}
+}
+
+func TestUniformTimes(t *testing.T) {
+	ts := UniformTimes(4, 2)
+	want := []float64{0.25, 0.75, 1.25, 1.75}
+	for i := range want {
+		if math.Abs(ts[i]-want[i]) > 1e-15 {
+			t.Fatalf("UniformTimes = %v", ts)
+		}
+	}
+}
+
+func TestSampleAndNorm(t *testing.T) {
+	w := Sample(Constant(3), []float64{0, 1, 2, 3})
+	if math.Abs(w.Norm2()-6) > 1e-12 {
+		t.Fatalf("Norm2 = %g, want 6", w.Norm2())
+	}
+}
+
+func TestSubAndRelErrDB(t *testing.T) {
+	ts := UniformTimes(100, 1)
+	a := Sample(Constant(1), ts)
+	b := Sample(Constant(1.001), ts)
+	db, err := RelErrDB(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Relative error 1e-3 → −60 dB.
+	if math.Abs(db+60) > 0.1 {
+		t.Fatalf("RelErrDB = %g, want −60", db)
+	}
+}
+
+func TestRelErrDBIdentical(t *testing.T) {
+	ts := UniformTimes(8, 1)
+	a := Sample(Sine(1, 1, 0), ts)
+	db, err := RelErrDB(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(db, -1) {
+		t.Fatalf("identical waveforms give %g, want −Inf", db)
+	}
+}
+
+func TestRelErrDBZeroRef(t *testing.T) {
+	ts := UniformTimes(4, 1)
+	if _, err := RelErrDB(Sample(Constant(1), ts), Sample(Zero(), ts)); err == nil {
+		t.Fatal("RelErrDB accepted zero reference")
+	}
+}
+
+func TestSubLengthMismatch(t *testing.T) {
+	a := Sample(Zero(), UniformTimes(3, 1))
+	b := Sample(Zero(), UniformTimes(4, 1))
+	if _, err := a.Sub(b); err == nil {
+		t.Fatal("Sub accepted mismatched lengths")
+	}
+}
+
+func TestRelErrDBVec(t *testing.T) {
+	y := [][]float64{{1, 2}, {3, 4}}
+	ref := [][]float64{{1, 2}, {3, 4.001}}
+	db, err := RelErrDBVec(y, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db > -60 || math.IsInf(db, -1) {
+		t.Fatalf("RelErrDBVec = %g, expected finite and below −60", db)
+	}
+	if _, err := RelErrDBVec(y, [][]float64{{1}}); err == nil {
+		t.Fatal("accepted channel mismatch")
+	}
+	if _, err := RelErrDBVec([][]float64{{1}}, [][]float64{{1, 2}}); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+	if _, err := RelErrDBVec([][]float64{{0}}, [][]float64{{0}}); err == nil {
+		t.Fatal("accepted zero reference")
+	}
+}
+
+func TestPRBSValidation(t *testing.T) {
+	if _, err := PRBS(0, 1, 0, 0, 1); err == nil {
+		t.Fatal("accepted zero bit period")
+	}
+	if _, err := PRBS(0, 1, 1, 1, 1); err == nil {
+		t.Fatal("accepted rise >= period")
+	}
+}
+
+func TestPRBSDeterministicAndBinary(t *testing.T) {
+	a, err := PRBS(0, 1, 1e-9, 0, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := PRBS(0, 1, 1e-9, 0, 42)
+	ones := 0
+	for i := 0; i < 127; i++ {
+		tt := (float64(i) + 0.5) * 1e-9
+		va, vb := a(tt), b(tt)
+		if va != vb {
+			t.Fatal("PRBS not deterministic")
+		}
+		if va != 0 && va != 1 {
+			t.Fatalf("PRBS level %g not binary", va)
+		}
+		if va == 1 {
+			ones++
+		}
+	}
+	// Maximal-length LFSR: 64 ones, 63 zeros per period.
+	if ones != 64 {
+		t.Fatalf("ones per period = %d, want 64", ones)
+	}
+	// Periodicity.
+	if a(0.5e-9) != a(127.5e-9) {
+		t.Fatal("PRBS period wrong")
+	}
+}
+
+func TestPRBSEdges(t *testing.T) {
+	s, err := PRBS(0, 1, 1, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a bit transition and check the linear ramp inside the rise time.
+	for i := 1; i < 127; i++ {
+		before := s(float64(i) - 0.5)
+		after := s(float64(i) + 0.5)
+		if before != after {
+			mid := s(float64(i) + 0.1)
+			want := before + (after-before)*0.5
+			if math.Abs(mid-want) > 1e-12 {
+				t.Fatalf("edge not linear: mid %g, want %g", mid, want)
+			}
+			return
+		}
+	}
+	t.Fatal("no transition found in a PRBS period")
+}
+
+func TestPRBSNegativeTime(t *testing.T) {
+	s, _ := PRBS(0, 1, 1, 0, 5)
+	if v := s(-3); v != s(0.5) {
+		t.Fatalf("negative time level %g, want first-bit level %g", v, s(0.5))
+	}
+}
+
+func TestEyeIdealChannel(t *testing.T) {
+	// A perfect channel: the eye equals the full swing.
+	prbs, err := PRBS(0, 1, 1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit := func(k int) bool { return prbs((float64(k)+0.5)*1) > 0.5 }
+	m, err := Eye(prbs, bit, 1, 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Opening != 1 || m.WorstHigh != 1 || m.WorstLow != 0 {
+		t.Fatalf("ideal eye = %+v", m)
+	}
+	if m.Bits != 64 {
+		t.Fatalf("bits = %d", m.Bits)
+	}
+}
+
+func TestEyeDegradedChannel(t *testing.T) {
+	// Attenuate ones to 0.6 and lift zeros to 0.3: opening 0.3.
+	prbs, _ := PRBS(0, 1, 1, 0, 7)
+	bit := func(k int) bool { return prbs((float64(k)+0.5)*1) > 0.5 }
+	channel := func(t float64) float64 {
+		if prbs(t) > 0.5 {
+			return 0.6
+		}
+		return 0.3
+	}
+	m, err := Eye(channel, bit, 1, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Opening-0.3) > 1e-12 {
+		t.Fatalf("opening = %g, want 0.3", m.Opening)
+	}
+}
+
+func TestEyeValidation(t *testing.T) {
+	prbs, _ := PRBS(0, 1, 1, 0, 7)
+	bit := func(k int) bool { return true }
+	if _, err := Eye(nil, bit, 1, 0, 8); err == nil {
+		t.Fatal("accepted nil waveform")
+	}
+	if _, err := Eye(prbs, nil, 1, 0, 8); err == nil {
+		t.Fatal("accepted nil pattern")
+	}
+	if _, err := Eye(prbs, bit, 0, 0, 8); err == nil {
+		t.Fatal("accepted zero bit period")
+	}
+	if _, err := Eye(prbs, bit, 1, 5, 5); err == nil {
+		t.Fatal("accepted empty range")
+	}
+	// All-ones pattern: no zeros to measure.
+	if _, err := Eye(prbs, bit, 1, 0, 8); err == nil {
+		t.Fatal("accepted single-polarity pattern")
+	}
+}
