@@ -173,6 +173,48 @@ func BenchmarkAdaptive_Auto(b *testing.B) {
 	}
 }
 
+// --- History engine: serial vs blocked vs blocked+parallel (§IV cost split) -
+
+// benchHistory times a full fractional solve, which the O(nm²) history sum
+// dominates for m ≥ 512; opt selects the history implementation.
+func benchHistory(b *testing.B, m int, sections int, opt core.Options) {
+	cfg := netgen.DefaultFractionalLine()
+	cfg.Sections = sections
+	drive := waveform.Pulse(0, 1e-3, 0.1e-9, 0.1e-9, 0.1e-9, 0.8e-9, 0)
+	mna, err := netgen.FractionalLine(cfg, drive, waveform.Zero())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(mna.Sys, mna.Inputs, m, 2.7e-9, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchHistoryFamily(b *testing.B, opt core.Options) {
+	for _, m := range []int{512, 2048, 4096} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) { benchHistory(b, m, 7, opt) })
+	}
+	// A wider line (more states per column) shifts work from loop overhead
+	// to the axpy kernels, the regime where blocking pays most.
+	b.Run("n=64/m=1024", func(b *testing.B) { benchHistory(b, 1024, 64, opt) })
+}
+
+func BenchmarkHistory_Serial(b *testing.B) {
+	benchHistoryFamily(b, core.Options{HistoryNaive: true})
+}
+
+func BenchmarkHistory_Blocked(b *testing.B) {
+	benchHistoryFamily(b, core.Options{Workers: 1})
+}
+
+func BenchmarkHistory_BlockedParallel(b *testing.B) {
+	benchHistoryFamily(b, core.Options{}) // Workers: 0 → auto (GOMAXPROCS)
+}
+
 // --- Operational-matrix construction (§IV, eq. 21–23) ----------------------
 
 func BenchmarkOpMatrix_FractionalCoeffs(b *testing.B) {

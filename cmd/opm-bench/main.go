@@ -4,10 +4,12 @@
 //
 // Usage:
 //
-//	opm-bench -experiment table1|table2|waveforms|adaptive|opmatrix|bases|scaling|all [flags]
+//	opm-bench -experiment table1|table2|waveforms|adaptive|opmatrix|bases|scaling|history|all [flags]
 //
 // The paper-scale Table II instance (NA ≈ 75 K states) is gated behind
-// -full; the default grid is laptop-scale.
+// -full; the default grid is laptop-scale. -experiment history sweeps the
+// parallel history engine (serial vs blocked vs blocked+parallel) and
+// writes a machine-readable BENCH_history.json (see -histout, -workers).
 package main
 
 import (
@@ -20,19 +22,21 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: table1, table2, waveforms, adaptive, opmatrix, bases, scaling, mor, fracfit, walshtrend, all")
+		experiment = flag.String("experiment", "all", "which experiment to run: table1, table2, waveforms, adaptive, opmatrix, bases, scaling, mor, fracfit, walshtrend, history, all")
 		full       = flag.Bool("full", false, "run Table II at paper scale (~75K NA states; needs several GB and minutes)")
 		repeat     = flag.Int("repeat", 10, "timing repetitions for Table I")
 		gridRows   = flag.Int("grid", 0, "override Table II grid rows/cols (0 = default 16)")
+		workers    = flag.Int("workers", 0, "history-engine worker goroutines (0 = GOMAXPROCS)")
+		histOut    = flag.String("histout", "BENCH_history.json", "machine-readable output path for -experiment history")
 	)
 	flag.Parse()
-	if err := run(*experiment, *full, *repeat, *gridRows); err != nil {
+	if err := run(*experiment, *full, *repeat, *gridRows, *workers, *histOut); err != nil {
 		fmt.Fprintln(os.Stderr, "opm-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, full bool, repeat, gridRows int) error {
+func run(experiment string, full bool, repeat, gridRows, workers int, histOut string) error {
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
@@ -105,13 +109,30 @@ func run(experiment string, full bool, repeat, gridRows int) error {
 				return err
 			}
 			tbl.Fprint(os.Stdout)
+		case "history":
+			cfg := experiments.DefaultHistory()
+			cfg.Workers = workers
+			if repeat > 0 {
+				cfg.Repeat = repeat
+			}
+			tbl, rep, err := experiments.History(cfg)
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+			if histOut != "" {
+				if err := rep.WriteJSON(histOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", histOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 		return nil
 	}
 	if experiment == "all" {
-		for _, name := range []string{"table1", "table2", "waveforms", "adaptive", "opmatrix", "bases", "scaling", "mor", "fracfit", "walshtrend"} {
+		for _, name := range []string{"table1", "table2", "waveforms", "adaptive", "opmatrix", "bases", "scaling", "mor", "fracfit", "walshtrend", "history"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

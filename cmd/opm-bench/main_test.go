@@ -1,29 +1,53 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunFastExperiments(t *testing.T) {
 	for _, name := range []string{"opmatrix", "bases", "adaptive"} {
-		if err := run(name, false, 1, 0); err != nil {
+		if err := run(name, false, 1, 0, 0, ""); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
 }
 
 func TestRunTableIQuick(t *testing.T) {
-	if err := run("table1", false, 1, 0); err != nil {
+	if err := run("table1", false, 1, 0, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTableIISmallGrid(t *testing.T) {
-	if err := run("table2", false, 1, 6); err != nil {
+	if err := run("table2", false, 1, 6, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunHistoryWritesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("history sweep solves up to m=4096; skipped in -short mode")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_history.json")
+	if err := run("history", false, 1, 0, 2, out); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("history report not written: %v", err)
+	}
+	for _, key := range []string{"\"gomaxprocs\"", "\"speedup_parallel\"", "\"max_abs_diff\""} {
+		if !strings.Contains(string(buf), key) {
+			t.Fatalf("report missing %s:\n%s", key, buf)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", false, 1, 0); err == nil {
+	if err := run("nope", false, 1, 0, 0, ""); err == nil {
 		t.Fatal("accepted unknown experiment")
 	}
 }

@@ -61,6 +61,7 @@ func main() {
 		points      = flag.Int("points", 50, "number of output sample points")
 		ac          = flag.String("ac", "", "AC sweep instead of transient: \"wstart,wstop,points\" (rad/s, SPICE units ok)")
 		op          = flag.Bool("op", false, "print the DC operating point instead of a transient")
+		workers     = flag.Int("workers", 0, "goroutines for the OPM fractional-history engine (0 = GOMAXPROCS; results are identical for any value)")
 	)
 	flag.Parse()
 	if *op {
@@ -77,7 +78,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*netlistPath, *method, *steps, *tstop, *nodes, *points); err != nil {
+	if err := run(*netlistPath, *method, *steps, *tstop, *nodes, *points, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "opm-sim:", err)
 		os.Exit(1)
 	}
@@ -177,7 +178,7 @@ func runAC(netlistPath, spec, nodes string) error {
 	return nil
 }
 
-func run(netlistPath, method string, steps int, tstop, nodes string, points int) error {
+func run(netlistPath, method string, steps int, tstop, nodes string, points, workers int) error {
 	if netlistPath == "" {
 		return fmt.Errorf("-netlist is required")
 	}
@@ -223,9 +224,10 @@ func run(netlistPath, method string, steps int, tstop, nodes string, points int)
 			if x0 != nil {
 				return fmt.Errorf(".ic is not supported for nonlinear netlists")
 			}
-			sol, err = core.SolveNonlinear(mna.Sys, mna.Nonlinear, mna.Inputs, m, T, core.NonlinearOptions{})
+			sol, err = core.SolveNonlinear(mna.Sys, mna.Nonlinear, mna.Inputs, m, T,
+				core.NonlinearOptions{Options: core.Options{Workers: workers}})
 		} else {
-			sol, err = core.Solve(mna.Sys, mna.Inputs, m, T, core.Options{X0: x0})
+			sol, err = core.Solve(mna.Sys, mna.Inputs, m, T, core.Options{X0: x0, Workers: workers})
 		}
 		if err != nil {
 			return err

@@ -77,9 +77,17 @@ func SolveAdaptive(sys *System, u []waveform.Signal, steps []float64, opt Option
 		return f, nil
 	}
 
+	// The adaptive-grid D̃ᵅ has no Toeplitz structure, so every nonzero-order
+	// term runs through the general (blocked, parallel) history engine.
+	eng := newHistoryEngine(n, m, opt.Workers, opt.HistoryNaive)
+	for k, t := range sys.Terms {
+		if t.Order != 0 {
+			eng.addGeneral(k, dmats[k])
+		}
+	}
+
 	cols := make([][]float64, m)
 	rhs := make([]float64, n)
-	w := make([]float64, n)
 	for j := 0; j < m; j++ {
 		for i := range rhs {
 			rhs[i] = 0
@@ -89,16 +97,7 @@ func SolveAdaptive(sys *System, u []waveform.Signal, steps []float64, opt Option
 			if t.Order == 0 {
 				continue
 			}
-			d := dmats[k]
-			for i := range w {
-				w[i] = 0
-			}
-			for i := 0; i < j; i++ {
-				if c := d.At(i, j); c != 0 {
-					mat.Axpy(c, cols[i], w)
-				}
-			}
-			t.Coeff.MulVecAdd(-1, w, rhs)
+			t.Coeff.MulVecAdd(-1, eng.history(k, j, cols), rhs)
 		}
 		fac, err := factorFor(j)
 		if err != nil {

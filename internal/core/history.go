@@ -1,0 +1,257 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"opmsim/internal/mat"
+)
+
+// The history engine evaluates the per-term history sums of eq. (28),
+//
+//	w_j⁽ᵏ⁾ = Σ_{i<j} c⁽ᵏ⁾(i,j)·x_i,
+//
+// for the fractional/high-order terms whose Toeplitz (or adaptive-grid)
+// coefficients admit no short recurrence — the O(nᵝm + nm²) part of the
+// paper's §IV cost split. It restructures the computation without changing
+// a single floating-point rounding:
+//
+//   - columns are processed in chunks of historyChunk; when a chunk begins,
+//     the contribution of every already-solved column ("head") to each
+//     column of the chunk is precomputed in one burst, tiled into
+//     fixed-size blocks of past columns so a block of X stays cache-hot
+//     while it is folded into all chunk columns;
+//   - the head burst is fanned out over a process-wide worker pool, one
+//     contiguous range of chunk columns per task, so two workers never
+//     share an accumulator;
+//   - inside the chunk, each column adds the remaining triangle ("tail")
+//     serially, exactly as the reference loop would.
+//
+// Determinism: every accumulator is owned by exactly one task, and past
+// columns are always folded in ascending index order — first the head
+// (blocks visited in ascending order, ascending i within a block), then the
+// tail. The floating-point additions therefore happen in the reference
+// serial order regardless of block size, chunk size, or worker count: the
+// engine is bitwise-identical to the naive column-by-column summation and
+// to itself under any Options.Workers setting.
+const (
+	// historyChunk is the number of columns per head burst. Larger chunks
+	// amortize pool synchronization but grow the serial tail; the tail is
+	// an O(m·chunk/2) share of the O(m²/2) total, i.e. chunk/m of the work.
+	historyChunk = 64
+	// historyBlockTargetBytes sizes the past-column tile so a block of X
+	// (block·n floats) stays within L1/L2 while it is reused across the
+	// chunk columns of a task.
+	historyBlockTargetBytes = 32 << 10
+)
+
+// historyPool is the process-wide worker pool shared by all history engines
+// across Solve, SolveAdaptive, and SolveNonlinear calls. Goroutines are
+// started once, sized to GOMAXPROCS, and parked on a channel between bursts.
+var historyPool struct {
+	once sync.Once
+	jobs chan func()
+}
+
+// historyPoolDo runs the tasks to completion, preferring pool goroutines
+// and falling back to the calling goroutine when the pool is saturated.
+func historyPoolDo(tasks []func()) {
+	historyPool.once.Do(func() {
+		n := runtime.GOMAXPROCS(0)
+		historyPool.jobs = make(chan func(), n)
+		for i := 0; i < n; i++ {
+			go func() {
+				for f := range historyPool.jobs {
+					f()
+				}
+			}()
+		}
+	})
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		t := t
+		run := func() { defer wg.Done(); t() }
+		select {
+		case historyPool.jobs <- run:
+		default:
+			run()
+		}
+	}
+	wg.Wait()
+}
+
+// historyTerm is one term's coefficient source plus its accumulators.
+// Exactly one of toe/gen is set: toe holds the uniform-grid Toeplitz
+// coefficients (c(i,j) = toe[j−i]), gen the adaptive-grid operational
+// matrix (c(i,j) = gen.At(i,j), skipping exact zeros like the reference
+// loop does).
+type historyTerm struct {
+	toe  []float64
+	gen  *mat.Dense
+	head [][]float64 // head sums for the current chunk, one n-vector per column
+	w    []float64   // scratch returned by history()
+}
+
+// historyEngine evaluates general (non-recurrence) history sums for a
+// column-by-column solve. Columns must be consumed in order j = 0..m−1, and
+// cols[0..j−1] must be solved before history(·, j, cols) is called.
+type historyEngine struct {
+	n, m    int
+	workers int
+	block   int
+	naive   bool
+	chunkLo int // first column of the current chunk
+	terms   map[int]*historyTerm
+}
+
+// newHistoryEngine creates an engine for an n-state, m-column solve.
+// workers ≤ 0 means runtime.GOMAXPROCS(0); naive forces the reference
+// column-by-column summation (used by benchmarks and cross-checks).
+func newHistoryEngine(n, m, workers int, naive bool) *historyEngine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	block := historyBlockTargetBytes / (8 * n)
+	if block < 32 {
+		block = 32
+	}
+	if block > 1024 {
+		block = 1024
+	}
+	return &historyEngine{
+		n: n, m: m,
+		workers: workers,
+		block:   block,
+		naive:   naive,
+		terms:   map[int]*historyTerm{},
+	}
+}
+
+func (e *historyEngine) newTerm() *historyTerm {
+	t := &historyTerm{w: make([]float64, e.n)}
+	cc := historyChunk
+	if cc > e.m {
+		cc = e.m
+	}
+	t.head = make([][]float64, cc)
+	for i := range t.head {
+		t.head[i] = make([]float64, e.n)
+	}
+	return t
+}
+
+// addToeplitz registers term k with uniform-grid Toeplitz coefficients.
+func (e *historyEngine) addToeplitz(k int, c []float64) {
+	t := e.newTerm()
+	t.toe = c
+	e.terms[k] = t
+}
+
+// addGeneral registers term k with an adaptive-grid operational matrix.
+func (e *historyEngine) addGeneral(k int, d *mat.Dense) {
+	t := e.newTerm()
+	t.gen = d
+	e.terms[k] = t
+}
+
+// active reports whether term k uses the engine.
+func (e *historyEngine) active(k int) bool { return e.terms[k] != nil }
+
+// history returns w_j = Σ_{i<j} c(i,j)·x_i for term k. The returned slice
+// is owned by the engine and valid until the next history call for k.
+func (e *historyEngine) history(k, j int, cols [][]float64) []float64 {
+	t := e.terms[k]
+	w := t.w
+	if e.naive {
+		for i := range w {
+			w[i] = 0
+		}
+		t.fold(j, 0, j, cols, w)
+		return w
+	}
+	if j >= e.chunkLo+historyChunk {
+		e.advanceChunk(j, cols)
+	}
+	copy(w, t.head[j-e.chunkLo])
+	t.fold(j, e.chunkLo, j, cols, w)
+	return w
+}
+
+// advanceChunk starts the chunk [j0, j0+historyChunk) by folding every
+// already-solved column i < j0 into the head sums of each chunk column.
+func (e *historyEngine) advanceChunk(j0 int, cols [][]float64) {
+	e.chunkLo = j0
+	hi := j0 + historyChunk
+	if hi > e.m {
+		hi = e.m
+	}
+	cc := hi - j0
+	for _, t := range e.terms {
+		for jj := 0; jj < cc; jj++ {
+			h := t.head[jj]
+			for i := range h {
+				h[i] = 0
+			}
+		}
+	}
+	if j0 == 0 {
+		return
+	}
+	nt := e.workers
+	if nt > cc {
+		nt = cc
+	}
+	var tasks []func()
+	for _, t := range e.terms {
+		t := t
+		for r := 0; r < nt; r++ {
+			lo := j0 + r*cc/nt
+			rhi := j0 + (r+1)*cc/nt
+			if lo >= rhi {
+				continue
+			}
+			tasks = append(tasks, func() { e.headRange(t, j0, lo, rhi, cols) })
+		}
+	}
+	if len(tasks) <= 1 || e.workers == 1 {
+		for _, f := range tasks {
+			f()
+		}
+		return
+	}
+	historyPoolDo(tasks)
+}
+
+// headRange folds all past columns i < j0, visited in fixed-size blocks,
+// into the head accumulators of chunk columns [lo, hi). The block loop is
+// outermost so a tile of X is reused across every column of the range;
+// within each destination column past columns still arrive in ascending
+// order, keeping the result independent of block size and worker count.
+func (e *historyEngine) headRange(t *historyTerm, j0, lo, hi int, cols [][]float64) {
+	for b := 0; b < j0; b += e.block {
+		bhi := b + e.block
+		if bhi > j0 {
+			bhi = j0
+		}
+		for j := lo; j < hi; j++ {
+			t.fold(j, b, bhi, cols, t.head[j-j0])
+		}
+	}
+}
+
+// fold accumulates dst += Σ_{i∈[lo,hi)} c(i,j)·x_i in ascending i order.
+func (t *historyTerm) fold(j, lo, hi int, cols [][]float64, dst []float64) {
+	if t.toe != nil {
+		c := t.toe
+		for i := lo; i < hi; i++ {
+			mat.Axpy(c[j-i], cols[i], dst)
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		if v := t.gen.At(i, j); v != 0 {
+			mat.Axpy(v, cols[i], dst)
+		}
+	}
+}

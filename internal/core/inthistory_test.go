@@ -1,10 +1,13 @@
 package core
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"opmsim/internal/basis"
+	"opmsim/internal/mat"
 	"opmsim/internal/sparse"
 	"opmsim/internal/waveform"
 )
@@ -49,6 +52,56 @@ func TestIntegerFastHistoryResidualProperty(t *testing.T) {
 		return res < 1e-7
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The p-term recurrence must agree with the naive Toeplitz history sum
+// s_j = Σ_{i<j} c_{j−i}·x_i directly, for random column sequences and
+// p ∈ {1,2,3} — this pins the recurrence itself, independent of any solve.
+func TestIntHistoryRecurrenceMatchesToeplitzProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := 5 + rng.Intn(40)
+		p := 1 + rng.Intn(3)
+		T := 0.5 + rng.Float64()
+		bpf, err := basis.NewBPF(m, T)
+		if err != nil {
+			return false
+		}
+		c := bpf.DiffCoeffs(float64(p))
+		ih := newIntHistory(p, bpf.Step(), n)
+		cols := make([][]float64, m)
+		naive := make([]float64, n)
+		for j := 0; j < m; j++ {
+			for i := range naive {
+				naive[i] = 0
+			}
+			for i := 0; i < j; i++ {
+				mat.Axpy(c[j-i], cols[i], naive)
+			}
+			s := ih.current()
+			// The recurrence coefficients grow like (2/h)ᵖ·C(p,k); compare
+			// relative to the running magnitude.
+			scale := 1 + mat.NormInf(naive)
+			for i := range s {
+				if math.Abs(s[i]-naive[i]) > 1e-10*scale {
+					t.Logf("seed=%d n=%d m=%d p=%d j=%d i=%d: recurrence %g vs naive %g",
+						seed, n, m, p, j, i, s[i], naive[i])
+					return false
+				}
+			}
+			xj := make([]float64, n)
+			for i := range xj {
+				xj[i] = rng.NormFloat64()
+			}
+			cols[j] = xj
+			ih.advance(xj)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
 		t.Fatal(err)
 	}
 }

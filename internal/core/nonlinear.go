@@ -78,15 +78,19 @@ func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T f
 		return nil, err
 	}
 	hist := make([]*intHistory, len(sys.Terms))
+	eng := newHistoryEngine(n, m, opt.Workers, opt.HistoryNaive)
 	for k, t := range sys.Terms {
-		if t.Order > 0 && t.Order == float64(int(t.Order)) {
+		switch {
+		case t.Order == 0:
+		case t.Order == float64(int(t.Order)):
 			hist[k] = newIntHistory(int(t.Order), bpf.Step(), n)
+		default:
+			eng.addToeplitz(k, coeffs[k])
 		}
 	}
 
 	cols := make([][]float64, m)
 	rhs := make([]float64, n)
-	w := make([]float64, n)
 	gval := make([]float64, n)
 	resid := make([]float64, n)
 	xj := make([]float64, n)
@@ -102,14 +106,7 @@ func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T f
 			case hist[k] != nil:
 				t.Coeff.MulVecAdd(-1, hist[k].current(), rhs)
 			default:
-				for i := range w {
-					w[i] = 0
-				}
-				c := coeffs[k]
-				for i := 0; i < j; i++ {
-					mat.Axpy(c[j-i], cols[i], w)
-				}
-				t.Coeff.MulVecAdd(-1, w, rhs)
+				t.Coeff.MulVecAdd(-1, eng.history(k, j, cols), rhs)
 			}
 		}
 		// Warm start from the previous column.

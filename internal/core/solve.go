@@ -22,6 +22,18 @@ type Options struct {
 	// to the zero-IC case, but for fractional orders the Caputo-with-zero-IC
 	// semantics would change).
 	X0 []float64
+	// Workers sets the goroutine count of the parallel history engine used
+	// for fractional/high-order terms (the O(nm²) part of the paper's §IV
+	// cost split). The zero value means "auto" (runtime.GOMAXPROCS); 1 runs
+	// the blocked engine on the calling goroutine. Results are
+	// bitwise-identical for every Workers value: the engine always folds
+	// past columns in ascending order into accumulators owned by a single
+	// goroutine.
+	Workers int
+	// HistoryNaive forces the reference O(j)-per-column history summation
+	// instead of the blocked parallel engine. Benchmarks and regression
+	// tests use it as the baseline; the engine reproduces it bit for bit.
+	HistoryNaive bool
 }
 
 // Solve simulates the system over [0, T) with m uniform block-pulse
@@ -84,15 +96,21 @@ func Solve(sys *System, u []waveform.Signal, m int, T float64, opt Options) (*So
 	// instead of O(n·j). Fractional orders fall back to the full history,
 	// matching the paper's complexity discussion for eq. (28).
 	hist := make([]*intHistory, len(sys.Terms))
+	eng := newHistoryEngine(n, m, opt.Workers, opt.HistoryNaive)
 	for k, t := range sys.Terms {
-		if t.Order > 0 && t.Order == float64(int(t.Order)) {
+		switch {
+		case t.Order == 0:
+		case t.Order == float64(int(t.Order)):
 			hist[k] = newIntHistory(int(t.Order), bpf.Step(), n)
+		default:
+			// Fractional orders have no short recurrence: full (blocked,
+			// parallel) Toeplitz history.
+			eng.addToeplitz(k, coeffs[k])
 		}
 	}
 
 	cols := make([][]float64, m)
 	rhs := make([]float64, n)
-	w := make([]float64, n)
 	for j := 0; j < m; j++ {
 		// rhs = B·u_j + shift − Σ_k E_k·s_j⁽ᵏ⁾.
 		for i := range rhs {
@@ -106,15 +124,7 @@ func Solve(sys *System, u []waveform.Signal, m int, T float64, opt Options) (*So
 			case hist[k] != nil:
 				t.Coeff.MulVecAdd(-1, hist[k].current(), rhs)
 			default:
-				// Full history: w = Σ_{i<j} c_{j−i}·x_i.
-				for i := range w {
-					w[i] = 0
-				}
-				c := coeffs[k]
-				for i := 0; i < j; i++ {
-					mat.Axpy(c[j-i], cols[i], w)
-				}
-				t.Coeff.MulVecAdd(-1, w, rhs)
+				t.Coeff.MulVecAdd(-1, eng.history(k, j, cols), rhs)
 			}
 		}
 		xj := fac.Solve(rhs)

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"opmsim/internal/core"
+	"opmsim/internal/mat"
+	"opmsim/internal/netgen"
+	"opmsim/internal/waveform"
+)
+
+// HistoryConfig parameterizes the history-engine ablation: the §V-A
+// fractional line solved at increasing m with the three history
+// implementations (serial reference, blocked single-worker engine, blocked
+// parallel engine).
+type HistoryConfig struct {
+	Line netgen.FractionalLineConfig
+	T    float64
+	// Ms are the block-pulse counts to sweep; the O(nm²) history dominates
+	// from m ≈ 512 up.
+	Ms []int
+	// Repeat re-runs each solve and keeps the minimum time.
+	Repeat int
+	// Workers for the parallel variant; 0 means runtime.GOMAXPROCS.
+	Workers int
+}
+
+// DefaultHistory sweeps the paper's fractional line to m = 4096.
+func DefaultHistory() HistoryConfig {
+	return HistoryConfig{
+		Line: netgen.DefaultFractionalLine(),
+		T:    2.7e-9,
+		Ms:   []int{512, 1024, 2048, 4096},
+		Repeat: 3,
+	}
+}
+
+// HistoryRow is one m-point of the sweep. MaxAbsDiff is the largest
+// absolute difference between the parallel and serial coefficient matrices;
+// the engine's ordered reduction makes it exactly zero.
+type HistoryRow struct {
+	M               int     `json:"m"`
+	N               int     `json:"n"`
+	SerialNS        int64   `json:"serial_ns"`
+	BlockedNS       int64   `json:"blocked_ns"`
+	ParallelNS      int64   `json:"parallel_ns"`
+	SpeedupBlocked  float64 `json:"speedup_blocked"`
+	SpeedupParallel float64 `json:"speedup_parallel"`
+	MaxAbsDiff      float64 `json:"max_abs_diff"`
+}
+
+// HistoryReport is the machine-readable result written to
+// BENCH_history.json by cmd/opm-bench.
+type HistoryReport struct {
+	Fixture    string       `json:"fixture"`
+	Alpha      float64      `json:"alpha"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Workers    int          `json:"workers"`
+	Rows       []HistoryRow `json:"rows"`
+}
+
+// WriteJSON writes the report to path.
+func (r *HistoryReport) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// History runs the history-engine ablation on the fractional line: for each
+// m it times Solve with the serial reference history, the blocked engine on
+// one worker, and the blocked engine on the full worker pool, verifying the
+// three coefficient matrices agree bitwise.
+func History(cfg HistoryConfig) (*Table, *HistoryReport, error) {
+	if cfg.Repeat < 1 {
+		cfg.Repeat = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	drive := waveform.Pulse(0, 1e-3, 0.1e-9, 0.1e-9, 0.1e-9, 0.8e-9, 0)
+	mna, err := netgen.FractionalLine(cfg.Line, drive, waveform.Zero())
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &HistoryReport{
+		Fixture:    fmt.Sprintf("fractional line n=%d", mna.Sys.N()),
+		Alpha:      cfg.Line.Order,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("History engine — fractional line (n=%d, α=%g, GOMAXPROCS=%d)",
+			mna.Sys.N(), cfg.Line.Order, rep.GOMAXPROCS),
+		Header: []string{"m", "serial", "blocked", "parallel", "speedup", "max |Δ|"},
+	}
+	for _, m := range cfg.Ms {
+		var serialSol, parSol *core.Solution
+		serial, err := minTime(cfg.Repeat, func() error {
+			s, err := core.Solve(mna.Sys, mna.Inputs, m, cfg.T, core.Options{HistoryNaive: true})
+			serialSol = s
+			return err
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: serial history m=%d: %w", m, err)
+		}
+		blocked, err := minTime(cfg.Repeat, func() error {
+			_, err := core.Solve(mna.Sys, mna.Inputs, m, cfg.T, core.Options{Workers: 1})
+			return err
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: blocked history m=%d: %w", m, err)
+		}
+		parallel, err := minTime(cfg.Repeat, func() error {
+			s, err := core.Solve(mna.Sys, mna.Inputs, m, cfg.T, core.Options{Workers: workers})
+			parSol = s
+			return err
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: parallel history m=%d: %w", m, err)
+		}
+		diff := maxAbsDiff(serialSol.Coefficients(), parSol.Coefficients())
+		row := HistoryRow{
+			M: m, N: mna.Sys.N(),
+			SerialNS: serial.Nanoseconds(), BlockedNS: blocked.Nanoseconds(),
+			ParallelNS:      parallel.Nanoseconds(),
+			SpeedupBlocked:  float64(serial) / float64(blocked),
+			SpeedupParallel: float64(serial) / float64(parallel),
+			MaxAbsDiff:      diff,
+		}
+		rep.Rows = append(rep.Rows, row)
+		tbl.AddRow(fmt.Sprintf("%d", m), fmtDur(serial), fmtDur(blocked), fmtDur(parallel),
+			fmt.Sprintf("%.2fx", row.SpeedupParallel), fmt.Sprintf("%g", diff))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"serial = reference column-by-column history; blocked = cache-tiled engine on 1 worker",
+		"parallel speedup needs GOMAXPROCS > 1; max |Δ| is 0 by the ordered reduction")
+	return tbl, rep, nil
+}
+
+// minTime runs f repeat times and returns the fastest run (less noisy than
+// the mean for ablation ratios).
+func minTime(repeat int, f func() error) (time.Duration, error) {
+	best := time.Duration(math.MaxInt64)
+	for i := 0; i < repeat; i++ {
+		one, err := timeIt(1, f)
+		if err != nil {
+			return 0, err
+		}
+		if one < best {
+			best = one
+		}
+	}
+	return best, nil
+}
+
+// maxAbsDiff returns max_ij |a_ij − b_ij|.
+func maxAbsDiff(a, b *mat.Dense) float64 {
+	worst := 0.0
+	for i := 0; i < a.Rows(); i++ {
+		for j := 0; j < a.Cols(); j++ {
+			if d := math.Abs(a.At(i, j) - b.At(i, j)); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst
+}
