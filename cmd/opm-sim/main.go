@@ -5,7 +5,13 @@
 // Usage:
 //
 //	opm-sim -netlist circuit.cir [-method opm|beuler|trap|gear|glet] \
-//	        [-steps 512] [-tstop 1m] [-nodes out,n2] [-points 100]
+//	        [-steps 512] [-tstop 1m] [-nodes out,n2] [-points 100] \
+//	        [-timeout 30s] [-verbose]
+//
+// -timeout aborts an OPM solve after a wall-clock budget (the run ends with a
+// typed cancellation error); -verbose prints the solver report — which
+// factorization tier served the solves, any fallbacks, and retry counters —
+// to stderr.
 //
 // The netlist's ".tran step stop" directive supplies defaults for -steps and
 // -tstop. Fractional elements (CPE cards "P<name> a b value alpha") require
@@ -13,10 +19,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"opmsim/internal/circuit"
 	"opmsim/internal/core"
@@ -62,6 +70,8 @@ func main() {
 		ac          = flag.String("ac", "", "AC sweep instead of transient: \"wstart,wstop,points\" (rad/s, SPICE units ok)")
 		op          = flag.Bool("op", false, "print the DC operating point instead of a transient")
 		workers     = flag.Int("workers", 0, "goroutines for the OPM fractional-history engine (0 = GOMAXPROCS; results are identical for any value)")
+		timeout     = flag.Duration("timeout", 0, "abort the solve after this wall-clock duration (0 = no limit; OPM method only)")
+		verbose     = flag.Bool("verbose", false, "print the solver report (factorization tiers, fallbacks, retries) to stderr")
 	)
 	flag.Parse()
 	if *op {
@@ -78,7 +88,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*netlistPath, *method, *steps, *tstop, *nodes, *points, *workers); err != nil {
+	if err := run(*netlistPath, *method, *steps, *tstop, *nodes, *points, *workers, *timeout, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "opm-sim:", err)
 		os.Exit(1)
 	}
@@ -178,7 +188,7 @@ func runAC(netlistPath, spec, nodes string) error {
 	return nil
 }
 
-func run(netlistPath, method string, steps int, tstop, nodes string, points, workers int) error {
+func run(netlistPath, method string, steps int, tstop, nodes string, points, workers int, timeout time.Duration, verbose bool) error {
 	if netlistPath == "" {
 		return fmt.Errorf("-netlist is required")
 	}
@@ -218,16 +228,28 @@ func run(netlistPath, method string, steps int, tstop, nodes string, points, wor
 	var series [][]float64
 	switch method {
 	case "opm":
+		ctx := context.Background()
+		if timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, timeout)
+			defer cancel()
+		}
+		rep := &core.SolveReport{}
 		var sol *core.Solution
 		var err error
 		if mna.Nonlinear != nil {
 			if x0 != nil {
 				return fmt.Errorf(".ic is not supported for nonlinear netlists")
 			}
-			sol, err = core.SolveNonlinear(mna.Sys, mna.Nonlinear, mna.Inputs, m, T,
-				core.NonlinearOptions{Options: core.Options{Workers: workers}})
+			sol, err = core.SolveNonlinearCtx(ctx, mna.Sys, mna.Nonlinear, mna.Inputs, m, T,
+				core.NonlinearOptions{Options: core.Options{Workers: workers, Report: rep}})
 		} else {
-			sol, err = core.Solve(mna.Sys, mna.Inputs, m, T, core.Options{X0: x0, Workers: workers})
+			sol, err = core.SolveCtx(ctx, mna.Sys, mna.Inputs, m, T,
+				core.Options{X0: x0, Workers: workers, Report: rep})
+		}
+		if verbose {
+			// Also on failure: the partial report shows how far the run got.
+			fmt.Fprintln(os.Stderr, rep.Summary())
 		}
 		if err != nil {
 			return err

@@ -331,7 +331,11 @@ func (m *MNA) DCOperatingPoint() ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("circuit: DC system singular (floating node or L-V loop?): %w", err)
 		}
-		return fac.Solve(rhs), nil
+		x, err := fac.Solve(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: DC solve failed: %w", err)
+		}
+		return x, nil
 	}
 	// Newton on G·x + g(x) = rhs.
 	x := make([]float64, n)
@@ -357,7 +361,10 @@ func (m *MNA) DCOperatingPoint() ([]float64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("circuit: DC Newton Jacobian singular: %w", err)
 		}
-		delta := fac.Solve(resid)
+		delta, err := fac.Solve(resid)
+		if err != nil {
+			return nil, fmt.Errorf("circuit: DC Newton solve failed: %w", err)
+		}
 		nd, nx := 0.0, 0.0
 		for i := range x {
 			x[i] -= delta[i]

@@ -45,7 +45,10 @@ func (n *Netlist) DCSensitivities(targetNode int) (map[string]float64, []float64
 	}
 	c := make([]float64, mna.Sys.N())
 	c[tIdx] = 1
-	lambda := fac.Solve(c)
+	lambda, err := fac.Solve(c)
+	if err != nil {
+		return nil, nil, fmt.Errorf("circuit: adjoint solve failed: %w", err)
+	}
 
 	at := func(vec []float64, node int) float64 {
 		if idx, ok := mna.nodeOf[node]; ok {

@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"opmsim/internal/basis"
 	"opmsim/internal/mat"
-	"opmsim/internal/sparse"
 	"opmsim/internal/waveform"
 )
 
@@ -20,6 +20,12 @@ import (
 // For non-integer orders the steps must be pairwise distinct (eq. 25's
 // eigendecomposition requirement).
 func SolveAdaptive(sys *System, u []waveform.Signal, steps []float64, opt Options) (*Solution, error) {
+	return SolveAdaptiveCtx(context.Background(), sys, u, steps, opt)
+}
+
+// SolveAdaptiveCtx is SolveAdaptive with cancellation; see SolveCtx for the
+// contract.
+func SolveAdaptiveCtx(ctx context.Context, sys *System, u []waveform.Signal, steps []float64, opt Options) (*Solution, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -42,6 +48,7 @@ func SolveAdaptive(sys *System, u []waveform.Signal, steps []float64, opt Option
 		uc = mat.Mul(uc, db)
 	}
 	n, m := sys.N(), len(steps)
+	rep := opt.report()
 
 	// Materialize D̃ᵅᵏ for each term (dense m×m; the adaptive path is meant
 	// for modest m, where step placement replaces step count).
@@ -59,8 +66,16 @@ func SolveAdaptive(sys *System, u []waveform.Signal, steps []float64, opt Option
 		}
 	}
 
-	cache := map[float64]*sparse.Factorization{}
-	factorFor := func(j int) (*sparse.Factorization, error) {
+	// Midpoint times per column, for diagnostics.
+	tMid := make([]float64, m)
+	acc := 0.0
+	for j, h := range steps {
+		tMid[j] = acc + h/2
+		acc += h
+	}
+
+	cache := map[float64]*pencilFactor{}
+	factorFor := func(j int) (*pencilFactor, error) {
 		h := steps[j]
 		if f, ok := cache[h]; ok {
 			return f, nil
@@ -69,9 +84,9 @@ func SolveAdaptive(sys *System, u []waveform.Signal, steps []float64, opt Option
 		if err != nil {
 			return nil, err
 		}
-		f, err := sparse.Factor(msys, sparse.Options{PivotTol: opt.PivotTol, Refine: opt.Refine})
+		f, err := factorPencil(msys, j, tMid[j], &opt, rep)
 		if err != nil {
-			return nil, fmt.Errorf("core: column %d (h=%g): %w", j, h, err)
+			return nil, err
 		}
 		cache[h] = f
 		return f, nil
@@ -80,6 +95,7 @@ func SolveAdaptive(sys *System, u []waveform.Signal, steps []float64, opt Option
 	// The adaptive-grid D̃ᵅ has no Toeplitz structure, so every nonzero-order
 	// term runs through the general (blocked, parallel) history engine.
 	eng := newHistoryEngine(n, m, opt.Workers, opt.HistoryNaive)
+	eng.setGuards(ctx, &opt)
 	for k, t := range sys.Terms {
 		if t.Order != 0 {
 			eng.addGeneral(k, dmats[k])
@@ -89,6 +105,14 @@ func SolveAdaptive(sys *System, u []waveform.Signal, steps []float64, opt Option
 	cols := make([][]float64, m)
 	rhs := make([]float64, n)
 	for j := 0; j < m; j++ {
+		if err := ctx.Err(); err != nil {
+			d := diag(ErrCancelled, j, tMid[j])
+			d.Cause = err
+			return nil, d
+		}
+		if opt.Fault != nil && opt.Fault.ColumnDelay != nil {
+			opt.Fault.ColumnDelay(j)
+		}
 		for i := range rhs {
 			rhs[i] = 0
 		}
@@ -97,13 +121,35 @@ func SolveAdaptive(sys *System, u []waveform.Signal, steps []float64, opt Option
 			if t.Order == 0 {
 				continue
 			}
-			t.Coeff.MulVecAdd(-1, eng.history(k, j, cols), rhs)
+			w, err := eng.history(k, j, cols)
+			if err != nil {
+				d := diag(engineErrKind(err), j, tMid[j])
+				d.Order = t.Order
+				d.Cause = err
+				return nil, d
+			}
+			t.Coeff.MulVecAdd(-1, w, rhs)
 		}
 		fac, err := factorFor(j)
 		if err != nil {
 			return nil, err
 		}
-		cols[j] = fac.Solve(rhs)
+		xj, err := fac.solve(rhs)
+		if err != nil {
+			d := diag(ErrInternal, j, tMid[j])
+			d.Cause = err
+			return nil, d
+		}
+		if opt.Fault != nil && opt.Fault.CorruptColumn != nil {
+			opt.Fault.CorruptColumn(j, xj)
+		}
+		if i := firstNonFinite(xj); i >= 0 {
+			d := diag(ErrNonFinite, j, tMid[j])
+			d.Cause = fmt.Errorf("state %d is %g", i, xj[i])
+			return nil, d
+		}
+		cols[j] = xj
+		rep.Columns++
 	}
 	x := mat.NewDense(n, m)
 	for j, col := range cols {
@@ -131,15 +177,31 @@ type AdaptiveOptions struct {
 type AdaptiveStats struct {
 	Accepted int
 	Rejected int
+	// Retried counts steps re-attempted with a halved h after a
+	// factorization or solve failure (also mirrored in SolveReport).
+	Retried int
 }
+
+// maxStepRetries bounds the consecutive halved-h retries the controller
+// attempts after a failed (as opposed to merely rejected) step before giving
+// up with the underlying typed error.
+const maxStepRetries = 8
 
 // SolveAdaptiveAuto simulates an integer-order system (all term orders 0 or
 // 1) over [0, T) choosing the time steps on the fly, the "error control
 // mechanism" the paper sketches in §III-B. Each step is solved twice — once
 // with h and once as two half-steps — and the difference drives a standard
 // step controller; for the order-1 column recurrence both solves share the
-// committed history, so the controller needs only O(1) extra state.
+// committed history, so the controller needs only O(1) extra state. A step
+// whose factorization or solve fails is retried with a halved h up to
+// maxStepRetries times before the typed error is surfaced.
 func SolveAdaptiveAuto(sys *System, u []waveform.Signal, T float64, opt AdaptiveOptions) (*Solution, *AdaptiveStats, error) {
+	return SolveAdaptiveAutoCtx(context.Background(), sys, u, T, opt)
+}
+
+// SolveAdaptiveAutoCtx is SolveAdaptiveAuto with cancellation; see SolveCtx
+// for the contract.
+func SolveAdaptiveAutoCtx(ctx context.Context, sys *System, u []waveform.Signal, T float64, opt AdaptiveOptions) (*Solution, *AdaptiveStats, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -170,6 +232,7 @@ func SolveAdaptiveAuto(sys *System, u []waveform.Signal, T float64, opt Adaptive
 		opt.MaxSteps = 100000
 	}
 	n := sys.N()
+	rep := opt.report()
 	uAt := func(t float64) []float64 {
 		v := make([]float64, len(u))
 		for c, sig := range u {
@@ -181,8 +244,8 @@ func SolveAdaptiveAuto(sys *System, u []waveform.Signal, T float64, opt Adaptive
 		return nil, nil, fmt.Errorf("core: system has %d inputs, got %d signals", sys.Inputs(), len(u))
 	}
 
-	cache := map[float64]*sparse.Factorization{}
-	factorFor := func(h float64) (*sparse.Factorization, error) {
+	cache := map[float64]*pencilFactor{}
+	factorFor := func(h, tNow float64) (*pencilFactor, error) {
 		if f, ok := cache[h]; ok {
 			return f, nil
 		}
@@ -195,7 +258,7 @@ func SolveAdaptiveAuto(sys *System, u []waveform.Signal, T float64, opt Adaptive
 		if err != nil {
 			return nil, err
 		}
-		f, err := sparse.Factor(msys, sparse.Options{PivotTol: opt.PivotTol, Refine: opt.Refine})
+		f, err := factorPencil(msys, -1, tNow, &opt.Options, rep)
 		if err != nil {
 			return nil, err
 		}
@@ -218,11 +281,11 @@ func SolveAdaptiveAuto(sys *System, u []waveform.Signal, T float64, opt Adaptive
 				term.Coeff.MulVecAdd(-1/h, s[k], rhs)
 			}
 		}
-		fac, err := factorFor(h)
+		fac, err := factorFor(h, t)
 		if err != nil {
 			return nil, err
 		}
-		return fac.Solve(rhs), nil
+		return fac.solve(rhs)
 	}
 	// advance updates the step-independent histories w ← −w − 4·x.
 	advance := func(s map[int][]float64, x []float64) {
@@ -251,9 +314,20 @@ func SolveAdaptiveAuto(sys *System, u []waveform.Signal, T float64, opt Adaptive
 	var cols [][]float64
 	stats := &AdaptiveStats{}
 	t, h := 0.0, opt.H0
+	consecFails := 0
 	for t < T {
+		if err := ctx.Err(); err != nil {
+			d := diag(ErrCancelled, len(steps), t)
+			d.Cause = err
+			return nil, nil, d
+		}
 		if len(steps) >= opt.MaxSteps {
-			return nil, nil, fmt.Errorf("core: adaptive controller exceeded %d steps (tol too tight?)", opt.MaxSteps)
+			d := diag(ErrNonConvergence, len(steps), t)
+			d.Cause = fmt.Errorf("adaptive controller exceeded %d steps (tol too tight?)", opt.MaxSteps)
+			return nil, nil, d
+		}
+		if opt.Fault != nil && opt.Fault.ColumnDelay != nil {
+			opt.Fault.ColumnDelay(len(steps))
 		}
 		if h > T-t {
 			h = T - t
@@ -261,21 +335,32 @@ func SolveAdaptiveAuto(sys *System, u []waveform.Signal, T float64, opt Adaptive
 		if h < opt.HMin {
 			h = opt.HMin
 		}
+		// The step attempt: one full-h solve and two half-h solves from the
+		// same committed history. A failure anywhere is retried with h/2
+		// (bounded backoff) before surfacing — a near-singular pencil at one
+		// step size is routinely regular at another, because h enters the
+		// leading matrix through the 2/h diagonal.
 		full, err := solveColumn(t, h, hist)
-		if err != nil {
-			return nil, nil, err
+		var a, b []float64
+		if err == nil {
+			tmp := cloneHist(hist)
+			a, err = solveColumn(t, h/2, tmp)
+			if err == nil {
+				advance(tmp, a)
+				b, err = solveColumn(t+h/2, h/2, tmp)
+			}
 		}
-		// Two half steps from the same history.
-		tmp := cloneHist(hist)
-		a, err := solveColumn(t, h/2, tmp)
 		if err != nil {
-			return nil, nil, err
+			consecFails++
+			if consecFails > maxStepRetries || h <= opt.HMin*1.0000001 {
+				return nil, nil, err
+			}
+			stats.Retried++
+			rep.StepRetries++
+			h /= 2
+			continue
 		}
-		advance(tmp, a)
-		b, err := solveColumn(t+h/2, h/2, tmp)
-		if err != nil {
-			return nil, nil, err
-		}
+		consecFails = 0
 		// The interval average from the refined solve.
 		est := 0.0
 		scale := 0.0
@@ -286,6 +371,11 @@ func SolveAdaptiveAuto(sys *System, u []waveform.Signal, T float64, opt Adaptive
 		}
 		est = math.Sqrt(est)
 		norm := opt.Tol * (1 + math.Sqrt(scale))
+		if math.IsNaN(est) {
+			d := diag(ErrNonFinite, len(steps), t)
+			d.Cause = fmt.Errorf("step error estimate is NaN (poisoned input sample?)")
+			return nil, nil, d
+		}
 		if est <= norm || h <= opt.HMin*1.0000001 {
 			// Accept the refined pair as two committed columns (better
 			// accuracy at no extra cost — the solves are already done).
@@ -294,6 +384,7 @@ func SolveAdaptiveAuto(sys *System, u []waveform.Signal, T float64, opt Adaptive
 			steps = append(steps, h/2, h/2)
 			cols = append(cols, a, b)
 			stats.Accepted++
+			rep.Columns += 2
 			t += h
 		} else {
 			stats.Rejected++

@@ -1,0 +1,123 @@
+package core
+
+// Tests for the validation edges and the typed-diagnostic plumbing that the
+// happy-path suites never reach.
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"opmsim/internal/basis"
+	"opmsim/internal/waveform"
+)
+
+func TestExpandInputsValidation(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	bpf, err := basis.NewBPF(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := expandInputs(sys, nil, bpf); err == nil {
+		t.Fatal("accepted a nil signal slice for a 1-input system")
+	}
+	if _, err := expandInputs(sys, []waveform.Signal{waveform.Zero(), waveform.Zero()}, bpf); err == nil {
+		t.Fatal("accepted too many signals")
+	}
+	if _, err := expandInputs(sys, []waveform.Signal{nil}, bpf); err == nil {
+		t.Fatal("accepted a nil signal")
+	}
+}
+
+func TestPrepareInitialStateValidation(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	if _, _, err := prepareInitialState(sys, []float64{1, 2}); err == nil {
+		t.Fatal("accepted X0 of the wrong length")
+	}
+	frac := &System{
+		Terms: []Term{
+			{Order: 0.5, Coeff: scalarCSR(1)},
+			{Order: 0, Coeff: scalarCSR(1)},
+		},
+		B: scalarCSR(1),
+	}
+	if _, _, err := prepareInitialState(frac, []float64{1}); err == nil {
+		t.Fatal("accepted nonzero X0 for a fractional system")
+	}
+	// nil X0 is the zero-IC fast path: zero offset and shift.
+	off, shift, err := prepareInitialState(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off[0] != 0 || shift[0] != 0 {
+		t.Fatalf("zero-IC path returned offset %v, shift %v", off, shift)
+	}
+}
+
+// MaxSteps exhaustion is a controller give-up, so it must carry the
+// ErrNonConvergence taxonomy kind.
+func TestSolveAdaptiveAutoMaxStepsIsNonConvergence(t *testing.T) {
+	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
+	_, _, err := SolveAdaptiveAuto(sys, []waveform.Signal{waveform.Sine(1, 50, 0)}, 10,
+		AdaptiveOptions{Tol: 1e-12, MaxSteps: 8})
+	if !errors.Is(err, ErrNonConvergence) {
+		t.Fatalf("errors.Is(err, ErrNonConvergence) is false; err = %v", err)
+	}
+	var d *Diagnostic
+	if !errors.As(err, &d) {
+		t.Fatalf("not a *Diagnostic: %v", err)
+	}
+	if d.Column != 8 {
+		t.Fatalf("Column = %d, want MaxSteps = 8", d.Column)
+	}
+}
+
+func TestDiagnosticFormattingAndUnwrap(t *testing.T) {
+	cause := errors.New("low-level detail")
+	d := diag(ErrIllConditioned, 12, 0.25)
+	d.Order = 0.5
+	d.Cond = 1e15
+	d.Cause = cause
+	msg := d.Error()
+	for _, want := range []string{"ill-conditioned", "column 12", "t≈0.25", "order 0.5", "1e+15", "low-level detail"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	if !errors.Is(d, ErrIllConditioned) || !errors.Is(d, cause) {
+		t.Fatal("Unwrap does not expose both the kind and the cause")
+	}
+	if errors.Is(d, ErrSingularPencil) {
+		t.Fatal("matched the wrong sentinel")
+	}
+	// Column −1 (shared factorization) and NaN time suppress the location.
+	d2 := diag(ErrSingularPencil, -1, math.NaN())
+	if msg := d2.Error(); strings.Contains(msg, "column") || strings.Contains(msg, "t≈") {
+		t.Fatalf("shared-factorization diagnostic leaked a location: %q", msg)
+	}
+}
+
+func TestSolveReportSummary(t *testing.T) {
+	r := &SolveReport{Columns: 10, Factorizations: 2}
+	r.TierSolves[TierSparseLU] = 8
+	r.TierSolves[TierDenseLU] = 2
+	r.Fallbacks = append(r.Fallbacks, Fallback{Column: -1, Tier: TierDenseLU, Reason: "test"})
+	r.Warnings = append(r.Warnings, "w1")
+	r.StepRetries = 3
+	r.NewtonDampings = 4
+	r.observeCond(1e9)
+	r.observeCond(1e7) // must not lower the max
+	s := r.Summary()
+	for _, want := range []string{"10 columns", "sparse-LU=8", "dense-LU+refine=2", "1e+09", "3 step retries", "4 Newton dampings", "shared pencil", "w1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Summary() = %q, missing %q", s, want)
+		}
+	}
+	if !r.Degraded() {
+		t.Fatal("Degraded() = false with dense-tier solves")
+	}
+	if (&SolveReport{}).Degraded() {
+		t.Fatal("empty report reports degradation")
+	}
+}

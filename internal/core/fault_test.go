@@ -1,0 +1,311 @@
+package core_test
+
+// Fault-injection suite for the hardened solver core: every degradation path
+// must terminate with the matching typed error (errors.Is) — never a process
+// crash — and results served by a fallback factorization tier must still pass
+// the golden 1e-12 waveform checks.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"opmsim/internal/core"
+	"opmsim/internal/faultinject"
+	"opmsim/internal/sparse"
+	"opmsim/internal/waveform"
+)
+
+func loadGolden(t *testing.T, name string) *goldenFile {
+	t.Helper()
+	buf, err := os.ReadFile(goldenPath(name))
+	if err != nil {
+		t.Fatalf("missing golden snapshot: %v", err)
+	}
+	var g goldenFile
+	if err := json.Unmarshal(buf, &g); err != nil {
+		t.Fatal(err)
+	}
+	return &g
+}
+
+func compareToGolden(t *testing.T, rows [][]float64, want *goldenFile, tol float64) {
+	t.Helper()
+	if len(rows) != want.N {
+		t.Fatalf("n=%d, snapshot has %d", len(rows), want.N)
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			got, ref := rows[i][j], want.X[i][j]
+			if math.Abs(got-ref) > tol*(1+math.Abs(ref)) {
+				t.Fatalf("X[%d][%d] = %.17g, golden %.17g (|Δ|=%g)", i, j, got, ref, math.Abs(got-ref))
+			}
+		}
+	}
+}
+
+func scalar(v float64) *sparse.CSR {
+	coo := sparse.NewCOO(1, 1)
+	coo.Add(0, 0, v)
+	return coo.ToCSR()
+}
+
+// asDiagnostic asserts err wraps the given sentinel and extracts the
+// *Diagnostic for field checks.
+func asDiagnostic(t *testing.T, err, kind error) *core.Diagnostic {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected an error, got nil")
+	}
+	if !errors.Is(err, kind) {
+		t.Fatalf("errors.Is(err, %v) is false; err = %v", kind, err)
+	}
+	var d *core.Diagnostic
+	if !errors.As(err, &d) {
+		t.Fatalf("error is not a *core.Diagnostic: %v", err)
+	}
+	return d
+}
+
+// Acceptance criterion: with the sparse tier force-failed, the dense-LU +
+// iterative-refinement fallback must reproduce the quickstart golden waveform
+// to 1e-12, and the SolveReport must record the degradation.
+func TestFaultDenseFallbackMatchesGolden(t *testing.T) {
+	fx := goldenFixtures()[0] // quickstart
+	want := loadGolden(t, fx.name)
+	rep := &core.SolveReport{}
+	rows := solveCoeffRows(t, fx, core.Options{
+		Report: rep,
+		Fault:  faultinject.FailFactorAt(-1, faultinject.TierSparseLU),
+	})
+	compareToGolden(t, rows, want, 1e-12)
+	if !rep.Degraded() {
+		t.Fatal("report does not show degradation")
+	}
+	if rep.TierSolves[core.TierDenseLU] != fx.m {
+		t.Fatalf("dense tier served %d solves, want %d", rep.TierSolves[core.TierDenseLU], fx.m)
+	}
+	if len(rep.Fallbacks) != 1 || rep.Fallbacks[0].Tier != core.TierDenseLU || rep.Fallbacks[0].Column != -1 {
+		t.Fatalf("unexpected fallback record: %+v", rep.Fallbacks)
+	}
+	if s := rep.Summary(); !strings.Contains(s, "dense-LU+refine") {
+		t.Fatalf("summary does not mention the serving tier:\n%s", s)
+	}
+}
+
+// With sparse and dense both failed, the QR least-squares backstop serves the
+// run; for the well-conditioned quickstart pencil it stays within 1e-9 of the
+// golden waveform.
+func TestFaultQRFallbackStillAccurate(t *testing.T) {
+	fx := goldenFixtures()[0]
+	want := loadGolden(t, fx.name)
+	rep := &core.SolveReport{}
+	rows := solveCoeffRows(t, fx, core.Options{
+		Report: rep,
+		Fault:  faultinject.FailFactorAt(-1, faultinject.TierSparseLU, faultinject.TierDenseLU),
+	})
+	compareToGolden(t, rows, want, 1e-9)
+	if rep.TierSolves[core.TierQR] != fx.m {
+		t.Fatalf("QR tier served %d solves, want %d", rep.TierSolves[core.TierQR], fx.m)
+	}
+}
+
+// All three tiers refused: the run must end with ErrSingularPencil pinned to
+// the shared factorization (column −1).
+func TestFaultAllTiersFailIsSingularPencil(t *testing.T) {
+	fx := goldenFixtures()[0]
+	sys, u := fx.sys(t)
+	_, err := core.Solve(sys, u, fx.m, fx.T, core.Options{Fault: faultinject.FailFactorAt(-1)})
+	d := asDiagnostic(t, err, core.ErrSingularPencil)
+	if d.Column != -1 {
+		t.Fatalf("Column = %d, want -1 (shared factorization)", d.Column)
+	}
+}
+
+// A NaN injected into column k must abort the run at exactly that column with
+// ErrNonFinite, before the poison reaches the history recurrence.
+func TestFaultNaNColumnIsNonFinite(t *testing.T) {
+	fx := goldenFixtures()[0]
+	sys, u := fx.sys(t)
+	const col = 37
+	_, err := core.Solve(sys, u, fx.m, fx.T, core.Options{Fault: faultinject.NaNAt(col, 2)})
+	d := asDiagnostic(t, err, core.ErrNonFinite)
+	if d.Column != col {
+		t.Fatalf("Column = %d, want %d", d.Column, col)
+	}
+	h := fx.T / float64(fx.m)
+	if wantT := (col + 0.5) * h; math.Abs(d.Time-wantT) > 1e-12 {
+		t.Fatalf("Time = %g, want %g", d.Time, wantT)
+	}
+}
+
+// A panicking history worker must be recovered by the pool and surfaced as
+// ErrInternal — the process must not crash. The fractional fixture with
+// m = 256 guarantees chunk advances (and hence worker tasks) happen.
+func TestFaultWorkerPanicIsInternal(t *testing.T) {
+	fx := goldenFixtures()[1] // fractional_line
+	sys, u := fx.sys(t)
+	_, err := core.Solve(sys, u, fx.m, fx.T, core.Options{
+		Workers: 4,
+		Fault:   faultinject.PanicWorker("injected worker panic"),
+	})
+	d := asDiagnostic(t, err, core.ErrInternal)
+	if d.Column <= 0 {
+		t.Fatalf("Column = %d, want a mid-run chunk boundary", d.Column)
+	}
+	if d.Cause == nil || !strings.Contains(d.Cause.Error(), "injected worker panic") {
+		t.Fatalf("cause does not carry the panic value: %v", d.Cause)
+	}
+}
+
+// A 1ms deadline against stalled columns must expire mid-run and surface as
+// ErrCancelled wrapping context.DeadlineExceeded. (This is the CI
+// timeout-guard scenario.)
+func TestFaultStallTriggersDeadline(t *testing.T) {
+	fx := goldenFixtures()[0]
+	sys, u := fx.sys(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := core.SolveCtx(ctx, sys, u, fx.m, fx.T, core.Options{
+		Fault: faultinject.StallColumns(200 * time.Microsecond),
+	})
+	d := asDiagnostic(t, err, core.ErrCancelled)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error does not wrap context.DeadlineExceeded: %v", err)
+	}
+	if d.Column < 0 || d.Column >= fx.m {
+		t.Fatalf("Column = %d, want within [0, %d)", d.Column, fx.m)
+	}
+}
+
+// An already-cancelled context stops the solve before the first column.
+func TestFaultCancelledBeforeStart(t *testing.T) {
+	fx := goldenFixtures()[0]
+	sys, u := fx.sys(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := core.SolveCtx(ctx, sys, u, fx.m, fx.T, core.Options{})
+	d := asDiagnostic(t, err, core.ErrCancelled)
+	if d.Column != 0 {
+		t.Fatalf("Column = %d, want 0", d.Column)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error does not wrap context.Canceled: %v", err)
+	}
+}
+
+// The adaptive controller must retry a failed step with a halved h: with the
+// first two factorizations force-failed through every tier, the run still
+// completes and both the stats and the report count the retries.
+func TestFaultAdaptiveRetriesHalvedStep(t *testing.T) {
+	sys, err := core.NewDAE(scalar(1), scalar(-1), scalar(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	rep := &core.SolveReport{}
+	opt := core.AdaptiveOptions{Tol: 1e-4}
+	opt.Report = rep
+	opt.Fault = &faultinject.Hooks{FactorFail: func(col, tier int) bool {
+		if tier == faultinject.TierSparseLU {
+			calls++
+		}
+		return calls <= 2
+	}}
+	sol, stats, err := core.SolveAdaptiveAuto(sys, []waveform.Signal{waveform.Step(1, 0)}, 4, opt)
+	if err != nil {
+		t.Fatalf("controller did not recover from transient factorization failures: %v", err)
+	}
+	if stats.Retried != 2 {
+		t.Fatalf("stats.Retried = %d, want 2", stats.Retried)
+	}
+	if rep.StepRetries != 2 {
+		t.Fatalf("report.StepRetries = %d, want 2", rep.StepRetries)
+	}
+	// The recovered run must still be accurate: ẋ = −x + 1 from rest.
+	tt := 3.5
+	if got, want := sol.StateAt(0, tt), 1-math.Exp(-tt); math.Abs(got-want) > 1e-2 {
+		t.Fatalf("x(%g) = %g, want %g", tt, got, want)
+	}
+}
+
+// Exhausting the retry budget surfaces the underlying typed error instead of
+// looping forever.
+func TestFaultAdaptiveRetryBudgetExhausted(t *testing.T) {
+	sys, err := core.NewDAE(scalar(1), scalar(-1), scalar(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.AdaptiveOptions{Tol: 1e-4}
+	opt.Fault = faultinject.FailFactorAt(faultinject.AnyColumn)
+	_, _, err = core.SolveAdaptiveAuto(sys, []waveform.Signal{waveform.Step(1, 0)}, 4, opt)
+	asDiagnostic(t, err, core.ErrSingularPencil)
+}
+
+// The explicit-steps adaptive path shares the per-column guards.
+func TestFaultAdaptiveExplicitNaN(t *testing.T) {
+	sys, err := core.NewDAE(scalar(1), scalar(-1), scalar(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = core.SolveAdaptive(sys, []waveform.Signal{waveform.Step(1, 0)},
+		[]float64{0.1, 0.2, 0.3, 0.4}, core.Options{Fault: faultinject.NaNAt(2, -1)})
+	d := asDiagnostic(t, err, core.ErrNonFinite)
+	if d.Column != 2 {
+		t.Fatalf("Column = %d, want 2", d.Column)
+	}
+}
+
+// nopNL is a zero nonlinearity, so SolveNonlinear behaves like Solve while
+// still exercising the Newton path's guards.
+type nopNL struct{}
+
+func (nopNL) Eval(x, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+}
+func (nopNL) StampJacobian(x []float64, jac *sparse.COO) {}
+
+// The Newton path shares the corruption and cancellation guards.
+func TestFaultNonlinearNaNAndCancel(t *testing.T) {
+	sys, err := core.NewDAE(scalar(1), scalar(-1), scalar(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := []waveform.Signal{waveform.Step(1, 0)}
+	_, err = core.SolveNonlinear(sys, nopNL{}, u, 16, 1, core.NonlinearOptions{
+		Options: core.Options{Fault: faultinject.NaNAt(3, -1)},
+	})
+	d := asDiagnostic(t, err, core.ErrNonFinite)
+	if d.Column != 3 {
+		t.Fatalf("Column = %d, want 3", d.Column)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = core.SolveNonlinearCtx(ctx, sys, nopNL{}, u, 16, 1, core.NonlinearOptions{})
+	asDiagnostic(t, err, core.ErrCancelled)
+}
+
+// A fault-free run with a report attached must stay entirely on the sparse
+// fast path — the hardening must not change the production tier.
+func TestFaultFreeRunStaysOnSparseTier(t *testing.T) {
+	fx := goldenFixtures()[0]
+	rep := &core.SolveReport{}
+	solveCoeffRows(t, fx, core.Options{Report: rep})
+	if rep.Degraded() {
+		t.Fatalf("fault-free run degraded: %s", rep.Summary())
+	}
+	if rep.TierSolves[core.TierSparseLU] != fx.m {
+		t.Fatalf("sparse tier served %d solves, want %d", rep.TierSolves[core.TierSparseLU], fx.m)
+	}
+	if rep.Columns != fx.m {
+		t.Fatalf("report.Columns = %d, want %d", rep.Columns, fx.m)
+	}
+}

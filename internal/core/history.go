@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 
+	"opmsim/internal/faultinject"
 	"opmsim/internal/mat"
 )
 
@@ -53,9 +57,24 @@ var historyPool struct {
 	jobs chan func()
 }
 
-// historyPoolDo runs the tasks to completion, preferring pool goroutines
-// and falling back to the calling goroutine when the pool is saturated.
-func historyPoolDo(tasks []func()) {
+// runRecovered runs f, converting a panic into an error instead of letting
+// it unwind (and, on a pool goroutine, crash) the process.
+func runRecovered(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("history worker panic: %v", r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// historyPoolDo runs the tasks to completion, preferring pool goroutines and
+// falling back to the calling goroutine when the pool is saturated. A panic
+// inside any task is recovered and reported as the returned error (first one
+// wins) rather than crashing the process; the remaining tasks still run, so
+// the accumulators stay consistent for whoever inspects them post-mortem.
+func historyPoolDo(tasks []func()) error {
 	historyPool.once.Do(func() {
 		n := runtime.GOMAXPROCS(0)
 		historyPool.jobs = make(chan func(), n)
@@ -68,10 +87,21 @@ func historyPoolDo(tasks []func()) {
 		}
 	})
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	wg.Add(len(tasks))
 	for _, t := range tasks {
 		t := t
-		run := func() { defer wg.Done(); t() }
+		run := func() {
+			defer wg.Done()
+			if err := runRecovered(t); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}
 		select {
 		case historyPool.jobs <- run:
 		default:
@@ -79,6 +109,17 @@ func historyPoolDo(tasks []func()) {
 		}
 	}
 	wg.Wait()
+	return firstErr
+}
+
+// engineErrKind maps a history-engine error to its taxonomy sentinel:
+// context expiry to ErrCancelled, recovered worker panics (and anything
+// else) to ErrInternal.
+func engineErrKind(err error) error {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ErrCancelled
+	}
+	return ErrInternal
 }
 
 // historyTerm is one term's coefficient source plus its accumulators.
@@ -103,6 +144,15 @@ type historyEngine struct {
 	naive   bool
 	chunkLo int // first column of the current chunk
 	terms   map[int]*historyTerm
+	ctx     context.Context    // checked at chunk boundaries; may be nil
+	fault   *faultinject.Hooks // optional injection hooks; may be nil
+}
+
+// setGuards attaches the cancellation context and fault-injection hooks the
+// engine consults at chunk boundaries and inside worker tasks.
+func (e *historyEngine) setGuards(ctx context.Context, opt *Options) {
+	e.ctx = ctx
+	e.fault = opt.Fault
 }
 
 // newHistoryEngine creates an engine for an n-state, m-column solve.
@@ -159,8 +209,10 @@ func (e *historyEngine) addGeneral(k int, d *mat.Dense) {
 func (e *historyEngine) active(k int) bool { return e.terms[k] != nil }
 
 // history returns w_j = Σ_{i<j} c(i,j)·x_i for term k. The returned slice
-// is owned by the engine and valid until the next history call for k.
-func (e *historyEngine) history(k, j int, cols [][]float64) []float64 {
+// is owned by the engine and valid until the next history call for k. An
+// error means the engine's context expired at a chunk boundary or a worker
+// task panicked (see engineErrKind).
+func (e *historyEngine) history(k, j int, cols [][]float64) ([]float64, error) {
 	t := e.terms[k]
 	w := t.w
 	if e.naive {
@@ -168,19 +220,28 @@ func (e *historyEngine) history(k, j int, cols [][]float64) []float64 {
 			w[i] = 0
 		}
 		t.fold(j, 0, j, cols, w)
-		return w
+		return w, nil
 	}
 	if j >= e.chunkLo+historyChunk {
-		e.advanceChunk(j, cols)
+		if err := e.advanceChunk(j, cols); err != nil {
+			return nil, err
+		}
 	}
 	copy(w, t.head[j-e.chunkLo])
 	t.fold(j, e.chunkLo, j, cols, w)
-	return w
+	return w, nil
 }
 
 // advanceChunk starts the chunk [j0, j0+historyChunk) by folding every
-// already-solved column i < j0 into the head sums of each chunk column.
-func (e *historyEngine) advanceChunk(j0 int, cols [][]float64) {
+// already-solved column i < j0 into the head sums of each chunk column. The
+// context is checked once per chunk — immediately before the head burst, the
+// single largest indivisible unit of work in the engine.
+func (e *historyEngine) advanceChunk(j0 int, cols [][]float64) error {
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+	}
 	e.chunkLo = j0
 	hi := j0 + historyChunk
 	if hi > e.m {
@@ -196,7 +257,7 @@ func (e *historyEngine) advanceChunk(j0 int, cols [][]float64) {
 		}
 	}
 	if j0 == 0 {
-		return
+		return nil
 	}
 	nt := e.workers
 	if nt > cc {
@@ -211,16 +272,24 @@ func (e *historyEngine) advanceChunk(j0 int, cols [][]float64) {
 			if lo >= rhi {
 				continue
 			}
-			tasks = append(tasks, func() { e.headRange(t, j0, lo, rhi, cols) })
+			tasks = append(tasks, func() {
+				if e.fault != nil && e.fault.WorkerFault != nil {
+					e.fault.WorkerFault()
+				}
+				e.headRange(t, j0, lo, rhi, cols)
+			})
 		}
 	}
 	if len(tasks) <= 1 || e.workers == 1 {
+		var firstErr error
 		for _, f := range tasks {
-			f()
+			if err := runRecovered(f); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
-		return
+		return firstErr
 	}
-	historyPoolDo(tasks)
+	return historyPoolDo(tasks)
 }
 
 // headRange folds all past columns i < j0, visited in fixed-size blocks,

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"opmsim/internal/basis"
 	"opmsim/internal/mat"
@@ -31,7 +33,19 @@ type NonlinearOptions struct {
 	// Tol is the Newton convergence tolerance on ‖δx‖/(1+‖x‖)
 	// (default 1e-10).
 	Tol float64
+	// NoDamping disables the Armijo backtracking line search and applies
+	// full Newton steps unconditionally (the pre-hardening behavior).
+	NoDamping bool
 }
+
+// maxArmijoHalvings bounds the backtracking line search: the damped step
+// reaches 2⁻⁸ ≈ 0.4% of the Newton direction before the iteration accepts
+// the smallest trial and moves on.
+const maxArmijoHalvings = 8
+
+// armijoC is the sufficient-decrease constant: a trial step t·δ is accepted
+// when ‖F(x − t·δ)‖ ≤ (1 − armijoC·t)·‖F(x)‖.
+const armijoC = 1e-4
 
 // SolveNonlinear simulates Σ_k E_k·d^{α_k}x + g(x) = B·u over [0, T) with m
 // uniform block-pulse intervals. Because g is static and BPFs are constant
@@ -39,9 +53,18 @@ type NonlinearOptions struct {
 //
 //	M₀·x_j + g(x_j) = B·u_j − Σ_k E_k·s_j⁽ᵏ⁾,
 //
-// solved by Newton with an exact sparse Jacobian M₀ + ∂g/∂x. The history
+// solved by damped Newton with an exact sparse Jacobian M₀ + ∂g/∂x: each
+// Newton direction is scaled by an Armijo backtracking line search (at most
+// maxArmijoHalvings halvings), which keeps stiff exponential nonlinearities
+// such as diodes from overflowing on the first iterations. The history
 // machinery is identical to the linear Solve.
 func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T float64, opt NonlinearOptions) (*Solution, error) {
+	return SolveNonlinearCtx(context.Background(), sys, g, u, m, T, opt)
+}
+
+// SolveNonlinearCtx is SolveNonlinear with cancellation; see SolveCtx for
+// the contract.
+func SolveNonlinearCtx(ctx context.Context, sys *System, g Nonlinearity, u []waveform.Signal, m int, T float64, opt NonlinearOptions) (*Solution, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -69,6 +92,7 @@ func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T f
 		uc = applyInputOrder(uc, bpf.DiffCoeffs(sys.BOrder))
 	}
 	n := sys.N()
+	rep := opt.report()
 	coeffs := make([][]float64, len(sys.Terms))
 	for k, t := range sys.Terms {
 		coeffs[k] = bpf.DiffCoeffs(t.Order)
@@ -79,6 +103,7 @@ func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T f
 	}
 	hist := make([]*intHistory, len(sys.Terms))
 	eng := newHistoryEngine(n, m, opt.Workers, opt.HistoryNaive)
+	eng.setGuards(ctx, &opt.Options)
 	for k, t := range sys.Terms {
 		switch {
 		case t.Order == 0:
@@ -89,12 +114,39 @@ func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T f
 		}
 	}
 
+	// residAt writes M₀·x + g(x) − rhs into out and returns its 2-norm.
+	gval := make([]float64, n)
+	residAt := func(x, rhs, out []float64) float64 {
+		for i := range out {
+			out[i] = -rhs[i]
+		}
+		m0.MulVecAdd(1, x, out)
+		g.Eval(x, gval)
+		s := 0.0
+		for i := range out {
+			out[i] += gval[i]
+			s += out[i] * out[i]
+		}
+		return math.Sqrt(s)
+	}
+
+	h := bpf.Step()
 	cols := make([][]float64, m)
 	rhs := make([]float64, n)
-	gval := make([]float64, n)
 	resid := make([]float64, n)
 	xj := make([]float64, n)
+	xTrial := make([]float64, n)
+	rTrial := make([]float64, n)
 	for j := 0; j < m; j++ {
+		tj := (float64(j) + 0.5) * h
+		if err := ctx.Err(); err != nil {
+			d := diag(ErrCancelled, j, tj)
+			d.Cause = err
+			return nil, d
+		}
+		if opt.Fault != nil && opt.Fault.ColumnDelay != nil {
+			opt.Fault.ColumnDelay(j)
+		}
 		for i := range rhs {
 			rhs[i] = 0
 		}
@@ -106,7 +158,14 @@ func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T f
 			case hist[k] != nil:
 				t.Coeff.MulVecAdd(-1, hist[k].current(), rhs)
 			default:
-				t.Coeff.MulVecAdd(-1, eng.history(k, j, cols), rhs)
+				w, err := eng.history(k, j, cols)
+				if err != nil {
+					d := diag(engineErrKind(err), j, tj)
+					d.Order = t.Order
+					d.Cause = err
+					return nil, d
+				}
+				t.Coeff.MulVecAdd(-1, w, rhs)
 			}
 		}
 		// Warm start from the previous column.
@@ -119,16 +178,11 @@ func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T f
 		}
 		converged := false
 		for it := 0; it < opt.MaxNewton; it++ {
-			// resid = M₀·x + g(x) − rhs.
-			for i := range resid {
-				resid[i] = -rhs[i]
-			}
-			m0.MulVecAdd(1, xj, resid)
-			g.Eval(xj, gval)
-			for i := range resid {
-				resid[i] += gval[i]
-			}
-			// Jacobian = M₀ + ∂g/∂x, assembled sparse each iteration.
+			phi0 := residAt(xj, rhs, resid)
+			// Jacobian = M₀ + ∂g/∂x, assembled sparse each iteration and run
+			// through the same tiered factorization chain as the linear
+			// pencils: a transiently singular Jacobian degrades to dense LU
+			// or QR instead of aborting the whole run.
 			jac := sparse.NewCOO(n, n)
 			for r := 0; r < n; r++ {
 				for p := m0.RowPtr[r]; p < m0.RowPtr[r+1]; p++ {
@@ -136,15 +190,46 @@ func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T f
 				}
 			}
 			g.StampJacobian(xj, jac)
-			fac, err := sparse.Factor(jac.ToCSR(), sparse.Options{PivotTol: opt.PivotTol})
+			fac, err := factorPencil(jac.ToCSR(), j, tj, &opt.Options, rep)
 			if err != nil {
-				return nil, fmt.Errorf("core: Newton Jacobian singular at column %d: %w", j, err)
+				var d *Diagnostic
+				if de, ok := err.(*Diagnostic); ok {
+					d = de
+				} else {
+					d = diag(ErrSingularPencil, j, tj)
+					d.Cause = err
+				}
+				return nil, d
 			}
-			delta := fac.Solve(resid)
+			delta, err := fac.solve(resid)
+			if err != nil {
+				d := diag(ErrInternal, j, tj)
+				d.Cause = err
+				return nil, d
+			}
+			// Armijo backtracking: halve the step until the residual shows
+			// sufficient decrease; after maxArmijoHalvings take the smallest
+			// trial regardless, so a flat line search still makes progress.
+			step := 1.0
+			var phiTrial float64
+			for halve := 0; ; halve++ {
+				for i := range xTrial {
+					xTrial[i] = xj[i] - step*delta[i]
+				}
+				phiTrial = residAt(xTrial, rhs, rTrial)
+				if opt.NoDamping || phiTrial <= (1-armijoC*step)*phi0 || halve >= maxArmijoHalvings {
+					break
+				}
+				step /= 2
+				rep.NewtonDampings++
+			}
+			copy(xj, xTrial)
+			// Convergence on the undamped Newton direction, as before the
+			// damping existed: near the solution the full step satisfies
+			// Armijo, so well-behaved problems see identical iterates.
 			norm := 0.0
 			xnorm := 0.0
-			for i := range xj {
-				xj[i] -= delta[i]
+			for i := range delta {
 				norm += delta[i] * delta[i]
 				xnorm += xj[i] * xj[i]
 			}
@@ -154,9 +239,20 @@ func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T f
 			}
 		}
 		if !converged {
-			return nil, fmt.Errorf("core: Newton failed to converge at column %d (t≈%g)", j, (float64(j)+0.5)*bpf.Step())
+			d := diag(ErrNonConvergence, j, tj)
+			d.Cause = fmt.Errorf("Newton did not converge within %d iterations (after damped retries)", opt.MaxNewton)
+			return nil, d
+		}
+		if opt.Fault != nil && opt.Fault.CorruptColumn != nil {
+			opt.Fault.CorruptColumn(j, xj)
+		}
+		if i := firstNonFinite(xj); i >= 0 {
+			d := diag(ErrNonFinite, j, tj)
+			d.Cause = fmt.Errorf("state %d is %g", i, xj[i])
+			return nil, d
 		}
 		cols[j] = append([]float64(nil), xj...)
+		rep.Columns++
 		for k := range sys.Terms {
 			if hist[k] != nil {
 				hist[k].advance(cols[j])

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"opmsim/internal/basis"
+	"opmsim/internal/faultinject"
 	"opmsim/internal/mat"
 	"opmsim/internal/sparse"
 	"opmsim/internal/waveform"
@@ -34,6 +36,40 @@ type Options struct {
 	// instead of the blocked parallel engine. Benchmarks and regression
 	// tests use it as the baseline; the engine reproduces it bit for bit.
 	HistoryNaive bool
+	// CondLimit bounds the acceptable 1-norm condition estimate of the
+	// sparse leading-pencil factorization before the solver falls back to
+	// dense LU with iterative refinement. 0 selects the default 1e14; a
+	// negative value disables condition estimation entirely (sparse LU is
+	// then only abandoned when factorization fails).
+	CondLimit float64
+	// Report, when non-nil, is filled in place with what the hardened solver
+	// core did: per-tier solve counts, fallback records, condition warnings,
+	// and retry counters. It is also populated on failure, so post-mortems
+	// see the partial run.
+	Report *SolveReport
+	// Fault carries optional fault-injection hooks (see internal/faultinject).
+	// nil — the production configuration — adds one pointer comparison per
+	// guarded site.
+	Fault *faultinject.Hooks
+}
+
+// report returns the caller-attached report, or a throwaway one so the solve
+// paths never need nil checks.
+func (o *Options) report() *SolveReport {
+	if o.Report != nil {
+		return o.Report
+	}
+	return &SolveReport{}
+}
+
+// firstNonFinite returns the index of the first NaN/±Inf entry of x, or −1.
+func firstNonFinite(x []float64) int {
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i
+		}
+	}
+	return -1
 }
 
 // Solve simulates the system over [0, T) with m uniform block-pulse
@@ -47,6 +83,14 @@ type Options struct {
 //     pattern" of §III-A), O(j) for fractional/high orders, exactly the
 //     complexity split the paper describes.
 func Solve(sys *System, u []waveform.Signal, m int, T float64, opt Options) (*Solution, error) {
+	return SolveCtx(context.Background(), sys, u, m, T, opt)
+}
+
+// SolveCtx is Solve with cancellation: ctx is checked at every column of the
+// solve loop (and at the chunk boundaries of the parallel history engine),
+// and an expired or cancelled context terminates the run with a *Diagnostic
+// wrapping ErrCancelled that records the column and time reached.
+func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T float64, opt Options) (*Solution, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -68,19 +112,22 @@ func Solve(sys *System, u []waveform.Signal, m int, T float64, opt Options) (*So
 	}
 
 	n := sys.N()
+	rep := opt.report()
 	// Per-term Toeplitz coefficient sequences c⁽ᵏ⁾ of Dᵅᵏ.
 	coeffs := make([][]float64, len(sys.Terms))
 	for k, t := range sys.Terms {
 		coeffs[k] = bpf.DiffCoeffs(t.Order)
 	}
-	// M = Σ_k c₀⁽ᵏ⁾ E_k, factored once and reused for all m columns.
+	// M = Σ_k c₀⁽ᵏ⁾ E_k, factored once and reused for all m columns — through
+	// the tiered chain, so a failed or ill-conditioned sparse factorization
+	// degrades to dense LU + refinement, then QR, instead of aborting.
 	msys, err := assembleLeading(sys, func(k int) float64 { return coeffs[k][0] })
 	if err != nil {
 		return nil, err
 	}
-	fac, err := sparse.Factor(msys, sparse.Options{PivotTol: opt.PivotTol, Refine: opt.Refine})
+	fac, err := factorPencil(msys, -1, 0, &opt, rep)
 	if err != nil {
-		return nil, fmt.Errorf("core: leading matrix is singular (is the pencil regular?): %w", err)
+		return nil, err
 	}
 
 	// Fast-path history for integer orders p ≥ 1: because
@@ -97,6 +144,7 @@ func Solve(sys *System, u []waveform.Signal, m int, T float64, opt Options) (*So
 	// matching the paper's complexity discussion for eq. (28).
 	hist := make([]*intHistory, len(sys.Terms))
 	eng := newHistoryEngine(n, m, opt.Workers, opt.HistoryNaive)
+	eng.setGuards(ctx, &opt)
 	for k, t := range sys.Terms {
 		switch {
 		case t.Order == 0:
@@ -109,9 +157,19 @@ func Solve(sys *System, u []waveform.Signal, m int, T float64, opt Options) (*So
 		}
 	}
 
+	h := bpf.Step()
 	cols := make([][]float64, m)
 	rhs := make([]float64, n)
 	for j := 0; j < m; j++ {
+		tj := (float64(j) + 0.5) * h
+		if err := ctx.Err(); err != nil {
+			d := diag(ErrCancelled, j, tj)
+			d.Cause = err
+			return nil, d
+		}
+		if opt.Fault != nil && opt.Fault.ColumnDelay != nil {
+			opt.Fault.ColumnDelay(j)
+		}
 		// rhs = B·u_j + shift − Σ_k E_k·s_j⁽ᵏ⁾.
 		for i := range rhs {
 			rhs[i] = shift[i]
@@ -124,11 +182,32 @@ func Solve(sys *System, u []waveform.Signal, m int, T float64, opt Options) (*So
 			case hist[k] != nil:
 				t.Coeff.MulVecAdd(-1, hist[k].current(), rhs)
 			default:
-				t.Coeff.MulVecAdd(-1, eng.history(k, j, cols), rhs)
+				w, err := eng.history(k, j, cols)
+				if err != nil {
+					d := diag(engineErrKind(err), j, tj)
+					d.Order = t.Order
+					d.Cause = err
+					return nil, d
+				}
+				t.Coeff.MulVecAdd(-1, w, rhs)
 			}
 		}
-		xj := fac.Solve(rhs)
+		xj, err := fac.solve(rhs)
+		if err != nil {
+			d := diag(ErrInternal, j, tj)
+			d.Cause = err
+			return nil, d
+		}
+		if opt.Fault != nil && opt.Fault.CorruptColumn != nil {
+			opt.Fault.CorruptColumn(j, xj)
+		}
+		if i := firstNonFinite(xj); i >= 0 {
+			d := diag(ErrNonFinite, j, tj)
+			d.Cause = fmt.Errorf("state %d is %g (poisoned input sample or overflow?)", i, xj[i])
+			return nil, d
+		}
 		cols[j] = xj
+		rep.Columns++
 		for k := range sys.Terms {
 			if hist[k] != nil {
 				hist[k].advance(xj)

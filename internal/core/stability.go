@@ -43,7 +43,10 @@ func PencilEigenvalues(e, a *sparse.CSR, sigma float64) ([]complex128, error) {
 		for i := 0; i < n; i++ {
 			col[i] = ed.At(i, j)
 		}
-		sol := fac.Solve(col)
+		sol, err := fac.Solve(col)
+		if err != nil {
+			return nil, fmt.Errorf("core: pencil shift-invert solve failed: %w", err)
+		}
 		for i := 0; i < n; i++ {
 			m.Set(i, j, sol[i])
 		}

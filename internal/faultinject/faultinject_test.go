@@ -1,0 +1,78 @@
+package faultinject
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFailFactorAt(t *testing.T) {
+	h := FailFactorAt(3, TierSparseLU)
+	if !h.FactorFail(3, TierSparseLU) {
+		t.Fatal("did not fail the targeted column/tier")
+	}
+	if h.FactorFail(3, TierDenseLU) || h.FactorFail(2, TierSparseLU) {
+		t.Fatal("failed an untargeted column or tier")
+	}
+	all := FailFactorAt(-1)
+	for tier := TierSparseLU; tier <= TierQR; tier++ {
+		if !all.FactorFail(-1, tier) {
+			t.Fatalf("tier %d not failed by the all-tiers hook", tier)
+		}
+	}
+	any := FailFactorAt(AnyColumn, TierQR)
+	if !any.FactorFail(0, TierQR) || !any.FactorFail(999, TierQR) {
+		t.Fatal("AnyColumn did not match every column")
+	}
+}
+
+func TestNaNAt(t *testing.T) {
+	x := []float64{1, 2, 3}
+	NaNAt(5, 1).CorruptColumn(4, x)
+	if math.IsNaN(x[1]) {
+		t.Fatal("corrupted the wrong column")
+	}
+	NaNAt(5, 1).CorruptColumn(5, x)
+	if !math.IsNaN(x[1]) || math.IsNaN(x[0]) || math.IsNaN(x[2]) {
+		t.Fatalf("row targeting wrong: %v", x)
+	}
+	y := []float64{1, 2}
+	NaNAt(0, -1).CorruptColumn(0, y)
+	if !math.IsNaN(y[0]) || !math.IsNaN(y[1]) {
+		t.Fatalf("negative row did not poison the whole column: %v", y)
+	}
+	// Out-of-range row is a no-op, not a panic.
+	NaNAt(0, 10).CorruptColumn(0, y)
+}
+
+func TestCompose(t *testing.T) {
+	c := Compose(FailFactorAt(1), NaNAt(2, 0), nil, StallColumns(0))
+	if c.FactorFail == nil || c.CorruptColumn == nil || c.ColumnDelay == nil {
+		t.Fatal("Compose dropped a hook")
+	}
+	if c.WorkerFault != nil {
+		t.Fatal("Compose invented a hook")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate hook did not panic")
+		}
+	}()
+	Compose(FailFactorAt(1), FailFactorAt(2))
+}
+
+func TestPanicWorkerAndStall(t *testing.T) {
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("recovered %v, want boom", r)
+			}
+		}()
+		PanicWorker("boom").WorkerFault()
+	}()
+	start := time.Now()
+	StallColumns(5 * time.Millisecond).ColumnDelay(0)
+	if time.Since(start) < 4*time.Millisecond {
+		t.Fatal("stall did not sleep")
+	}
+}

@@ -87,7 +87,10 @@ func solve(e, a, b *sparse.CSR, u []waveform.Signal, alpha, T, h float64, window
 		}
 		b.MulVecAdd(1, uv, rhs)
 		e.MulVecAdd(-ha, conv, rhs)
-		x := lhs.Solve(rhs)
+		x, err := lhs.Solve(rhs)
+		if err != nil {
+			return nil, fmt.Errorf("glet: step %d solve failed: %w", k, err)
+		}
 		hist = append(hist, x)
 		for i, v := range x {
 			res.X.Set(i, k, v)

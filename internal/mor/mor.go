@@ -80,7 +80,11 @@ func Reduce(e, a, b *sparse.CSR, order int, s0 float64) (*ROM, error) {
 				}
 			}
 		}
-		pending = append(pending, fac.Solve(col))
+		pc, err := fac.Solve(col)
+		if err != nil {
+			return nil, fmt.Errorf("mor: starting-block solve failed: %w", err)
+		}
+		pending = append(pending, pc)
 	}
 	const deflateTol = 1e-12
 	orthonormalize := func(w []float64) bool {
@@ -117,7 +121,11 @@ func Reduce(e, a, b *sparse.CSR, order int, s0 float64) (*ROM, error) {
 		tmp := make([]float64, n)
 		for _, q := range accepted {
 			e.MulVec(q, tmp)
-			pending = append(pending, fac.Solve(tmp))
+			pc, err := fac.Solve(tmp)
+			if err != nil {
+				return nil, fmt.Errorf("mor: Arnoldi solve failed: %w", err)
+			}
+			pending = append(pending, pc)
 		}
 	}
 	if len(v) == 0 {

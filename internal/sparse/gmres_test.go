@@ -163,7 +163,10 @@ func TestGMRESMatchesDirectProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		direct := fac.Solve(b)
+		direct, err := fac.Solve(b)
+		if err != nil {
+			return false
+		}
 		ilu, err := NewILU0(a)
 		if err != nil {
 			return false

@@ -199,11 +199,12 @@ func (f *LU) N() int { return f.n }
 // NNZ returns the total stored nonzeros in L and U (including pivots).
 func (f *LU) NNZ() int { return len(f.lx) + len(f.ux) + f.n }
 
-// Solve solves A·x = b, overwriting b with intermediate values and returning
-// a newly allocated solution vector.
-func (f *LU) Solve(b []float64) []float64 {
+// Solve solves A·x = b and returns a newly allocated solution vector; b is
+// not modified. It rejects a right-hand side of the wrong length instead of
+// panicking so callers can surface the failure as a diagnostic.
+func (f *LU) Solve(b []float64) ([]float64, error) {
 	if len(b) != f.n {
-		panic(fmt.Sprintf("sparse: LU Solve length %d != %d", len(b), f.n))
+		return nil, fmt.Errorf("sparse: LU Solve length %d != %d", len(b), f.n)
 	}
 	work := append([]float64(nil), b...)
 	// Forward: L y = P b, processed column by column in pivot order.
@@ -231,7 +232,43 @@ func (f *LU) Solve(b []float64) []float64 {
 			y[f.ui[q]] -= f.ux[q] * xj
 		}
 	}
-	return y
+	return y, nil
+}
+
+// SolveTranspose solves Aᵀ·x = b. With P·A = L·U, Aᵀ = Uᵀ·Lᵀ·P, so the
+// sweep is a forward substitution with Uᵀ (lower triangular in pivot
+// coordinates), a backward substitution with the unit-diagonal Lᵀ, and a
+// final inverse row permutation. It exists for the 1-norm condition
+// estimator, which needs solves against both A and Aᵀ.
+func (f *LU) SolveTranspose(b []float64) ([]float64, error) {
+	if len(b) != f.n {
+		return nil, fmt.Errorf("sparse: LU SolveTranspose length %d != %d", len(b), f.n)
+	}
+	z := append([]float64(nil), b...)
+	// Uᵀ z = b: column j of U lists the strictly-above-diagonal rows of
+	// column j, i.e. the sub-diagonal entries of row j of Uᵀ.
+	for j := 0; j < f.n; j++ {
+		s := z[j]
+		for q := f.up[j]; q < f.up[j+1]; q++ {
+			s -= f.ux[q] * z[f.ui[q]]
+		}
+		z[j] = s / f.udiag[j]
+	}
+	// Lᵀ w = z in place: rows of Lᵀ below j sit at pivot positions
+	// pinv[li[q]] > j, already final when j is processed in descending order.
+	for j := f.n - 1; j >= 0; j-- {
+		s := z[j]
+		for q := f.lp[j]; q < f.lp[j+1]; q++ {
+			s -= f.lx[q] * z[f.pinv[f.li[q]]]
+		}
+		z[j] = s
+	}
+	// x = Pᵀ w.
+	x := make([]float64, f.n)
+	for j := 0; j < f.n; j++ {
+		x[f.perm[j]] = z[j]
+	}
+	return x, nil
 }
 
 // Options configures Factor.
@@ -282,36 +319,134 @@ func (f *Factorization) N() int { return f.lu.n }
 // NNZFactors returns the nonzeros stored in the LU factors.
 func (f *Factorization) NNZFactors() int { return f.lu.NNZ() }
 
-// Solve solves A·x = b without modifying b.
-func (f *Factorization) Solve(b []float64) []float64 {
-	x := f.solveOnce(b)
+// Solve solves A·x = b without modifying b. It returns an error when b has
+// the wrong length for the factored system.
+func (f *Factorization) Solve(b []float64) ([]float64, error) {
+	if len(b) != f.lu.n {
+		return nil, fmt.Errorf("sparse: Solve right-hand side length %d != %d", len(b), f.lu.n)
+	}
+	x, err := f.solveOnce(b, false)
+	if err != nil {
+		return nil, err
+	}
 	if f.refine {
 		// One refinement step: r = b − A·x, x += A⁻¹ r.
 		r := f.a.MulVec(x, nil)
 		for i := range r {
 			r[i] = b[i] - r[i]
 		}
-		d := f.solveOnce(r)
+		d, err := f.solveOnce(r, false)
+		if err != nil {
+			return nil, err
+		}
 		for i := range x {
 			x[i] += d[i]
 		}
 	}
-	return x
+	return x, nil
 }
 
-func (f *Factorization) solveOnce(b []float64) []float64 {
+// SolveTranspose solves Aᵀ·x = b without modifying b (no refinement).
+func (f *Factorization) SolveTranspose(b []float64) ([]float64, error) {
+	if len(b) != f.lu.n {
+		return nil, fmt.Errorf("sparse: SolveTranspose right-hand side length %d != %d", len(b), f.lu.n)
+	}
+	return f.solveOnce(b, true)
+}
+
+func (f *Factorization) solveOnce(b []float64, transpose bool) ([]float64, error) {
+	luSolve := f.lu.Solve
+	if transpose {
+		// The RCM pre-ordering is symmetric (W = P·A·Pᵀ), so Wᵀ = P·Aᵀ·Pᵀ and
+		// the same permutation sandwich applies to the transposed solve.
+		luSolve = f.lu.SolveTranspose
+	}
 	if f.ord == nil {
-		return f.lu.Solve(append([]float64(nil), b...))
+		return luSolve(b)
 	}
 	n := f.lu.n
 	pb := make([]float64, n)
 	for newI, oldI := range f.ord {
 		pb[newI] = b[oldI]
 	}
-	px := f.lu.Solve(pb)
+	px, err := luSolve(pb)
+	if err != nil {
+		return nil, err
+	}
 	x := make([]float64, n)
 	for newI, oldI := range f.ord {
 		x[oldI] = px[newI]
 	}
-	return x
+	return x, nil
+}
+
+// Cond1Est estimates the 1-norm condition number κ₁(A) = ‖A‖₁·‖A⁻¹‖₁ with
+// Hager's power-style iteration on ‖A⁻¹‖₁ (the LAPACK xLACON scheme, a
+// handful of solves against A and Aᵀ). The estimate is a lower bound that is
+// almost always within a small factor of the truth — enough to route a
+// factorization down the fallback chain. It returns +Inf when the triangular
+// solves overflow, which is itself a reliable ill-conditioning signal.
+func (f *Factorization) Cond1Est() float64 {
+	n := f.lu.n
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		d := f.lu.udiag[0]
+		if d == 0 {
+			return math.Inf(1)
+		}
+		return math.Abs(f.a.Norm1() / d)
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	est := 0.0
+	prev := -1
+	for iter := 0; iter < 5; iter++ {
+		y, err := f.solveOnce(x, false)
+		if err != nil {
+			return math.Inf(1)
+		}
+		est = 0
+		for _, v := range y {
+			est += math.Abs(v)
+		}
+		if math.IsNaN(est) || math.IsInf(est, 0) {
+			return math.Inf(1)
+		}
+		// ξ = sign(y); z = A⁻ᵀ·ξ.
+		xi := make([]float64, n)
+		for i, v := range y {
+			if v >= 0 {
+				xi[i] = 1
+			} else {
+				xi[i] = -1
+			}
+		}
+		z, err := f.solveOnce(xi, true)
+		if err != nil {
+			return math.Inf(1)
+		}
+		j, zmax := 0, 0.0
+		for i, v := range z {
+			if a := math.Abs(v); a > zmax {
+				zmax, j = a, i
+			}
+		}
+		zdotx := 0.0
+		for i := range z {
+			zdotx += z[i] * x[i]
+		}
+		if zmax <= math.Abs(zdotx) || j == prev {
+			break
+		}
+		for i := range x {
+			x[i] = 0
+		}
+		x[j] = 1
+		prev = j
+	}
+	return f.a.Norm1() * est
 }

@@ -11,6 +11,7 @@ package sparse
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"opmsim/internal/mat"
@@ -127,6 +128,21 @@ func Identity(n int) *CSR {
 
 // NNZ returns the number of stored nonzeros.
 func (a *CSR) NNZ() int { return len(a.Val) }
+
+// Norm1 returns the induced 1-norm ‖A‖₁ = max_j Σ_i |a_ij|.
+func (a *CSR) Norm1() float64 {
+	colSum := make([]float64, a.C)
+	for p, v := range a.Val {
+		colSum[a.ColIdx[p]] += math.Abs(v)
+	}
+	max := 0.0
+	for _, s := range colSum {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
 
 // At returns the (i, j) element using binary search within row i.
 func (a *CSR) At(i, j int) float64 {

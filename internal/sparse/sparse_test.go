@@ -173,7 +173,10 @@ func TestFactorLUAgainstDense(t *testing.T) {
 		for i := range b {
 			b[i] = rng.NormFloat64()
 		}
-		x := f.Solve(b)
+		x, err := f.Solve(b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
 		want, err := mat.Solve(a.ToDense(), b)
 		if err != nil {
 			t.Fatal(err)
@@ -206,7 +209,10 @@ func TestFactorLUNeedsPivoting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	x := f.Solve([]float64{3, 4})
+	x, err := f.Solve([]float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// A swaps coordinates, so x = (4, 3).
 	if math.Abs(x[0]-4) > 1e-14 || math.Abs(x[1]-3) > 1e-14 {
 		t.Fatalf("x = %v, want (4,3)", x)
@@ -229,7 +235,10 @@ func TestFactorSolveProperty(t *testing.T) {
 			want[i] = rng.NormFloat64()
 		}
 		b := a.MulVec(want, nil)
-		x := fac.Solve(b)
+		x, err := fac.Solve(b)
+		if err != nil {
+			return false
+		}
 		for i := range x {
 			if math.Abs(x[i]-want[i]) > 1e-8*(1+math.Abs(want[i])) {
 				return false
@@ -264,7 +273,9 @@ func TestLUSolvePreservesRHS(t *testing.T) {
 		b[i] = rng.NormFloat64()
 	}
 	orig := append([]float64(nil), b...)
-	fac.Solve(b)
+	if _, err := fac.Solve(b); err != nil {
+		t.Fatal(err)
+	}
 	for i := range b {
 		if b[i] != orig[i] {
 			t.Fatal("Factorization.Solve modified b")
@@ -329,5 +340,96 @@ func TestFromDenseRoundTrip(t *testing.T) {
 	a := randomSparseSquare(rng, 8, 0.3)
 	if !mat.Equalf(FromDense(a.ToDense()).ToDense(), a.ToDense(), 0) {
 		t.Fatal("FromDense/ToDense round trip failed")
+	}
+}
+
+func TestSolveTransposeAgainstDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Cover both the direct path and the RCM-preordered path (n ≥ 64).
+	for _, n := range []int{1, 2, 7, 30, 80} {
+		a := randomSparseSquare(rng, n, 0.15)
+		fac, err := Factor(a, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := fac.SolveTranspose(b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		want, err := mat.Solve(a.T().ToDense(), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+				t.Fatalf("n=%d: x[%d] = %g, want %g", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveRejectsWrongLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randomSparseSquare(rng, 5, 0.3)
+	fac, err := Factor(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fac.Solve(make([]float64, 4)); err == nil {
+		t.Fatal("Solve accepted a short right-hand side")
+	}
+	if _, err := fac.SolveTranspose(make([]float64, 6)); err == nil {
+		t.Fatal("SolveTranspose accepted a long right-hand side")
+	}
+	lu, err := FactorLU(a, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lu.Solve(make([]float64, 2)); err == nil {
+		t.Fatal("LU.Solve accepted a short right-hand side")
+	}
+}
+
+func TestCond1EstDiagonal(t *testing.T) {
+	// diag(1, 10⁻⁶) has κ₁ = 10⁶ exactly; Hager's estimator is exact on
+	// diagonal matrices.
+	coo := NewCOO(2, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, 1e-6)
+	fac, err := Factor(coo.ToCSR(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := fac.Cond1Est()
+	if math.Abs(got-1e6) > 1 {
+		t.Fatalf("Cond1Est = %g, want 1e6", got)
+	}
+}
+
+func TestCond1EstLowerBoundsAndTracksDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{5, 20, 80} {
+		a := randomSparseSquare(rng, n, 0.2)
+		fac, err := Factor(a, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		est := fac.Cond1Est()
+		// Exact κ₁ via dense inversion.
+		inv, err := mat.Inverse(a.ToDense())
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := a.Norm1() * FromDense(inv).Norm1()
+		if est > exact*1.0000001 {
+			t.Fatalf("n=%d: estimate %g exceeds exact κ₁ = %g", n, est, exact)
+		}
+		if est < exact/10 {
+			t.Fatalf("n=%d: estimate %g more than 10× below exact κ₁ = %g", n, est, exact)
+		}
 	}
 }

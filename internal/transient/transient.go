@@ -124,7 +124,10 @@ func Simulate(e, a, b *sparse.CSR, u []waveform.Signal, T, h float64, method Met
 			}
 			e.MulVecAdd(1, x, rhs)
 			b.MulVecAdd(h, uAt(t), rhs)
-			x = lhs.Solve(rhs)
+			x, err = lhs.Solve(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("transient: backward Euler step %d: %w", k, err)
+			}
 			setCol(res.X, k, x)
 			res.Times[k] = t
 		}
@@ -147,7 +150,10 @@ func Simulate(e, a, b *sparse.CSR, u []waveform.Signal, T, h float64, method Met
 				uk[c] = (uk[c] + uk1[c]) * h / 2
 			}
 			b.MulVecAdd(1, uk, rhs)
-			x = lhs.Solve(rhs)
+			x, err = lhs.Solve(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("transient: trapezoidal step %d: %w", k, err)
+			}
 			setCol(res.X, k, x)
 			res.Times[k] = t
 		}
@@ -170,12 +176,20 @@ func Simulate(e, a, b *sparse.CSR, u []waveform.Signal, T, h float64, method Met
 			if k == 1 {
 				e.MulVecAdd(1, x, rhs)
 				b.MulVecAdd(h, uAt(t), rhs)
-				xPrev, x = x, be.Solve(rhs)
+				xNext, err := be.Solve(rhs)
+				if err != nil {
+					return nil, fmt.Errorf("transient: Gear bootstrap step %d: %w", k, err)
+				}
+				xPrev, x = x, xNext
 			} else {
 				e.MulVecAdd(2, x, rhs)
 				e.MulVecAdd(-0.5, xPrev, rhs)
 				b.MulVecAdd(h, uAt(t), rhs)
-				xPrev, x = x, lhs.Solve(rhs)
+				xNext, err := lhs.Solve(rhs)
+				if err != nil {
+					return nil, fmt.Errorf("transient: Gear step %d: %w", k, err)
+				}
+				xPrev, x = x, xNext
 			}
 			setCol(res.X, k, x)
 			res.Times[k] = t
@@ -213,14 +227,20 @@ func Simulate(e, a, b *sparse.CSR, u []waveform.Signal, T, h float64, method Met
 				uk[c] = (uk[c] + ug[c]) * gamma * h / 2
 			}
 			b.MulVecAdd(1, uk, rhs)
-			xg := lhs1.Solve(rhs)
+			xg, err := lhs1.Solve(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("transient: TR-BDF2 stage-1 step %d: %w", k, err)
+			}
 			for i := range rhs {
 				rhs[i] = 0
 			}
 			e.MulVecAdd(c1, xg, rhs)
 			e.MulVecAdd(-c2, x, rhs)
 			b.MulVecAdd(beta*h, uAt(t), rhs)
-			x = lhs2.Solve(rhs)
+			x, err = lhs2.Solve(rhs)
+			if err != nil {
+				return nil, fmt.Errorf("transient: TR-BDF2 stage-2 step %d: %w", k, err)
+			}
 			setCol(res.X, k, x)
 			res.Times[k] = t
 		}
