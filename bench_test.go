@@ -208,11 +208,37 @@ func BenchmarkHistory_Serial(b *testing.B) {
 }
 
 func BenchmarkHistory_Blocked(b *testing.B) {
-	benchHistoryFamily(b, core.Options{Workers: 1})
+	// HistoryExact pinned: with HistoryAuto the large-m runs would silently
+	// measure the FFT tier instead of the blocked engine.
+	benchHistoryFamily(b, core.Options{Workers: 1, HistoryMode: core.HistoryExact})
 }
 
 func BenchmarkHistory_BlockedParallel(b *testing.B) {
-	benchHistoryFamily(b, core.Options{}) // Workers: 0 → auto (GOMAXPROCS)
+	// Workers: 0 → auto (GOMAXPROCS)
+	benchHistoryFamily(b, core.Options{HistoryMode: core.HistoryExact})
+}
+
+// --- History engine: FFT fast-convolution tier vs naive and blocked ----------
+
+// The HistoryFFT sweep shares one m axis across the three engines so the
+// crossover is read directly off the ns/op columns; cmd/opm-bench's
+// historyfft experiment emits the same sweep as BENCH_history_fft.json.
+func benchHistoryFFTFamily(b *testing.B, opt core.Options) {
+	for _, m := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) { benchHistory(b, m, 7, opt) })
+	}
+}
+
+func BenchmarkHistoryFFT_Naive(b *testing.B) {
+	benchHistoryFFTFamily(b, core.Options{HistoryNaive: true})
+}
+
+func BenchmarkHistoryFFT_Blocked(b *testing.B) {
+	benchHistoryFFTFamily(b, core.Options{HistoryMode: core.HistoryExact})
+}
+
+func BenchmarkHistoryFFT_FFT(b *testing.B) {
+	benchHistoryFFTFamily(b, core.Options{HistoryMode: core.HistoryFFT})
 }
 
 // --- Operational-matrix construction (§IV, eq. 21–23) ----------------------

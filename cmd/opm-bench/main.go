@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	opm-bench -experiment table1|table2|waveforms|adaptive|opmatrix|bases|scaling|history|all [flags]
+//	opm-bench -experiment table1|table2|waveforms|adaptive|opmatrix|bases|scaling|history|historyfft|all [flags]
 //
 // The paper-scale Table II instance (NA ≈ 75 K states) is gated behind
 // -full; the default grid is laptop-scale. -experiment history sweeps the
 // parallel history engine (serial vs blocked vs blocked+parallel) and
-// writes a machine-readable BENCH_history.json (see -histout, -workers).
+// writes a machine-readable BENCH_history.json (see -histout, -workers);
+// -experiment historyfft sweeps the FFT fast-convolution tier against the
+// naive and exact engines across the auto crossover and writes
+// BENCH_history_fft.json (see -histfftout). -history overrides the engine
+// mode (auto, exact, fft) used by the history ablation's blocked and
+// parallel variants.
 package main
 
 import (
@@ -17,26 +22,29 @@ import (
 	"fmt"
 	"os"
 
+	"opmsim/internal/core"
 	"opmsim/internal/experiments"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: table1, table2, waveforms, adaptive, opmatrix, bases, scaling, mor, fracfit, walshtrend, history, all")
+		experiment = flag.String("experiment", "all", "which experiment to run: table1, table2, waveforms, adaptive, opmatrix, bases, scaling, mor, fracfit, walshtrend, history, historyfft, all")
 		full       = flag.Bool("full", false, "run Table II at paper scale (~75K NA states; needs several GB and minutes)")
 		repeat     = flag.Int("repeat", 10, "timing repetitions for Table I")
 		gridRows   = flag.Int("grid", 0, "override Table II grid rows/cols (0 = default 16)")
 		workers    = flag.Int("workers", 0, "history-engine worker goroutines (0 = GOMAXPROCS)")
 		histOut    = flag.String("histout", "BENCH_history.json", "machine-readable output path for -experiment history")
+		histFFTOut = flag.String("histfftout", "BENCH_history_fft.json", "machine-readable output path for -experiment historyfft")
+		history    = flag.String("history", "", "history engine mode for the history ablation: auto, exact, or fft (default: exact)")
 	)
 	flag.Parse()
-	if err := run(*experiment, *full, *repeat, *gridRows, *workers, *histOut); err != nil {
+	if err := run(*experiment, *full, *repeat, *gridRows, *workers, *histOut, *histFFTOut, *history); err != nil {
 		fmt.Fprintln(os.Stderr, "opm-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, full bool, repeat, gridRows, workers int, histOut string) error {
+func run(experiment string, full bool, repeat, gridRows, workers int, histOut, histFFTOut, history string) error {
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
@@ -115,6 +123,13 @@ func run(experiment string, full bool, repeat, gridRows, workers int, histOut st
 			if repeat > 0 {
 				cfg.Repeat = repeat
 			}
+			if history != "" {
+				mode, err := core.ParseHistoryMode(history)
+				if err != nil {
+					return err
+				}
+				cfg.Mode = mode
+			}
 			tbl, rep, err := experiments.History(cfg)
 			if err != nil {
 				return err
@@ -126,13 +141,30 @@ func run(experiment string, full bool, repeat, gridRows, workers int, histOut st
 				}
 				fmt.Printf("wrote %s\n", histOut)
 			}
+		case "historyfft":
+			cfg := experiments.DefaultHistoryFFT()
+			cfg.Workers = workers
+			if repeat > 0 {
+				cfg.Repeat = repeat
+			}
+			tbl, rep, err := experiments.HistoryFFT(cfg)
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+			if histFFTOut != "" {
+				if err := rep.WriteJSON(histFFTOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", histFFTOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 		return nil
 	}
 	if experiment == "all" {
-		for _, name := range []string{"table1", "table2", "waveforms", "adaptive", "opmatrix", "bases", "scaling", "mor", "fracfit", "walshtrend", "history"} {
+		for _, name := range []string{"table1", "table2", "waveforms", "adaptive", "opmatrix", "bases", "scaling", "mor", "fracfit", "walshtrend", "history", "historyfft"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -70,6 +70,7 @@ func main() {
 		ac          = flag.String("ac", "", "AC sweep instead of transient: \"wstart,wstop,points\" (rad/s, SPICE units ok)")
 		op          = flag.Bool("op", false, "print the DC operating point instead of a transient")
 		workers     = flag.Int("workers", 0, "goroutines for the OPM fractional-history engine (0 = GOMAXPROCS; results are identical for any value)")
+		history     = flag.String("history", "", "OPM fractional-history engine: auto (default; FFT on large grids), exact, or fft")
 		timeout     = flag.Duration("timeout", 0, "abort the solve after this wall-clock duration (0 = no limit; OPM method only)")
 		verbose     = flag.Bool("verbose", false, "print the solver report (factorization tiers, fallbacks, retries) to stderr")
 	)
@@ -88,7 +89,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*netlistPath, *method, *steps, *tstop, *nodes, *points, *workers, *timeout, *verbose); err != nil {
+	if err := run(*netlistPath, *method, *steps, *tstop, *nodes, *points, *workers, *history, *timeout, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "opm-sim:", err)
 		os.Exit(1)
 	}
@@ -188,9 +189,13 @@ func runAC(netlistPath, spec, nodes string) error {
 	return nil
 }
 
-func run(netlistPath, method string, steps int, tstop, nodes string, points, workers int, timeout time.Duration, verbose bool) error {
+func run(netlistPath, method string, steps int, tstop, nodes string, points, workers int, history string, timeout time.Duration, verbose bool) error {
 	if netlistPath == "" {
 		return fmt.Errorf("-netlist is required")
+	}
+	histMode, err := core.ParseHistoryMode(history)
+	if err != nil {
+		return err
 	}
 	f, err := os.Open(netlistPath)
 	if err != nil {
@@ -242,10 +247,10 @@ func run(netlistPath, method string, steps int, tstop, nodes string, points, wor
 				return fmt.Errorf(".ic is not supported for nonlinear netlists")
 			}
 			sol, err = core.SolveNonlinearCtx(ctx, mna.Sys, mna.Nonlinear, mna.Inputs, m, T,
-				core.NonlinearOptions{Options: core.Options{Workers: workers, Report: rep}})
+				core.NonlinearOptions{Options: core.Options{Workers: workers, HistoryMode: histMode, Report: rep}})
 		} else {
 			sol, err = core.SolveCtx(ctx, mna.Sys, mna.Inputs, m, T,
-				core.Options{X0: x0, Workers: workers, Report: rep})
+				core.Options{X0: x0, Workers: workers, HistoryMode: histMode, Report: rep})
 		}
 		if verbose {
 			// Also on failure: the partial report shows how far the run got.

@@ -28,7 +28,7 @@ C1 out 0 1u
 
 func TestRunOPM(t *testing.T) {
 	path := writeDeck(t, rcDeck)
-	if err := run(path, "opm", 0, "", "out", 10, 0, 0, false); err != nil {
+	if err := run(path, "opm", 0, "", "out", 10, 0, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -36,7 +36,7 @@ func TestRunOPM(t *testing.T) {
 func TestRunBaselines(t *testing.T) {
 	path := writeDeck(t, rcDeck)
 	for _, m := range []string{"beuler", "trap", "gear", "trbdf2"} {
-		if err := run(path, m, 128, "", "out,in", 5, 0, 0, false); err != nil {
+		if err := run(path, m, 128, "", "out,in", 5, 0, "", 0, false); err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
 	}
@@ -49,14 +49,14 @@ R1 n1 0 1
 P1 n1 0 1 0.5
 .tran 1m 1
 `)
-	if err := run(path, "opm", 0, "", "", 5, 0, 0, false); err != nil {
+	if err := run(path, "opm", 0, "", "", 5, 0, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "trap", 0, "", "", 5, 0, 0, false); err == nil {
+	if err := run(path, "trap", 0, "", "", 5, 0, "", 0, false); err == nil {
 		t.Fatal("transient method accepted fractional netlist")
 	}
 	// The Grünwald–Letnikov stepper handles it.
-	if err := run(path, "glet", 0, "", "n1", 5, 0, 0, false); err != nil {
+	if err := run(path, "glet", 0, "", "n1", 5, 0, "", 0, false); err != nil {
 		t.Fatalf("glet: %v", err)
 	}
 }
@@ -70,39 +70,57 @@ C1 n1 0 1
 P1 n1 0 1 0.5
 .tran 10m 1
 `)
-	if err := run(path, "glet", 0, "", "", 5, 0, 0, false); err == nil {
+	if err := run(path, "glet", 0, "", "", 5, 0, "", 0, false); err == nil {
 		t.Fatal("glet accepted mixed-order netlist")
 	}
 	// OPM handles the same netlist fine.
-	if err := run(path, "opm", 0, "", "", 5, 0, 0, false); err != nil {
+	if err := run(path, "opm", 0, "", "", 5, 0, "", 0, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "opm", 0, "", "", 5, 0, 0, false); err == nil {
+	if err := run("", "opm", 0, "", "", 5, 0, "", 0, false); err == nil {
 		t.Fatal("accepted missing netlist")
 	}
-	if err := run("/nonexistent/file.cir", "opm", 0, "", "", 5, 0, 0, false); err == nil {
+	if err := run("/nonexistent/file.cir", "opm", 0, "", "", 5, 0, "", 0, false); err == nil {
 		t.Fatal("accepted missing file")
 	}
 	path := writeDeck(t, rcDeck)
-	if err := run(path, "wizardry", 0, "", "", 5, 0, 0, false); err == nil {
+	if err := run(path, "wizardry", 0, "", "", 5, 0, "", 0, false); err == nil {
 		t.Fatal("accepted unknown method")
 	}
-	if err := run(path, "opm", 0, "", "nosuchnode", 5, 0, 0, false); err == nil {
+	if err := run(path, "opm", 0, "", "nosuchnode", 5, 0, "", 0, false); err == nil {
 		t.Fatal("accepted unknown node")
 	}
-	if err := run(path, "opm", 0, "bogus", "", 5, 0, 0, false); err == nil {
+	if err := run(path, "opm", 0, "bogus", "", 5, 0, "", 0, false); err == nil {
 		t.Fatal("accepted bad tstop")
 	}
 	// Deck without .tran and no -tstop.
 	noTran := writeDeck(t, "t\nV1 a 0 DC 1\nR1 a 0 1\n")
-	if err := run(noTran, "opm", 16, "", "", 5, 0, 0, false); err == nil {
+	if err := run(noTran, "opm", 16, "", "", 5, 0, "", 0, false); err == nil {
 		t.Fatal("accepted missing span")
 	}
-	if err := run(noTran, "opm", 16, "1m", "", 5, 0, 0, false); err != nil {
+	if err := run(noTran, "opm", 16, "1m", "", 5, 0, "", 0, false); err != nil {
 		t.Fatalf("explicit -tstop failed: %v", err)
+	}
+}
+
+func TestRunHistoryMode(t *testing.T) {
+	// Fractional deck so -history actually selects an engine.
+	path := writeDeck(t, `frac
+I1 0 n1 STEP 1
+R1 n1 0 1
+P1 n1 0 1 0.5
+.tran 10m 1
+`)
+	for _, mode := range []string{"auto", "exact", "fft"} {
+		if err := run(path, "opm", 64, "", "n1", 5, 0, mode, 0, false); err != nil {
+			t.Fatalf("-history %s: %v", mode, err)
+		}
+	}
+	if err := run(path, "opm", 64, "", "n1", 5, 0, "fast", 0, false); err == nil {
+		t.Fatal("accepted unknown -history mode")
 	}
 }
 
@@ -135,7 +153,7 @@ C1 n1 0 1u
 .tran 10u 3m
 `)
 	for _, m := range []string{"opm", "trap"} {
-		if err := run(path, m, 0, "", "n1", 8, 0, 0, false); err != nil {
+		if err := run(path, m, 0, "", "n1", 8, 0, "", 0, false); err != nil {
 			t.Fatalf("%s: %v", m, err)
 		}
 	}
@@ -171,12 +189,12 @@ func TestRunTimeoutAndVerbose(t *testing.T) {
 	path := writeDeck(t, rcDeck)
 	// A nanosecond budget expires before the first column; the run must end
 	// with the typed cancellation error, not hang or crash.
-	err := run(path, "opm", 4096, "", "out", 5, 0, time.Nanosecond, true)
+	err := run(path, "opm", 4096, "", "out", 5, 0, "", time.Nanosecond, true)
 	if !errors.Is(err, core.ErrCancelled) {
 		t.Fatalf("errors.Is(err, core.ErrCancelled) is false; err = %v", err)
 	}
 	// A generous budget with -verbose succeeds.
-	if err := run(path, "opm", 0, "", "out", 5, 0, time.Minute, true); err != nil {
+	if err := run(path, "opm", 0, "", "out", 5, 0, "", time.Minute, true); err != nil {
 		t.Fatal(err)
 	}
 }

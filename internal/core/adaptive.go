@@ -93,17 +93,26 @@ func SolveAdaptiveCtx(ctx context.Context, sys *System, u []waveform.Signal, ste
 	}
 
 	// The adaptive-grid D̃ᵅ has no Toeplitz structure, so every nonzero-order
-	// term runs through the general (blocked, parallel) history engine.
-	eng := newHistoryEngine(n, m, opt.Workers, opt.HistoryNaive)
+	// term runs through the general (blocked, parallel) history engine —
+	// the FFT fast-convolution tier never applies here, whatever
+	// Options.HistoryMode says (the mode is still validated).
+	eng, err := newHistoryEngine(n, m, &opt)
+	if err != nil {
+		return nil, err
+	}
 	eng.setGuards(ctx, &opt)
 	for k, t := range sys.Terms {
 		if t.Order != 0 {
 			eng.addGeneral(k, dmats[k])
 		}
 	}
+	if len(eng.terms) > 0 {
+		rep.HistoryEngine = eng.modeName()
+	}
 
 	cols := make([][]float64, m)
 	rhs := make([]float64, n)
+	ucol := make([]float64, uc.Rows())
 	for j := 0; j < m; j++ {
 		if err := ctx.Err(); err != nil {
 			d := diag(ErrCancelled, j, tMid[j])
@@ -116,7 +125,7 @@ func SolveAdaptiveCtx(ctx context.Context, sys *System, u []waveform.Signal, ste
 		for i := range rhs {
 			rhs[i] = 0
 		}
-		sys.B.MulVecAdd(1, ucColumn(uc, j), rhs)
+		sys.B.MulVecAdd(1, ucColumnInto(ucol, uc, j), rhs)
 		for k, t := range sys.Terms {
 			if t.Order == 0 {
 				continue

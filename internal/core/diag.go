@@ -165,6 +165,12 @@ type SolveReport struct {
 	// NewtonDampings counts Armijo step halvings taken across all Newton
 	// iterations.
 	NewtonDampings int
+	// HistoryEngine names the engine that served the run's
+	// fractional/high-order history sums: "exact", "fft", or "naive"; empty
+	// when every term used an O(1) recurrence (the orders-{0,1} fast path)
+	// and no general history engine ran. It records what HistoryAuto
+	// resolved to, and that adaptive grids stayed on the exact engine.
+	HistoryEngine string
 	// Warnings collects non-fatal condition warnings.
 	Warnings []string
 }
@@ -185,6 +191,9 @@ func (r *SolveReport) Summary() string {
 		TierQR, r.TierSolves[TierQR])
 	if r.MaxCond > 0 {
 		s += fmt.Sprintf("; max cond₁≈%.3g", r.MaxCond)
+	}
+	if r.HistoryEngine != "" {
+		s += "; history engine: " + r.HistoryEngine
 	}
 	if r.StepRetries > 0 {
 		s += fmt.Sprintf("; %d step retries", r.StepRetries)

@@ -27,13 +27,14 @@ const defaultCondLimit = 1e14
 // rank-deficient pencils, and its rank check is the final arbiter of
 // ErrSingularPencil. Every tier decision is recorded in the SolveReport.
 type pencilFactor struct {
-	tier   Tier
-	sp     *sparse.Factorization
-	dense  *mat.LU
-	qr     *mat.QR
-	a      *sparse.CSR
-	cond   float64
-	report *SolveReport
+	tier    Tier
+	sp      *sparse.Factorization
+	dense   *mat.LU
+	qr      *mat.QR
+	a       *sparse.CSR
+	cond    float64
+	report  *SolveReport
+	scratch []float64 // dense-tier refinement residual, lazily sized
 }
 
 // factorPencil builds the chain for the pencil a serving column col (−1 for a
@@ -108,27 +109,50 @@ func factorPencil(a *sparse.CSR, col int, t float64, opt *Options, rep *SolveRep
 // solve serves one column right-hand side through whichever tier the chain
 // settled on, counting it in the report. rhs is not modified.
 func (pf *pencilFactor) solve(rhs []float64) ([]float64, error) {
+	x := make([]float64, len(rhs))
+	if err := pf.solveInto(x, rhs); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// solveInto is solve writing into a caller-owned dst (len(rhs), not aliasing
+// rhs). It performs the identical floating-point operations in the identical
+// order — same tier, same refinement sequence — so the column loops can
+// reuse destination buffers without perturbing any bitwise-determinism
+// guarantee; the only difference is that the scratch lives on the
+// factorization instead of the heap, which makes solveInto (like the sparse
+// SolveInto beneath it) unsafe for concurrent calls.
+func (pf *pencilFactor) solveInto(dst, rhs []float64) error {
 	pf.report.TierSolves[pf.tier]++
 	switch pf.tier {
 	case TierSparseLU:
-		return pf.sp.Solve(rhs)
+		return pf.sp.SolveInto(dst, rhs)
 	case TierDenseLU:
-		x := append([]float64(nil), rhs...)
-		pf.dense.Solve(x)
+		copy(dst, rhs)
+		pf.dense.Solve(dst)
 		// One step of iterative refinement against the exact sparse matrix:
 		// r = b − A·x, x += A⁻¹·r. This is what lets the dense tier keep the
 		// golden 1e-12 waveform guarantees on ill-scaled circuit pencils.
-		r := pf.a.MulVec(x, nil)
+		if pf.scratch == nil {
+			pf.scratch = make([]float64, len(rhs))
+		}
+		r := pf.a.MulVec(dst, pf.scratch)
 		for i := range r {
 			r[i] = rhs[i] - r[i]
 		}
 		pf.dense.Solve(r)
-		for i := range x {
-			x[i] += r[i]
+		for i := range dst {
+			dst[i] += r[i]
 		}
-		return x, nil
+		return nil
 	case TierQR:
-		return pf.qr.SolveLeastSquares(rhs)
+		x, err := pf.qr.SolveLeastSquares(rhs)
+		if err != nil {
+			return err
+		}
+		copy(dst, x)
+		return nil
 	}
-	return nil, fmt.Errorf("core: unknown factorization tier %d", int(pf.tier))
+	return fmt.Errorf("core: unknown factorization tier %d", int(pf.tier))
 }

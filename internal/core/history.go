@@ -123,15 +123,18 @@ func engineErrKind(err error) error {
 }
 
 // historyTerm is one term's coefficient source plus its accumulators.
-// Exactly one of toe/gen is set: toe holds the uniform-grid Toeplitz
-// coefficients (c(i,j) = toe[j−i]), gen the adaptive-grid operational
-// matrix (c(i,j) = gen.At(i,j), skipping exact zeros like the reference
-// loop does).
+// Exactly one of toe/genCols is set: toe holds the uniform-grid Toeplitz
+// coefficients (c(i,j) = toe[j−i]), genCols the transposed adaptive-grid
+// operational matrix (c(i,j) = genCols.At(j,i) — stored column-major so the
+// fold over past i indexes one contiguous slice, skipping exact zeros like
+// the reference loop does). Toeplitz terms of an FFT-mode engine carry the
+// fast-convolution state in fft instead of chunked head accumulators.
 type historyTerm struct {
-	toe  []float64
-	gen  *mat.Dense
-	head [][]float64 // head sums for the current chunk, one n-vector per column
-	w    []float64   // scratch returned by history()
+	toe     []float64
+	genCols *mat.Dense
+	head    [][]float64 // head sums for the current chunk, one n-vector per column
+	fft     *fftHist    // segmented fast-convolution state (FFT tier only)
+	w       []float64   // scratch returned by history()
 }
 
 // historyEngine evaluates general (non-recurrence) history sums for a
@@ -142,9 +145,11 @@ type historyEngine struct {
 	workers int
 	block   int
 	naive   bool
-	chunkLo int // first column of the current chunk
+	useFFT  bool // route new Toeplitz terms to the fast-convolution tier
+	fftBase int  // FFT-tier base segment length (historyFFTBase; tests shrink it)
+	chunkLo int  // first column of the current chunk
 	terms   map[int]*historyTerm
-	ctx     context.Context    // checked at chunk boundaries; may be nil
+	ctx     context.Context    // checked at chunk/segment boundaries; may be nil
 	fault   *faultinject.Hooks // optional injection hooks; may be nil
 }
 
@@ -155,10 +160,14 @@ func (e *historyEngine) setGuards(ctx context.Context, opt *Options) {
 	e.fault = opt.Fault
 }
 
-// newHistoryEngine creates an engine for an n-state, m-column solve.
-// workers ≤ 0 means runtime.GOMAXPROCS(0); naive forces the reference
-// column-by-column summation (used by benchmarks and cross-checks).
-func newHistoryEngine(n, m, workers int, naive bool) *historyEngine {
+// newHistoryEngine creates an engine for an n-state, m-column solve,
+// resolving Options.Workers (≤ 0 means runtime.GOMAXPROCS(0)),
+// Options.HistoryNaive (the reference column-by-column summation, used by
+// benchmarks and cross-checks) and Options.HistoryMode (which routes
+// Toeplitz terms to the FFT fast-convolution tier). The only error is an
+// unrecognized HistoryMode.
+func newHistoryEngine(n, m int, opt *Options) (*historyEngine, error) {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -169,17 +178,33 @@ func newHistoryEngine(n, m, workers int, naive bool) *historyEngine {
 	if block > 1024 {
 		block = 1024
 	}
+	useFFT, err := opt.historyFFTEnabled(m)
+	if err != nil {
+		return nil, err
+	}
 	return &historyEngine{
 		n: n, m: m,
 		workers: workers,
 		block:   block,
-		naive:   naive,
+		naive:   opt.HistoryNaive,
+		useFFT:  useFFT,
+		fftBase: historyFFTBase,
 		terms:   map[int]*historyTerm{},
-	}
+	}, nil
 }
 
-func (e *historyEngine) newTerm() *historyTerm {
+// newTerm allocates a term's scratch: fast-convolution state when the term
+// runs on the FFT tier, chunked head accumulators otherwise.
+func (e *historyEngine) newTerm(useFFT bool) *historyTerm {
 	t := &historyTerm{w: make([]float64, e.n)}
+	if useFFT {
+		t.fft = &fftHist{
+			acc:   mat.NewDense(e.n, e.m),
+			ker:   map[int][]complex128{},
+			fired: -1,
+		}
+		return t
+	}
 	cc := historyChunk
 	if cc > e.m {
 		cc = e.m
@@ -193,20 +218,37 @@ func (e *historyEngine) newTerm() *historyTerm {
 
 // addToeplitz registers term k with uniform-grid Toeplitz coefficients.
 func (e *historyEngine) addToeplitz(k int, c []float64) {
-	t := e.newTerm()
+	t := e.newTerm(e.useFFT && !e.naive)
 	t.toe = c
 	e.terms[k] = t
 }
 
 // addGeneral registers term k with an adaptive-grid operational matrix.
+// General terms always run on the exact engine: the adaptive D̃ᵅ has no
+// Toeplitz structure, so there is no convolution to accelerate.
 func (e *historyEngine) addGeneral(k int, d *mat.Dense) {
-	t := e.newTerm()
-	t.gen = d
+	t := e.newTerm(false)
+	t.genCols = d.T()
 	e.terms[k] = t
 }
 
 // active reports whether term k uses the engine.
 func (e *historyEngine) active(k int) bool { return e.terms[k] != nil }
+
+// modeName reports which evaluation strategy the engine's registered terms
+// use, for SolveReport.HistoryEngine: "naive", "fft" when any term runs on
+// the fast-convolution tier, else "exact".
+func (e *historyEngine) modeName() string {
+	if e.naive {
+		return "naive"
+	}
+	for _, t := range e.terms {
+		if t.fft != nil {
+			return "fft"
+		}
+	}
+	return "exact"
+}
 
 // history returns w_j = Σ_{i<j} c(i,j)·x_i for term k. The returned slice
 // is owned by the engine and valid until the next history call for k. An
@@ -221,6 +263,9 @@ func (e *historyEngine) history(k, j int, cols [][]float64) ([]float64, error) {
 		}
 		t.fold(j, 0, j, cols, w)
 		return w, nil
+	}
+	if t.fft != nil {
+		return e.historyFFT(t, j, cols)
 	}
 	if j >= e.chunkLo+historyChunk {
 		if err := e.advanceChunk(j, cols); err != nil {
@@ -249,6 +294,9 @@ func (e *historyEngine) advanceChunk(j0 int, cols [][]float64) error {
 	}
 	cc := hi - j0
 	for _, t := range e.terms {
+		if t.fft != nil {
+			continue
+		}
 		for jj := 0; jj < cc; jj++ {
 			h := t.head[jj]
 			for i := range h {
@@ -265,6 +313,9 @@ func (e *historyEngine) advanceChunk(j0 int, cols [][]float64) error {
 	}
 	var tasks []func()
 	for _, t := range e.terms {
+		if t.fft != nil {
+			continue
+		}
 		t := t
 		for r := 0; r < nt; r++ {
 			lo := j0 + r*cc/nt
@@ -318,8 +369,11 @@ func (t *historyTerm) fold(j, lo, hi int, cols [][]float64, dst []float64) {
 		}
 		return
 	}
+	// Column j of the operational matrix is row j of the transposed copy:
+	// one contiguous slice instead of a strided At(i, j) per element.
+	col := t.genCols.Row(j)
 	for i := lo; i < hi; i++ {
-		if v := t.gen.At(i, j); v != 0 {
+		if v := col[i]; v != 0 {
 			mat.Axpy(v, cols[i], dst)
 		}
 	}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"opmsim/internal/fft"
+	"opmsim/internal/mat"
+)
+
+// The FFT tier of the history engine replaces the blocked O(n·m²) evaluation
+// of the Toeplitz history sums w_j = Σ_{i<j} c_{j−i}·x_i with Lubich-style
+// segmented fast convolution, O(n·m log² m) total:
+//
+//   - solved columns are grouped into segments of power-of-two lengths
+//     L = base·2^v. When column j (a multiple of base) is reached, exactly
+//     one segment fires: the one of length L = base·2^v with v the number of
+//     trailing zero bits of j/base, covering the just-completed columns
+//     [j−L, j). Its contribution to the next L columns [j, j+L) is a linear
+//     convolution against the lag kernel k[d] = c_d (d ≥ 1), evaluated as a
+//     2L-point circular convolution per state row and accumulated into the
+//     term's n×m accumulator. Over a run this fires segments of length base
+//     at every odd multiple of base, 2·base at every odd multiple of 2·base,
+//     and so on — each (past, future) column pair is covered by exactly one
+//     segment, which is the classical zero-delay partition of the triangle
+//     {i < j} into squares;
+//   - the per-column remainder — past columns inside the current base
+//     segment — is folded directly, exactly like the exact engine's tail;
+//   - the kernel spectrum is computed once per (term, L) and cached; the n
+//     row convolutions of a firing are independent and fan out over the
+//     shared worker pool, each row's accumulator slice owned by exactly one
+//     task.
+//
+// Determinism: the per-row transforms and the accumulation order into each
+// accumulator row are independent of the worker partition, so FFT-mode
+// results are bitwise-identical across Workers settings. They are *not*
+// bitwise-identical to the exact engine — circular convolution reorders the
+// floating-point sums — but agree to ~1e-12 relative on the golden
+// waveforms; the exact engine remains the default cross-check below the
+// crossover.
+const (
+	// historyFFTBase is the base segment length: the tail fold is O(base)
+	// per column, and no transform is shorter than 2·base. Engines override
+	// it in tests to exercise many segment levels on small grids.
+	historyFFTBase = 64
+	// historyFFTCrossover is the grid size at which HistoryAuto switches
+	// from the exact blocked engine to the FFT tier. Measured with the
+	// historyfft ablation (BENCH_history_fft.json, see EXPERIMENTS.md) the
+	// single-threaded FFT tier is already ahead at m = 256 (1.7×) and wins
+	// 5.6× at m = 4096; auto stays on the bitwise-exact engine up to 511
+	// columns anyway, both as margin for machines where the parallel
+	// blocked engine closes the small-m gap and so that small default-mode
+	// runs (the m = 256 golden grids) keep their historical bit patterns.
+	historyFFTCrossover = 512
+)
+
+// HistoryMode names the engine evaluating the general (non-recurrence)
+// history sums of eq. (28); see Options.HistoryMode.
+type HistoryMode string
+
+const (
+	// HistoryAuto (equivalently the zero value "") selects HistoryFFT for
+	// grids with at least historyFFTCrossover columns, HistoryExact below.
+	HistoryAuto HistoryMode = "auto"
+	// HistoryExact is the blocked, parallel engine of PR 1:
+	// bitwise-identical to the naive reference summation for every Workers
+	// setting.
+	HistoryExact HistoryMode = "exact"
+	// HistoryFFT is the segmented fast-convolution engine: O(n·m log² m)
+	// instead of O(n·m²), matching the exact engine to roundoff (~1e-12
+	// relative) but not bit for bit.
+	HistoryFFT HistoryMode = "fft"
+)
+
+// ParseHistoryMode converts a CLI flag value into a HistoryMode, accepting
+// exactly auto, exact, and fft (empty means auto).
+func ParseHistoryMode(s string) (HistoryMode, error) {
+	switch m := HistoryMode(s); m {
+	case "":
+		return HistoryAuto, nil
+	case HistoryAuto, HistoryExact, HistoryFFT:
+		return m, nil
+	}
+	return "", fmt.Errorf("core: unknown history mode %q (want auto, exact, or fft)", s)
+}
+
+// historyFFTEnabled resolves HistoryMode against the grid size.
+// HistoryNaive takes precedence over any mode: the reference summation is
+// the baseline everything else is validated against.
+func (o *Options) historyFFTEnabled(m int) (bool, error) {
+	switch o.HistoryMode {
+	case "", HistoryAuto:
+		return !o.HistoryNaive && m >= historyFFTCrossover, nil
+	case HistoryExact:
+		return false, nil
+	case HistoryFFT:
+		return !o.HistoryNaive, nil
+	}
+	return false, fmt.Errorf("core: unknown HistoryMode %q (want %q, %q, or %q)",
+		o.HistoryMode, HistoryAuto, HistoryExact, HistoryFFT)
+}
+
+// fftHist is the per-term state of the segmented fast-convolution tier.
+type fftHist struct {
+	acc   *mat.Dense           // n×m: completed segments' contributions to future columns
+	ker   map[int][]complex128 // segment length L → half spectrum of the 2L-point lag kernel
+	fired int                  // last column at which a segment fired (idempotency guard)
+}
+
+// historyFFT evaluates w_j for a Toeplitz term through the FFT tier: fire
+// the segment due at this column (if any), then read the accumulated
+// long-range part and fold the in-segment remainder serially.
+func (e *historyEngine) historyFFT(t *historyTerm, j int, cols [][]float64) ([]float64, error) {
+	base := e.fftBase
+	if j > 0 && j%base == 0 && t.fft.fired != j {
+		t.fft.fired = j
+		if err := e.fireSegment(t, j, cols); err != nil {
+			return nil, err
+		}
+	}
+	w := t.w
+	acc := t.fft.acc
+	for i := 0; i < e.n; i++ {
+		w[i] = acc.Row(i)[j]
+	}
+	t.fold(j, j-j%base, j, cols, w)
+	return w, nil
+}
+
+// fireSegment runs the one fast-convolution level due at column j (a
+// nonzero multiple of the base segment length): with v the number of
+// trailing zero bits of j/base, the level covers the L = base·2^v
+// just-completed columns [j−L, j) and accumulates their contribution to
+// columns [j, min(j+L, m)). The context is checked here — a firing is the
+// largest indivisible unit of work in the tier — and worker panics are
+// recovered into the returned error exactly like the exact engine's bursts.
+func (e *historyEngine) fireSegment(t *historyTerm, j int, cols [][]float64) error {
+	if e.ctx != nil {
+		if err := e.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	L := e.fftBase << bits.TrailingZeros(uint(j/e.fftBase))
+	outLen := e.m - j
+	if outLen > L {
+		outLen = L
+	}
+	if outLen <= 0 {
+		return nil
+	}
+	ker := e.fftKernel(t, L)
+	a := j - L
+	nt := e.workers
+	if nt > e.n {
+		nt = e.n
+	}
+	var tasks []func()
+	for r := 0; r < nt; r++ {
+		lo := r * e.n / nt
+		hi := (r + 1) * e.n / nt
+		if lo >= hi {
+			continue
+		}
+		tasks = append(tasks, func() {
+			if e.fault != nil && e.fault.WorkerFault != nil {
+				e.fault.WorkerFault()
+			}
+			e.convRows(t, ker, a, L, j, outLen, lo, hi, cols)
+		})
+	}
+	if len(tasks) <= 1 || e.workers == 1 {
+		var firstErr error
+		for _, f := range tasks {
+			if err := runRecovered(f); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	return historyPoolDo(tasks)
+}
+
+// convRows convolves state rows [lo, hi) of the completed segment
+// [a, a+L) against the cached kernel spectrum and accumulates conv[L+r]
+// into future column j+r: conv[L+r] = Σ_p seg[p]·k[L+r−p] with the lag
+// L+r−p ranging over [r+1, L+r] ⊂ [1, 2L−1], so the zero-padded 2L-point
+// circular convolution never wraps and equals the linear one. Each row's
+// accumulator slice is touched by exactly one task, making the fan-out
+// race-free and the results independent of the worker count.
+func (e *historyEngine) convRows(t *historyTerm, ker []complex128, a, L, j, outLen, lo, hi int, cols [][]float64) {
+	n2 := 2 * L
+	plan := fft.PlanFor(n2)
+	seg := fft.GetFloat(n2)
+	spec := fft.GetComplex(L + 1)
+	for i := lo; i < hi; i++ {
+		for p := 0; p < L; p++ {
+			seg[p] = cols[a+p][i]
+		}
+		for p := L; p < n2; p++ {
+			seg[p] = 0
+		}
+		plan.RealForward(spec, seg)
+		for q := range spec {
+			spec[q] *= ker[q]
+		}
+		plan.RealInverse(seg, spec)
+		row := t.fft.acc.Row(i)
+		for r := 0; r < outLen; r++ {
+			row[j+r] += seg[L+r]
+		}
+	}
+	fft.PutFloat(seg)
+	fft.PutComplex(spec)
+}
+
+// fftKernel returns — building and caching on first use — the half spectrum
+// of the 2L-point lag kernel k[0] = 0, k[d] = c_d (coefficients beyond the
+// grid are zero). It runs on the orchestrating goroutine before the row
+// fan-out, so each (term, L) pays for one kernel transform per run.
+func (e *historyEngine) fftKernel(t *historyTerm, L int) []complex128 {
+	if s, ok := t.fft.ker[L]; ok {
+		return s
+	}
+	n2 := 2 * L
+	buf := fft.GetFloat(n2)
+	buf[0] = 0
+	for d := 1; d < n2; d++ {
+		if d < len(t.toe) {
+			buf[d] = t.toe[d]
+		} else {
+			buf[d] = 0
+		}
+	}
+	spec := make([]complex128, L+1)
+	fft.PlanFor(n2).RealForward(spec, buf)
+	fft.PutFloat(buf)
+	t.fft.ker[L] = spec
+	return spec
+}

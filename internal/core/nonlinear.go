@@ -102,7 +102,10 @@ func SolveNonlinearCtx(ctx context.Context, sys *System, g Nonlinearity, u []wav
 		return nil, err
 	}
 	hist := make([]*intHistory, len(sys.Terms))
-	eng := newHistoryEngine(n, m, opt.Workers, opt.HistoryNaive)
+	eng, err := newHistoryEngine(n, m, &opt.Options)
+	if err != nil {
+		return nil, err
+	}
 	eng.setGuards(ctx, &opt.Options)
 	for k, t := range sys.Terms {
 		switch {
@@ -112,6 +115,9 @@ func SolveNonlinearCtx(ctx context.Context, sys *System, g Nonlinearity, u []wav
 		default:
 			eng.addToeplitz(k, coeffs[k])
 		}
+	}
+	if len(eng.terms) > 0 {
+		rep.HistoryEngine = eng.modeName()
 	}
 
 	// residAt writes M₀·x + g(x) − rhs into out and returns its 2-norm.
@@ -133,6 +139,7 @@ func SolveNonlinearCtx(ctx context.Context, sys *System, g Nonlinearity, u []wav
 	h := bpf.Step()
 	cols := make([][]float64, m)
 	rhs := make([]float64, n)
+	ucol := make([]float64, uc.Rows())
 	resid := make([]float64, n)
 	xj := make([]float64, n)
 	xTrial := make([]float64, n)
@@ -150,7 +157,7 @@ func SolveNonlinearCtx(ctx context.Context, sys *System, g Nonlinearity, u []wav
 		for i := range rhs {
 			rhs[i] = 0
 		}
-		sys.B.MulVecAdd(1, ucColumn(uc, j), rhs)
+		sys.B.MulVecAdd(1, ucColumnInto(ucol, uc, j), rhs)
 		for k, t := range sys.Terms {
 			switch {
 			case t.Order == 0:

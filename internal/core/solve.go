@@ -35,7 +35,18 @@ type Options struct {
 	// HistoryNaive forces the reference O(j)-per-column history summation
 	// instead of the blocked parallel engine. Benchmarks and regression
 	// tests use it as the baseline; the engine reproduces it bit for bit.
+	// It takes precedence over HistoryMode.
 	HistoryNaive bool
+	// HistoryMode selects the engine serving fractional/high-order history
+	// sums: HistoryExact is the blocked parallel engine, bitwise-identical
+	// to the naive reference; HistoryFFT the segmented fast-convolution
+	// tier, O(n·m log² m) instead of O(n·m²), agreeing with exact to
+	// roundoff (≤1e-10 relative on the golden waveforms) but not bit for
+	// bit; HistoryAuto — the zero value — picks FFT at and above a measured
+	// crossover grid size and exact below it. Adaptive-grid (general) terms
+	// always use the exact engine regardless of mode, because the
+	// non-uniform operational matrix has no Toeplitz structure to convolve.
+	HistoryMode HistoryMode
 	// CondLimit bounds the acceptable 1-norm condition estimate of the
 	// sparse leading-pencil factorization before the solver falls back to
 	// dense LU with iterative refinement. 0 selects the default 1e14; a
@@ -143,7 +154,10 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 	// instead of O(n·j). Fractional orders fall back to the full history,
 	// matching the paper's complexity discussion for eq. (28).
 	hist := make([]*intHistory, len(sys.Terms))
-	eng := newHistoryEngine(n, m, opt.Workers, opt.HistoryNaive)
+	eng, err := newHistoryEngine(n, m, &opt)
+	if err != nil {
+		return nil, err
+	}
 	eng.setGuards(ctx, &opt)
 	for k, t := range sys.Terms {
 		switch {
@@ -151,15 +165,26 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 		case t.Order == float64(int(t.Order)):
 			hist[k] = newIntHistory(int(t.Order), bpf.Step(), n)
 		default:
-			// Fractional orders have no short recurrence: full (blocked,
-			// parallel) Toeplitz history.
+			// Fractional orders have no short recurrence: full Toeplitz
+			// history (blocked parallel folds, or segmented fast
+			// convolution on the FFT tier).
 			eng.addToeplitz(k, coeffs[k])
 		}
+	}
+	if len(eng.terms) > 0 {
+		rep.HistoryEngine = eng.modeName()
 	}
 
 	h := bpf.Step()
 	cols := make([][]float64, m)
+	// One slab backs all solution columns: cols[j] = xbuf[j·n:(j+1)·n]. The
+	// column loop below allocates nothing per iteration — the slab, the rhs
+	// and input-column buffers, and the factorization's internal scratch are
+	// all reused — which matters once m reaches the thousands the FFT
+	// history tier targets.
+	xbuf := make([]float64, n*m)
 	rhs := make([]float64, n)
+	ucol := make([]float64, uc.Rows())
 	for j := 0; j < m; j++ {
 		tj := (float64(j) + 0.5) * h
 		if err := ctx.Err(); err != nil {
@@ -174,7 +199,7 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 		for i := range rhs {
 			rhs[i] = shift[i]
 		}
-		sys.B.MulVecAdd(1, ucColumn(uc, j), rhs)
+		sys.B.MulVecAdd(1, ucColumnInto(ucol, uc, j), rhs)
 		for k, t := range sys.Terms {
 			switch {
 			case t.Order == 0:
@@ -192,8 +217,8 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 				t.Coeff.MulVecAdd(-1, w, rhs)
 			}
 		}
-		xj, err := fac.solve(rhs)
-		if err != nil {
+		xj := xbuf[j*n : (j+1)*n : (j+1)*n]
+		if err := fac.solveInto(xj, rhs); err != nil {
 			d := diag(ErrInternal, j, tj)
 			d.Cause = err
 			return nil, d
@@ -288,22 +313,26 @@ func (ih *intHistory) current() []float64 {
 	return ih.s
 }
 
-// advance pushes x_j (kept by reference) and the s_j just computed.
+// advance pushes x_j (kept by reference) and the s_j just computed. The lag
+// windows rotate in place — the oldest sum buffer is recycled and slice
+// headers shift right — so steady-state columns allocate nothing.
 func (ih *intHistory) advance(xj []float64) {
 	var sbuf []float64
 	if len(ih.ss) == ih.p {
 		// Recycle the oldest sum buffer.
 		sbuf = ih.ss[ih.p-1]
-		ih.ss = ih.ss[:ih.p-1]
 	} else {
 		sbuf = make([]float64, len(ih.s))
+		ih.ss = append(ih.ss, nil)
 	}
+	copy(ih.ss[1:], ih.ss[:len(ih.ss)-1])
+	ih.ss[0] = sbuf
 	copy(sbuf, ih.s)
-	ih.ss = append([][]float64{sbuf}, ih.ss...)
-	if len(ih.xs) == ih.p {
-		ih.xs = ih.xs[:ih.p-1]
+	if len(ih.xs) < ih.p {
+		ih.xs = append(ih.xs, nil)
 	}
-	ih.xs = append([][]float64{xj}, ih.xs...)
+	copy(ih.xs[1:], ih.xs[:len(ih.xs)-1])
+	ih.xs[0] = xj
 }
 
 // applyInputOrder right-multiplies the input coefficient matrix by the
@@ -326,12 +355,18 @@ func applyInputOrder(uc *mat.Dense, d []float64) *mat.Dense {
 	return out
 }
 
-func ucColumn(uc *mat.Dense, j int) []float64 {
-	col := make([]float64, uc.Rows())
-	for i := range col {
-		col[i] = uc.At(i, j)
+// ucColumnInto gathers column j of the input coefficient matrix into dst
+// (len uc.Rows()) and returns it; the solve loops reuse one buffer across
+// all columns.
+func ucColumnInto(dst []float64, uc *mat.Dense, j int) []float64 {
+	for i := range dst {
+		dst[i] = uc.At(i, j)
 	}
-	return col
+	return dst
+}
+
+func ucColumn(uc *mat.Dense, j int) []float64 {
+	return ucColumnInto(make([]float64, uc.Rows()), uc, j)
 }
 
 // assembleLeading combines the term coefficient matrices with the given

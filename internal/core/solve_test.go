@@ -359,6 +359,33 @@ func TestFastPathMatchesFullHistory(t *testing.T) {
 	}
 }
 
+// Allocation regression for the solveInto chain: the main column loop reuses
+// the factorization scratch, the RHS/input buffers, the column slab, and the
+// integer-history ring, so the solver's allocation count is O(1) in the
+// number of columns — buffers get larger on a bigger grid, but there are not
+// more of them. An 8× grid growth is allowed only a small constant slack
+// (map/slice resizes inside setup code), far below the ~m allocations the
+// pre-optimization loop performed.
+func TestSolveAllocsIndependentOfColumns(t *testing.T) {
+	sys, err := NewSecondOrder(scalarCSR(1), scalarCSR(0.6), scalarCSR(4), scalarCSR(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := []waveform.Signal{waveform.Sine(1, 0.5, 0)}
+	allocsAt := func(m int) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Solve(sys, u, m, 2, Options{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small := allocsAt(256)
+	large := allocsAt(2048)
+	if large > small+32 {
+		t.Fatalf("allocations grew with columns: m=256 → %.0f, m=2048 → %.0f (want ≤ +32)", small, large)
+	}
+}
+
 func TestSolveCoefficients(t *testing.T) {
 	sys, _ := NewDAE(scalarCSR(1), scalarCSR(-1), scalarCSR(1))
 	m, T := 128, 2.0

@@ -28,15 +28,21 @@ type HistoryConfig struct {
 	Repeat int
 	// Workers for the parallel variant; 0 means runtime.GOMAXPROCS.
 	Workers int
+	// Mode selects the history engine for the blocked and parallel variants.
+	// DefaultHistory pins core.HistoryExact so the ablation's bitwise
+	// max|Δ| = 0 claim holds at every m; HistoryAuto would switch large
+	// grids to the FFT tier (see the historyfft experiment for that sweep).
+	Mode core.HistoryMode
 }
 
 // DefaultHistory sweeps the paper's fractional line to m = 4096.
 func DefaultHistory() HistoryConfig {
 	return HistoryConfig{
-		Line: netgen.DefaultFractionalLine(),
-		T:    2.7e-9,
-		Ms:   []int{512, 1024, 2048, 4096},
+		Line:   netgen.DefaultFractionalLine(),
+		T:      2.7e-9,
+		Ms:     []int{512, 1024, 2048, 4096},
 		Repeat: 3,
+		Mode:   core.HistoryExact,
 	}
 }
 
@@ -112,14 +118,14 @@ func History(cfg HistoryConfig) (*Table, *HistoryReport, error) {
 			return nil, nil, fmt.Errorf("experiments: serial history m=%d: %w", m, err)
 		}
 		blocked, err := minTime(cfg.Repeat, func() error {
-			_, err := core.Solve(mna.Sys, mna.Inputs, m, cfg.T, core.Options{Workers: 1})
+			_, err := core.Solve(mna.Sys, mna.Inputs, m, cfg.T, core.Options{Workers: 1, HistoryMode: cfg.Mode})
 			return err
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("experiments: blocked history m=%d: %w", m, err)
 		}
 		parallel, err := minTime(cfg.Repeat, func() error {
-			s, err := core.Solve(mna.Sys, mna.Inputs, m, cfg.T, core.Options{Workers: workers})
+			s, err := core.Solve(mna.Sys, mna.Inputs, m, cfg.T, core.Options{Workers: workers, HistoryMode: cfg.Mode})
 			parSol = s
 			return err
 		})
@@ -139,9 +145,13 @@ func History(cfg HistoryConfig) (*Table, *HistoryReport, error) {
 		tbl.AddRow(fmt.Sprintf("%d", m), fmtDur(serial), fmtDur(blocked), fmtDur(parallel),
 			fmt.Sprintf("%.2fx", row.SpeedupParallel), fmt.Sprintf("%g", diff))
 	}
+	deltaNote := "parallel speedup needs GOMAXPROCS > 1; max |Δ| is 0 by the ordered reduction"
+	if cfg.Mode == core.HistoryFFT {
+		deltaNote = "parallel speedup needs GOMAXPROCS > 1; FFT mode matches the reference to roundoff, not bitwise"
+	}
 	tbl.Notes = append(tbl.Notes,
 		"serial = reference column-by-column history; blocked = cache-tiled engine on 1 worker",
-		"parallel speedup needs GOMAXPROCS > 1; max |Δ| is 0 by the ordered reduction")
+		deltaNote)
 	return tbl, rep, nil
 }
 

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+
+	"opmsim/internal/core"
+	"opmsim/internal/netgen"
+	"opmsim/internal/waveform"
+)
+
+// HistoryFFTConfig parameterizes the FFT fast-convolution ablation: the §V-A
+// fractional line solved at increasing m with the naive reference history,
+// the exact blocked engine, and the segmented fast-convolution tier.
+type HistoryFFTConfig struct {
+	Line netgen.FractionalLineConfig
+	T    float64
+	// Ms are the block-pulse counts to sweep; the sweep should straddle the
+	// auto crossover so the report shows where the FFT tier starts winning.
+	Ms []int
+	// Repeat re-runs each solve and keeps the minimum time.
+	Repeat int
+	// Workers for all variants; 0 means runtime.GOMAXPROCS.
+	Workers int
+}
+
+// DefaultHistoryFFT sweeps the paper's fractional line across the crossover.
+func DefaultHistoryFFT() HistoryFFTConfig {
+	return HistoryFFTConfig{
+		Line:   netgen.DefaultFractionalLine(),
+		T:      2.7e-9,
+		Ms:     []int{256, 1024, 4096},
+		Repeat: 3,
+	}
+}
+
+// HistoryFFTRow is one m-point of the sweep. MaxRelDiff is
+// max|X_fft − X_naive| / max(1, max|X_naive|): the FFT tier reorders the
+// floating-point sums, so the difference is roundoff-sized rather than zero,
+// and the acceptance bound is 1e-10.
+type HistoryFFTRow struct {
+	M             int     `json:"m"`
+	N             int     `json:"n"`
+	NaiveNS       int64   `json:"naive_ns"`
+	ExactNS       int64   `json:"exact_ns"`
+	FFTNS         int64   `json:"fft_ns"`
+	SpeedupExact  float64 `json:"speedup_exact"`  // naive / exact
+	SpeedupFFT    float64 `json:"speedup_fft"`    // naive / fft
+	FFTOverExact  float64 `json:"fft_over_exact"` // exact / fft
+	MaxRelDiff    float64 `json:"max_rel_diff"`   // fft vs naive
+	HistoryEngine string  `json:"history_engine"` // what the fft run reported
+}
+
+// HistoryFFTReport is the machine-readable result written to
+// BENCH_history_fft.json by cmd/opm-bench.
+type HistoryFFTReport struct {
+	Fixture    string          `json:"fixture"`
+	Alpha      float64         `json:"alpha"`
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Workers    int             `json:"workers"`
+	Rows       []HistoryFFTRow `json:"rows"`
+}
+
+// WriteJSON writes the report to path.
+func (r *HistoryFFTReport) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// HistoryFFT runs the fast-convolution ablation on the fractional line: for
+// each m it times Solve with the naive reference, the exact blocked engine,
+// and the FFT tier (all on the same worker budget), and cross-checks the FFT
+// coefficients against the naive reference.
+func HistoryFFT(cfg HistoryFFTConfig) (*Table, *HistoryFFTReport, error) {
+	if cfg.Repeat < 1 {
+		cfg.Repeat = 1
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	drive := waveform.Pulse(0, 1e-3, 0.1e-9, 0.1e-9, 0.1e-9, 0.8e-9, 0)
+	mna, err := netgen.FractionalLine(cfg.Line, drive, waveform.Zero())
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &HistoryFFTReport{
+		Fixture:    fmt.Sprintf("fractional line n=%d", mna.Sys.N()),
+		Alpha:      cfg.Line.Order,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Workers:    workers,
+	}
+	tbl := &Table{
+		Title: fmt.Sprintf("History engine FFT tier — fractional line (n=%d, α=%g, GOMAXPROCS=%d)",
+			mna.Sys.N(), cfg.Line.Order, rep.GOMAXPROCS),
+		Header: []string{"m", "naive", "exact", "fft", "fft/exact", "max rel Δ"},
+	}
+	for _, m := range cfg.Ms {
+		var naiveSol, fftSol *core.Solution
+		naive, err := minTime(cfg.Repeat, func() error {
+			s, err := core.Solve(mna.Sys, mna.Inputs, m, cfg.T, core.Options{HistoryNaive: true})
+			naiveSol = s
+			return err
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: naive history m=%d: %w", m, err)
+		}
+		exact, err := minTime(cfg.Repeat, func() error {
+			_, err := core.Solve(mna.Sys, mna.Inputs, m, cfg.T,
+				core.Options{Workers: workers, HistoryMode: core.HistoryExact})
+			return err
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: exact history m=%d: %w", m, err)
+		}
+		solveRep := &core.SolveReport{}
+		fftT, err := minTime(cfg.Repeat, func() error {
+			s, err := core.Solve(mna.Sys, mna.Inputs, m, cfg.T,
+				core.Options{Workers: workers, HistoryMode: core.HistoryFFT, Report: solveRep})
+			fftSol = s
+			return err
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: fft history m=%d: %w", m, err)
+		}
+		diff := maxAbsDiff(naiveSol.Coefficients(), fftSol.Coefficients())
+		if scale := naiveSol.Coefficients().MaxAbs(); scale > 1 {
+			diff /= scale
+		}
+		row := HistoryFFTRow{
+			M: m, N: mna.Sys.N(),
+			NaiveNS: naive.Nanoseconds(), ExactNS: exact.Nanoseconds(), FFTNS: fftT.Nanoseconds(),
+			SpeedupExact:  float64(naive) / float64(exact),
+			SpeedupFFT:    float64(naive) / float64(fftT),
+			FFTOverExact:  float64(exact) / float64(fftT),
+			MaxRelDiff:    diff,
+			HistoryEngine: solveRep.HistoryEngine,
+		}
+		rep.Rows = append(rep.Rows, row)
+		tbl.AddRow(fmt.Sprintf("%d", m), fmtDur(naive), fmtDur(exact), fmtDur(fftT),
+			fmt.Sprintf("%.2fx", row.FFTOverExact), fmt.Sprintf("%.2g", diff))
+	}
+	tbl.Notes = append(tbl.Notes,
+		"naive = O(n·m²) reference; exact = blocked engine; fft = segmented fast convolution, O(n·m log² m)",
+		"fft/exact > 1 means the FFT tier wins; max rel Δ is fft vs naive and must stay ≤ 1e-10")
+	return tbl, rep, nil
+}

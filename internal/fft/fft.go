@@ -1,15 +1,20 @@
 // Package fft implements the discrete Fourier transform used by the
 // frequency-domain baseline of the paper (the "FFT-1"/"FFT-2" methods of
-// Table I): an iterative radix-2 Cooley–Tukey transform for power-of-two
-// lengths and Bluestein's chirp-z algorithm for arbitrary lengths — the
-// paper's FFT-2 variant uses 100 sampling points, which is not a power of
-// two.
+// Table I) and by the fast-convolution history engine of internal/core: an
+// iterative radix-2 Cooley–Tukey transform for power-of-two lengths and
+// Bluestein's chirp-z algorithm for arbitrary lengths — the paper's FFT-2
+// variant uses 100 sampling points, which is not a power of two.
+//
+// The free functions below allocate their results and are convenient for
+// one-shot use; repeated transforms of one size should go through the cached
+// Plan API (PlanFor, Plan.Forward, Plan.RealForward, …), which precomputes
+// the twiddle/bit-reversal/chirp tables once per size and reuses pooled
+// scratch.
 package fft
 
 import (
 	"fmt"
 	"math"
-	"math/bits"
 	"math/cmplx"
 )
 
@@ -35,7 +40,8 @@ func FFTReal(x []float64) []complex128 {
 	for i, v := range x {
 		c[i] = complex(v, 0)
 	}
-	return transform(c, false)
+	PlanFor(len(x)).transform(c, false)
+	return c
 }
 
 // RFFT computes the DFT of a real sequence using the packed half-size
@@ -50,26 +56,16 @@ func RFFT(x []float64) []complex128 {
 		return FFTReal(x)
 	}
 	half := n / 2
-	z := make([]complex128, half)
-	for k := 0; k < half; k++ {
-		z[k] = complex(x[2*k], x[2*k+1])
-	}
-	zf := transform(z, false)
 	out := make([]complex128, n)
-	for k := 0; k <= half; k++ {
-		zk := zf[k%half]
-		zc := cmplx.Conj(zf[(half-k)%half])
-		even := (zk + zc) / 2
-		odd := (zk - zc) / complex(0, 2)
-		w := cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n))
-		out[k] = even + w*odd
-	}
+	PlanFor(n).RealForward(out[:half+1], x)
 	for k := half + 1; k < n; k++ {
 		out[k] = cmplx.Conj(out[n-k])
 	}
 	return out
 }
 
+// transform returns a transformed copy of x through the cached plan for its
+// length; the inverse direction is unnormalized (IFFT divides by N).
 func transform(x []complex128, inverse bool) []complex128 {
 	n := len(x)
 	if n == 0 {
@@ -77,88 +73,7 @@ func transform(x []complex128, inverse bool) []complex128 {
 	}
 	out := make([]complex128, n)
 	copy(out, x)
-	if n&(n-1) == 0 {
-		radix2(out, inverse)
-		return out
-	}
-	return bluestein(out, inverse)
-}
-
-// radix2 performs an in-place iterative Cooley–Tukey FFT; len(x) must be a
-// power of two.
-func radix2(x []complex128, inverse bool) {
-	n := len(x)
-	if n == 1 {
-		return
-	}
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	// Bit-reversal permutation.
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		step := sign * 2 * math.Pi / float64(size)
-		wstep := cmplx.Rect(1, step)
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wstep
-			}
-		}
-	}
-}
-
-// bluestein computes an arbitrary-length DFT via the chirp-z transform,
-// reducing it to a power-of-two circular convolution.
-func bluestein(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	// Chirp w[k] = exp(sign·πi·k²/n). Reduce k² mod 2n to avoid precision
-	// loss for large k.
-	chirp := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		kk := (int64(k) * int64(k)) % int64(2*n)
-		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
-	}
-	m := 1
-	for m < 2*n-1 {
-		m <<= 1
-	}
-	a := make([]complex128, m)
-	b := make([]complex128, m)
-	for k := 0; k < n; k++ {
-		a[k] = x[k] * chirp[k]
-		b[k] = cmplx.Conj(chirp[k])
-	}
-	for k := 1; k < n; k++ {
-		b[m-k] = cmplx.Conj(chirp[k])
-	}
-	radix2(a, false)
-	radix2(b, false)
-	for i := range a {
-		a[i] *= b[i]
-	}
-	radix2(a, true)
-	inv := complex(1/float64(m), 0)
-	out := make([]complex128, n)
-	for k := 0; k < n; k++ {
-		out[k] = a[k] * inv * chirp[k]
-	}
+	PlanFor(n).transform(out, inverse)
 	return out
 }
 

@@ -1,0 +1,319 @@
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+	"sync"
+)
+
+// A Plan holds the precomputed tables for transforms of one fixed length n:
+// the bit-reversal permutation and twiddle-factor table of the iterative
+// radix-2 kernel for powers of two, the chirp and padded-kernel spectrum of
+// Bluestein's algorithm otherwise, and for even n the half-length sub-plan
+// driving the packed real transforms. Plans are immutable after construction
+// and safe for concurrent use; PlanFor caches one per size for the life of
+// the process, which is what makes the history engine's repeated
+// same-size transforms cheap.
+type Plan struct {
+	n    int
+	pow2 bool
+
+	// Radix-2 tables (power-of-two lengths).
+	perm []int32      // bit-reversal permutation
+	tw   []complex128 // tw[k] = exp(−2πi·k/n), k < n/2
+
+	// Bluestein tables (other lengths).
+	chirp []complex128 // chirp[k] = exp(−πi·k²/n), k < n
+	bspec []complex128 // forward FFT of the padded conj-chirp kernel
+	sub   *Plan        // power-of-two convolution plan, size ≥ 2n−1
+
+	// Packed-real tables (even lengths).
+	half *Plan        // complex plan of length n/2
+	rtw  []complex128 // rtw[k] = exp(−2πi·k/n), k ≤ n/2
+}
+
+var planCache sync.Map // int → *Plan
+
+// PlanFor returns the cached transform plan for length n, building it on
+// first use. Lengths ≤ 1 yield a trivial plan whose transforms are no-ops.
+func PlanFor(n int) *Plan {
+	if v, ok := planCache.Load(n); ok {
+		return v.(*Plan)
+	}
+	v, _ := planCache.LoadOrStore(n, newPlan(n))
+	return v.(*Plan)
+}
+
+func newPlan(n int) *Plan {
+	p := &Plan{n: n}
+	switch {
+	case n <= 1:
+		p.pow2 = true
+	case n&(n-1) == 0:
+		p.pow2 = true
+		shift := 64 - uint(bits.TrailingZeros(uint(n)))
+		p.perm = make([]int32, n)
+		for i := 0; i < n; i++ {
+			p.perm[i] = int32(bits.Reverse64(uint64(i)) >> shift)
+		}
+		p.tw = make([]complex128, n/2)
+		for k := range p.tw {
+			p.tw[k] = cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n))
+		}
+	default:
+		// Chirp exponent k² reduced mod 2n to avoid precision loss at large k.
+		p.chirp = make([]complex128, n)
+		for k := 0; k < n; k++ {
+			kk := (int64(k) * int64(k)) % int64(2*n)
+			p.chirp[k] = cmplx.Rect(1, -math.Pi*float64(kk)/float64(n))
+		}
+		m := 1
+		for m < 2*n-1 {
+			m <<= 1
+		}
+		p.sub = PlanFor(m)
+		b := make([]complex128, m)
+		for k := 0; k < n; k++ {
+			b[k] = cmplx.Conj(p.chirp[k])
+		}
+		for k := 1; k < n; k++ {
+			b[m-k] = cmplx.Conj(p.chirp[k])
+		}
+		p.sub.radix2(b, false)
+		p.bspec = b
+	}
+	if n >= 2 && n%2 == 0 {
+		p.half = PlanFor(n / 2)
+		p.rtw = make([]complex128, n/2+1)
+		for k := range p.rtw {
+			p.rtw[k] = cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n))
+		}
+	}
+	return p
+}
+
+// N returns the transform length the plan was built for.
+func (p *Plan) N() int { return p.n }
+
+// Forward replaces x (length N()) with its DFT,
+// X[k] = Σ_t x[t]·exp(−2πi·kt/N).
+func (p *Plan) Forward(x []complex128) { p.transform(x, false) }
+
+// Inverse replaces x with its inverse DFT, normalized by 1/N so that
+// Inverse(Forward(x)) = x.
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, true)
+	inv := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+}
+
+// transform is the in-place transform in either direction, unnormalized (the
+// inverse omits the 1/N factor, matching the internal convolution uses).
+func (p *Plan) transform(x []complex128, inverse bool) {
+	switch {
+	case p.n <= 1:
+	case p.pow2:
+		p.radix2(x, inverse)
+	case inverse:
+		// Unnormalized IDFT(x) = conj(DFT(conj(x))).
+		for i := range x {
+			x[i] = cmplx.Conj(x[i])
+		}
+		p.bluestein(x)
+		for i := range x {
+			x[i] = cmplx.Conj(x[i])
+		}
+	default:
+		p.bluestein(x)
+	}
+}
+
+// radix2 is the table-driven iterative Cooley–Tukey kernel; the twiddle for
+// butterfly k of a stage of span `size` is tw[k·(n/size)], conjugated for
+// the inverse direction.
+func (p *Plan) radix2(x []complex128, inverse bool) {
+	n := p.n
+	for i, j := range p.perm {
+		if int(j) > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half, stride := size>>1, n/size
+		for start := 0; start < n; start += size {
+			ti := 0
+			for k := start; k < start+half; k++ {
+				w := p.tw[ti]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				a := x[k]
+				b := x[k+half] * w
+				x[k] = a + b
+				x[k+half] = a - b
+				ti += stride
+			}
+		}
+	}
+}
+
+// bluestein evaluates the forward DFT of arbitrary length as a power-of-two
+// circular convolution against the cached chirp (chirp-z transform).
+func (p *Plan) bluestein(x []complex128) {
+	n, m := p.n, p.sub.n
+	a := GetComplex(m)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * p.chirp[k]
+	}
+	for k := n; k < m; k++ {
+		a[k] = 0
+	}
+	p.sub.radix2(a, false)
+	for i, bv := range p.bspec {
+		a[i] *= bv
+	}
+	p.sub.radix2(a, true)
+	inv := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * inv * p.chirp[k]
+	}
+	PutComplex(a)
+}
+
+// RealForward computes the non-redundant half spectrum of the real sequence
+// x (length N()) into dst (length N()/2+1, not aliasing x):
+// dst[k] = Σ_t x[t]·exp(−2πi·kt/N) for k = 0..N/2. Even lengths run one
+// complex transform of half the size on the packed sequence
+// z[t] = x[2t] + i·x[2t+1]; odd lengths fall back to a full complex
+// transform.
+func (p *Plan) RealForward(dst []complex128, x []float64) {
+	n := p.n
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		dst[0] = complex(x[0], 0)
+		return
+	}
+	if p.half == nil { // odd length
+		buf := GetComplex(n)
+		for i, v := range x {
+			buf[i] = complex(v, 0)
+		}
+		p.transform(buf, false)
+		copy(dst, buf[:n/2+1])
+		PutComplex(buf)
+		return
+	}
+	h := n / 2
+	z := GetComplex(h)
+	for k := 0; k < h; k++ {
+		z[k] = complex(x[2*k], x[2*k+1])
+	}
+	p.half.transform(z, false)
+	// Unpack: with E/O the half-length DFTs of the even/odd subsequences,
+	// E[k] = (Z[k]+conj(Z[h−k]))/2, O[k] = (Z[k]−conj(Z[h−k]))/(2i), and
+	// X[k] = E[k] + w^k·O[k].
+	for k := 0; k <= h; k++ {
+		zk := z[k%h]
+		zc := cmplx.Conj(z[(h-k)%h])
+		even := (zk + zc) / 2
+		odd := (zk - zc) / complex(0, 2)
+		dst[k] = even + p.rtw[k]*odd
+	}
+	PutComplex(z)
+}
+
+// RealInverse recovers a real sequence from its half spectrum: given
+// spec[k] = X[k] for k = 0..N/2 (the Hermitian-redundancy-free half, not
+// aliasing dst), it writes the normalized length-N inverse DFT into dst.
+// RealInverse(y, RealForward(s, x)) restores x up to roundoff.
+func (p *Plan) RealInverse(dst []float64, spec []complex128) {
+	n := p.n
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		dst[0] = real(spec[0])
+		return
+	}
+	if p.half == nil { // odd length: rebuild the full Hermitian spectrum
+		buf := GetComplex(n)
+		copy(buf, spec[:n/2+1])
+		for k := n/2 + 1; k < n; k++ {
+			buf[k] = cmplx.Conj(spec[n-k])
+		}
+		p.transform(buf, true)
+		inv := 1 / float64(n)
+		for i := range dst {
+			dst[i] = real(buf[i]) * inv
+		}
+		PutComplex(buf)
+		return
+	}
+	// Repack: E[k] = (S[k]+conj(S[h−k]))/2, O[k] = (S[k]−conj(S[h−k]))/2·w^{−k},
+	// Z[k] = E[k] + i·O[k]; the half-length inverse then interleaves back as
+	// z[t] = x[2t] + i·x[2t+1].
+	h := n / 2
+	z := GetComplex(h)
+	for k := 0; k < h; k++ {
+		sk := spec[k]
+		sc := cmplx.Conj(spec[h-k])
+		even := (sk + sc) / 2
+		odd := (sk - sc) / 2 * cmplx.Conj(p.rtw[k])
+		z[k] = even + odd*complex(0, 1)
+	}
+	p.half.transform(z, true)
+	inv := 1 / float64(h)
+	for k := 0; k < h; k++ {
+		dst[2*k] = real(z[k]) * inv
+		dst[2*k+1] = imag(z[k]) * inv
+	}
+	PutComplex(z)
+}
+
+// Scratch pools shared by all transform sizes. GetComplex/GetFloat return a
+// slice of exactly the requested length with arbitrary contents;
+// PutComplex/PutFloat recycle it. They keep the history engine's per-row
+// convolutions allocation-free in steady state.
+var (
+	complexPool sync.Pool
+	floatPool   sync.Pool
+)
+
+// GetComplex returns a pooled []complex128 of length n (contents arbitrary).
+func GetComplex(n int) []complex128 {
+	if v := complexPool.Get(); v != nil {
+		if s := v.([]complex128); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]complex128, n)
+}
+
+// PutComplex returns a slice obtained from GetComplex to the pool.
+func PutComplex(s []complex128) {
+	if cap(s) > 0 {
+		complexPool.Put(s[:cap(s)]) //nolint:staticcheck // slice reuse is the point
+	}
+}
+
+// GetFloat returns a pooled []float64 of length n (contents arbitrary).
+func GetFloat(n int) []float64 {
+	if v := floatPool.Get(); v != nil {
+		if s := v.([]float64); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// PutFloat returns a slice obtained from GetFloat to the pool.
+func PutFloat(s []float64) {
+	if cap(s) > 0 {
+		floatPool.Put(s[:cap(s)]) //nolint:staticcheck // slice reuse is the point
+	}
+}

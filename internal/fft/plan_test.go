@@ -1,0 +1,213 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// planNaiveDFT is the O(n²) reference the plan kernels are checked against.
+func planNaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			s += x[t] * cmplx.Rect(1, -2*math.Pi*float64(k)*float64(t)/float64(n))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// planLengths covers radix-2, odd, prime (Bluestein), and mixed-even sizes.
+var planLengths = []int{1, 2, 3, 4, 5, 7, 8, 12, 16, 27, 64, 97, 100, 128, 255}
+
+func randComplex(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func randReal(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+func TestPlanForwardMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range planLengths {
+		x := randComplex(rng, n)
+		want := planNaiveDFT(x)
+		got := append([]complex128(nil), x...)
+		PlanFor(n).Forward(got)
+		for k := range want {
+			if d := cmplx.Abs(got[k] - want[k]); d > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: |Δ|=%g", n, k, d)
+			}
+		}
+	}
+}
+
+func TestPlanInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range planLengths {
+		x := randComplex(rng, n)
+		y := append([]complex128(nil), x...)
+		p := PlanFor(n)
+		p.Forward(y)
+		p.Inverse(y)
+		for i := range x {
+			if d := cmplx.Abs(y[i] - x[i]); d > 1e-10*float64(n) {
+				t.Fatalf("n=%d sample %d: round-trip |Δ|=%g", n, i, d)
+			}
+		}
+	}
+}
+
+func TestPlanLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range planLengths {
+		x := randComplex(rng, n)
+		y := randComplex(rng, n)
+		a, b := complex(1.3, -0.4), complex(-0.7, 2.1)
+		lhs := make([]complex128, n)
+		for i := range lhs {
+			lhs[i] = a*x[i] + b*y[i]
+		}
+		p := PlanFor(n)
+		p.Forward(lhs)
+		p.Forward(x)
+		p.Forward(y)
+		for k := 0; k < n; k++ {
+			want := a*x[k] + b*y[k]
+			if d := cmplx.Abs(lhs[k] - want); d > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: linearity |Δ|=%g", n, k, d)
+			}
+		}
+	}
+}
+
+func TestPlanParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range planLengths {
+		x := randComplex(rng, n)
+		et := 0.0
+		for _, v := range x {
+			et += real(v)*real(v) + imag(v)*imag(v)
+		}
+		PlanFor(n).Forward(x)
+		ef := 0.0
+		for _, v := range x {
+			ef += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if d := math.Abs(ef/float64(n) - et); d > 1e-9*(1+et) {
+			t.Fatalf("n=%d: Parseval |Δ|=%g", n, d)
+		}
+	}
+}
+
+func TestPlanRealForwardMatchesComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for _, n := range planLengths {
+		x := randReal(rng, n)
+		want := FFTReal(x)
+		got := make([]complex128, n/2+1)
+		PlanFor(n).RealForward(got, x)
+		for k := range got {
+			if d := cmplx.Abs(got[k] - want[k]); d > 1e-9*float64(n) {
+				t.Fatalf("n=%d bin %d: |Δ|=%g", n, k, d)
+			}
+		}
+	}
+}
+
+func TestPlanRealRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for _, n := range planLengths {
+		x := randReal(rng, n)
+		spec := make([]complex128, n/2+1)
+		back := make([]float64, n)
+		p := PlanFor(n)
+		p.RealForward(spec, x)
+		p.RealInverse(back, spec)
+		for i := range x {
+			if d := math.Abs(back[i] - x[i]); d > 1e-10*float64(n) {
+				t.Fatalf("n=%d sample %d: real round-trip |Δ|=%g", n, i, d)
+			}
+		}
+	}
+}
+
+func TestPlanForCachesPerSize(t *testing.T) {
+	for _, n := range []int{8, 100} {
+		if PlanFor(n) != PlanFor(n) {
+			t.Fatalf("PlanFor(%d) returned distinct plans", n)
+		}
+	}
+	if got := PlanFor(96).N(); got != 96 {
+		t.Fatalf("PlanFor(96).N() = %d", got)
+	}
+}
+
+func TestPlanConcurrentUse(t *testing.T) {
+	// One shared plan per size, hammered from several goroutines; the race
+	// detector (CI runs internal packages with -race) plus the value checks
+	// guard the immutability and scratch-pool contracts.
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{64, 100} {
+		x := randReal(rng, n)
+		want := make([]complex128, n/2+1)
+		PlanFor(n).RealForward(want, x)
+		var wg sync.WaitGroup
+		errs := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p := PlanFor(n)
+				got := make([]complex128, n/2+1)
+				back := make([]float64, n)
+				for it := 0; it < 50; it++ {
+					p.RealForward(got, x)
+					p.RealInverse(back, got)
+					for k := range want {
+						if cmplx.Abs(got[k]-want[k]) > 1e-9*float64(n) {
+							errs <- fmt.Errorf("n=%d bin %d diverged under concurrency", n, k)
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestScratchPools(t *testing.T) {
+	s := GetFloat(33)
+	if len(s) != 33 {
+		t.Fatalf("GetFloat(33) length %d", len(s))
+	}
+	PutFloat(s)
+	c := GetComplex(17)
+	if len(c) != 17 {
+		t.Fatalf("GetComplex(17) length %d", len(c))
+	}
+	PutComplex(c)
+	if got := GetComplex(0); len(got) != 0 {
+		t.Fatalf("GetComplex(0) length %d", len(got))
+	}
+}

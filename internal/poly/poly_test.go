@@ -143,6 +143,82 @@ func TestRhoInverseProperty(t *testing.T) {
 	}
 }
 
+// mulSchoolbook is the reference Cauchy product, independent of the length
+// heuristics inside Mul.
+func mulSchoolbook(s, t Series) Series {
+	n := s.Len()
+	if t.Len() < n {
+		n = t.Len()
+	}
+	out := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; i+j < n; j++ {
+			out.Coef[i+j] += s.Coef[i] * t.Coef[j]
+		}
+	}
+	return out
+}
+
+// Above fftMulThreshold, dense products take the FFT path; they must match
+// the schoolbook product to roundoff on both random series and the actual
+// ρ_α binomial factors.
+func TestMulFFTMatchesSchoolbook(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{fftMulThreshold, 600, 1024, 1500} {
+		a, b := New(n), New(n)
+		for k := 0; k < n; k++ {
+			a.Coef[k] = rng.NormFloat64() / float64(1+k/7)
+			b.Coef[k] = rng.NormFloat64() / float64(1+k/7)
+		}
+		got := a.Mul(b)
+		want := mulSchoolbook(a, b)
+		scale := 0.0
+		for k := 0; k < n; k++ {
+			if v := math.Abs(want.Coef[k]); v > scale {
+				scale = v
+			}
+		}
+		for k := 0; k < n; k++ {
+			if d := math.Abs(got.Coef[k] - want.Coef[k]); d > 1e-11*(1+scale) {
+				t.Fatalf("n=%d coef[%d]: fft %g vs schoolbook %g (|Δ|=%g)", n, k, got.Coef[k], want.Coef[k], d)
+			}
+		}
+	}
+	// The product Rho actually computes: (1−q)^α · (1+q)^{−α} at large m.
+	for _, alpha := range []float64{0.5, 1.3} {
+		m := 2048
+		num := BinomialSeries(alpha, -1, m)
+		den := BinomialSeries(-alpha, 1, m)
+		got := num.Mul(den)
+		want := mulSchoolbook(num, den)
+		for k := 0; k < m; k++ {
+			if d := math.Abs(got.Coef[k] - want.Coef[k]); d > 1e-11*(1+math.Abs(want.Coef[k])) {
+				t.Fatalf("α=%g coef[%d]: fft %g vs schoolbook %g (|Δ|=%g)", alpha, k, got.Coef[k], want.Coef[k], d)
+			}
+		}
+	}
+}
+
+// Integer orders have exact zero tails and must keep the schoolbook path
+// (bit-for-bit) at any length: (1−q)·(1+q)^{−1} via Rho stays the exact
+// alternating sequence.
+func TestMulSparseKeepsExactPath(t *testing.T) {
+	m := 1024
+	got := Rho(1, 2, m) // prefactor (2/h)^1 = 1
+	for k := range got.Coef {
+		want := 1.0
+		if k > 0 {
+			want = 2
+			if k%2 == 1 {
+				want = -2
+			}
+		}
+		if math.Abs(got.Coef[k]-want) > 1e-9 {
+			t.Fatalf("order-1 ρ coef[%d] = %g, want %g", k, got.Coef[k], want)
+		}
+	}
+}
+
 func TestAddScale(t *testing.T) {
 	a := FromCoef([]float64{1, 2, 3})
 	b := FromCoef([]float64{4, 5, 6})

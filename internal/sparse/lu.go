@@ -28,6 +28,8 @@ type LU struct {
 
 	perm []int // pivot position -> original row
 	pinv []int // original row -> pivot position
+
+	work []float64 // SolveInto forward-substitution scratch, lazily sized
 }
 
 // FactorLU factors the square sparse matrix a with pivot threshold tol in
@@ -235,6 +237,47 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 	return y, nil
 }
 
+// SolveInto solves A·x = b into x (len n each; x must not alias b) using
+// scratch kept on the factorization, so steady-state solves allocate
+// nothing. The floating-point operations and their order are identical to
+// Solve — the two entry points produce bitwise-identical results — but the
+// retained scratch makes an LU unsafe for concurrent SolveInto calls.
+func (f *LU) SolveInto(x, b []float64) error {
+	if len(b) != f.n || len(x) != f.n {
+		return fmt.Errorf("sparse: LU SolveInto lengths %d,%d != %d", len(x), len(b), f.n)
+	}
+	if f.work == nil {
+		f.work = make([]float64, f.n)
+	}
+	work := f.work
+	copy(work, b)
+	// Forward: L y = P b, processed column by column in pivot order.
+	for j := 0; j < f.n; j++ {
+		yj := work[f.perm[j]]
+		if yj == 0 {
+			continue
+		}
+		for q := f.lp[j]; q < f.lp[j+1]; q++ {
+			work[f.li[q]] -= f.lx[q] * yj
+		}
+	}
+	for j := 0; j < f.n; j++ {
+		x[j] = work[f.perm[j]]
+	}
+	// Backward: U x = y, U stored by column with pivot-position rows.
+	for j := f.n - 1; j >= 0; j-- {
+		x[j] /= f.udiag[j]
+		xj := x[j]
+		if xj == 0 {
+			continue
+		}
+		for q := f.up[j]; q < f.up[j+1]; q++ {
+			x[f.ui[q]] -= f.ux[q] * xj
+		}
+	}
+	return nil
+}
+
 // SolveTranspose solves Aᵀ·x = b. With P·A = L·U, Aᵀ = Uᵀ·Lᵀ·P, so the
 // sweep is a forward substitution with Uᵀ (lower triangular in pivot
 // coordinates), a backward substitution with the unit-diagonal Lᵀ, and a
@@ -289,6 +332,12 @@ type Factorization struct {
 	a      *CSR  // original matrix (for refinement)
 	ord    []int // new -> old, nil when no pre-ordering
 	refine bool
+
+	// SolveInto scratch, lazily sized; see the concurrency note there.
+	pwork  []float64 // permuted right-hand side
+	pxwork []float64 // permuted solution
+	rwork  []float64 // refinement residual
+	dwork  []float64 // refinement correction
 }
 
 // Factor computes a ready-to-solve factorization of the square matrix a.
@@ -344,6 +393,63 @@ func (f *Factorization) Solve(b []float64) ([]float64, error) {
 		}
 	}
 	return x, nil
+}
+
+// SolveInto solves A·x = b into x (len N() each; x must not alias b)
+// without modifying b, reusing scratch kept on the factorization so
+// steady-state solves allocate nothing. The arithmetic — including the
+// optional refinement step — runs in exactly the order Solve uses, so the
+// two entry points produce bitwise-identical results; the retained scratch
+// makes a Factorization unsafe for concurrent SolveInto calls.
+func (f *Factorization) SolveInto(x, b []float64) error {
+	n := f.lu.n
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("sparse: SolveInto lengths %d,%d != %d", len(x), len(b), n)
+	}
+	if err := f.solveOnceInto(x, b); err != nil {
+		return err
+	}
+	if f.refine {
+		// One refinement step: r = b − A·x, x += A⁻¹ r.
+		if f.rwork == nil {
+			f.rwork = make([]float64, n)
+			f.dwork = make([]float64, n)
+		}
+		r := f.a.MulVec(x, f.rwork)
+		for i := range r {
+			r[i] = b[i] - r[i]
+		}
+		if err := f.solveOnceInto(f.dwork, r); err != nil {
+			return err
+		}
+		for i := range x {
+			x[i] += f.dwork[i]
+		}
+	}
+	return nil
+}
+
+// solveOnceInto mirrors the forward direction of solveOnce into a caller
+// buffer, routing through the RCM permutation sandwich when present.
+func (f *Factorization) solveOnceInto(x, b []float64) error {
+	if f.ord == nil {
+		return f.lu.SolveInto(x, b)
+	}
+	n := f.lu.n
+	if f.pwork == nil {
+		f.pwork = make([]float64, n)
+		f.pxwork = make([]float64, n)
+	}
+	for newI, oldI := range f.ord {
+		f.pwork[newI] = b[oldI]
+	}
+	if err := f.lu.SolveInto(f.pxwork, f.pwork); err != nil {
+		return err
+	}
+	for newI, oldI := range f.ord {
+		x[oldI] = f.pxwork[newI]
+	}
+	return nil
 }
 
 // SolveTranspose solves Aᵀ·x = b without modifying b (no refinement).
