@@ -36,15 +36,16 @@ func main() {
 		histOut    = flag.String("histout", "BENCH_history.json", "machine-readable output path for -experiment history")
 		histFFTOut = flag.String("histfftout", "BENCH_history_fft.json", "machine-readable output path for -experiment historyfft")
 		history    = flag.String("history", "", "history engine mode for the history ablation: auto, exact, or fft (default: exact)")
+		seed       = flag.Int64("seed", 1, "seed for generated benchmark networks (Table II grid loads, MOR, scaling); same seed, same netlist")
 	)
 	flag.Parse()
-	if err := run(*experiment, *full, *repeat, *gridRows, *workers, *histOut, *histFFTOut, *history); err != nil {
+	if err := run(*experiment, *full, *repeat, *gridRows, *workers, *histOut, *histFFTOut, *history, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "opm-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, full bool, repeat, gridRows, workers int, histOut, histFFTOut, history string) error {
+func run(experiment string, full bool, repeat, gridRows, workers int, histOut, histFFTOut, history string, seed int64) error {
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
@@ -64,6 +65,7 @@ func run(experiment string, full bool, repeat, gridRows, workers int, histOut, h
 			if gridRows > 0 {
 				cfg.Grid.Rows, cfg.Grid.Cols = gridRows, gridRows
 			}
+			cfg.Grid.Seed = seed
 			tbl, _, err := experiments.TableII(cfg)
 			if err != nil {
 				return err
@@ -94,13 +96,13 @@ func run(experiment string, full bool, repeat, gridRows, workers int, histOut, h
 			}
 			tbl.Fprint(os.Stdout)
 		case "scaling":
-			tbl, err := experiments.Scaling()
+			tbl, err := experiments.Scaling(seed)
 			if err != nil {
 				return err
 			}
 			tbl.Fprint(os.Stdout)
 		case "mor":
-			tbl, err := experiments.MOR()
+			tbl, err := experiments.MOR(seed)
 			if err != nil {
 				return err
 			}

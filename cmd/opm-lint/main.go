@@ -1,0 +1,113 @@
+// Command opm-lint runs the project's static-analysis suite (internal/lint)
+// over the module's packages and reports findings as
+//
+//	file:line:col: [rule] message
+//
+// It exits non-zero when any error-severity finding survives suppression;
+// advisory findings print but do not fail the run unless -strict is given.
+// Suppress an intentional violation at its line (or the line above) with
+//
+//	//lint:ignore <rule> <reason>
+//
+// Usage:
+//
+//	opm-lint [-tests] [-strict] [-rules floateq,nondet] [packages]
+//
+// Packages default to ./... resolved against the enclosing module root, so a
+// bare `go run ./cmd/opm-lint ./...` from anywhere inside the repo lints the
+// whole tree. See DESIGN.md §9 for the rule catalog and suppression policy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"opmsim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("opm-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		tests  = fs.Bool("tests", false, "also lint in-package _test.go files")
+		strict = fs.Bool("strict", false, "treat advisory findings as errors")
+		rules  = fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list   = fs.Bool("list", false, "list registered analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Registry {
+			fmt.Fprintf(stdout, "%-14s %-9s %s\n", a.Name, a.Severity, a.Doc)
+		}
+		return 0
+	}
+	analyzers := lint.Registry
+	if *rules != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*rules, ",") {
+			a := lint.AnalyzerByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "opm-lint: unknown rule %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "opm-lint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "opm-lint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "opm-lint:", err)
+		return 2
+	}
+	loader.IncludeTests = *tests
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "opm-lint:", err)
+		return 2
+	}
+	failed := false
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "opm-lint:", err)
+			return 2
+		}
+		for _, d := range lint.RunPackage(pkg, analyzers) {
+			// Print module-relative paths so output is stable across checkouts.
+			if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+			fmt.Fprintln(stdout, d)
+			if d.Severity == lint.SeverityError || *strict {
+				failed = true
+			}
+		}
+	}
+	if failed {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"opmsim/internal/lint"
+)
+
+// TestRunCleanPackage lints a real module package that is kept lint-clean;
+// exit code 0 and no output is the contract CI's lint job relies on.
+func TestRunCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./internal/poly"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", out.String())
+	}
+}
+
+// TestRunList checks -list prints one row per registered analyzer.
+func TestRunList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(lint.Registry) {
+		t.Fatalf("-list printed %d rows, registry has %d", len(lines), len(lint.Registry))
+	}
+	for i, a := range lint.Registry {
+		if !strings.HasPrefix(lines[i], a.Name) {
+			t.Errorf("row %d = %q, want analyzer %q", i, lines[i], a.Name)
+		}
+	}
+}
+
+func TestRunRulesSubset(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "floateq,poolput", "./internal/poly"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+}
+
+func TestRunUnknownRule(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "bogus"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown rule should exit 2, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Errorf("stderr should name the unknown rule, got: %s", errb.String())
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errb); code != 2 {
+		t.Fatalf("bad pattern should exit 2, got %d", code)
+	}
+}

@@ -62,6 +62,7 @@ func main() {
 
 func denseTerm(sys *core.System, order float64) *mat.Dense {
 	for _, t := range sys.Terms {
+		//lint:ignore floateq exact order value keys the term lookup; orders are set, not computed
 		if t.Order == order {
 			return t.Coeff.ToDense()
 		}

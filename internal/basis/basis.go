@@ -33,7 +33,7 @@ type Basis interface {
 func reconstruct(b Basis, coef []float64, t float64) float64 {
 	s := 0.0
 	for i, c := range coef {
-		if c != 0 {
+		if !isExactZero(c) {
 			s += c * b.Eval(i, t)
 		}
 	}

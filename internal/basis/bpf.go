@@ -213,7 +213,7 @@ func (b *AdaptiveBPF) DiffMatrix() *mat.Dense {
 // computed with the Parlett recurrence, the numerically robust form of the
 // eigendecomposition method the paper prescribes.
 func (b *AdaptiveBPF) DiffMatrixAlpha(alpha float64) (*mat.Dense, error) {
-	if alpha == math.Trunc(alpha) && alpha >= 0 {
+	if isExactEq(alpha, math.Trunc(alpha)) && alpha >= 0 {
 		return mat.MatPowInt(b.DiffMatrix(), int(alpha)), nil
 	}
 	f, err := mat.TriPow(b.DiffMatrix(), alpha)

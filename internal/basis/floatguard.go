@@ -1,0 +1,14 @@
+package basis
+
+// Intentional exact float comparisons are routed through these named guards
+// so the intent survives refactors; the floateq rule (cmd/opm-lint) flags raw
+// float ==/!= everywhere else.
+
+// isExactZero reports whether v is exactly zero (sparsity skips in basis
+// transforms), never a tolerance test.
+func isExactZero(v float64) bool { return v == 0 }
+
+// isExactEq reports whether a and b are identical real values — integer
+// detection via Trunc and ±1 Walsh sign-change detection, which are exact by
+// construction — never a closeness test.
+func isExactEq(a, b float64) bool { return a == b }

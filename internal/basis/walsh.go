@@ -114,7 +114,7 @@ func NewWalsh(m int, T float64) (*Walsh, error) {
 func (b *Walsh) SignChanges(i int) int {
 	n := 0
 	for k := 1; k < b.Size(); k++ {
-		if b.w.At(i, k) != b.w.At(i, k-1) {
+		if !isExactEq(b.w.At(i, k), b.w.At(i, k-1)) {
 			n++
 		}
 	}

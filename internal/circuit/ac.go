@@ -91,7 +91,7 @@ func (m *MNA) AC(omega []float64) (*ACResult, error) {
 
 // fracJw returns (jω)^α on the principal branch (α = 0 → 1, α = 1 → jω).
 func fracJw(w, alpha float64) complex128 {
-	if alpha == 0 {
+	if isExactZero(alpha) {
 		return 1
 	}
 	mag := math.Pow(w, alpha)

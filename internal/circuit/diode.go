@@ -18,10 +18,10 @@ const (
 // defaults. Diodes make the netlist nonlinear: simulate through
 // core.SolveNonlinear using the MNA's Nonlinear hook.
 func (n *Netlist) AddDiode(name string, a, b int, is, vt float64) error {
-	if is == 0 {
+	if isExactZero(is) {
 		is = DefaultIs
 	}
-	if vt == 0 {
+	if isExactZero(vt) {
 		vt = DefaultVt
 	}
 	if is < 0 || vt <= 0 {

@@ -1,0 +1,7 @@
+package circuit
+
+// isExactZero reports whether v is exactly zero — element-parameter
+// validation (a diode with Is exactly 0 is a modeling error) and
+// integer-order discrimination (Order == 0 is a resistive term), never a
+// tolerance test. The floateq rule (cmd/opm-lint) flags raw float ==/!=.
+func isExactZero(v float64) bool { return v == 0 }

@@ -312,7 +312,7 @@ func (m *MNA) InitialState(ics map[string]float64) ([]float64, error) {
 func (m *MNA) DCOperatingPoint() ([]float64, error) {
 	var g *sparse.CSR
 	for _, t := range m.Sys.Terms {
-		if t.Order == 0 {
+		if isExactZero(t.Order) {
 			g = t.Coeff
 		}
 	}

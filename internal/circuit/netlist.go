@@ -216,7 +216,7 @@ func (n *Netlist) AddK(name, l1, l2 string, k float64) error {
 	if l1 == l2 {
 		return fmt.Errorf("circuit: coupling %q references the same inductor twice", name)
 	}
-	if k <= -1 || k >= 1 || k == 0 {
+	if k <= -1 || k >= 1 || isExactZero(k) {
 		return fmt.Errorf("circuit: coupling %q needs 0 < |K| < 1, got %g", name, k)
 	}
 	n.names[name] = true

@@ -30,7 +30,7 @@ func (n *Netlist) DCSensitivities(targetNode int) (map[string]float64, []float64
 	}
 	var g *sparse.CSR
 	for _, t := range mna.Sys.Terms {
-		if t.Order == 0 {
+		if isExactZero(t.Order) {
 			g = t.Coeff
 		}
 	}

@@ -40,7 +40,7 @@ func SolveAdaptiveCtx(ctx context.Context, sys *System, u []waveform.Signal, ste
 	if err != nil {
 		return nil, err
 	}
-	if sys.BOrder != 0 {
+	if !isExactZero(sys.BOrder) {
 		db, err := ab.DiffMatrixAlpha(sys.BOrder)
 		if err != nil {
 			return nil, fmt.Errorf("core: input order %g: %w", sys.BOrder, err)
@@ -102,7 +102,7 @@ func SolveAdaptiveCtx(ctx context.Context, sys *System, u []waveform.Signal, ste
 	}
 	eng.setGuards(ctx, &opt)
 	for k, t := range sys.Terms {
-		if t.Order != 0 {
+		if !isExactZero(t.Order) {
 			eng.addGeneral(k, dmats[k])
 		}
 	}
@@ -127,7 +127,7 @@ func SolveAdaptiveCtx(ctx context.Context, sys *System, u []waveform.Signal, ste
 		}
 		sys.B.MulVecAdd(1, ucColumnInto(ucol, uc, j), rhs)
 		for k, t := range sys.Terms {
-			if t.Order == 0 {
+			if isExactZero(t.Order) {
 				continue
 			}
 			w, err := eng.history(k, j, cols)
@@ -215,26 +215,26 @@ func SolveAdaptiveAutoCtx(ctx context.Context, sys *System, u []waveform.Signal,
 		return nil, nil, err
 	}
 	for _, t := range sys.Terms {
-		if t.Order != 0 && t.Order != 1 {
+		if !isExactZero(t.Order) && !isExactEq(t.Order, 1) {
 			return nil, nil, fmt.Errorf("core: SolveAdaptiveAuto requires orders in {0,1}, found %g (use SolveAdaptive with explicit steps)", t.Order)
 		}
 	}
-	if sys.BOrder != 0 {
+	if !isExactZero(sys.BOrder) {
 		return nil, nil, fmt.Errorf("core: SolveAdaptiveAuto does not support input order %g", sys.BOrder)
 	}
 	if T <= 0 {
 		return nil, nil, fmt.Errorf("core: SolveAdaptiveAuto requires T > 0")
 	}
-	if opt.Tol == 0 {
+	if isExactZero(opt.Tol) {
 		opt.Tol = 1e-4
 	}
-	if opt.HMax == 0 {
+	if isExactZero(opt.HMax) {
 		opt.HMax = T / 4
 	}
-	if opt.HMin == 0 {
+	if isExactZero(opt.HMin) {
 		opt.HMin = T / 1e6
 	}
-	if opt.H0 == 0 {
+	if isExactZero(opt.H0) {
 		opt.H0 = opt.HMax / 8
 	}
 	if opt.MaxSteps == 0 {
@@ -259,7 +259,7 @@ func SolveAdaptiveAutoCtx(ctx context.Context, sys *System, u []waveform.Signal,
 			return f, nil
 		}
 		msys, err := assembleLeading(sys, func(k int) float64 {
-			if sys.Terms[k].Order == 1 {
+			if isExactEq(sys.Terms[k].Order, 1) {
 				return 2 / h
 			}
 			return 1
@@ -284,7 +284,7 @@ func SolveAdaptiveAutoCtx(ctx context.Context, sys *System, u []waveform.Signal,
 		// the controller's own error tolerance).
 		sys.B.MulVecAdd(1, uAt(t+h/2), rhs)
 		for k, term := range sys.Terms {
-			if term.Order == 1 {
+			if isExactEq(term.Order, 1) {
 				// rhs −= E·(w/h) where w is the step-independent part of the
 				// adaptive history (D̃ off-diagonal entries are ±4/h_j).
 				term.Coeff.MulVecAdd(-1/h, s[k], rhs)
@@ -300,6 +300,7 @@ func SolveAdaptiveAutoCtx(ctx context.Context, sys *System, u []waveform.Signal,
 	advance := func(s map[int][]float64, x []float64) {
 		for k := range s {
 			for i := range s[k] {
+				//lint:ignore maporder per-key element-wise update with no cross-key reads; iteration order cannot affect the result
 				s[k][i] = -s[k][i] - 4*x[i]
 			}
 		}
@@ -314,7 +315,7 @@ func SolveAdaptiveAutoCtx(ctx context.Context, sys *System, u []waveform.Signal,
 
 	hist := map[int][]float64{}
 	for k, term := range sys.Terms {
-		if term.Order == 1 {
+		if isExactEq(term.Order, 1) {
 			hist[k] = make([]float64, n)
 		}
 	}

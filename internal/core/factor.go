@@ -41,7 +41,7 @@ type pencilFactor struct {
 // factorization shared by all columns) at simulation time t.
 func factorPencil(a *sparse.CSR, col int, t float64, opt *Options, rep *SolveReport) (*pencilFactor, error) {
 	limit := opt.CondLimit
-	if limit == 0 {
+	if isExactZero(limit) {
 		limit = defaultCondLimit
 	}
 	injected := func(tier Tier) bool {

@@ -1,0 +1,15 @@
+package core
+
+// Intentional exact float comparisons are routed through these named guards
+// so the intent survives refactors; the floateq rule (cmd/opm-lint) flags raw
+// float ==/!= everywhere else.
+
+// isExactZero reports whether v is exactly ±0. Used for sparsity skips and
+// unset-option sentinels (Tol == 0 means "use the default"), never as a
+// tolerance test.
+func isExactZero(v float64) bool { return v == 0 }
+
+// isExactEq reports whether a and b are identical real values. Used to
+// discriminate exact integer orders (Order == 1 selects the classic
+// derivative path), never as a closeness test.
+func isExactEq(a, b float64) bool { return a == b }

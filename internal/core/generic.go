@@ -47,26 +47,30 @@ func SolveGeneric(e, a, b *mat.Dense, u []waveform.Signal, bas basis.Basis) (*ma
 	// K = I_m ⊗ E − Hᵀ ⊗ A over vec(X) (column-stacked).
 	k := mat.NewDense(n*m, n*m)
 	for bj := 0; bj < m; bj++ { // block column (column bj of X)
+		hrow := h.Row(bj)
 		for bi := 0; bi < m; bi++ { // block row
-			hji := h.At(bj, bi) // (Hᵀ)[bi][bj]
+			hji := hrow[bi] // (Hᵀ)[bi][bj]
 			for r := 0; r < n; r++ {
+				er, ar := e.Row(r), a.Row(r)
+				krow := k.Row(bi*n + r)[bj*n:]
 				for c := 0; c < n; c++ {
 					v := 0.0
 					if bi == bj {
-						v += e.At(r, c)
+						v += er[c]
 					}
-					v -= hji * a.At(r, c)
-					if v != 0 {
-						k.Set(bi*n+r, bj*n+c, v)
+					v -= hji * ar[c]
+					if !isExactZero(v) {
+						krow[c] = v
 					}
 				}
 			}
 		}
 	}
 	rhs := make([]float64, n*m)
-	for j := 0; j < m; j++ {
-		for i := 0; i < n; i++ {
-			rhs[j*n+i] = g.At(i, j)
+	for i := 0; i < n; i++ {
+		gr := g.Row(i)
+		for j := 0; j < m; j++ {
+			rhs[j*n+i] = gr[j]
 		}
 	}
 	sol, err := mat.Solve(k, rhs)
@@ -74,9 +78,10 @@ func SolveGeneric(e, a, b *mat.Dense, u []waveform.Signal, bas basis.Basis) (*ma
 		return nil, fmt.Errorf("core: SolveGeneric: %w", err)
 	}
 	x := mat.NewDense(n, m)
-	for j := 0; j < m; j++ {
-		for i := 0; i < n; i++ {
-			x.Set(i, j, sol[j*n+i])
+	for i := 0; i < n; i++ {
+		xr := x.Row(i)
+		for j := 0; j < m; j++ {
+			xr[j] = sol[j*n+i]
 		}
 	}
 	return x, nil

@@ -149,8 +149,12 @@ type historyEngine struct {
 	fftBase int  // FFT-tier base segment length (historyFFTBase; tests shrink it)
 	chunkLo int  // first column of the current chunk
 	terms   map[int]*historyTerm
-	ctx     context.Context    // checked at chunk/segment boundaries; may be nil
-	fault   *faultinject.Hooks // optional injection hooks; may be nil
+	// order lists term keys in registration order. All term iteration goes
+	// through it — never through the map — so task construction and head
+	// zeroing are independent of map iteration order (maporder lint rule).
+	order []int
+	ctx   context.Context    // checked at chunk/segment boundaries; may be nil
+	fault *faultinject.Hooks // optional injection hooks; may be nil
 }
 
 // setGuards attaches the cancellation context and fault-injection hooks the
@@ -220,7 +224,7 @@ func (e *historyEngine) newTerm(useFFT bool) *historyTerm {
 func (e *historyEngine) addToeplitz(k int, c []float64) {
 	t := e.newTerm(e.useFFT && !e.naive)
 	t.toe = c
-	e.terms[k] = t
+	e.setTerm(k, t)
 }
 
 // addGeneral registers term k with an adaptive-grid operational matrix.
@@ -229,7 +233,24 @@ func (e *historyEngine) addToeplitz(k int, c []float64) {
 func (e *historyEngine) addGeneral(k int, d *mat.Dense) {
 	t := e.newTerm(false)
 	t.genCols = d.T()
+	e.setTerm(k, t)
+}
+
+// setTerm stores term k, keeping the deterministic iteration order current.
+func (e *historyEngine) setTerm(k int, t *historyTerm) {
+	if e.terms[k] == nil {
+		e.order = append(e.order, k)
+	}
 	e.terms[k] = t
+}
+
+// orderedTerms returns the registered terms in registration order.
+func (e *historyEngine) orderedTerms() []*historyTerm {
+	out := make([]*historyTerm, len(e.order))
+	for i, k := range e.order {
+		out[i] = e.terms[k]
+	}
+	return out
 }
 
 // active reports whether term k uses the engine.
@@ -242,7 +263,7 @@ func (e *historyEngine) modeName() string {
 	if e.naive {
 		return "naive"
 	}
-	for _, t := range e.terms {
+	for _, t := range e.orderedTerms() {
 		if t.fft != nil {
 			return "fft"
 		}
@@ -293,7 +314,7 @@ func (e *historyEngine) advanceChunk(j0 int, cols [][]float64) error {
 		hi = e.m
 	}
 	cc := hi - j0
-	for _, t := range e.terms {
+	for _, t := range e.orderedTerms() {
 		if t.fft != nil {
 			continue
 		}
@@ -312,7 +333,7 @@ func (e *historyEngine) advanceChunk(j0 int, cols [][]float64) error {
 		nt = cc
 	}
 	var tasks []func()
-	for _, t := range e.terms {
+	for _, t := range e.orderedTerms() {
 		if t.fft != nil {
 			continue
 		}
@@ -373,7 +394,7 @@ func (t *historyTerm) fold(j, lo, hi int, cols [][]float64, dst []float64) {
 	// one contiguous slice instead of a strided At(i, j) per element.
 	col := t.genCols.Row(j)
 	for i := lo; i < hi; i++ {
-		if v := col[i]; v != 0 {
+		if v := col[i]; !isExactZero(v) {
 			mat.Axpy(v, cols[i], dst)
 		}
 	}

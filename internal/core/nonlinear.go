@@ -88,7 +88,7 @@ func SolveNonlinearCtx(ctx context.Context, sys *System, g Nonlinearity, u []wav
 	if err != nil {
 		return nil, err
 	}
-	if sys.BOrder != 0 {
+	if !isExactZero(sys.BOrder) {
 		uc = applyInputOrder(uc, bpf.DiffCoeffs(sys.BOrder))
 	}
 	n := sys.N()
@@ -109,8 +109,8 @@ func SolveNonlinearCtx(ctx context.Context, sys *System, g Nonlinearity, u []wav
 	eng.setGuards(ctx, &opt.Options)
 	for k, t := range sys.Terms {
 		switch {
-		case t.Order == 0:
-		case t.Order == float64(int(t.Order)):
+		case isExactZero(t.Order):
+		case isExactEq(t.Order, float64(int(t.Order))):
 			hist[k] = newIntHistory(int(t.Order), bpf.Step(), n)
 		default:
 			eng.addToeplitz(k, coeffs[k])
@@ -160,7 +160,7 @@ func SolveNonlinearCtx(ctx context.Context, sys *System, g Nonlinearity, u []wav
 		sys.B.MulVecAdd(1, ucColumnInto(ucol, uc, j), rhs)
 		for k, t := range sys.Terms {
 			switch {
-			case t.Order == 0:
+			case isExactZero(t.Order):
 				continue
 			case hist[k] != nil:
 				t.Coeff.MulVecAdd(-1, hist[k].current(), rhs)

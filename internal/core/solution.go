@@ -79,7 +79,7 @@ func (s *Solution) DerivativeAt(i int, beta, t float64) (float64, error) {
 	if !ok {
 		return 0, fmt.Errorf("core: DerivativeAt requires a uniform block-pulse solution, have %s", s.bas.Name())
 	}
-	if beta == 0 {
+	if isExactZero(beta) {
 		return s.StateAt(i, t), nil
 	}
 	j := int(t / bpf.Step())

@@ -113,7 +113,7 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 	if err != nil {
 		return nil, err
 	}
-	if sys.BOrder != 0 {
+	if !isExactZero(sys.BOrder) {
 		uc = applyInputOrder(uc, bpf.DiffCoeffs(sys.BOrder))
 	}
 
@@ -161,8 +161,8 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 	eng.setGuards(ctx, &opt)
 	for k, t := range sys.Terms {
 		switch {
-		case t.Order == 0:
-		case t.Order == float64(int(t.Order)):
+		case isExactZero(t.Order):
+		case isExactEq(t.Order, float64(int(t.Order))):
 			hist[k] = newIntHistory(int(t.Order), bpf.Step(), n)
 		default:
 			// Fractional orders have no short recurrence: full Toeplitz
@@ -202,7 +202,7 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 		sys.B.MulVecAdd(1, ucColumnInto(ucol, uc, j), rhs)
 		for k, t := range sys.Terms {
 			switch {
-			case t.Order == 0:
+			case isExactZero(t.Order):
 				continue
 			case hist[k] != nil:
 				t.Coeff.MulVecAdd(-1, hist[k].current(), rhs)
@@ -240,9 +240,10 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 		}
 	}
 	x := mat.NewDense(n, m)
-	for j, col := range cols {
-		for i, v := range col {
-			x.Set(i, j, v+x0[i])
+	for i := 0; i < n; i++ {
+		xr, x0i := x.Row(i), x0[i]
+		for j, col := range cols {
+			xr[j] = col[i] + x0i
 		}
 	}
 	return &Solution{sys: sys, bas: bpf, x: x}, nil
@@ -303,7 +304,7 @@ func (ih *intHistory) current() []float64 {
 		ih.s[i] = 0
 	}
 	for k := 0; k < len(ih.xs); k++ {
-		if g := ih.gamma[k]; g != 0 {
+		if g := ih.gamma[k]; !isExactZero(g) {
 			mat.Axpy(g, ih.xs[k], ih.s)
 		}
 	}
@@ -398,12 +399,12 @@ func prepareInitialState(sys *System, x0 []float64) (offset, shift []float64, er
 		return nil, nil, fmt.Errorf("core: X0 has length %d, want %d", len(x0), n)
 	}
 	for _, t := range sys.Terms {
-		if t.Order != 0 && t.Order != 1 {
+		if !isExactZero(t.Order) && !isExactEq(t.Order, 1) {
 			return nil, nil, fmt.Errorf("core: nonzero X0 requires all orders in {0,1}, found %g", t.Order)
 		}
 	}
 	for _, t := range sys.Terms {
-		if t.Order == 0 {
+		if isExactZero(t.Order) {
 			t.Coeff.MulVecAdd(-1, x0, shift)
 		}
 	}
@@ -443,7 +444,7 @@ func ResidualNorm(sys *System, sol *Solution, u []waveform.Signal) (float64, err
 	if err != nil {
 		return 0, err
 	}
-	if sys.BOrder != 0 {
+	if !isExactZero(sys.BOrder) {
 		uc = applyInputOrder(uc, bpf.DiffCoeffs(sys.BOrder))
 	}
 	n, m := sys.N(), bpf.Size()
@@ -452,10 +453,12 @@ func ResidualNorm(sys *System, sol *Solution, u []waveform.Signal) (float64, err
 		xd := mat.Mul(sol.x, bpf.DiffMatrix(t.Order))
 		ecsr := t.Coeff
 		for i := 0; i < n; i++ {
+			lr := lhs.Row(i)
 			for p := ecsr.RowPtr[i]; p < ecsr.RowPtr[i+1]; p++ {
 				k, v := ecsr.ColIdx[p], ecsr.Val[p]
+				xdk := xd.Row(k)
 				for j := 0; j < m; j++ {
-					lhs.Add(i, j, v*xd.At(k, j))
+					lr[j] += v * xdk[j]
 				}
 			}
 		}
@@ -464,11 +467,12 @@ func ResidualNorm(sys *System, sol *Solution, u []waveform.Signal) (float64, err
 	for j := 0; j < m; j++ {
 		col := sys.B.MulVec(ucColumn(uc, j), nil)
 		for i := 0; i < n; i++ {
+			//lint:ignore atset column fill from a per-column MulVec result; no row view spans it
 			bu.Set(i, j, col[i])
 		}
 	}
 	denom := bu.NormFro()
-	if denom == 0 {
+	if isExactZero(denom) {
 		denom = 1
 	}
 	return mat.Sub(lhs, bu).NormFro() / denom, nil

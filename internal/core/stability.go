@@ -65,7 +65,7 @@ func PencilEigenvalues(e, a *sparse.CSR, sigma float64) ([]complex128, error) {
 			maxMu = a
 		}
 	}
-	if maxMu == 0 {
+	if isExactZero(maxMu) {
 		return nil, nil
 	}
 	tol := 1e-9 * maxMu
@@ -112,13 +112,13 @@ func FractionalStable(sys *System, sigma float64) (bool, error) {
 	var alpha float64
 	for _, t := range sys.Terms {
 		if t.Order > 0 {
-			if alpha != 0 && t.Order != alpha {
+			if !isExactZero(alpha) && !isExactEq(t.Order, alpha) {
 				return false, fmt.Errorf("core: FractionalStable requires a single differential order")
 			}
 			alpha = t.Order
 		}
 	}
-	if alpha == 0 {
+	if isExactZero(alpha) {
 		return false, fmt.Errorf("core: system has no differential term")
 	}
 	e, a, err := fracParts(sys, alpha)

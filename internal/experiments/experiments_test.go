@@ -156,7 +156,7 @@ func TestScalingRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scaling sweep is slow")
 	}
-	tbl, err := Scaling()
+	tbl, err := Scaling(1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestFmtHelpers(t *testing.T) {
 // MOR shape: error improves monotonically with ROM order and the smallest
 // ROM is much faster than the full solve.
 func TestMORShape(t *testing.T) {
-	tbl, err := MOR()
+	tbl, err := MOR(1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,10 +14,12 @@ import (
 // simulated by OPM, and the droop-waveform error and end-to-end runtime are
 // compared against the full model. This extends the paper (its systems are
 // exactly the kind MOR front-ends feed) rather than reproducing a figure.
-func MOR() (*Table, error) {
+// seed fixes the generated grid's load placement so runs are reproducible.
+func MOR(seed int64) (*Table, error) {
 	cfg := netgen.DefaultPowerGrid()
 	cfg.Rows, cfg.Cols, cfg.Layers = 12, 12, 2
 	cfg.NumLoads = 12
+	cfg.Seed = seed
 	grid, err := netgen.PowerGrid3D(cfg)
 	if err != nil {
 		return nil, err

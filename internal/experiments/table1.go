@@ -153,6 +153,7 @@ func fdOutputs(c *sparse.CSR, r *freqdom.Result, times []float64) [][]float64 {
 // order as a dense matrix; it panics if absent (internal misuse).
 func termDense(sys *core.System, order float64) *mat.Dense {
 	for _, t := range sys.Terms {
+		//lint:ignore floateq exact order value keys the term lookup; orders are set, not computed
 		if t.Order == order {
 			return t.Coeff.ToDense()
 		}

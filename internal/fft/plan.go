@@ -286,6 +286,7 @@ var (
 
 // GetComplex returns a pooled []complex128 of length n (contents arbitrary).
 func GetComplex(n int) []complex128 {
+	//lint:ignore poolput ownership transfers to the caller; PutComplex returns the buffer
 	if v := complexPool.Get(); v != nil {
 		if s := v.([]complex128); cap(s) >= n {
 			return s[:n]
@@ -303,6 +304,7 @@ func PutComplex(s []complex128) {
 
 // GetFloat returns a pooled []float64 of length n (contents arbitrary).
 func GetFloat(n int) []float64 {
+	//lint:ignore poolput ownership transfers to the caller; PutFloat returns the buffer
 	if v := floatPool.Get(); v != nil {
 		if s := v.([]float64); cap(s) >= n {
 			return s[:n]

@@ -32,6 +32,7 @@ type Oustaloup struct {
 // New builds an N-section Oustaloup approximation of s^α (0 < |α| < 1) over
 // [wLow, wHigh].
 func New(alpha, wLow, wHigh float64, n int) (*Oustaloup, error) {
+	//lint:ignore floateq exact zero is excluded from the valid order domain, not a tolerance test
 	if alpha <= -1 || alpha >= 1 || alpha == 0 {
 		return nil, fmt.Errorf("fracfit: order must be in (−1,1)\\{0}, got %g", alpha)
 	}

@@ -1,0 +1,6 @@
+package freqdom
+
+// isExactZero reports whether v is exactly zero — the DC special case in the
+// frequency sweep (s = 0 has a closed form), never a tolerance test. The
+// floateq rule (cmd/opm-lint) flags raw float ==/!=.
+func isExactZero(v float64) bool { return v == 0 }

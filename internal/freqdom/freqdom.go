@@ -126,7 +126,7 @@ func Solve(e, a, b *mat.Dense, u []waveform.Signal, alpha, T float64, n int) (*R
 // Hermitian symmetry (j·(−ω))^α = conj((jω)^α) so the inverse transform of a
 // real input stays real.
 func fracPower(w, alpha float64) complex128 {
-	if w == 0 {
+	if isExactZero(w) {
 		return 0
 	}
 	mag := math.Pow(math.Abs(w), alpha)

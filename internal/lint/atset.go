@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// atsetHotPackages are the import-path suffixes whose inner loops are on the
+// solve-time critical path; only these are held to the slab/row-view idiom.
+var atsetHotPackages = []string{"internal/core", "internal/mat"}
+
+// atsetHotFiles restricts the rule within the hot packages to the files on
+// the per-step solve path (the PR 4 alloc-elimination surface). Factorization
+// kernels like eigen.go/svd.go/qr.go walk matrices in pivoted or column-major
+// order where indexed access is the algorithm, not an accident; holding them
+// to the row-view idiom would bury the signal in suppressions.
+var atsetHotFiles = map[string]bool{
+	"history.go":    true,
+	"historyfft.go": true,
+	"solve.go":      true,
+	"factor.go":     true,
+	"generic.go":    true,
+	"dense.go":      true,
+	"triangular.go": true,
+}
+
+// AnalyzerAtSet (advisory) flags element-wise At/Set calls on mat matrix
+// types inside doubly-nested loops in the hot packages (internal/core,
+// internal/mat). Each At/Set pays a bounds-checked multiply per element; the
+// PR 4 alloc-elimination work showed the Row/slab-view idiom is 2-4x faster
+// on these paths. Advisory because the transform is a judgment call —
+// pivoting and column-major walks sometimes genuinely need indexed access.
+var AnalyzerAtSet = &Analyzer{
+	Name:     "atset",
+	Doc:      "element-wise At/Set in doubly-nested loops on hot paths; prefer Row/slab views",
+	Severity: SeverityAdvisory,
+	Run:      runAtSet,
+}
+
+func runAtSet(p *Pass) {
+	hot := false
+	for _, suffix := range atsetHotPackages {
+		if strings.HasSuffix(p.Pkg.Path(), suffix) {
+			hot = true
+		}
+	}
+	if !hot {
+		return
+	}
+	for _, f := range p.Files {
+		if !atsetHotFiles[filepath.Base(p.Fset.Position(f.Pos()).Filename)] {
+			continue
+		}
+		checkAtSetDepth(p, f, 0)
+	}
+}
+
+// checkAtSetDepth walks n tracking loop nesting depth; At/Set matrix calls at
+// depth >= 2 are reported once per call site.
+func checkAtSetDepth(p *Pass, n ast.Node, depth int) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.ForStmt:
+			checkAtSetDepth(p, m.Body, depth+1)
+			return false
+		case *ast.RangeStmt:
+			checkAtSetDepth(p, m.Body, depth+1)
+			return false
+		case *ast.CallExpr:
+			if depth < 2 {
+				return true
+			}
+			if name, ok := matElementCall(p.Info, m); ok {
+				p.Reportf(m.Pos(), "element-wise %s inside a doubly-nested loop; hoist a Row/slab view outside the inner loop (see DESIGN §7)", name)
+			}
+		}
+		return true
+	})
+}
+
+// matElementCall reports whether call is m.At(i,j) or m.Set(i,j,v) on a type
+// defined in the module's mat package.
+func matElementCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if name != "At" && name != "Set" {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", false
+	}
+	if !strings.HasSuffix(fn.Pkg().Path(), "internal/mat") {
+		return "", false
+	}
+	return types.ExprString(sel.X) + "." + name, true
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// approvedGuards are function names whose bodies may compare floats exactly:
+// the per-package guard helpers the codebase routes intentional exact
+// comparisons through (pivot-zero checks, sparsity skips). math.IsNaN covers
+// the x != x idiom, so it needs no local helper.
+var approvedGuards = map[string]bool{
+	"isExactZero": true,
+	"isExactEq":   true,
+	"isNaN":       true,
+	"isInf":       true,
+}
+
+// AnalyzerFloatEq flags == and != with a floating-point or complex operand.
+// Exact float equality is almost always wrong under roundoff, and where it is
+// right (exact-zero sparsity skips, pivot checks, IEEE NaN tests) the project
+// convention is to say so by routing through isExactZero/isExactEq/math.IsNaN
+// so the intent survives refactors. Comparisons where both operands are
+// compile-time constants are allowed.
+var AnalyzerFloatEq = &Analyzer{
+	Name:     "floateq",
+	Doc:      "raw ==/!= on float or complex operands outside approved guard helpers",
+	Severity: SeverityError,
+	Run:      runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := p.Info.TypeOf(be.X), p.Info.TypeOf(be.Y)
+			if tx == nil || ty == nil || (!isFloaty(tx) && !isFloaty(ty)) {
+				return true
+			}
+			if isConst(p.Info, be.X) && isConst(p.Info, be.Y) {
+				return true
+			}
+			if approvedGuards[enclosingFuncName(p.Files, be.Pos())] {
+				return true
+			}
+			kind := "float"
+			if isComplexType(tx) || isComplexType(ty) {
+				kind = "complex"
+			}
+			p.Reportf(be.OpPos, "raw %s %s comparison; use a tolerance, or isExactZero/isExactEq/math.IsNaN for intentional exact checks", kind, be.Op)
+			return true
+		})
+	}
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isComplexType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsComplex != 0
+}

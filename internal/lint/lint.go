@@ -1,0 +1,283 @@
+// Package lint is a small static-analysis framework, built only on the
+// standard library's go/ast, go/parser and go/types, that enforces the
+// solver's project-specific invariants: bitwise determinism across worker
+// counts, float-comparison hygiene, typed never-swallowed diagnostics, and
+// allocation discipline on the hot paths.
+//
+// The framework deliberately mirrors the shape of golang.org/x/tools/go/
+// analysis (Analyzer, Pass, Reportf) without depending on it — the module is
+// dependency-free and stays that way. Analyzers register in Registry;
+// cmd/opm-lint loads the module's packages and runs them all.
+//
+// Findings can be suppressed with a directive comment on the offending line
+// or the line directly above it:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// The reason is mandatory: a suppression without a justification is itself
+// reported (rule "directive").
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a rule's findings. Error findings fail the CLI run;
+// advisory findings are printed (and kept at zero by the self-lint test) but
+// do not flip the exit code unless -strict is given.
+type Severity int
+
+const (
+	SeverityError Severity = iota
+	SeverityAdvisory
+)
+
+func (s Severity) String() string {
+	if s == SeverityAdvisory {
+		return "advisory"
+	}
+	return "error"
+}
+
+// Diagnostic is one finding, positioned for file:line:col reporting.
+type Diagnostic struct {
+	Pos      token.Position
+	Rule     string
+	Severity Severity
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	sev := ""
+	if d.Severity == SeverityAdvisory {
+		sev = " (advisory)"
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s]%s %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, sev, d.Message)
+}
+
+// Analyzer is one named rule. Run inspects the package held by the Pass and
+// reports findings through it.
+type Analyzer struct {
+	Name     string
+	Doc      string
+	Severity Severity
+	Run      func(*Pass)
+}
+
+// Registry lists every analyzer the suite ships, in reporting order.
+// Each entry corresponds to a row of DESIGN.md §9.
+var Registry = []*Analyzer{
+	AnalyzerFloatEq,
+	AnalyzerMapOrder,
+	AnalyzerNonDet,
+	AnalyzerUncheckedErr,
+	AnalyzerPoolPut,
+	AnalyzerAtSet,
+}
+
+// AnalyzerByName returns the registered analyzer with the given name, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Registry {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+	// ModulePath is the module's import-path prefix ("opmsim"); analyzers use
+	// it to restrict themselves to functions defined in this module.
+	ModulePath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos with the pass's rule and severity.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Rule:     p.Analyzer.Name,
+		Severity: p.Analyzer.Severity,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunPackage applies every analyzer in analyzers to the package, filters the
+// findings through //lint:ignore directives, and returns them sorted by
+// position. Malformed directives surface as rule "directive" findings.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			ModulePath: pkg.ModulePath,
+			diags:      &diags,
+		}
+		a.Run(pass)
+	}
+	sup, bad := collectSuppressions(pkg.Fset, pkg.Files)
+	diags = append(diags, bad...)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !sup.matches(d) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return kept
+}
+
+// suppression is one parsed //lint:ignore directive. It silences findings of
+// the named rules on its own line and on the line directly below it (the
+// "comment above the statement" style).
+type suppression struct {
+	file  string
+	line  int
+	rules map[string]bool
+}
+
+type suppressionIndex struct {
+	// byKey maps file:line to the rule set suppressed at that line.
+	byKey map[string]map[string]bool
+}
+
+func (s suppressionIndex) matches(d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if rules, ok := s.byKey[fmt.Sprintf("%s:%d", d.Pos.Filename, line)]; ok {
+			if rules[d.Rule] || rules["all"] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+var directiveRe = regexp.MustCompile(`^//lint:ignore\s+([A-Za-z0-9_,-]+)(\s+(.*))?$`)
+
+// collectSuppressions scans every comment for //lint:ignore directives.
+// A directive missing its rule list or its reason is reported as a
+// "directive" finding instead of being honored.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressionIndex, []Diagnostic) {
+	idx := suppressionIndex{byKey: map[string]map[string]bool{}}
+	var bad []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//lint:") {
+					continue
+				}
+				m := directiveRe.FindStringSubmatch(text)
+				pos := fset.Position(c.Pos())
+				if m == nil || strings.TrimSpace(m[3]) == "" {
+					bad = append(bad, Diagnostic{
+						Pos:      pos,
+						Rule:     "directive",
+						Severity: SeverityError,
+						Message:  "malformed lint directive; use //lint:ignore <rule>[,<rule>] <reason> (reason is mandatory)",
+					})
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				rules := idx.byKey[key]
+				if rules == nil {
+					rules = map[string]bool{}
+					idx.byKey[key] = rules
+				}
+				for _, r := range strings.Split(m[1], ",") {
+					rules[strings.TrimSpace(r)] = true
+				}
+			}
+		}
+	}
+	return idx, bad
+}
+
+// enclosingFuncName returns the name of the innermost function declaration
+// containing pos, or "" when pos is at package scope. Used by floateq to
+// exempt the approved guard helpers.
+func enclosingFuncName(files []*ast.File, pos token.Pos) string {
+	for _, f := range files {
+		if pos < f.Pos() || pos > f.End() {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || pos < fd.Pos() || pos > fd.End() {
+				continue
+			}
+			return fd.Name.Name
+		}
+	}
+	return ""
+}
+
+// isFloaty reports whether t's underlying type is a floating-point or complex
+// basic type — the types whose == is a determinism/accuracy trap.
+func isFloaty(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// funcObj resolves the *types.Func called by e, looking through parentheses.
+// Returns nil for calls through function-typed variables, conversions and
+// builtins.
+func funcObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isPkgCall reports whether call invokes the package-level function
+// pkgPath.name (not a method).
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := funcObj(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() != pkgPath || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

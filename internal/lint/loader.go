@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked module package, ready for analysis.
+type Package struct {
+	Dir        string
+	ImportPath string
+	ModulePath string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader discovers, parses and type-checks the module's packages using only
+// the standard library. Module-internal imports are resolved from source by
+// the loader itself; standard-library imports go through go/importer's
+// "source" importer (also type-checked from $GOROOT/src), so no export data
+// or external tooling is required.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleDir  string
+	ModulePath string
+	// IncludeTests adds in-package _test.go files to each package. External
+	// test packages (package foo_test) are never loaded.
+	IncludeTests bool
+
+	pkgs    map[string]*Package
+	loading map[string]bool
+	std     types.ImporterFrom
+}
+
+// NewLoader builds a loader rooted at moduleDir, reading the module path from
+// go.mod.
+func NewLoader(moduleDir string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePathOf(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	std, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, fmt.Errorf("lint: source importer does not implement ImporterFrom")
+	}
+	return &Loader{
+		Fset:       fset,
+		ModuleDir:  abs,
+		ModulePath: modPath,
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+		std:        std,
+	}, nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+func modulePathOf(moduleDir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s/go.mod", moduleDir)
+}
+
+// Expand resolves package patterns relative to the module root. A pattern
+// ending in "/..." (or the bare "./...") walks the subtree; other patterns
+// name a single directory. Returned import paths are sorted and unique.
+// Directories named testdata, hidden directories, and directories without
+// buildable Go files are skipped.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var paths []string
+	add := func(dir string) {
+		ip, ok := l.importPathFor(dir)
+		if !ok || seen[ip] {
+			return
+		}
+		if !l.hasGoFiles(dir) {
+			return
+		}
+		seen[ip] = true
+		paths = append(paths, ip)
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if pat == "..." || pat == "./..." {
+			pat, recursive = ".", true
+		} else if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			pat, recursive = rest, true
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.ModuleDir, pat)
+		}
+		fi, err := os.Stat(dir)
+		if err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q does not name a directory under %s", pat, l.ModuleDir)
+		}
+		if !recursive {
+			add(dir)
+			continue
+		}
+		err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+func (l *Loader) importPathFor(dir string) (string, bool) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", false
+	}
+	rel, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", false
+	}
+	if rel == "." {
+		return l.ModulePath, true
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), true
+}
+
+func (l *Loader) dirFor(importPath string) (string, bool) {
+	if importPath == l.ModulePath {
+		return l.ModuleDir, true
+	}
+	rest, ok := strings.CutPrefix(importPath, l.ModulePath+"/")
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rest)), true
+}
+
+func (l *Loader) hasGoFiles(dir string) bool {
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return false
+	}
+	if len(bp.GoFiles) > 0 {
+		return true
+	}
+	return l.IncludeTests && len(bp.TestGoFiles) > 0
+}
+
+// Load parses and type-checks the module package with the given import path,
+// caching the result. Dependencies inside the module load recursively.
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if p, ok := l.pkgs[importPath]; ok {
+		return p, nil
+	}
+	dir, ok := l.dirFor(importPath)
+	if !ok {
+		return nil, fmt.Errorf("lint: %s is not in module %s", importPath, l.ModulePath)
+	}
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %s: %w", importPath, err)
+	}
+	names := append([]string{}, bp.GoFiles...)
+	if l.IncludeTests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: %s has no Go files to lint", importPath)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v (and %d more)", importPath, typeErrs[0], len(typeErrs)-1)
+	}
+	p := &Package{
+		Dir:        dir,
+		ImportPath: importPath,
+		ModulePath: l.ModulePath,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}
+	l.pkgs[importPath] = p
+	return p, nil
+}
+
+// Import implements types.Importer for the type-checker: module-internal
+// paths load through the loader, everything else through the stdlib source
+// importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, srcDir, mode)
+}

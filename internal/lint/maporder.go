@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerMapOrder flags range-over-map loops whose bodies do order-sensitive
+// work: accumulating floats (fp addition does not commute under roundoff —
+// the exact bug class the history engine's bitwise-determinism guarantee
+// exists to prevent), appending to a slice declared outside the loop, or
+// spawning goroutines (work submission order changes scheduling and any
+// ordered reduction downstream).
+//
+// The canonical fix — collect the keys, sort, iterate the sorted slice — is
+// recognized and allowed: an append of loop variables into a slice that the
+// same function later passes to sort.* / slices.* is not reported.
+var AnalyzerMapOrder = &Analyzer{
+	Name:     "maporder",
+	Doc:      "order-sensitive work (float accumulation, appends, goroutines) inside range-over-map",
+	Severity: SeverityError,
+	Run:      runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorted := sortedVars(p.Info, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				checkMapBody(p, rs, sorted)
+				return true
+			})
+		}
+	}
+}
+
+// sortedVars returns the objects of slice variables that body passes to a
+// sort.* or slices.* call — the "collect then sort" half of the canonical
+// deterministic-iteration pattern.
+func sortedVars(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if pkg := fn.Pkg().Path(); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func checkMapBody(p *Pass, rs *ast.RangeStmt, sorted map[types.Object]bool) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "goroutine spawned in map iteration order; iterate a sorted key slice instead")
+		case *ast.AssignStmt:
+			checkMapAssign(p, rs, n, sorted)
+		}
+		return true
+	})
+}
+
+func checkMapAssign(p *Pass, rs *ast.RangeStmt, as *ast.AssignStmt, sorted map[types.Object]bool) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if t := p.Info.TypeOf(lhs); t != nil && isFloaty(t) {
+				p.Reportf(as.TokPos, "float accumulation in map iteration order is non-deterministic under roundoff; iterate sorted keys")
+				return
+			}
+		}
+	case token.ASSIGN:
+		// x = x + v style accumulation, and s = append(s, ...) growth.
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if t := p.Info.TypeOf(lhs); t != nil && isFloaty(t) {
+				if be, ok := rhs.(*ast.BinaryExpr); ok && containsExpr(be, lhs) {
+					p.Reportf(as.TokPos, "float accumulation in map iteration order is non-deterministic under roundoff; iterate sorted keys")
+					continue
+				}
+			}
+			if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(p.Info, call) {
+				obj := exprObj(p.Info, lhs)
+				if obj == nil || obj.Pos() == 0 {
+					continue
+				}
+				// Appending to a variable declared inside the loop is local
+				// bookkeeping; collecting keys for a later sort is the fix,
+				// not the bug.
+				if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+					continue
+				}
+				if sorted[obj] {
+					continue
+				}
+				p.Reportf(as.TokPos, "append to %s in map iteration order; collect keys, sort, then iterate", obj.Name())
+			}
+		}
+	}
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// containsExpr reports whether needle (by source text) occurs within hay.
+func containsExpr(hay ast.Expr, needle ast.Expr) bool {
+	want := types.ExprString(needle)
+	found := false
+	ast.Inspect(hay, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == want {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// nondetExemptPaths marks import-path elements whose packages may read wall
+// clocks and unseeded entropy: the experiment/benchmark harness times runs by
+// design, and example programs print timings. Solver packages get neither.
+var nondetExemptPaths = []string{"experiments", "examples"}
+
+// AnalyzerNonDet flags the two stdlib entropy leaks that break run-to-run
+// reproducibility in solver code: the shared globally-seeded math/rand source
+// (rand.Intn, rand.Float64, rand.Seed, ...; use rand.New(rand.NewSource(seed))
+// with an explicit seed instead) and time.Now outside the experiment harness
+// (wall-clock reads feed timing-dependent branches and seeds).
+var AnalyzerNonDet = &Analyzer{
+	Name:     "nondet",
+	Doc:      "global math/rand source or time.Now in solver packages",
+	Severity: SeverityError,
+	Run:      runNonDet,
+}
+
+func runNonDet(p *Pass) {
+	exemptClock := false
+	for _, elem := range strings.Split(p.Pkg.Path(), "/") {
+		for _, ex := range nondetExemptPaths {
+			if elem == ex {
+				exemptClock = true
+			}
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcObj(p.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			isPkgFunc := ok && sig.Recv() == nil
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				// Methods on an explicit *rand.Rand are fine — the caller
+				// owns the seed — and so are the constructors that build
+				// one (rand.New, rand.NewSource, ...). Package-level draw
+				// functions share the global, implicitly-seeded source.
+				if isPkgFunc && !strings.HasPrefix(fn.Name(), "New") {
+					p.Reportf(call.Pos(), "global math/rand source is unseeded shared state; use rand.New(rand.NewSource(seed)) with an explicit seed")
+				}
+			case "time":
+				if fn.Name() == "Now" && !exemptClock {
+					p.Reportf(call.Pos(), "time.Now in a solver package breaks reproducibility; thread timing through the experiments harness or a caller-supplied clock")
+				}
+			}
+			return true
+		})
+	}
+}

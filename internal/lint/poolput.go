@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerPoolPut flags sync.Pool.Get calls in functions that never Put back
+// to the same pool. A missing Put silently degrades the steady-state
+// zero-allocation property the FFT history engine depends on — the code still
+// works, so only a leak-shaped heuristic catches it. Functions that hand the
+// pooled buffer to their caller (the fft.GetFloat/PutFloat API style) own the
+// transfer of responsibility and document it with //lint:ignore.
+//
+// Put calls are credited to every enclosing function, so the common
+// `defer func() { pool.Put(buf) }()` shape counts.
+var AnalyzerPoolPut = &Analyzer{
+	Name:     "poolput",
+	Doc:      "sync.Pool.Get without a matching Put in the same function",
+	Severity: SeverityError,
+	Run:      runPoolPut,
+}
+
+func runPoolPut(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolBalance(p, fd.Body)
+		}
+	}
+}
+
+type poolCall struct {
+	recv string
+	pos  ast.Node
+}
+
+func checkPoolBalance(p *Pass, body *ast.BlockStmt) {
+	var gets []poolCall
+	puts := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method, ok := poolMethod(p.Info, call)
+		if !ok {
+			return true
+		}
+		switch method {
+		case "Get":
+			gets = append(gets, poolCall{recv: recv, pos: call})
+		case "Put":
+			puts[recv] = true
+		}
+		return true
+	})
+	for _, g := range gets {
+		if !puts[g.recv] {
+			p.Reportf(g.pos.Pos(), "%s.Get without a %s.Put in this function; return the buffer on every path (defer works) or document the ownership transfer", g.recv, g.recv)
+		}
+	}
+}
+
+// poolMethod reports whether call is pool.Get()/pool.Put(x) on a sync.Pool
+// (or *sync.Pool) receiver, returning the receiver's source text as the pool
+// identity.
+func poolMethod(info *types.Info, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	method = sel.Sel.Name
+	if method != "Get" && method != "Put" {
+		return "", "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return "", "", false
+	}
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" || obj.Name() != "Pool" {
+		return "", "", false
+	}
+	return types.ExprString(sel.X), method, true
+}

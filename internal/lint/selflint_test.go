@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestSelfLint runs the full analyzer registry over the real module tree and
+// asserts zero unsuppressed findings of any severity — the repo must satisfy
+// its own invariants. This is the same surface `go run ./cmd/opm-lint ./...`
+// checks in CI; keeping it as a test means `go test ./...` alone catches a
+// regression.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short (CI runs the full suite and the lint job)")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := loader.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 10 {
+		t.Fatalf("expected to discover the module's packages, got only %v", paths)
+	}
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		for _, d := range RunPackage(pkg, Registry) {
+			t.Errorf("self-lint: %s", d)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Fixture for the floateq analyzer: raw ==/!= on float or complex operands.
+package floateq
+
+func cmpFloat(a, b float64) bool {
+	return a == b // want "raw float == comparison"
+}
+
+func cmpNeq(a, b float64) bool {
+	if a != b { // want "raw float != comparison"
+		return true
+	}
+	return false
+}
+
+func cmpComplex(a, b complex128) bool {
+	return a == b // want "raw complex == comparison"
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // want "raw float != comparison"
+}
+
+func mixedConst(x float64) bool {
+	return x == 0.5 // want "raw float == comparison"
+}
+
+// bothConst is allowed: constant folding makes the comparison exact by
+// construction.
+func bothConst() bool {
+	const c = 0.5
+	return c == 0.5
+}
+
+// ints are not floats; == is exact and fine.
+func cmpInt(a, b int) bool { return a == b }
+
+// isExactZero is an approved guard helper; its body may compare exactly.
+func isExactZero(v float64) bool { return v == 0 }
+
+// isExactEq is the two-operand approved guard.
+func isExactEq(a, b float64) bool { return a == b }
+
+// suppressed demonstrates the //lint:ignore escape hatch.
+func suppressed(v float64) bool {
+	//lint:ignore floateq fixture demonstrating the suppression policy
+	return v == 0
+}
+
+// suppressedSameLine demonstrates the same-line directive placement.
+func suppressedSameLine(v float64) bool {
+	return v == 0 //lint:ignore floateq fixture demonstrating same-line suppression
+}

@@ -1,0 +1,83 @@
+// Fixture for the maporder analyzer: order-sensitive work inside
+// range-over-map loops.
+package maporder
+
+import "sort"
+
+func sumCompound(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want "float accumulation in map iteration order"
+	}
+	return s
+}
+
+func sumPlainAssign(m map[int]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s = s + v // want "float accumulation in map iteration order"
+	}
+	return s
+}
+
+func appendOuter(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "append to out in map iteration order"
+	}
+	return out
+}
+
+func spawn(m map[string]int) {
+	for k := range m {
+		go work(k) // want "goroutine spawned in map iteration order"
+	}
+}
+
+func work(string) {}
+
+// sortedKeys is the canonical fix and is recognized: the key slice is passed
+// to sort.Strings, so the collecting append is not reported, and the second
+// loop ranges over a slice.
+func sortedKeys(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var s float64
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// localAppend appends to a slice declared inside the loop body: per-key
+// bookkeeping whose order cannot leak out.
+func localAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// intSum accumulates an int; integer addition commutes exactly.
+func intSum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+func suppressed(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		//lint:ignore maporder fixture demonstrating the suppression policy
+		s += v
+	}
+	return s
+}

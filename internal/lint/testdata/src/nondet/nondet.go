@@ -1,0 +1,38 @@
+// Fixture for the nondet analyzer: global math/rand source and time.Now in
+// solver packages.
+package nondet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want "global math/rand source is unseeded shared state"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "global math/rand source is unseeded shared state"
+}
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want "time.Now in a solver package breaks reproducibility"
+}
+
+// seeded owns its source: methods on an explicit *rand.Rand and the New*
+// constructors are allowed.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// elapsed takes a caller-supplied instant; time arithmetic itself is fine —
+// only the wall-clock read is flagged.
+func elapsed(t0, t1 time.Time) time.Duration {
+	return t1.Sub(t0)
+}
+
+func suppressed() int {
+	//lint:ignore nondet fixture demonstrating the suppression policy
+	return rand.Int()
+}

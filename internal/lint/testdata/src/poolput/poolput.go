@@ -1,0 +1,47 @@
+// Fixture for the poolput analyzer: sync.Pool.Get without a matching Put.
+package poolput
+
+import "sync"
+
+var bufs sync.Pool
+
+type cache struct {
+	pool sync.Pool
+}
+
+func leak() []byte {
+	b, _ := bufs.Get().([]byte) // want "bufs.Get without a bufs.Put in this function"
+	return append(b[:0], 1)
+}
+
+func methodLeak(c *cache) any {
+	return c.pool.Get() // want "c.pool.Get without a c.pool.Put in this function"
+}
+
+func balancedDefer() {
+	b := bufs.Get()
+	defer bufs.Put(b)
+	_ = b
+}
+
+func balancedStraight() {
+	b := bufs.Get()
+	bufs.Put(b)
+}
+
+// balancedClosure: the Put inside the deferred closure still counts for the
+// enclosing function.
+func balancedClosure() {
+	b := bufs.Get()
+	defer func() {
+		bufs.Put(b)
+	}()
+	_ = b
+}
+
+// transfer hands the buffer to its caller; ownership transfer is documented
+// with the suppression directive.
+func transfer() any {
+	//lint:ignore poolput ownership transfers to the caller, which must Put
+	return bufs.Get()
+}

@@ -1,0 +1,56 @@
+// Fixture for the uncheckederr analyzer: discarded errors from
+// Solve/Factorize/LU/QR-family functions.
+package uncheckederr
+
+import "errors"
+
+// Solve stands in for the module's solver entry points: (result, error).
+func Solve(b []float64) ([]float64, error) {
+	if len(b) == 0 {
+		return nil, errors.New("empty system")
+	}
+	return b, nil
+}
+
+// Factorize stands in for the factorization family: bare error.
+func Factorize() error { return errors.New("singular") }
+
+// helper does not match the Solve/Factor/LU/QR name family.
+func helper() error { return nil }
+
+func bareStatement(b []float64) {
+	Solve(b) // want "result of Solve discarded; error position 2"
+}
+
+func blankError(b []float64) []float64 {
+	x, _ := Solve(b) // want "error from Solve assigned to _"
+	return x
+}
+
+func goDiscard() {
+	go Factorize() // want "go Factorize discards its error"
+}
+
+func deferDiscard() {
+	defer Factorize() // want "defer Factorize discards its error"
+}
+
+func checked(b []float64) error {
+	x, err := Solve(b)
+	if err != nil {
+		return err
+	}
+	_ = x
+	return nil
+}
+
+// otherFamily: helper returns an error but is outside the name family, so
+// dropping it is vet's business, not this rule's.
+func otherFamily() {
+	helper()
+}
+
+func suppressed(b []float64) {
+	//lint:ignore uncheckederr fixture demonstrating the suppression policy
+	Solve(b)
+}

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// errFamilyRe names the solver-entry-point families whose errors carry the
+// typed Diagnostic taxonomy (ErrSingularPencil, ErrIllConditioned, ...) and
+// must therefore never be dropped: Solve*, *Factor*/Factorize*, and the
+// LU/QR factorization constructors.
+var errFamilyRe = regexp.MustCompile(`(?i)solve|factor|^(LU|QR)`)
+
+// AnalyzerUncheckedErr flags discarded error results from Solve/Factorize/
+// LU/QR-family functions defined in this module: calls used as bare
+// statements (including go/defer), and assignments that bind the error
+// result to the blank identifier. PR 2's guarantee is that every failure
+// surfaces as a typed diagnostic — a single dropped error silently voids it.
+var AnalyzerUncheckedErr = &Analyzer{
+	Name:     "uncheckederr",
+	Doc:      "discarded error result from a Solve/Factorize/LU/QR-family function defined in this module",
+	Severity: SeverityError,
+	Run:      runUncheckedErr,
+}
+
+func runUncheckedErr(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if fn, pos := p.solverErrCall(call); fn != nil {
+						p.Reportf(call.Pos(), "result of %s discarded; error position %d carries a typed diagnostic that must be checked", fn.Name(), pos+1)
+					}
+				}
+			case *ast.GoStmt:
+				if fn, _ := p.solverErrCall(n.Call); fn != nil {
+					p.Reportf(n.Call.Pos(), "go %s discards its error; collect it through the worker's error channel", fn.Name())
+				}
+			case *ast.DeferStmt:
+				if fn, _ := p.solverErrCall(n.Call); fn != nil {
+					p.Reportf(n.Call.Pos(), "defer %s discards its error; wrap it in a closure that records the error", fn.Name())
+				}
+			case *ast.AssignStmt:
+				p.checkAssignBlanks(n)
+			}
+			return true
+		})
+	}
+}
+
+// solverErrCall reports whether call invokes an in-module Solve/Factor/LU/QR
+// family function that returns an error, returning the callee and the index
+// of its (last) error result.
+func (p *Pass) solverErrCall(call *ast.CallExpr) (*types.Func, int) {
+	fn := funcObj(p.Info, call)
+	if fn == nil || fn.Pkg() == nil || !p.inModule(fn.Pkg()) {
+		return nil, 0
+	}
+	if !errFamilyRe.MatchString(fn.Name()) {
+		return nil, 0
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil, 0
+	}
+	for i := sig.Results().Len() - 1; i >= 0; i-- {
+		if isErrorType(sig.Results().At(i).Type()) {
+			return fn, i
+		}
+	}
+	return nil, 0
+}
+
+func (p *Pass) checkAssignBlanks(as *ast.AssignStmt) {
+	// Only the multi-value form `a, _ := f()` binds one call to many names.
+	if len(as.Rhs) != 1 || len(as.Lhs) < 2 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn, errIdx := p.solverErrCall(call)
+	if fn == nil || errIdx >= len(as.Lhs) {
+		return
+	}
+	if id, ok := as.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+		p.Reportf(id.Pos(), "error from %s assigned to _; route it into the typed-diagnostic chain", fn.Name())
+	}
+}
+
+func (p *Pass) inModule(pkg *types.Package) bool {
+	if pkg.Path() == p.Pkg.Path() {
+		return true
+	}
+	if p.ModulePath == "" {
+		return false
+	}
+	return pkg.Path() == p.ModulePath || len(pkg.Path()) > len(p.ModulePath) && pkg.Path()[:len(p.ModulePath)+1] == p.ModulePath+"/"
+}
+
+func isErrorType(t types.Type) bool {
+	return types.AssignableTo(t, types.Universe.Lookup("error").Type())
+}

@@ -140,7 +140,7 @@ func Mul(a, b *Dense) *Dense {
 		orow := out.Row(i)
 		for k := 0; k < a.cols; k++ {
 			aik := arow[k]
-			if aik == 0 {
+			if isExactZero(aik) {
 				continue
 			}
 			brow := b.Row(k)
@@ -186,7 +186,7 @@ func (m *Dense) MulVecT(x, y []float64) []float64 {
 	}
 	for i := 0; i < m.rows; i++ {
 		xi := x[i]
-		if xi == 0 {
+		if isExactZero(xi) {
 			continue
 		}
 		row := m.Row(i)
@@ -240,6 +240,7 @@ func (m *Dense) String() string {
 			if j > 0 {
 				sb.WriteString(" ")
 			}
+			//lint:ignore atset String renders diagnostic output, not a hot path
 			fmt.Fprintf(&sb, "% .6g", m.At(i, j))
 		}
 		sb.WriteString("]\n")

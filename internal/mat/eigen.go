@@ -36,7 +36,7 @@ func Eigenvalues(a *Dense) ([]complex128, error) {
 		}
 	}
 	sort.Slice(ev, func(i, j int) bool {
-		if real(ev[i]) != real(ev[j]) {
+		if !isExactEq(real(ev[i]), real(ev[j])) {
 			return real(ev[i]) < real(ev[j])
 		}
 		return imag(ev[i]) < imag(ev[j])
@@ -68,7 +68,7 @@ func eigHessenbergQR(h *CDense) ([]complex128, error) {
 				converged = true
 				break
 			}
-			if h.At(hi-1, hi-2) == 0 {
+			if isExactZero(h.At(hi-1, hi-2)) {
 				ev = append(ev, h.At(hi-1, hi-1))
 				hi--
 				converged = true
@@ -115,12 +115,12 @@ func hessenberg(h *CDense) {
 			alpha += cmplx.Abs(h.At(i, k)) * cmplx.Abs(h.At(i, k))
 		}
 		alpha = math.Sqrt(alpha)
-		if alpha == 0 {
+		if isExactZero(alpha) {
 			continue
 		}
 		x0 := h.At(k+1, k)
 		phase := complex(1, 0)
-		if x0 != 0 {
+		if !isExactZero(x0) {
 			phase = x0 / complex(cmplx.Abs(x0), 0)
 		}
 		v := make([]complex128, n)
@@ -132,7 +132,7 @@ func hessenberg(h *CDense) {
 		for i := k + 1; i < n; i++ {
 			norm2 += real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
 		}
-		if norm2 == 0 {
+		if isExactZero(norm2) {
 			continue
 		}
 		beta := complex(2/norm2, 0)
@@ -177,7 +177,7 @@ func qrStep(h *CDense, hi int, shift complex128) {
 	for k := 0; k < hi-1; k++ {
 		a, b := h.At(k, k), h.At(k+1, k)
 		r := math.Hypot(cmplx.Abs(a), cmplx.Abs(b))
-		if r == 0 {
+		if isExactZero(r) {
 			rots[k] = givens{c: 1, s: 0}
 			continue
 		}

@@ -1,0 +1,14 @@
+package mat
+
+// Intentional exact float comparisons are routed through these named guards
+// so the intent survives refactors; the floateq rule (cmd/opm-lint) flags raw
+// float ==/!= everywhere else.
+
+// isExactZero reports whether v is exactly zero — the pivot-breakdown and
+// sparsity-skip checks of the factorizations, never a tolerance test.
+// Exact zero is the right test there: a subnormal pivot still divides.
+func isExactZero[T float64 | complex128](v T) bool { return v == 0 }
+
+// isExactEq reports whether a and b are identical real values (exact
+// tie-breaks in eigenvalue ordering and the like), never a closeness test.
+func isExactEq(a, b float64) bool { return a == b }

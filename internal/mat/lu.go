@@ -37,7 +37,7 @@ func LUFactor(a *Dense) (*LU, error) {
 			}
 		}
 		f.piv[k] = p
-		if max == 0 {
+		if isExactZero(max) {
 			return nil, fmt.Errorf("%w: zero pivot at column %d", ErrSingular, k)
 		}
 		if p != k {
@@ -51,7 +51,7 @@ func LUFactor(a *Dense) (*LU, error) {
 		for i := k + 1; i < n; i++ {
 			lik := lu.At(i, k) * inv
 			lu.Set(i, k, lik)
-			if lik == 0 {
+			if isExactZero(lik) {
 				continue
 			}
 			ri, rk := lu.Row(i), lu.Row(k)

@@ -29,7 +29,7 @@ func QRFactor(a *Dense) (*QR, error) {
 		for i := k; i < m; i++ {
 			nrm = math.Hypot(nrm, q.At(i, k))
 		}
-		if nrm == 0 {
+		if isExactZero(nrm) {
 			f.rdiag[k] = 0
 			continue
 		}
@@ -70,7 +70,7 @@ func (f *QR) R() *Dense {
 // FullRank reports whether every R diagonal entry is nonzero.
 func (f *QR) FullRank() bool {
 	for _, d := range f.rdiag {
-		if d == 0 {
+		if isExactZero(d) {
 			return false
 		}
 	}
@@ -89,7 +89,7 @@ func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
 	y := append([]float64(nil), b...)
 	// y ← Qᵀ·y.
 	for k := 0; k < f.n; k++ {
-		if f.qr.At(k, k) == 0 {
+		if isExactZero(f.qr.At(k, k)) {
 			continue
 		}
 		s := 0.0

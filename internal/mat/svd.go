@@ -31,7 +31,7 @@ func SVD(a *Dense) (u *Dense, sigma []float64, v *Dense, err error) {
 					aqq += wq * wq
 					apq += wp * wq
 				}
-				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || apq == 0 {
+				if math.Abs(apq) <= tol*math.Sqrt(app*aqq) || isExactZero(apq) {
 					continue
 				}
 				off += apq * apq
@@ -52,7 +52,7 @@ func SVD(a *Dense) (u *Dense, sigma []float64, v *Dense, err error) {
 				}
 			}
 		}
-		if off == 0 {
+		if isExactZero(off) {
 			break
 		}
 	}
@@ -93,7 +93,7 @@ func Cond2(a *Dense) (float64, error) {
 		return 0, err
 	}
 	smin := sigma[len(sigma)-1]
-	if smin == 0 {
+	if isExactZero(smin) {
 		return math.Inf(1), nil
 	}
 	return sigma[0] / smin, nil

@@ -9,8 +9,9 @@ import (
 // is smaller than tol in magnitude.
 func IsUpperTriangular(a *Dense, tol float64) bool {
 	for i := 1; i < a.rows; i++ {
+		row := a.Row(i)
 		for j := 0; j < i && j < a.cols; j++ {
-			if math.Abs(a.At(i, j)) > tol {
+			if math.Abs(row[j]) > tol {
 				return false
 			}
 		}
@@ -30,7 +31,7 @@ func SolveUpper(u *Dense, b []float64) ([]float64, error) {
 		for j := i + 1; j < n; j++ {
 			s -= row[j] * b[j]
 		}
-		if row[i] == 0 {
+		if isExactZero(row[i]) {
 			return nil, fmt.Errorf("%w: zero diagonal at %d", ErrSingular, i)
 		}
 		b[i] = s / row[i]
@@ -59,29 +60,35 @@ func TriPow(t *Dense, alpha float64) (*Dense, error) {
 		return nil, fmt.Errorf("mat: TriPow requires an upper triangular matrix")
 	}
 	scale := t.MaxAbs()
+	diag := make([]float64, n)
 	for i := 0; i < n; i++ {
-		if t.At(i, i) <= 0 {
-			return nil, fmt.Errorf("mat: TriPow requires positive diagonal, got %g at %d", t.At(i, i), i)
+		diag[i] = t.At(i, i)
+	}
+	for i := 0; i < n; i++ {
+		if diag[i] <= 0 {
+			return nil, fmt.Errorf("mat: TriPow requires positive diagonal, got %g at %d", diag[i], i)
 		}
 		for j := i + 1; j < n; j++ {
-			if math.Abs(t.At(i, i)-t.At(j, j)) <= 1e-12*scale {
+			if math.Abs(diag[i]-diag[j]) <= 1e-12*scale {
 				return nil, fmt.Errorf("mat: TriPow requires distinct diagonal entries (entries %d and %d coincide)", i, j)
 			}
 		}
 	}
 	f := NewDense(n, n)
 	for i := 0; i < n; i++ {
-		f.Set(i, i, math.Pow(t.At(i, i), alpha))
+		f.Set(i, i, math.Pow(diag[i], alpha))
 	}
 	// Fill superdiagonals outward.
 	for d := 1; d < n; d++ {
 		for i := 0; i+d < n; i++ {
 			j := i + d
-			num := t.At(i, j) * (f.At(i, i) - f.At(j, j))
+			ti, fi := t.Row(i), f.Row(i)
+			num := ti[j] * (fi[i] - f.Row(j)[j])
 			for k := i + 1; k < j; k++ {
-				num += f.At(i, k)*t.At(k, j) - t.At(i, k)*f.At(k, j)
+				//lint:ignore atset the Parlett recurrence walks column j while row i is in view; per-element access is the algorithm
+				num += fi[k]*t.At(k, j) - ti[k]*f.At(k, j)
 			}
-			f.Set(i, j, num/(t.At(i, i)-t.At(j, j)))
+			fi[j] = num / (diag[i] - diag[j])
 		}
 	}
 	return f, nil

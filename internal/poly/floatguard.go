@@ -1,0 +1,7 @@
+package poly
+
+// isExactZero reports whether v is exactly zero. The schoolbook product and
+// the FFT-crossover density test skip exact-zero coefficients — integer-order
+// binomial tails are exact zeros, so this is structure detection, not a
+// tolerance test. The floateq rule (cmd/opm-lint) flags raw float ==/!=.
+func isExactZero(v float64) bool { return v == 0 }

@@ -1,0 +1,75 @@
+package poly
+
+import (
+	"math"
+	"testing"
+)
+
+// splitmix64 is a tiny deterministic generator for fuzz-derived coefficients:
+// the fuzzer mutates the seed, the generator turns it into a full-length
+// coefficient vector, and every crash reproduces from the corpus entry alone.
+func splitmix64(state *uint64) float64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53) // uniform in [0,1)
+}
+
+// FuzzSeriesMul differentially fuzzes the FFT fast path against the exact
+// schoolbook convolution across the fftMulThreshold crossover. The two paths
+// must agree to a roundoff-scale bound on every coefficient; a divergence
+// means the fast path is silently corrupting ρ_{α,m} and every fractional
+// solve built on it.
+func FuzzSeriesMul(f *testing.F) {
+	// Seeds straddle the crossover (512) and the power-of-two padding steps.
+	for _, n := range []uint16{2, 8, 64, 255, 511, 512, 600, 1024} {
+		f.Add(n, uint64(1), 1.0, uint8(0))
+	}
+	f.Add(uint16(512), uint64(42), 1e-6, uint8(3))
+	f.Add(uint16(700), uint64(7), 1e6, uint8(9))
+	f.Fuzz(func(t *testing.T, nRaw uint16, seed uint64, ampl float64, sparsity uint8) {
+		n := 2 + int(nRaw)%2047 // [2, 2048]
+		if !(math.Abs(ampl) > 1e-8 && math.Abs(ampl) < 1e8) {
+			ampl = 1
+		}
+		// sparsity knocks out every k-th coefficient so the zero-skipping
+		// schoolbook rows and the dense FFT spectrum see the same series.
+		zeroEvery := int(sparsity)%8 + 2
+		state := seed
+		s, u := New(n), New(n)
+		for k := 0; k < n; k++ {
+			s.Coef[k] = ampl * (splitmix64(&state) - 0.5)
+			u.Coef[k] = ampl * (splitmix64(&state) - 0.5)
+			if sparsity > 0 && k%zeroEvery == 0 {
+				s.Coef[k] = 0
+			}
+		}
+		exact := mulSchoolbook(s, u, n)
+		fast := mulFFT(s, u, n)
+		// Per-coefficient error bound: FFT roundoff is O(eps·log2(n)) relative
+		// to the L1 mass that lands on the coefficient, conservatively bounded
+		// by ‖s‖∞·‖u‖₁ (+1 absolute floor for tiny products).
+		var sInf, uL1 float64
+		for k := 0; k < n; k++ {
+			sInf = math.Max(sInf, math.Abs(s.Coef[k]))
+			uL1 += math.Abs(u.Coef[k])
+		}
+		tol := 64 * math.Log2(float64(2*n)) * 1e-16 * (sInf*uL1 + 1)
+		for k := 0; k < n; k++ {
+			if d := math.Abs(exact.Coef[k] - fast.Coef[k]); !(d <= tol) {
+				t.Fatalf("n=%d seed=%d ampl=%g: coef %d diverges: schoolbook %g vs fft %g (|Δ|=%g > tol %g)",
+					n, seed, ampl, k, exact.Coef[k], fast.Coef[k], d, tol)
+			}
+		}
+		// Mul must dispatch to one of the two paths just checked, so its
+		// result matches the exact path within the same bound.
+		got := s.Mul(u)
+		for k := 0; k < n; k++ {
+			if d := math.Abs(exact.Coef[k] - got.Coef[k]); !(d <= tol) {
+				t.Fatalf("n=%d: Mul dispatch diverges at coef %d by %g", n, k, d)
+			}
+		}
+	})
+}

@@ -38,7 +38,7 @@ func CG(a *CSR, b []float64, tol float64, maxIter int) (*CGResult, error) {
 		dinv[i] = 1 / d
 	}
 	normB := norm2(b)
-	if normB == 0 {
+	if isExactZero(normB) {
 		return &CGResult{X: make([]float64, n), Converged: true}, nil
 	}
 	x := make([]float64, n)

@@ -1,0 +1,10 @@
+package sparse
+
+// Intentional exact float comparisons are routed through this named guard so
+// the intent survives refactors; the floateq rule (cmd/opm-lint) flags raw
+// float ==/!= everywhere else.
+
+// isExactZero reports whether v is exactly zero — structural-sparsity skips
+// (a stored exact zero contributes nothing) and pivot-breakdown checks, never
+// a tolerance test.
+func isExactZero(v float64) bool { return v == 0 }

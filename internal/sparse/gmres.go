@@ -57,7 +57,7 @@ func NewILU0(a *CSR) (*ILU0, error) {
 				break // ColIdx sorted: done with the strictly-lower part
 			}
 			piv := f.csr.Val[f.diag[k]]
-			if piv == 0 {
+			if isExactZero(piv) {
 				return nil, fmt.Errorf("%w: ILU0 zero pivot at row %d", ErrSingular, k)
 			}
 			lik := f.csr.Val[p] / piv
@@ -69,7 +69,7 @@ func NewILU0(a *CSR) (*ILU0, error) {
 				}
 			}
 		}
-		if f.csr.Val[f.diag[i]] == 0 {
+		if isExactZero(f.csr.Val[f.diag[i]]) {
 			return nil, fmt.Errorf("%w: ILU0 zero pivot at row %d", ErrSingular, i)
 		}
 		for p := lo; p < hi; p++ {
@@ -131,7 +131,7 @@ func GMRES(a *CSR, b []float64, pre *ILU0, restart int, tol float64, maxIter int
 		maxIter = 10 * n
 	}
 	normB := norm2(b)
-	if normB == 0 {
+	if isExactZero(normB) {
 		return &GMRESResult{X: make([]float64, n), Converged: true}, nil
 	}
 	x := make([]float64, n)
@@ -179,7 +179,7 @@ func GMRES(a *CSR, b []float64, pre *ILU0, restart int, tol float64, maxIter int
 				}
 			}
 			h[k+1][k] = norm2(w)
-			if h[k+1][k] != 0 {
+			if !isExactZero(h[k+1][k]) {
 				v[k+1] = make([]float64, n)
 				for j := range w {
 					v[k+1][j] = w[j] / h[k+1][k]
@@ -192,7 +192,7 @@ func GMRES(a *CSR, b []float64, pre *ILU0, restart int, tol float64, maxIter int
 				h[i][k] = t
 			}
 			den := math.Hypot(h[k][k], h[k+1][k])
-			if den == 0 {
+			if isExactZero(den) {
 				cs[k], sn[k] = 1, 0
 			} else {
 				cs[k], sn[k] = h[k][k]/den, h[k+1][k]/den

@@ -132,7 +132,7 @@ func FactorLU(a *CSR, tol float64) (*LU, error) {
 				touched = append(touched, pr)
 			}
 			xk := x[pr]
-			if xk == 0 {
+			if isExactZero(xk) {
 				continue
 			}
 			for q := f.lp[k]; q < f.lp[k+1]; q++ {
@@ -161,10 +161,10 @@ func FactorLU(a *CSR, tol float64) (*LU, error) {
 				diagOK, diagVal = true, x[r]
 			}
 		}
-		if pivRow < 0 || maxAbs == 0 {
+		if pivRow < 0 || isExactZero(maxAbs) {
 			return nil, fmt.Errorf("%w: no pivot for column %d", ErrSingular, j)
 		}
-		if diagOK && math.Abs(diagVal) >= tol*maxAbs && diagVal != 0 {
+		if diagOK && math.Abs(diagVal) >= tol*maxAbs && !isExactZero(diagVal) {
 			pivRow = j
 		}
 		pivVal := x[pivRow]
@@ -175,7 +175,7 @@ func FactorLU(a *CSR, tol float64) (*LU, error) {
 		// --- Store U(:,j) (pivoted rows) and L(:,j) (unpivoted rows).
 		for _, k := range topo {
 			v := x[f.perm[k]]
-			if v != 0 && k != j {
+			if !isExactZero(v) && k != j {
 				f.ui = append(f.ui, k)
 				f.ux = append(f.ux, v)
 			}
@@ -184,7 +184,7 @@ func FactorLU(a *CSR, tol float64) (*LU, error) {
 			if f.pinv[r] >= 0 || r == pivRow {
 				continue
 			}
-			if v := x[r]; v != 0 {
+			if v := x[r]; !isExactZero(v) {
 				f.li = append(f.li, r)
 				f.lx = append(f.lx, v/pivVal)
 			}
@@ -212,7 +212,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 	// Forward: L y = P b, processed column by column in pivot order.
 	for j := 0; j < f.n; j++ {
 		yj := work[f.perm[j]]
-		if yj == 0 {
+		if isExactZero(yj) {
 			continue
 		}
 		for q := f.lp[j]; q < f.lp[j+1]; q++ {
@@ -227,7 +227,7 @@ func (f *LU) Solve(b []float64) ([]float64, error) {
 	for j := f.n - 1; j >= 0; j-- {
 		y[j] /= f.udiag[j]
 		xj := y[j]
-		if xj == 0 {
+		if isExactZero(xj) {
 			continue
 		}
 		for q := f.up[j]; q < f.up[j+1]; q++ {
@@ -254,7 +254,7 @@ func (f *LU) SolveInto(x, b []float64) error {
 	// Forward: L y = P b, processed column by column in pivot order.
 	for j := 0; j < f.n; j++ {
 		yj := work[f.perm[j]]
-		if yj == 0 {
+		if isExactZero(yj) {
 			continue
 		}
 		for q := f.lp[j]; q < f.lp[j+1]; q++ {
@@ -268,7 +268,7 @@ func (f *LU) SolveInto(x, b []float64) error {
 	for j := f.n - 1; j >= 0; j-- {
 		x[j] /= f.udiag[j]
 		xj := x[j]
-		if xj == 0 {
+		if isExactZero(xj) {
 			continue
 		}
 		for q := f.up[j]; q < f.up[j+1]; q++ {
@@ -343,7 +343,7 @@ type Factorization struct {
 // Factor computes a ready-to-solve factorization of the square matrix a.
 func Factor(a *CSR, opt Options) (*Factorization, error) {
 	tol := opt.PivotTol
-	if tol == 0 {
+	if isExactZero(tol) {
 		tol = 0.1
 	}
 	f := &Factorization{a: a, refine: opt.Refine}
@@ -499,7 +499,7 @@ func (f *Factorization) Cond1Est() float64 {
 	}
 	if n == 1 {
 		d := f.lu.udiag[0]
-		if d == 0 {
+		if isExactZero(d) {
 			return math.Inf(1)
 		}
 		return math.Abs(f.a.Norm1() / d)

@@ -39,7 +39,7 @@ func (a *COO) Add(i, j int, v float64) {
 	if i < 0 || i >= a.R || j < 0 || j >= a.C {
 		panic(fmt.Sprintf("sparse: Add(%d,%d) out of range %dx%d", i, j, a.R, a.C))
 	}
-	if v == 0 {
+	if isExactZero(v) {
 		return
 	}
 	a.rows = append(a.rows, i)
@@ -85,7 +85,7 @@ func (a *COO) ToCSR() *CSR {
 				s += val[k]
 				k++
 			}
-			if s != 0 {
+			if !isExactZero(s) {
 				out.ColIdx = append(out.ColIdx, j)
 				out.Val = append(out.Val, s)
 			}
@@ -224,7 +224,7 @@ func Combine(alpha float64, a *CSR, beta float64, b *CSR) *CSR {
 				pa++
 				pb++
 			}
-			if v != 0 {
+			if !isExactZero(v) {
 				out.ColIdx = append(out.ColIdx, j)
 				out.Val = append(out.Val, v)
 			}
@@ -293,7 +293,7 @@ func FromDense(d *mat.Dense) *CSR {
 	coo := NewCOO(d.Rows(), d.Cols())
 	for i := 0; i < d.Rows(); i++ {
 		for j := 0; j < d.Cols(); j++ {
-			if v := d.At(i, j); v != 0 {
+			if v := d.At(i, j); !isExactZero(v) {
 				coo.Add(i, j, v)
 			}
 		}

@@ -1,0 +1,14 @@
+package specfn
+
+// Intentional exact float comparisons are routed through these named guards
+// so the intent survives refactors; the floateq rule (cmd/opm-lint) flags raw
+// float ==/!= everywhere else.
+
+// isExactZero reports whether v is exactly zero (pole/overflow guards on
+// Gamma values), never a tolerance test.
+func isExactZero(v float64) bool { return v == 0 }
+
+// isExactEq reports whether a and b are identical real values — closed-form
+// special-case dispatch (α == 1, β == 1 selects exp) and integer detection
+// via Trunc, never a closeness test.
+func isExactEq(a, b float64) bool { return a == b }

@@ -30,7 +30,7 @@ func Gamma(x float64) float64 {
 	}
 	if x < 0.5 {
 		// Poles at non-positive integers.
-		if x == math.Trunc(x) {
+		if isExactEq(x, math.Trunc(x)) {
 			return math.Inf(1)
 		}
 		// Reflection: Γ(x)Γ(1−x) = π/sin(πx).

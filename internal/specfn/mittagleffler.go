@@ -34,11 +34,11 @@ func MittagLeffler2(alpha, beta, z float64) (float64, error) {
 	// Exact special cases keep full float64 accuracy on the hot paths used
 	// in tests and analytic references.
 	switch {
-	case alpha == 1 && beta == 1:
+	case isExactEq(alpha, 1) && isExactEq(beta, 1):
 		return math.Exp(z), nil
-	case alpha == 2 && beta == 1 && z <= 0:
+	case isExactEq(alpha, 2) && isExactEq(beta, 1) && z <= 0:
 		return math.Cos(math.Sqrt(-z)), nil
-	case alpha == 2 && beta == 2 && z < 0:
+	case isExactEq(alpha, 2) && isExactEq(beta, 2) && z < 0:
 		s := math.Sqrt(-z)
 		return math.Sin(s) / s, nil
 	}
@@ -62,7 +62,7 @@ func mlSeries(alpha, beta, z float64) (float64, error) {
 	zk := 1.0
 	for k := 0; k < 2000; k++ {
 		g := Gamma(alpha*float64(k) + beta)
-		if !math.IsInf(g, 0) && g != 0 {
+		if !math.IsInf(g, 0) && !isExactZero(g) {
 			term = zk / g
 			sum += term
 		}
@@ -92,7 +92,7 @@ func mlAsymptoticNeg(alpha, beta, z float64) float64 {
 		g := Gamma(beta - alpha*float64(k))
 		zkCur := zk
 		zk *= zinv
-		if math.IsInf(g, 0) || g == 0 {
+		if math.IsInf(g, 0) || isExactZero(g) {
 			// Γ pole: the term vanishes identically; it must not reset the
 			// divergence detector below.
 			continue

@@ -1,0 +1,14 @@
+package waveform
+
+// Intentional exact float comparisons are routed through these named guards
+// so the intent survives refactors; the floateq rule (cmd/opm-lint) flags raw
+// float ==/!= everywhere else.
+
+// isExactZero reports whether v is exactly zero — degenerate-parameter
+// branches (zero rise time means an ideal step) and divide-by-zero guards,
+// never a tolerance test.
+func isExactZero(v float64) bool { return v == 0 }
+
+// isExactEq reports whether a and b are identical real values (sample-grid
+// point matching), never a closeness test.
+func isExactEq(a, b float64) bool { return a == b }

@@ -52,7 +52,7 @@ func CrossTime(y Signal, level, t0, t1 float64, rising bool, n int) (float64, er
 // RiseTime returns the 10%–90% rise time of a step-like response that
 // settles to final over [t0, t1].
 func RiseTime(y Signal, final, t0, t1 float64, n int) (float64, error) {
-	if final == 0 {
+	if isExactZero(final) {
 		return 0, fmt.Errorf("waveform: RiseTime needs a nonzero final value")
 	}
 	rising := final > 0
@@ -70,7 +70,7 @@ func RiseTime(y Signal, final, t0, t1 float64, n int) (float64, error) {
 // Overshoot returns the peak excursion beyond the final value as a fraction
 // of |final| (0 when the response never exceeds it), scanning n samples.
 func Overshoot(y Signal, final, t0, t1 float64, n int) (float64, error) {
-	if y == nil || t1 <= t0 || final == 0 {
+	if y == nil || t1 <= t0 || isExactZero(final) {
 		return 0, fmt.Errorf("waveform: Overshoot needs a signal, t0 < t1 and final ≠ 0")
 	}
 	if n < 2 {
@@ -90,7 +90,7 @@ func Overshoot(y Signal, final, t0, t1 float64, n int) (float64, error) {
 // SettlingTime returns the earliest time after which y stays within ±band·
 // |final| of final through t1 (scanning n samples).
 func SettlingTime(y Signal, final, band, t0, t1 float64, n int) (float64, error) {
-	if y == nil || t1 <= t0 || final == 0 || band <= 0 {
+	if y == nil || t1 <= t0 || isExactZero(final) || band <= 0 {
 		return 0, fmt.Errorf("waveform: SettlingTime needs a signal, t0 < t1, final ≠ 0 and band > 0")
 	}
 	if n < 2 {

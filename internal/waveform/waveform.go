@@ -80,14 +80,14 @@ func Pulse(v1, v2, td, tr, tf, pw, per float64) Signal {
 		}
 		switch {
 		case tt < tr:
-			if tr == 0 {
+			if isExactZero(tr) {
 				return v2
 			}
 			return v1 + (v2-v1)*tt/tr
 		case tt < tr+pw:
 			return v2
 		case tt < tr+pw+tf:
-			if tf == 0 {
+			if isExactZero(tf) {
 				return v1
 			}
 			return v2 + (v1-v2)*(tt-tr-pw)/tf
@@ -126,7 +126,7 @@ func PRBS(v0, v1, bitPeriod, rise float64, seed uint8) (Signal, error) {
 		i := int(t / bitPeriod)
 		frac := t - float64(i)*bitPeriod
 		cur := level(i)
-		if frac >= rise || rise == 0 {
+		if frac >= rise || isExactZero(rise) {
 			return cur
 		}
 		prev := cur
@@ -159,7 +159,7 @@ func PWL(times, values []float64) (Signal, error) {
 			return v[len(v)-1]
 		}
 		i := sort.SearchFloat64s(t, tt)
-		if t[i] == tt {
+		if isExactEq(t[i], tt) {
 			return v[i]
 		}
 		frac := (tt - t[i-1]) / (t[i] - t[i-1])
@@ -227,7 +227,7 @@ func RelErrDB(y, ref *Waveform) (float64, error) {
 		return 0, err
 	}
 	nref := ref.Norm2()
-	if nref == 0 {
+	if isExactZero(nref) {
 		return 0, fmt.Errorf("waveform: RelErrDB reference has zero norm")
 	}
 	return 20 * math.Log10(d.Norm2()/nref), nil
@@ -250,7 +250,7 @@ func RelErrDBVec(y, ref [][]float64) (float64, error) {
 			ref2 += ref[c][i] * ref[c][i]
 		}
 	}
-	if ref2 == 0 {
+	if isExactZero(ref2) {
 		return 0, fmt.Errorf("waveform: RelErrDBVec reference has zero norm")
 	}
 	return 20 * math.Log10(math.Sqrt(diff2)/math.Sqrt(ref2)), nil
