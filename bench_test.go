@@ -396,3 +396,158 @@ func BenchmarkMOR_ReduceAndSolve(b *testing.B) {
 		}
 	}
 }
+
+// --- Batched multi-scenario solve engine -------------------------------------
+
+// batchBenchScenarios builds k amplitude-scaled corners of the fixture's
+// inputs, the workload SolveBatch targets.
+func batchBenchScenarios(inputs []waveform.Signal, k int) []core.Scenario {
+	scs := make([]core.Scenario, k)
+	for s := 0; s < k; s++ {
+		scale := 0.5 + float64(s)/float64(k)
+		u := make([]waveform.Signal, len(inputs))
+		for i, base := range inputs {
+			base, scale := base, scale
+			u[i] = func(t float64) float64 { return scale * base(t) }
+		}
+		scs[s] = core.Scenario{U: u}
+	}
+	return scs
+}
+
+func BenchmarkSolveBatch_Sequential32(b *testing.B) {
+	fx := newGridFixture(b, 8)
+	scs := batchBenchScenarios(fx.naIn, 32)
+	m := 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := core.NewFactorCache(0)
+		for _, sc := range scs {
+			if _, err := core.Solve(fx.na, sc.U, m, tableIITime, core.Options{FactorCache: cache}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkSolveBatch_Batch32(b *testing.B) {
+	fx := newGridFixture(b, 8)
+	scs := batchBenchScenarios(fx.naIn, 32)
+	m := 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveBatch(fx.na, scs, m, tableIITime, core.BatchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Kernel-level comparison on the grid's backward-Euler MNA matrix: one
+// 32-wide sparse panel solve versus 32 scalar solves of the same columns.
+func sparseBenchFactor(b *testing.B) (*sparse.Factorization, int) {
+	b.Helper()
+	fx := newGridFixture(b, 16)
+	msys := sparse.Combine(2/tableIIStep, fx.e, -1, fx.a)
+	f, err := sparse.Factor(msys, sparse.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f, fx.mna.N()
+}
+
+func BenchmarkSolveBatch_SparsePanel32(b *testing.B) {
+	f, n := sparseBenchFactor(b)
+	const w = 32
+	rhs := mat.NewDense(n, w)
+	for i := 0; i < n; i++ {
+		ri := rhs.Row(i)
+		for j := range ri {
+			ri[j] = float64((i+j)%17) - 8
+		}
+	}
+	x := mat.NewDense(n, w)
+	s := f.NewPanelScratch(w)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.SolvePanelInto(x, rhs, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveBatch_SparseScalar32(b *testing.B) {
+	f, n := sparseBenchFactor(b)
+	const w = 32
+	cols := make([][]float64, w)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+		for i := range cols[j] {
+			cols[j][i] = float64((i+j)%17) - 8
+		}
+	}
+	x := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < w; j++ {
+			if err := f.SolveInto(x, cols[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// --- Blocked dense multi-RHS kernels -----------------------------------------
+
+func denseBenchLU(b *testing.B, n int) (*mat.LU, *mat.Dense) {
+	b.Helper()
+	a := mat.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		ai := a.Row(i)
+		for j := range ai {
+			ai[j] = float64((i*31+j*17)%23) / 23
+		}
+		ai[i] += float64(n)
+	}
+	f, err := mat.LUFactor(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := mat.NewDense(n, 64)
+	for i := 0; i < n; i++ {
+		ri := rhs.Row(i)
+		for j := range ri {
+			ri[j] = float64((i+j)%13) - 6
+		}
+	}
+	return f, rhs
+}
+
+func BenchmarkSolveMatrixPanel_Into(b *testing.B) {
+	f, rhs := denseBenchLU(b, 256)
+	x := mat.NewDense(256, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SolveMatrixInto(x, rhs)
+	}
+}
+
+func BenchmarkSolveMatrixPanel_PerColumn(b *testing.B) {
+	f, rhs := denseBenchLU(b, 256)
+	n := 256
+	col := make([]float64, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			for r := 0; r < n; r++ {
+				col[r] = rhs.Row(r)[j]
+			}
+			f.Solve(col)
+		}
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	opm-bench -experiment table1|table2|waveforms|adaptive|opmatrix|bases|scaling|history|historyfft|all [flags]
+//	opm-bench -experiment table1|table2|waveforms|adaptive|opmatrix|bases|scaling|history|historyfft|batch|all [flags]
 //
 // The paper-scale Table II instance (NA ≈ 75 K states) is gated behind
 // -full; the default grid is laptop-scale. -experiment history sweeps the
@@ -14,7 +14,9 @@
 // naive and exact engines across the auto crossover and writes
 // BENCH_history_fft.json (see -histfftout). -history overrides the engine
 // mode (auto, exact, fft) used by the history ablation's blocked and
-// parallel variants.
+// parallel variants. -experiment batch compares K sequential solves of the
+// Table II grid (sharing a factorization cache) against one batched
+// SolveBatch call and writes BENCH_batch.json (see -batchout).
 package main
 
 import (
@@ -28,24 +30,25 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: table1, table2, waveforms, adaptive, opmatrix, bases, scaling, mor, fracfit, walshtrend, history, historyfft, all")
+		experiment = flag.String("experiment", "all", "which experiment to run: table1, table2, waveforms, adaptive, opmatrix, bases, scaling, mor, fracfit, walshtrend, history, historyfft, batch, all")
 		full       = flag.Bool("full", false, "run Table II at paper scale (~75K NA states; needs several GB and minutes)")
 		repeat     = flag.Int("repeat", 10, "timing repetitions for Table I")
 		gridRows   = flag.Int("grid", 0, "override Table II grid rows/cols (0 = default 16)")
 		workers    = flag.Int("workers", 0, "history-engine worker goroutines (0 = GOMAXPROCS)")
 		histOut    = flag.String("histout", "BENCH_history.json", "machine-readable output path for -experiment history")
 		histFFTOut = flag.String("histfftout", "BENCH_history_fft.json", "machine-readable output path for -experiment historyfft")
+		batchOut   = flag.String("batchout", "BENCH_batch.json", "machine-readable output path for -experiment batch")
 		history    = flag.String("history", "", "history engine mode for the history ablation: auto, exact, or fft (default: exact)")
 		seed       = flag.Int64("seed", 1, "seed for generated benchmark networks (Table II grid loads, MOR, scaling); same seed, same netlist")
 	)
 	flag.Parse()
-	if err := run(*experiment, *full, *repeat, *gridRows, *workers, *histOut, *histFFTOut, *history, *seed); err != nil {
+	if err := run(*experiment, *full, *repeat, *gridRows, *workers, *histOut, *histFFTOut, *batchOut, *history, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "opm-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, full bool, repeat, gridRows, workers int, histOut, histFFTOut, history string, seed int64) error {
+func run(experiment string, full bool, repeat, gridRows, workers int, histOut, histFFTOut, batchOut, history string, seed int64) error {
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
@@ -160,13 +163,33 @@ func run(experiment string, full bool, repeat, gridRows, workers int, histOut, h
 				}
 				fmt.Printf("wrote %s\n", histFFTOut)
 			}
+		case "batch":
+			cfg := experiments.DefaultBatch()
+			if gridRows > 0 {
+				cfg.Grid.Rows, cfg.Grid.Cols = gridRows, gridRows
+			}
+			cfg.Grid.Seed = seed
+			if repeat > 0 {
+				cfg.Repeat = repeat
+			}
+			tbl, rep, err := experiments.Batch(cfg)
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+			if batchOut != "" {
+				if err := rep.WriteJSON(batchOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", batchOut)
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
 		return nil
 	}
 	if experiment == "all" {
-		for _, name := range []string{"table1", "table2", "waveforms", "adaptive", "opmatrix", "bases", "scaling", "mor", "fracfit", "walshtrend", "history", "historyfft"} {
+		for _, name := range []string{"table1", "table2", "waveforms", "adaptive", "opmatrix", "bases", "scaling", "mor", "fracfit", "walshtrend", "history", "historyfft", "batch"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

@@ -73,8 +73,17 @@ func main() {
 		history     = flag.String("history", "", "OPM fractional-history engine: auto (default; FFT on large grids), exact, or fft")
 		timeout     = flag.Duration("timeout", 0, "abort the solve after this wall-clock duration (0 = no limit; OPM method only)")
 		verbose     = flag.Bool("verbose", false, "print the solver report (factorization tiers, fallbacks, retries) to stderr")
+		batch       = flag.Int("batch", 0, "simulate this many input-amplitude scenarios as one batched OPM solve (linear netlists only)")
+		sweep       = flag.String("sweep", "0.5:1.5", "amplitude scale range \"lo:hi\" swept across the -batch scenarios")
 	)
 	flag.Parse()
+	if *batch > 0 {
+		if err := runBatch(*netlistPath, *batch, *sweep, *steps, *tstop, *nodes, *workers, *history, *timeout, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "opm-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *op {
 		if err := runOP(*netlistPath); err != nil {
 			fmt.Fprintln(os.Stderr, "opm-sim:", err)
@@ -339,6 +348,123 @@ func run(netlistPath, method string, steps int, tstop, nodes string, points, wor
 		fmt.Println()
 	}
 	return nil
+}
+
+// runBatch simulates k amplitude-scaled copies of the netlist's inputs as one
+// batched OPM solve (shared pencil factorization, panel kernels) and prints a
+// per-scenario table of the selected states' final values.
+func runBatch(netlistPath string, k int, sweep string, steps int, tstop, nodes string, workers int, history string, timeout time.Duration, verbose bool) error {
+	if netlistPath == "" {
+		return fmt.Errorf("-netlist is required")
+	}
+	lo, hi, err := parseSweep(sweep)
+	if err != nil {
+		return err
+	}
+	histMode, err := core.ParseHistoryMode(history)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(netlistPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	deck, err := circuit.Parse(f)
+	if err != nil {
+		return err
+	}
+	T, m, err := resolveSpan(deck, tstop, steps)
+	if err != nil {
+		return err
+	}
+	mna, err := deck.Netlist.MNA()
+	if err != nil {
+		return err
+	}
+	if mna.Nonlinear != nil {
+		return fmt.Errorf("-batch requires a linear netlist (the batch engine shares one pencil factorization)")
+	}
+	stateIdx, labels, err := selectStates(deck, mna, nodes)
+	if err != nil {
+		return err
+	}
+	var x0 []float64
+	if len(deck.ICs) > 0 {
+		x0, err = mna.InitialState(deck.ICs)
+		if err != nil {
+			return err
+		}
+	}
+	scales := make([]float64, k)
+	scenarios := make([]core.Scenario, k)
+	for s := 0; s < k; s++ {
+		scale := lo
+		if k > 1 {
+			scale = lo + (hi-lo)*float64(s)/float64(k-1)
+		}
+		scales[s] = scale
+		u := make([]waveform.Signal, len(mna.Inputs))
+		for i, base := range mna.Inputs {
+			base, scale := base, scale
+			u[i] = func(t float64) float64 { return scale * base(t) }
+		}
+		scenarios[s] = core.Scenario{U: u, X0: x0}
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	rep := &core.SolveReport{}
+	sols, err := core.SolveBatchCtx(ctx, mna.Sys, scenarios, m, T, core.BatchOptions{
+		Options: core.Options{
+			Workers:     workers,
+			HistoryMode: histMode,
+			Report:      rep,
+			FactorCache: core.NewFactorCache(0),
+		},
+	})
+	if verbose {
+		fmt.Fprintln(os.Stderr, rep.Summary())
+	}
+	if err != nil {
+		return err
+	}
+	if deck.Title != "" {
+		fmt.Printf("# %s\n", deck.Title)
+	}
+	fmt.Printf("# batch=%d sweep=%g:%g steps=%d tstop=%g states=%d\n", k, lo, hi, m, T, mna.Sys.N())
+	fmt.Print("scenario\tscale")
+	for _, l := range labels {
+		fmt.Printf("\t%s(T)", l)
+	}
+	fmt.Println()
+	tEnd := T * (1 - 0.5/float64(m)) // last BPF interval midpoint
+	for s, sol := range sols {
+		fmt.Printf("%d\t%.6g", s, scales[s])
+		for _, idx := range stateIdx {
+			fmt.Printf("\t%.6g", sol.StateAt(idx, tEnd))
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// parseSweep parses an amplitude range "lo:hi" (a bare "x" means x:x).
+func parseSweep(s string) (lo, hi float64, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if lo, err = circuit.ParseValue(strings.TrimSpace(parts[0])); err != nil {
+		return 0, 0, fmt.Errorf("bad -sweep: %w", err)
+	}
+	if len(parts) == 1 {
+		return lo, lo, nil
+	}
+	if hi, err = circuit.ParseValue(strings.TrimSpace(parts[1])); err != nil {
+		return 0, 0, fmt.Errorf("bad -sweep: %w", err)
+	}
+	return lo, hi, nil
 }
 
 func resolveSpan(deck *circuit.Deck, tstop string, steps int) (T float64, m int, err error) {

@@ -74,6 +74,12 @@ func SolveAdaptiveCtx(ctx context.Context, sys *System, u []waveform.Signal, ste
 		acc += h
 	}
 
+	// Two cache levels: the run-local map keyed by step size (schedules
+	// alternating between a few distinct h values pay for that many
+	// factorizations at most), and behind it the optional shared
+	// Options.FactorCache, which lets repeated SolveAdaptive runs over the
+	// same step ladder skip even those.
+	maxOrder := sys.MaxOrder()
 	cache := map[float64]*pencilFactor{}
 	factorFor := func(j int) (*pencilFactor, error) {
 		h := steps[j]
@@ -84,7 +90,7 @@ func SolveAdaptiveCtx(ctx context.Context, sys *System, u []waveform.Signal, ste
 		if err != nil {
 			return nil, err
 		}
-		f, err := factorPencil(msys, j, tMid[j], &opt, rep)
+		f, err := factorPencilCached(msys, h, maxOrder, j, tMid[j], &opt, rep)
 		if err != nil {
 			return nil, err
 		}
@@ -253,6 +259,10 @@ func SolveAdaptiveAutoCtx(ctx context.Context, sys *System, u []waveform.Signal,
 		return nil, nil, fmt.Errorf("core: system has %d inputs, got %d signals", sys.Inputs(), len(u))
 	}
 
+	// As in SolveAdaptive: run-local L1 keyed by h, optional shared
+	// FactorCache behind it, so a halved-h retry ladder the controller has
+	// walked before (in this run or a previous one) never refactors.
+	maxOrder := sys.MaxOrder()
 	cache := map[float64]*pencilFactor{}
 	factorFor := func(h, tNow float64) (*pencilFactor, error) {
 		if f, ok := cache[h]; ok {
@@ -267,7 +277,7 @@ func SolveAdaptiveAutoCtx(ctx context.Context, sys *System, u []waveform.Signal,
 		if err != nil {
 			return nil, err
 		}
-		f, err := factorPencil(msys, -1, tNow, &opt.Options, rep)
+		f, err := factorPencilCached(msys, h, maxOrder, -1, tNow, &opt.Options, rep)
 		if err != nil {
 			return nil, err
 		}

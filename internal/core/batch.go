@@ -1,0 +1,569 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"opmsim/internal/basis"
+	"opmsim/internal/fft"
+	"opmsim/internal/mat"
+	"opmsim/internal/vecops"
+	"opmsim/internal/waveform"
+)
+
+// The batch engine runs K scenarios that share one circuit pencil — the same
+// (E_k, A, h, α, method), differing only in inputs and initial state — through
+// a single factorization and blocked multi-RHS kernels. This is the paper's
+// §IV amortization argument applied once more: just as one factorization of
+// M = Σ_k c₀⁽ᵏ⁾·E_k serves all m BPF columns, it also serves all K scenarios
+// of a Monte-Carlo corner set or parameter sweep; and just as the triangular
+// solves dominate the per-column cost, solving the K scenarios' column-j
+// right-hand sides as one n×K panel amortizes the factor's irregular index
+// streams over K contiguous updates (see internal/sparse panel kernels).
+//
+// Structure: the solve is column-synchronous. For each column j the scenarios
+// are partitioned into groups of PanelWidth; each group — fanned out over the
+// shared worker pool — assembles its scenarios' right-hand sides (exactly the
+// scalar operations Solve performs), panel-solves them through a private view
+// of the shared factorization, and advances its scenarios' history state.
+// Scenario groups own disjoint state and the partition depends only on K and
+// PanelWidth, never on worker count or scheduling, so results are
+// deterministic under any Options.Workers.
+//
+// Determinism contract: SolveBatch is bitwise-identical, scenario by
+// scenario, to K sequential Solve calls with the same Options. Every
+// floating-point operation of the sequential path runs in the same order —
+// panel kernels are column-wise identical to their one-vector counterparts,
+// panel assembly/extraction are pure copies, and per-scenario history engines
+// are worker-count-invariant by construction (batch runs them with serial
+// bursts, which the engine contract guarantees changes nothing).
+
+// batchPanelWidth is the default scenario-panel width, matching the dense
+// kernels' luPanelWidth: wide enough to amortize factor index streams, narrow
+// enough that a panel of the working set stays cache-resident.
+const batchPanelWidth = 32
+
+// Scenario is one member of a batch: its input signals and optional initial
+// state. The system, grid, span, and solver options are shared by the whole
+// batch — that sharing is what makes the single-factorization fast path
+// sound.
+type Scenario struct {
+	// U holds the scenario's input signals, one per system input channel.
+	U []waveform.Signal
+	// X0 is the scenario's optional initial state (same restrictions as
+	// Options.X0).
+	X0 []float64
+}
+
+// BatchOptions configures SolveBatch. The embedded Options apply to every
+// scenario; attach Options.FactorCache to share the pencil factorization with
+// other runs (and surface hit/miss counts in the report).
+type BatchOptions struct {
+	Options
+	// PanelWidth is the number of scenarios solved together as one multi-RHS
+	// panel (0 → 32). The scenario-group partition depends only on this and
+	// on len(scenarios), so any value is deterministic; widths beyond ~64
+	// trade cache residency for little extra index amortization.
+	PanelWidth int
+}
+
+// scenState is the per-scenario solve state: exactly what one sequential
+// Solve call would keep, owned by the scenario's group task during the
+// column loop.
+type scenState struct {
+	uc    *mat.Dense
+	x0    []float64
+	shift []float64
+	hist  []*intHistory
+	eng   *historyEngine
+	cols  [][]float64
+	xbuf  []float64
+	rhs   []float64
+	ucol  []float64
+}
+
+// SolveBatch simulates K scenarios over [0, T) with m uniform BPF intervals
+// through one shared pencil factorization and blocked multi-RHS panel solves,
+// returning one Solution per scenario in input order. Results are
+// bitwise-identical to K sequential Solve calls with the same Options; the
+// batch fails as a whole with the diagnostic of the lowest-indexed failing
+// scenario.
+func SolveBatch(sys *System, scenarios []Scenario, m int, T float64, opt BatchOptions) ([]*Solution, error) {
+	return SolveBatchCtx(context.Background(), sys, scenarios, m, T, opt)
+}
+
+// SolveBatchCtx is SolveBatch with cancellation, checked once per column (and
+// at the chunk/segment boundaries of the scenario history engines).
+func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int, T float64, opt BatchOptions) ([]*Solution, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	K := len(scenarios)
+	if K == 0 {
+		return nil, fmt.Errorf("core: SolveBatch needs at least one scenario")
+	}
+	bpf, err := basis.NewBPF(m, T)
+	if err != nil {
+		return nil, err
+	}
+	width := opt.PanelWidth
+	if width <= 0 {
+		width = batchPanelWidth
+	}
+	if width > K {
+		width = K
+	}
+	n := sys.N()
+	rep := opt.report()
+
+	// Shared pencil: coefficient sequences, assembled leading matrix, one
+	// factorization for the whole batch (through the cache when attached).
+	coeffs := make([][]float64, len(sys.Terms))
+	for k, t := range sys.Terms {
+		coeffs[k] = bpf.DiffCoeffs(t.Order)
+	}
+	msys, err := assembleLeading(sys, func(k int) float64 { return coeffs[k][0] })
+	if err != nil {
+		return nil, err
+	}
+	shared, err := factorPencilCached(msys, bpf.Step(), sys.MaxOrder(), -1, 0, &opt.Options, rep)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-scenario preparation — input expansion dominates — fans out over
+	// the worker pool; each task writes only its scenario's slot. Kernel
+	// spectra of the FFT history tier are shared across scenario engines, and
+	// the FFT plans they need are prewarmed once up front.
+	kernels := newKernelCache()
+	if on, ferr := opt.historyFFTEnabled(m); ferr == nil && on {
+		var sizes []int
+		for L := historyFFTBase; L <= m; L *= 2 {
+			sizes = append(sizes, 2*L)
+		}
+		fft.Prewarm(sizes...)
+	}
+	states := make([]*scenState, K)
+	scenErr := make([]error, K)
+	prep := make([]func(), K)
+	for s := range scenarios {
+		s := s
+		prep[s] = func() {
+			states[s], scenErr[s] = prepareScenario(ctx, sys, &scenarios[s], bpf, m, coeffs, &opt, kernels)
+		}
+	}
+	if err := historyPoolDo(prep); err != nil {
+		return nil, &Diagnostic{Kind: ErrInternal, Column: -1, Time: 0, Cause: err}
+	}
+	for s := 0; s < K; s++ {
+		if scenErr[s] != nil {
+			return nil, fmt.Errorf("core: batch scenario %d: %w", s, scenErr[s])
+		}
+	}
+	if st := states[0]; len(st.eng.terms) > 0 {
+		rep.HistoryEngine = st.eng.modeName()
+	}
+
+	// Scenario groups: contiguous ranges of width scenarios, each with a
+	// private factorization view, panels, and scratch. The partition is a
+	// pure function of (K, width) — the determinism hinge. Systems whose
+	// history is entirely integer-order (no fractional engine terms) take
+	// the panel-native column path: right-hand-side assembly, history
+	// recurrences, and input injection all run at panel granularity, so the
+	// per-column work is panel kernels plus one n×w gather instead of
+	// per-scenario vector loops with scatter/gather on both sides.
+	h := bpf.Step()
+	fast := len(states[0].eng.terms) == 0
+	maxLag := 0
+	if fast {
+		for _, t := range sys.Terms {
+			if p := int(t.Order); !isExactZero(t.Order) && p > maxLag {
+				maxLag = p
+			}
+		}
+	}
+	nGroups := (K + width - 1) / width
+	groups := make([]*batchGroup, nGroups)
+	for g := range groups {
+		lo := g * width
+		hi := lo + width
+		if hi > K {
+			hi = K
+		}
+		w := hi - lo
+		gr := &batchGroup{lo: lo, hi: hi, maxLag: maxLag, pf: shared.instantiate(rep)}
+		gr.b = mat.NewDense(n, w)
+		gr.scratch = gr.pf.newPanelScratch(w)
+		if fast {
+			gr.fast = true
+			gr.shiftP = mat.NewDense(n, w)
+			for i := 0; i < n; i++ {
+				row := gr.shiftP.Row(i)
+				for t := 0; t < w; t++ {
+					row[t] = states[lo+t].shift[i]
+				}
+			}
+			gr.uP = mat.NewDense(sys.Inputs(), w)
+			gr.acc = make([]float64, w)
+			gr.hist = make([]*panelIntHistory, len(sys.Terms))
+			for k, t := range sys.Terms {
+				if p := int(t.Order); !isExactZero(t.Order) {
+					gr.hist[k] = newPanelIntHistory(p, h, n, w)
+				}
+			}
+			for i := 0; i <= maxLag; i++ {
+				gr.xpool = append(gr.xpool, mat.NewDense(n, w))
+			}
+		} else {
+			gr.x = mat.NewDense(n, w)
+		}
+		groups[g] = gr
+	}
+
+	colErr := make([]error, K)
+	tasks := make([]func(), 0, nGroups)
+	for j := 0; j < m; j++ {
+		tj := (float64(j) + 0.5) * h
+		if err := ctx.Err(); err != nil {
+			d := diag(ErrCancelled, j, tj)
+			d.Cause = err
+			return nil, d
+		}
+		tasks = tasks[:0]
+		for _, gr := range groups {
+			gr := gr
+			if gr.fast {
+				tasks = append(tasks, func() {
+					batchGroupColumnPanel(sys, states, colErr, j, tj, gr)
+				})
+			} else {
+				tasks = append(tasks, func() {
+					batchGroupColumn(sys, states, colErr, j, tj, gr.lo, gr.hi, gr.b, gr.x, gr.pf, gr.scratch)
+				})
+			}
+		}
+		var ferr error
+		if len(tasks) == 1 {
+			ferr = runRecovered(tasks[0])
+		} else {
+			ferr = historyPoolDo(tasks)
+		}
+		if ferr != nil {
+			d := diag(ErrInternal, j, tj)
+			d.Cause = ferr
+			return nil, d
+		}
+		for s := 0; s < K; s++ {
+			if colErr[s] != nil {
+				return nil, colErr[s]
+			}
+		}
+		rep.Columns += K
+		rep.TierSolves[shared.tier] += K
+	}
+
+	// Assemble the per-scenario Solutions (pure data movement; fanned out,
+	// each task owns its scenario's output). The column slab xbuf is m×n and
+	// the Solution matrix n×m; the transpose is tiled so both sides stay
+	// cache-resident — per element it is still the one addition Solve
+	// performs.
+	sols := make([]*Solution, K)
+	fin := make([]func(), K)
+	for s := range sols {
+		s := s
+		fin[s] = func() {
+			const tile = 64
+			st := states[s]
+			x := mat.NewDense(n, m)
+			xd := x.Data()
+			for i0 := 0; i0 < n; i0 += tile {
+				i1 := i0 + tile
+				if i1 > n {
+					i1 = n
+				}
+				for j0 := 0; j0 < m; j0 += tile {
+					j1 := j0 + tile
+					if j1 > m {
+						j1 = m
+					}
+					for i := i0; i < i1; i++ {
+						xr, x0i := xd[i*m:(i+1)*m], st.x0[i]
+						for j := j0; j < j1; j++ {
+							xr[j] = st.xbuf[j*n+i] + x0i
+						}
+					}
+				}
+			}
+			sols[s] = &Solution{sys: sys, bas: bpf, x: x}
+		}
+	}
+	if err := historyPoolDo(fin); err != nil {
+		return nil, &Diagnostic{Kind: ErrInternal, Column: m - 1, Time: T, Cause: err}
+	}
+	return sols, nil
+}
+
+// batchGroup is one scenario group's solve state: a private factorization
+// view, the right-hand-side and solution panels, and — on the panel-native
+// fast path — the panel-granularity history state.
+type batchGroup struct {
+	lo, hi  int
+	pf      *pencilFactor
+	b       *mat.Dense
+	x       *mat.Dense // general-path solve target (fast path rotates xpool)
+	scratch *panelScratch
+
+	// Panel-native fast path (every nonzero term has integer order).
+	fast   bool
+	maxLag int
+	shiftP *mat.Dense // per-scenario shift vectors as panel columns
+	uP     *mat.Dense // inputs×w gather of the scenarios' u_j columns
+	acc    []float64  // MulPanelAdd row accumulator
+	hist   []*panelIntHistory
+	xpool  []*mat.Dense // solve-target rotation: maxLag+1 panels
+	xlags  []*mat.Dense // solution lag panels, newest first (≤ maxLag)
+}
+
+// panelIntHistory is intHistory at scenario-panel granularity: the same
+// p-term recurrence with every vector operation applied to an n×w panel
+// whose columns are the group's scenarios. Since panel ops are element-wise
+// with no cross-column interaction, each column reproduces the scalar
+// recurrence bit for bit. Ring buffers rotate pointers instead of copying:
+// current() claims a panel from the pool, advance() pushes it into the lag
+// ring and recycles the evicted panel.
+type panelIntHistory struct {
+	p     int
+	gamma []float64
+	binom []float64
+	ss    []*mat.Dense // previous sum panels, newest first
+	pool  []*mat.Dense // spare panels (p+1 total in circulation)
+	s     *mat.Dense   // s_j panel between current() and advance()
+}
+
+func newPanelIntHistory(p int, h float64, n, w int) *panelIntHistory {
+	ih := newIntHistory(p, h, n)
+	ph := &panelIntHistory{p: p, gamma: ih.gamma, binom: ih.binom}
+	for i := 0; i <= p; i++ {
+		ph.pool = append(ph.pool, mat.NewDense(n, w))
+	}
+	return ph
+}
+
+// current computes the s_j panel from the group's solution-lag panels,
+// mirroring intHistory.current term for term (including the γ zero skip).
+func (ph *panelIntHistory) current(xlags []*mat.Dense) *mat.Dense {
+	ph.s = ph.pool[len(ph.pool)-1]
+	ph.pool = ph.pool[:len(ph.pool)-1]
+	sd := ph.s.Data()
+	for i := range sd {
+		sd[i] = 0
+	}
+	kmax := len(xlags)
+	if kmax > ph.p {
+		kmax = ph.p
+	}
+	for k := 0; k < kmax; k++ {
+		if g := ph.gamma[k]; !isExactZero(g) {
+			vecops.AddMul(sd, xlags[k].Data(), g)
+		}
+	}
+	for l := 0; l < len(ph.ss); l++ {
+		vecops.AddMul(sd, ph.ss[l].Data(), -ph.binom[l])
+	}
+	return ph.s
+}
+
+// advance pushes the s_j panel computed by current into the sum-lag ring.
+func (ph *panelIntHistory) advance() {
+	if len(ph.ss) == ph.p {
+		ph.pool = append(ph.pool, ph.ss[ph.p-1])
+		copy(ph.ss[1:], ph.ss[:ph.p-1])
+	} else {
+		ph.ss = append(ph.ss, nil)
+		copy(ph.ss[1:], ph.ss[:len(ph.ss)-1])
+	}
+	ph.ss[0] = ph.s
+	ph.s = nil
+}
+
+// prepareScenario builds one scenario's solve state: expanded inputs, initial
+// state, integer-order recurrences, and the general history engine. The
+// engine runs serial bursts (workers = 1) because it is invoked from inside
+// pool tasks — its results are worker-count-invariant, so this changes no
+// bits, only avoids handing pool work to the pool.
+func prepareScenario(ctx context.Context, sys *System, sc *Scenario, bpf *basis.BPF, m int, coeffs [][]float64, opt *BatchOptions, kernels *kernelCache) (*scenState, error) {
+	uc, err := expandInputs(sys, sc.U, bpf)
+	if err != nil {
+		return nil, err
+	}
+	if !isExactZero(sys.BOrder) {
+		uc = applyInputOrder(uc, bpf.DiffCoeffs(sys.BOrder))
+	}
+	x0, shift, err := prepareInitialState(sys, sc.X0)
+	if err != nil {
+		return nil, err
+	}
+	n := sys.N()
+	st := &scenState{
+		uc: uc, x0: x0, shift: shift,
+		hist: make([]*intHistory, len(sys.Terms)),
+		cols: make([][]float64, m),
+		xbuf: make([]float64, n*m),
+		rhs:  make([]float64, n),
+		ucol: make([]float64, uc.Rows()),
+	}
+	eng, err := newHistoryEngine(n, m, &opt.Options)
+	if err != nil {
+		return nil, err
+	}
+	eng.workers = 1
+	eng.kernels = kernels
+	eng.setGuards(ctx, &opt.Options)
+	for k, t := range sys.Terms {
+		switch {
+		case isExactZero(t.Order):
+		case isExactEq(t.Order, float64(int(t.Order))):
+			st.hist[k] = newIntHistory(int(t.Order), bpf.Step(), n)
+		default:
+			eng.addToeplitz(k, coeffs[k])
+		}
+	}
+	st.eng = eng
+	return st, nil
+}
+
+// batchGroupColumn advances scenarios [lo, hi) through column j: assemble
+// each scenario's right-hand side with the exact scalar operations Solve
+// uses, panel-solve the group, and commit each scenario's column. Errors land
+// in colErr under the scenario's own index (each index is written by exactly
+// one task); on any assembly error the group's solve is skipped — the batch
+// aborts after this column.
+func batchGroupColumn(sys *System, states []*scenState, colErr []error, j int, tj float64, lo, hi int, b, x *mat.Dense, pf *pencilFactor, scratch *panelScratch) {
+	n := sys.N()
+	for s := lo; s < hi; s++ {
+		st := states[s]
+		rhs := st.rhs
+		for i := range rhs {
+			rhs[i] = st.shift[i]
+		}
+		sys.B.MulVecAdd(1, ucColumnInto(st.ucol, st.uc, j), rhs)
+		for k, t := range sys.Terms {
+			switch {
+			case isExactZero(t.Order):
+				continue
+			case st.hist[k] != nil:
+				t.Coeff.MulVecAdd(-1, st.hist[k].current(), rhs)
+			default:
+				w, err := st.eng.history(k, j, st.cols)
+				if err != nil {
+					d := diag(engineErrKind(err), j, tj)
+					d.Order = t.Order
+					d.Cause = fmt.Errorf("batch scenario %d: %w", s, err)
+					colErr[s] = d
+					return
+				}
+				t.Coeff.MulVecAdd(-1, w, rhs)
+			}
+		}
+		// Scatter into panel column s−lo: pure copies, no arithmetic.
+		bd, w := b.Data(), hi-lo
+		for i := 0; i < n; i++ {
+			bd[i*w+(s-lo)] = rhs[i]
+		}
+	}
+	if err := pf.solvePanelInto(x, b, scratch); err != nil {
+		d := diag(ErrInternal, j, tj)
+		d.Cause = fmt.Errorf("batch scenarios [%d,%d): %w", lo, hi, err)
+		colErr[lo] = d
+		return
+	}
+	xd, w := x.Data(), hi-lo
+	for s := lo; s < hi; s++ {
+		st := states[s]
+		xj := st.xbuf[j*n : (j+1)*n : (j+1)*n]
+		for i := 0; i < n; i++ {
+			xj[i] = xd[i*w+(s-lo)]
+		}
+		if i := firstNonFinite(xj); i >= 0 {
+			d := diag(ErrNonFinite, j, tj)
+			d.Cause = fmt.Errorf("batch scenario %d: state %d is %g (poisoned input sample or overflow?)", s, i, xj[i])
+			colErr[s] = d
+			return
+		}
+		st.cols[j] = xj
+		for k := range sys.Terms {
+			if st.hist[k] != nil {
+				st.hist[k].advance(xj)
+			}
+		}
+	}
+}
+
+// batchGroupColumnPanel is batchGroupColumn for the panel-native fast path:
+// every step — shift, input injection, history recurrences, the solve — runs
+// at panel granularity, and only the committed solution column is gathered
+// per scenario. Per panel column the operations match the scalar Solve loop
+// exactly: panel kernels are column-wise identical to their one-vector
+// counterparts and the history panels mirror intHistory's recurrence, so the
+// fast path preserves the batch engine's bitwise contract.
+func batchGroupColumnPanel(sys *System, states []*scenState, colErr []error, j int, tj float64, gr *batchGroup) {
+	n := sys.N()
+	w := gr.hi - gr.lo
+	// rhs panel = shift + B·u_j − Σ_k E_k·s_j⁽ᵏ⁾, assembled panel-wide.
+	copy(gr.b.Data(), gr.shiftP.Data())
+	for c := 0; c < gr.uP.Rows(); c++ {
+		urow := gr.uP.Row(c)
+		for t := 0; t < w; t++ {
+			urow[t] = states[gr.lo+t].uc.Row(c)[j]
+		}
+	}
+	sys.B.MulPanelAdd(1, gr.uP, gr.b, gr.acc)
+	for k, t := range sys.Terms {
+		if gr.hist[k] == nil {
+			continue // order-0 term: no history contribution
+		}
+		t.Coeff.MulPanelAdd(-1, gr.hist[k].current(gr.xlags), gr.b, gr.acc)
+	}
+	xcur := gr.xpool[0]
+	gr.xpool = gr.xpool[1:]
+	if err := gr.pf.solvePanelInto(xcur, gr.b, gr.scratch); err != nil {
+		d := diag(ErrInternal, j, tj)
+		d.Cause = fmt.Errorf("batch scenarios [%d,%d): %w", gr.lo, gr.hi, err)
+		colErr[gr.lo] = d
+		return
+	}
+	xd := xcur.Data()
+	for s := gr.lo; s < gr.hi; s++ {
+		st := states[s]
+		xj := st.xbuf[j*n : (j+1)*n : (j+1)*n]
+		for i := 0; i < n; i++ {
+			xj[i] = xd[i*w+(s-gr.lo)]
+		}
+		if i := firstNonFinite(xj); i >= 0 {
+			d := diag(ErrNonFinite, j, tj)
+			d.Cause = fmt.Errorf("batch scenario %d: state %d is %g (poisoned input sample or overflow?)", s, i, xj[i])
+			colErr[s] = d
+			return
+		}
+		st.cols[j] = xj
+	}
+	// Rotate the solution panel into the lag ring (the evicted panel becomes
+	// the next solve target) and advance each term's recurrence.
+	if gr.maxLag > 0 {
+		if len(gr.xlags) == gr.maxLag {
+			gr.xpool = append(gr.xpool, gr.xlags[gr.maxLag-1])
+			copy(gr.xlags[1:], gr.xlags[:gr.maxLag-1])
+		} else {
+			gr.xlags = append(gr.xlags, nil)
+			copy(gr.xlags[1:], gr.xlags[:len(gr.xlags)-1])
+		}
+		gr.xlags[0] = xcur
+	} else {
+		gr.xpool = append(gr.xpool, xcur)
+	}
+	for k := range gr.hist {
+		if gr.hist[k] != nil {
+			gr.hist[k].advance()
+		}
+	}
+}

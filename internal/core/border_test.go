@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"opmsim/internal/basis"
+	"opmsim/internal/mat"
 	"opmsim/internal/waveform"
 )
 
@@ -70,5 +72,46 @@ func TestSolveAdaptiveAutoRejectsBOrder(t *testing.T) {
 	sysD := &System{Terms: sys.Terms, B: sys.B, BOrder: 1}
 	if _, _, err := SolveAdaptiveAuto(sysD, []waveform.Signal{waveform.Zero()}, 1, AdaptiveOptions{}); err == nil {
 		t.Fatal("SolveAdaptiveAuto accepted BOrder != 0")
+	}
+}
+
+// applyInputOrder's O(m) alternating-tail recurrence must agree with the
+// naive Toeplitz convolution it replaces (to rounding — the summation order
+// differs), and the detection must fire exactly for integer-order sequences.
+func TestApplyInputOrderRecurrence(t *testing.T) {
+	const m = 200
+	bpf, err := basis.NewBPF(m, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dInt := bpf.DiffCoeffs(1)
+	if !toeplitzTailAlternates(dInt) {
+		t.Fatal("DiffCoeffs(1) did not trigger the alternating-tail fast path")
+	}
+	if toeplitzTailAlternates(bpf.DiffCoeffs(0.5)) {
+		t.Fatal("DiffCoeffs(0.5) must not trigger the integer-order fast path")
+	}
+	uc := mat.NewDense(3, m)
+	for c := 0; c < 3; c++ {
+		row := uc.Row(c)
+		for j := range row {
+			row[j] = math.Sin(float64(j)*0.07+float64(c)) + 0.3*float64(c)
+		}
+	}
+	got := applyInputOrder(uc, dInt)
+	for c := 0; c < 3; c++ {
+		row := uc.Row(c)
+		for j := 0; j < m; j++ {
+			want := 0.0
+			for i := 0; i <= j; i++ {
+				want += row[i] * dInt[j-i]
+			}
+			// The naive sum's own rounding grows with j; compare against the
+			// magnitude of the sequence to keep the bound meaningful.
+			scale := math.Abs(want) + math.Abs(dInt[0])
+			if diff := math.Abs(got.At(c, j) - want); diff > 1e-10*scale {
+				t.Fatalf("U_eff[%d][%d] = %g, naive %g (|Δ|=%g)", c, j, got.At(c, j), want, diff)
+			}
+		}
 	}
 }

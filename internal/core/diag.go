@@ -165,6 +165,13 @@ type SolveReport struct {
 	// NewtonDampings counts Armijo step halvings taken across all Newton
 	// iterations.
 	NewtonDampings int
+	// FactorCacheHits and FactorCacheMisses count pencil-factorization
+	// requests served from (and added to) Options.FactorCache during the run;
+	// both stay zero when no cache is attached. A hit means the run reused a
+	// factorization built by an earlier run (or an earlier scenario/step size
+	// of this run) instead of refactoring.
+	FactorCacheHits   int
+	FactorCacheMisses int
 	// HistoryEngine names the engine that served the run's
 	// fractional/high-order history sums: "exact", "fft", or "naive"; empty
 	// when every term used an O(1) recurrence (the orders-{0,1} fast path)
@@ -194,6 +201,9 @@ func (r *SolveReport) Summary() string {
 	}
 	if r.HistoryEngine != "" {
 		s += "; history engine: " + r.HistoryEngine
+	}
+	if r.FactorCacheHits > 0 || r.FactorCacheMisses > 0 {
+		s += fmt.Sprintf("; factor cache: %d hits, %d misses", r.FactorCacheHits, r.FactorCacheMisses)
 	}
 	if r.StepRetries > 0 {
 		s += fmt.Sprintf("; %d step retries", r.StepRetries)

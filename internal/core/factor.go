@@ -106,6 +106,75 @@ func factorPencil(a *sparse.CSR, col int, t float64, opt *Options, rep *SolveRep
 	return nil, d
 }
 
+// panelScratch owns the per-group working panels of solvePanelInto: the
+// sparse tier's substitution/permutation/refinement panels and the dense
+// tier's refinement residual. One scratch per concurrently-solving group.
+type panelScratch struct {
+	sp    *sparse.PanelScratch // sparse tier
+	resid *mat.Dense           // dense tier refinement residual
+}
+
+// newPanelScratch sizes scratch for panels of k right-hand sides against
+// this factorization's tier.
+func (pf *pencilFactor) newPanelScratch(k int) *panelScratch {
+	s := &panelScratch{}
+	switch pf.tier {
+	case TierSparseLU:
+		s.sp = pf.sp.NewPanelScratch(k)
+	case TierDenseLU:
+		s.resid = mat.NewDense(pf.a.R, k)
+	}
+	return s
+}
+
+// solvePanelInto solves the pencil for an n×K panel of right-hand sides
+// (x, b same shape, non-aliasing; s from newPanelScratch(K)). Each column of
+// x is bitwise-identical to a solveInto call on the matching column of b —
+// the sparse and dense tiers run the same refinement sequence through the
+// multi-RHS kernels, the QR backstop falls back to per-column least-squares
+// solves. Unlike solveInto it does NOT touch the report: batch orchestrators
+// run groups concurrently and account K solves per column themselves.
+func (pf *pencilFactor) solvePanelInto(x, b *mat.Dense, s *panelScratch) error {
+	switch pf.tier {
+	case TierSparseLU:
+		return pf.sp.SolvePanelInto(x, b, s.sp)
+	case TierDenseLU:
+		copy(x.Data(), b.Data())
+		pf.dense.SolveMatrixInto(x, x)
+		// Per-column refinement against the exact sparse matrix, mirroring
+		// solveInto: r = b − A·x, x += A⁻¹·r.
+		r := s.resid
+		pf.a.MulPanelInto(r, x)
+		rd, bd := r.Data(), b.Data()
+		for i, v := range rd {
+			rd[i] = bd[i] - v
+		}
+		pf.dense.SolveMatrixInto(r, r)
+		xd := x.Data()
+		for i, v := range rd {
+			xd[i] += v
+		}
+		return nil
+	case TierQR:
+		n, w := b.Rows(), b.Cols()
+		rhs := make([]float64, n)
+		for t := 0; t < w; t++ {
+			for i := 0; i < n; i++ {
+				rhs[i] = b.Row(i)[t]
+			}
+			sol, err := pf.qr.SolveLeastSquares(rhs)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < n; i++ {
+				x.Row(i)[t] = sol[i]
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("core: unknown factorization tier %d", int(pf.tier))
+}
+
 // solve serves one column right-hand side through whichever tier the chain
 // settled on, counting it in the report. rhs is not modified.
 func (pf *pencilFactor) solve(rhs []float64) ([]float64, error) {

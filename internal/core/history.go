@@ -130,11 +130,43 @@ func engineErrKind(err error) error {
 // the reference loop does). Toeplitz terms of an FFT-mode engine carry the
 // fast-convolution state in fft instead of chunked head accumulators.
 type historyTerm struct {
+	key     int // registration key (System term index); names the term in shared caches
 	toe     []float64
 	genCols *mat.Dense
 	head    [][]float64 // head sums for the current chunk, one n-vector per column
 	fft     *fftHist    // segmented fast-convolution state (FFT tier only)
 	w       []float64   // scratch returned by history()
+}
+
+// kernelCache shares FFT lag-kernel spectra across the per-scenario history
+// engines of a batch: the K scenarios of SolveBatch have identical Toeplitz
+// coefficients per term (same h, α, m), so the spectrum for (term, segment
+// length) is computed once and reused instead of K times. Spectra are
+// deterministic functions of the coefficients, so whether an engine computes
+// or fetches one cannot change any bit of its results. Safe for concurrent
+// use; stored slices are immutable after insertion.
+type kernelCache struct {
+	mu sync.Mutex
+	m  map[kernelKey][]complex128
+}
+
+type kernelKey struct{ term, L int }
+
+func newKernelCache() *kernelCache { return &kernelCache{m: map[kernelKey][]complex128{}} }
+
+// get returns the cached spectrum for (term, L), or nil.
+func (c *kernelCache) get(term, L int) []complex128 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[kernelKey{term, L}]
+}
+
+// put stores a freshly built spectrum. Concurrent builders of the same key
+// store bitwise-identical slices, so last-write-wins is harmless.
+func (c *kernelCache) put(term, L int, spec []complex128) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[kernelKey{term, L}] = spec
 }
 
 // historyEngine evaluates general (non-recurrence) history sums for a
@@ -152,9 +184,10 @@ type historyEngine struct {
 	// order lists term keys in registration order. All term iteration goes
 	// through it — never through the map — so task construction and head
 	// zeroing are independent of map iteration order (maporder lint rule).
-	order []int
-	ctx   context.Context    // checked at chunk/segment boundaries; may be nil
-	fault *faultinject.Hooks // optional injection hooks; may be nil
+	order   []int
+	kernels *kernelCache       // shared FFT kernel spectra (batch runs); may be nil
+	ctx     context.Context    // checked at chunk/segment boundaries; may be nil
+	fault   *faultinject.Hooks // optional injection hooks; may be nil
 }
 
 // setGuards attaches the cancellation context and fault-injection hooks the
@@ -238,6 +271,7 @@ func (e *historyEngine) addGeneral(k int, d *mat.Dense) {
 
 // setTerm stores term k, keeping the deterministic iteration order current.
 func (e *historyEngine) setTerm(k int, t *historyTerm) {
+	t.key = k
 	if e.terms[k] == nil {
 		e.order = append(e.order, k)
 	}

@@ -221,6 +221,15 @@ func (e *historyEngine) fftKernel(t *historyTerm, L int) []complex128 {
 	if s, ok := t.fft.ker[L]; ok {
 		return s
 	}
+	// Batch runs share spectra across scenario engines: identical Toeplitz
+	// coefficients give bitwise-identical spectra, so fetching instead of
+	// rebuilding cannot perturb any result.
+	if e.kernels != nil {
+		if s := e.kernels.get(t.key, L); s != nil {
+			t.fft.ker[L] = s
+			return s
+		}
+	}
 	n2 := 2 * L
 	buf := fft.GetFloat(n2)
 	buf[0] = 0
@@ -235,5 +244,8 @@ func (e *historyEngine) fftKernel(t *historyTerm, L int) []complex128 {
 	fft.PlanFor(n2).RealForward(spec, buf)
 	fft.PutFloat(buf)
 	t.fft.ker[L] = spec
+	if e.kernels != nil {
+		e.kernels.put(t.key, L, spec)
+	}
 	return spec
 }

@@ -47,6 +47,16 @@ type Options struct {
 	// always use the exact engine regardless of mode, because the
 	// non-uniform operational matrix has no Toeplitz structure to convolve.
 	HistoryMode HistoryMode
+	// FactorCache, when non-nil, caches leading-pencil factorizations across
+	// runs, keyed by the assembled pencil's contents plus (h, α) and the
+	// factorization-steering options (see FactorCache). Solve, the adaptive
+	// solvers, and SolveBatch consult it; repeated sweep points, halved-h
+	// retries, and batch scenarios then reuse one factorization instead of
+	// refactoring. Hits and misses are mirrored into Report. Safe to share
+	// across goroutines. When factorization fault injection is active the
+	// cache is bypassed (a cached factorization would short-circuit the
+	// injected failures).
+	FactorCache *FactorCache
 	// CondLimit bounds the acceptable 1-norm condition estimate of the
 	// sparse leading-pencil factorization before the solver falls back to
 	// dense LU with iterative refinement. 0 selects the default 1e14; a
@@ -136,7 +146,7 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 	if err != nil {
 		return nil, err
 	}
-	fac, err := factorPencil(msys, -1, 0, &opt, rep)
+	fac, err := factorPencilCached(msys, bpf.Step(), sys.MaxOrder(), -1, 0, &opt, rep)
 	if err != nil {
 		return nil, err
 	}
@@ -339,9 +349,31 @@ func (ih *intHistory) advance(xj []float64) {
 // applyInputOrder right-multiplies the input coefficient matrix by the
 // Toeplitz operational matrix with the given coefficient sequence:
 // U_eff[c][j] = Σ_{i≤j} U[c][i]·d_{j−i}, realizing B·dᵝu/dtᵝ.
+//
+// Integer orders hit a fast path: DiffCoeffs(β) for β = 1 is the classical
+// D(m) sequence (2/h)·(1, −2, 2, −2, ...), whose tail alternates exactly
+// (d_k = −d_{k−1} for k ≥ 2), collapsing the O(m²) convolution per row to
+// the O(m) recurrence t_j = d₁·u_{j−1} − t_{j−1}, y_j = d₀·u_j + t_j. The
+// recurrence sums in a different order than the naive convolution, so the
+// two paths agree to rounding, not bit for bit — acceptable here because
+// every solver (sequential, adaptive, batch) routes through this one
+// function, keeping batch-vs-sequential comparisons exact.
 func applyInputOrder(uc *mat.Dense, d []float64) *mat.Dense {
 	p, m := uc.Rows(), uc.Cols()
 	out := mat.NewDense(p, m)
+	if toeplitzTailAlternates(d) {
+		for c := 0; c < p; c++ {
+			row := uc.Row(c)
+			orow := out.Row(c)
+			t := 0.0
+			orow[0] = d[0] * row[0]
+			for j := 1; j < m; j++ {
+				t = d[1]*row[j-1] - t
+				orow[j] = d[0]*row[j] + t
+			}
+		}
+		return out
+	}
 	for c := 0; c < p; c++ {
 		row := uc.Row(c)
 		orow := out.Row(c)
@@ -354,6 +386,22 @@ func applyInputOrder(uc *mat.Dense, d []float64) *mat.Dense {
 		}
 	}
 	return out
+}
+
+// toeplitzTailAlternates reports whether d_k = −d_{k−1} holds exactly for
+// every k ≥ 2, the structure of the integer-order differentiation sequence
+// that licenses applyInputOrder's O(m) recurrence. Negating a float is
+// exact, so for true D(m) sequences the check cannot fail on rounding.
+func toeplitzTailAlternates(d []float64) bool {
+	if len(d) < 3 {
+		return false // the naive convolution is already trivial
+	}
+	for k := 2; k < len(d); k++ {
+		if !isExactEq(d[k], -d[k-1]) {
+			return false
+		}
+	}
+	return true
 }
 
 // ucColumnInto gathers column j of the input coefficient matrix into dst

@@ -9,7 +9,7 @@ import (
 
 // atsetHotPackages are the import-path suffixes whose inner loops are on the
 // solve-time critical path; only these are held to the slab/row-view idiom.
-var atsetHotPackages = []string{"internal/core", "internal/mat"}
+var atsetHotPackages = []string{"internal/core", "internal/mat", "internal/sparse"}
 
 // atsetHotFiles restricts the rule within the hot packages to the files on
 // the per-step solve path (the PR 4 alloc-elimination surface). Factorization
@@ -24,6 +24,11 @@ var atsetHotFiles = map[string]bool{
 	"generic.go":    true,
 	"dense.go":      true,
 	"triangular.go": true,
+	// PR 5 batch-engine surface: the panel kernels and the batch column loop
+	// are the hottest per-step code in the tree.
+	"batch.go": true,
+	"panel.go": true,
+	"lu.go":    true,
 }
 
 // AnalyzerAtSet (advisory) flags element-wise At/Set calls on mat matrix

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"opmsim/internal/vecops"
 )
 
 // Dense is a row-major dense matrix of float64 values.
@@ -130,22 +132,52 @@ func checkSameDims(a, b *Dense) {
 
 // Mul returns the matrix product a*b as a new matrix.
 func Mul(a, b *Dense) *Dense {
+	out := NewDense(a.rows, b.cols)
+	return MulInto(out, a, b)
+}
+
+// Tile sizes for MulInto: a mulTileK×mulTileJ tile of b (256 KB) stays
+// resident in L2 while it is folded into every row of the output, instead of
+// b being streamed in full once per output row.
+const (
+	mulTileK = 64
+	mulTileJ = 512
+)
+
+// MulInto computes out = a*b into the caller-owned out (zeroed first) and
+// returns it. out must not alias a or b. The inner loops are tiled over b,
+// but every out[i][j] still accumulates its products in ascending k order, so
+// the result is bitwise-identical to the untiled ikj reference for any tile
+// size — callers may switch between Mul and MulInto freely without perturbing
+// golden waveforms.
+func MulInto(out, a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: product dimension mismatch %dx%d * %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	out := NewDense(a.rows, b.cols)
-	// ikj loop order for cache-friendly access of b and out rows.
-	for i := 0; i < a.rows; i++ {
-		arow := a.Row(i)
-		orow := out.Row(i)
-		for k := 0; k < a.cols; k++ {
-			aik := arow[k]
-			if isExactZero(aik) {
-				continue
+	if out.rows != a.rows || out.cols != b.cols {
+		panic(fmt.Sprintf("mat: product output is %dx%d, want %dx%d", out.rows, out.cols, a.rows, b.cols))
+	}
+	out.Zero()
+	for k0 := 0; k0 < a.cols; k0 += mulTileK {
+		k1 := k0 + mulTileK
+		if k1 > a.cols {
+			k1 = a.cols
+		}
+		for j0 := 0; j0 < b.cols; j0 += mulTileJ {
+			j1 := j0 + mulTileJ
+			if j1 > b.cols {
+				j1 = b.cols
 			}
-			brow := b.Row(k)
-			for j := range orow {
-				orow[j] += aik * brow[j]
+			for i := 0; i < a.rows; i++ {
+				arow := a.Row(i)
+				orow := out.Row(i)[j0:j1]
+				for k := k0; k < k1; k++ {
+					aik := arow[k]
+					if isExactZero(aik) {
+						continue
+					}
+					vecops.AddMul(orow, b.Row(k)[j0:j1], aik)
+				}
 			}
 		}
 	}

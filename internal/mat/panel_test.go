@@ -1,0 +1,145 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bitsEqual reports exact bit-pattern equality, the contract the panel
+// kernels promise against their one-vector counterparts.
+func bitsEqual(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// Property: every column of SolveMatrixInto is bitwise-identical to a Solve
+// call on that column, across widths straddling the panel boundary.
+func TestSolveMatrixIntoBitwiseMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	n := 20
+	a := randomDense(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	f, err := LUFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, luPanelWidth - 1, luPanelWidth, luPanelWidth + 1, 2*luPanelWidth + 7} {
+		b := randomDense(rng, n, k)
+		x := f.SolveMatrixInto(NewDense(n, k), b)
+		col := make([]float64, n)
+		for j := 0; j < k; j++ {
+			for i := 0; i < n; i++ {
+				col[i] = b.At(i, j)
+			}
+			want := f.Solve(col)
+			for i := 0; i < n; i++ {
+				if !bitsEqual(x.At(i, j), want[i]) {
+					t.Fatalf("k=%d: x[%d,%d] = %x, Solve gives %x",
+						k, i, j, math.Float64bits(x.At(i, j)), math.Float64bits(want[i]))
+				}
+			}
+		}
+	}
+}
+
+// SolveMatrixInto documents x == b as a supported aliasing: the solve runs
+// in place.
+func TestSolveMatrixIntoAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 12
+	a := randomDense(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	f, err := LUFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randomDense(rng, n, 5)
+	want := f.SolveMatrix(b)
+	got := f.SolveMatrixInto(b, b)
+	for i := 0; i < n; i++ {
+		for j := 0; j < 5; j++ {
+			if !bitsEqual(got.At(i, j), want.At(i, j)) {
+				t.Fatalf("aliased x[%d,%d] = %g, want %g", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+// Regression: SolveMatrixInto must not allocate — the allocation churn of
+// the old SolveMatrix (a fresh column buffer per right-hand side) is what
+// it exists to remove.
+func TestSolveMatrixIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	n := 16
+	a := randomDense(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, float64(n))
+	}
+	f, err := LUFactor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := randomDense(rng, n, 2*luPanelWidth+3)
+	x := NewDense(n, 2*luPanelWidth+3)
+	allocs := testing.AllocsPerRun(20, func() {
+		f.SolveMatrixInto(x, b)
+	})
+	if allocs != 0 {
+		t.Fatalf("SolveMatrixInto allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// mulNaive is the reference untiled triple loop MulInto must reproduce bit
+// for bit (same ascending-k accumulation order, same zero skip).
+func mulNaive(a, b *Dense) *Dense {
+	out := NewDense(a.Rows(), b.Cols())
+	for i := 0; i < a.Rows(); i++ {
+		oi := out.Row(i)
+		for k := 0; k < a.Cols(); k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := range oi {
+				oi[j] += aik * bk[j]
+			}
+		}
+	}
+	return out
+}
+
+// Property: the cache-tiled MulInto is bitwise-identical to the untiled
+// reference across shapes straddling both tile sizes.
+func TestMulIntoBitwiseMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	cases := []struct{ m, k, n int }{
+		{3, 5, 4},
+		{17, mulTileK - 1, 9},
+		{11, mulTileK + 5, mulTileJ + 13},
+		{8, 2*mulTileK + 3, 33},
+	}
+	for _, c := range cases {
+		a := randomDense(rng, c.m, c.k)
+		// Sprinkle exact zeros so the skip path is exercised.
+		for z := 0; z < c.m*c.k/4; z++ {
+			a.Set(rng.Intn(c.m), rng.Intn(c.k), 0)
+		}
+		b := randomDense(rng, c.k, c.n)
+		got := MulInto(NewDense(c.m, c.n), a, b)
+		want := mulNaive(a, b)
+		for i := 0; i < c.m; i++ {
+			for j := 0; j < c.n; j++ {
+				if !bitsEqual(got.At(i, j), want.At(i, j)) {
+					t.Fatalf("(%dx%dx%d): out[%d,%d] = %x, naive %x",
+						c.m, c.k, c.n, i, j,
+						math.Float64bits(got.At(i, j)), math.Float64bits(want.At(i, j)))
+				}
+			}
+		}
+	}
+}

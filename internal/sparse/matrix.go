@@ -179,6 +179,12 @@ func (a *CSR) MulVecAdd(s float64, x, y []float64) {
 		panic("sparse: MulVecAdd length mismatch")
 	}
 	for i := 0; i < a.R; i++ {
+		// Structurally empty rows contribute nothing and are skipped outright.
+		// MulPanelAdd applies the identical skip, which keeps panel and scalar
+		// accumulation bitwise in lockstep row by row.
+		if a.RowPtr[i] == a.RowPtr[i+1] {
+			continue
+		}
 		acc := 0.0
 		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
 			acc += a.Val[p] * x[a.ColIdx[p]]

@@ -1,0 +1,256 @@
+package sparse
+
+import (
+	"fmt"
+
+	"opmsim/internal/mat"
+	"opmsim/internal/vecops"
+)
+
+// Multi-RHS ("panel") kernels. A panel is an n×K row-major mat.Dense whose
+// columns are K independent right-hand sides or solutions: row i holds the K
+// values of equation i contiguously, so the K-wide inner loops below stream
+// one cache line per factor entry instead of re-walking the factor's index
+// arrays once per right-hand side. That index-stream amortization is where
+// the batch engine's single-core win comes from: the Gilbert–Peierls factors
+// are irregular enough that a one-vector solve is bound on li/lx/ui/ux
+// traffic, and a K-wide panel pays for it once.
+//
+// Determinism contract: every kernel in this file performs, for each column
+// of the panel, exactly the floating-point operations of its one-vector
+// counterpart (SolveInto, MulVec) in exactly the same order — including the
+// exact-zero skips, which are applied per column. Panel solves are therefore
+// bitwise-identical to column-by-column solves, which is what lets SolveBatch
+// guarantee bitwise equality with sequential Solve calls.
+
+// SolvePanelInto solves A·X = B for a panel of right-hand sides: x, b, and
+// work are n×K with the same K; x must not alias b or work. The work panel is
+// caller-owned scratch, which keeps the kernel safe for concurrent use on
+// disjoint panels of one shared factorization.
+func (f *LU) SolvePanelInto(x, b, work *mat.Dense) error {
+	if err := checkPanel(f.n, x, b, work); err != nil {
+		return fmt.Errorf("sparse: LU SolvePanelInto: %w", err)
+	}
+	copy(work.Data(), b.Data())
+	w := b.Cols()
+	// Forward: L y = P b, processed column by column in pivot order. The
+	// exact-zero skip is hoisted out of the per-entry loop: one scan of the
+	// source row picks the all-skip, fused-SIMD, or per-element path, and
+	// each path performs per column exactly the operations the scalar solve
+	// would. The fused path hands the column's whole update list to one
+	// SubMulRows call, so the factor's index stream is consumed inside the
+	// kernel instead of through per-nonzero Row() slicing.
+	for j := 0; j < f.n; j++ {
+		yj := work.Row(f.perm[j])
+		switch panelZeros(yj) {
+		case len(yj): // every column's source is zero: scalar skips all updates
+		case 0:
+			vecops.SubMulRows(work.Data(), w, f.li[f.lp[j]:f.lp[j+1]], f.lx[f.lp[j]:f.lp[j+1]], yj)
+		default:
+			for q := f.lp[j]; q < f.lp[j+1]; q++ {
+				dst := work.Row(f.li[q])
+				lx := f.lx[q]
+				for t, v := range yj {
+					if !isExactZero(v) {
+						dst[t] -= lx * v
+					}
+				}
+			}
+		}
+	}
+	for j := 0; j < f.n; j++ {
+		copy(x.Row(j), work.Row(f.perm[j]))
+	}
+	// Backward: U x = y, U stored by column with pivot-position rows.
+	for j := f.n - 1; j >= 0; j-- {
+		xj := x.Row(j)
+		vecops.Div(xj, f.udiag[j])
+		switch panelZeros(xj) {
+		case len(xj):
+		case 0:
+			vecops.SubMulRows(x.Data(), w, f.ui[f.up[j]:f.up[j+1]], f.ux[f.up[j]:f.up[j+1]], xj)
+		default:
+			for q := f.up[j]; q < f.up[j+1]; q++ {
+				dst := x.Row(f.ui[q])
+				ux := f.ux[q]
+				for t, v := range xj {
+					if !isExactZero(v) {
+						dst[t] -= ux * v
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// panelZeros counts the exact zeros in one panel row, deciding which
+// substitution path applies. Circuit solves see two regimes almost
+// exclusively: leading all-zero rows before the inputs switch on, and fully
+// nonzero rows afterwards — the mixed per-element path is the rare
+// transition case.
+func panelZeros(row []float64) int {
+	zeros := 0
+	for _, v := range row {
+		if isExactZero(v) {
+			zeros++
+		}
+	}
+	return zeros
+}
+
+// share returns a factorization view with the immutable factor arrays shared
+// and the lazily-sized solve scratch detached, so two goroutines (or two
+// cached solver runs) can SolveInto through their own views concurrently.
+func (f *LU) share() *LU {
+	c := *f
+	c.work = nil
+	return &c
+}
+
+// Share returns a view of the factorization that reuses the (immutable)
+// factors and pre-ordering but owns its solve scratch. Views are what the
+// pencil-factorization cache hands out: each run solves through its own view,
+// so cached factorizations never race on scratch, and a view's solves are
+// bitwise-identical to the original's.
+func (f *Factorization) Share() *Factorization {
+	return &Factorization{lu: f.lu.share(), a: f.a, ord: f.ord, refine: f.refine}
+}
+
+// PanelScratch owns the working panels one goroutine needs to run
+// Factorization.SolvePanelInto: the substitution work panel, the permutation
+// gather/scatter pair, and the refinement residual/correction pair. Scratch
+// is bound to a panel width; allocate one per concurrent solving task.
+type PanelScratch struct {
+	k                 int
+	work              *mat.Dense
+	pb, px            *mat.Dense // permutation sandwich panels (RCM runs only)
+	residual, correct *mat.Dense // refinement panels (refine runs only)
+}
+
+// NewPanelScratch returns scratch for SolvePanelInto calls on panels of
+// exactly k right-hand sides.
+func (f *Factorization) NewPanelScratch(k int) *PanelScratch {
+	s := &PanelScratch{k: k, work: mat.NewDense(f.lu.n, k)}
+	if f.ord != nil {
+		s.pb = mat.NewDense(f.lu.n, k)
+		s.px = mat.NewDense(f.lu.n, k)
+	}
+	if f.refine {
+		s.residual = mat.NewDense(f.lu.n, k)
+		s.correct = mat.NewDense(f.lu.n, k)
+	}
+	return s
+}
+
+// SolvePanelInto solves A·X = B for an n×K panel without modifying b, routing
+// through the RCM permutation sandwich and the optional refinement step
+// exactly as the one-vector SolveInto does, column by column in the same
+// operation order — each column of x is bitwise-identical to a SolveInto call
+// on the matching column of b. s must come from NewPanelScratch(K) on this
+// factorization (or a Share() sibling); concurrent calls need distinct
+// scratch.
+func (f *Factorization) SolvePanelInto(x, b *mat.Dense, s *PanelScratch) error {
+	if err := checkPanel(f.lu.n, x, b, s.work); err != nil {
+		return fmt.Errorf("sparse: SolvePanelInto: %w", err)
+	}
+	if x.Cols() != s.k {
+		return fmt.Errorf("sparse: SolvePanelInto scratch is for %d right-hand sides, got %d", s.k, x.Cols())
+	}
+	if err := f.solveOncePanel(x, b, s); err != nil {
+		return err
+	}
+	if f.refine {
+		// One refinement step per column: r = b − A·x, x += A⁻¹ r.
+		f.a.MulPanelInto(s.residual, x)
+		rd, bd := s.residual.Data(), b.Data()
+		for i, v := range rd {
+			rd[i] = bd[i] - v
+		}
+		if err := f.solveOncePanel(s.correct, s.residual, s); err != nil {
+			return err
+		}
+		xd, cd := x.Data(), s.correct.Data()
+		for i, v := range cd {
+			xd[i] += v
+		}
+	}
+	return nil
+}
+
+// solveOncePanel is one unrefined panel solve through the permutation
+// sandwich, mirroring solveOnceInto.
+func (f *Factorization) solveOncePanel(x, b *mat.Dense, s *PanelScratch) error {
+	if f.ord == nil {
+		return f.lu.SolvePanelInto(x, b, s.work)
+	}
+	for newI, oldI := range f.ord {
+		copy(s.pb.Row(newI), b.Row(oldI))
+	}
+	if err := f.lu.SolvePanelInto(s.px, s.pb, s.work); err != nil {
+		return err
+	}
+	for newI, oldI := range f.ord {
+		copy(x.Row(oldI), s.px.Row(newI))
+	}
+	return nil
+}
+
+// MulPanelInto computes dst = A·X for an n-column panel X (dst and X are
+// a.R×K and a.C×K; dst must not alias X). Each column's accumulation runs in
+// ascending nonzero order, matching MulVec on that column bit for bit.
+func (a *CSR) MulPanelInto(dst, x *mat.Dense) {
+	if x.Rows() != a.C || dst.Rows() != a.R || dst.Cols() != x.Cols() {
+		panic(fmt.Sprintf("sparse: MulPanelInto dims %dx%d = %dx%d · %dx%d",
+			dst.Rows(), dst.Cols(), a.R, a.C, x.Rows(), x.Cols()))
+	}
+	for i := 0; i < a.R; i++ {
+		di := dst.Row(i)
+		for t := range di {
+			di[t] = 0
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			vecops.AddMul(di, x.Row(a.ColIdx[p]), a.Val[p])
+		}
+	}
+}
+
+// MulPanelAdd accumulates dst += s·(A·X) for a K-column panel X (dst is
+// a.R×K, X is a.C×K), mirroring MulVecAdd column by column: each output row
+// first accumulates its products in ascending nonzero order into acc, then
+// folds s·acc into dst — per column exactly the operations (and roundings)
+// MulVecAdd performs. acc is caller-owned scratch of length K.
+func (a *CSR) MulPanelAdd(s float64, x, dst *mat.Dense, acc []float64) {
+	if x.Rows() != a.C || dst.Rows() != a.R || dst.Cols() != x.Cols() || len(acc) != x.Cols() {
+		panic(fmt.Sprintf("sparse: MulPanelAdd dims %dx%d += %dx%d · %dx%d (acc %d)",
+			dst.Rows(), dst.Cols(), a.R, a.C, x.Rows(), x.Cols(), len(acc)))
+	}
+	for i := 0; i < a.R; i++ {
+		// Same structural empty-row skip as MulVecAdd (see there) — the pair
+		// must stay in lockstep for the bitwise contract.
+		if a.RowPtr[i] == a.RowPtr[i+1] {
+			continue
+		}
+		for t := range acc {
+			acc[t] = 0
+		}
+		for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+			vecops.AddMul(acc, x.Row(a.ColIdx[p]), a.Val[p])
+		}
+		vecops.AddMul(dst.Row(i), acc, s)
+	}
+}
+
+// checkPanel validates the common shape contract of the panel kernels.
+func checkPanel(n int, x, b, work *mat.Dense) error {
+	if x.Rows() != n || b.Rows() != n || work.Rows() != n {
+		return fmt.Errorf("panel rows %d,%d,%d != %d", x.Rows(), b.Rows(), work.Rows(), n)
+	}
+	if x.Cols() != b.Cols() || work.Cols() != b.Cols() {
+		return fmt.Errorf("panel widths %d,%d,%d differ", x.Cols(), b.Cols(), work.Cols())
+	}
+	if x == b || x == work || b == work {
+		return fmt.Errorf("panels must not alias")
+	}
+	return nil
+}
