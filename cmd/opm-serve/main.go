@@ -1,0 +1,106 @@
+// Command opm-serve runs the OPM simulation service: a long-running
+// stdlib-only HTTP server that accepts netlist + scenario-sweep submissions
+// and streams waveform columns back as the batched operational-matrix solve
+// produces them.
+//
+// Usage:
+//
+//	opm-serve [-addr :8080] [-workers 8] [-queue 64] [-cache 64] \
+//	          [-solve-workers 1] [-max-steps 131072] [-max-scenarios 1024] \
+//	          [-verbose]
+//
+// Endpoints:
+//
+//	POST /v1/solve  submit a job; the response is application/x-ndjson —
+//	                a header record, one record per solved column, and a
+//	                done/error trailer. 429 + Retry-After when the queue is
+//	                full. See internal/serve for the request schema.
+//	GET  /metrics   JSON counters: queue depth, in-flight jobs, factor-cache
+//	                hit rate, p50/p99 solve latency.
+//	GET  /healthz   liveness probe.
+//
+// All jobs share one process-wide pencil-factorization cache, so concurrent
+// clients sweeping the same circuit reuse a single factorization. SIGINT or
+// SIGTERM drains in-flight jobs and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"opmsim/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "concurrent solve slots (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 0, "admitted jobs that may wait for a slot before 429 (0 = 64)")
+		cacheCap     = flag.Int("cache", 0, "process-wide pencil-factorization cache capacity (0 = 64)")
+		solveWorkers = flag.Int("solve-workers", 0, "goroutines per solve's history engine (0 = 1; results identical for any value)")
+		maxSteps     = flag.Int("max-steps", 0, "per-request BPF column limit (0 = 131072)")
+		maxScen      = flag.Int("max-scenarios", 0, "per-request sweep cardinality limit (0 = 1024)")
+		verbose      = flag.Bool("verbose", false, "log every finished job (title, priority, columns, duration, cache hits)")
+	)
+	flag.Parse()
+
+	srv := newServer(serve.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheCap:     *cacheCap,
+		SolveWorkers: *solveWorkers,
+		MaxSteps:     *maxSteps,
+		MaxScenarios: *maxScen,
+	}, *verbose)
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("opm-serve: listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("opm-serve: %v", err)
+		}
+	case <-ctx.Done():
+		log.Printf("opm-serve: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("opm-serve: shutdown: %v", err)
+		}
+	}
+}
+
+// newServer assembles the service, optionally attaching the verbose job log.
+func newServer(cfg serve.Config, verbose bool) *serve.Server {
+	srv := serve.New(cfg)
+	if verbose {
+		srv.OnJobDone = func(d serve.Done) {
+			status := "ok"
+			if d.Err != nil {
+				status = d.Err.Error()
+			}
+			title := d.Title
+			if title == "" {
+				title = "(untitled)"
+			}
+			log.Printf("job %q prio=%s scenarios=%d columns=%d cache=%d/%d dur=%s: %s",
+				title, d.Priority, d.Scenarios, d.Columns,
+				d.Report.FactorCacheHits, d.Report.FactorCacheHits+d.Report.FactorCacheMisses,
+				d.Duration.Round(time.Microsecond), status)
+		}
+	}
+	return srv
+}

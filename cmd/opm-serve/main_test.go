@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"opmsim/internal/serve"
+)
+
+// TestServerEndToEnd drives the assembled binary handler (as main builds it)
+// through a full submit-and-stream round trip plus the probe endpoints.
+func TestServerEndToEnd(t *testing.T) {
+	srv := newServer(serve.Config{Workers: 2, QueueDepth: 4}, false)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: got %d, want 200", resp.StatusCode)
+	}
+
+	body := `{"netlist": "rc lowpass\nV1 in 0 STEP 1\nR1 in out 1k\nC1 out 0 1u\n.tran 0.1m 10m\n", "steps": 64, "sweep": {"count": 2, "lo": 0.5, "hi": 1.5}}`
+	resp, err = http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve: got %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("solve: Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var lines, columns int
+	var sawDone bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v", lines, err)
+		}
+		switch rec["type"] {
+		case "column":
+			columns++
+		case "done":
+			sawDone = true
+		case "error":
+			t.Fatalf("stream ended in error: %s", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if columns != 64 || !sawDone {
+		t.Fatalf("got %d column records (want 64), done=%v", columns, sawDone)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap serve.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Completed != 1 || snap.Submitted != 1 {
+		t.Fatalf("metrics: submitted=%d completed=%d, want 1/1", snap.Submitted, snap.Completed)
+	}
+	if snap.Latency.Count != 1 {
+		t.Fatalf("metrics: latency count = %d, want 1", snap.Latency.Count)
+	}
+}
+
+// TestVerboseHookInstalled checks the -verbose wiring installs a job logger.
+func TestVerboseHookInstalled(t *testing.T) {
+	if srv := newServer(serve.Config{}, true); srv.OnJobDone == nil {
+		t.Fatal("verbose server has no OnJobDone hook")
+	}
+	if srv := newServer(serve.Config{}, false); srv.OnJobDone != nil {
+		t.Fatal("quiet server unexpectedly has an OnJobDone hook")
+	}
+}

@@ -25,7 +25,9 @@ func SolveAdaptive(sys *System, u []waveform.Signal, steps []float64, opt Option
 
 // SolveAdaptiveCtx is SolveAdaptive with cancellation; see SolveCtx for the
 // contract.
-func SolveAdaptiveCtx(ctx context.Context, sys *System, u []waveform.Signal, steps []float64, opt Options) (*Solution, error) {
+func SolveAdaptiveCtx(ctx context.Context, sys *System, u []waveform.Signal, steps []float64, opt Options) (_ *Solution, err error) {
+	rep := opt.report()
+	defer func() { rep.Err = err }()
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -48,7 +50,6 @@ func SolveAdaptiveCtx(ctx context.Context, sys *System, u []waveform.Signal, ste
 		uc = mat.Mul(uc, db)
 	}
 	n, m := sys.N(), len(steps)
-	rep := opt.report()
 
 	// Materialize D̃ᵅᵏ for each term (dense m×m; the adaptive path is meant
 	// for modest m, where step placement replaces step count).
@@ -216,7 +217,9 @@ func SolveAdaptiveAuto(sys *System, u []waveform.Signal, T float64, opt Adaptive
 
 // SolveAdaptiveAutoCtx is SolveAdaptiveAuto with cancellation; see SolveCtx
 // for the contract.
-func SolveAdaptiveAutoCtx(ctx context.Context, sys *System, u []waveform.Signal, T float64, opt AdaptiveOptions) (*Solution, *AdaptiveStats, error) {
+func SolveAdaptiveAutoCtx(ctx context.Context, sys *System, u []waveform.Signal, T float64, opt AdaptiveOptions) (_ *Solution, _ *AdaptiveStats, err error) {
+	rep := opt.report()
+	defer func() { rep.Err = err }()
 	if err := sys.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -247,7 +250,6 @@ func SolveAdaptiveAutoCtx(ctx context.Context, sys *System, u []waveform.Signal,
 		opt.MaxSteps = 100000
 	}
 	n := sys.N()
-	rep := opt.report()
 	uAt := func(t float64) []float64 {
 		v := make([]float64, len(u))
 		for c, sig := range u {

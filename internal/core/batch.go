@@ -65,6 +65,17 @@ type BatchOptions struct {
 	// on len(scenarios), so any value is deterministic; widths beyond ~64
 	// trade cache residency for little extra index amortization.
 	PanelWidth int
+	// OnColumn, when non-nil, is invoked once per column at the column
+	// barrier — after every scenario group has committed column col — with
+	// the interval-midpoint time and each scenario's column including its X0
+	// offset: cols[s] is bitwise-identical to column col of scenario s's
+	// final Solution. The backing buffers are owned by the solver and reused
+	// between invocations; consumers must copy (or encode) them before
+	// returning. The hook runs on the SolveBatchCtx goroutine, so a slow
+	// consumer throttles the batch — the intended backpressure when columns
+	// stream to a client. The embedded Options.OnColumn is ignored here: a
+	// per-scenario hook would fire from concurrent group tasks.
+	OnColumn func(col int, t float64, cols [][]float64)
 }
 
 // scenState is the per-scenario solve state: exactly what one sequential
@@ -94,7 +105,9 @@ func SolveBatch(sys *System, scenarios []Scenario, m int, T float64, opt BatchOp
 
 // SolveBatchCtx is SolveBatch with cancellation, checked once per column (and
 // at the chunk/segment boundaries of the scenario history engines).
-func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int, T float64, opt BatchOptions) ([]*Solution, error) {
+func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int, T float64, opt BatchOptions) (_ []*Solution, err error) {
+	rep := opt.report()
+	defer func() { rep.Err = err }()
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -114,7 +127,6 @@ func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int
 		width = K
 	}
 	n := sys.N()
-	rep := opt.report()
 
 	// Shared pencil: coefficient sequences, assembled leading matrix, one
 	// factorization for the whole batch (through the cache when attached).
@@ -222,6 +234,13 @@ func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int
 
 	colErr := make([]error, K)
 	tasks := make([]func(), 0, nGroups)
+	var hookCols [][]float64
+	if opt.OnColumn != nil {
+		hookCols = make([][]float64, K)
+		for s := range hookCols {
+			hookCols[s] = make([]float64, n)
+		}
+	}
 	for j := 0; j < m; j++ {
 		tj := (float64(j) + 0.5) * h
 		if err := ctx.Err(); err != nil {
@@ -260,6 +279,19 @@ func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int
 		}
 		rep.Columns += K
 		rep.TierSolves[shared.tier] += K
+		if opt.OnColumn != nil {
+			// Same operands and order as the final Solution assembly, so
+			// every streamed column matches its Solution entry bit for bit.
+			for s := 0; s < K; s++ {
+				st := states[s]
+				xj := st.xbuf[j*n : (j+1)*n]
+				dst := hookCols[s]
+				for i := 0; i < n; i++ {
+					dst[i] = xj[i] + st.x0[i]
+				}
+			}
+			opt.OnColumn(j, tj, hookCols)
+		}
 	}
 
 	// Assemble the per-scenario Solutions (pure data movement; fanned out,

@@ -172,6 +172,14 @@ type SolveReport struct {
 	// of this run) instead of refactoring.
 	FactorCacheHits   int
 	FactorCacheMisses int
+	// Err records the run's terminal error — the same *Diagnostic the solver
+	// returned — or nil after a successful solve. Keeping it on the report
+	// lets a consumer holding only the report (a service's job ledger, a
+	// post-mortem dump) route on errors.Is(rep.Err, ErrCancelled) without
+	// also threading the return value through. Every solver entry point sets
+	// it on the way out, success and failure alike, so a report reused across
+	// runs always reflects the most recent one.
+	Err error
 	// HistoryEngine names the engine that served the run's
 	// fractional/high-order history sums: "exact", "fft", or "naive"; empty
 	// when every term used an O(1) recurrence (the orders-{0,1} fast path)

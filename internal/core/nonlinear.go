@@ -64,7 +64,9 @@ func SolveNonlinear(sys *System, g Nonlinearity, u []waveform.Signal, m int, T f
 
 // SolveNonlinearCtx is SolveNonlinear with cancellation; see SolveCtx for
 // the contract.
-func SolveNonlinearCtx(ctx context.Context, sys *System, g Nonlinearity, u []waveform.Signal, m int, T float64, opt NonlinearOptions) (*Solution, error) {
+func SolveNonlinearCtx(ctx context.Context, sys *System, g Nonlinearity, u []waveform.Signal, m int, T float64, opt NonlinearOptions) (_ *Solution, err error) {
+	rep := opt.report()
+	defer func() { rep.Err = err }()
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -92,7 +94,6 @@ func SolveNonlinearCtx(ctx context.Context, sys *System, g Nonlinearity, u []wav
 		uc = applyInputOrder(uc, bpf.DiffCoeffs(sys.BOrder))
 	}
 	n := sys.N()
-	rep := opt.report()
 	coeffs := make([][]float64, len(sys.Terms))
 	for k, t := range sys.Terms {
 		coeffs[k] = bpf.DiffCoeffs(t.Order)

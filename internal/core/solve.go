@@ -57,6 +57,18 @@ type Options struct {
 	// cache is bypassed (a cached factorization would short-circuit the
 	// injected failures).
 	FactorCache *FactorCache
+	// OnColumn, when non-nil, is invoked by Solve/SolveCtx after each
+	// solution column commits, with the column index, the interval-midpoint
+	// time, and the column values including the X0 offset — bitwise-identical
+	// to column col of the final Solution's coefficient matrix. The slice is
+	// owned by the solver and reused between invocations: consumers must copy
+	// (or encode) it before returning. The hook runs on the solving
+	// goroutine, so a slow consumer throttles the solve — the intended
+	// backpressure for streaming columns to a client. The adaptive and
+	// nonlinear solvers ignore it (their columns are revised after commit);
+	// SolveBatch ignores it too in favour of BatchOptions.OnColumn, whose
+	// barrier semantics keep the hook off the concurrent group tasks.
+	OnColumn func(col int, t float64, x []float64)
 	// CondLimit bounds the acceptable 1-norm condition estimate of the
 	// sparse leading-pencil factorization before the solver falls back to
 	// dense LU with iterative refinement. 0 selects the default 1e14; a
@@ -111,7 +123,9 @@ func Solve(sys *System, u []waveform.Signal, m int, T float64, opt Options) (*So
 // solve loop (and at the chunk boundaries of the parallel history engine),
 // and an expired or cancelled context terminates the run with a *Diagnostic
 // wrapping ErrCancelled that records the column and time reached.
-func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T float64, opt Options) (*Solution, error) {
+func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T float64, opt Options) (_ *Solution, err error) {
+	rep := opt.report()
+	defer func() { rep.Err = err }()
 	if err := sys.Validate(); err != nil {
 		return nil, err
 	}
@@ -133,7 +147,6 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 	}
 
 	n := sys.N()
-	rep := opt.report()
 	// Per-term Toeplitz coefficient sequences c⁽ᵏ⁾ of Dᵅᵏ.
 	coeffs := make([][]float64, len(sys.Terms))
 	for k, t := range sys.Terms {
@@ -195,6 +208,10 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 	xbuf := make([]float64, n*m)
 	rhs := make([]float64, n)
 	ucol := make([]float64, uc.Rows())
+	var hook []float64
+	if opt.OnColumn != nil {
+		hook = make([]float64, n)
+	}
 	for j := 0; j < m; j++ {
 		tj := (float64(j) + 0.5) * h
 		if err := ctx.Err(); err != nil {
@@ -247,6 +264,14 @@ func SolveCtx(ctx context.Context, sys *System, u []waveform.Signal, m int, T fl
 			if hist[k] != nil {
 				hist[k].advance(xj)
 			}
+		}
+		if opt.OnColumn != nil {
+			// Same operands and order as the final assembly below, so the
+			// streamed column matches the Solution entry bit for bit.
+			for i := range hook {
+				hook[i] = xj[i] + x0[i]
+			}
+			opt.OnColumn(j, tj, hook)
 		}
 	}
 	x := mat.NewDense(n, m)

@@ -9,7 +9,7 @@ import (
 
 // atsetHotPackages are the import-path suffixes whose inner loops are on the
 // solve-time critical path; only these are held to the slab/row-view idiom.
-var atsetHotPackages = []string{"internal/core", "internal/mat", "internal/sparse"}
+var atsetHotPackages = []string{"internal/core", "internal/mat", "internal/sparse", "internal/serve"}
 
 // atsetHotFiles restricts the rule within the hot packages to the files on
 // the per-step solve path (the PR 4 alloc-elimination surface). Factorization
@@ -29,6 +29,10 @@ var atsetHotFiles = map[string]bool{
 	"batch.go": true,
 	"panel.go": true,
 	"lu.go":    true,
+	// PR 6 service surface: the per-column streaming path runs once per BPF
+	// column per job, concurrently across worker slots.
+	"stream.go": true,
+	"serve.go":  true,
 }
 
 // AnalyzerAtSet (advisory) flags element-wise At/Set calls on mat matrix

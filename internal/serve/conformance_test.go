@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+
+	"opmsim/internal/core"
+)
+
+// TestStreamingConformance is the streaming golden suite: for each fixture
+// deck and each fractional-history engine, the columns streamed over HTTP
+// must be bitwise-equal — every float64, every scenario, every column — to
+// the waveform an offline core.SolveBatch produces for the same job. This
+// pins down the whole pipeline: the OnColumn hook mirrors the Solution
+// assembly exactly, encoding/json round-trips float64 bits exactly, and the
+// handler streams hook values unmodified.
+func TestStreamingConformance(t *testing.T) {
+	fixtures := []struct {
+		name  string
+		deck  string
+		steps int
+	}{
+		{"quickstart", quickstartDeck, 192}, // integer-order RC ladder
+		{"supercap", supercapDeck, 300},     // fractional CPE (alpha = 0.7)
+		{"powergrid", powergridDeck, 128},   // RLC mesh with inductor states
+	}
+	for _, fx := range fixtures {
+		fx := fx
+		for _, mode := range []string{"exact", "fft"} {
+			mode := mode
+			t.Run(fx.name+"/"+mode, func(t *testing.T) {
+				t.Parallel()
+				body := `{"netlist": ` + strconv.Quote(fx.deck) +
+					`, "steps": ` + strconv.Itoa(fx.steps) +
+					`, "history": "` + mode + `"` +
+					`, "sweep": {"count": 3, "lo": 0.5, "hi": 1.5}}`
+
+				srv := New(Config{Workers: 2})
+				ts := httptest.NewServer(srv)
+				defer ts.Close()
+				res := submit(t, ts.Client(), ts.URL, body)
+				if res.status != 200 {
+					t.Fatalf("status = %d (%s)", res.status, res.rawErr)
+				}
+				if res.errRec != nil {
+					t.Fatalf("stream ended in error: %s", res.errRec.Error)
+				}
+				if res.header == nil || res.done == nil {
+					t.Fatal("stream is missing its header or done record")
+				}
+				if len(res.columns) != fx.steps {
+					t.Fatalf("streamed %d columns, want %d", len(res.columns), fx.steps)
+				}
+
+				// Offline reference: parse the identical body through the same
+				// decode path, then run the batch engine directly with the
+				// handler's options (fresh cache — the bitwise contract of
+				// FactorCache makes shared vs fresh indistinguishable).
+				cfg := Config{}.withDefaults()
+				job, rerr := parseRequest([]byte(body), &cfg)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				sols, err := core.SolveBatchCtx(context.Background(),
+					job.mna.Sys, job.scenarios, job.m, job.T,
+					core.BatchOptions{Options: core.Options{
+						Workers:     cfg.SolveWorkers,
+						HistoryMode: job.history,
+					}})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				if len(res.header.States) != len(job.mna.StateNames) {
+					t.Fatalf("header states = %v, want all %d MNA states",
+						res.header.States, len(job.mna.StateNames))
+				}
+				h := job.T / float64(job.m)
+				for s, sol := range sols {
+					x := sol.Coefficients()
+					for j, col := range res.columns {
+						if col.J != j {
+							t.Fatalf("column %d carries index %d", j, col.J)
+						}
+						tj := (float64(j) + 0.5) * h // the solver's column midpoint
+						if math.Float64bits(col.T) != math.Float64bits(tj) {
+							t.Fatalf("column %d: streamed t=%x, offline t=%x",
+								j, math.Float64bits(col.T), math.Float64bits(tj))
+						}
+						for k, i := range job.stateIdx {
+							got := col.X[s][k]
+							want := x.At(i, j)
+							if math.Float64bits(got) != math.Float64bits(want) {
+								t.Fatalf("scenario %d state %s column %d: streamed %x (%g), offline %x (%g)",
+									s, job.labels[k], j,
+									math.Float64bits(got), got,
+									math.Float64bits(want), want)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStreamingConformanceStateSubset repeats the bitwise check when the
+// client asks for a subset of states, which exercises the streamWriter's
+// gather path.
+func TestStreamingConformanceStateSubset(t *testing.T) {
+	body := `{"netlist": ` + strconv.Quote(quickstartDeck) +
+		`, "steps": 64, "nodes": ["n5", "n1"], "sweep": {"count": 2, "lo": 0.5, "hi": 1.5}}`
+
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	res := submit(t, ts.Client(), ts.URL, body)
+	if res.status != 200 || res.done == nil {
+		t.Fatalf("status=%d done=%v err=%v", res.status, res.done, res.errRec)
+	}
+	if len(res.header.States) != 2 || res.header.States[0] != "v(n5)" || res.header.States[1] != "v(n1)" {
+		t.Fatalf("header states = %v, want [v(n5) v(n1)]", res.header.States)
+	}
+
+	cfg := Config{}.withDefaults()
+	job, rerr := parseRequest([]byte(body), &cfg)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	sols, err := core.SolveBatchCtx(context.Background(), job.mna.Sys, job.scenarios, job.m, job.T,
+		core.BatchOptions{Options: core.Options{Workers: cfg.SolveWorkers}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, sol := range sols {
+		x := sol.Coefficients()
+		for j, col := range res.columns {
+			if len(col.X[s]) != 2 {
+				t.Fatalf("column %d scenario %d carries %d states, want 2", j, s, len(col.X[s]))
+			}
+			for k, i := range job.stateIdx {
+				if math.Float64bits(col.X[s][k]) != math.Float64bits(x.At(i, j)) {
+					t.Fatalf("scenario %d state %s column %d mismatch", s, job.labels[k], j)
+				}
+			}
+		}
+	}
+}

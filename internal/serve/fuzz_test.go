@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"strconv"
+	"testing"
+)
+
+// FuzzServeRequest fuzzes the /v1/solve request decoder — the exact function
+// the handler runs on every raw body before admission. The contract under
+// fuzz: parseRequest never panics, and every rejection is a typed
+// *RequestError carrying a 4xx status (the handler turns nil into a solve and
+// anything else into that status — a 5xx or a panic here would take down the
+// request goroutine).
+func FuzzServeRequest(f *testing.F) {
+	// Seeds: one representative of each decode stage so the fuzzer starts on
+	// both sides of every validation branch.
+	f.Add([]byte(solveBody(tinyDeck, 16, 3, 0.5, 1.5, `"history": "fft", "priority": "high", "nodes": ["n2"]`)))
+	f.Add([]byte(solveBody(quickstartDeck, 0, 0, 1, 1, `"tstop": "60m"`)))
+	f.Add([]byte(`{"netlist": `))                        // truncated JSON
+	f.Add([]byte(`{"netlist": ""}`))                     // empty deck
+	f.Add([]byte(`{"netlist": "t\nR1 a\n"}`))            // short card
+	f.Add([]byte(`{"netlist": "t\nQ9 a b 1\n"}`))        // unknown card
+	f.Add([]byte(`{"netlist": "t\nR1 a b 1k\n"}`))       // no .tran, no tstop
+	f.Add([]byte(`{"netlist": "t\nV1 a 0 STEP 1\nR1 a b 1k\nD1 b 0 1e-12\n.tran 1m 1\n"}`)) // nonlinear
+	f.Add([]byte(solveBody(tinyDeck, -1, 1, 1, 1, "")))  // bad steps
+	f.Add([]byte(solveBody(tinyDeck, 1<<30, 1, 1, 1, ""))) // steps over limit
+	f.Add([]byte(`{"netlist": ` + strconv.Quote(tinyDeck) + `, "sweep": {"count": 4, "lo": "1x", "hi": 2}}`)) // bad suffix
+	f.Add([]byte(`{"netlist": ` + strconv.Quote(tinyDeck) + `, "tstop": 1e308, "steps": 2}`))
+	f.Add([]byte(`{"netlist": ` + strconv.Quote(tinyDeck) + `, "priority": "urgent"}`))
+	f.Add([]byte(`{"netlist": ` + strconv.Quote(tinyDeck) + `, "nodes": ["ghost"]}`))
+
+	cfg := Config{}.withDefaults()
+	// Tight solver-facing limits keep the fuzzer from building huge jobs; the
+	// decode paths under test do not depend on the limit values.
+	cfg.MaxSteps = 1 << 12
+	cfg.MaxScenarios = 64
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		job, rerr := parseRequest(body, &cfg)
+		if rerr != nil {
+			if job != nil {
+				t.Fatalf("parseRequest returned both a job and an error (%v)", rerr)
+			}
+			if rerr.Status < 400 || rerr.Status > 499 {
+				t.Fatalf("rejection status = %d (%s), contract is 4xx only", rerr.Status, rerr.Msg)
+			}
+			if rerr.Msg == "" {
+				t.Fatal("rejection with an empty message")
+			}
+			return
+		}
+		// Accepted: the job must be internally consistent enough to solve.
+		if job == nil {
+			t.Fatal("parseRequest returned neither job nor error")
+		}
+		if job.mna == nil || job.m < 1 || job.m > cfg.MaxSteps || !(job.T > 0) {
+			t.Fatalf("accepted job is malformed: m=%d T=%g", job.m, job.T)
+		}
+		if len(job.scenarios) == 0 || len(job.scenarios) > cfg.MaxScenarios || len(job.scenarios) != len(job.scales) {
+			t.Fatalf("accepted job has inconsistent sweep: %d scenarios, %d scales", len(job.scenarios), len(job.scales))
+		}
+		if len(job.stateIdx) == 0 || len(job.stateIdx) != len(job.labels) {
+			t.Fatalf("accepted job has inconsistent state selection: %d idx, %d labels", len(job.stateIdx), len(job.labels))
+		}
+		for _, i := range job.stateIdx {
+			if i < 0 || i >= len(job.mna.StateNames) {
+				t.Fatalf("state index %d out of range [0,%d)", i, len(job.mna.StateNames))
+			}
+		}
+		if job.prio < 0 || job.prio >= numPriorities {
+			t.Fatalf("accepted job has priority %d outside the class range", job.prio)
+		}
+	})
+}

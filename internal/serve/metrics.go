@@ -1,0 +1,108 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// latencyWindow is the number of most-recent job latencies retained for the
+// percentile estimates. A power-of-two ring keeps the /metrics scrape cheap
+// (copy + sort of at most this many durations) while covering enough history
+// that p99 is meaningful under steady traffic.
+const latencyWindow = 1024
+
+// metrics aggregates the service counters surfaced by /metrics. All methods
+// are safe for concurrent use; the latency percentiles are computed on
+// scrape from a ring of recent samples.
+type metrics struct {
+	mu         sync.Mutex
+	submitted  int64
+	completed  int64
+	failed     int64
+	cancelled  int64
+	rejected   int64 // 429 load sheds
+	badRequest int64 // 4xx before admission
+	inFlight   int
+
+	lat      [latencyWindow]time.Duration
+	latNext  int
+	latCount int
+}
+
+func newMetrics() *metrics { return &metrics{} }
+
+func (m *metrics) incSubmitted()  { m.mu.Lock(); m.submitted++; m.mu.Unlock() }
+func (m *metrics) incCompleted()  { m.mu.Lock(); m.completed++; m.mu.Unlock() }
+func (m *metrics) incFailed()     { m.mu.Lock(); m.failed++; m.mu.Unlock() }
+func (m *metrics) incCancelled()  { m.mu.Lock(); m.cancelled++; m.mu.Unlock() }
+func (m *metrics) incRejected()   { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
+func (m *metrics) incBadRequest() { m.mu.Lock(); m.badRequest++; m.mu.Unlock() }
+func (m *metrics) startJob()      { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
+func (m *metrics) endJob()        { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
+
+// observeLatency folds one job's wall-clock duration into the ring.
+func (m *metrics) observeLatency(d time.Duration) {
+	m.mu.Lock()
+	m.lat[m.latNext] = d
+	m.latNext = (m.latNext + 1) % latencyWindow
+	if m.latCount < latencyWindow {
+		m.latCount++
+	}
+	m.mu.Unlock()
+}
+
+// Snapshot is the JSON shape served by GET /metrics.
+type Snapshot struct {
+	QueueDepth    int   `json:"queueDepth"`
+	QueueCapacity int   `json:"queueCapacity"`
+	Workers       int   `json:"workers"`
+	InFlight      int   `json:"inFlight"`
+	Submitted     int64 `json:"submitted"`
+	Completed     int64 `json:"completed"`
+	Failed        int64 `json:"failed"`
+	Cancelled     int64 `json:"cancelled"`
+	Rejected      int64 `json:"rejected"`
+	BadRequests   int64 `json:"badRequests"`
+	FactorCache   struct {
+		Hits    int     `json:"hits"`
+		Misses  int     `json:"misses"`
+		HitRate float64 `json:"hitRate"`
+		Entries int     `json:"entries"`
+	} `json:"factorCache"`
+	Latency struct {
+		Count    int     `json:"count"`
+		P50Milli float64 `json:"p50ms"`
+		P99Milli float64 `json:"p99ms"`
+	} `json:"latency"`
+}
+
+// snapshot captures the counters; the caller fills in the factor-cache block
+// (owned by core.FactorCache) afterwards.
+func (m *metrics) snapshot(queueDepth, workers, queueCap int) *Snapshot {
+	m.mu.Lock()
+	snap := &Snapshot{
+		QueueDepth:    queueDepth,
+		QueueCapacity: queueCap,
+		Workers:       workers,
+		InFlight:      m.inFlight,
+		Submitted:     m.submitted,
+		Completed:     m.completed,
+		Failed:        m.failed,
+		Cancelled:     m.cancelled,
+		Rejected:      m.rejected,
+		BadRequests:   m.badRequest,
+	}
+	n := m.latCount
+	window := make([]time.Duration, n)
+	copy(window, m.lat[:n])
+	m.mu.Unlock()
+
+	snap.Latency.Count = n
+	if n > 0 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		snap.Latency.P50Milli = float64(window[(n-1)*50/100]) / float64(time.Millisecond)
+		snap.Latency.P99Milli = float64(window[(n-1)*99/100]) / float64(time.Millisecond)
+	}
+	return snap
+}

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// Job priority classes, in grant order. Within a class the queue is FIFO, so
+// equal-priority jobs are served in admission order.
+const (
+	prioHigh = iota
+	prioNormal
+	prioLow
+	numPriorities
+)
+
+// priorityName maps a class index back to its wire name.
+func priorityName(p int) string {
+	switch p {
+	case prioHigh:
+		return "high"
+	case prioLow:
+		return "low"
+	}
+	return "normal"
+}
+
+// errQueueFull is returned by acquire when the wait queue is at capacity; the
+// handler maps it to 429 + Retry-After.
+var errQueueFull = errors.New("serve: job queue is full")
+
+// queue is the bounded priority admission queue: `workers` slots solve
+// concurrently, up to `capacity` more jobs wait (highest priority first, FIFO
+// within a class), and beyond that acquire rejects immediately — backpressure
+// instead of unbounded queueing. It is a passive structure: no goroutines,
+// just a mutex and per-waiter channels, so an idle Server has nothing
+// running.
+type queue struct {
+	mu       sync.Mutex
+	slots    int // free worker slots; > 0 only when no one is waiting
+	capacity int // max waiting jobs
+	depth    int // current waiting jobs
+	waiting  [numPriorities][]*waiter
+}
+
+// waiter is one queued acquire: ready is closed when a slot is granted
+// (ownership of the slot transfers with the close).
+type waiter struct {
+	ready chan struct{}
+}
+
+func newQueue(workers, capacity int) *queue {
+	return &queue{slots: workers, capacity: capacity}
+}
+
+// acquire obtains a worker slot, waiting in priority order. It returns
+// errQueueFull when the wait queue is at capacity and ctx.Err() when the
+// caller's context is cancelled while waiting (any slot granted in the race
+// is handed back).
+func (q *queue) acquire(ctx context.Context, prio int) error {
+	if prio < 0 || prio >= numPriorities {
+		prio = prioNormal
+	}
+	q.mu.Lock()
+	if q.slots > 0 {
+		q.slots--
+		q.mu.Unlock()
+		return nil
+	}
+	if q.depth >= q.capacity {
+		q.mu.Unlock()
+		return errQueueFull
+	}
+	w := &waiter{ready: make(chan struct{})}
+	q.waiting[prio] = append(q.waiting[prio], w)
+	q.depth++
+	q.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced with cancellation: we own a slot nobody will
+			// release, so hand it to the next waiter (or bank it) before
+			// reporting the cancellation.
+			q.releaseLocked()
+		default:
+			q.removeLocked(w, prio)
+		}
+		q.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release returns a worker slot: the highest-priority waiter is granted the
+// slot directly, otherwise the free-slot count grows.
+func (q *queue) release() {
+	q.mu.Lock()
+	q.releaseLocked()
+	q.mu.Unlock()
+}
+
+func (q *queue) releaseLocked() {
+	for p := 0; p < numPriorities; p++ {
+		if len(q.waiting[p]) > 0 {
+			w := q.waiting[p][0]
+			q.waiting[p] = append(q.waiting[p][:0:0], q.waiting[p][1:]...)
+			q.depth--
+			close(w.ready)
+			return
+		}
+	}
+	q.slots++
+}
+
+// removeLocked drops a cancelled waiter from its class queue.
+func (q *queue) removeLocked(w *waiter, prio int) {
+	ws := q.waiting[prio]
+	for i := range ws {
+		if ws[i] == w {
+			q.waiting[prio] = append(ws[:i:i], ws[i+1:]...)
+			q.depth--
+			return
+		}
+	}
+}
+
+// Depth returns the number of jobs waiting for a worker slot.
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}

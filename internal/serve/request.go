@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+
+	"opmsim/internal/circuit"
+	"opmsim/internal/core"
+	"opmsim/internal/waveform"
+)
+
+// Request is the POST /v1/solve submission body.
+//
+//	{
+//	  "netlist":  "title\nR1 in out 1k\n...",   // SPICE-flavoured deck (required)
+//	  "steps":    512,                          // BPF columns m (default: from .tran)
+//	  "tstop":    "6m",                         // span T: number or SPICE-suffixed string (default: from .tran)
+//	  "sweep":    {"count": 8, "lo": 0.5, "hi": 1.5}, // amplitude sweep (default: one unit-scale scenario)
+//	  "history":  "auto",                       // fractional-history engine: auto|exact|fft
+//	  "priority": "normal",                     // admission class: high|normal|low
+//	  "nodes":    ["out", "n2"]                 // states to stream (default: all)
+//	}
+type Request struct {
+	Netlist  string     `json:"netlist"`
+	Steps    int        `json:"steps"`
+	TStop    *Value     `json:"tstop"`
+	Sweep    *SweepSpec `json:"sweep"`
+	History  string     `json:"history"`
+	Priority string     `json:"priority"`
+	Nodes    []string   `json:"nodes"`
+}
+
+// SweepSpec describes the amplitude sweep: Count scenarios with input scale
+// factors spaced linearly from Lo to Hi (matching opm-sim -batch/-sweep).
+// Count 0 or 1 solves a single scenario at scale Lo (default 1).
+type SweepSpec struct {
+	Count int    `json:"count"`
+	Lo    *Value `json:"lo"`
+	Hi    *Value `json:"hi"`
+}
+
+// Value is a float64 that also accepts SPICE magnitude-suffixed strings
+// ("10m", "1meg") in JSON, so request fields read like netlist cards.
+type Value struct {
+	V float64
+}
+
+// UnmarshalJSON accepts a JSON number or a SPICE-suffixed string.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		f, err := circuit.ParseValue(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		v.V = f
+		return nil
+	}
+	return json.Unmarshal(data, &v.V)
+}
+
+// MarshalJSON writes the plain number.
+func (v Value) MarshalJSON() ([]byte, error) { return json.Marshal(v.V) }
+
+// RequestError is the typed rejection for malformed or unservable
+// submissions: Status is always a 4xx code, so the fuzz contract "malformed
+// bodies yield 4xx, never panics or 5xx" is checkable by type.
+type RequestError struct {
+	Status int
+	Msg    string
+}
+
+func (e *RequestError) Error() string { return e.Msg }
+
+// badRequest tags a syntactically invalid submission (400).
+func badRequest(format string, args ...any) *RequestError {
+	return &RequestError{Status: http.StatusBadRequest, Msg: fmt.Sprintf(format, args...)}
+}
+
+// unservable tags a well-formed submission the engine cannot run (422).
+func unservable(format string, args ...any) *RequestError {
+	return &RequestError{Status: http.StatusUnprocessableEntity, Msg: fmt.Sprintf(format, args...)}
+}
+
+// job is one validated, admitted unit of work: everything the solve needs,
+// resolved before the request enters the queue so rejections never consume a
+// slot.
+type job struct {
+	title     string
+	mna       *circuit.MNA
+	scenarios []core.Scenario
+	scales    []float64
+	m         int
+	T         float64
+	history   core.HistoryMode
+	prio      int
+	stateIdx  []int
+	labels    []string
+}
+
+// parseRequest turns a raw body into a validated job or a typed 4xx error.
+// It is the single decode path shared by the handler and FuzzServeRequest:
+// JSON decoding, netlist parsing, MNA assembly, span/sweep resolution, and
+// state selection all happen here; only the solve itself is deferred to the
+// worker slot.
+func parseRequest(body []byte, cfg *Config) (*job, *RequestError) {
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		return nil, badRequest("invalid JSON request: %v", err)
+	}
+	if strings.TrimSpace(req.Netlist) == "" {
+		return nil, badRequest("request needs a non-empty \"netlist\"")
+	}
+	deck, err := circuit.Parse(strings.NewReader(req.Netlist))
+	if err != nil {
+		return nil, badRequest("netlist: %v", err)
+	}
+	mna, err := deck.Netlist.MNA()
+	if err != nil {
+		return nil, unservable("netlist does not assemble: %v", err)
+	}
+	if mna.Nonlinear != nil {
+		return nil, unservable("netlist is nonlinear (diodes); the batch service shares one pencil factorization and requires linear netlists")
+	}
+
+	// Span: request fields override the deck's .tran directive.
+	T := 0.0
+	switch {
+	case req.TStop != nil:
+		T = req.TStop.V
+	case deck.Tran != nil:
+		T = deck.Tran.Stop
+	default:
+		return nil, badRequest("no \"tstop\" in the request and no .tran directive in the netlist")
+	}
+	if math.IsNaN(T) || math.IsInf(T, 0) || T <= 0 {
+		return nil, badRequest("tstop must be a positive finite time, got %g", T)
+	}
+	m := req.Steps
+	if m == 0 {
+		if deck.Tran != nil && deck.Tran.Step > 0 {
+			m = int(deck.Tran.Stop/deck.Tran.Step + 0.5)
+		} else {
+			m = 512
+		}
+	}
+	if m < 1 {
+		return nil, badRequest("steps must be >= 1, got %d", m)
+	}
+	if m > cfg.MaxSteps {
+		return nil, badRequest("steps %d exceeds the service limit %d", m, cfg.MaxSteps)
+	}
+
+	// Sweep: K scenarios with linearly spaced input amplitude scales.
+	count, lo, hi := 1, 1.0, 1.0
+	if req.Sweep != nil {
+		if req.Sweep.Count > 0 {
+			count = req.Sweep.Count
+		}
+		if req.Sweep.Lo != nil {
+			lo = req.Sweep.Lo.V
+		}
+		hi = lo
+		if req.Sweep.Hi != nil {
+			hi = req.Sweep.Hi.V
+		}
+	}
+	if count > cfg.MaxScenarios {
+		return nil, badRequest("sweep count %d exceeds the service limit %d", count, cfg.MaxScenarios)
+	}
+	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
+		return nil, badRequest("sweep bounds must be finite, got lo=%g hi=%g", lo, hi)
+	}
+
+	hist, err := core.ParseHistoryMode(req.History)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+
+	prio := prioNormal
+	switch strings.ToLower(strings.TrimSpace(req.Priority)) {
+	case "", "normal":
+	case "high":
+		prio = prioHigh
+	case "low":
+		prio = prioLow
+	default:
+		return nil, badRequest("unknown priority %q (want high, normal, or low)", req.Priority)
+	}
+
+	stateIdx, labels, rerr := selectStates(mna, req.Nodes)
+	if rerr != nil {
+		return nil, rerr
+	}
+
+	var x0 []float64
+	if len(deck.ICs) > 0 {
+		x0, err = mna.InitialState(deck.ICs)
+		if err != nil {
+			return nil, unservable("initial conditions: %v", err)
+		}
+	}
+
+	scales := make([]float64, count)
+	scenarios := make([]core.Scenario, count)
+	for s := 0; s < count; s++ {
+		scale := lo
+		if count > 1 {
+			scale = lo + (hi-lo)*float64(s)/float64(count-1)
+		}
+		scales[s] = scale
+		u := make([]waveform.Signal, len(mna.Inputs))
+		for i, base := range mna.Inputs {
+			base, scale := base, scale
+			u[i] = func(t float64) float64 { return scale * base(t) }
+		}
+		scenarios[s] = core.Scenario{U: u, X0: x0}
+	}
+
+	return &job{
+		title:     deck.Title,
+		mna:       mna,
+		scenarios: scenarios,
+		scales:    scales,
+		m:         m,
+		T:         T,
+		history:   hist,
+		prio:      prio,
+		stateIdx:  stateIdx,
+		labels:    labels,
+	}, nil
+}
+
+// selectStates resolves requested node names against the MNA state vector. A
+// name matches either a state label verbatim ("v(out)", "i(L1)") or as a bare
+// node name ("out" → "v(out)"). An empty request selects every state.
+func selectStates(mna *circuit.MNA, nodes []string) ([]int, []string, *RequestError) {
+	if len(nodes) == 0 {
+		idx := make([]int, len(mna.StateNames))
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx, append([]string(nil), mna.StateNames...), nil
+	}
+	var idx []int
+	var labels []string
+	for _, name := range nodes {
+		name = strings.TrimSpace(name)
+		found := -1
+		for i, sn := range mna.StateNames {
+			if sn == name || sn == "v("+name+")" {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return nil, nil, badRequest("node %q not found (known states: %s)", name, strings.Join(mna.StateNames, ", "))
+		}
+		idx = append(idx, found)
+		labels = append(labels, mna.StateNames[found])
+	}
+	return idx, labels, nil
+}

@@ -1,0 +1,282 @@
+// Package serve wraps the batched OPM solve engine in a long-running,
+// stdlib-only net/http JSON service. Clients POST a netlist plus a scenario
+// sweep to /v1/solve and receive the waveform back incrementally, one JSON
+// line per solved column, as the column-by-column operational-matrix solve
+// produces it — the paper's triangular column recursion is what makes the
+// workload naturally streamable.
+//
+// The service's scaling levers mirror the batch engine's (DESIGN.md §10):
+//
+//   - One process-wide shared core.FactorCache serves every job, so
+//     concurrent tenants solving the same circuit pencil reuse a single
+//     factorization instead of each paying their own; the /metrics endpoint
+//     reports the hit rate.
+//   - Admission runs through a bounded priority job queue: at most Workers
+//     jobs solve concurrently, at most QueueDepth more wait (high before
+//     normal before low, FIFO within a class), and past that the service
+//     sheds load with 429 + Retry-After instead of queueing unboundedly.
+//   - Request contexts are wired through SolveBatchCtx, so a client that
+//     disconnects mid-stream cancels its solve at the next column boundary
+//     and frees its worker slot immediately.
+//
+// Streaming format (Content-Type application/x-ndjson, one JSON object per
+// line): a "header" record naming the streamed states and scenario scales,
+// one "column" record per BPF column carrying every scenario's state values
+// at that column, and a terminal "done" record (solver report summary) or
+// "error" record (typed kind, e.g. "cancelled"). Column values are encoded
+// with Go's shortest round-trip float formatting, so a decoded stream is
+// bitwise-identical to the offline SolveBatch waveform — the conformance
+// suite in this package holds the service to exactly that.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"opmsim/internal/core"
+)
+
+// Config sizes the service. The zero value of every field selects a sensible
+// default, so serve.New(serve.Config{}) is a working server.
+type Config struct {
+	// Workers is the number of jobs solving concurrently (0 → GOMAXPROCS).
+	Workers int
+	// QueueDepth is the number of admitted jobs that may wait for a worker
+	// slot before submissions are rejected with 429 (0 → 64).
+	QueueDepth int
+	// CacheCap is the process-wide factor-cache capacity in pencils (0 → 64).
+	CacheCap int
+	// SolveWorkers is Options.Workers for each job's solve (0 → 1: with
+	// Workers jobs running concurrently the service is already saturated at
+	// the job level, so per-solve fan-out would only oversubscribe; results
+	// are bitwise-identical for any value).
+	SolveWorkers int
+	// MaxSteps caps the per-request BPF grid size m (0 → 1<<17).
+	MaxSteps int
+	// MaxScenarios caps the per-request sweep cardinality K (0 → 1024).
+	MaxScenarios int
+	// MaxBodyBytes caps the request body (0 → 1 MiB).
+	MaxBodyBytes int64
+	// Clock supplies the latency metrics' timestamps. nil → time.Now
+	// (assigned as a function value; determinism-sensitive callers such as
+	// tests inject a fake).
+	Clock func() time.Time
+}
+
+// withDefaults returns cfg with every zero field resolved.
+func (cfg Config) withDefaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheCap <= 0 {
+		cfg.CacheCap = 64
+	}
+	if cfg.SolveWorkers <= 0 {
+		cfg.SolveWorkers = 1
+	}
+	if cfg.MaxSteps <= 0 {
+		cfg.MaxSteps = 1 << 17
+	}
+	if cfg.MaxScenarios <= 0 {
+		cfg.MaxScenarios = 1024
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return cfg
+}
+
+// Done summarizes one finished job for the OnJobDone observability hook.
+type Done struct {
+	// Title is the submitted netlist's title line.
+	Title string
+	// Priority is the job's admission class ("high", "normal", "low").
+	Priority string
+	// Scenarios is the sweep cardinality K.
+	Scenarios int
+	// Columns is the number of columns actually streamed.
+	Columns int
+	// Report is the job's solver report; Report.Err carries the terminal
+	// error (errors.Is(Report.Err, core.ErrCancelled) after a client
+	// disconnect).
+	Report *core.SolveReport
+	// Err is the job's terminal error, nil on success (same value as
+	// Report.Err).
+	Err error
+	// Duration is the wall-clock time from worker-slot grant to completion.
+	Duration time.Duration
+}
+
+// Server is the simulation service: an http.Handler exposing POST /v1/solve,
+// GET /metrics, and GET /healthz. Create it with New; it spawns no goroutines
+// of its own (jobs run on their request's handler goroutine, throttled by the
+// admission queue), so shutting down the enclosing http.Server drains it.
+type Server struct {
+	cfg   Config
+	cache *core.FactorCache
+	q     *queue
+	met   *metrics
+	mux   *http.ServeMux
+
+	// OnJobDone, when non-nil, is invoked after every job that reached a
+	// worker slot, success or failure. Set it before serving traffic; it must
+	// be safe for concurrent use (jobs finish on concurrent handler
+	// goroutines).
+	OnJobDone func(Done)
+
+	// columnHook is a test seam invoked before each column record is
+	// streamed, identified by the deck title; the soak/cancel tests use it to
+	// pace or block a solve mid-stream. Set before serving traffic.
+	columnHook func(title string, col int)
+}
+
+// New builds a Server from cfg (zero fields take defaults; see Config).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: core.NewFactorCache(cfg.CacheCap),
+		q:     newQueue(cfg.Workers, cfg.QueueDepth),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP dispatches to the service's endpoints.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Cache exposes the process-wide factor cache (for tests and diagnostics).
+func (s *Server) Cache() *core.FactorCache { return s.cache }
+
+// writeJSONError sends a JSON error body with the given HTTP status.
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": msg, "status": status})
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetrics serves the service counters as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snap := s.met.snapshot(s.q.Depth(), s.cfg.Workers, s.cfg.QueueDepth)
+	hits, misses := s.cache.Stats()
+	snap.FactorCache.Hits = hits
+	snap.FactorCache.Misses = misses
+	snap.FactorCache.Entries = s.cache.Len()
+	if total := hits + misses; total > 0 {
+		snap.FactorCache.HitRate = float64(hits) / float64(total)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(snap)
+}
+
+// handleSolve is the submission endpoint: decode and validate, pass
+// admission, then solve and stream.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.met.incSubmitted()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		s.met.incBadRequest()
+		writeJSONError(w, http.StatusRequestEntityTooLarge, "request body exceeds limit")
+		return
+	}
+	job, rerr := parseRequest(body, &s.cfg)
+	if rerr != nil {
+		s.met.incBadRequest()
+		writeJSONError(w, rerr.Status, rerr.Error())
+		return
+	}
+
+	// Admission: wait for a worker slot in priority order, shed load when the
+	// wait queue is full, give up silently if the client leaves the queue.
+	if err := s.q.acquire(r.Context(), job.prio); err != nil {
+		if errors.Is(err, errQueueFull) {
+			s.met.incRejected()
+			w.Header().Set("Retry-After", "1")
+			writeJSONError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("job queue is full (%d running, %d waiting); retry later", s.cfg.Workers, s.cfg.QueueDepth))
+		}
+		return
+	}
+	defer s.q.release()
+	s.met.startJob()
+	defer s.met.endJob()
+
+	start := s.cfg.Clock()
+	done := s.runJob(r.Context(), w, job)
+	done.Duration = s.cfg.Clock().Sub(start)
+	s.met.observeLatency(done.Duration)
+	switch {
+	case done.Err == nil:
+		s.met.incCompleted()
+	case errors.Is(done.Err, core.ErrCancelled):
+		s.met.incCancelled()
+	default:
+		s.met.incFailed()
+	}
+	if s.OnJobDone != nil {
+		s.OnJobDone(done)
+	}
+}
+
+// runJob executes one admitted job on the calling goroutine, streaming
+// columns to w as the batch solve commits them.
+func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, job *job) Done {
+	rep := &core.SolveReport{}
+	sw := newStreamWriter(w)
+	sw.header(job)
+
+	columns := 0
+	opts := core.BatchOptions{
+		Options: core.Options{
+			Workers:     s.cfg.SolveWorkers,
+			HistoryMode: job.history,
+			Report:      rep,
+			FactorCache: s.cache,
+		},
+		OnColumn: func(col int, t float64, cols [][]float64) {
+			columns = col + 1
+			if s.columnHook != nil {
+				s.columnHook(job.title, col)
+			}
+			sw.column(col, t, cols, job.stateIdx)
+		},
+	}
+	_, err := core.SolveBatchCtx(ctx, job.mna.Sys, job.scenarios, job.m, job.T, opts)
+	if err != nil {
+		sw.fail(err)
+	} else {
+		sw.done(columns, rep)
+	}
+	return Done{
+		Title:     job.title,
+		Priority:  priorityName(job.prio),
+		Scenarios: len(job.scenarios),
+		Columns:   columns,
+		Report:    rep,
+		Err:       err,
+	}
+}

@@ -1,0 +1,539 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// ---- shared fixtures -------------------------------------------------------
+//
+// The three conformance decks mirror the examples/ programs: quickstart's
+// 5-section RC ladder, supercap's fractional CPE cell, and a pocket edition
+// of the power-grid RLC mesh. They are plain netlists because that is the
+// service's submission format.
+
+const quickstartDeck = `quickstart rc ladder
+* 5-section RC ladder (1k / 1u per section) driven by a 1 V step,
+* the circuit examples/quickstart builds through netgen.RCLadder.
+V1 in 0 STEP 1
+R1 in n1 1k
+C1 n1 0 1u
+R2 n1 n2 1k
+C2 n2 0 1u
+R3 n2 n3 1k
+C3 n3 0 1u
+R4 n3 n4 1k
+C4 n4 0 1u
+R5 n4 n5 1k
+C5 n5 0 1u
+.tran 0.2m 60m
+`
+
+const supercapDeck = `supercap charging through a resistor
+* 1 A charge current into the cell model: R_leak parallel CPE
+* (examples/supercap); the CPE makes the history fractional (alpha = 0.7).
+I1 0 cell STEP 1
+Rleak cell 0 1
+P1 cell 0 1 1 0.7
+.tran 10m 6
+`
+
+const powergridDeck = `powergrid slice
+* One rail of an RLC power grid (examples/powergrid in miniature): series
+* R-L segments, decap at every node, two switching current loads.
+V1 vdd 0 STEP 1
+L0 vdd g1 1n
+R1 g1 g2 0.05
+L1 g2 g3 0.5n
+R2 g3 g4 0.05
+L2 g4 g5 0.5n
+R3 g5 g6 0.05
+C1 g1 0 2p
+C2 g2 0 2p
+C3 g3 0 2p
+C4 g4 0 2p
+C5 g5 0 2p
+C6 g6 0 2p
+I1 g3 0 PULSE 0 0.2 1n 0.1n 0.1n 2n
+I2 g6 0 STEP 0.1 2n
+.tran 10p 10n
+`
+
+// tinyDeck is the soak workload: small enough that thousands of solves fit
+// under the race detector, real enough to exercise the full path.
+const tinyDeck = `soak rc ladder
+V1 in 0 STEP 1
+R1 in n1 1k
+C1 n1 0 1u
+R2 n1 n2 1k
+C2 n2 0 1u
+.tran 1m 16m
+`
+
+// solveBody builds a /v1/solve JSON body for a deck.
+func solveBody(deck string, steps, count int, lo, hi float64, extra string) string {
+	b := fmt.Sprintf(`{"netlist": %s, "steps": %d, "sweep": {"count": %d, "lo": %g, "hi": %g}`,
+		strconv.Quote(deck), steps, count, lo, hi)
+	if extra != "" {
+		b += ", " + extra
+	}
+	return b + "}"
+}
+
+// streamResult is one submission's decoded response.
+type streamResult struct {
+	status     int
+	retryAfter string
+	header     *headerRecord
+	columns    []columnRecord
+	done       *doneRecord
+	errRec     *errorRecord
+	rawErr     string // non-200 JSON error body
+}
+
+// submit POSTs a body and decodes the full stream (or the error response).
+func submit(t *testing.T, client *http.Client, url, body string) *streamResult {
+	t.Helper()
+	res, err := submitErr(client, url, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func submitErr(client *http.Client, url, body string) (*streamResult, error) {
+	resp, err := client.Post(url+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := &streamResult{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+	if resp.StatusCode != http.StatusOK {
+		b := make([]byte, 4096)
+		n, _ := resp.Body.Read(b)
+		out.rawErr = string(b[:n])
+		return out, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("stream line is not JSON: %v (%q)", err, line)
+		}
+		switch probe.Type {
+		case "header":
+			out.header = &headerRecord{}
+			if err := json.Unmarshal(line, out.header); err != nil {
+				return nil, err
+			}
+		case "column":
+			var c columnRecord
+			if err := json.Unmarshal(line, &c); err != nil {
+				return nil, err
+			}
+			out.columns = append(out.columns, c)
+		case "done":
+			out.done = &doneRecord{}
+			if err := json.Unmarshal(line, out.done); err != nil {
+				return nil, err
+			}
+		case "error":
+			out.errRec = &errorRecord{}
+			if err := json.Unmarshal(line, out.errRec); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("unknown stream record type %q", probe.Type)
+		}
+	}
+	return out, sc.Err()
+}
+
+// scrapeMetrics fetches and decodes /metrics.
+func scrapeMetrics(t *testing.T, client *http.Client, url string) *Snapshot {
+	t.Helper()
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	snap := &Snapshot{}
+	if err := json.NewDecoder(resp.Body).Decode(snap); err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// ---- request decoding ------------------------------------------------------
+
+func TestParseRequestErrors(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	cases := []struct {
+		name   string
+		body   string
+		status int
+	}{
+		{"malformed json", `{"netlist": `, 400},
+		{"empty netlist", `{"netlist": "  "}`, 400},
+		{"unparsable netlist", `{"netlist": "t\nR1 a\n"}`, 400},
+		{"no span", `{"netlist": "t\nR1 a b 1k\nC1 b 0 1u\nV1 a 0 STEP 1\n"}`, 400},
+		{"bad steps", solveBody(tinyDeck, -3, 1, 1, 1, ""), 400},
+		{"steps over limit", solveBody(tinyDeck, 1<<20, 1, 1, 1, ""), 400},
+		{"sweep over limit", solveBody(tinyDeck, 16, 1<<20, 1, 1, ""), 400},
+		{"non-finite sweep", `{"netlist": ` + strconv.Quote(tinyDeck) + `, "sweep": {"count": 2, "lo": 1e400, "hi": 2}}`, 400},
+		{"bad history", solveBody(tinyDeck, 16, 1, 1, 1, `"history": "turbo"`), 400},
+		{"bad priority", solveBody(tinyDeck, 16, 1, 1, 1, `"priority": "urgent"`), 400},
+		{"unknown node", solveBody(tinyDeck, 16, 1, 1, 1, `"nodes": ["nope"]`), 400},
+		{"nonlinear netlist", `{"netlist": "diode\nV1 a 0 STEP 1\nR1 a b 1k\nD1 b 0 1e-12\n.tran 1m 16m\n"}`, 422},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			job, rerr := parseRequest([]byte(tc.body), &cfg)
+			if rerr == nil {
+				t.Fatalf("parseRequest accepted %q (job %+v)", tc.body, job)
+			}
+			if rerr.Status != tc.status {
+				t.Fatalf("status = %d (%s), want %d", rerr.Status, rerr.Msg, tc.status)
+			}
+		})
+	}
+}
+
+func TestParseRequestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	job, rerr := parseRequest([]byte(`{"netlist": `+strconv.Quote(tinyDeck)+`}`), &cfg)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if job.m != 16 {
+		t.Fatalf("m = %d, want 16 (from .tran)", job.m)
+	}
+	if job.T != 16e-3 {
+		t.Fatalf("T = %g, want 16e-3 (from .tran)", job.T)
+	}
+	if len(job.scenarios) != 1 || len(job.scales) != 1 || job.scales[0] != 1 {
+		t.Fatalf("default sweep: scales = %v, want [1]", job.scales)
+	}
+	if job.prio != prioNormal {
+		t.Fatalf("default priority = %d, want normal", job.prio)
+	}
+	if len(job.stateIdx) != len(job.mna.StateNames) {
+		t.Fatalf("default state selection: %d of %d states", len(job.stateIdx), len(job.mna.StateNames))
+	}
+}
+
+func TestValueAcceptsSpiceSuffixes(t *testing.T) {
+	var req Request
+	if err := json.Unmarshal([]byte(`{"netlist": "x", "tstop": "10m", "sweep": {"count": 2, "lo": "0.5", "hi": 2}}`), &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.TStop.V != 10e-3 {
+		t.Fatalf("tstop = %g, want 10e-3", req.TStop.V)
+	}
+	if req.Sweep.Lo.V != 0.5 || req.Sweep.Hi.V != 2 {
+		t.Fatalf("sweep = %g:%g, want 0.5:2", req.Sweep.Lo.V, req.Sweep.Hi.V)
+	}
+	if err := json.Unmarshal([]byte(`{"tstop": "10xyz"}`), &req); err == nil {
+		t.Fatal("bad suffix accepted")
+	}
+}
+
+// ---- admission queue -------------------------------------------------------
+
+func TestQueueGrantsByPriorityFIFO(t *testing.T) {
+	q := newQueue(1, 8)
+	if err := q.acquire(context.Background(), prioNormal); err != nil {
+		t.Fatal(err)
+	}
+	// Three waiters: low, normal, high — grant order must be high, normal, low.
+	order := make(chan string, 3)
+	var wg sync.WaitGroup
+	start := func(name string, prio int) {
+		wg.Add(1)
+		ready := make(chan struct{})
+		go func() {
+			defer wg.Done()
+			close(ready)
+			if err := q.acquire(context.Background(), prio); err != nil {
+				t.Error(err)
+				return
+			}
+			order <- name
+		}()
+		<-ready
+		// Wait until the waiter is actually enqueued before adding the next.
+		for i := 0; q.Depth() < 1 && i < 1000; i++ {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	start("low", prioLow)
+	for i := 0; q.Depth() != 1 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	start("normal", prioNormal)
+	for i := 0; q.Depth() != 2 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	start("high", prioHigh)
+	for i := 0; q.Depth() != 3 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	want := []string{"high", "normal", "low"}
+	for _, w := range want {
+		q.release() // hand the slot to the next waiter
+		got := <-order
+		if got != w {
+			t.Fatalf("grant order: got %s, want %s", got, w)
+		}
+	}
+	wg.Wait()
+	q.release()
+	if q.Depth() != 0 {
+		t.Fatalf("depth = %d after drain, want 0", q.Depth())
+	}
+}
+
+func TestQueueRejectsWhenFull(t *testing.T) {
+	q := newQueue(1, 1)
+	if err := q.acquire(context.Background(), prioNormal); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- q.acquire(context.Background(), prioNormal) }()
+	for i := 0; q.Depth() != 1 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if err := q.acquire(context.Background(), prioNormal); err != errQueueFull {
+		t.Fatalf("third acquire: got %v, want errQueueFull", err)
+	}
+	q.release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	q.release()
+}
+
+func TestQueueCancelledWaiterLeaves(t *testing.T) {
+	q := newQueue(1, 4)
+	if err := q.acquire(context.Background(), prioNormal); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- q.acquire(ctx, prioNormal) }()
+	for i := 0; q.Depth() != 1 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("cancelled acquire: got %v, want context.Canceled", err)
+	}
+	for i := 0; q.Depth() != 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if q.Depth() != 0 {
+		t.Fatalf("depth = %d after cancellation, want 0", q.Depth())
+	}
+	q.release()
+	// The banked slot must still be grantable.
+	if err := q.acquire(context.Background(), prioNormal); err != nil {
+		t.Fatal(err)
+	}
+	q.release()
+}
+
+// ---- HTTP behaviour --------------------------------------------------------
+
+func TestBackpressure429(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 1})
+	block := make(chan struct{})
+	started := make(chan struct{}, 4)
+	srv.columnHook = func(title string, col int) {
+		if title == "soak rc ladder" && col == 0 {
+			started <- struct{}{}
+			<-block
+		}
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	body := solveBody(tinyDeck, 8, 1, 1, 1, "")
+	results := make(chan *streamResult, 2)
+	go func() {
+		r, err := submitErr(client, ts.URL, body)
+		if err != nil {
+			t.Error(err)
+		}
+		results <- r
+	}()
+	<-started // first job holds the only worker slot
+
+	go func() {
+		r, err := submitErr(client, ts.URL, body)
+		if err != nil {
+			t.Error(err)
+		}
+		results <- r
+	}()
+	waitFor(t, func() bool { return scrapeMetrics(t, client, ts.URL).QueueDepth == 1 })
+
+	// Queue full: the third submission must shed with 429 + Retry-After.
+	rejected := submit(t, client, ts.URL, body)
+	if rejected.status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%s)", rejected.status, rejected.rawErr)
+	}
+	if rejected.retryAfter == "" {
+		t.Fatal("429 response has no Retry-After header")
+	}
+	if snap := scrapeMetrics(t, client, ts.URL); snap.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", snap.Rejected)
+	}
+
+	close(block)
+	for i := 0; i < 2; i++ {
+		if r := <-results; r.status != http.StatusOK || r.done == nil {
+			t.Fatalf("admitted job failed: status=%d done=%v err=%v", r.status, r.done, r.errRec)
+		}
+	}
+	waitFor(t, func() bool {
+		snap := scrapeMetrics(t, client, ts.URL)
+		return snap.InFlight == 0 && snap.QueueDepth == 0 && snap.Completed == 2
+	})
+}
+
+func TestPriorityOrderingOverHTTP(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: 8})
+	block := make(chan struct{})
+	started := make(chan struct{}, 4)
+	var mu sync.Mutex
+	var startOrder []string
+	srv.columnHook = func(title string, col int) {
+		if col != 0 {
+			return
+		}
+		mu.Lock()
+		startOrder = append(startOrder, title)
+		mu.Unlock()
+		if title == "blocker" {
+			started <- struct{}{}
+			<-block
+		}
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	blockerDeck := strings.Replace(tinyDeck, "soak rc ladder", "blocker", 1)
+	lowDeck := strings.Replace(tinyDeck, "soak rc ladder", "low job", 1)
+	highDeck := strings.Replace(tinyDeck, "soak rc ladder", "high job", 1)
+
+	var wg sync.WaitGroup
+	launch := func(deck, prio string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r, err := submitErr(client, ts.URL, solveBody(deck, 8, 1, 1, 1, `"priority": "`+prio+`"`))
+			if err != nil || r.status != http.StatusOK || r.done == nil {
+				t.Errorf("%s job failed: %v status=%d", prio, err, r.status)
+			}
+		}()
+	}
+	launch(blockerDeck, "normal")
+	<-started
+	launch(lowDeck, "low")
+	waitFor(t, func() bool { return scrapeMetrics(t, client, ts.URL).QueueDepth == 1 })
+	launch(highDeck, "high")
+	waitFor(t, func() bool { return scrapeMetrics(t, client, ts.URL).QueueDepth == 2 })
+
+	close(block)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"blocker", "high job", "low job"}
+	if len(startOrder) != 3 || startOrder[0] != want[0] || startOrder[1] != want[1] || startOrder[2] != want[2] {
+		t.Fatalf("start order = %v, want %v", startOrder, want)
+	}
+}
+
+func TestHTTPBadRequests(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	if r := submit(t, client, ts.URL, `{"netlist": }`); r.status != 400 {
+		t.Fatalf("malformed JSON: status %d, want 400", r.status)
+	}
+	nl := `{"netlist": "diode\nV1 a 0 STEP 1\nR1 a b 1k\nD1 b 0 1e-12\n.tran 1m 16m\n"}`
+	if r := submit(t, client, ts.URL, nl); r.status != 422 {
+		t.Fatalf("nonlinear netlist: status %d, want 422", r.status)
+	}
+	resp, err := client.Get(ts.URL + "/v1/solve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve: status %d, want 405", resp.StatusCode)
+	}
+	if snap := scrapeMetrics(t, client, ts.URL); snap.BadRequests != 2 {
+		t.Fatalf("badRequests = %d, want 2", snap.BadRequests)
+	}
+}
+
+// waitFor polls cond for up to ~5s.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for i := 0; i < 500; i++ {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within 5s")
+}
+
+// ---- metrics ---------------------------------------------------------------
+
+func TestMetricsLatencyPercentiles(t *testing.T) {
+	m := newMetrics()
+	for i := 1; i <= 100; i++ {
+		m.observeLatency(time.Duration(i) * time.Millisecond)
+	}
+	snap := m.snapshot(0, 4, 16)
+	if snap.Latency.Count != 100 {
+		t.Fatalf("count = %d, want 100", snap.Latency.Count)
+	}
+	if snap.Latency.P50Milli < 49 || snap.Latency.P50Milli > 51 {
+		t.Fatalf("p50 = %g ms, want ~50", snap.Latency.P50Milli)
+	}
+	if snap.Latency.P99Milli < 98 || snap.Latency.P99Milli > 100 {
+		t.Fatalf("p99 = %g ms, want ~99", snap.Latency.P99Milli)
+	}
+	// Overflow the ring: the window must hold the most recent samples only.
+	for i := 0; i < latencyWindow+50; i++ {
+		m.observeLatency(time.Second)
+	}
+	snap = m.snapshot(0, 4, 16)
+	if snap.Latency.Count != latencyWindow {
+		t.Fatalf("count = %d after overflow, want %d", snap.Latency.Count, latencyWindow)
+	}
+	if snap.Latency.P50Milli != 1000 {
+		t.Fatalf("p50 = %g ms after overflow, want 1000", snap.Latency.P50Milli)
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSoakConcurrentSweeps is the race-proven soak: many goroutine clients
+// hammer the service with sweep submissions concurrently, retrying on 429.
+// Run it with -race (CI does). It asserts:
+//
+//   - every admitted stream is complete and well-formed (header, all columns,
+//     done trailer) — no interleaving between concurrent jobs' records;
+//   - at least 1000 submissions complete in total (full run);
+//   - the shared factor cache's hit rate grows monotonically round over round
+//     — after the first round the pencil is resident, so misses stay fixed
+//     while hits accumulate;
+//   - no goroutines leak: after the clients drain, the process returns to its
+//     post-warmup goroutine count.
+func TestSoakConcurrentSweeps(t *testing.T) {
+	clients, perClient, rounds := 40, 25, 5 // 40 × 25 = 1000 submissions
+	if testing.Short() {
+		clients, perClient, rounds = 8, 5, 2
+	}
+
+	srv := New(Config{Workers: 4, QueueDepth: 8, CacheCap: 16})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	// The default transport keeps only 2 idle conns per host; with 40
+	// concurrent clients that churns connections (and their goroutines) hard,
+	// which is fine for the race detector but noise for the leak check.
+	transport := &http.Transport{MaxIdleConns: clients, MaxIdleConnsPerHost: clients}
+	client := &http.Client{Transport: transport}
+	defer transport.CloseIdleConnections()
+
+	body := solveBody(tinyDeck, 16, 2, 0.5, 1.5, "")
+
+	// Warm up: first contact spins up the solver's persistent worker pool and
+	// the HTTP plumbing; measure the goroutine baseline after that.
+	warm := submit(t, client, ts.URL, body)
+	if warm.status != http.StatusOK || warm.done == nil {
+		t.Fatalf("warmup failed: status=%d err=%v", warm.status, warm.errRec)
+	}
+	runtime.GC()
+	time.Sleep(50 * time.Millisecond)
+	baseline := runtime.NumGoroutine()
+
+	var completed, sheds atomic.Int64
+	hitRates := make([]float64, 0, rounds)
+	perRound := perClient / rounds
+	if perRound < 1 {
+		perRound = 1
+	}
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perRound; i++ {
+					for attempt := 0; ; attempt++ {
+						res, err := submitErr(client, ts.URL, body)
+						if err != nil {
+							t.Errorf("submit: %v", err)
+							return
+						}
+						if res.status == http.StatusTooManyRequests {
+							// Backpressure is expected under this load; honor it.
+							sheds.Add(1)
+							if res.retryAfter == "" {
+								t.Error("429 without Retry-After")
+								return
+							}
+							time.Sleep(time.Duration(2+attempt) * time.Millisecond)
+							continue
+						}
+						if res.status != http.StatusOK || res.done == nil || res.errRec != nil {
+							t.Errorf("stream failed: status=%d done=%v err=%v", res.status, res.done, res.errRec)
+							return
+						}
+						if res.header == nil || len(res.columns) != 16 {
+							t.Errorf("incomplete stream: header=%v columns=%d", res.header != nil, len(res.columns))
+							return
+						}
+						completed.Add(1)
+						break
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+		snap := scrapeMetrics(t, client, ts.URL)
+		hitRates = append(hitRates, snap.FactorCache.HitRate)
+	}
+
+	want := int64(clients * perRound * rounds)
+	if got := completed.Load(); got != want {
+		t.Fatalf("completed %d submissions, want %d", got, want)
+	}
+	if !testing.Short() && completed.Load() < 1000 {
+		t.Fatalf("soak completed %d submissions, acceptance floor is 1000", completed.Load())
+	}
+	t.Logf("soak: %d completed, %d load-sheds retried, hit rates %v",
+		completed.Load(), sheds.Load(), hitRates)
+
+	// Monotonic cache hit-rate growth: every job solves the same pencil, so
+	// once it is resident (round 1 at the latest) misses are frozen and each
+	// round's hits push the rate strictly up.
+	for r := 1; r < len(hitRates); r++ {
+		if hitRates[r] < hitRates[r-1] {
+			t.Fatalf("cache hit rate regressed between rounds %d and %d: %v", r-1, r, hitRates)
+		}
+	}
+	if last := hitRates[len(hitRates)-1]; last <= hitRates[0] || last < 0.9 {
+		t.Fatalf("cache hit rate did not grow under repeated pencils: %v", hitRates)
+	}
+
+	// Goroutine-leak check: drain idle connections, then the count must fall
+	// back to the post-warmup baseline (plus slack for lazy netpoll exits).
+	transport.CloseIdleConnections()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	snap := scrapeMetrics(t, client, ts.URL)
+	if snap.InFlight != 0 || snap.QueueDepth != 0 {
+		t.Fatalf("service not idle after soak: inFlight=%d queueDepth=%d", snap.InFlight, snap.QueueDepth)
+	}
+	if snap.Completed != completed.Load()+1 { // +1 warmup
+		t.Fatalf("metrics completed=%d, clients observed %d (+1 warmup)", snap.Completed, completed.Load())
+	}
+	if snap.Rejected != sheds.Load() {
+		t.Fatalf("metrics rejected=%d, clients observed %d sheds", snap.Rejected, sheds.Load())
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"opmsim/internal/core"
+)
+
+// The stream is newline-delimited JSON (application/x-ndjson): one header
+// record, one record per solved column, and exactly one terminal record
+// ("done" on success, "error" on failure). encoding/json formats each float64
+// with Go's shortest round-trip representation, so parsing a streamed value
+// back recovers the exact bit pattern the solver committed — the property the
+// streaming-conformance suite asserts against offline SolveBatch.
+
+// headerRecord opens the stream: what is being solved and how the column
+// records are laid out.
+type headerRecord struct {
+	Type      string    `json:"type"` // "header"
+	Title     string    `json:"title,omitempty"`
+	States    []string  `json:"states"`
+	Steps     int       `json:"steps"`
+	TStop     float64   `json:"tstop"`
+	Scenarios int       `json:"scenarios"`
+	Scales    []float64 `json:"scales"`
+}
+
+// columnRecord carries one BPF column: X[s][i] is streamed state i of
+// scenario s at column J (midpoint time T).
+type columnRecord struct {
+	Type string      `json:"type"` // "column"
+	J    int         `json:"j"`
+	T    float64     `json:"t"`
+	X    [][]float64 `json:"x"`
+}
+
+// reportRecord summarizes the solver report in the "done" trailer.
+type reportRecord struct {
+	Factorizations int    `json:"factorizations"`
+	CacheHits      int    `json:"cacheHits"`
+	CacheMisses    int    `json:"cacheMisses"`
+	HistoryEngine  string `json:"historyEngine,omitempty"`
+	SparseLUSolves int    `json:"sparseLUSolves"`
+	DenseLUSolves  int    `json:"denseLUSolves,omitempty"`
+	QRSolves       int    `json:"qrSolves,omitempty"`
+	Degraded       bool   `json:"degraded,omitempty"`
+}
+
+type doneRecord struct {
+	Type    string       `json:"type"` // "done"
+	Columns int          `json:"columns"`
+	Report  reportRecord `json:"report"`
+}
+
+type errorRecord struct {
+	Type  string `json:"type"` // "error"
+	Kind  string `json:"kind"`
+	Error string `json:"error"`
+}
+
+// errKind maps the solver error taxonomy onto stable wire names.
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, core.ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, core.ErrSingularPencil):
+		return "singular-pencil"
+	case errors.Is(err, core.ErrIllConditioned):
+		return "ill-conditioned"
+	case errors.Is(err, core.ErrNonFinite):
+		return "non-finite"
+	case errors.Is(err, core.ErrNonConvergence):
+		return "non-convergence"
+	}
+	return "internal"
+}
+
+// streamWriter serializes records to the response, flushing after each one so
+// columns reach the client as the solve commits them. The first write error
+// latches: later records are dropped (the solve itself stops at the next
+// column boundary via context cancellation, since a dead connection cancels
+// the request context).
+type streamWriter struct {
+	enc   *json.Encoder
+	flush func()
+	err   error
+
+	// xbuf backs the column record's per-scenario value slices so streaming a
+	// state subset allocates nothing per column after the first.
+	xbuf [][]float64
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	sw := &streamWriter{enc: json.NewEncoder(w), flush: func() {}}
+	if f, ok := w.(http.Flusher); ok {
+		sw.flush = f.Flush
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	return sw
+}
+
+// send encodes one record and flushes it out.
+func (sw *streamWriter) send(rec any) {
+	if sw.err != nil {
+		return
+	}
+	if err := sw.enc.Encode(rec); err != nil {
+		sw.err = err
+		return
+	}
+	sw.flush()
+}
+
+func (sw *streamWriter) header(job *job) {
+	sw.send(&headerRecord{
+		Type:      "header",
+		Title:     job.title,
+		States:    job.labels,
+		Steps:     job.m,
+		TStop:     job.T,
+		Scenarios: len(job.scenarios),
+		Scales:    job.scales,
+	})
+}
+
+// column streams one solved column: cols[s] is scenario s's full state
+// column (owned by the solver, valid only during this call), stateIdx the
+// subset of states the client asked for.
+func (sw *streamWriter) column(j int, t float64, cols [][]float64, stateIdx []int) {
+	if sw.err != nil {
+		return
+	}
+	if sw.xbuf == nil {
+		sw.xbuf = make([][]float64, len(cols))
+		for s := range sw.xbuf {
+			sw.xbuf[s] = make([]float64, len(stateIdx))
+		}
+	}
+	for s, col := range cols {
+		dst := sw.xbuf[s]
+		for k, i := range stateIdx {
+			dst[k] = col[i]
+		}
+	}
+	sw.send(&columnRecord{Type: "column", J: j, T: t, X: sw.xbuf})
+}
+
+func (sw *streamWriter) done(columns int, rep *core.SolveReport) {
+	sw.send(&doneRecord{
+		Type:    "done",
+		Columns: columns,
+		Report: reportRecord{
+			Factorizations: rep.Factorizations,
+			CacheHits:      rep.FactorCacheHits,
+			CacheMisses:    rep.FactorCacheMisses,
+			HistoryEngine:  rep.HistoryEngine,
+			SparseLUSolves: rep.TierSolves[core.TierSparseLU],
+			DenseLUSolves:  rep.TierSolves[core.TierDenseLU],
+			QRSolves:       rep.TierSolves[core.TierQR],
+			Degraded:       rep.Degraded(),
+		},
+	})
+}
+
+// fail emits the terminal error record. Writing may itself fail (the usual
+// cancellation cause is a dead connection); that is fine — the record is a
+// courtesy to clients that aborted the solve some other way.
+func (sw *streamWriter) fail(err error) {
+	sw.send(&errorRecord{Type: "error", Kind: errKind(err), Error: err.Error()})
+}
