@@ -7,21 +7,33 @@
 //
 //	opm-serve [-addr :8080] [-workers 8] [-queue 64] [-cache 64] \
 //	          [-solve-workers 1] [-max-steps 131072] [-max-scenarios 1024] \
+//	          [-journal DIR] [-deadline 0] [-drain-timeout 15s] \
 //	          [-verbose]
 //
 // Endpoints:
 //
-//	POST /v1/solve  submit a job; the response is application/x-ndjson —
-//	                a header record, one record per solved column, and a
-//	                done/error trailer. 429 + Retry-After when the queue is
-//	                full. See internal/serve for the request schema.
-//	GET  /metrics   JSON counters: queue depth, in-flight jobs, factor-cache
-//	                hit rate, p50/p99 solve latency.
-//	GET  /healthz   liveness probe.
+//	POST /v1/solve   submit a job; the response is application/x-ndjson —
+//	                 a header record (carrying the job's resume ID), one
+//	                 record per solved column, and a done/error trailer. 429
+//	                 + jittered Retry-After when the queue is full. See
+//	                 internal/serve for the request schema.
+//	POST /v1/resume  reattach to an interrupted job: {"job": id, "from": n}
+//	                 replays columns [n, checkpoint) bit-for-bit and then
+//	                 continues the solve from its last checkpoint.
+//	GET  /v1/jobs    list running and suspended (resumable) jobs.
+//	GET  /metrics    JSON counters: queue depth, in-flight jobs, factor-cache
+//	                 hit rate, p50/p99 solve latency, resilience counters
+//	                 (resumes, breaker trips, journal failures, ...).
+//	GET  /healthz    liveness probe.
 //
 // All jobs share one process-wide pencil-factorization cache, so concurrent
-// clients sweeping the same circuit reuse a single factorization. SIGINT or
-// SIGTERM drains in-flight jobs and exits.
+// clients sweeping the same circuit reuse a single factorization. With
+// -journal set, every admitted job appends fsynced checkpoints to its own
+// journal file, and a restarted server replays the directory to re-admit
+// interrupted jobs. SIGINT or SIGTERM triggers the drain sequence: stop
+// admission (503), cancel in-flight solves at their next column boundary
+// (each commits a final checkpoint first), then exit — within
+// -drain-timeout, worst case.
 package main
 
 import (
@@ -47,20 +59,25 @@ func main() {
 		solveWorkers = flag.Int("solve-workers", 0, "goroutines per solve's history engine (0 = 1; results identical for any value)")
 		maxSteps     = flag.Int("max-steps", 0, "per-request BPF column limit (0 = 131072)")
 		maxScen      = flag.Int("max-scenarios", 0, "per-request sweep cardinality limit (0 = 1024)")
+		journalDir   = flag.String("journal", "", "directory for durable per-job checkpoint journals (empty = in-memory resume only)")
+		deadline     = flag.Duration("deadline", 0, "default per-job wall-clock budget; expired jobs suspend resumably (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 15*time.Second, "bound on the SIGTERM drain: checkpoint in-flight jobs, then exit")
 		verbose      = flag.Bool("verbose", false, "log every finished job (title, priority, columns, duration, cache hits)")
 	)
 	flag.Parse()
 
 	srv := newServer(serve.Config{
-		Workers:      *workers,
-		QueueDepth:   *queueDepth,
-		CacheCap:     *cacheCap,
-		SolveWorkers: *solveWorkers,
-		MaxSteps:     *maxSteps,
-		MaxScenarios: *maxScen,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheCap:        *cacheCap,
+		SolveWorkers:    *solveWorkers,
+		MaxSteps:        *maxSteps,
+		MaxScenarios:    *maxScen,
+		JournalDir:      *journalDir,
+		DefaultDeadline: *deadline,
 	}, *verbose)
 
-	hs := &http.Server{Addr: *addr, Handler: srv}
+	hs := newHTTPServer(*addr, srv)
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -74,12 +91,36 @@ func main() {
 			log.Fatalf("opm-serve: %v", err)
 		}
 	case <-ctx.Done():
-		log.Printf("opm-serve: shutting down")
-		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("opm-serve: draining (bound %s)", *drainTimeout)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
-		if err := hs.Shutdown(sctx); err != nil {
+		// Drain first — stop admission, cancel solves at their next column
+		// boundary so each commits a final checkpoint — then close the
+		// listener and let the error/done trailers flush.
+		if err := srv.Drain(dctx); err != nil {
+			log.Printf("opm-serve: %v", err)
+		}
+		if err := hs.Shutdown(dctx); err != nil {
 			log.Printf("opm-serve: shutdown: %v", err)
 		}
+	}
+}
+
+// newHTTPServer wraps the service handler in an http.Server hardened against
+// slow-client resource pins: a stalled request line or header set is reaped
+// by ReadHeaderTimeout instead of holding a connection goroutine forever
+// (slowloris), idle keep-alive connections are bounded by IdleTimeout, and
+// header volume by MaxHeaderBytes. There is deliberately no WriteTimeout or
+// blanket ReadTimeout: solve streams are legitimately long-lived, and the
+// per-job protection is the serve layer's deadline ladder, not a socket
+// timer.
+func newHTTPServer(addr string, h http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 16,
 	}
 }
 

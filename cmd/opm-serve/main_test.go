@@ -2,11 +2,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"opmsim/internal/serve"
 )
@@ -88,5 +91,84 @@ func TestVerboseHookInstalled(t *testing.T) {
 	}
 	if srv := newServer(serve.Config{}, false); srv.OnJobDone != nil {
 		t.Fatal("quiet server unexpectedly has an OnJobDone hook")
+	}
+}
+
+// TestHTTPServerHardening pins the slow-client protections the binary ships
+// with: a stalled header must be reaped, idle connections bounded, header
+// volume capped, but streaming responses must never be cut by a write timer.
+func TestHTTPServerHardening(t *testing.T) {
+	hs := newHTTPServer(":0", http.NewServeMux())
+	if hs.ReadHeaderTimeout <= 0 {
+		t.Fatal("no ReadHeaderTimeout: slowloris headers pin connection goroutines forever")
+	}
+	if hs.IdleTimeout <= 0 {
+		t.Fatal("no IdleTimeout: idle keep-alive connections accumulate unboundedly")
+	}
+	if hs.MaxHeaderBytes <= 0 || hs.MaxHeaderBytes > 1<<20 {
+		t.Fatalf("MaxHeaderBytes = %d, want a modest explicit cap", hs.MaxHeaderBytes)
+	}
+	if hs.WriteTimeout != 0 || hs.ReadTimeout != 0 {
+		t.Fatal("blanket socket timeouts would cut long-lived solve streams; the per-job deadline is the serve layer's")
+	}
+}
+
+// TestSlowlorisHeaderReaped opens a raw connection, dribbles an incomplete
+// header, and requires the server to close the connection once
+// ReadHeaderTimeout elapses — the stalled client cannot hold its goroutine.
+func TestSlowlorisHeaderReaped(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := newHTTPServer("", newServer(serve.Config{Workers: 1}, false))
+	hs.ReadHeaderTimeout = 150 * time.Millisecond // shorten the production 10s for the test
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Partial request: header section never terminated.
+	if _, err := conn.Write([]byte("POST /v1/solve HTTP/1.1\r\nHost: x\r\nX-Slow: dribble")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	buf := make([]byte, 512)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			break // server closed (or 408'd then closed) the stalled connection
+		}
+	}
+	if waited := time.Since(start); waited > 4*time.Second {
+		t.Fatalf("stalled-header connection survived %s; reap expected shortly after ReadHeaderTimeout", waited)
+	}
+}
+
+// TestDrainViaBinaryWiring exercises the SIGTERM path's core: Drain on the
+// assembled server rejects new work with 503 and unwinds within its bound.
+func TestDrainViaBinaryWiring(t *testing.T) {
+	srv := newServer(serve.Config{Workers: 1, JournalDir: t.TempDir()}, false)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		t.Fatalf("drain on idle server: %v", err)
+	}
+	body := `{"netlist": "rc\nV1 in 0 STEP 1\nR1 in out 1k\nC1 out 0 1u\n.tran 0.1m 10m\n"}`
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain submission: got %d, want 503", resp.StatusCode)
 	}
 }

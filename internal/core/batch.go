@@ -76,6 +76,25 @@ type BatchOptions struct {
 	// stream to a client. The embedded Options.OnColumn is ignored here: a
 	// per-scenario hook would fire from concurrent group tasks.
 	OnColumn func(col int, t float64, cols [][]float64)
+	// CheckpointEvery, with OnCheckpoint set, emits a CheckpointDelta after
+	// every CheckpointEvery-th committed column (measured on the absolute
+	// column index, so resumed runs keep the original boundaries). Zero
+	// emits no interval deltas; abort deltas (below) still fire.
+	CheckpointEvery int
+	// OnCheckpoint receives checkpoint deltas: at the interval boundaries
+	// above, and — regardless of CheckpointEvery — once with the committed
+	// tail whenever the solve aborts after committing columns (cancellation,
+	// solver fault), so interrupted work is never lost. Deltas own their
+	// buffers; apply them to a Checkpoint with ApplyCheckpoint. The hook
+	// runs on the SolveBatchCtx goroutine after the column barrier.
+	OnCheckpoint func(*CheckpointDelta)
+	// ResumeFrom, when non-nil, resumes the solve from a checkpoint: the
+	// committed prefix is adopted, history state is replayed bit-exactly,
+	// and the column loop (and OnColumn) starts at ResumeFrom.Columns. The
+	// checkpoint's shape header must match the solve (ErrCheckpointMismatch
+	// otherwise); Workers and PanelWidth are free to differ — neither
+	// changes column bits.
+	ResumeFrom *Checkpoint
 }
 
 // scenState is the per-scenario solve state: exactly what one sequential
@@ -232,6 +251,47 @@ func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int
 		groups[g] = gr
 	}
 
+	// Resume: adopt the checkpoint's committed prefix and replay the history
+	// state before entering the column loop. The engine name is resolved the
+	// same way the report records it — empty when no fractional terms exist.
+	engineName := ""
+	if len(states[0].eng.terms) > 0 {
+		engineName = states[0].eng.modeName()
+	}
+	j0 := 0
+	if cp := opt.ResumeFrom; cp != nil {
+		if err := cp.validateFor(n, m, K, T, engineName); err != nil {
+			return nil, err
+		}
+		j0 = cp.Columns
+		if err := resumeBatch(sys, states, groups, cp, n); err != nil {
+			d := diag(engineErrKind(err), j0, (float64(j0)+0.5)*h)
+			d.Cause = fmt.Errorf("batch resume replay: %w", err)
+			return nil, d
+		}
+	}
+
+	// emitDelta hands columns [lastCp, hi) to OnCheckpoint as fresh copies.
+	// It runs at interval boundaries and on every abort path after at least
+	// one new column committed, so an interrupted solve always surfaces its
+	// committed tail.
+	lastCp := j0
+	emitDelta := func(hi int) {
+		if opt.OnCheckpoint == nil || hi <= lastCp {
+			return
+		}
+		d := &CheckpointDelta{
+			N: n, M: m, K: K, T: T, Engine: engineName,
+			From: lastCp, To: hi,
+			Slabs: make([][]float64, K),
+		}
+		for s := 0; s < K; s++ {
+			d.Slabs[s] = append([]float64(nil), states[s].xbuf[lastCp*n:hi*n]...)
+		}
+		lastCp = hi
+		opt.OnCheckpoint(d)
+	}
+
 	colErr := make([]error, K)
 	tasks := make([]func(), 0, nGroups)
 	var hookCols [][]float64
@@ -241,12 +301,16 @@ func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int
 			hookCols[s] = make([]float64, n)
 		}
 	}
-	for j := 0; j < m; j++ {
+	for j := j0; j < m; j++ {
 		tj := (float64(j) + 0.5) * h
 		if err := ctx.Err(); err != nil {
+			emitDelta(j)
 			d := diag(ErrCancelled, j, tj)
 			d.Cause = err
 			return nil, d
+		}
+		if opt.Fault != nil && opt.Fault.ColumnDelay != nil {
+			opt.Fault.ColumnDelay(j)
 		}
 		tasks = tasks[:0]
 		for _, gr := range groups {
@@ -268,12 +332,30 @@ func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int
 			ferr = historyPoolDo(tasks)
 		}
 		if ferr != nil {
+			emitDelta(j)
 			d := diag(ErrInternal, j, tj)
 			d.Cause = ferr
 			return nil, d
 		}
+		if opt.Fault != nil && opt.Fault.CorruptColumn != nil {
+			// Same injection point Solve exposes: mutate the freshly solved
+			// column, then re-screen it so injected damage surfaces as the
+			// production ErrNonFinite diagnostic.
+			for s := 0; s < K; s++ {
+				xj := states[s].xbuf[j*n : (j+1)*n]
+				opt.Fault.CorruptColumn(j, xj)
+				if i := firstNonFinite(xj); i >= 0 && colErr[s] == nil {
+					d := diag(ErrNonFinite, j, tj)
+					d.Cause = fmt.Errorf("non-finite value in state %d of scenario %d", i, s)
+					colErr[s] = d
+				}
+			}
+		}
 		for s := 0; s < K; s++ {
 			if colErr[s] != nil {
+				// Column j may be partially committed across groups; the
+				// delta covers only the fully-committed prefix [lastCp, j).
+				emitDelta(j)
 				return nil, colErr[s]
 			}
 		}
@@ -291,6 +373,9 @@ func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int
 				}
 			}
 			opt.OnColumn(j, tj, hookCols)
+		}
+		if opt.CheckpointEvery > 0 && (j+1)%opt.CheckpointEvery == 0 && j+1 < m {
+			emitDelta(j + 1)
 		}
 	}
 

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"opmsim/internal/basis"
+)
+
+// Checkpointable solves.
+//
+// Every piece of solver state that outlives a column — the integer-order
+// recurrence lags, the exact tier's chunk-head accumulators, the FFT tier's
+// fired segment spectra — is a deterministic, worker-invariant function of
+// the committed solution columns. A checkpoint therefore stores only the raw
+// committed column slabs (the shifted variable z = x − x0 exactly as the
+// solver keeps it in its xbuf), and resuming replays the cheap state
+// reconstruction in the same floating-point operation order the original run
+// used. The replayed run then continues with bit-for-bit the operands an
+// uninterrupted run would have seen, so a resumed SolveBatch emits
+// Float64bits-identical columns from the resume point onward.
+//
+// Two structural facts make the replay exact rather than merely close:
+//
+//   - The exact history tier's chunk heads fold committed columns in
+//     ascending column order into a single accumulator, and the tail fold
+//     continues that same ascending order — so the head/tail split position
+//     never changes the addition sequence. A fresh engine resuming at any
+//     column j0 lazily rebuilds a head for chunk [j0, j0+chunk) whose block
+//     boundaries differ from the original run's, yet every column's history
+//     sum is the identical ascending fold. No head replay is needed at all.
+//   - The FFT tier's segment firings are pure functions of (fire column,
+//     committed columns): each firing accumulates into disjoint spectra rows
+//     in ascending fire-column order. Replaying the firings below j0 in that
+//     same order reproduces the accumulator bits exactly.
+//
+// The single-solve path (Solve/SolveCtx) is not checkpointable; run a
+// one-scenario batch instead — SolveBatch with K = 1 is bitwise-identical to
+// Solve by the batch determinism contract, and that is the configuration the
+// service layer uses.
+
+// ErrCheckpointMismatch reports a checkpoint offered to a solve (or a delta
+// offered to a checkpoint) whose shape — state dimension, grid, span,
+// scenario count, or resolved history engine — does not match.
+var ErrCheckpointMismatch = errors.New("core: checkpoint mismatch")
+
+// Checkpoint is the accumulated resumable state of a batch solve: the
+// committed column prefix of every scenario, plus the shape header that pins
+// which solves it may resume. It is RNG-free and engine-complete — nothing
+// beyond the slabs is needed to reconstruct solver state bit for bit.
+//
+// Slabs hold the solver's shifted variable (z = x − x0), not the
+// client-visible state x; StateColumn applies the offset with the same
+// operands the solver's own column hook uses.
+type Checkpoint struct {
+	// N, M, K are the state dimension, BPF grid size, and scenario count of
+	// the solve this checkpoint belongs to.
+	N, M, K int
+	// T is the time span; compared via Float64bits, since a grid with the
+	// same m but different span yields different coefficients.
+	T float64
+	// Engine is the resolved history-engine name of the originating solve:
+	// "" (no fractional terms), "exact", "fft", or "naive". Resuming under a
+	// different engine would change summation order, so it must match.
+	Engine string
+	// Columns is the number of committed columns: Slabs covers [0, Columns).
+	Columns int
+	// Slabs[s] holds scenario s's committed columns as one slab of
+	// Columns*N float64s, column-major by column index (column j occupies
+	// [j*N, (j+1)*N)) — the exact layout of the batch solver's xbuf prefix.
+	Slabs [][]float64
+}
+
+// CheckpointDelta is the increment between two checkpoints: columns
+// [From, To) of every scenario, emitted by BatchOptions.OnCheckpoint. The
+// slab buffers are fresh copies owned by the receiver.
+type CheckpointDelta struct {
+	N, M, K  int
+	T        float64
+	Engine   string
+	From, To int
+	// Slabs[s] holds scenario s's columns [From, To) as (To-From)*N floats.
+	Slabs [][]float64
+}
+
+// ApplyCheckpoint appends a delta to the checkpoint. An empty (zero-valued)
+// checkpoint adopts the delta's shape header and requires From == 0;
+// otherwise the delta must match the header and continue exactly at
+// Columns. Errors wrap ErrCheckpointMismatch and leave the checkpoint
+// unchanged.
+func (cp *Checkpoint) ApplyCheckpoint(d *CheckpointDelta) error {
+	if d.N <= 0 || d.K <= 0 || d.M <= 0 || len(d.Slabs) != d.K {
+		return fmt.Errorf("%w: malformed delta header (n=%d m=%d k=%d slabs=%d)",
+			ErrCheckpointMismatch, d.N, d.M, d.K, len(d.Slabs))
+	}
+	if d.From < 0 || d.To <= d.From || d.To > d.M {
+		return fmt.Errorf("%w: delta range [%d,%d) outside grid of %d columns",
+			ErrCheckpointMismatch, d.From, d.To, d.M)
+	}
+	want := (d.To - d.From) * d.N
+	for s, slab := range d.Slabs {
+		if len(slab) != want {
+			return fmt.Errorf("%w: delta slab %d has %d values, want %d",
+				ErrCheckpointMismatch, s, len(slab), want)
+		}
+	}
+	if cp.N == 0 && cp.M == 0 && cp.K == 0 {
+		cp.N, cp.M, cp.K, cp.T, cp.Engine = d.N, d.M, d.K, d.T, d.Engine
+		cp.Slabs = make([][]float64, cp.K)
+	}
+	if cp.N != d.N || cp.M != d.M || cp.K != d.K ||
+		math.Float64bits(cp.T) != math.Float64bits(d.T) || cp.Engine != d.Engine {
+		return fmt.Errorf("%w: delta header (n=%d m=%d k=%d T=%g engine=%q) vs checkpoint (n=%d m=%d k=%d T=%g engine=%q)",
+			ErrCheckpointMismatch, d.N, d.M, d.K, d.T, d.Engine, cp.N, cp.M, cp.K, cp.T, cp.Engine)
+	}
+	if d.From != cp.Columns {
+		return fmt.Errorf("%w: delta starts at column %d, checkpoint has %d committed",
+			ErrCheckpointMismatch, d.From, cp.Columns)
+	}
+	for s := range cp.Slabs {
+		cp.Slabs[s] = append(cp.Slabs[s], d.Slabs[s]...)
+	}
+	cp.Columns = d.To
+	return nil
+}
+
+// StateColumn writes scenario s's committed column j — including the x0
+// offset — into dst, using the same operands and operation order as the
+// solver's OnColumn hook, so the result is bitwise-identical to the column
+// the original stream emitted. x0 may be nil (zero initial state).
+func (cp *Checkpoint) StateColumn(dst []float64, s, j int, x0 []float64) error {
+	if s < 0 || s >= cp.K || j < 0 || j >= cp.Columns {
+		return fmt.Errorf("core: checkpoint column (s=%d, j=%d) outside committed (K=%d, columns=%d)",
+			s, j, cp.K, cp.Columns)
+	}
+	if len(dst) != cp.N || (x0 != nil && len(x0) != cp.N) {
+		return fmt.Errorf("core: checkpoint column buffers: dst=%d x0=%d, want %d", len(dst), len(x0), cp.N)
+	}
+	zj := cp.Slabs[s][j*cp.N : (j+1)*cp.N]
+	if x0 == nil {
+		// The solver adds x0 even when it is all zeros; z + 0 is not a
+		// bitwise no-op (it normalizes -0), so mirror the addition.
+		for i := range dst {
+			dst[i] = zj[i] + 0
+		}
+		return nil
+	}
+	for i := range dst {
+		dst[i] = zj[i] + x0[i]
+	}
+	return nil
+}
+
+// validateFor checks that the checkpoint can resume a solve with the given
+// shape and resolved engine name.
+func (cp *Checkpoint) validateFor(n, m, K int, T float64, engine string) error {
+	if cp.N != n || cp.M != m || cp.K != K || math.Float64bits(cp.T) != math.Float64bits(T) {
+		return fmt.Errorf("%w: checkpoint for (n=%d m=%d k=%d T=%g), solve is (n=%d m=%d k=%d T=%g)",
+			ErrCheckpointMismatch, cp.N, cp.M, cp.K, cp.T, n, m, K, T)
+	}
+	if cp.Engine != engine {
+		return fmt.Errorf("%w: checkpoint history engine %q, solve resolves to %q",
+			ErrCheckpointMismatch, cp.Engine, engine)
+	}
+	if cp.Columns < 0 || cp.Columns > m {
+		return fmt.Errorf("%w: checkpoint has %d committed columns on a %d-column grid",
+			ErrCheckpointMismatch, cp.Columns, m)
+	}
+	if len(cp.Slabs) != K {
+		return fmt.Errorf("%w: checkpoint has %d slabs for %d scenarios", ErrCheckpointMismatch, len(cp.Slabs), K)
+	}
+	for s, slab := range cp.Slabs {
+		if len(slab) != cp.Columns*n {
+			return fmt.Errorf("%w: checkpoint slab %d has %d values, want %d",
+				ErrCheckpointMismatch, s, len(slab), cp.Columns*n)
+		}
+	}
+	return nil
+}
+
+// PencilFingerprint returns a stable fingerprint of the leading pencil a
+// solve of sys on an m-column grid over [0, T) would factor: the assembled
+// M = Σ_k c₀⁽ᵏ⁾·E_k structure and values mixed with the step width and the
+// maximum derivative order. Submissions with equal fingerprints hit the same
+// factorization — the unit the service's circuit breaker trips on.
+func PencilFingerprint(sys *System, m int, T float64) (uint64, error) {
+	if err := sys.Validate(); err != nil {
+		return 0, err
+	}
+	bpf, err := basis.NewBPF(m, T)
+	if err != nil {
+		return 0, err
+	}
+	lead := make([]float64, len(sys.Terms))
+	for k, t := range sys.Terms {
+		lead[k] = bpf.DiffCoeffs(t.Order)[0]
+	}
+	msys, err := assembleLeading(sys, func(k int) float64 { return lead[k] })
+	if err != nil {
+		return 0, err
+	}
+	fp := fingerprintCSR(msys)
+	fp = fpMix64(fp, math.Float64bits(bpf.Step()))
+	fp = fpMix64(fp, math.Float64bits(sys.MaxOrder()))
+	return fp, nil
+}
+
+// fpMix64 folds one 64-bit word into an FNV-1a style accumulator, matching
+// the byte order fingerprintCSR uses for matrix values.
+func fpMix64(h, v uint64) uint64 {
+	const prime = 1099511628211
+	for b := 0; b < 8; b++ {
+		h ^= (v >> (8 * b)) & 0xff
+		h *= prime
+	}
+	return h
+}
+
+// resumeBatch restores the batch solver's internal state to the end of the
+// checkpoint's committed prefix: it prefills each scenario's column slab,
+// replays the integer-order recurrences (scalar or panel-granular, matching
+// the path the live loop will take), and refires the FFT tier's history
+// segments. All replay work runs in the exact floating-point operation order
+// of the original solve, so the continuation is bitwise-exact. Fan-out
+// mirrors the solver's own: one task per scenario (or per group on the panel
+// fast path).
+func resumeBatch(sys *System, states []*scenState, groups []*batchGroup, cp *Checkpoint, n int) error {
+	j0 := cp.Columns
+	for s, st := range states {
+		copy(st.xbuf[:j0*n], cp.Slabs[s])
+		for j := 0; j < j0; j++ {
+			st.cols[j] = st.xbuf[j*n : (j+1)*n : (j+1)*n]
+		}
+	}
+	if j0 == 0 {
+		return nil
+	}
+	if groups[0].fast {
+		tasks := make([]func(), len(groups))
+		for g, gr := range groups {
+			gr := gr
+			tasks[g] = func() { replayPanelGroup(sys, states, gr, n, j0) }
+		}
+		return historyPoolDo(tasks)
+	}
+	errs := make([]error, len(states))
+	tasks := make([]func(), len(states))
+	for s, st := range states {
+		s, st := s, st
+		tasks[s] = func() { errs[s] = replayScenario(sys, st, j0) }
+	}
+	if err := historyPoolDo(tasks); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayScenario rebuilds one scenario's general-path history state through
+// column j0: the integer-order recurrences step column by column exactly as
+// batchGroupColumn does (current then advance, terms in system order), and
+// the history engine refires its FFT segments. The exact tier needs no
+// replay — its chunk heads are split-position-invariant ascending folds that
+// the engine rebuilds lazily on the first history call.
+func replayScenario(sys *System, st *scenState, j0 int) error {
+	for j := 0; j < j0; j++ {
+		for k := range sys.Terms {
+			if ih := st.hist[k]; ih != nil {
+				ih.current()
+				ih.advance(st.cols[j])
+			}
+		}
+	}
+	return st.eng.resumeAt(j0, st.cols)
+}
+
+// replayPanelGroup rebuilds one scenario group's panel-native history state
+// through column j0, mirroring batchGroupColumnPanel's per-column sequence —
+// recurrence current(), solution-panel claim and gather, lag-ring rotation,
+// recurrence advance() — minus the solve itself (the committed columns are
+// gathered from the checkpointed slabs instead).
+func replayPanelGroup(sys *System, states []*scenState, gr *batchGroup, n, j0 int) {
+	w := gr.hi - gr.lo
+	for j := 0; j < j0; j++ {
+		for k := range sys.Terms {
+			if gr.hist[k] != nil {
+				gr.hist[k].current(gr.xlags)
+			}
+		}
+		xcur := gr.xpool[0]
+		gr.xpool = gr.xpool[1:]
+		xd := xcur.Data()
+		for s := gr.lo; s < gr.hi; s++ {
+			xj := states[s].cols[j]
+			for i := 0; i < n; i++ {
+				xd[i*w+(s-gr.lo)] = xj[i]
+			}
+		}
+		if gr.maxLag > 0 {
+			if len(gr.xlags) == gr.maxLag {
+				gr.xpool = append(gr.xpool, gr.xlags[gr.maxLag-1])
+				copy(gr.xlags[1:], gr.xlags[:gr.maxLag-1])
+			} else {
+				gr.xlags = append(gr.xlags, nil)
+				copy(gr.xlags[1:], gr.xlags[:len(gr.xlags)-1])
+			}
+			gr.xlags[0] = xcur
+		} else {
+			gr.xpool = append(gr.xpool, xcur)
+		}
+		for k := range gr.hist {
+			if gr.hist[k] != nil {
+				gr.hist[k].advance()
+			}
+		}
+	}
+}
+
+// resumeAt replays the engine-internal history state a run committed through
+// column j0 would hold. Only the FFT tier carries state that must be rebuilt
+// eagerly: every segment firing strictly below j0 is refired in ascending
+// fire-column order (the chronological order of the original run), restoring
+// the spectra accumulators bit for bit. A firing due at j0 itself happens
+// live when the loop solves column j0. The exact tier's chunk heads rebuild
+// lazily (see replayScenario); the naive tier holds no state.
+func (e *historyEngine) resumeAt(j0 int, cols [][]float64) error {
+	if j0 == 0 || e.naive {
+		return nil
+	}
+	for _, t := range e.orderedTerms() {
+		if t.fft == nil {
+			continue
+		}
+		for c := e.fftBase; c < j0; c += e.fftBase {
+			t.fft.fired = c
+			if err := e.fireSegment(t, c, cols); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

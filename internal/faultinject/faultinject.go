@@ -12,6 +12,7 @@ package faultinject
 
 import (
 	"math"
+	"sync/atomic"
 	"time"
 )
 
@@ -144,4 +145,63 @@ func PanicWorker(msg string) *Hooks {
 // context deadline shorter than m·d is guaranteed to expire mid-solve.
 func StallColumns(d time.Duration) *Hooks {
 	return &Hooks{ColumnDelay: func(int) { time.Sleep(d) }}
+}
+
+// ServeHooks is the serve-layer counterpart of Hooks: deterministic
+// injection points on the service's durability path (the per-job journal).
+// Like Hooks, every field is nil by default and a nil *ServeHooks is the
+// production configuration.
+type ServeHooks struct {
+	// JournalWriteFail is consulted before each journal record write with
+	// the framed record's size in bytes; returning true fails the write
+	// (simulating a full or failing disk), which the service must absorb by
+	// degrading to in-memory checkpoints, never by crashing the job.
+	JournalWriteFail func(size int) bool
+
+	// CorruptRecord may rewrite the framed record bytes about to hit the
+	// journal — flip bits, truncate — simulating torn writes and disk rot.
+	// It receives a private copy and returns the bytes to write; recovery
+	// must detect the damage via the CRC frame and truncate the tail.
+	CorruptRecord func(frame []byte) []byte
+}
+
+// FailJournalAfter returns serve hooks that let the first n journal record
+// writes succeed and fail every one after that.
+func FailJournalAfter(n int) *ServeHooks {
+	var count atomic.Int64
+	return &ServeHooks{JournalWriteFail: func(int) bool {
+		return count.Add(1) > int64(n)
+	}}
+}
+
+// TornRecord returns serve hooks that truncate the rec-th written record
+// (0-based) to half its framed length — a torn write that recovery must
+// detect and truncate away.
+func TornRecord(rec int) *ServeHooks {
+	var count atomic.Int64
+	return &ServeHooks{CorruptRecord: func(frame []byte) []byte {
+		if count.Add(1)-1 != int64(rec) {
+			return frame
+		}
+		return frame[:len(frame)/2]
+	}}
+}
+
+// FlipBitInRecord returns serve hooks that XOR one bit into the rec-th
+// written record's payload region, leaving the frame length intact — bit rot
+// the CRC must catch.
+func FlipBitInRecord(rec, byteOff int) *ServeHooks {
+	var count atomic.Int64
+	return &ServeHooks{CorruptRecord: func(frame []byte) []byte {
+		if count.Add(1)-1 != int64(rec) {
+			return frame
+		}
+		// Skip the 8-byte length+CRC header; clamp into the payload.
+		off := 8 + byteOff
+		if off >= len(frame) {
+			off = len(frame) - 1
+		}
+		frame[off] ^= 0x10
+		return frame
+	}}
 }

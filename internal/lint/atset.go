@@ -33,6 +33,13 @@ var atsetHotFiles = map[string]bool{
 	// column per job, concurrently across worker slots.
 	"stream.go": true,
 	"serve.go":  true,
+	// PR 7 resilience surface: checkpoint capture/replay copies column slabs
+	// (core/checkpoint.go), the journal encodes them (serve/journal.go), and
+	// the entry fold applies them (serve/jobs.go) — all per-checkpoint-interval
+	// hot loops over m×n×K data.
+	"checkpoint.go": true,
+	"journal.go":    true,
+	"jobs.go":       true,
 }
 
 // AnalyzerAtSet (advisory) flags element-wise At/Set calls on mat matrix

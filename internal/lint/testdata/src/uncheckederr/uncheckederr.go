@@ -54,3 +54,28 @@ func suppressed(b []float64) {
 	//lint:ignore uncheckederr fixture demonstrating the suppression policy
 	Solve(b)
 }
+
+// appendJournalRecord stands in for the durability family (PR 7): its error
+// is the only signal that a checkpoint failed to persist.
+func appendJournalRecord(rec []byte) error {
+	if len(rec) == 0 {
+		return errors.New("empty record")
+	}
+	return nil
+}
+
+// ApplyCheckpoint stands in for the checkpoint-fold family.
+func ApplyCheckpoint() (int, error) { return 0, errors.New("mismatch") }
+
+func journalDiscard(rec []byte) {
+	appendJournalRecord(rec) // want "result of appendJournalRecord discarded; error position 1"
+}
+
+func checkpointBlank() int {
+	n, _ := ApplyCheckpoint() // want "error from ApplyCheckpoint assigned to _"
+	return n
+}
+
+func journalChecked(rec []byte) error {
+	return appendJournalRecord(rec)
+}

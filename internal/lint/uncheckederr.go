@@ -8,9 +8,12 @@ import (
 
 // errFamilyRe names the solver-entry-point families whose errors carry the
 // typed Diagnostic taxonomy (ErrSingularPencil, ErrIllConditioned, ...) and
-// must therefore never be dropped: Solve*, *Factor*/Factorize*, and the
-// LU/QR factorization constructors.
-var errFamilyRe = regexp.MustCompile(`(?i)solve|factor|^(LU|QR)`)
+// must therefore never be dropped: Solve*, *Factor*/Factorize*, the LU/QR
+// factorization constructors, and — since the PR 7 resilience layer — the
+// journal/checkpoint families, whose dropped errors silently void the
+// crash-safety guarantee (a checkpoint that failed to apply or persist must
+// degrade loudly, not vanish).
+var errFamilyRe = regexp.MustCompile(`(?i)solve|factor|journal|checkpoint|^(LU|QR)`)
 
 // AnalyzerUncheckedErr flags discarded error results from Solve/Factorize/
 // LU/QR-family functions defined in this module: calls used as bare
@@ -19,7 +22,7 @@ var errFamilyRe = regexp.MustCompile(`(?i)solve|factor|^(LU|QR)`)
 // surfaces as a typed diagnostic — a single dropped error silently voids it.
 var AnalyzerUncheckedErr = &Analyzer{
 	Name:     "uncheckederr",
-	Doc:      "discarded error result from a Solve/Factorize/LU/QR-family function defined in this module",
+	Doc:      "discarded error result from a Solve/Factorize/LU/QR/journal/checkpoint-family function defined in this module",
 	Severity: SeverityError,
 	Run:      runUncheckedErr,
 }

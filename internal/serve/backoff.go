@@ -1,0 +1,75 @@
+package serve
+
+import "sync"
+
+// retryBackoff shapes the Retry-After hints on 429 load sheds. A fixed hint
+// synchronizes every shed client's retry — the whole rejected cohort comes
+// back in the same second and re-spikes the queue. Instead the hint grows
+// exponentially with the shed streak (consecutive rejections with no
+// admission in between) and is jittered uniformly over the upper half of the
+// exponential window, so a cohort shed together spreads out over the window:
+//
+//	streak 1 → 1s, streak 2 → [1,2]s, streak 3 → [2,4]s, ... capped at [32,64]s.
+//
+// An admission resets the streak: the queue is moving again, so new sheds
+// start polite.
+type retryBackoff struct {
+	mu     sync.Mutex
+	streak int
+	rng    func() uint64
+	ctr    uint64
+}
+
+// backoffMaxShift caps the exponential window at 1<<6 = 64 seconds.
+const backoffMaxShift = 6
+
+// newRetryBackoff builds the shaper; rng is the jitter source (nil selects a
+// deterministic splitmix64 counter stream — seeded constant, per the
+// project's no-unseeded-entropy rule; the jitter's job is decorrelating the
+// hints *within* a shed burst, which a counter stream does, not secrecy).
+func newRetryBackoff(rng func() uint64) *retryBackoff {
+	b := &retryBackoff{rng: rng}
+	if b.rng == nil {
+		b.rng = func() uint64 {
+			b.ctr++ // guarded by b.mu at both call sites
+			return splitmix64(b.ctr)
+		}
+	}
+	return b
+}
+
+// shedSeconds records one load shed and returns the jittered Retry-After
+// hint in whole seconds: uniform over [v/2, v] with v = 1<<min(streak-1, 6),
+// never below 1.
+func (b *retryBackoff) shedSeconds() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.streak++
+	shift := b.streak - 1
+	if shift > backoffMaxShift {
+		shift = backoffMaxShift
+	}
+	v := 1 << shift
+	lo := (v + 1) / 2
+	if lo < 1 {
+		lo = 1
+	}
+	span := v - lo + 1
+	return lo + int(b.rng()%uint64(span))
+}
+
+// admitted resets the shed streak — the queue accepted work again.
+func (b *retryBackoff) admitted() {
+	b.mu.Lock()
+	b.streak = 0
+	b.mu.Unlock()
+}
+
+// splitmix64 is the standard 64-bit mix (Steele et al.); a full-period
+// bijection, so the counter stream never repeats a jitter draw.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"opmsim/internal/core"
+)
+
+// breaker is the per-pencil circuit breaker. Repeated ErrSingularPencil or
+// ErrNonFinite faults against the same pencil fingerprint mean the circuit
+// itself is bad — every retry burns a worker slot on a solve that cannot
+// succeed — so after threshold consecutive faults the breaker opens and
+// matching submissions fast-fail with 422 before touching the queue. After
+// cooldown the breaker half-opens: traffic flows again, a success closes it,
+// the next fault re-opens it for another cooldown. The clock is injected
+// (Config.Clock), so tests and the chaos harness drive the state machine
+// deterministically, skew included.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	clock     func() time.Time
+	cells     map[uint64]*breakerCell
+}
+
+type breakerCell struct {
+	fails     int
+	openUntil time.Time
+}
+
+// breakerMaxCells bounds the fault map; fingerprints only enter on faults,
+// so the bound only matters under a deliberate flood of distinct broken
+// pencils — at which point wholesale forgetting (and re-counting) is safe.
+const breakerMaxCells = 1024
+
+func newBreaker(threshold int, cooldown time.Duration, clock func() time.Time) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		clock:     clock,
+		cells:     make(map[uint64]*breakerCell),
+	}
+}
+
+// allow reports whether a submission against fp may proceed: yes while
+// closed or half-open, no while open and cooling down.
+func (b *breaker) allow(fp uint64) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c := b.cells[fp]
+	if c == nil || c.fails < b.threshold {
+		return true
+	}
+	return !b.clock().Before(c.openUntil)
+}
+
+// onResult folds a solve outcome into the breaker; faulted is true only for
+// the breaker-relevant kinds (singular pencil, non-finite). It returns true
+// when this result (re)opened the breaker — the trip metric.
+func (b *breaker) onResult(fp uint64, faulted bool) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !faulted {
+		delete(b.cells, fp)
+		return false
+	}
+	c := b.cells[fp]
+	if c == nil {
+		if len(b.cells) >= breakerMaxCells {
+			b.cells = make(map[uint64]*breakerCell)
+		}
+		c = &breakerCell{}
+		b.cells[fp] = c
+	}
+	c.fails++
+	if c.fails >= b.threshold {
+		c.openUntil = b.clock().Add(b.cooldown)
+		return true
+	}
+	return false
+}
+
+// breakerFault reports whether a terminal solve error is one of the kinds
+// the breaker counts: deterministic pencil-level faults, not client
+// cancellations or transient resource errors.
+func breakerFault(err error) bool {
+	return err != nil && (errors.Is(err, core.ErrSingularPencil) || errors.Is(err, core.ErrNonFinite))
+}
+
+// degradedPlan is the ladder: how an entry's accumulated strikes (deadline
+// expiries and solver faults on previous attempts) reshape its next run.
+//
+//	strike ≥ 1 — halve the checkpoint interval per strike (min 1): shorter
+//	             intervals mean less recomputation on the next interruption;
+//	strike ≥ 2 — PanelWidth 1: sequential per-scenario batches cut peak
+//	             memory and per-column latency variance (both bitwise-neutral,
+//	             so the checkpoint survives);
+//	strike ≥ 3 — an fft-engine job falls back to the exact engine and
+//	             discards its checkpoint: the engine switch changes summation
+//	             order, so the run restarts from column zero — trading the
+//	             committed prefix for the exact tier's lower memory footprint
+//	             and strictly incremental progress.
+type degradedPlan struct {
+	checkpointEvery int
+	panelWidth      int
+	history         core.HistoryMode
+	resume          *core.Checkpoint
+	droppedResume   bool
+}
+
+func planFor(strikes, baseEvery int, history core.HistoryMode, cp *core.Checkpoint) degradedPlan {
+	p := degradedPlan{checkpointEvery: baseEvery, history: history}
+	if cp != nil && cp.Columns > 0 {
+		p.resume = cp
+	}
+	for i := 0; i < strikes && p.checkpointEvery > 1; i++ {
+		p.checkpointEvery /= 2
+	}
+	if p.checkpointEvery < 1 {
+		p.checkpointEvery = 1
+	}
+	if strikes >= 2 {
+		p.panelWidth = 1
+	}
+	if strikes >= 3 && p.resume != nil && p.resume.Engine == "fft" {
+		p.history = core.HistoryExact
+		p.resume = nil
+		p.droppedResume = true
+	}
+	return p
+}

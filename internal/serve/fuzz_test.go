@@ -16,14 +16,14 @@ func FuzzServeRequest(f *testing.F) {
 	// both sides of every validation branch.
 	f.Add([]byte(solveBody(tinyDeck, 16, 3, 0.5, 1.5, `"history": "fft", "priority": "high", "nodes": ["n2"]`)))
 	f.Add([]byte(solveBody(quickstartDeck, 0, 0, 1, 1, `"tstop": "60m"`)))
-	f.Add([]byte(`{"netlist": `))                        // truncated JSON
-	f.Add([]byte(`{"netlist": ""}`))                     // empty deck
-	f.Add([]byte(`{"netlist": "t\nR1 a\n"}`))            // short card
-	f.Add([]byte(`{"netlist": "t\nQ9 a b 1\n"}`))        // unknown card
-	f.Add([]byte(`{"netlist": "t\nR1 a b 1k\n"}`))       // no .tran, no tstop
-	f.Add([]byte(`{"netlist": "t\nV1 a 0 STEP 1\nR1 a b 1k\nD1 b 0 1e-12\n.tran 1m 1\n"}`)) // nonlinear
-	f.Add([]byte(solveBody(tinyDeck, -1, 1, 1, 1, "")))  // bad steps
-	f.Add([]byte(solveBody(tinyDeck, 1<<30, 1, 1, 1, ""))) // steps over limit
+	f.Add([]byte(`{"netlist": `))                                                                             // truncated JSON
+	f.Add([]byte(`{"netlist": ""}`))                                                                          // empty deck
+	f.Add([]byte(`{"netlist": "t\nR1 a\n"}`))                                                                 // short card
+	f.Add([]byte(`{"netlist": "t\nQ9 a b 1\n"}`))                                                             // unknown card
+	f.Add([]byte(`{"netlist": "t\nR1 a b 1k\n"}`))                                                            // no .tran, no tstop
+	f.Add([]byte(`{"netlist": "t\nV1 a 0 STEP 1\nR1 a b 1k\nD1 b 0 1e-12\n.tran 1m 1\n"}`))                   // nonlinear
+	f.Add([]byte(solveBody(tinyDeck, -1, 1, 1, 1, "")))                                                       // bad steps
+	f.Add([]byte(solveBody(tinyDeck, 1<<30, 1, 1, 1, "")))                                                    // steps over limit
 	f.Add([]byte(`{"netlist": ` + strconv.Quote(tinyDeck) + `, "sweep": {"count": 4, "lo": "1x", "hi": 2}}`)) // bad suffix
 	f.Add([]byte(`{"netlist": ` + strconv.Quote(tinyDeck) + `, "tstop": 1e308, "steps": 2}`))
 	f.Add([]byte(`{"netlist": ` + strconv.Quote(tinyDeck) + `, "priority": "urgent"}`))

@@ -25,6 +25,17 @@ type metrics struct {
 	badRequest int64 // 4xx before admission
 	inFlight   int
 
+	// Resilience counters (journal, resume, breaker, deadlines).
+	resumed         int64 // /v1/resume attempts that reached a slot
+	suspended       int64 // interrupted jobs parked for resume
+	deadlineExpired int64 // jobs suspended by their wall-clock deadline
+	breakerTrips    int64 // breaker open transitions
+	breakerFastFail int64 // submissions 422'd by an open breaker
+	journalFailures int64 // journal writes/recoveries that failed
+	recoveredJobs   int64 // jobs re-admitted from the journal at startup
+	evictedJobs     int64 // suspended jobs evicted by the pool bound
+	journalRejected int64 // journals renamed aside as unreadable at startup
+
 	lat      [latencyWindow]time.Duration
 	latNext  int
 	latCount int
@@ -40,6 +51,20 @@ func (m *metrics) incRejected()   { m.mu.Lock(); m.rejected++; m.mu.Unlock() }
 func (m *metrics) incBadRequest() { m.mu.Lock(); m.badRequest++; m.mu.Unlock() }
 func (m *metrics) startJob()      { m.mu.Lock(); m.inFlight++; m.mu.Unlock() }
 func (m *metrics) endJob()        { m.mu.Lock(); m.inFlight--; m.mu.Unlock() }
+
+func (m *metrics) incResumed()         { m.mu.Lock(); m.resumed++; m.mu.Unlock() }
+func (m *metrics) incSuspended()       { m.mu.Lock(); m.suspended++; m.mu.Unlock() }
+func (m *metrics) incDeadlineExpired() { m.mu.Lock(); m.deadlineExpired++; m.mu.Unlock() }
+func (m *metrics) incBreakerTrip()     { m.mu.Lock(); m.breakerTrips++; m.mu.Unlock() }
+func (m *metrics) incBreakerFastFail() { m.mu.Lock(); m.breakerFastFail++; m.mu.Unlock() }
+func (m *metrics) incJournalFailure()  { m.mu.Lock(); m.journalFailures++; m.mu.Unlock() }
+func (m *metrics) incRecovered()       { m.mu.Lock(); m.recoveredJobs++; m.mu.Unlock() }
+func (m *metrics) incEvicted()         { m.mu.Lock(); m.evictedJobs++; m.mu.Unlock() }
+func (m *metrics) addJournalRejected(n int64) {
+	m.mu.Lock()
+	m.journalRejected += n
+	m.mu.Unlock()
+}
 
 // observeLatency folds one job's wall-clock duration into the ring.
 func (m *metrics) observeLatency(d time.Duration) {
@@ -64,7 +89,18 @@ type Snapshot struct {
 	Cancelled     int64 `json:"cancelled"`
 	Rejected      int64 `json:"rejected"`
 	BadRequests   int64 `json:"badRequests"`
-	FactorCache   struct {
+	Resilience    struct {
+		Resumed          int64 `json:"resumed"`
+		Suspended        int64 `json:"suspended"`
+		DeadlineExpiries int64 `json:"deadlineExpiries"`
+		BreakerTrips     int64 `json:"breakerTrips"`
+		BreakerFastFails int64 `json:"breakerFastFails"`
+		JournalFailures  int64 `json:"journalFailures"`
+		RecoveredJobs    int64 `json:"recoveredJobs"`
+		EvictedJobs      int64 `json:"evictedJobs"`
+		JournalRejected  int64 `json:"journalRejected"`
+	} `json:"resilience"`
+	FactorCache struct {
 		Hits    int     `json:"hits"`
 		Misses  int     `json:"misses"`
 		HitRate float64 `json:"hitRate"`
@@ -93,6 +129,15 @@ func (m *metrics) snapshot(queueDepth, workers, queueCap int) *Snapshot {
 		Rejected:      m.rejected,
 		BadRequests:   m.badRequest,
 	}
+	snap.Resilience.Resumed = m.resumed
+	snap.Resilience.Suspended = m.suspended
+	snap.Resilience.DeadlineExpiries = m.deadlineExpired
+	snap.Resilience.BreakerTrips = m.breakerTrips
+	snap.Resilience.BreakerFastFails = m.breakerFastFail
+	snap.Resilience.JournalFailures = m.journalFailures
+	snap.Resilience.RecoveredJobs = m.recoveredJobs
+	snap.Resilience.EvictedJobs = m.evictedJobs
+	snap.Resilience.JournalRejected = m.journalRejected
 	n := m.latCount
 	window := make([]time.Duration, n)
 	copy(window, m.lat[:n])

@@ -6,6 +6,7 @@ import (
 	"math"
 	"net/http"
 	"strings"
+	"time"
 
 	"opmsim/internal/circuit"
 	"opmsim/internal/core"
@@ -31,6 +32,10 @@ type Request struct {
 	History  string     `json:"history"`
 	Priority string     `json:"priority"`
 	Nodes    []string   `json:"nodes"`
+	// Deadline is the job's wall-clock budget in seconds, measured from
+	// worker-slot grant (0 or absent → Config.DefaultDeadline). On expiry the
+	// job suspends resumably with kind "deadline".
+	Deadline *Value `json:"deadline"`
 }
 
 // SweepSpec describes the amplitude sweep: Count scenarios with input scale
@@ -102,6 +107,7 @@ type job struct {
 	prio      int
 	stateIdx  []int
 	labels    []string
+	deadline  time.Duration // 0 → Config.DefaultDeadline
 }
 
 // parseRequest turns a raw body into a validated job or a typed 4xx error.
@@ -199,6 +205,15 @@ func parseRequest(body []byte, cfg *Config) (*job, *RequestError) {
 		return nil, rerr
 	}
 
+	var deadline time.Duration
+	if req.Deadline != nil {
+		sec := req.Deadline.V
+		if math.IsNaN(sec) || math.IsInf(sec, 0) || sec < 0 {
+			return nil, badRequest("deadline must be a non-negative finite number of seconds, got %g", sec)
+		}
+		deadline = time.Duration(sec * float64(time.Second))
+	}
+
 	var x0 []float64
 	if len(deck.ICs) > 0 {
 		x0, err = mna.InitialState(deck.ICs)
@@ -234,6 +249,7 @@ func parseRequest(body []byte, cfg *Config) (*job, *RequestError) {
 		prio:      prio,
 		stateIdx:  stateIdx,
 		labels:    labels,
+		deadline:  deadline,
 	}, nil
 }
 

@@ -36,10 +36,14 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"opmsim/internal/core"
+	"opmsim/internal/faultinject"
 )
 
 // Config sizes the service. The zero value of every field selects a sensible
@@ -63,10 +67,44 @@ type Config struct {
 	MaxScenarios int
 	// MaxBodyBytes caps the request body (0 → 1 MiB).
 	MaxBodyBytes int64
-	// Clock supplies the latency metrics' timestamps. nil → time.Now
-	// (assigned as a function value; determinism-sensitive callers such as
-	// tests inject a fake).
+	// Clock supplies the latency metrics' timestamps and the deadline and
+	// breaker reference times. nil → time.Now (assigned as a function value;
+	// determinism-sensitive callers such as tests inject a fake — a skewed
+	// clock is also the chaos harness's deadline-skew hook).
 	Clock func() time.Time
+	// JournalDir, when non-empty, enables the durable job journal: every
+	// admitted job appends fsynced checkpoint records to
+	// JournalDir/<id>.opmj, and New replays the directory to re-admit
+	// incomplete jobs after a restart. Empty disables journaling; jobs stay
+	// resumable in memory while the process lives.
+	JournalDir string
+	// MaxResumable bounds the suspended (interrupted, awaiting resume) job
+	// pool; beyond it the oldest suspended job — and its journal — is
+	// evicted (0 → 64). This is what keeps the journal directory bounded.
+	MaxResumable int
+	// CheckpointEvery is the checkpoint interval in columns (0 → 32); the
+	// degradation ladder halves it per strike. Every interrupted job also
+	// checkpoints its committed tail regardless of the interval.
+	CheckpointEvery int
+	// DefaultDeadline is the per-job wall-clock budget, measured from
+	// worker-slot grant, for jobs that do not set their own (0 → none). On
+	// expiry the job suspends with kind "deadline" and stays resumable.
+	DefaultDeadline time.Duration
+	// BreakerThreshold is the consecutive pencil-fault count that opens the
+	// per-pencil circuit breaker (0 → 5; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker fast-fails matching
+	// submissions before half-opening (0 → 30s).
+	BreakerCooldown time.Duration
+	// RetryRNG is the 429 Retry-After jitter source (nil → deterministic
+	// splitmix64 counter stream; tests inject fixed values).
+	RetryRNG func() uint64
+	// Fault carries solver-level fault-injection hooks applied to every
+	// job's solve (nil in production).
+	Fault *faultinject.Hooks
+	// ServeFault carries journal-level fault-injection hooks (nil in
+	// production).
+	ServeFault *faultinject.ServeHooks
 }
 
 // withDefaults returns cfg with every zero field resolved.
@@ -95,6 +133,18 @@ func (cfg Config) withDefaults() Config {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
+	if cfg.MaxResumable <= 0 {
+		cfg.MaxResumable = 64
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 32
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 30 * time.Second
+	}
 	return cfg
 }
 
@@ -117,18 +167,33 @@ type Done struct {
 	Err error
 	// Duration is the wall-clock time from worker-slot grant to completion.
 	Duration time.Duration
+
+	// sw is the job's stream writer; finishJob emits the terminal record on
+	// it after classification.
+	sw *streamWriter
 }
 
 // Server is the simulation service: an http.Handler exposing POST /v1/solve,
-// GET /metrics, and GET /healthz. Create it with New; it spawns no goroutines
-// of its own (jobs run on their request's handler goroutine, throttled by the
-// admission queue), so shutting down the enclosing http.Server drains it.
+// POST /v1/resume, GET /v1/jobs, GET /metrics, and GET /healthz. Create it
+// with New; it spawns no goroutines of its own while serving (jobs run on
+// their request's handler goroutine, throttled by the admission queue;
+// journal recovery happens synchronously inside New; Drain spawns one
+// transient waiter), so shutting down the enclosing http.Server drains it.
 type Server struct {
-	cfg   Config
-	cache *core.FactorCache
-	q     *queue
-	met   *metrics
-	mux   *http.ServeMux
+	cfg     Config
+	cache   *core.FactorCache
+	q       *queue
+	met     *metrics
+	mux     *http.ServeMux
+	reg     *registry
+	brk     *breaker
+	bo      *retryBackoff
+	journal bool // journaling healthy (dir exists and is writable)
+
+	draining    atomic.Bool
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+	jobsWG      sync.WaitGroup
 
 	// OnJobDone, when non-nil, is invoked after every job that reached a
 	// worker slot, success or failure. Set it before serving traffic; it must
@@ -142,7 +207,11 @@ type Server struct {
 	columnHook func(title string, col int)
 }
 
-// New builds a Server from cfg (zero fields take defaults; see Config).
+// New builds a Server from cfg (zero fields take defaults; see Config). With
+// JournalDir set, New synchronously replays the journal directory: finished
+// journals are deleted, damaged ones renamed aside, and incomplete jobs
+// re-registered as suspended — a reconnecting client resumes them by ID from
+// the last durable checkpoint.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -151,11 +220,52 @@ func New(cfg Config) *Server {
 		q:     newQueue(cfg.Workers, cfg.QueueDepth),
 		met:   newMetrics(),
 		mux:   http.NewServeMux(),
+		reg:   newRegistry(cfg.MaxResumable),
+		bo:    newRetryBackoff(cfg.RetryRNG),
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Clock)
+	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	if cfg.JournalDir != "" {
+		if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+			s.met.incJournalFailure()
+		} else if states, rejected, err := recoverJournalDir(cfg.JournalDir); err != nil {
+			s.met.incJournalFailure()
+		} else {
+			s.journal = true
+			s.met.addJournalRejected(int64(rejected))
+			for _, st := range states {
+				if s.reg.adopt(st, prioNormal) != nil {
+					s.met.incRecovered()
+				}
+			}
+		}
 	}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/resume", s.handleResume)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
+}
+
+// Drain puts the server into drain mode: new submissions and resumes are
+// rejected with 503, every in-flight solve is cancelled at its next column
+// boundary (committing a final checkpoint delta first, so the work is
+// resumable — durably, when journaling is on), and Drain blocks until the
+// jobs have unwound or ctx expires. Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.drainCancel()
+	idle := make(chan struct{})
+	go func() { s.jobsWG.Wait(); close(idle) }()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain incomplete: %w", ctx.Err())
+	}
 }
 
 // ServeHTTP dispatches to the service's endpoints.
@@ -193,10 +303,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(snap)
 }
 
-// handleSolve is the submission endpoint: decode and validate, pass
-// admission, then solve and stream.
+// handleSolve is the submission endpoint: decode and validate, check the
+// circuit breaker, register the job, pass admission, then solve and stream.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.met.incSubmitted()
+	if s.draining.Load() {
+		s.met.incRejected()
+		writeJSONError(w, http.StatusServiceUnavailable, "server is draining; retry against a healthy instance")
+		return
+	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		s.met.incBadRequest()
@@ -210,67 +325,333 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Admission: wait for a worker slot in priority order, shed load when the
-	// wait queue is full, give up silently if the client leaves the queue.
-	if err := s.q.acquire(r.Context(), job.prio); err != nil {
-		if errors.Is(err, errQueueFull) {
+	// Circuit breaker: submissions whose pencil fingerprint has repeatedly
+	// faulted fast-fail before consuming a queue slot.
+	fp, fpErr := core.PencilFingerprint(job.mna.Sys, job.m, job.T)
+	fpOK := fpErr == nil
+	if fpOK && !s.brk.allow(fp) {
+		s.met.incBreakerFastFail()
+		writeJSONError(w, http.StatusUnprocessableEntity,
+			"circuit breaker open: this pencil faulted repeatedly; retry after the cooldown")
+		return
+	}
+	s.executeJob(w, r, job, body, nil, 0, fp, fpOK)
+}
+
+// resumeRequest is the POST /v1/resume body: the job ID from the original
+// stream's header (or error trailer) and the first column the client still
+// needs — its Last-Column + 1.
+type resumeRequest struct {
+	Job  string `json:"job"`
+	From int    `json:"from"`
+}
+
+// handleResume reattaches a client to an interrupted job: columns the
+// checkpoint already holds replay from memory bit-for-bit, and the solve
+// restarts from the checkpoint boundary, not from scratch.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.met.incRejected()
+		writeJSONError(w, http.StatusServiceUnavailable, "server is draining; retry against a healthy instance")
+		return
+	}
+	var rr resumeRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<12)).Decode(&rr); err != nil {
+		s.met.incBadRequest()
+		writeJSONError(w, http.StatusBadRequest, "invalid resume request: "+err.Error())
+		return
+	}
+	entry := s.reg.lookup(rr.Job)
+	if entry == nil {
+		s.met.incBadRequest()
+		writeJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown or expired job %q; resubmit the request", rr.Job))
+		return
+	}
+	job, rerr := entry.ensureParsed(&s.cfg)
+	if rerr != nil {
+		s.met.incBadRequest()
+		writeJSONError(w, rerr.Status, "recovered job no longer parses: "+rerr.Error())
+		return
+	}
+	if rr.From < 0 || rr.From > job.m {
+		s.met.incBadRequest()
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("from=%d outside the job's %d-column grid", rr.From, job.m))
+		return
+	}
+	fp, fpErr := core.PencilFingerprint(job.mna.Sys, job.m, job.T)
+	fpOK := fpErr == nil
+	if fpOK && !s.brk.allow(fp) {
+		s.met.incBreakerFastFail()
+		writeJSONError(w, http.StatusUnprocessableEntity,
+			"circuit breaker open: this pencil faulted repeatedly; retry after the cooldown")
+		return
+	}
+	if err := s.reg.attach(entry); err != nil {
+		s.met.incBadRequest()
+		status := http.StatusConflict
+		if !errors.Is(err, errAttached) {
+			status = http.StatusNotFound
+		}
+		writeJSONError(w, status, err.Error())
+		return
+	}
+	s.met.incResumed()
+	s.executeJob(w, r, job, nil, entry, rr.From, fp, fpOK)
+}
+
+// handleJobs lists registered jobs — the ops view of what is resumable.
+func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{"jobs": s.reg.summaries()})
+}
+
+// executeJob runs the shared admission → solve → classify pipeline for fresh
+// submissions (entry nil, body set) and resumes (entry attached, from set).
+func (s *Server) executeJob(w http.ResponseWriter, r *http.Request, job *job, body []byte, entry *jobEntry, from int, fp uint64, fpOK bool) {
+	// The job context merges three cancellation sources: the client
+	// connection, drain mode, and — once a slot is granted — the wall-clock
+	// deadline. Queued waiters honor drain too, so a drain empties the wait
+	// queue instead of letting it trickle into slots.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stopAfter := context.AfterFunc(s.drainCtx, cancel)
+	defer stopAfter()
+
+	if err := s.q.acquire(ctx, job.prio); err != nil {
+		if entry != nil {
+			s.reg.detach(entry)
+		}
+		switch {
+		case errors.Is(err, errQueueFull):
 			s.met.incRejected()
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", s.bo.shedSeconds()))
 			writeJSONError(w, http.StatusTooManyRequests,
 				fmt.Sprintf("job queue is full (%d running, %d waiting); retry later", s.cfg.Workers, s.cfg.QueueDepth))
+		case s.draining.Load() && r.Context().Err() == nil:
+			s.met.incRejected()
+			writeJSONError(w, http.StatusServiceUnavailable, "server is draining; retry against a healthy instance")
 		}
 		return
 	}
 	defer s.q.release()
+	s.bo.admitted()
 	s.met.startJob()
 	defer s.met.endJob()
+	s.jobsWG.Add(1)
+	defer s.jobsWG.Done()
+
+	if entry == nil {
+		entry = s.registerJob(job, body)
+	}
+	entry.mu.Lock()
+	entry.fp, entry.fpOK = fp, fpOK
+	strikes := entry.strikes
+	// A resumed entry's journal was closed at suspension (possibly by a
+	// previous process); reopen it so this attempt's checkpoints append to the
+	// same file.
+	if s.journal && entry.jw == nil && !entry.journalBroken && entry.jpath != "" {
+		if jw, err := openJobJournal(entry.jpath, s.cfg.ServeFault); err != nil {
+			s.met.incJournalFailure()
+			entry.journalBroken = true
+		} else {
+			entry.jw = jw
+		}
+	}
+	entry.mu.Unlock()
+
+	// Degradation ladder: prior strikes reshape this attempt.
+	plan := planFor(strikes, s.cfg.CheckpointEvery, job.history, entry.cp)
+	if plan.droppedResume {
+		entry.discardCheckpoint(s.cfg.JournalDir, s.cfg.ServeFault)
+	}
+
+	// Deadline: wall-clock budget from slot grant, measured on the injected
+	// clock so skew is testable. context.WithDeadline compares against real
+	// time, so convert the budget, not the instant.
+	dctx := ctx
+	deadline := job.deadline
+	if deadline == 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+	deadlineSet := deadline > 0
+	if deadlineSet {
+		var dcancel context.CancelFunc
+		expiry := s.cfg.Clock().Add(deadline)
+		dctx, dcancel = context.WithTimeout(ctx, expiry.Sub(s.cfg.Clock()))
+		defer dcancel()
+	}
 
 	start := s.cfg.Clock()
-	done := s.runJob(r.Context(), w, job)
+	done, columns := s.runJob(dctx, w, job, entry, from, plan)
 	done.Duration = s.cfg.Clock().Sub(start)
 	s.met.observeLatency(done.Duration)
+	s.finishJob(w, r, done, entry, columns, dctx, deadlineSet, fp, fpOK)
+}
+
+// finishJob classifies a job's terminal state, updates the breaker and the
+// registry, emits the terminal stream record, and fires OnJobDone.
+func (s *Server) finishJob(w http.ResponseWriter, r *http.Request, done Done, entry *jobEntry, columns int, dctx context.Context, deadlineSet bool, fp uint64, fpOK bool) {
+	sw := done.sw
 	switch {
 	case done.Err == nil:
 		s.met.incCompleted()
+		if fpOK {
+			s.brk.onResult(fp, false)
+		}
+		s.finishEntry(entry)
+		sw.done(columns, done.Report)
 	case errors.Is(done.Err, core.ErrCancelled):
+		kind := "cancelled"
+		strike := false
+		switch {
+		case deadlineSet && errors.Is(dctx.Err(), context.DeadlineExceeded) && r.Context().Err() == nil && !s.draining.Load():
+			kind = "deadline"
+			strike = true
+			s.met.incDeadlineExpired()
+		case s.draining.Load() && r.Context().Err() == nil:
+			kind = "draining"
+		}
 		s.met.incCancelled()
+		s.suspendEntry(entry, kind, strike)
+		sw.failResumable(done.Err, kind, entry.id, columns)
 	default:
+		kind := errKind(done.Err)
 		s.met.incFailed()
+		if fpOK && s.brk.onResult(fp, breakerFault(done.Err)) {
+			s.met.incBreakerTrip()
+		}
+		s.suspendEntry(entry, kind, true)
+		sw.failResumable(done.Err, kind, entry.id, columns)
 	}
 	if s.OnJobDone != nil {
 		s.OnJobDone(done)
 	}
 }
 
+// registerJob creates the registry entry (and journal) for a fresh
+// submission.
+func (s *Server) registerJob(job *job, body []byte) *jobEntry {
+	e := s.reg.newEntry(body, job.prio)
+	e.parsed = job
+	if s.journal {
+		jw, err := createJobJournal(s.cfg.JournalDir, e.id, body, s.cfg.ServeFault)
+		if err != nil {
+			s.met.incJournalFailure()
+			e.journalBroken = true
+		} else {
+			e.jw = jw
+		}
+	}
+	return e
+}
+
+// finishEntry retires a completed job: journal a done record, delete the
+// journal, drop the registry entry.
+func (s *Server) finishEntry(e *jobEntry) {
+	e.mu.Lock()
+	if e.jw != nil && !e.journalBroken {
+		if err := e.jw.appendJournalDone(""); err != nil {
+			s.met.incJournalFailure()
+		}
+		if err := e.jw.removeJournal(); err != nil {
+			s.met.incJournalFailure()
+		}
+		e.jw = nil
+	}
+	e.mu.Unlock()
+	s.reg.remove(e)
+}
+
+// suspendEntry parks an interrupted job for resume and evicts overflow from
+// the suspended pool (removing evicted journals so the directory stays
+// bounded).
+func (s *Server) suspendEntry(e *jobEntry, kind string, strike bool) {
+	e.mu.Lock()
+	if e.jw != nil && !e.journalBroken {
+		// Keep the file but release the descriptor; a resume (possibly in a
+		// future process) reopens it.
+		e.jpath = e.jw.path
+		if err := e.jw.closeJournal(); err != nil {
+			s.met.incJournalFailure()
+		}
+		e.jw = nil
+	}
+	e.mu.Unlock()
+	s.met.incSuspended()
+	for _, ev := range s.reg.suspend(e, kind, strike) {
+		s.met.incEvicted()
+		ev.mu.Lock()
+		if ev.jw != nil {
+			_ = ev.jw.removeJournal()
+			ev.jw = nil
+		} else if ev.jpath != "" {
+			_ = os.Remove(ev.jpath)
+		}
+		ev.mu.Unlock()
+	}
+}
+
 // runJob executes one admitted job on the calling goroutine, streaming
-// columns to w as the batch solve commits them.
-func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, job *job) Done {
+// columns to w as the batch solve commits them. For resumes, columns
+// [from, committed) replay bit-for-bit from the in-memory checkpoint before
+// the solve continues at the checkpoint boundary. The terminal record is the
+// caller's (finishJob) responsibility.
+func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, job *job, entry *jobEntry, from int, plan degradedPlan) (Done, int) {
 	rep := &core.SolveReport{}
 	sw := newStreamWriter(w)
-	sw.header(job)
+	sw.header(job, entry.id, from)
 
-	columns := 0
+	columns := from
+	if cp := plan.resume; cp != nil && from < cp.Columns {
+		n := len(job.mna.StateNames)
+		bufs := make([][]float64, len(job.scenarios))
+		for sidx := range bufs {
+			bufs[sidx] = make([]float64, n)
+		}
+		h := job.T / float64(job.m)
+		for j := from; j < cp.Columns; j++ {
+			for sidx := range bufs {
+				if err := cp.StateColumn(bufs[sidx], sidx, j, job.scenarios[sidx].X0); err != nil {
+					sw.err = err
+					break
+				}
+			}
+			tj := (float64(j) + 0.5) * h
+			if s.columnHook != nil {
+				s.columnHook(job.title, j)
+			}
+			sw.column(j, tj, bufs, job.stateIdx)
+			columns = j + 1
+		}
+	}
+
 	opts := core.BatchOptions{
 		Options: core.Options{
 			Workers:     s.cfg.SolveWorkers,
-			HistoryMode: job.history,
+			HistoryMode: plan.history,
 			Report:      rep,
 			FactorCache: s.cache,
+			Fault:       s.cfg.Fault,
+		},
+		PanelWidth:      plan.panelWidth,
+		CheckpointEvery: plan.checkpointEvery,
+		ResumeFrom:      plan.resume,
+		OnCheckpoint: func(d *core.CheckpointDelta) {
+			if err := entry.applyCheckpointDelta(d); err != nil {
+				s.met.incJournalFailure()
+			}
 		},
 		OnColumn: func(col int, t float64, cols [][]float64) {
-			columns = col + 1
 			if s.columnHook != nil {
 				s.columnHook(job.title, col)
 			}
-			sw.column(col, t, cols, job.stateIdx)
+			if col >= from {
+				sw.column(col, t, cols, job.stateIdx)
+				columns = col + 1
+			}
 		},
 	}
 	_, err := core.SolveBatchCtx(ctx, job.mna.Sys, job.scenarios, job.m, job.T, opts)
-	if err != nil {
-		sw.fail(err)
-	} else {
-		sw.done(columns, rep)
-	}
 	return Done{
 		Title:     job.title,
 		Priority:  priorityName(job.prio),
@@ -278,5 +659,6 @@ func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, job *job) Do
 		Columns:   columns,
 		Report:    rep,
 		Err:       err,
-	}
+		sw:        sw,
+	}, columns
 }

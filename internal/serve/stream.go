@@ -20,6 +20,8 @@ import (
 type headerRecord struct {
 	Type      string    `json:"type"` // "header"
 	Title     string    `json:"title,omitempty"`
+	Job       string    `json:"job,omitempty"`  // registry ID — the resume handle
+	From      int       `json:"from,omitempty"` // first column this stream carries
 	States    []string  `json:"states"`
 	Steps     int       `json:"steps"`
 	TStop     float64   `json:"tstop"`
@@ -58,6 +60,11 @@ type errorRecord struct {
 	Type  string `json:"type"` // "error"
 	Kind  string `json:"kind"`
 	Error string `json:"error"`
+	// Resume handles: on an interrupted-but-resumable job, Job names the
+	// registry entry and NextColumn the first column a resume would stream.
+	Job        string `json:"job,omitempty"`
+	Resumable  bool   `json:"resumable,omitempty"`
+	NextColumn int    `json:"nextColumn,omitempty"`
 }
 
 // errKind maps the solver error taxonomy onto stable wire names.
@@ -114,10 +121,12 @@ func (sw *streamWriter) send(rec any) {
 	sw.flush()
 }
 
-func (sw *streamWriter) header(job *job) {
+func (sw *streamWriter) header(job *job, id string, from int) {
 	sw.send(&headerRecord{
 		Type:      "header",
 		Title:     job.title,
+		Job:       id,
+		From:      from,
 		States:    job.labels,
 		Steps:     job.m,
 		TStop:     job.T,
@@ -165,9 +174,18 @@ func (sw *streamWriter) done(columns int, rep *core.SolveReport) {
 	})
 }
 
-// fail emits the terminal error record. Writing may itself fail (the usual
-// cancellation cause is a dead connection); that is fine — the record is a
-// courtesy to clients that aborted the solve some other way.
-func (sw *streamWriter) fail(err error) {
-	sw.send(&errorRecord{Type: "error", Kind: errKind(err), Error: err.Error()})
+// failResumable emits the terminal error record with the resume handle:
+// POSTing {"job": Job, "from": NextColumn} to /v1/resume continues the
+// stream. Writing may itself fail (the usual cancellation cause is a dead
+// connection); that is fine — the record is a courtesy to clients that
+// aborted the solve some other way, and the journal still has the handle.
+func (sw *streamWriter) failResumable(err error, kind, jobID string, nextColumn int) {
+	sw.send(&errorRecord{
+		Type:       "error",
+		Kind:       kind,
+		Error:      err.Error(),
+		Job:        jobID,
+		Resumable:  true,
+		NextColumn: nextColumn,
+	})
 }
