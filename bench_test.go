@@ -444,6 +444,64 @@ func BenchmarkSolveBatch_Batch32(b *testing.B) {
 	}
 }
 
+// montecarloBenchScenarios draws k component-tolerance scenarios of an RC
+// ladder (scenario 0 nominal), the workload of the parameter-varying batch:
+// every scenario shares the inputs but perturbs the pencil by a low-rank
+// delta.
+func montecarloBenchScenarios(b *testing.B, k int) (*core.System, []core.Scenario) {
+	b.Helper()
+	lad, _, err := netgen.RCLadderNetlist(40, 100, 1e-9, waveform.Step(1, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	model, err := lad.MNA()
+	if err != nil {
+		b.Fatal(err)
+	}
+	names := netgen.PerturbableElements(lad, 8)
+	scs := make([]core.Scenario, k)
+	for s := 0; s < k; s++ {
+		scs[s] = core.Scenario{U: model.Inputs}
+		perts, err := netgen.MonteCarloPerturb(lad, names, 1, s, 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(perts) == 0 {
+			continue
+		}
+		d, err := lad.StampDelta(model, perts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scs[s].Delta = d
+	}
+	return model.Sys, scs
+}
+
+// SMW factor updates against the shared nominal factorization...
+func BenchmarkSolveBatch_MonteCarloSMW32(b *testing.B) {
+	sys, scs := montecarloBenchScenarios(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveBatch(sys, scs, 128, 5e-7, core.BatchOptions{UpdateRankLimit: 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ...versus refactorizing every perturbed scenario from scratch.
+func BenchmarkSolveBatch_MonteCarloRefactor32(b *testing.B) {
+	sys, scs := montecarloBenchScenarios(b, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveBatch(sys, scs, 128, 5e-7, core.BatchOptions{UpdateRankLimit: -1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // Kernel-level comparison on the grid's backward-Euler MNA matrix: one
 // 32-wide sparse panel solve versus 32 scalar solves of the same columns.
 func sparseBenchFactor(b *testing.B) (*sparse.Factorization, int) {

@@ -17,6 +17,11 @@
 // parallel variants. -experiment batch compares K sequential solves of the
 // Table II grid (sharing a factorization cache) against one batched
 // SolveBatch call and writes BENCH_batch.json (see -batchout).
+// -experiment montecarlo ablates Sherman–Morrison–Woodbury factor updates
+// against refactorize-every-scenario on Monte-Carlo parameter sweeps of the
+// quickstart RC ladder and the power-grid fixture at N ∈ {1k, 10k, 100k}
+// scenarios and writes BENCH_montecarlo.json (see -mcout); it is excluded
+// from -experiment all because the measured legs take minutes.
 package main
 
 import (
@@ -30,7 +35,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "which experiment to run: table1, table2, waveforms, adaptive, opmatrix, bases, scaling, mor, fracfit, walshtrend, history, historyfft, batch, all")
+		experiment = flag.String("experiment", "all", "which experiment to run: table1, table2, waveforms, adaptive, opmatrix, bases, scaling, mor, fracfit, walshtrend, history, historyfft, batch, montecarlo, all (montecarlo is not part of all)")
 		full       = flag.Bool("full", false, "run Table II at paper scale (~75K NA states; needs several GB and minutes)")
 		repeat     = flag.Int("repeat", 10, "timing repetitions for Table I")
 		gridRows   = flag.Int("grid", 0, "override Table II grid rows/cols (0 = default 16)")
@@ -38,17 +43,18 @@ func main() {
 		histOut    = flag.String("histout", "BENCH_history.json", "machine-readable output path for -experiment history")
 		histFFTOut = flag.String("histfftout", "BENCH_history_fft.json", "machine-readable output path for -experiment historyfft")
 		batchOut   = flag.String("batchout", "BENCH_batch.json", "machine-readable output path for -experiment batch")
+		mcOut      = flag.String("mcout", "BENCH_montecarlo.json", "machine-readable output path for -experiment montecarlo")
 		history    = flag.String("history", "", "history engine mode for the history ablation: auto, exact, or fft (default: exact)")
 		seed       = flag.Int64("seed", 1, "seed for generated benchmark networks (Table II grid loads, MOR, scaling); same seed, same netlist")
 	)
 	flag.Parse()
-	if err := run(*experiment, *full, *repeat, *gridRows, *workers, *histOut, *histFFTOut, *batchOut, *history, *seed); err != nil {
+	if err := run(*experiment, *full, *repeat, *gridRows, *workers, *histOut, *histFFTOut, *batchOut, *mcOut, *history, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "opm-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, full bool, repeat, gridRows, workers int, histOut, histFFTOut, batchOut, history string, seed int64) error {
+func run(experiment string, full bool, repeat, gridRows, workers int, histOut, histFFTOut, batchOut, mcOut, history string, seed int64) error {
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
@@ -182,6 +188,25 @@ func run(experiment string, full bool, repeat, gridRows, workers int, histOut, h
 					return err
 				}
 				fmt.Printf("wrote %s\n", batchOut)
+			}
+		case "montecarlo":
+			cfg := experiments.DefaultMonteCarloBench()
+			if gridRows > 0 {
+				cfg.Grid.Rows, cfg.Grid.Cols = gridRows, gridRows
+			}
+			if seed > 0 {
+				cfg.Seed = uint64(seed)
+			}
+			tbl, rep, err := experiments.MonteCarloBench(cfg)
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+			if mcOut != "" {
+				if err := rep.WriteJSON(mcOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", mcOut)
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

@@ -16,6 +16,13 @@
 // The netlist's ".tran step stop" directive supplies defaults for -steps and
 // -tstop. Fractional elements (CPE cards "P<name> a b value alpha") require
 // -method opm or -method glet (the Grünwald–Letnikov cross-check).
+//
+// -montecarlo N fans N component-tolerance scenarios (±-tol on every R, C,
+// L, and CPE, counter-seeded by -mcseed) through the parameter-varying batch
+// engine — Sherman–Morrison–Woodbury factor updates against the shared
+// nominal factorization — and prints per-node waveform envelopes (min, p05,
+// mean, p95, max) at quartile probe columns. -mcrank pins or disables the
+// SMW/refactorize crossover; -mcelems caps how many elements are perturbed.
 package main
 
 import (
@@ -28,7 +35,9 @@ import (
 
 	"opmsim/internal/circuit"
 	"opmsim/internal/core"
+	"opmsim/internal/experiments"
 	"opmsim/internal/glet"
+	"opmsim/internal/netgen"
 	"opmsim/internal/sparse"
 	"opmsim/internal/transient"
 	"opmsim/internal/waveform"
@@ -75,8 +84,20 @@ func main() {
 		verbose     = flag.Bool("verbose", false, "print the solver report (factorization tiers, fallbacks, retries) to stderr")
 		batch       = flag.Int("batch", 0, "simulate this many input-amplitude scenarios as one batched OPM solve (linear netlists only)")
 		sweep       = flag.String("sweep", "0.5:1.5", "amplitude scale range \"lo:hi\" swept across the -batch scenarios")
+		montecarlo  = flag.Int("montecarlo", 0, "run this many component-tolerance Monte-Carlo scenarios (scenario 0 is nominal) and print waveform envelopes (linear netlists only)")
+		tol         = flag.Float64("tol", 0.1, "Monte-Carlo relative tolerance band: each perturbed value is nominal·(1±tol)")
+		mcseed      = flag.Uint64("mcseed", 1, "Monte-Carlo RNG seed; same seed, same scenarios, bit-identical envelopes")
+		mcelems     = flag.Int("mcelems", 0, "cap on perturbed elements, netlist order (0 = every R, C, L, and CPE)")
+		mcrank      = flag.Int("mcrank", 0, "pencil-update rank limit: 0 measures the SMW/refactor crossover, >0 pins it, <0 forces refactorization")
 	)
 	flag.Parse()
+	if *montecarlo > 0 {
+		if err := runMonteCarlo(*netlistPath, *montecarlo, *tol, *mcseed, *mcelems, *mcrank, *steps, *tstop, *nodes, *workers, *history, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "opm-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *batch > 0 {
 		if err := runBatch(*netlistPath, *batch, *sweep, *steps, *tstop, *nodes, *workers, *history, *timeout, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "opm-sim:", err)
@@ -448,6 +469,94 @@ func runBatch(netlistPath string, k int, sweep string, steps int, tstop, nodes s
 			fmt.Printf("\t%.6g", sol.StateAt(idx, tEnd))
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// runMonteCarlo fans N component-tolerance scenarios of the netlist through
+// the parameter-varying batch engine (Sherman–Morrison–Woodbury factor
+// updates below the crossover rank, refactorization above) and prints the
+// per-node waveform envelope — min, p05, mean, p95, max — at the envelope's
+// quantile probe columns. Scenario 0 is always the unperturbed nominal.
+func runMonteCarlo(netlistPath string, n int, tol float64, seed uint64, elems, rankLimit, steps int, tstop, nodes string, workers int, history string, verbose bool) error {
+	if netlistPath == "" {
+		return fmt.Errorf("-netlist is required")
+	}
+	histMode, err := core.ParseHistoryMode(history)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(netlistPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	deck, err := circuit.Parse(f)
+	if err != nil {
+		return err
+	}
+	T, m, err := resolveSpan(deck, tstop, steps)
+	if err != nil {
+		return err
+	}
+	mna, err := deck.Netlist.MNA()
+	if err != nil {
+		return err
+	}
+	if mna.Nonlinear != nil {
+		return fmt.Errorf("-montecarlo requires a linear netlist (scenarios share one pencil factorization)")
+	}
+	if len(deck.ICs) > 0 {
+		return fmt.Errorf("-montecarlo does not support .ic (scenarios start from rest)")
+	}
+	stateIdx, labels, err := selectStates(deck, mna, nodes)
+	if err != nil {
+		return err
+	}
+	names := netgen.PerturbableElements(deck.Netlist, elems)
+	if len(names) == 0 {
+		return fmt.Errorf("netlist has no perturbable elements (R, C, L, or CPE)")
+	}
+	res, err := experiments.MonteCarloSweep(experiments.MonteCarloConfig{
+		Netlist: deck.Netlist, Model: mna,
+		N: n, Tol: tol, Seed: seed, Elements: names,
+		M: m, T: T,
+		UpdateRankLimit: rankLimit,
+		Options: core.Options{
+			Workers:     workers,
+			HistoryMode: histMode,
+			FactorCache: core.NewFactorCache(0),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "montecarlo: %d scenarios over %d elements (tol ±%g, seed %d): %d SMW updates, %d refactorizations, crossover rank %d, %d factorizations, %d columns\n",
+			res.Scenarios, len(names), tol, seed,
+			res.PencilUpdates, res.PencilRefactors, res.CrossoverRank, res.Factorizations, res.Columns)
+	}
+	if deck.Title != "" {
+		fmt.Printf("# %s\n", deck.Title)
+	}
+	fmt.Printf("# montecarlo=%d tol=%g seed=%d elements=%d steps=%d tstop=%g states=%d\n",
+		n, tol, seed, len(names), m, T, mna.Sys.N())
+	fmt.Println("node\tt\tmin\tp05\tmean\tp95\tmax")
+	env := res.Envelope
+	for i, s := range stateIdx {
+		for _, j := range env.ProbeColumns() {
+			tj := T * (float64(j) + 0.5) / float64(m)
+			p05, err := env.Quantile(s, j, 0.05)
+			if err != nil {
+				return err
+			}
+			p95, err := env.Quantile(s, j, 0.95)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%s\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\n",
+				labels[i], tj, env.Min(s, j), p05, env.Mean(s, j), p95, env.Max(s, j))
+		}
 	}
 	return nil
 }

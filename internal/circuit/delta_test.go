@@ -1,0 +1,286 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+
+	"opmsim/internal/core"
+	"opmsim/internal/sparse"
+	"opmsim/internal/waveform"
+)
+
+// deltaTestNetlist builds a small mixed netlist exercising every
+// MNA-perturbable kind: R, C, L, CPE, driven by a voltage source.
+func deltaTestNetlist(t *testing.T, rv, cv, lv, qv, r2v float64) *Netlist {
+	t.Helper()
+	n := New()
+	a, b, c := n.Node("a"), n.Node("b"), n.Node("c")
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(n.AddV("V1", a, 0, waveform.Sine(1, 1, 0)))
+	must(n.AddR("R1", a, b, rv))
+	must(n.AddC("C1", b, 0, cv))
+	must(n.AddL("L1", b, c, lv))
+	must(n.AddCPE("Q1", c, 0, qv, 0.6))
+	must(n.AddR("R2", c, 0, r2v))
+	return n
+}
+
+// sameSystemApprox compares two assembled systems term by term with a
+// relative tolerance: the stamped delta is computed as v′-derived minus
+// v-derived (one extra rounding versus assembling with v′ directly), so
+// exact bit equality is not the contract — agreement to 1e-12 is.
+func sameSystemApprox(t *testing.T, name string, got, want *core.System) {
+	t.Helper()
+	if len(got.Terms) != len(want.Terms) {
+		t.Fatalf("%s: %d terms vs %d", name, len(got.Terms), len(want.Terms))
+	}
+	dense := func(c *sparse.CSR) []float64 {
+		out := make([]float64, c.R*c.C)
+		for r := 0; r < c.R; r++ {
+			for p := c.RowPtr[r]; p < c.RowPtr[r+1]; p++ {
+				out[r*c.C+c.ColIdx[p]] += c.Val[p]
+			}
+		}
+		return out
+	}
+	for k := range want.Terms {
+		if math.Float64bits(got.Terms[k].Order) != math.Float64bits(want.Terms[k].Order) {
+			t.Fatalf("%s: term %d order %g vs %g", name, k, got.Terms[k].Order, want.Terms[k].Order)
+		}
+		g, w := dense(got.Terms[k].Coeff), dense(want.Terms[k].Coeff)
+		scale := 0.0
+		for _, v := range w {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for i := range g {
+			if d := math.Abs(g[i] - w[i]); d > 1e-12*(1+scale) {
+				t.Fatalf("%s: term %d entry %d: %.17g vs %.17g (Δ=%.3g)", name, k, i, g[i], w[i], d)
+			}
+		}
+	}
+}
+
+// StampDelta on the MNA model: materializing the stamped delta must
+// reproduce the MNA assembly of the perturbed netlist, for each element kind
+// singly and all together.
+func TestStampDeltaMatchesFreshMNA(t *testing.T) {
+	const rv, cv, lv, qv = 100.0, 1e-6, 1e-3, 2e-6
+	nom := deltaTestNetlist(t, rv, cv, lv, qv, 2*rv)
+	m, err := nom.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perturbOne := func(name string, f float64) (map[string]float64, []Perturbation) {
+		vals := map[string]float64{"R1": rv, "C1": cv, "L1": lv, "Q1": qv, "R2": 2 * rv}
+		vals[name] *= f
+		return vals, []Perturbation{{Name: name, Value: vals[name]}}
+	}
+	rebuild := func(t *testing.T, vals map[string]float64) *core.System {
+		t.Helper()
+		n := New()
+		a, b, c := n.Node("a"), n.Node("b"), n.Node("c")
+		for _, step := range []error{
+			n.AddV("V1", a, 0, waveform.Sine(1, 1, 0)),
+			n.AddR("R1", a, b, vals["R1"]),
+			n.AddC("C1", b, 0, vals["C1"]),
+			n.AddL("L1", b, c, vals["L1"]),
+			n.AddCPE("Q1", c, 0, vals["Q1"], 0.6),
+			n.AddR("R2", c, 0, vals["R2"]),
+		} {
+			if step != nil {
+				t.Fatal(step)
+			}
+		}
+		fresh, err := n.MNA()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fresh.Sys
+	}
+	for _, name := range []string{"R1", "C1", "L1", "Q1", "R2"} {
+		vals, perts := perturbOne(name, 1.11)
+		d, err := nom.StampDelta(m, perts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Rank() != 1 {
+			t.Fatalf("%s: rank %d, want 1", name, d.Rank())
+		}
+		got, err := core.ApplyDelta(m.Sys, d)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameSystemApprox(t, name, got, rebuild(t, vals))
+	}
+	// All five at once.
+	vals := map[string]float64{"R1": rv * 0.93, "C1": cv * 1.04, "L1": lv * 1.1, "Q1": qv * 0.97, "R2": 2 * rv * 1.02}
+	perts := make([]Perturbation, 0, len(vals))
+	for _, name := range []string{"R1", "C1", "L1", "Q1", "R2"} {
+		perts = append(perts, Perturbation{Name: name, Value: vals[name]})
+	}
+	d, err := nom.StampDelta(m, perts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rank() != 5 {
+		t.Fatalf("rank %d, want 5", d.Rank())
+	}
+	got, err := core.ApplyDelta(m.Sys, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSystemApprox(t, "all five", got, rebuild(t, vals))
+}
+
+// StampDelta on the NA model: R→order-1, C→order-2, L→order-0.
+func TestStampDeltaMatchesFreshNA(t *testing.T) {
+	build := func(t *testing.T, rv, cv, lv, r2v float64) (*Netlist, *MNA) {
+		t.Helper()
+		n := New()
+		a, b := n.Node("a"), n.Node("b")
+		for _, step := range []error{
+			n.AddI("I1", 0, a, waveform.Step(1e-3, 0)),
+			n.AddR("R1", a, b, rv),
+			n.AddC("C1", a, 0, cv),
+			n.AddL("L1", b, 0, lv),
+			n.AddR("R2", b, 0, r2v),
+		} {
+			if step != nil {
+				t.Fatal(step)
+			}
+		}
+		m, err := n.NA()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, m
+	}
+	const rv, cv, lv = 50.0, 2e-6, 5e-4
+	nom, m := build(t, rv, cv, lv, 2*rv)
+	perts := []Perturbation{
+		{Name: "R1", Value: rv * 1.2},
+		{Name: "C1", Value: cv * 0.9},
+		{Name: "L1", Value: lv * 1.05},
+	}
+	d, err := nom.StampDelta(m, perts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rank() != 3 {
+		t.Fatalf("rank %d, want 3", d.Rank())
+	}
+	got, err := core.ApplyDelta(m.Sys, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, fresh := build(t, rv*1.2, cv*0.9, lv*1.05, 2*rv)
+	// R2 stays nominal in both.
+	sameSystemApprox(t, "NA", got, fresh.Sys)
+}
+
+// End to end: a perturbed-batch solve through StampDelta agrees with solving
+// the freshly assembled perturbed netlist.
+func TestStampDeltaSolvesPerturbedCircuit(t *testing.T) {
+	const rv, cv, lv, qv = 100.0, 1e-6, 1e-3, 2e-6
+	nom := deltaTestNetlist(t, rv, cv, lv, qv, 2*rv)
+	m, err := nom.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := nom.StampDelta(m, []Perturbation{
+		{Name: "R1", Value: rv * 1.08},
+		{Name: "C1", Value: cv * 0.95},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, T := 64, 1e-3
+	sols, err := core.SolveBatch(m.Sys, []core.Scenario{{U: m.Inputs, Delta: d}}, cols, T,
+		core.BatchOptions{UpdateRankLimit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := deltaTestNetlist(t, rv*1.08, cv*0.95, lv, qv, 2*rv).MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Solve(fresh.Sys, fresh.Inputs, cols, T, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gx, wx := sols[0].Coefficients(), want.Coefficients()
+	scale := 0.0
+	for i := 0; i < wx.Rows(); i++ {
+		for j := 0; j < wx.Cols(); j++ {
+			if v := math.Abs(wx.At(i, j)); v > scale {
+				scale = v
+			}
+		}
+	}
+	for i := 0; i < wx.Rows(); i++ {
+		for j := 0; j < wx.Cols(); j++ {
+			if dv := math.Abs(gx.At(i, j) - wx.At(i, j)); dv > 1e-9*(1+scale) {
+				t.Fatalf("state %d col %d: %.17g vs %.17g", i, j, gx.At(i, j), wx.At(i, j))
+			}
+		}
+	}
+}
+
+// Error surface: unknown names, duplicates, bad values, unsupported kinds,
+// coupled inductors.
+func TestStampDeltaErrors(t *testing.T) {
+	nom := deltaTestNetlist(t, 100, 1e-6, 1e-3, 2e-6, 200)
+	m, err := nom.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, perts := range map[string][]Perturbation{
+		"unknown element":  {{Name: "R9", Value: 1}},
+		"duplicate":        {{Name: "R1", Value: 90}, {Name: "R1", Value: 95}},
+		"zero value":       {{Name: "R1", Value: 0}},
+		"negative value":   {{Name: "C1", Value: -1e-6}},
+		"infinite value":   {{Name: "R1", Value: math.Inf(1)}},
+		"nan value":        {{Name: "R1", Value: math.NaN()}},
+		"unsupported kind": {{Name: "V1", Value: 2}},
+	} {
+		if _, err := nom.StampDelta(m, perts); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+	// No-op perturbations collapse to rank 0.
+	d, err := nom.StampDelta(m, []Perturbation{{Name: "R1", Value: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rank() != 0 {
+		t.Fatalf("unchanged value: rank %d, want 0", d.Rank())
+	}
+	// Coupled inductors are rejected.
+	n := New()
+	a, b := n.Node("a"), n.Node("b")
+	for _, step := range []error{
+		n.AddV("V1", a, 0, waveform.Step(1, 0)),
+		n.AddL("La", a, 0, 1e-3),
+		n.AddL("Lb", b, 0, 1e-3),
+		n.AddR("Rb", b, 0, 10),
+		n.AddK("K1", "La", "Lb", 0.5),
+	} {
+		if step != nil {
+			t.Fatal(step)
+		}
+	}
+	cm, err := n.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.StampDelta(cm, []Perturbation{{Name: "La", Value: 2e-3}}); err == nil {
+		t.Error("coupled inductor perturbation should fail")
+	}
+}

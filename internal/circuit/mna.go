@@ -27,8 +27,10 @@ type MNA struct {
 	// implicitly — they would simply ignore the diodes).
 	Nonlinear *DiodeNonlinearity
 
-	numNodes int
-	nodeOf   map[int]int // netlist node index → state index
+	numNodes  int
+	nodeOf    map[int]int    // netlist node index → state index
+	branchIdx map[string]int // element name → branch-current state index (MNA model)
+	model     string         // "mna" or "na": which stamp layout Sys uses
 }
 
 // MNA assembles the modified-nodal-analysis model. Inductor currents and
@@ -235,7 +237,7 @@ func (n *Netlist) MNA() (*MNA, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("circuit: MNA assembly: %w", err)
 	}
-	out := &MNA{Sys: sys, Inputs: inputs, StateNames: names, numNodes: nn, nodeOf: nodeOf}
+	out := &MNA{Sys: sys, Inputs: inputs, StateNames: names, numNodes: nn, nodeOf: nodeOf, branchIdx: branchIdx, model: modelMNA}
 	if len(diodes) > 0 {
 		out.Nonlinear = &DiodeNonlinearity{n: dim, entries: diodes}
 	}
@@ -482,7 +484,7 @@ func (n *Netlist) NA() (*MNA, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("circuit: NA assembly: %w", err)
 	}
-	return &MNA{Sys: sys, Inputs: inputs, StateNames: names, numNodes: nn, nodeOf: nodeOf}, nil
+	return &MNA{Sys: sys, Inputs: inputs, StateNames: names, numNodes: nn, nodeOf: nodeOf, model: modelNA}, nil
 }
 
 func countISources(n *Netlist) int {

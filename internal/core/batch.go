@@ -53,6 +53,16 @@ type Scenario struct {
 	// X0 is the scenario's optional initial state (same restrictions as
 	// Options.X0).
 	X0 []float64
+	// Delta, when non-nil with at least one update, perturbs the shared
+	// pencil for this scenario by a low-rank stamp delta (a Monte-Carlo or
+	// corner variation of component values; see PencilDelta and
+	// circuit.StampDelta). Any scenario carrying a delta routes the whole
+	// batch through the parameter-varying engine: delta scenarios are served
+	// by the SMW update tier against the shared factorization, or by a
+	// per-scenario refactorization past the crossover rank
+	// (BatchOptions.UpdateRankLimit). Checkpoint/resume is unavailable for
+	// parameter-varying batches.
+	Delta *PencilDelta
 }
 
 // BatchOptions configures SolveBatch. The embedded Options apply to every
@@ -95,6 +105,24 @@ type BatchOptions struct {
 	// otherwise); Workers and PanelWidth are free to differ — neither
 	// changes column bits.
 	ResumeFrom *Checkpoint
+	// UpdateRankLimit steers the SMW-vs-refactor crossover for scenarios
+	// carrying a pencil Delta: 0 resolves the break-even rank once per run
+	// from the measured factorization and solve costs of the shared pencil;
+	// > 0 forces the SMW update path for pencil-update ranks ≤ the limit
+	// (refactorization above); < 0 disables the update path entirely (every
+	// delta scenario refactors — the path that is bitwise-identical to
+	// Solve(ApplyDelta(sys, delta), …)). The measured resolution is
+	// machine-dependent: pin an explicit limit when run-to-run path
+	// reproducibility matters (waveforms agree to ≤1e-12 either way).
+	UpdateRankLimit int
+	// DiscardSolutions skips the final Solution assembly and returns a nil
+	// slice: Monte-Carlo envelope runs consume columns through OnColumn and
+	// would otherwise hold K full n×m solution matrices. With
+	// DiscardSolutions set on a parameter-varying batch of a system without
+	// fractional/high-order engine terms, the engine also shrinks the
+	// per-scenario column slab to a (maxLag+1)-column ring, bounding memory
+	// at O(K·n) instead of O(K·n·m).
+	DiscardSolutions bool
 }
 
 // scenState is the per-scenario solve state: exactly what one sequential
@@ -162,6 +190,14 @@ func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int
 		return nil, err
 	}
 
+	// Scenarios that perturb the pencil itself route through the
+	// parameter-varying engine (SMW updates + crossover refactorization).
+	for s := range scenarios {
+		if scenarios[s].Delta.Rank() > 0 {
+			return solveParamBatch(ctx, sys, scenarios, m, T, &opt, rep, bpf, coeffs, shared)
+		}
+	}
+
 	// Per-scenario preparation — input expansion dominates — fans out over
 	// the worker pool; each task writes only its scenario's slot. Kernel
 	// spectra of the FFT history tier are shared across scenario engines, and
@@ -180,7 +216,7 @@ func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int
 	for s := range scenarios {
 		s := s
 		prep[s] = func() {
-			states[s], scenErr[s] = prepareScenario(ctx, sys, &scenarios[s], bpf, m, coeffs, &opt, kernels)
+			states[s], scenErr[s] = prepareScenario(ctx, sys, &scenarios[s], bpf, m, coeffs, &opt, kernels, nil, m)
 		}
 	}
 	if err := historyPoolDo(prep); err != nil {
@@ -379,6 +415,10 @@ func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int
 		}
 	}
 
+	if opt.DiscardSolutions {
+		return nil, nil
+	}
+
 	// Assemble the per-scenario Solutions (pure data movement; fanned out,
 	// each task owns its scenario's output). The column slab xbuf is m×n and
 	// the Solution matrix n×m; the transpose is tiled so both sides stay
@@ -508,13 +548,23 @@ func (ph *panelIntHistory) advance() {
 // engine runs serial bursts (workers = 1) because it is invoked from inside
 // pool tasks — its results are worker-count-invariant, so this changes no
 // bits, only avoids handing pool work to the pool.
-func prepareScenario(ctx context.Context, sys *System, sc *Scenario, bpf *basis.BPF, m int, coeffs [][]float64, opt *BatchOptions, kernels *kernelCache) (*scenState, error) {
-	uc, err := expandInputs(sys, sc.U, bpf)
-	if err != nil {
-		return nil, err
-	}
-	if !isExactZero(sys.BOrder) {
-		uc = applyInputOrder(uc, bpf.DiffCoeffs(sys.BOrder))
+//
+// uc, when non-nil, is a fully-processed input coefficient matrix (expansion
+// plus BOrder differentiation) shared read-only across scenarios — the
+// parameter-varying engine expands each distinct signal set once. slabCols
+// sizes the column slab: m for the full solution slab, or a smaller ring
+// (parameter-varying envelope runs with no general-engine terms, which never
+// read cols) — cols is nil then, so any engine access would fail loudly.
+func prepareScenario(ctx context.Context, sys *System, sc *Scenario, bpf *basis.BPF, m int, coeffs [][]float64, opt *BatchOptions, kernels *kernelCache, uc *mat.Dense, slabCols int) (*scenState, error) {
+	if uc == nil {
+		var err error
+		uc, err = expandInputs(sys, sc.U, bpf)
+		if err != nil {
+			return nil, err
+		}
+		if !isExactZero(sys.BOrder) {
+			uc = applyInputOrder(uc, bpf.DiffCoeffs(sys.BOrder))
+		}
 	}
 	x0, shift, err := prepareInitialState(sys, sc.X0)
 	if err != nil {
@@ -524,10 +574,12 @@ func prepareScenario(ctx context.Context, sys *System, sc *Scenario, bpf *basis.
 	st := &scenState{
 		uc: uc, x0: x0, shift: shift,
 		hist: make([]*intHistory, len(sys.Terms)),
-		cols: make([][]float64, m),
-		xbuf: make([]float64, n*m),
+		xbuf: make([]float64, n*slabCols),
 		rhs:  make([]float64, n),
 		ucol: make([]float64, uc.Rows()),
+	}
+	if slabCols == m {
+		st.cols = make([][]float64, m)
 	}
 	eng, err := newHistoryEngine(n, m, &opt.Options)
 	if err != nil {

@@ -172,6 +172,23 @@ type SolveReport struct {
 	// of this run) instead of refactoring.
 	FactorCacheHits   int
 	FactorCacheMisses int
+	// FactorCacheUpdateHits counts scenarios served through the SMW
+	// UpdatedSolve tier — a cached (or shared) base factorization plus a
+	// low-rank Woodbury correction — instead of a fresh factorization. Like
+	// the hit/miss counters it stays zero when no cache is attached.
+	FactorCacheUpdateHits int
+	// PencilUpdates and PencilRefactors count how the parameter-varying batch
+	// dispatched its delta-carrying scenarios: through the SMW update path or
+	// through a full per-scenario refactorization (the crossover fallback).
+	// Both stay zero when no scenario carries a pencil delta.
+	PencilUpdates   int
+	PencilRefactors int
+	// UpdateCrossoverRank records the SMW-vs-refactor rank limit the
+	// parameter-varying batch resolved to: −1 when the update path was
+	// disabled (explicitly or because refactorization measured cheaper than
+	// even a rank-1 update), 0 when no parameter-varying batch ran, otherwise
+	// the largest pencil-update rank served by SMW.
+	UpdateCrossoverRank int
 	// Err records the run's terminal error — the same *Diagnostic the solver
 	// returned — or nil after a successful solve. Keeping it on the report
 	// lets a consumer holding only the report (a service's job ledger, a
@@ -210,8 +227,13 @@ func (r *SolveReport) Summary() string {
 	if r.HistoryEngine != "" {
 		s += "; history engine: " + r.HistoryEngine
 	}
-	if r.FactorCacheHits > 0 || r.FactorCacheMisses > 0 {
-		s += fmt.Sprintf("; factor cache: %d hits, %d misses", r.FactorCacheHits, r.FactorCacheMisses)
+	if r.FactorCacheHits > 0 || r.FactorCacheUpdateHits > 0 || r.FactorCacheMisses > 0 {
+		s += fmt.Sprintf("; factor cache: %d hits, %d update hits, %d misses",
+			r.FactorCacheHits, r.FactorCacheUpdateHits, r.FactorCacheMisses)
+	}
+	if r.PencilUpdates > 0 || r.PencilRefactors > 0 {
+		s += fmt.Sprintf("; pencil deltas: %d SMW updates, %d refactorizations (crossover rank %d)",
+			r.PencilUpdates, r.PencilRefactors, r.UpdateCrossoverRank)
 	}
 	if r.StepRetries > 0 {
 		s += fmt.Sprintf("; %d step retries", r.StepRetries)

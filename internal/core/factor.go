@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"opmsim/internal/mat"
 	"opmsim/internal/sparse"
@@ -35,11 +36,29 @@ type pencilFactor struct {
 	cond    float64
 	report  *SolveReport
 	scratch []float64 // dense-tier refinement residual, lazily sized
+	// factorNS is the wall-clock cost of building this factorization, stamped
+	// by factorPencil and carried through template/instantiate so cache hits
+	// still know their pencil family's refactorization cost. It feeds only the
+	// SMW update-vs-refactor crossover heuristic (parambatch.go), never any
+	// numerical path.
+	factorNS int64
 }
 
 // factorPencil builds the chain for the pencil a serving column col (−1 for a
-// factorization shared by all columns) at simulation time t.
+// factorization shared by all columns) at simulation time t, and stamps the
+// measured build cost for the update-path crossover model.
 func factorPencil(a *sparse.CSR, col int, t float64, opt *Options, rep *SolveReport) (*pencilFactor, error) {
+	//lint:ignore nondet timing feeds only the SMW-vs-refactor path choice, whose paths agree to 1e-12 and can be pinned via BatchOptions.UpdateRankLimit
+	start := time.Now()
+	pf, err := factorPencilChain(a, col, t, opt, rep)
+	if pf != nil {
+		pf.factorNS = time.Since(start).Nanoseconds()
+	}
+	return pf, err
+}
+
+// factorPencilChain runs the tier chain itself.
+func factorPencilChain(a *sparse.CSR, col int, t float64, opt *Options, rep *SolveReport) (*pencilFactor, error) {
 	limit := opt.CondLimit
 	if isExactZero(limit) {
 		limit = defaultCondLimit

@@ -33,12 +33,13 @@ const DefaultFactorCacheCap = 16
 // Solve, SolveAdaptive, SolveAdaptiveAuto, and SolveBatch; hit/miss counts
 // are mirrored into each run's SolveReport.
 type FactorCache struct {
-	mu     sync.Mutex
-	cap    int
-	order  *list.List // front = most recently used; values are *factorEntry
-	byKey  map[factorKey]*list.Element
-	hits   int
-	misses int
+	mu         sync.Mutex
+	cap        int
+	order      *list.List // front = most recently used; values are *factorEntry
+	byKey      map[factorKey]*list.Element
+	hits       int
+	updateHits int
+	misses     int
 }
 
 // factorKey identifies one factorization-equivalent pencil configuration.
@@ -72,11 +73,23 @@ func NewFactorCache(capacity int) *FactorCache {
 	return &FactorCache{cap: capacity, order: list.New(), byKey: map[factorKey]*list.Element{}}
 }
 
-// Stats returns the cumulative hit and miss counts.
-func (c *FactorCache) Stats() (hits, misses int) {
+// Stats returns the cumulative counts of the three ways a factorization
+// request was served: hits (a cached pencil factorization reused as-is),
+// updateHits (a cached base factorization reused through the SMW UpdatedSolve
+// tier — a low-rank Woodbury correction instead of a refactorization), and
+// misses (a fresh factorization built and cached).
+func (c *FactorCache) Stats() (hits, updateHits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits, c.updateHits, c.misses
+}
+
+// noteUpdateHit counts one scenario served through the SMW update tier
+// against a cached base factorization.
+func (c *FactorCache) noteUpdateHit() {
+	c.mu.Lock()
+	c.updateHits++
+	c.mu.Unlock()
 }
 
 // Len returns the number of cached factorizations.
@@ -165,7 +178,7 @@ func cacheKey(a *sparse.CSR, h, alpha float64, opt *Options) factorKey {
 // never written to (its lazily-sized scratch stays nil forever), making later
 // concurrent Share calls from cache hits race-free.
 func (pf *pencilFactor) template() *pencilFactor {
-	t := &pencilFactor{tier: pf.tier, dense: pf.dense, qr: pf.qr, a: pf.a, cond: pf.cond}
+	t := &pencilFactor{tier: pf.tier, dense: pf.dense, qr: pf.qr, a: pf.a, cond: pf.cond, factorNS: pf.factorNS}
 	if pf.sp != nil {
 		t.sp = pf.sp.Share()
 	}
@@ -177,7 +190,7 @@ func (pf *pencilFactor) template() *pencilFactor {
 // accounting. Solves through an instance are bitwise-identical to solves
 // through the originally built factorization.
 func (pf *pencilFactor) instantiate(rep *SolveReport) *pencilFactor {
-	inst := &pencilFactor{tier: pf.tier, dense: pf.dense, qr: pf.qr, a: pf.a, cond: pf.cond, report: rep}
+	inst := &pencilFactor{tier: pf.tier, dense: pf.dense, qr: pf.qr, a: pf.a, cond: pf.cond, factorNS: pf.factorNS, report: rep}
 	if pf.sp != nil {
 		inst.sp = pf.sp.Share()
 	}

@@ -24,7 +24,7 @@ func TestFactorCacheHitMissAccounting(t *testing.T) {
 			t.Fatalf("run %d: hits=%d misses=%d, want 1/0", run, rep.FactorCacheHits, rep.FactorCacheMisses)
 		}
 	}
-	hits, misses := cache.Stats()
+	hits, _, misses := cache.Stats()
 	if hits != 2 || misses != 1 {
 		t.Fatalf("cache stats: hits=%d misses=%d, want 2/1", hits, misses)
 	}
@@ -66,7 +66,7 @@ func TestFactorCacheEviction(t *testing.T) {
 			t.Fatalf("capacity-1 cache holds %d entries", cache.Len())
 		}
 	}
-	hits, misses := cache.Stats()
+	hits, _, misses := cache.Stats()
 	if hits != 0 || misses != len(spans) {
 		t.Fatalf("alternating pencils: hits=%d misses=%d, want 0/%d", hits, misses, len(spans))
 	}
@@ -74,7 +74,7 @@ func TestFactorCacheEviction(t *testing.T) {
 	if _, err := Solve(sys, u, 32, 2.0, Options{FactorCache: cache}); err != nil {
 		t.Fatal(err)
 	}
-	if hits, _ := cache.Stats(); hits != 1 {
+	if hits, _, _ := cache.Stats(); hits != 1 {
 		t.Fatalf("repeat of resident pencil: hits=%d, want 1", hits)
 	}
 }
@@ -95,13 +95,13 @@ func TestFactorCacheMutationCannotHit(t *testing.T) {
 	orig := sys.Terms[0].Coeff.Val[0]
 	sys.Terms[0].Coeff.Val[0] = orig * 1.5
 	solve()
-	hits, misses := cache.Stats()
+	hits, _, misses := cache.Stats()
 	if hits != 0 || misses != 2 {
 		t.Fatalf("after in-place mutation: hits=%d misses=%d, want 0/2", hits, misses)
 	}
 	sys.Terms[0].Coeff.Val[0] = orig
 	solve()
-	if hits, _ := cache.Stats(); hits != 1 {
+	if hits, _, _ := cache.Stats(); hits != 1 {
 		t.Fatalf("after restoring contents: hits=%d, want 1", hits)
 	}
 }
@@ -120,13 +120,13 @@ func TestFactorCacheServesAdaptiveGrids(t *testing.T) {
 	if _, err := SolveAdaptive(sys, u, steps, Options{FactorCache: cache}); err != nil {
 		t.Fatal(err)
 	}
-	_, missesFirst := cache.Stats()
+	_, _, missesFirst := cache.Stats()
 	got, err := SolveAdaptive(sys, u, steps, Options{FactorCache: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
 	sameDense(t, "adaptive cached", got.Coefficients(), want.Coefficients())
-	hits, misses := cache.Stats()
+	hits, _, misses := cache.Stats()
 	if misses != missesFirst {
 		t.Fatalf("repeat adaptive run refactored: misses %d -> %d", missesFirst, misses)
 	}
@@ -137,7 +137,7 @@ func TestFactorCacheServesAdaptiveGrids(t *testing.T) {
 	if _, err := Solve(sys, u, 48, 1, Options{FactorCache: cache, Refine: true}); err != nil {
 		t.Fatal(err)
 	}
-	_, misses2 := cache.Stats()
+	_, _, misses2 := cache.Stats()
 	if misses2 != misses+1 {
 		t.Fatalf("Refine toggle should miss: misses %d -> %d", misses, misses2)
 	}
@@ -155,7 +155,7 @@ func TestFactorCacheSweepWorkload(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	hits, misses := cache.Stats()
+	hits, _, misses := cache.Stats()
 	if misses != 1 || hits != k-1 {
 		t.Fatalf("sweep: hits=%d misses=%d, want %d/1", hits, misses, k-1)
 	}

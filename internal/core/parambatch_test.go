@@ -1,0 +1,339 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"opmsim/internal/sparse"
+	"opmsim/internal/waveform"
+)
+
+// randomSparseVec builds a sparse vector with nnz entries at distinct sorted
+// indices in [0,n) and O(1)-magnitude values.
+func randomSparseVec(rng *rand.Rand, n, nnz int) sparse.Vec {
+	perm := rng.Perm(n)[:nnz]
+	sort.Ints(perm)
+	v := sparse.Vec{Idx: perm, Val: make([]float64, nnz)}
+	for i := range v.Val {
+		v.Val[i] = 0.5 + rng.Float64()
+		if rng.Intn(2) == 0 {
+			v.Val[i] = -v.Val[i]
+		}
+	}
+	return v
+}
+
+// randomDelta builds a rank-r pencil delta spreading small rank-1 updates
+// over random terms of sys — small scales keep the perturbed pencil
+// comfortably nonsingular.
+func randomDelta(rng *rand.Rand, sys *System, r int) *PencilDelta {
+	n := sys.N()
+	d := &PencilDelta{}
+	for i := 0; i < r; i++ {
+		nnz := 1 + rng.Intn(3)
+		d.Updates = append(d.Updates, RankOne{
+			Term:  rng.Intn(len(sys.Terms)),
+			Scale: 0.02 + 0.05*rng.Float64(),
+			U:     randomSparseVec(rng, n, nnz),
+			V:     randomSparseVec(rng, n, nnz),
+		})
+	}
+	return d
+}
+
+// maxRelErr returns max_ij |a−b| / (1 + max|b|), a scale-aware relative
+// deviation over the coefficient grids.
+func maxRelErr(a, b [][]float64) float64 {
+	worst, scale := 0.0, 0.0
+	for i := range b {
+		for j := range b[i] {
+			if v := math.Abs(b[i][j]); v > scale {
+				scale = v
+			}
+		}
+	}
+	for i := range a {
+		for j := range a[i] {
+			if d := math.Abs(a[i][j] - b[i][j]); d > worst {
+				worst = d
+			}
+		}
+	}
+	return worst / (1 + scale)
+}
+
+func denseRows(s *Solution) [][]float64 {
+	x := s.Coefficients()
+	rows := make([][]float64, x.Rows())
+	for i := range rows {
+		rows[i] = make([]float64, x.Cols())
+		for j := range rows[i] {
+			rows[i][j] = x.At(i, j)
+		}
+	}
+	return rows
+}
+
+// The SMW property: for random deltas of rank 1..8, the update path agrees
+// with solving the from-scratch materialized system to ≤1e-12 relative — on
+// a mixed fractional/integer system with no recurrence shortcut.
+func TestParamBatchSMWMatchesMaterialized(t *testing.T) {
+	sys, u := fracTestSystem(8, 301)
+	m, T := 96, 1.5
+	rng := rand.New(rand.NewSource(77))
+	for r := 1; r <= 8; r++ {
+		d := randomDelta(rng, sys, r)
+		scs := []Scenario{{U: u}, {U: u, Delta: d}}
+		var rep SolveReport
+		sols, err := SolveBatch(sys, scs, m, T, BatchOptions{
+			Options:         Options{Report: &rep},
+			UpdateRankLimit: 64, // force the SMW side of the crossover
+		})
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		psys, err := ApplyDelta(sys, d)
+		if err != nil {
+			t.Fatalf("rank %d: ApplyDelta: %v", r, err)
+		}
+		want, err := Solve(psys, u, m, T, Options{})
+		if err != nil {
+			t.Fatalf("rank %d: materialized solve: %v", r, err)
+		}
+		if got := maxRelErr(denseRows(sols[1]), denseRows(want)); got > 1e-12 {
+			t.Fatalf("rank %d: SMW deviates from materialized solve by %.3g (> 1e-12)", r, got)
+		}
+		// The nominal scenario must stay bitwise-identical to plain Solve.
+		nominal, err := Solve(sys, u, m, T, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDense(t, fmt.Sprintf("rank %d nominal", r), sols[0].Coefficients(), nominal.Coefficients())
+		if rep.PencilUpdates == 0 || rep.PencilRefactors != 0 {
+			t.Fatalf("rank %d: dispatch counters updates=%d refactors=%d, want SMW only",
+				r, rep.PencilUpdates, rep.PencilRefactors)
+		}
+	}
+}
+
+// The crossover fallback contract: with the update path disabled, every
+// delta scenario is bitwise-identical to Solve over the ApplyDelta
+// materialization — across worker counts and history engines.
+func TestParamBatchRefactorBitwiseMatchesMaterialized(t *testing.T) {
+	sys, u := fracTestSystem(6, 113)
+	m, T := 80, 1.2
+	rng := rand.New(rand.NewSource(5))
+	deltas := []*PencilDelta{nil, randomDelta(rng, sys, 2), randomDelta(rng, sys, 5)}
+	scs := make([]Scenario, len(deltas))
+	for s, d := range deltas {
+		scs[s] = Scenario{U: u, Delta: d}
+	}
+	for _, workers := range []int{1, 4} {
+		for _, mode := range []HistoryMode{HistoryExact, HistoryFFT} {
+			opt := Options{Workers: workers, HistoryMode: mode}
+			sols, err := SolveBatch(sys, scs, m, T, BatchOptions{
+				Options:         opt,
+				UpdateRankLimit: -1, // force per-scenario refactorization
+				PanelWidth:      2,
+			})
+			if err != nil {
+				t.Fatalf("workers=%d mode=%s: %v", workers, mode, err)
+			}
+			for s, d := range deltas {
+				msys := sys
+				if d != nil {
+					var err error
+					if msys, err = ApplyDelta(sys, d); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want, err := Solve(msys, u, m, T, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				name := fmt.Sprintf("workers=%d mode=%s scenario=%d", workers, mode, s)
+				sameDense(t, name, sols[s].Coefficients(), want.Coefficients())
+			}
+		}
+	}
+}
+
+// Initial states combine with deltas: order-0 updates shift the constant
+// forcing term, and the SMW path must track the refactor path through it.
+func TestParamBatchDeltaWithInitialState(t *testing.T) {
+	e := csrFrom(3, 3, []float64{1, 0, 0, 0, 1, 0, 0, 0, 1})
+	a := csrFrom(3, 3, []float64{-1, 0.2, 0, 0.1, -1.5, 0.2, 0, 0.3, -2})
+	b := csrFrom(3, 1, []float64{1, 0.5, 0.25})
+	sys, err := NewDAE(e, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the order-0 term (index 1 after NewDAE: [E, G] ordering can
+	// vary, so find it) with a rank-1 update.
+	k0 := -1
+	for k, tm := range sys.Terms {
+		if isExactZero(tm.Order) {
+			k0 = k
+		}
+	}
+	if k0 < 0 {
+		t.Fatal("no order-0 term")
+	}
+	d := &PencilDelta{Updates: []RankOne{{
+		Term: k0, Scale: 0.1,
+		U: sparse.Vec{Idx: []int{0, 2}, Val: []float64{1, -1}},
+		V: sparse.Vec{Idx: []int{0, 2}, Val: []float64{1, -1}},
+	}}}
+	u := []waveform.Signal{waveform.Sine(1, 0.7, 0)}
+	x0 := []float64{0.4, -0.3, 0.2}
+	m, T := 128, 2.0
+	scs := []Scenario{{U: u, X0: x0, Delta: d}}
+	for _, limit := range []int{64, -1} { // SMW and refactor sides
+		sols, err := SolveBatch(sys, scs, m, T, BatchOptions{UpdateRankLimit: limit})
+		if err != nil {
+			t.Fatalf("limit=%d: %v", limit, err)
+		}
+		psys, err := ApplyDelta(sys, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(psys, u, m, T, Options{X0: x0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if limit < 0 {
+			sameDense(t, "refactor+x0", sols[0].Coefficients(), want.Coefficients())
+		} else if got := maxRelErr(denseRows(sols[0]), denseRows(want)); got > 1e-12 {
+			t.Fatalf("SMW with X0 deviates by %.3g (> 1e-12)", got)
+		}
+	}
+}
+
+// The same parameter-varying batch run twice is bitwise-reproducible, and
+// the counters report the dispatch: SMW updates, refactorizations, and the
+// cache's update-hit ledger when a factor cache is attached.
+func TestParamBatchDeterminismAndCounters(t *testing.T) {
+	sys, u := fracTestSystem(7, 59)
+	m, T := 64, 1.0
+	rng := rand.New(rand.NewSource(21))
+	scs := []Scenario{
+		{U: u},
+		{U: u, Delta: randomDelta(rng, sys, 2)},
+		{U: u, Delta: randomDelta(rng, sys, 3)},
+		{U: u, Delta: randomDelta(rng, sys, 7)},
+	}
+	cache := NewFactorCache(0)
+	run := func() ([]*Solution, *SolveReport) {
+		var rep SolveReport
+		sols, err := SolveBatch(sys, scs, m, T, BatchOptions{
+			Options:         Options{Report: &rep, FactorCache: cache, Workers: 3},
+			UpdateRankLimit: 4, // ranks 2,3 → SMW; rank 7 → refactor
+			PanelWidth:      2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sols, &rep
+	}
+	first, rep := run()
+	if rep.PencilUpdates != 2 || rep.PencilRefactors != 1 {
+		t.Fatalf("dispatch: updates=%d refactors=%d, want 2/1", rep.PencilUpdates, rep.PencilRefactors)
+	}
+	if rep.UpdateCrossoverRank != 4 {
+		t.Fatalf("crossover rank %d, want the pinned 4", rep.UpdateCrossoverRank)
+	}
+	if rep.FactorCacheUpdateHits != 2 {
+		t.Fatalf("report update hits = %d, want 2", rep.FactorCacheUpdateHits)
+	}
+	if _, uh, _ := cache.Stats(); uh != 2 {
+		t.Fatalf("cache update hits = %d, want 2", uh)
+	}
+	second, _ := run()
+	for s := range first {
+		sameDense(t, fmt.Sprintf("rerun scenario %d", s), second[s].Coefficients(), first[s].Coefficients())
+	}
+}
+
+// DiscardSolutions + OnColumn is the sweep driver's streaming shape: the
+// hook must see exactly the columns the materialized solutions contain —
+// including on an integer-order system, where discarding engages the
+// short ring slab instead of full per-scenario column storage.
+func TestParamBatchStreamingMatchesMaterialized(t *testing.T) {
+	e := csrFrom(2, 2, []float64{1, 0, 0, 1})
+	a := csrFrom(2, 2, []float64{-1, 0.2, 0.1, -1.5})
+	b := csrFrom(2, 1, []float64{1, 0.5})
+	sys, err := NewDAE(e, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := []waveform.Signal{waveform.Step(1, 0)}
+	d := &PencilDelta{Updates: []RankOne{{
+		Term: 0, Scale: 0.05,
+		U: sparse.Vec{Idx: []int{1}, Val: []float64{1}},
+		V: sparse.Vec{Idx: []int{1}, Val: []float64{1}},
+	}}}
+	scs := []Scenario{{U: u}, {U: u, Delta: d}}
+	m, T := 96, 2.0
+	sols, err := SolveBatch(sys, scs, m, T, BatchOptions{UpdateRankLimit: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := make([][][]float64, len(scs))
+	for s := range streamed {
+		streamed[s] = make([][]float64, m)
+	}
+	hooked, err := SolveBatch(sys, scs, m, T, BatchOptions{
+		UpdateRankLimit:  64,
+		DiscardSolutions: true,
+		OnColumn: func(j int, tj float64, cols [][]float64) {
+			for s := range cols {
+				streamed[s][j] = append([]float64(nil), cols[s]...)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hooked != nil {
+		t.Fatalf("DiscardSolutions returned %d solutions, want nil", len(hooked))
+	}
+	for s := range scs {
+		x := sols[s].Coefficients()
+		for j := 0; j < m; j++ {
+			for i := 0; i < 2; i++ {
+				if got, want := streamed[s][j][i], x.At(i, j); !isExactEq(got, want) {
+					t.Fatalf("scenario %d col %d state %d: streamed %.17g vs materialized %.17g",
+						s, j, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Checkpoint resume is explicitly unsupported with pencil deltas.
+func TestParamBatchRejectsResume(t *testing.T) {
+	sys, u := fracTestSystem(4, 9)
+	d := randomDelta(rand.New(rand.NewSource(1)), sys, 1)
+	scs := []Scenario{{U: u, Delta: d}}
+	_, err := SolveBatch(sys, scs, 32, 1, BatchOptions{ResumeFrom: &Checkpoint{}})
+	if err == nil {
+		t.Fatal("resume with pencil deltas should fail")
+	}
+}
+
+// Delta validation errors carry the scenario index.
+func TestParamBatchValidatesDeltas(t *testing.T) {
+	sys, u := fracTestSystem(4, 13)
+	bad := &PencilDelta{Updates: []RankOne{{
+		Term: len(sys.Terms) + 3, Scale: 1,
+		U: sparse.Vec{Idx: []int{0}, Val: []float64{1}},
+		V: sparse.Vec{Idx: []int{0}, Val: []float64{1}},
+	}}}
+	_, err := SolveBatch(sys, []Scenario{{U: u}, {U: u, Delta: bad}}, 32, 1, BatchOptions{})
+	if err == nil {
+		t.Fatal("out-of-range term index should fail validation")
+	}
+}

@@ -158,7 +158,7 @@ func Batch(cfg BatchConfig) (*Table, *BatchReport, error) {
 				hashes[s] = hashSolution(sol)
 			}
 			seqHashes = hashes
-			seqHits, seqMisses = cache.Stats()
+			seqHits, _, seqMisses = cache.Stats()
 			return nil
 		})
 		if err != nil {

@@ -1,0 +1,395 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"opmsim/internal/circuit"
+	"opmsim/internal/core"
+	"opmsim/internal/netgen"
+	"opmsim/internal/waveform"
+)
+
+// The Monte-Carlo sweep driver and its benchmark: N component-tolerance
+// scenarios of one netlist fanned through the parameter-varying batch engine
+// in chunks, folded into a waveform.Envelope instead of materializing N
+// solutions. The benchmark compares the SMW update path against
+// refactorize-every-scenario on the same workload — the ablation behind
+// BENCH_montecarlo.json.
+
+// MonteCarloConfig parameterizes one sweep.
+type MonteCarloConfig struct {
+	// Netlist and Model: the nominal circuit and its assembled system (MNA
+	// or NA — StampDelta handles both).
+	Netlist *circuit.Netlist
+	Model   *circuit.MNA
+	// N is the scenario count, including the nominal scenario 0.
+	N int
+	// Tol is the symmetric relative tolerance band (±Tol) applied to each
+	// perturbed element value.
+	Tol float64
+	// Seed keys the counter-based RNG: same seed, same scenarios, and — with
+	// UpdateRankLimit pinned — Float64bits-identical envelopes.
+	Seed uint64
+	// Elements names the perturbed components; nil perturbs every
+	// perturbable element (netgen.PerturbableElements).
+	Elements []string
+	// M and T are the BPF grid: M columns over [0, T].
+	M int
+	T float64
+	// Chunk bounds the scenarios per SolveBatch call (default 1024): chunking
+	// caps per-call memory at O(Chunk·n) while the envelope spans all N.
+	Chunk int
+	// UpdateRankLimit is passed through to core.BatchOptions: 0 measures the
+	// crossover, >0 pins the SMW side, <0 forces refactorization.
+	UpdateRankLimit int
+	// ProbeCols are the envelope's quantile probe columns; nil picks the
+	// quartile columns {M/4, M/2, 3M/4, M−1}.
+	ProbeCols []int
+	// Options seeds the per-chunk solver options (Workers, HistoryMode,
+	// FactorCache); the Report field is managed per chunk and merged.
+	Options core.Options
+}
+
+// MonteCarloResult is a completed sweep: the envelope plus the merged solver
+// accounting across all chunks.
+type MonteCarloResult struct {
+	Envelope *waveform.Envelope
+	// Scenarios actually solved (== cfg.N).
+	Scenarios int
+	// PencilUpdates / PencilRefactors / Columns / Factorizations summed over
+	// chunk reports; CrossoverRank is the last chunk's resolved limit.
+	PencilUpdates   int
+	PencilRefactors int
+	Factorizations  int
+	Columns         int
+	CrossoverRank   int
+}
+
+// MonteCarloSweep runs the sweep: scenario 0 is the nominal circuit, 1..N−1
+// carry counter-based component perturbations stamped as pencil deltas. All
+// chunks stream through BatchOptions.OnColumn with DiscardSolutions set, so
+// peak memory is O(Chunk·n + states·columns) regardless of N.
+func MonteCarloSweep(cfg MonteCarloConfig) (*MonteCarloResult, error) {
+	if cfg.Netlist == nil || cfg.Model == nil {
+		return nil, fmt.Errorf("experiments: montecarlo needs a netlist and an assembled model")
+	}
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("experiments: montecarlo needs at least one scenario, got %d", cfg.N)
+	}
+	if cfg.Chunk <= 0 {
+		cfg.Chunk = 1024
+	}
+	elements := cfg.Elements
+	if elements == nil {
+		elements = netgen.PerturbableElements(cfg.Netlist, 0)
+	}
+	probes := cfg.ProbeCols
+	if probes == nil {
+		probes = []int{cfg.M / 4, cfg.M / 2, 3 * cfg.M / 4, cfg.M - 1}
+	}
+	n := cfg.Model.Sys.N()
+	env, err := waveform.NewEnvelope(n, cfg.M, probes...)
+	if err != nil {
+		return nil, err
+	}
+	res := &MonteCarloResult{Envelope: env, Scenarios: cfg.N}
+	for lo := 0; lo < cfg.N; lo += cfg.Chunk {
+		hi := lo + cfg.Chunk
+		if hi > cfg.N {
+			hi = cfg.N
+		}
+		scs := make([]core.Scenario, hi-lo)
+		for s := lo; s < hi; s++ {
+			perts, err := netgen.MonteCarloPerturb(cfg.Netlist, elements, cfg.Seed, s, cfg.Tol)
+			if err != nil {
+				return nil, err
+			}
+			sc := core.Scenario{U: cfg.Model.Inputs}
+			if len(perts) > 0 {
+				d, err := cfg.Netlist.StampDelta(cfg.Model, perts)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: montecarlo scenario %d: %w", s, err)
+				}
+				if d.Rank() > 0 {
+					sc.Delta = d
+				}
+			}
+			scs[s-lo] = sc
+		}
+		rep := &core.SolveReport{}
+		opt := cfg.Options
+		opt.Report = rep
+		var obsErr error
+		_, err := core.SolveBatch(cfg.Model.Sys, scs, cfg.M, cfg.T, core.BatchOptions{
+			Options:          opt,
+			UpdateRankLimit:  cfg.UpdateRankLimit,
+			DiscardSolutions: true,
+			OnColumn: func(j int, _ float64, cols [][]float64) {
+				for s := range cols {
+					if err := env.ObserveColumn(j, cols[s]); err != nil && obsErr == nil {
+						obsErr = err
+					}
+				}
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: montecarlo chunk [%d,%d): %w", lo, hi, err)
+		}
+		if obsErr != nil {
+			return nil, obsErr
+		}
+		res.PencilUpdates += rep.PencilUpdates
+		res.PencilRefactors += rep.PencilRefactors
+		res.Factorizations += rep.Factorizations
+		res.Columns += rep.Columns
+		res.CrossoverRank = rep.UpdateCrossoverRank
+	}
+	return res, nil
+}
+
+// MonteCarloBenchConfig parameterizes the SMW-vs-refactorize ablation.
+type MonteCarloBenchConfig struct {
+	// Ns are the scenario counts to sweep.
+	Ns []int
+	// LadderSections / LadderR / LadderC shape the quickstart-style RC
+	// ladder fixture; LadderElems elements are perturbed (the low-rank
+	// workload the SMW path targets).
+	LadderSections int
+	LadderElems    int
+	// Grid shapes the power-grid fixture (NA model); GridElems elements are
+	// perturbed.
+	Grid      netgen.PowerGridConfig
+	GridElems int
+	// M and TolPct: BPF columns and tolerance band shared by both fixtures.
+	M   int
+	Tol float64
+	// MeasureCapSMW / MeasureCapRefactor cap the scenario count actually
+	// timed per leg; larger Ns are extrapolated linearly from the measured
+	// sample and flagged in the report. Refactorization is so much slower
+	// that its cap is the smaller of the two.
+	MeasureCapSMW      int
+	MeasureCapRefactor int
+	Seed               uint64
+}
+
+// DefaultMonteCarloBench covers the acceptance grid: N ∈ {1k, 10k, 100k} on
+// the RC-ladder (quickstart) and power-grid fixtures.
+func DefaultMonteCarloBench() MonteCarloBenchConfig {
+	return MonteCarloBenchConfig{
+		Ns:                 []int{1000, 10000, 100000},
+		LadderSections:     100,
+		LadderElems:        8,
+		Grid:               netgen.DefaultPowerGrid(),
+		GridElems:          8,
+		M:                  64,
+		Tol:                0.1,
+		MeasureCapSMW:      10000,
+		MeasureCapRefactor: 2048,
+		Seed:               1,
+	}
+}
+
+// MonteCarloRow is one (fixture, N) point.
+type MonteCarloRow struct {
+	Fixture string `json:"fixture"`
+	N       int    `json:"n"`
+	States  int    `json:"states"`
+	M       int    `json:"m"`
+	// Rank is the pencil-update rank of each perturbed scenario (the number
+	// of perturbed elements).
+	Rank int `json:"rank"`
+	// SMWNS and RefactorNS are the wall-clock times of the two legs,
+	// extrapolated linearly from SMWMeasuredN / RefactorMeasuredN scenarios
+	// when those are smaller than N (flagged by the *Extrapolated fields).
+	SMWNS                int64   `json:"smw_ns"`
+	SMWMeasuredN         int     `json:"smw_measured_n"`
+	SMWExtrapolated      bool    `json:"smw_extrapolated"`
+	RefactorNS           int64   `json:"refactor_ns"`
+	RefactorMeasuredN    int     `json:"refactor_measured_n"`
+	RefactorExtrapolated bool    `json:"refactor_extrapolated"`
+	Speedup              float64 `json:"speedup"` // refactor / smw
+	// Updates/Refactors dispatched in the SMW leg's measured sample (the
+	// refactor leg by construction refactors every delta scenario).
+	Updates   int `json:"updates"`
+	Refactors int `json:"refactors"`
+}
+
+// MonteCarloReport is the machine-readable result written to
+// BENCH_montecarlo.json by cmd/opm-bench.
+type MonteCarloReport struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// MaxRelErr is the worst relative envelope deviation (min/max/mean
+	// surfaces) between the SMW and refactorize legs, per fixture, measured
+	// at the smallest N.
+	MaxRelErr map[string]float64 `json:"max_rel_err"`
+	Rows      []MonteCarloRow    `json:"rows"`
+	Notes     []string           `json:"notes"`
+}
+
+// WriteJSON writes the report to path.
+func (r *MonteCarloReport) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// mcFixture is one benchmark circuit.
+type mcFixture struct {
+	name     string
+	netlist  *circuit.Netlist
+	model    *circuit.MNA
+	elements []string
+	T        float64
+}
+
+func mcFixtures(cfg MonteCarloBenchConfig) ([]mcFixture, error) {
+	var out []mcFixture
+	lad, _, err := netgen.RCLadderNetlist(cfg.LadderSections, 100, 1e-9, waveform.Step(1, 0))
+	if err != nil {
+		return nil, err
+	}
+	ladModel, err := lad.MNA()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, mcFixture{
+		name: "rc-ladder", netlist: lad, model: ladModel,
+		elements: netgen.PerturbableElements(lad, cfg.LadderElems),
+		T:        5e-7,
+	})
+	grid, err := netgen.PowerGrid3D(cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+	gridModel, err := grid.Netlist.NA()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, mcFixture{
+		name: "power-grid", netlist: grid.Netlist, model: gridModel,
+		elements: netgen.PerturbableElements(grid.Netlist, cfg.GridElems),
+		T:        10e-9,
+	})
+	return out, nil
+}
+
+// envelopeRelErr compares the min/max/mean surfaces of two envelopes.
+func envelopeRelErr(a, b *waveform.Envelope) float64 {
+	worst, scale := 0.0, 0.0
+	n, m := a.States(), a.Columns()
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			for _, pair := range [][2]float64{
+				{a.Min(i, j), b.Min(i, j)},
+				{a.Max(i, j), b.Max(i, j)},
+				{a.Mean(i, j), b.Mean(i, j)},
+			} {
+				if v := math.Abs(pair[1]); v > scale {
+					scale = v
+				}
+				if d := math.Abs(pair[0] - pair[1]); d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	return worst / (1 + scale)
+}
+
+// MonteCarloBench runs the ablation: for each fixture and N, the sweep
+// through the SMW update path (UpdateRankLimit pinned above the fixture
+// rank) versus refactorize-every-scenario (UpdateRankLimit −1), extrapolated
+// past the measurement caps.
+func MonteCarloBench(cfg MonteCarloBenchConfig) (*Table, *MonteCarloReport, error) {
+	if len(cfg.Ns) == 0 {
+		return nil, nil, fmt.Errorf("experiments: montecarlo bench needs at least one N")
+	}
+	fixtures, err := mcFixtures(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &MonteCarloReport{GOMAXPROCS: runtime.GOMAXPROCS(0), MaxRelErr: map[string]float64{}}
+	tbl := &Table{
+		Title:  "Monte-Carlo sweep: SMW factor updates vs refactorize-per-scenario",
+		Header: []string{"fixture", "N", "states", "rank", "SMW", "refactor", "speedup", "extrapolated"},
+	}
+	runLeg := func(fx mcFixture, scenarios, limit int) (time.Duration, *MonteCarloResult, error) {
+		start := time.Now()
+		res, err := MonteCarloSweep(MonteCarloConfig{
+			Netlist: fx.netlist, Model: fx.model,
+			N: scenarios, Tol: cfg.Tol, Seed: cfg.Seed,
+			Elements: fx.elements, M: cfg.M, T: fx.T,
+			UpdateRankLimit: limit,
+		})
+		return time.Since(start), res, err
+	}
+	for _, fx := range fixtures {
+		rank := len(fx.elements)
+		smwLimit := 4 * rank // safely on the SMW side of the crossover
+		// Envelope agreement at the smallest N.
+		relN := cfg.Ns[0]
+		if relN > 1000 {
+			relN = 1000
+		}
+		_, smwRes, err := runLeg(fx, relN, smwLimit)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: smw relerr leg: %w", fx.name, err)
+		}
+		_, refRes, err := runLeg(fx, relN, -1)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: refactor relerr leg: %w", fx.name, err)
+		}
+		rep.MaxRelErr[fx.name] = envelopeRelErr(smwRes.Envelope, refRes.Envelope)
+		for _, N := range cfg.Ns {
+			smwN, refN := N, N
+			if cfg.MeasureCapSMW > 0 && smwN > cfg.MeasureCapSMW {
+				smwN = cfg.MeasureCapSMW
+			}
+			if cfg.MeasureCapRefactor > 0 && refN > cfg.MeasureCapRefactor {
+				refN = cfg.MeasureCapRefactor
+			}
+			smwDur, smwRes, err := runLeg(fx, smwN, smwLimit)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s N=%d: smw leg: %w", fx.name, N, err)
+			}
+			refDur, _, err := runLeg(fx, refN, -1)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s N=%d: refactor leg: %w", fx.name, N, err)
+			}
+			smwNS := int64(float64(smwDur.Nanoseconds()) * float64(N) / float64(smwN))
+			refNS := int64(float64(refDur.Nanoseconds()) * float64(N) / float64(refN))
+			row := MonteCarloRow{
+				Fixture: fx.name, N: N, States: fx.model.Sys.N(), M: cfg.M, Rank: rank,
+				SMWNS: smwNS, SMWMeasuredN: smwN, SMWExtrapolated: smwN < N,
+				RefactorNS: refNS, RefactorMeasuredN: refN, RefactorExtrapolated: refN < N,
+				Speedup:   float64(refNS) / float64(smwNS),
+				Updates:   smwRes.PencilUpdates,
+				Refactors: smwRes.PencilRefactors,
+			}
+			rep.Rows = append(rep.Rows, row)
+			extr := "-"
+			if row.SMWExtrapolated || row.RefactorExtrapolated {
+				extr = fmt.Sprintf("smw@%d refac@%d", smwN, refN)
+			}
+			tbl.AddRow(fx.name, fmt.Sprint(N), fmt.Sprint(row.States), fmt.Sprint(rank),
+				fmtDur(time.Duration(smwNS)), fmtDur(time.Duration(refNS)),
+				fmt.Sprintf("%.2fx", row.Speedup), extr)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("legs measured up to %d (SMW) / %d (refactor) scenarios and scaled linearly to N", cfg.MeasureCapSMW, cfg.MeasureCapRefactor),
+		"max_rel_err compares the min/max/mean envelope surfaces of the two legs at the smallest N")
+	tbl.Notes = append(tbl.Notes,
+		"speedup = refactorize-per-scenario time / SMW update-path time; extrapolated legs scaled linearly from the measured sample")
+	for name, v := range rep.MaxRelErr {
+		tbl.Notes = append(tbl.Notes, fmt.Sprintf("%s envelope deviation SMW vs refactor: %.2e", name, v))
+	}
+	return tbl, rep, nil
+}

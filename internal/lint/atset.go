@@ -40,6 +40,13 @@ var atsetHotFiles = map[string]bool{
 	"checkpoint.go": true,
 	"journal.go":    true,
 	"jobs.go":       true,
+	// PR 8 parameter-varying surface: the SMW capacitance solve and the
+	// param-batch column loop run per column per scenario, and the sparse
+	// rank-one factors (vec.go) are dotted/scattered inside them.
+	"smw.go":        true,
+	"parambatch.go": true,
+	"delta.go":      true,
+	"vec.go":        true,
 }
 
 // AnalyzerAtSet (advisory) flags element-wise At/Set calls on mat matrix

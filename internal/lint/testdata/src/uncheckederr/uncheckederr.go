@@ -79,3 +79,43 @@ func checkpointBlank() int {
 func journalChecked(rec []byte) error {
 	return appendJournalRecord(rec)
 }
+
+// StampDelta stands in for the PR 8 perturbation-stamping family: its error
+// is the only signal that a component delta failed to map onto the pencil.
+func StampDelta(names []string) (int, error) {
+	if len(names) == 0 {
+		return 0, errors.New("no perturbations")
+	}
+	return len(names), nil
+}
+
+// newSMWFactor stands in for the Sherman–Morrison–Woodbury setup family: a
+// dropped error here hides a singular capacitance matrix.
+func newSMWFactor(rank int) error {
+	if rank <= 0 {
+		return errors.New("empty update")
+	}
+	return nil
+}
+
+func deltaBlank(names []string) int {
+	r, _ := StampDelta(names) // want "error from StampDelta assigned to _"
+	return r
+}
+
+func smwDiscard() {
+	newSMWFactor(2) // want "result of newSMWFactor discarded; error position 1"
+}
+
+func deltaChecked(names []string) error {
+	r, err := StampDelta(names)
+	if err != nil {
+		return err
+	}
+	return newSMWFactor(r)
+}
+
+func smwSuppressed() {
+	//lint:ignore uncheckederr fixture demonstrating the suppression policy
+	newSMWFactor(1)
+}

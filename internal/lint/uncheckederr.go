@@ -12,8 +12,11 @@ import (
 // factorization constructors, and — since the PR 7 resilience layer — the
 // journal/checkpoint families, whose dropped errors silently void the
 // crash-safety guarantee (a checkpoint that failed to apply or persist must
-// degrade loudly, not vanish).
-var errFamilyRe = regexp.MustCompile(`(?i)solve|factor|journal|checkpoint|^(LU|QR)`)
+// degrade loudly, not vanish) — and, since the PR 8 parameter-varying batch,
+// the SMW/delta families (StampDelta, ApplyDelta, the smw capacitance
+// factorization), whose dropped errors would let a singular or mis-stamped
+// perturbation masquerade as the nominal solution.
+var errFamilyRe = regexp.MustCompile(`(?i)solve|factor|journal|checkpoint|smw|delta|^(LU|QR)`)
 
 // AnalyzerUncheckedErr flags discarded error results from Solve/Factorize/
 // LU/QR-family functions defined in this module: calls used as bare

@@ -1,0 +1,92 @@
+package netgen
+
+import (
+	"math"
+	"testing"
+
+	"opmsim/internal/waveform"
+)
+
+// The counter-based sampler: pure function of (seed, scenario, element) —
+// same key → same bits, different key → different draw — and values stay in
+// the ±tol band around nominal.
+func TestMonteCarloPerturbDeterministic(t *testing.T) {
+	n, _, err := RCLadderNetlist(8, 100, 1e-6, waveform.Step(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := PerturbableElements(n, 0)
+	if len(names) != 16 { // 8 Rs + 8 Cs; Vin is not perturbable
+		t.Fatalf("perturbable elements: %d, want 16", len(names))
+	}
+	const seed, tol = 12345, 0.1
+	a, err := MonteCarloPerturb(n, names, seed, 3, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarloPerturb(n, names, seed, 3, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(names) {
+		t.Fatalf("perturbations: %d, want %d", len(a), len(names))
+	}
+	nominal := map[string]float64{}
+	for _, e := range n.Elements() {
+		nominal[e.Name] = e.Value
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || math.Float64bits(a[i].Value) != math.Float64bits(b[i].Value) {
+			t.Fatalf("element %d: repeat draw differs: %+v vs %+v", i, a[i], b[i])
+		}
+		nom := nominal[a[i].Name]
+		if rel := math.Abs(a[i].Value/nom - 1); rel > tol {
+			t.Fatalf("%s: |%g/%g − 1| = %g exceeds tol %g", a[i].Name, a[i].Value, nom, rel, tol)
+		}
+	}
+	// Different scenario or seed → different values (overwhelmingly).
+	c, err := MonteCarloPerturb(n, names, seed, 4, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := MonteCarloPerturb(n, names, seed+1, 3, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameC, sameD := 0, 0
+	for i := range a {
+		if math.Float64bits(a[i].Value) == math.Float64bits(c[i].Value) {
+			sameC++
+		}
+		if math.Float64bits(a[i].Value) == math.Float64bits(d[i].Value) {
+			sameD++
+		}
+	}
+	if sameC == len(a) || sameD == len(a) {
+		t.Fatalf("scenario/seed variation produced identical draws (%d/%d identical)", sameC, sameD)
+	}
+	// Scenario 0 is the nominal reference: no perturbations.
+	z, err := MonteCarloPerturb(n, names, seed, 0, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(z) != 0 {
+		t.Fatalf("scenario 0 returned %d perturbations, want 0", len(z))
+	}
+}
+
+func TestMonteCarloPerturbValidation(t *testing.T) {
+	n, _, err := RCLadderNetlist(2, 100, 1e-6, waveform.Step(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MonteCarloPerturb(n, []string{"R1"}, 1, 1, 1.5); err == nil {
+		t.Fatal("tol ≥ 1 should fail")
+	}
+	if _, err := MonteCarloPerturb(n, []string{"R1"}, 1, -1, 0.1); err == nil {
+		t.Fatal("negative scenario should fail")
+	}
+	if _, err := MonteCarloPerturb(n, []string{"nope"}, 1, 1, 0.1); err == nil {
+		t.Fatal("unknown element should fail")
+	}
+}

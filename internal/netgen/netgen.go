@@ -310,32 +310,9 @@ func RCTree(depth int, rDrv, rSeg, cNode float64, drive waveform.Signal) (*circu
 // the quickstart network. Section i has resistance r and capacitance c; the
 // far-end capacitor voltage is the usual observation point.
 func RCLadder(sections int, r, c float64, drive waveform.Signal) (*circuit.MNA, error) {
-	if sections < 1 {
-		return nil, fmt.Errorf("netgen: ladder needs at least one section")
-	}
-	if r <= 0 || c <= 0 {
-		return nil, fmt.Errorf("netgen: ladder needs positive R and C")
-	}
-	if drive == nil {
-		return nil, fmt.Errorf("netgen: ladder needs a drive signal")
-	}
-	n := circuit.New()
-	in := n.Node("in")
-	if err := n.AddV("Vin", in, 0, drive); err != nil {
+	n, lastNode, err := RCLadderNetlist(sections, r, c, drive)
+	if err != nil {
 		return nil, err
-	}
-	prev := in
-	var lastNode int
-	for i := 1; i <= sections; i++ {
-		nd := n.Node(fmt.Sprintf("n%d", i))
-		if err := n.AddR(fmt.Sprintf("R%d", i), prev, nd, r); err != nil {
-			return nil, err
-		}
-		if err := n.AddC(fmt.Sprintf("C%d", i), nd, 0, c); err != nil {
-			return nil, err
-		}
-		prev = nd
-		lastNode = nd
 	}
 	mna, err := n.MNA()
 	if err != nil {
@@ -351,4 +328,39 @@ func RCLadder(sections int, r, c float64, drive waveform.Signal) (*circuit.MNA, 
 	}
 	mna.Sys = sysC
 	return mna, nil
+}
+
+// RCLadderNetlist builds the RC ladder as a bare netlist (elements Vin,
+// R1..Rn, C1..Cn over nodes in, n1..nn) plus the output node index, leaving
+// model assembly and output selection to the caller — the Monte-Carlo sweep
+// needs the netlist itself to stamp component-value perturbations against.
+func RCLadderNetlist(sections int, r, c float64, drive waveform.Signal) (*circuit.Netlist, int, error) {
+	if sections < 1 {
+		return nil, 0, fmt.Errorf("netgen: ladder needs at least one section")
+	}
+	if r <= 0 || c <= 0 {
+		return nil, 0, fmt.Errorf("netgen: ladder needs positive R and C")
+	}
+	if drive == nil {
+		return nil, 0, fmt.Errorf("netgen: ladder needs a drive signal")
+	}
+	n := circuit.New()
+	in := n.Node("in")
+	if err := n.AddV("Vin", in, 0, drive); err != nil {
+		return nil, 0, err
+	}
+	prev := in
+	var lastNode int
+	for i := 1; i <= sections; i++ {
+		nd := n.Node(fmt.Sprintf("n%d", i))
+		if err := n.AddR(fmt.Sprintf("R%d", i), prev, nd, r); err != nil {
+			return nil, 0, err
+		}
+		if err := n.AddC(fmt.Sprintf("C%d", i), nd, 0, c); err != nil {
+			return nil, 0, err
+		}
+		prev = nd
+		lastNode = nd
+	}
+	return n, lastNode, nil
 }

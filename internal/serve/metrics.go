@@ -101,10 +101,16 @@ type Snapshot struct {
 		JournalRejected  int64 `json:"journalRejected"`
 	} `json:"resilience"`
 	FactorCache struct {
-		Hits    int     `json:"hits"`
-		Misses  int     `json:"misses"`
-		HitRate float64 `json:"hitRate"`
-		Entries int     `json:"entries"`
+		// Hits: a cached pencil factorization reused as-is. UpdateHits: a
+		// cached base factorization reused through the SMW UpdatedSolve tier
+		// (a low-rank Woodbury correction instead of a refactorization).
+		// Misses: a fresh factorization built and cached. HitRate counts both
+		// hit flavors against the total, since both avoid a factorization.
+		Hits       int     `json:"cache_hit"`
+		UpdateHits int     `json:"cache_update_hit"`
+		Misses     int     `json:"cache_miss"`
+		HitRate    float64 `json:"hitRate"`
+		Entries    int     `json:"entries"`
 	} `json:"factorCache"`
 	Latency struct {
 		Count    int     `json:"count"`

@@ -10,6 +10,7 @@ import (
 
 	"opmsim/internal/circuit"
 	"opmsim/internal/core"
+	"opmsim/internal/netgen"
 	"opmsim/internal/waveform"
 )
 
@@ -38,13 +39,23 @@ type Request struct {
 	Deadline *Value `json:"deadline"`
 }
 
-// SweepSpec describes the amplitude sweep: Count scenarios with input scale
-// factors spaced linearly from Lo to Hi (matching opm-sim -batch/-sweep).
-// Count 0 or 1 solves a single scenario at scale Lo (default 1).
+// SweepSpec describes the scenario sweep. Count scenarios take input scale
+// factors spaced linearly from Lo to Hi (matching opm-sim -batch/-sweep);
+// Count 0 or 1 solves a single scenario at scale Lo (default 1). A non-zero
+// Tol additionally perturbs component values: scenario 0 keeps the nominal
+// netlist and scenarios 1..Count−1 draw every perturbable element (R, C, L,
+// CPE; Elements caps how many, netlist order) uniformly from nominal·(1±Tol)
+// with a counter-based RNG keyed by Seed — same seed, same scenarios. The
+// perturbed pencils are solved against the shared nominal factorization via
+// Sherman–Morrison–Woodbury updates (matching opm-sim -montecarlo), so
+// tolerance sweeps cost far less than Count independent factorizations.
 type SweepSpec struct {
-	Count int    `json:"count"`
-	Lo    *Value `json:"lo"`
-	Hi    *Value `json:"hi"`
+	Count    int    `json:"count"`
+	Lo       *Value `json:"lo"`
+	Hi       *Value `json:"hi"`
+	Tol      *Value `json:"tol"`
+	Seed     uint64 `json:"seed"`
+	Elements int    `json:"elements"`
 }
 
 // Value is a float64 that also accepts SPICE magnitude-suffixed strings
@@ -108,6 +119,11 @@ type job struct {
 	stateIdx  []int
 	labels    []string
 	deadline  time.Duration // 0 → Config.DefaultDeadline
+	// hasDeltas marks a component-tolerance sweep: the parameter-varying
+	// batch engine solves perturbed pencils against the shared nominal
+	// factorization but does not checkpoint (per-scenario factors are not
+	// captured by column slabs), so the job runs without resume support.
+	hasDeltas bool
 }
 
 // parseRequest turns a raw body into a validated job or a typed 4xx error.
@@ -163,8 +179,9 @@ func parseRequest(body []byte, cfg *Config) (*job, *RequestError) {
 		return nil, badRequest("steps %d exceeds the service limit %d", m, cfg.MaxSteps)
 	}
 
-	// Sweep: K scenarios with linearly spaced input amplitude scales.
-	count, lo, hi := 1, 1.0, 1.0
+	// Sweep: K scenarios with linearly spaced input amplitude scales, plus
+	// optional component-tolerance perturbations.
+	count, lo, hi, tol, seed, elems := 1, 1.0, 1.0, 0.0, uint64(1), 0
 	if req.Sweep != nil {
 		if req.Sweep.Count > 0 {
 			count = req.Sweep.Count
@@ -176,12 +193,29 @@ func parseRequest(body []byte, cfg *Config) (*job, *RequestError) {
 		if req.Sweep.Hi != nil {
 			hi = req.Sweep.Hi.V
 		}
+		if req.Sweep.Tol != nil {
+			tol = req.Sweep.Tol.V
+		}
+		if req.Sweep.Seed != 0 {
+			seed = req.Sweep.Seed
+		}
+		elems = req.Sweep.Elements
 	}
 	if count > cfg.MaxScenarios {
 		return nil, badRequest("sweep count %d exceeds the service limit %d", count, cfg.MaxScenarios)
 	}
 	if math.IsNaN(lo) || math.IsInf(lo, 0) || math.IsNaN(hi) || math.IsInf(hi, 0) {
 		return nil, badRequest("sweep bounds must be finite, got lo=%g hi=%g", lo, hi)
+	}
+	if math.IsNaN(tol) || tol < 0 || tol >= 1 {
+		return nil, badRequest("sweep tol must be in [0,1), got %g", tol)
+	}
+	var perturbNames []string
+	if tol > 0 {
+		perturbNames = netgen.PerturbableElements(deck.Netlist, elems)
+		if len(perturbNames) == 0 {
+			return nil, unservable("sweep tol set but the netlist has no perturbable elements (R, C, L, or CPE)")
+		}
 	}
 
 	hist, err := core.ParseHistoryMode(req.History)
@@ -236,8 +270,28 @@ func parseRequest(body []byte, cfg *Config) (*job, *RequestError) {
 			u[i] = func(t float64) float64 { return scale * base(t) }
 		}
 		scenarios[s] = core.Scenario{U: u, X0: x0}
+		if tol > 0 && s > 0 {
+			perts, err := netgen.MonteCarloPerturb(deck.Netlist, perturbNames, seed, s, tol)
+			if err != nil {
+				return nil, badRequest("sweep tolerance draw: %v", err)
+			}
+			d, err := deck.Netlist.StampDelta(mna, perts)
+			if err != nil {
+				return nil, unservable("sweep tolerance delta: %v", err)
+			}
+			if d.Rank() > 0 {
+				scenarios[s].Delta = d
+			}
+		}
 	}
 
+	hasDeltas := false
+	for s := range scenarios {
+		if scenarios[s].Delta != nil {
+			hasDeltas = true
+			break
+		}
+	}
 	return &job{
 		title:     deck.Title,
 		mna:       mna,
@@ -250,6 +304,7 @@ func parseRequest(body []byte, cfg *Config) (*job, *RequestError) {
 		stateIdx:  stateIdx,
 		labels:    labels,
 		deadline:  deadline,
+		hasDeltas: hasDeltas,
 	}, nil
 }
 

@@ -65,6 +65,11 @@ type Config struct {
 	MaxSteps int
 	// MaxScenarios caps the per-request sweep cardinality K (0 → 1024).
 	MaxScenarios int
+	// UpdateRankLimit tunes the Sherman–Morrison–Woodbury crossover for
+	// component-tolerance sweeps (core.BatchOptions.UpdateRankLimit): 0
+	// measures the break-even rank per pencil family, >0 pins it, <0 forces
+	// refactorization.
+	UpdateRankLimit int
 	// MaxBodyBytes caps the request body (0 → 1 MiB).
 	MaxBodyBytes int64
 	// Clock supplies the latency metrics' timestamps and the deadline and
@@ -292,12 +297,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics serves the service counters as JSON.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	snap := s.met.snapshot(s.q.Depth(), s.cfg.Workers, s.cfg.QueueDepth)
-	hits, misses := s.cache.Stats()
+	hits, updateHits, misses := s.cache.Stats()
 	snap.FactorCache.Hits = hits
+	snap.FactorCache.UpdateHits = updateHits
 	snap.FactorCache.Misses = misses
 	snap.FactorCache.Entries = s.cache.Len()
-	if total := hits + misses; total > 0 {
-		snap.FactorCache.HitRate = float64(hits) / float64(total)
+	if total := hits + updateHits + misses; total > 0 {
+		snap.FactorCache.HitRate = float64(hits+updateHits) / float64(total)
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(snap)
@@ -636,6 +642,7 @@ func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, job *job, en
 		PanelWidth:      plan.panelWidth,
 		CheckpointEvery: plan.checkpointEvery,
 		ResumeFrom:      plan.resume,
+		UpdateRankLimit: s.cfg.UpdateRankLimit,
 		OnCheckpoint: func(d *core.CheckpointDelta) {
 			if err := entry.applyCheckpointDelta(d); err != nil {
 				s.met.incJournalFailure()
@@ -650,6 +657,14 @@ func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, job *job, en
 				columns = col + 1
 			}
 		},
+	}
+	if job.hasDeltas {
+		// Component-tolerance sweeps run on the parameter-varying engine,
+		// which rejects resume (per-scenario pencil factors are not captured
+		// by column-slab checkpoints) and never emits checkpoints.
+		opts.CheckpointEvery = 0
+		opts.ResumeFrom = nil
+		opts.OnCheckpoint = nil
 	}
 	_, err := core.SolveBatchCtx(ctx, job.mna.Sys, job.scenarios, job.m, job.T, opts)
 	return Done{

@@ -40,14 +40,20 @@ type columnRecord struct {
 
 // reportRecord summarizes the solver report in the "done" trailer.
 type reportRecord struct {
-	Factorizations int    `json:"factorizations"`
-	CacheHits      int    `json:"cacheHits"`
-	CacheMisses    int    `json:"cacheMisses"`
-	HistoryEngine  string `json:"historyEngine,omitempty"`
-	SparseLUSolves int    `json:"sparseLUSolves"`
-	DenseLUSolves  int    `json:"denseLUSolves,omitempty"`
-	QRSolves       int    `json:"qrSolves,omitempty"`
-	Degraded       bool   `json:"degraded,omitempty"`
+	Factorizations int `json:"factorizations"`
+	CacheHits      int `json:"cacheHits"`
+	// CacheUpdateHits counts scenarios served by Sherman–Morrison–Woodbury
+	// updates against a cached nominal factorization (tolerance sweeps);
+	// PencilRefactors counts perturbed scenarios past the crossover rank
+	// that factored from scratch instead.
+	CacheUpdateHits int    `json:"cacheUpdateHits,omitempty"`
+	PencilRefactors int    `json:"pencilRefactors,omitempty"`
+	CacheMisses     int    `json:"cacheMisses"`
+	HistoryEngine   string `json:"historyEngine,omitempty"`
+	SparseLUSolves  int    `json:"sparseLUSolves"`
+	DenseLUSolves   int    `json:"denseLUSolves,omitempty"`
+	QRSolves        int    `json:"qrSolves,omitempty"`
+	Degraded        bool   `json:"degraded,omitempty"`
 }
 
 type doneRecord struct {
@@ -162,14 +168,16 @@ func (sw *streamWriter) done(columns int, rep *core.SolveReport) {
 		Type:    "done",
 		Columns: columns,
 		Report: reportRecord{
-			Factorizations: rep.Factorizations,
-			CacheHits:      rep.FactorCacheHits,
-			CacheMisses:    rep.FactorCacheMisses,
-			HistoryEngine:  rep.HistoryEngine,
-			SparseLUSolves: rep.TierSolves[core.TierSparseLU],
-			DenseLUSolves:  rep.TierSolves[core.TierDenseLU],
-			QRSolves:       rep.TierSolves[core.TierQR],
-			Degraded:       rep.Degraded(),
+			Factorizations:  rep.Factorizations,
+			CacheHits:       rep.FactorCacheHits,
+			CacheUpdateHits: rep.FactorCacheUpdateHits,
+			PencilRefactors: rep.PencilRefactors,
+			CacheMisses:     rep.FactorCacheMisses,
+			HistoryEngine:   rep.HistoryEngine,
+			SparseLUSolves:  rep.TierSolves[core.TierSparseLU],
+			DenseLUSolves:   rep.TierSolves[core.TierDenseLU],
+			QRSolves:        rep.TierSolves[core.TierQR],
+			Degraded:        rep.Degraded(),
 		},
 	})
 }

@@ -68,6 +68,21 @@ func SubMulRows(data []float64, w int, rows []int, coef []float64, src []float64
 	subMulRows(data, w, rows, coef, src)
 }
 
+// GatherDot returns the sparse-gather inner product Σ_q val[q]·x[idx[q]] —
+// the kernel under the Sherman–Morrison–Woodbury capacitance assembly and
+// per-column Vᵀy gathers. Unlike the lane-parallel primitives above this is a
+// reduction, so to keep the bitwise contract it is defined as the strict
+// left-to-right fold on every architecture: one multiply rounding and one add
+// rounding per term, in index order, never reassociated or fused. The caller
+// must guarantee idx[q] < len(x) and len(val) >= len(idx).
+func GatherDot(idx []int, val, x []float64) float64 {
+	s := 0.0
+	for q, i := range idx {
+		s += val[q] * x[i]
+	}
+	return s
+}
+
 // Generic reference implementations; the amd64 build dispatches to packed
 // SIMD when the CPU supports it, and every build uses these as the fallback
 // and as the test oracle.

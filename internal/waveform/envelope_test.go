@@ -1,0 +1,156 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+)
+
+// Envelope statistics against direct computation on a small known grid.
+func TestEnvelopeStatistics(t *testing.T) {
+	const n, m, K = 2, 4, 7
+	env, err := NewEnvelope(n, m, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scenario s, state i, column j → deterministic synthetic value.
+	val := func(s, i, j int) float64 {
+		return float64(s-3)*0.5 + float64(i) + 0.1*float64(j)
+	}
+	for s := 0; s < K; s++ {
+		for j := 0; j < m; j++ {
+			col := make([]float64, n)
+			for i := range col {
+				col[i] = val(s, i, j)
+			}
+			if err := env.ObserveColumn(j, col); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if env.Count() != K {
+		t.Fatalf("count %d, want %d", env.Count(), K)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			var mn, mx, sum = math.Inf(1), math.Inf(-1), 0.0
+			for s := 0; s < K; s++ {
+				v := val(s, i, j)
+				mn, mx, sum = math.Min(mn, v), math.Max(mx, v), sum+v
+			}
+			if got := env.Min(i, j); math.Abs(got-mn) > 1e-15 {
+				t.Fatalf("min(%d,%d) = %g, want %g", i, j, got, mn)
+			}
+			if got := env.Max(i, j); math.Abs(got-mx) > 1e-15 {
+				t.Fatalf("max(%d,%d) = %g, want %g", i, j, got, mx)
+			}
+			if got, want := env.Mean(i, j), sum/K; math.Abs(got-want) > 1e-12 {
+				t.Fatalf("mean(%d,%d) = %g, want %g", i, j, got, want)
+			}
+			var m2 float64
+			for s := 0; s < K; s++ {
+				d := val(s, i, j) - sum/K
+				m2 += d * d
+			}
+			if got, want := env.Std(i, j), math.Sqrt(m2/(K-1)); math.Abs(got-want) > 1e-12 {
+				t.Fatalf("std(%d,%d) = %g, want %g", i, j, got, want)
+			}
+		}
+	}
+	// Quantiles at probe columns: samples are s-indexed evenly spaced values,
+	// so the median is the s=3 value and the extremes are exact.
+	for _, j := range []int{1, 3} {
+		for i := 0; i < n; i++ {
+			for _, c := range []struct{ q, want float64 }{
+				{0, val(0, i, j)},
+				{0.5, val(3, i, j)},
+				{1, val(6, i, j)},
+			} {
+				got, err := env.Quantile(i, j, c.q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(got-c.want) > 1e-15 {
+					t.Fatalf("q%.1f(%d,%d) = %g, want %g", c.q, i, j, got, c.want)
+				}
+			}
+		}
+	}
+	// Non-probe columns refuse quantiles.
+	if _, err := env.Quantile(0, 0, 0.5); err == nil {
+		t.Fatal("quantile at non-probe column should fail")
+	}
+	if _, err := env.Quantile(0, 1, 1.5); err == nil {
+		t.Fatal("out-of-range quantile should fail")
+	}
+}
+
+// Identical observation sequences produce bit-identical statistics — the
+// envelope side of the sweep determinism contract.
+func TestEnvelopeDeterministicBits(t *testing.T) {
+	const n, m, K = 3, 5, 64
+	run := func() *Envelope {
+		env, err := NewEnvelope(n, m, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := 0.1
+		for s := 0; s < K; s++ {
+			for j := 0; j < m; j++ {
+				col := make([]float64, n)
+				for i := range col {
+					x = math.Mod(x*997.13+float64(i)*0.01, 3.7)
+					col[i] = x
+				}
+				if err := env.ObserveColumn(j, col); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return env
+	}
+	a, b := run(), run()
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			for name, pair := range map[string][2]float64{
+				"min":  {a.Min(i, j), b.Min(i, j)},
+				"max":  {a.Max(i, j), b.Max(i, j)},
+				"mean": {a.Mean(i, j), b.Mean(i, j)},
+				"std":  {a.Std(i, j), b.Std(i, j)},
+			} {
+				if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+					t.Fatalf("%s(%d,%d) differs across identical runs", name, i, j)
+				}
+			}
+		}
+	}
+	qa, err := a.Quantile(1, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := b.Quantile(1, 2, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(qa) != math.Float64bits(qb) {
+		t.Fatal("quantile differs across identical runs")
+	}
+}
+
+func TestEnvelopeValidation(t *testing.T) {
+	if _, err := NewEnvelope(0, 4); err == nil {
+		t.Fatal("zero states should fail")
+	}
+	if _, err := NewEnvelope(2, 4, 9); err == nil {
+		t.Fatal("probe column out of range should fail")
+	}
+	env, err := NewEnvelope(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.ObserveColumn(7, make([]float64, 2)); err == nil {
+		t.Fatal("column out of range should fail")
+	}
+	if err := env.ObserveColumn(0, make([]float64, 3)); err == nil {
+		t.Fatal("wrong state count should fail")
+	}
+}
