@@ -11,14 +11,18 @@
 //
 // Usage:
 //
-//	opm-lint [-tests] [-strict] [-rules floateq,nondet] [packages]
+//	opm-lint [-tests] [-strict] [-rules floateq,nondet] [-format text|json|github] [packages]
 //
-// Packages default to ./... resolved against the enclosing module root, so a
-// bare `go run ./cmd/opm-lint ./...` from anywhere inside the repo lints the
-// whole tree. See DESIGN.md §9 for the rule catalog and suppression policy.
+// -format json (shorthand: -json) emits one JSON object per finding per line
+// for tooling; -format github emits ::error/::warning workflow annotations so
+// findings surface inline on pull-request diffs. Packages default to ./...
+// resolved against the enclosing module root, so a bare
+// `go run ./cmd/opm-lint ./...` from anywhere inside the repo lints the whole
+// tree. See DESIGN.md §9 for the rule catalog and suppression policy.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,12 +41,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("opm-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		tests  = fs.Bool("tests", false, "also lint in-package _test.go files")
-		strict = fs.Bool("strict", false, "treat advisory findings as errors")
-		rules  = fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
-		list   = fs.Bool("list", false, "list registered analyzers and exit")
+		tests    = fs.Bool("tests", false, "also lint in-package _test.go files")
+		strict   = fs.Bool("strict", false, "treat advisory findings as errors")
+		rules    = fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		list     = fs.Bool("list", false, "list registered analyzers and exit")
+		format   = fs.String("format", "text", "output format: text, json (one object per line), or github (workflow annotations)")
+		jsonFlag = fs.Bool("json", false, "shorthand for -format json")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonFlag {
+		*format = "json"
+	}
+	var emit func(lint.Diagnostic)
+	switch *format {
+	case "text":
+		emit = func(d lint.Diagnostic) { fmt.Fprintln(stdout, d) }
+	case "json":
+		enc := json.NewEncoder(stdout)
+		emit = func(d lint.Diagnostic) {
+			_ = enc.Encode(jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Rule: d.Rule, Severity: d.Severity.String(), Message: d.Message,
+			})
+		}
+	case "github":
+		emit = func(d lint.Diagnostic) { fmt.Fprintln(stdout, githubAnnotation(d)) }
+	default:
+		fmt.Fprintf(stderr, "opm-lint: unknown format %q (want text, json or github)\n", *format)
 		return 2
 	}
 	if *list {
@@ -100,7 +127,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 				d.Pos.Filename = rel
 			}
-			fmt.Fprintln(stdout, d)
+			emit(d)
 			if d.Severity == lint.SeverityError || *strict {
 				failed = true
 			}
@@ -110,4 +137,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the -format json wire shape: one object per finding per line.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Rule     string `json:"rule"`
+	Severity string `json:"severity"`
+	Message  string `json:"message"`
+}
+
+// githubAnnotation renders a finding as a GitHub Actions workflow command
+// (::error/::warning) so it surfaces inline on the pull-request diff.
+func githubAnnotation(d lint.Diagnostic) string {
+	level := "error"
+	if d.Severity == lint.SeverityAdvisory {
+		level = "warning"
+	}
+	return fmt.Sprintf("::%s file=%s,line=%d,col=%d::[%s] %s",
+		level, githubEscapeProp(d.Pos.Filename), d.Pos.Line, d.Pos.Column,
+		d.Rule, githubEscapeData(d.Message))
+}
+
+// githubEscapeData escapes a workflow-command message: %, CR and LF.
+func githubEscapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// githubEscapeProp escapes a workflow-command property value, which must also
+// hide the , and : delimiters.
+func githubEscapeProp(s string) string {
+	s = githubEscapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"go/token"
 	"strings"
 	"testing"
 
@@ -58,5 +60,90 @@ func TestRunBadPattern(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"./no/such/dir"}, &out, &errb); code != 2 {
 		t.Fatalf("bad pattern should exit 2, got %d", code)
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-format", "xml", "./internal/poly"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown format should exit 2, got %d", code)
+	}
+	if !strings.Contains(errb.String(), "unknown format") {
+		t.Errorf("stderr should name the unknown format, got: %s", errb.String())
+	}
+}
+
+// TestRunJSONCleanPackage: a clean package emits no JSON objects, and the
+// -json shorthand routes through the same path as -format json.
+func TestRunJSONCleanPackage(t *testing.T) {
+	for _, args := range [][]string{
+		{"-format", "json", "./internal/poly"},
+		{"-json", "./internal/poly"},
+	} {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("%v: exit %d, stderr: %s", args, code, errb.String())
+		}
+		if out.Len() != 0 {
+			t.Errorf("%v: expected no findings, got:\n%s", args, out.String())
+		}
+	}
+}
+
+// TestJSONDiagShape checks the one-object-per-line wire shape field by field.
+func TestJSONDiagShape(t *testing.T) {
+	d := lint.Diagnostic{
+		Pos:      token.Position{Filename: "internal/core/solve.go", Line: 42, Column: 7},
+		Rule:     "lockhold",
+		Severity: lint.SeverityError,
+		Message:  `e.mu held across "select"`,
+	}
+	raw, err := json.Marshal(jsonDiag{
+		File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+		Rule: d.Rule, Severity: d.Severity.String(), Message: d.Message,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"file": "internal/core/solve.go", "line": 42.0, "col": 7.0,
+		"rule": "lockhold", "severity": "error", "message": `e.mu held across "select"`,
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("field %q = %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+// TestGithubAnnotation checks the ::error/::warning rendering and the
+// workflow-command escaping rules (% CR LF in messages; , : too in props).
+func TestGithubAnnotation(t *testing.T) {
+	errD := lint.Diagnostic{
+		Pos:      token.Position{Filename: "internal/serve/serve.go", Line: 9, Column: 3},
+		Rule:     "fsyncorder",
+		Severity: lint.SeverityError,
+		Message:  "state advance\nat 50% done",
+	}
+	got := githubAnnotation(errD)
+	want := "::error file=internal/serve/serve.go,line=9,col=3::[fsyncorder] state advance%0Aat 50%25 done"
+	if got != want {
+		t.Errorf("error annotation:\n got %q\nwant %q", got, want)
+	}
+
+	advD := lint.Diagnostic{
+		Pos:      token.Position{Filename: "a,b:c.go", Line: 1, Column: 2},
+		Rule:     "allocsite",
+		Severity: lint.SeverityAdvisory,
+		Message:  "m",
+	}
+	got = githubAnnotation(advD)
+	want = "::warning file=a%2Cb%3Ac.go,line=1,col=2::[allocsite] m"
+	if got != want {
+		t.Errorf("advisory annotation:\n got %q\nwant %q", got, want)
 	}
 }

@@ -271,7 +271,9 @@ func SolveBatchCtx(ctx context.Context, sys *System, scenarios []Scenario, m int
 				}
 			}
 			gr.uP = mat.NewDense(sys.Inputs(), w)
+			//lint:ignore allocsite per-group setup, once per scenario group, not per column; the buffers escape into the group state
 			gr.acc = make([]float64, w)
+			//lint:ignore allocsite same one-time group setup as above
 			gr.hist = make([]*panelIntHistory, len(sys.Terms))
 			for k, t := range sys.Terms {
 				if p := int(t.Order); !isExactZero(t.Order) {

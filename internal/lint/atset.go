@@ -9,7 +9,13 @@ import (
 
 // atsetHotPackages are the import-path suffixes whose inner loops are on the
 // solve-time critical path; only these are held to the slab/row-view idiom.
-var atsetHotPackages = []string{"internal/core", "internal/mat", "internal/sparse", "internal/serve"}
+var atsetHotPackages = []string{
+	"internal/core", "internal/mat", "internal/sparse", "internal/serve",
+	// PR 9: the envelope extractor walks every waveform sample per measure
+	// call and the Monte-Carlo driver re-walks every scenario's waveforms per
+	// sweep; both are per-sample loops over m×K data.
+	"internal/waveform", "internal/experiments",
+}
 
 // atsetHotFiles restricts the rule within the hot packages to the files on
 // the per-step solve path (the PR 4 alloc-elimination surface). Factorization
@@ -49,6 +55,29 @@ var atsetHotFiles = map[string]bool{
 	"vec.go":        true,
 }
 
+// atsetHotOnly narrows the watchlist within specific packages: for these
+// package suffixes only the listed files are hot, regardless of the global
+// file set. The PR 9 extension targets the envelope extractor and the
+// Monte-Carlo sweep driver without dragging in sibling driver files
+// (figures.go, table.go) whose loops format output tables, not samples —
+// some of which share basenames (history.go, batch.go) with the core
+// watchlist.
+var atsetHotOnly = map[string]map[string]bool{
+	"internal/waveform":    {"envelope.go": true},
+	"internal/experiments": {"montecarlo.go": true},
+}
+
+// atsetFileHot reports whether base in the package at pkgPath is on the hot
+// watchlist.
+func atsetFileHot(pkgPath, base string) bool {
+	for suffix, files := range atsetHotOnly {
+		if strings.HasSuffix(pkgPath, suffix) {
+			return files[base]
+		}
+	}
+	return atsetHotFiles[base]
+}
+
 // AnalyzerAtSet (advisory) flags element-wise At/Set calls on mat matrix
 // types inside doubly-nested loops in the hot packages (internal/core,
 // internal/mat). Each At/Set pays a bounds-checked multiply per element; the
@@ -73,7 +102,7 @@ func runAtSet(p *Pass) {
 		return
 	}
 	for _, f := range p.Files {
-		if !atsetHotFiles[filepath.Base(p.Fset.Position(f.Pos()).Filename)] {
+		if !atsetFileHot(p.Pkg.Path(), filepath.Base(p.Fset.Position(f.Pos()).Filename)) {
 			continue
 		}
 		checkAtSetDepth(p, f, 0)

@@ -1,0 +1,472 @@
+// Package cfg builds intra-procedural control-flow graphs over go/ast and
+// runs forward-dataflow fixpoints on them. It is the flow-analysis layer
+// behind the lint suite's concurrency and durability rules (lockhold,
+// ctxflow, goroleak, fsyncorder, allocsite): one Graph per function body,
+// basic blocks linked by the edges if/for/range/switch/select/labeled-branch
+// statements induce, and a small worklist driver (dataflow.go) for
+// may/must analyses over the blocks.
+//
+// The graph deliberately mirrors the shape of golang.org/x/tools/go/cfg
+// without depending on it — the module is dependency-free and stays that way.
+//
+// Shape conventions:
+//
+//   - Block.Nodes holds, in execution order, the atomic items executed in the
+//     block: plain statements (assignments, calls, sends, declarations,
+//     go/defer/return statements) and bare expressions for the evaluation
+//     points the builder splits out (if/for conditions, switch tags and case
+//     expressions, the once-evaluated range operand).
+//   - Compound statements never appear as nodes; they are decomposed into
+//     blocks. Two exceptions carry markers: a *ast.RangeStmt node marks the
+//     per-iteration key/value binding at the loop head (its body lives in
+//     successor blocks), and a *ast.SelectStmt node marks the selection
+//     point (each comm clause lives in its own successor block, comm
+//     statement first). Use Inspect to walk a node without straying into
+//     nested bodies or function literals.
+//   - Defer statements appear as nodes where they execute their argument
+//     expressions AND are collected into Graph.Defers: the deferred calls
+//     themselves run at every function exit, in reverse collection order.
+//   - Branch targets that cannot be resolved (a break/continue/goto built
+//     from a statement list without its enclosing context, as the mini-graph
+//     helpers do) fall back to an edge into Exit rather than failing.
+//
+// Panics, runtime.Goexit and calls that never return are not modeled; every
+// block that completes its nodes flows to a successor or to Exit.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Block is one basic block: a maximal straight-line node sequence.
+type Block struct {
+	Index int
+	// Kind names what created the block ("entry", "if.then", "for.head",
+	// "select.case", ...); diagnostic only, but "select.case" additionally
+	// tells analyzers that the block's first node is a comm statement that
+	// does not itself block (the select head already committed to it).
+	Kind  string
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+}
+
+func (b *Block) String() string {
+	return fmt.Sprintf("b%d(%s)", b.Index, b.Kind)
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+	// Defers collects the body's defer statements in registration order; the
+	// deferred calls execute at Exit in reverse order, on every path.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the graph of a function body. body may be any statement block —
+// the mini-graph helpers build graphs of loop bodies, where enclosing
+// break/continue targets are unresolvable and edge to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{Kind: "exit"}
+	b.cur = g.Entry
+	b.collectLabels(body)
+	b.stmt(body)
+	b.edge(b.cur, g.Exit)
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+// Inspect walks the parts of a block node that execute at the node itself,
+// calling f in the usual ast.Inspect protocol. Function literals are never
+// entered (their bodies run elsewhere); a RangeStmt node yields only its
+// key/value operands (the ranged expression is a separate node, the body
+// lives in successor blocks); a SelectStmt node yields nothing (its comm
+// clauses live in successor blocks).
+func Inspect(n ast.Node, f func(ast.Node) bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			Inspect(n.Key, f)
+		}
+		if n.Value != nil {
+			Inspect(n.Value, f)
+		}
+		return
+	case *ast.SelectStmt:
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(m)
+	})
+}
+
+// scope is one enclosing breakable/continuable construct on the builder's
+// stack.
+type scope struct {
+	label   string // enclosing label, "" when unlabeled
+	isLoop  bool   // continue legal
+	breakTo *Block
+	contTo  *Block
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block // nil while the current point is unreachable
+	scopes []scope
+	labels map[string]*Block
+	// fallTargets is the fallthrough-destination stack, one entry per
+	// enclosing switch clause (nil for the final clause).
+	fallTargets []*Block
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge links from → to; a nil from (unreachable point) is a no-op.
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// add appends an executed node to the current block, materializing a block
+// if the point was unreachable (so the nodes are preserved for position
+// queries even when dead).
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// jump ends the current block with an edge to target and marks the point
+// after it unreachable.
+func (b *builder) jump(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = nil
+}
+
+// collectLabels pre-creates a block per label so goto can target labels
+// defined later in the source. Function literals are skipped — their labels
+// belong to their own graphs.
+func (b *builder) collectLabels(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.LabeledStmt:
+			if _, ok := b.labels[n.Label.Name]; !ok {
+				b.labels[n.Label.Name] = b.newBlock("label." + n.Label.Name)
+			}
+		}
+		return true
+	})
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, t := range s.List {
+			b.stmt(t)
+		}
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body, "switch", "")
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body, "typeswitch", "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+	default:
+		// AssignStmt, ExprStmt, SendStmt, IncDecStmt, DeclStmt, GoStmt,
+		// EmptyStmt: atomic.
+		b.add(s)
+	}
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	b.stmt(s.Init)
+	b.add(s.Cond)
+	cond := b.cur
+	b.cur = b.newBlock("if.then")
+	b.edge(cond, b.cur)
+	b.stmt(s.Body)
+	thenEnd := b.cur
+	elseEnd := cond
+	if s.Else != nil {
+		b.cur = b.newBlock("if.else")
+		b.edge(cond, b.cur)
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+	after := b.newBlock("if.after")
+	b.edge(thenEnd, after)
+	b.edge(elseEnd, after)
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	b.stmt(s.Init)
+	head := b.newBlock("for.head")
+	b.edge(b.cur, head)
+	b.cur = head
+	b.add(s.Cond)
+	body := b.newBlock("for.body")
+	post := b.newBlock("for.post")
+	after := b.newBlock("for.after")
+	b.edge(head, body)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	b.scopes = append(b.scopes, scope{label: label, isLoop: true, breakTo: after, contTo: post})
+	b.cur = body
+	b.stmt(s.Body)
+	b.edge(b.cur, post)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = post
+	b.stmt(s.Post)
+	b.jump(head)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	b.add(s.X) // the ranged operand, evaluated once
+	head := b.newBlock("range.head")
+	b.edge(b.cur, head)
+	b.cur = head
+	b.add(s) // marker: per-iteration key/value binding (see Inspect)
+	body := b.newBlock("range.body")
+	after := b.newBlock("range.after")
+	b.edge(head, body)
+	b.edge(head, after)
+	b.scopes = append(b.scopes, scope{label: label, isLoop: true, breakTo: after, contTo: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.jump(head)
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+// switchStmt handles value and type switches: init/tag evaluate in the head,
+// each clause gets its own block reachable from the head, fallthrough edges
+// link clause bodies, and a missing default adds a head→after edge.
+func (b *builder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, kind, label string) {
+	b.stmt(init)
+	b.add(tag)
+	b.add(assign)
+	head := b.cur
+	if head == nil {
+		head = b.newBlock(kind + ".head")
+		b.cur = head
+	}
+	after := b.newBlock(kind + ".after")
+	clauses := body.List
+	bodies := make([]*Block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock(kind + ".case")
+	}
+	b.scopes = append(b.scopes, scope{label: label, breakTo: after})
+	hasDefault := false
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		var fall *Block
+		if i+1 < len(bodies) {
+			fall = bodies[i+1]
+		}
+		b.fallTargets = append(b.fallTargets, fall)
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.fallTargets = b.fallTargets[:len(b.fallTargets)-1]
+		b.edge(b.cur, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	b.add(s) // marker: the selection point (blocks unless a default exists)
+	head := b.cur
+	after := b.newBlock("select.after")
+	b.scopes = append(b.scopes, scope{label: label, breakTo: after})
+	for _, cl := range s.Body.List {
+		cc := cl.(*ast.CommClause)
+		blk := b.newBlock("select.case")
+		b.edge(head, blk)
+		b.cur = blk
+		b.stmt(cc.Comm)
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.edge(b.cur, after)
+	}
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	// select{} with no clauses blocks forever: after keeps no preds and the
+	// point after it is dead, which the empty-preds state already expresses.
+	b.cur = after
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	lb := b.labels[s.Label.Name]
+	if lb == nil {
+		lb = b.newBlock("label." + s.Label.Name)
+		b.labels[s.Label.Name] = lb
+	}
+	b.edge(b.cur, lb)
+	b.cur = lb
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, s.Label.Name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, s.Label.Name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner.Init, inner.Tag, nil, inner.Body, "switch", s.Label.Name)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(inner.Init, nil, inner.Assign, inner.Body, "typeswitch", s.Label.Name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, s.Label.Name)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	b.add(s)
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if label == "" || sc.label == label {
+				b.jump(sc.breakTo)
+				return
+			}
+		}
+		b.jump(b.g.Exit) // unresolvable: mini-graph of an inner body
+	case token.CONTINUE:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if sc.isLoop && (label == "" || sc.label == label) {
+				b.jump(sc.contTo)
+				return
+			}
+		}
+		b.jump(b.g.Exit)
+	case token.GOTO:
+		if t := b.labels[label]; t != nil {
+			b.jump(t)
+			return
+		}
+		b.jump(b.g.Exit)
+	case token.FALLTHROUGH:
+		if n := len(b.fallTargets); n > 0 && b.fallTargets[n-1] != nil {
+			b.jump(b.fallTargets[n-1])
+			return
+		}
+		b.jump(b.g.Exit)
+	}
+}
+
+// Reachable reports whether to can be reached from from along graph edges
+// (from itself counts).
+func (g *Graph) Reachable(from, to *Block) bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == to {
+			return true
+		}
+		if seen[blk.Index] {
+			continue
+		}
+		seen[blk.Index] = true
+		stack = append(stack, blk.Succs...)
+	}
+	return false
+}
+
+// BlockOf returns the block whose node list contains a node whose source
+// extent covers pos, preferring the innermost (latest-added, narrowest)
+// match, along with the index of that node. Returns (nil, -1) when pos is in
+// no block (e.g. inside a function literal, whose body has its own graph).
+func (g *Graph) BlockOf(pos token.Pos) (*Block, int) {
+	var best *Block
+	bestIdx := -1
+	var bestWidth token.Pos = 1 << 62
+	for _, blk := range g.Blocks {
+		for i, n := range blk.Nodes {
+			if n.Pos() <= pos && pos <= n.End() {
+				if w := n.End() - n.Pos(); w < bestWidth {
+					best, bestIdx, bestWidth = blk, i, w
+				}
+			}
+		}
+	}
+	return best, bestIdx
+}
+
+// DebugString renders the graph for test failure messages.
+func (g *Graph) DebugString() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "%s:", blk)
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " ->%s", s)
+		}
+		fmt.Fprintf(&sb, " [%d nodes]\n", len(blk.Nodes))
+	}
+	return sb.String()
+}

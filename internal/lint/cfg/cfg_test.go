@@ -1,0 +1,558 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// buildFunc parses a single function declaration and returns its CFG plus
+// the type info (for the dataflow tests).
+func buildFunc(t *testing.T, body string) (*Graph, *types.Info, *token.FileSet) {
+	t.Helper()
+	src := "package p\n" + body
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return New(fd.Body), info, fset
+		}
+	}
+	t.Fatal("no function in fixture")
+	return nil, nil, nil
+}
+
+// blocksOfKind returns the graph's blocks with the given kind.
+func blocksOfKind(g *Graph, kind string) []*Block {
+	var out []*Block
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// nodeLines renders a block's node positions for failure messages.
+func checkEdges(t *testing.T, g *Graph) {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			found := false
+			for _, p := range s.Preds {
+				if p == b {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("succ/pred mismatch: %s -> %s\n%s", b, s, g.DebugString())
+			}
+		}
+	}
+}
+
+func TestIfElseShape(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(a int) int {
+	if a > 0 {
+		a = 1
+	} else {
+		a = 2
+	}
+	return a
+}`)
+	checkEdges(t, g)
+	if len(blocksOfKind(g, "if.then")) != 1 || len(blocksOfKind(g, "if.else")) != 1 {
+		t.Fatalf("want one then and one else block:\n%s", g.DebugString())
+	}
+	after := blocksOfKind(g, "if.after")[0]
+	if len(after.Preds) != 2 {
+		t.Errorf("if.after should join both arms, has %d preds", len(after.Preds))
+	}
+	if !g.Reachable(g.Entry, g.Exit) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestIfWithoutElseFallsThrough(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(a int) int {
+	if a > 0 {
+		return 1
+	}
+	return 0
+}`)
+	checkEdges(t, g)
+	after := blocksOfKind(g, "if.after")[0]
+	// The then-arm returns; after is reached only via the cond-false edge.
+	if len(after.Preds) != 1 {
+		t.Errorf("if.after should have exactly the cond-false pred, has %d:\n%s", len(after.Preds), g.DebugString())
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`)
+	checkEdges(t, g)
+	head := blocksOfKind(g, "for.head")[0]
+	post := blocksOfKind(g, "for.post")[0]
+	backEdge := false
+	for _, s := range post.Succs {
+		if s == head {
+			backEdge = true
+		}
+	}
+	if !backEdge {
+		t.Errorf("for.post must edge back to for.head:\n%s", g.DebugString())
+	}
+	after := blocksOfKind(g, "for.after")[0]
+	if !g.Reachable(head, after) {
+		t.Error("loop exit unreachable from head")
+	}
+}
+
+func TestInfiniteLoopWithBreak(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f() int {
+	i := 0
+	for {
+		i++
+		if i > 3 {
+			break
+		}
+	}
+	return i
+}`)
+	checkEdges(t, g)
+	head := blocksOfKind(g, "for.head")[0]
+	after := blocksOfKind(g, "for.after")[0]
+	// No cond: head must NOT edge straight to after; only the break reaches it.
+	for _, s := range head.Succs {
+		if s == after {
+			t.Errorf("condition-free for must not fall through to after:\n%s", g.DebugString())
+		}
+	}
+	if len(after.Preds) == 0 {
+		t.Errorf("break must reach for.after:\n%s", g.DebugString())
+	}
+}
+
+func TestLabeledBreakAndContinue(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 2 {
+				continue outer
+			}
+			if i*j > 9 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}`)
+	checkEdges(t, g)
+	heads := blocksOfKind(g, "for.head")
+	afters := blocksOfKind(g, "for.after")
+	posts := blocksOfKind(g, "for.post")
+	if len(heads) != 2 || len(afters) != 2 || len(posts) != 2 {
+		t.Fatalf("want two nested loops:\n%s", g.DebugString())
+	}
+	// Outer loop blocks were created first.
+	outerPost, outerAfter := posts[0], afters[0]
+	contHitsOuterPost, breakHitsOuterAfter := false, false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			br, ok := n.(*ast.BranchStmt)
+			if !ok || br.Label == nil {
+				continue
+			}
+			for _, s := range b.Succs {
+				if br.Tok == token.CONTINUE && s == outerPost {
+					contHitsOuterPost = true
+				}
+				if br.Tok == token.BREAK && s == outerAfter {
+					breakHitsOuterAfter = true
+				}
+			}
+		}
+	}
+	if !contHitsOuterPost {
+		t.Errorf("continue outer must edge to the OUTER post block:\n%s", g.DebugString())
+	}
+	if !breakHitsOuterAfter {
+		t.Errorf("break outer must edge to the OUTER after block:\n%s", g.DebugString())
+	}
+}
+
+func TestRangeShape(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`)
+	checkEdges(t, g)
+	head := blocksOfKind(g, "range.head")[0]
+	// The head carries the RangeStmt marker node.
+	foundMarker := false
+	for _, n := range head.Nodes {
+		if _, ok := n.(*ast.RangeStmt); ok {
+			foundMarker = true
+		}
+	}
+	if !foundMarker {
+		t.Errorf("range.head must carry the RangeStmt binding marker:\n%s", g.DebugString())
+	}
+	if len(head.Succs) != 2 {
+		t.Errorf("range.head needs body and after successors, has %d", len(head.Succs))
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(a int) int {
+	switch a {
+	case 1:
+		a = 10
+		fallthrough
+	case 2:
+		a = 20
+	default:
+		a = 30
+	}
+	return a
+}`)
+	checkEdges(t, g)
+	cases := blocksOfKind(g, "switch.case")
+	if len(cases) != 3 {
+		t.Fatalf("want 3 case blocks:\n%s", g.DebugString())
+	}
+	fallEdge := false
+	for _, s := range cases[0].Succs {
+		if s == cases[1] {
+			fallEdge = true
+		}
+	}
+	if !fallEdge {
+		t.Errorf("fallthrough must edge case 1 -> case 2:\n%s", g.DebugString())
+	}
+	// With a default clause, the head must not edge straight to after.
+	after := blocksOfKind(g, "switch.after")[0]
+	for _, p := range after.Preds {
+		if p.Kind != "switch.case" {
+			t.Errorf("switch with default must reach after only via clauses, got pred %s", p)
+		}
+	}
+}
+
+func TestSwitchWithoutDefaultSkips(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(a int) int {
+	switch a {
+	case 1:
+		a = 10
+	}
+	return a
+}`)
+	checkEdges(t, g)
+	after := blocksOfKind(g, "switch.after")[0]
+	headEdge := false
+	for _, p := range after.Preds {
+		if p.Kind != "switch.case" {
+			headEdge = true
+		}
+	}
+	if !headEdge {
+		t.Errorf("switch without default needs a head -> after edge:\n%s", g.DebugString())
+	}
+}
+
+func TestNestedSelects(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(a, b, done chan int) int {
+	s := 0
+	select {
+	case v := <-a:
+		s = v
+		select {
+		case w := <-b:
+			s += w
+		case <-done:
+			return s
+		}
+	case <-done:
+		s = -1
+	}
+	return s
+}`)
+	checkEdges(t, g)
+	cases := blocksOfKind(g, "select.case")
+	if len(cases) != 4 {
+		t.Fatalf("want 4 select.case blocks across both selects, got %d:\n%s", len(cases), g.DebugString())
+	}
+	afters := blocksOfKind(g, "select.after")
+	if len(afters) != 2 {
+		t.Fatalf("want 2 select.after blocks:\n%s", g.DebugString())
+	}
+	// The inner return must reach Exit without touching either after block.
+	markers := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.SelectStmt); ok {
+				markers++
+			}
+		}
+	}
+	if markers != 2 {
+		t.Errorf("each select must leave its marker node, got %d", markers)
+	}
+}
+
+func TestSelectWithDefaultKind(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	default:
+	}
+	return 0
+}`)
+	checkEdges(t, g)
+	if len(blocksOfKind(g, "select.case")) != 2 {
+		t.Fatalf("default clause gets its own select.case block:\n%s", g.DebugString())
+	}
+}
+
+func TestDeferCollection(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(mu interface{ Unlock() }) int {
+	defer mu.Unlock()
+	if true {
+		defer mu.Unlock()
+		return 1
+	}
+	return 2
+}`)
+	checkEdges(t, g)
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 collected defers, got %d", len(g.Defers))
+	}
+	// Defers also appear as nodes where they register.
+	seen := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				seen++
+			}
+		}
+	}
+	if seen != 2 {
+		t.Errorf("defer statements must appear as block nodes, got %d", seen)
+	}
+}
+
+func TestGotoEdges(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		goto loop
+	}
+	return i
+}`)
+	checkEdges(t, g)
+	label := blocksOfKind(g, "label.loop")[0]
+	gotoEdge := false
+	for _, p := range label.Preds {
+		for _, n := range p.Nodes {
+			if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.GOTO {
+				gotoEdge = true
+			}
+		}
+	}
+	if !gotoEdge {
+		t.Errorf("goto must edge back to its label block:\n%s", g.DebugString())
+	}
+}
+
+func TestUnresolvableBranchFallsBackToExit(t *testing.T) {
+	// A loop body analyzed in isolation: break/continue have no enclosing
+	// scope and must edge to Exit instead of panicking.
+	src := "package p\nfunc f(done bool) {\n\tif done {\n\t\tbreak\n\t}\n\tcontinue\n}"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	g := New(fd.Body)
+	checkEdges(t, g)
+	if !g.Reachable(g.Entry, g.Exit) {
+		t.Errorf("unresolvable branches must still reach Exit:\n%s", g.DebugString())
+	}
+}
+
+func TestBlockOfFindsInnermost(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i * 2
+	}
+	return s
+}`)
+	// Find the `s += i * 2` node and look it up by an interior position.
+	var target ast.Node
+	for _, b := range g.Blocks {
+		if b.Kind == "for.body" {
+			target = b.Nodes[0]
+		}
+	}
+	if target == nil {
+		t.Fatal("no body node")
+	}
+	blk, idx := g.BlockOf(target.Pos() + 1)
+	if blk == nil || blk.Kind != "for.body" || idx != 0 {
+		t.Errorf("BlockOf landed at %v idx %d, want for.body idx 0", blk, idx)
+	}
+}
+
+// TestReachingDefsJoin: both branch definitions reach the merge point.
+func TestReachingDefsJoin(t *testing.T) {
+	g, info, _ := buildFunc(t, `func f(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`)
+	res := ReachingDefs(g, info, nil)
+	var xObj types.Object
+	for id, obj := range info.Defs {
+		if id.Name == "x" {
+			xObj = obj
+		}
+	}
+	if xObj == nil {
+		t.Fatal("no x object")
+	}
+	in, ok := res.In[g.Exit]
+	if !ok {
+		t.Fatal("exit unreachable in defs result")
+	}
+	if got := len(in[xObj]); got != 2 {
+		t.Errorf("both defs of x must reach exit, got %d sites", got)
+	}
+}
+
+// TestReachingDefsLoopCarried: the in-loop redefinition flows around the back
+// edge and reaches the loop head together with the initial def.
+func TestReachingDefsLoopCarried(t *testing.T) {
+	g, info, _ := buildFunc(t, `func f(n int) []int {
+	buf := make([]int, 0, 8)
+	for i := 0; i < n; i++ {
+		buf = append(buf, i)
+	}
+	return buf
+}`)
+	res := ReachingDefs(g, info, nil)
+	var bufObj types.Object
+	for id, obj := range info.Defs {
+		if id.Name == "buf" {
+			bufObj = obj
+		}
+	}
+	head := blocksOfKind(g, "for.head")[0]
+	in, ok := res.In[head]
+	if !ok {
+		t.Fatal("loop head unreachable")
+	}
+	if got := len(in[bufObj]); got != 2 {
+		t.Errorf("initial make and loop-carried append must both reach the head, got %d sites", got)
+	}
+}
+
+// TestForwardMustAnalysis drives the generic driver directly with goroleak's
+// "may be unjoined" shape over a branch where only one arm joins.
+func TestForwardMustAnalysis(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(c bool, done chan struct{}) {
+	if c {
+		close(done)
+	}
+}`)
+	fl := Flow[bool]{
+		Init: true, // may be unjoined
+		Transfer: func(f bool, n ast.Node) bool {
+			joined := false
+			Inspect(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" {
+						joined = true
+					}
+				}
+				return true
+			})
+			if joined {
+				return false
+			}
+			return f
+		},
+		Join:  func(a, b bool) bool { return a || b },
+		Equal: func(a, b bool) bool { return a == b },
+		Clone: func(f bool) bool { return f },
+	}
+	res := Forward(g, fl)
+	if got, ok := res.In[g.Exit]; !ok || !got {
+		t.Errorf("close() on one arm only: exit must still be may-unjoined (got %v ok=%v)", got, ok)
+	}
+}
+
+// TestInspectSkipsFuncLit: ops inside a closure must not leak into the
+// enclosing node's walk.
+func TestInspectSkipsFuncLit(t *testing.T) {
+	g, _, _ := buildFunc(t, `func f(ch chan int) func() {
+	g := func() { ch <- 1 }
+	return g
+}`)
+	sends := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.SendStmt); ok {
+					sends++
+				}
+				return true
+			})
+		}
+	}
+	if sends != 0 {
+		t.Errorf("send inside closure must be invisible to Inspect, saw %d", sends)
+	}
+}
+
+func ExampleGraph_DebugString() {
+	src := "package p\nfunc f() { return }"
+	fset := token.NewFileSet()
+	f, _ := parser.ParseFile(fset, "x.go", src, 0)
+	g := New(f.Decls[0].(*ast.FuncDecl).Body)
+	fmt.Println(len(g.Blocks) >= 2)
+	// Output: true
+}

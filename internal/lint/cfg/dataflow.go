@@ -1,0 +1,228 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Flow describes one forward dataflow problem over a Graph. The driver is
+// direction-forward only — every analyzer in the suite phrases its question
+// as "what may/must have happened on the way here".
+//
+// For a MAY analysis (lockhold's "a lock may be held here", fsyncorder's "an
+// unsynced write may be pending") Join is a union/OR; for a MUST analysis
+// (goroleak's "a join edge was crossed on every path") the fact is usually
+// phrased negatively ("may be unjoined") so Join stays an OR and Init starts
+// pessimistic.
+type Flow[F any] struct {
+	// Init is the fact at function entry.
+	Init F
+	// Transfer folds one executed block node into the fact. It must treat
+	// its input as consumed (the driver clones before each block).
+	Transfer func(F, ast.Node) F
+	// Join merges facts at a control-flow merge point.
+	Join func(F, F) F
+	// Equal detects the fixpoint.
+	Equal func(F, F) bool
+	// Clone deep-copies a fact so Transfer can mutate freely.
+	Clone func(F) F
+}
+
+// Result carries the per-block facts of a converged analysis. Blocks
+// unreachable from Entry have no entry in In/Out.
+type Result[F any] struct {
+	In, Out map[*Block]F
+}
+
+// Forward runs the worklist fixpoint for fl over g and returns the per-block
+// entry and exit facts.
+func Forward[F any](g *Graph, fl Flow[F]) *Result[F] {
+	in := map[*Block]F{g.Entry: fl.Init}
+	out := map[*Block]F{}
+	queued := make([]bool, len(g.Blocks))
+	wl := []*Block{g.Entry}
+	queued[g.Entry.Index] = true
+	for len(wl) > 0 {
+		blk := wl[0]
+		wl = wl[1:]
+		queued[blk.Index] = false
+		f := fl.Clone(in[blk])
+		for _, n := range blk.Nodes {
+			f = fl.Transfer(f, n)
+		}
+		if prev, ok := out[blk]; ok && fl.Equal(prev, f) {
+			continue
+		}
+		out[blk] = f
+		for _, s := range blk.Succs {
+			var nf F
+			if cur, ok := in[s]; ok {
+				nf = fl.Join(fl.Clone(cur), fl.Clone(f))
+				if fl.Equal(cur, nf) {
+					continue
+				}
+			} else {
+				nf = fl.Clone(f)
+			}
+			in[s] = nf
+			if !queued[s.Index] {
+				wl = append(wl, s)
+				queued[s.Index] = true
+			}
+		}
+	}
+	return &Result[F]{In: in, Out: out}
+}
+
+// FactAt replays a block's transfer function up to (but not including) the
+// node at index idx, yielding the fact that holds just before that node
+// executes. Returns (zero, false) for unreachable blocks.
+func (r *Result[F]) FactAt(fl Flow[F], blk *Block, idx int) (F, bool) {
+	f, ok := r.In[blk]
+	if !ok {
+		var zero F
+		return zero, false
+	}
+	f = fl.Clone(f)
+	for i := 0; i < idx && i < len(blk.Nodes); i++ {
+		f = fl.Transfer(f, blk.Nodes[i])
+	}
+	return f, true
+}
+
+// ---------------------------------------------------------------------------
+// Reaching definitions.
+
+// DefSites maps each variable to the set of definition nodes that may reach
+// a program point: the assignment/declaration/range statement that last wrote
+// it on some path, or nil for "defined at function entry" (parameters, or
+// variables whose def is outside the analyzed body).
+type DefSites map[types.Object]map[ast.Node]bool
+
+func (d DefSites) clone() DefSites {
+	nd := make(DefSites, len(d))
+	for obj, sites := range d {
+		ns := make(map[ast.Node]bool, len(sites))
+		for n := range sites {
+			ns[n] = true
+		}
+		nd[obj] = ns
+	}
+	return nd
+}
+
+func (d DefSites) equal(o DefSites) bool {
+	if len(d) != len(o) {
+		return false
+	}
+	for obj, sites := range d {
+		os, ok := o[obj]
+		if !ok || len(os) != len(sites) {
+			return false
+		}
+		for n := range sites {
+			if !os[n] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (d DefSites) join(o DefSites) DefSites {
+	for obj, sites := range o {
+		ds := d[obj]
+		if ds == nil {
+			ds = map[ast.Node]bool{}
+			d[obj] = ds
+		}
+		for n := range sites {
+			ds[n] = true
+		}
+	}
+	return d
+}
+
+// ReachingDefs runs the classic reaching-definitions analysis: params (and
+// any other entry-live objects the caller lists) start defined-at-entry
+// (site nil), and every assignment node kills prior sites for its targets.
+// Writes hiding inside function literals are ignored (they execute
+// elsewhere); writes through pointers are invisible, as in any textbook
+// reaching-defs over source.
+func ReachingDefs(g *Graph, info *types.Info, entryObjs []types.Object) *Result[DefSites] {
+	fl := DefsFlow(info)
+	fl.Init = DefSites{}
+	for _, obj := range entryObjs {
+		if obj != nil {
+			fl.Init[obj] = map[ast.Node]bool{nil: true}
+		}
+	}
+	return Forward(g, fl)
+}
+
+// DefsFlow returns the Flow used by ReachingDefs so callers can replay block
+// prefixes with Result.FactAt.
+func DefsFlow(info *types.Info) Flow[DefSites] {
+	return Flow[DefSites]{
+		Init: DefSites{},
+		Transfer: func(d DefSites, node ast.Node) DefSites {
+			for _, id := range AssignedIdents(node) {
+				if id.Name == "_" {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj == nil {
+					continue
+				}
+				d[obj] = map[ast.Node]bool{node: true}
+			}
+			return d
+		},
+		Join:  func(a, b DefSites) DefSites { return a.join(b) },
+		Equal: func(a, b DefSites) bool { return a.equal(b) },
+		Clone: func(d DefSites) DefSites { return d.clone() },
+	}
+}
+
+// AssignedIdents returns the identifiers a block node writes: assignment and
+// short-declaration targets, ++/-- operands, var/const declaration names,
+// and a range statement's key/value. Selector and index targets (field or
+// element writes) are not identifier definitions and are skipped.
+func AssignedIdents(node ast.Node) []*ast.Ident {
+	var ids []*ast.Ident
+	switch n := node.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				ids = append(ids, id)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			ids = append(ids, id)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					ids = append(ids, vs.Names...)
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if n.Key != nil {
+			if id, ok := ast.Unparen(n.Key).(*ast.Ident); ok {
+				ids = append(ids, id)
+			}
+		}
+		if n.Value != nil {
+			if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok {
+				ids = append(ids, id)
+			}
+		}
+	}
+	return ids
+}

@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"opmsim/internal/lint/cfg"
+)
+
+// ctxLongRunRe names the in-module call families that make a loop iteration
+// long-running: solver and factorization work, journal/checkpoint I/O, and
+// the per-column streaming/replay helpers.
+var ctxLongRunRe = regexp.MustCompile(`(?i)solve|factor|journal|checkpoint|replay|column`)
+
+// AnalyzerCtxFlow flags loops that do solver or I/O work per iteration while
+// the function's context.Context parameter goes unconsulted on some path
+// through the loop body. The solver's cancellation contract (PR 2) is a
+// check at every column boundary; a loop that neither checks ctx.Err()/Done()
+// nor passes ctx to a callee cannot honor it. Flow-sensitive over a CFG of
+// the loop body: paths that break, goto out, or return do not iterate again
+// and are not counted; a path that falls through (or continues) to the next
+// iteration without touching ctx is.
+var AnalyzerCtxFlow = &Analyzer{
+	Name:     "ctxflow",
+	Doc:      "loop does solver/journal work per iteration without consulting the ctx parameter on some path",
+	Severity: SeverityError,
+	Run:      runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxObjs := ctxParams(p, fd)
+			if len(ctxObjs) == 0 {
+				continue
+			}
+			// Only outermost loops: an inner kernel loop is covered by the
+			// enclosing loop's per-iteration check.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch loop := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.ForStmt:
+					p.checkCtxLoop(loop.Cond, loop.Body, loop, ctxObjs)
+					return false
+				case *ast.RangeStmt:
+					p.checkCtxLoop(nil, loop.Body, loop, ctxObjs)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// ctxParams returns the objects of fd's context.Context parameters.
+func ctxParams(p *Pass, fd *ast.FuncDecl) []types.Object {
+	var objs []types.Object
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			if named, ok := obj.Type().(*types.Named); ok {
+				tn := named.Obj()
+				if tn.Name() == "Context" && tn.Pkg() != nil && tn.Pkg().Path() == "context" {
+					objs = append(objs, obj)
+				}
+			}
+		}
+	}
+	return objs
+}
+
+func (p *Pass) checkCtxLoop(cond ast.Expr, body *ast.BlockStmt, loop ast.Node, ctxObjs []types.Object) {
+	if !p.loopDoesLongWork(body) {
+		return
+	}
+	if cond != nil && p.usesCtxExpr(cond, ctxObjs) {
+		return // for ctx.Err() == nil { ... } style
+	}
+	g := cfg.New(body)
+	// Branches out of the analyzed body (break/goto with no in-body target)
+	// leave the loop: no next iteration, so the path needs no check.
+	leaves := map[ast.Node]bool{}
+	for _, blk := range g.Blocks {
+		if len(blk.Nodes) == 0 || len(blk.Succs) != 1 || blk.Succs[0] != g.Exit {
+			continue
+		}
+		if br, ok := blk.Nodes[len(blk.Nodes)-1].(*ast.BranchStmt); ok && (br.Tok == token.BREAK || br.Tok == token.GOTO) {
+			leaves[br] = true
+		}
+	}
+	fl := cfg.Flow[bool]{
+		Init: true, // "may reach the next iteration unchecked"
+		Transfer: func(unchecked bool, n ast.Node) bool {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				return false
+			}
+			if leaves[n] {
+				return false
+			}
+			if p.usesCtxNode(n, ctxObjs) {
+				return false
+			}
+			return unchecked
+		},
+		Join:  func(a, b bool) bool { return a || b },
+		Equal: func(a, b bool) bool { return a == b },
+		Clone: func(f bool) bool { return f },
+	}
+	res := cfg.Forward(g, fl)
+	if unchecked, ok := res.In[g.Exit]; ok && unchecked {
+		p.Reportf(loop.Pos(), "loop does solver/journal work per iteration but a path reaches the next iteration without consulting ctx; add a ctx.Err() check or a ctx.Done() case")
+	}
+}
+
+// loopDoesLongWork reports whether the loop body (excluding nested function
+// literals) contains a long-running call: an in-module solver/journal-family
+// call, file or network I/O, or a sleep.
+func (p *Pass) loopDoesLongWork(body *ast.BlockStmt) bool {
+	long := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if long {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncLit, *ast.ReturnStmt:
+			// A call inside a return leaves the loop — it is not
+			// per-iteration work.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(p.Info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		path := fn.Pkg().Path()
+		switch {
+		case p.inModule(fn.Pkg()) && ctxLongRunRe.MatchString(fn.Name()):
+			long = true
+		case path == "os" && (strings.HasPrefix(fn.Name(), "Write") || strings.HasPrefix(fn.Name(), "Read") || fn.Name() == "Sync"):
+			long = true
+		case path == "net/http" || path == "net":
+			long = true
+		case path == "time" && fn.Name() == "Sleep":
+			long = true
+		}
+		return !long
+	})
+	return long
+}
+
+// usesCtxNode reports whether the block node touches any of the ctx objects:
+// a ctx.Err()/ctx.Done() call, a select on ctx.Done(), or passing ctx to a
+// callee (which inherits the cancellation duty). A SelectStmt appears in the
+// CFG as a head marker whose comm statements live in the per-case blocks; the
+// select as a whole consults ctx when any of its comm clauses does (with a
+// default clause that is a poll, but still a consult), so the marker checks
+// the clauses directly — otherwise only the Done() arm's path would count as
+// checked.
+func (p *Pass) usesCtxNode(n ast.Node, ctxObjs []types.Object) bool {
+	if sel, ok := n.(*ast.SelectStmt); ok {
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil && p.usesCtxNode(cc.Comm, ctxObjs) {
+				return true
+			}
+		}
+	}
+	used := false
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			obj := p.Info.Uses[id]
+			for _, c := range ctxObjs {
+				if obj == c {
+					used = true
+				}
+			}
+		}
+		return !used
+	})
+	return used
+}
+
+func (p *Pass) usesCtxExpr(e ast.Expr, ctxObjs []types.Object) bool {
+	return p.usesCtxNode(e, ctxObjs)
+}

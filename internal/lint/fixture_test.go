@@ -131,37 +131,56 @@ func TestAnalyzerFixtures(t *testing.T) {
 	for _, a := range Registry {
 		t.Run(a.Name, func(t *testing.T) {
 			dir := filepath.Join("testdata", "src", a.Name)
-			pkg := loadFixture(t, dir)
-			diags := RunPackage(pkg, []*Analyzer{a})
-			wants := collectWants(t, dir)
-			if len(wants) == 0 {
-				t.Fatalf("fixture %s has no // want expectations; each analyzer must demonstrate a true positive", dir)
-			}
-			for _, d := range diags {
-				matched := false
-				for _, w := range wants {
-					if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
-						continue
-					}
-					if w.re.MatchString(d.Message) {
-						w.hit = true
-						matched = true
-						break
-					}
-				}
-				if !matched {
-					t.Errorf("unexpected diagnostic: %s", d)
-				}
-			}
-			for _, w := range wants {
-				if !w.hit {
-					t.Errorf("%s:%d: expected a %s finding matching %q; got none", w.file, w.line, a.Name, w.raw)
-				}
-			}
+			runFixtureDir(t, a, dir)
 			if !fixtureHasSuppression(t, dir, a.Name) {
 				t.Errorf("fixture %s demonstrates no //lint:ignore %s suppression", dir, a.Name)
 			}
+			// Variant fixtures (testdata/src/<rule>@<variant>/) exercise the
+			// same analyzer under a different package path or file-name gate —
+			// the atset@waveform variant regression-tests the PR 9 watchlist
+			// extension. Variants need wants but not their own suppression.
+			variants, _ := filepath.Glob(dir + "@*")
+			sort.Strings(variants)
+			for _, vdir := range variants {
+				t.Run(filepath.Base(vdir), func(t *testing.T) {
+					runFixtureDir(t, a, vdir)
+				})
+			}
 		})
+	}
+}
+
+// runFixtureDir checks one analyzer against one fixture directory: every
+// diagnostic must match exactly one unused want on its line, and every want
+// must be consumed.
+func runFixtureDir(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	pkg := loadFixture(t, dir)
+	diags := RunPackage(pkg, []*Analyzer{a})
+	wants := collectWants(t, dir)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want expectations; each analyzer must demonstrate a true positive", dir)
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected a %s finding matching %q; got none", w.file, w.line, a.Name, w.raw)
+		}
 	}
 }
 

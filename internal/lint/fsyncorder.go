@@ -1,0 +1,147 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"regexp"
+	"strings"
+
+	"opmsim/internal/lint/cfg"
+)
+
+// fsyncCommitCallRe names the in-module call families that advance durable
+// state: once one runs, the write that preceded it is load-bearing and must
+// have been fsynced first.
+var fsyncCommitCallRe = regexp.MustCompile(`(?i)^(apply|commit|advance|ack|mark)`)
+
+// fsyncStateFieldRe names the struct fields whose assignment constitutes a
+// state advance on the journal/checkpoint write path.
+var fsyncStateFieldRe = regexp.MustCompile(`(?i)count|state|seq|next|applied|offset|column|head`)
+
+// AnalyzerFsyncOrder flags paths through internal/serve's journal.go and
+// checkpoint.go (and core's checkpoint.go) on which durable state advances —
+// a commit/apply call, a progress-field assignment, or a `return nil`
+// success — while a file write is still unsynced. The crash-safety guarantee
+// (PR 7) is "state recorded implies bytes on disk"; a Write whose Sync is
+// reachable only after the state advance inverts it. Flow-sensitive: the
+// error-return path between Write and Sync is fine, the success path is what
+// must sequence Sync first.
+var AnalyzerFsyncOrder = &Analyzer{
+	Name:     "fsyncorder",
+	Doc:      "journal/checkpoint state advance reachable before the corresponding file Sync",
+	Severity: SeverityError,
+	Run:      runFsyncOrder,
+}
+
+func runFsyncOrder(p *Pass) {
+	if !pkgHasSuffix(p.Pkg.Path(), "internal/serve", "internal/core") {
+		return
+	}
+	fl := fsyncFlow(p)
+	for _, f := range p.Files {
+		base := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+		if base != "journal.go" && base != "checkpoint.go" {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g := p.CFG(fd)
+			res := cfg.Forward(g, fl)
+			for _, blk := range g.Blocks {
+				pending, ok := res.In[blk]
+				if !ok {
+					continue
+				}
+				for _, n := range blk.Nodes {
+					if pending {
+						if what := p.stateAdvance(n); what != "" {
+							p.Reportf(n.Pos(), "%s while a file write is still unsynced; Sync before advancing durable state", what)
+						}
+					}
+					pending = fl.Transfer(pending, n)
+				}
+			}
+		}
+	}
+}
+
+// fsyncFlow is the may-analysis "an os.File write may be pending un-synced":
+// file Write* sets it, Sync clears it.
+func fsyncFlow(p *Pass) cfg.Flow[bool] {
+	return cfg.Flow[bool]{
+		Init: false,
+		Transfer: func(pending bool, n ast.Node) bool {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				return pending
+			}
+			cfg.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcObj(p.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+					return true
+				}
+				switch {
+				case strings.HasPrefix(fn.Name(), "Write"):
+					pending = true
+				case fn.Name() == "Sync":
+					pending = false
+				}
+				return true
+			})
+			return pending
+		},
+		Join:  func(a, b bool) bool { return a || b },
+		Equal: func(a, b bool) bool { return a == b },
+		Clone: func(f bool) bool { return f },
+	}
+}
+
+// stateAdvance reports what durable-state advance the node performs, or "".
+func (p *Pass) stateAdvance(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		if len(n.Results) > 0 {
+			if id, ok := ast.Unparen(n.Results[len(n.Results)-1]).(*ast.Ident); ok && id.Name == "nil" {
+				return "success return"
+			}
+		}
+		return ""
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			if sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr); ok && fsyncStateFieldRe.MatchString(sel.Sel.Name) {
+				return "assignment to " + types.ExprString(sel)
+			}
+		}
+		return ""
+	case *ast.IncDecStmt:
+		if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok && fsyncStateFieldRe.MatchString(sel.Sel.Name) {
+			return "increment of " + types.ExprString(sel)
+		}
+		return ""
+	case *ast.DeferStmt, *ast.GoStmt:
+		return ""
+	}
+	what := ""
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if what != "" {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcObj(p.Info, call)
+		if fn != nil && fn.Pkg() != nil && p.inModule(fn.Pkg()) && fsyncCommitCallRe.MatchString(fn.Name()) {
+			what = "call to " + fn.Name()
+		}
+		return what == ""
+	})
+	return what
+}

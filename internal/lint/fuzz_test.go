@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLintDirective fuzzes the //lint:ignore directive parser against its
+// contract: it must never panic, and when it accepts a directive the parse
+// must be well-formed — at least one non-empty rule with no separators or
+// whitespace inside it, and a non-empty reason. The suppression machinery
+// trusts these invariants (it indexes findings by bare rule name), so a
+// malformed accept would silently mis-scope a suppression.
+func FuzzLintDirective(f *testing.F) {
+	// Seeds: the well-formed shapes the fixtures rely on, plus the malformed
+	// shapes collectSuppressions must reject as "directive" findings.
+	f.Add("//lint:ignore floateq fixture demonstrating the suppression policy")
+	f.Add("//lint:ignore atset,allocsite String renders diagnostic output, not a hot path")
+	f.Add("//lint:ignore lockhold the entry mutex is the journal's serialization point")
+	f.Add("//lint:ignore fsyncorder group commit: the caller syncs once per batch boundary")
+	f.Add("//lint:ignore")
+	f.Add("//lint:ignore floateq")
+	f.Add("//lint:ignore ,, reason for nothing")
+	f.Add("//lint:ignore , ")
+	f.Add("//lint:ignoremaporder no space after the verb")
+	f.Add("// lint:ignore floateq leading space disqualifies")
+	f.Add("//lint:ignore floateq\r\nnext line")
+	f.Add("//lint:ignore floatéq unicode rule name")
+	f.Add("//lint:ignore floateq,\tmaporder tab inside the rule list")
+	f.Add("//lint:ignore rule-with-dash_and_underscore ok")
+	f.Add("//lint:other directive family")
+	f.Add(strings.Repeat("//lint:ignore a", 100))
+	f.Fuzz(func(t *testing.T, text string) {
+		rules, reason, ok := parseDirective(text)
+		if !ok {
+			if len(rules) != 0 || reason != "" {
+				t.Fatalf("rejected directive %q leaked rules=%v reason=%q", text, rules, reason)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, "//lint:ignore") {
+			t.Fatalf("accepted text without the directive prefix: %q", text)
+		}
+		if len(rules) == 0 {
+			t.Fatalf("accepted directive %q with no rules", text)
+		}
+		for _, r := range rules {
+			if r == "" {
+				t.Fatalf("accepted directive %q with an empty rule", text)
+			}
+			if strings.ContainsAny(r, ", \t\r\n") {
+				t.Fatalf("accepted directive %q with separator inside rule %q", text, r)
+			}
+		}
+		if strings.TrimSpace(reason) == "" {
+			t.Fatalf("accepted directive %q with a blank reason", text)
+		}
+		if strings.Contains(reason, "\n") {
+			t.Fatalf("accepted directive %q with a multi-line reason %q", text, reason)
+		}
+	})
+}

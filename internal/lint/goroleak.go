@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"opmsim/internal/lint/cfg"
+)
+
+// AnalyzerGoroLeak flags go statements that launch a goroutine with no join
+// edge: nothing on some path of the goroutine body signals completion
+// (WaitGroup.Done, a channel send or close, a receive on a done channel) and
+// the body is not a worker loop draining a channel. The serve layer's drain
+// and shutdown guarantees (PR 7) assume every goroutine is accounted for; a
+// leaked goroutine holds job state alive past Close and turns the drain
+// barrier into a lie. Flow-sensitive over the closure's CFG: a join edge
+// inside an if silences only the paths that cross it.
+var AnalyzerGoroLeak = &Analyzer{
+	Name:     "goroleak",
+	Doc:      "goroutine launched without a join edge (WaitGroup.Done, channel send/close/receive, or worker loop) on every path",
+	Severity: SeverityError,
+	Run:      runGoroLeak,
+}
+
+func runGoroLeak(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				p.checkGoClosure(gs, fl)
+			} else {
+				p.checkGoNamed(gs)
+			}
+			return true
+		})
+	}
+}
+
+func (p *Pass) checkGoClosure(gs *ast.GoStmt, flit *ast.FuncLit) {
+	g := cfg.New(flit.Body)
+	// A deferred join (defer wg.Done()) runs at every exit: all paths joined.
+	for _, d := range g.Defers {
+		if p.joinEvidence(d.Call) {
+			return
+		}
+	}
+	// A worker loop ranging over a channel terminates when the producer
+	// closes it — the channel itself is the join edge.
+	if p.hasChannelRange(flit.Body) {
+		return
+	}
+	fl := cfg.Flow[bool]{
+		Init: true, // "may be unjoined"
+		Transfer: func(unjoined bool, n ast.Node) bool {
+			if p.joinEvidence(n) {
+				return false
+			}
+			return unjoined
+		},
+		Join:  func(a, b bool) bool { return a || b },
+		Equal: func(a, b bool) bool { return a == b },
+		Clone: func(f bool) bool { return f },
+	}
+	res := cfg.Forward(g, fl)
+	unjoined, ok := res.In[g.Exit]
+	if !ok {
+		// Exit unreachable: an infinite loop. Joined only if the loop itself
+		// crosses a join edge somewhere (e.g. sends results forever is fine;
+		// a silent spinner is a leak).
+		unjoined = true
+		for _, blk := range g.Blocks {
+			for _, n := range blk.Nodes {
+				if p.joinEvidence(n) {
+					unjoined = false
+				}
+			}
+		}
+	}
+	if unjoined {
+		p.Reportf(gs.Pos(), "goroutine has no join edge on some path; signal completion (WaitGroup.Done, send/close on a channel) so Drain/Close can account for it")
+	}
+}
+
+// checkGoNamed handles `go f(args...)`: without the body we accept any
+// channel, *sync.WaitGroup or context argument (including the receiver) as
+// the join handle and flag calls that carry none.
+func (p *Pass) checkGoNamed(gs *ast.GoStmt) {
+	exprs := make([]ast.Expr, 0, len(gs.Call.Args)+1)
+	exprs = append(exprs, gs.Call.Args...)
+	if sel, ok := ast.Unparen(gs.Call.Fun).(*ast.SelectorExpr); ok {
+		exprs = append(exprs, sel.X)
+	}
+	for _, e := range exprs {
+		if p.joinCapableType(e) {
+			return
+		}
+	}
+	p.Reportf(gs.Pos(), "goroutine call carries no channel, WaitGroup or context to join on; a leaked goroutine outlives its job")
+}
+
+// joinCapableType reports whether e's type could carry a join edge: a
+// channel, a *sync.WaitGroup, a context.Context, or a struct (whose fields
+// may hold either — conservative, receivers usually do).
+func (p *Pass) joinCapableType(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	for {
+		if ptr, ok := t.Underlying().(*types.Pointer); ok {
+			t = ptr.Elem()
+			continue
+		}
+		break
+	}
+	switch t.Underlying().(type) {
+	case *types.Chan, *types.Struct:
+		return true
+	}
+	if named, ok := t.(*types.Named); ok {
+		tn := named.Obj()
+		if tn.Pkg() != nil {
+			if tn.Pkg().Path() == "sync" && tn.Name() == "WaitGroup" {
+				return true
+			}
+			if tn.Pkg().Path() == "context" && tn.Name() == "Context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// joinEvidence reports whether the node performs a join-edge operation:
+// wg.Done(), close(ch), a channel send, or a channel receive.
+func (p *Pass) joinEvidence(n ast.Node) bool {
+	found := false
+	cfg.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(m.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					if _, ok := p.Info.Uses[fun].(*types.Builtin); ok {
+						found = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "sync" && fn.Name() == "Done" {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasChannelRange reports whether body (excluding nested function literals)
+// contains a `for range ch` worker loop over a channel.
+func (p *Pass) hasChannelRange(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := p.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

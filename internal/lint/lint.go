@@ -26,6 +26,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"opmsim/internal/lint/cfg"
 )
 
 // Severity classifies a rule's findings. Error findings fail the CLI run;
@@ -79,6 +81,11 @@ var Registry = []*Analyzer{
 	AnalyzerUncheckedErr,
 	AnalyzerPoolPut,
 	AnalyzerAtSet,
+	AnalyzerLockHold,
+	AnalyzerCtxFlow,
+	AnalyzerGoroLeak,
+	AnalyzerFsyncOrder,
+	AnalyzerAllocSite,
 }
 
 // AnalyzerByName returns the registered analyzer with the given name, or nil.
@@ -102,7 +109,29 @@ type Pass struct {
 	// it to restrict themselves to functions defined in this module.
 	ModulePath string
 
+	pkg   *Package
 	diags *[]Diagnostic
+}
+
+// CFG returns the control-flow graph of fn's body, building it lazily and
+// caching it on the package so every flow-aware analyzer in a run shares one
+// graph per function. Returns nil for bodyless declarations.
+func (p *Pass) CFG(fn *ast.FuncDecl) *cfg.Graph {
+	if fn == nil || fn.Body == nil {
+		return nil
+	}
+	if p.pkg == nil {
+		return cfg.New(fn.Body)
+	}
+	if p.pkg.cfgs == nil {
+		p.pkg.cfgs = map[*ast.FuncDecl]*cfg.Graph{}
+	}
+	g, ok := p.pkg.cfgs[fn]
+	if !ok {
+		g = cfg.New(fn.Body)
+		p.pkg.cfgs[fn] = g
+	}
+	return g
 }
 
 // Reportf records a finding at pos with the pass's rule and severity.
@@ -128,6 +157,7 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:        pkg.Types,
 			Info:       pkg.Info,
 			ModulePath: pkg.ModulePath,
+			pkg:        pkg,
 			diags:      &diags,
 		}
 		a.Run(pass)
@@ -156,26 +186,24 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return kept
 }
 
-// suppression is one parsed //lint:ignore directive. It silences findings of
-// the named rules on its own line and on the line directly below it (the
-// "comment above the statement" style).
-type suppression struct {
-	file  string
-	line  int
-	rules map[string]bool
+// suppRange is one parsed //lint:ignore directive, widened to the line span
+// it governs: the directive's own line, the line directly below it, and —
+// when that line starts a statement — the statement's full extent, so a
+// directive above a multi-line call or condition silences findings on every
+// continuation line.
+type suppRange struct {
+	from, to int
+	rules    map[string]bool
 }
 
 type suppressionIndex struct {
-	// byKey maps file:line to the rule set suppressed at that line.
-	byKey map[string]map[string]bool
+	byFile map[string][]suppRange
 }
 
 func (s suppressionIndex) matches(d Diagnostic) bool {
-	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		if rules, ok := s.byKey[fmt.Sprintf("%s:%d", d.Pos.Filename, line)]; ok {
-			if rules[d.Rule] || rules["all"] {
-				return true
-			}
+	for _, r := range s.byFile[d.Pos.Filename] {
+		if d.Pos.Line >= r.from && d.Pos.Line <= r.to && (r.rules[d.Rule] || r.rules["all"]) {
+			return true
 		}
 	}
 	return false
@@ -183,11 +211,34 @@ func (s suppressionIndex) matches(d Diagnostic) bool {
 
 var directiveRe = regexp.MustCompile(`^//lint:ignore\s+([A-Za-z0-9_,-]+)(\s+(.*))?$`)
 
+// parseDirective parses the text of one //lint: comment (as it appears in
+// source, "//" included). ok is false when the comment is not a well-formed
+// ignore directive: missing rule list, empty rule names, or missing reason.
+func parseDirective(text string) (rules []string, reason string, ok bool) {
+	m := directiveRe.FindStringSubmatch(text)
+	if m == nil {
+		return nil, "", false
+	}
+	reason = strings.TrimSpace(m[3])
+	if reason == "" {
+		return nil, "", false
+	}
+	for _, r := range strings.Split(m[1], ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	if len(rules) == 0 {
+		return nil, "", false
+	}
+	return rules, reason, true
+}
+
 // collectSuppressions scans every comment for //lint:ignore directives.
 // A directive missing its rule list or its reason is reported as a
 // "directive" finding instead of being honored.
 func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressionIndex, []Diagnostic) {
-	idx := suppressionIndex{byKey: map[string]map[string]bool{}}
+	idx := suppressionIndex{byFile: map[string][]suppRange{}}
 	var bad []Diagnostic
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -196,9 +247,9 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressionInd
 				if !strings.HasPrefix(text, "//lint:") {
 					continue
 				}
-				m := directiveRe.FindStringSubmatch(text)
+				ruleList, _, ok := parseDirective(text)
 				pos := fset.Position(c.Pos())
-				if m == nil || strings.TrimSpace(m[3]) == "" {
+				if !ok {
 					bad = append(bad, Diagnostic{
 						Pos:      pos,
 						Rule:     "directive",
@@ -207,19 +258,72 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressionInd
 					})
 					continue
 				}
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				rules := idx.byKey[key]
-				if rules == nil {
-					rules = map[string]bool{}
-					idx.byKey[key] = rules
+				rules := map[string]bool{}
+				for _, r := range ruleList {
+					rules[r] = true
 				}
-				for _, r := range strings.Split(m[1], ",") {
-					rules[strings.TrimSpace(r)] = true
-				}
+				from, to := directiveExtent(fset, f, pos.Line)
+				idx.byFile[pos.Filename] = append(idx.byFile[pos.Filename], suppRange{from: from, to: to, rules: rules})
 			}
 		}
 	}
 	return idx, bad
+}
+
+// directiveExtent widens a directive's default two-line window [line, line+1]
+// to the full extent of the outermost statement starting on either of those
+// lines. Compound statements extend only through their header (up to the
+// opening brace of their body): a directive above an if or for silences the
+// multi-line condition, never the whole body.
+func directiveExtent(fset *token.FileSet, f *ast.File, line int) (from, to int) {
+	from, to = line, line+1
+	var best ast.Stmt
+	var bestSpan token.Pos
+	ast.Inspect(f, func(n ast.Node) bool {
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		start := fset.Position(s.Pos()).Line
+		if start == line || start == line+1 {
+			if span := s.End() - s.Pos(); best == nil || span > bestSpan {
+				best, bestSpan = s, span
+			}
+		}
+		return true
+	})
+	if best != nil {
+		if l := fset.Position(stmtHeaderEnd(best)).Line; l > to {
+			to = l
+		}
+	}
+	return from, to
+}
+
+// stmtHeaderEnd returns the position at which a directive's reach over s
+// ends: the whole statement for atomic statements, the body's opening brace
+// for compound ones.
+func stmtHeaderEnd(s ast.Stmt) token.Pos {
+	for {
+		switch t := s.(type) {
+		case *ast.LabeledStmt:
+			s = t.Stmt
+		case *ast.IfStmt:
+			return t.Body.Pos()
+		case *ast.ForStmt:
+			return t.Body.Pos()
+		case *ast.RangeStmt:
+			return t.Body.Pos()
+		case *ast.SwitchStmt:
+			return t.Body.Pos()
+		case *ast.TypeSwitchStmt:
+			return t.Body.Pos()
+		case *ast.SelectStmt:
+			return t.Body.Pos()
+		default:
+			return s.End()
+		}
+	}
 }
 
 // enclosingFuncName returns the name of the innermost function declaration

@@ -12,6 +12,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"opmsim/internal/lint/cfg"
 )
 
 // Package is one parsed and type-checked module package, ready for analysis.
@@ -23,6 +25,10 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	Info       *types.Info
+
+	// cfgs caches per-function control-flow graphs, built on first request
+	// through Pass.CFG and shared by every flow-aware analyzer in a run.
+	cfgs map[*ast.FuncDecl]*cfg.Graph
 }
 
 // Loader discovers, parses and type-checks the module's packages using only

@@ -1,0 +1,229 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"opmsim/internal/lint/cfg"
+)
+
+// lockBlockingRe names the in-module call families that can block or do real
+// I/O: the solver entry points (a Solve/Factor call under a registry or entry
+// lock stalls every other job on the lock for a full factorization) and the
+// journal/checkpoint write path (fsync latency under a lock is tail latency
+// for everyone).
+var lockBlockingRe = regexp.MustCompile(`(?i)solve|factor|journal|checkpoint`)
+
+// lockCounterRe exempts metric/accessor helpers whose names merely mention a
+// blocking family (incJournalFailure, numCheckpoints): they count, they
+// don't block.
+var lockCounterRe = regexp.MustCompile(`(?i)^(inc|dec|is|has|len|num|count)`)
+
+// AnalyzerLockHold flags sync.Mutex/RWMutex critical sections that reach a
+// blocking operation — a channel send/receive, a select without default, a
+// WaitGroup.Wait, a solver or journal-family call, file Sync/Write, a network
+// call — while the lock is still held. Flow-sensitive over the function's
+// CFG: a lock released on one path and held on another reports only the
+// operations the held path reaches. Scoped to internal/serve and
+// internal/core, the packages whose locks sit on the request path.
+var AnalyzerLockHold = &Analyzer{
+	Name:     "lockhold",
+	Doc:      "mutex held across a blocking operation (channel op, select, Wait, solver/journal call, file or network I/O)",
+	Severity: SeverityError,
+	Run:      runLockHold,
+}
+
+// lockSet maps the printed receiver expression of a held lock ("e.mu",
+// "s.regMu") to true. A may-analysis: a lock in the set is held on at least
+// one path reaching the program point.
+type lockSet = map[string]bool
+
+func lockFlow(p *Pass) cfg.Flow[lockSet] {
+	return cfg.Flow[lockSet]{
+		Init: lockSet{},
+		Transfer: func(f lockSet, n ast.Node) lockSet {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				// A deferred Unlock runs at function exit, not here: the lock
+				// stays held for the rest of the body.
+				return f
+			}
+			cfg.Inspect(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				key, op := p.lockOp(call)
+				switch op {
+				case "Lock", "RLock":
+					f[key] = true
+				case "Unlock", "RUnlock":
+					delete(f, key)
+				}
+				return true
+			})
+			return f
+		},
+		Join: func(a, b lockSet) lockSet {
+			for k := range b {
+				a[k] = true
+			}
+			return a
+		},
+		Equal: func(a, b lockSet) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Clone: func(f lockSet) lockSet {
+			nf := make(lockSet, len(f))
+			for k := range f {
+				nf[k] = true
+			}
+			return nf
+		},
+	}
+}
+
+// lockOp classifies call as a Lock/RLock/Unlock/RUnlock on a sync.Mutex or
+// sync.RWMutex (including one embedded in a struct), returning the receiver
+// expression as the lock's identity.
+func (p *Pass) lockOp(call *ast.CallExpr) (key, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	name := sel.Sel.Name
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	return types.ExprString(sel.X), name
+}
+
+func runLockHold(p *Pass) {
+	if !pkgHasSuffix(p.Pkg.Path(), "internal/serve", "internal/core") {
+		return
+	}
+	fl := lockFlow(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			g := p.CFG(fd)
+			res := cfg.Forward(g, fl)
+			for _, blk := range g.Blocks {
+				held, ok := res.In[blk]
+				if !ok {
+					continue // unreachable
+				}
+				held = fl.Clone(held)
+				for idx, n := range blk.Nodes {
+					if len(held) > 0 {
+						if op := p.blockingOp(n, blk, idx); op != "" {
+							p.Reportf(n.Pos(), "%s held across %s; shrink the critical section or move the blocking operation outside the lock", heldList(held), op)
+						}
+					}
+					held = fl.Transfer(held, n)
+				}
+			}
+		}
+	}
+}
+
+// heldList renders a lock set deterministically for the diagnostic message.
+func heldList(held lockSet) string {
+	keys := make([]string, 0, len(held))
+	for k := range held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ", ")
+}
+
+// blockingOp reports what (if anything) blocks at node n of blk, or "".
+// Defer and go statements do not block at their own site; the first node of a
+// "select.case" block is the comm statement the select head already committed
+// to, which therefore does not block again.
+func (p *Pass) blockingOp(n ast.Node, blk *cfg.Block, idx int) string {
+	switch n := n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return ""
+	case *ast.SendStmt:
+		if blk.Kind == "select.case" && idx == 0 {
+			return ""
+		}
+		return "channel send"
+	case *ast.SelectStmt:
+		for _, cl := range n.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				return "" // has a default clause: non-blocking poll
+			}
+		}
+		return "select"
+	}
+	if blk.Kind == "select.case" && idx == 0 {
+		return ""
+	}
+	op := ""
+	cfg.Inspect(n, func(m ast.Node) bool {
+		if op != "" {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				op = "channel receive"
+				return false
+			}
+		case *ast.CallExpr:
+			fn := funcObj(p.Info, m)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			path := fn.Pkg().Path()
+			switch {
+			case path == "sync" && fn.Name() == "Wait":
+				op = "sync Wait"
+			case path == "time" && fn.Name() == "Sleep":
+				op = "time.Sleep"
+			case path == "os" && (fn.Name() == "Sync" || strings.HasPrefix(fn.Name(), "Write") || strings.HasPrefix(fn.Name(), "Read")):
+				op = fmt.Sprintf("file %s", fn.Name())
+			case path == "net/http" || path == "net":
+				op = fmt.Sprintf("network call %s", fn.Name())
+			case p.inModule(fn.Pkg()) && lockBlockingRe.MatchString(fn.Name()) && !lockCounterRe.MatchString(fn.Name()):
+				op = fmt.Sprintf("blocking call %s", fn.Name())
+			}
+		}
+		return op == ""
+	})
+	return op
+}
+
+// pkgHasSuffix reports whether path ends in one of the given import-path
+// suffixes (the fixture packages claim matching paths via // fixturepath:).
+func pkgHasSuffix(path string, suffixes ...string) bool {
+	for _, s := range suffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,45 @@
+// fixturepath: fixture/internal/experiments
+//
+// Variant fixture for the PR 9 watchlist extension: the allocsite rule is
+// active for internal/experiments/montecarlo.go — the sweep driver's
+// per-scenario loops run over every waveform of every scenario.
+package experiments
+
+import "fmt"
+
+// perScenario rebuilds the scenario scratch buffer every chunk instead of
+// hoisting one chunk-sized buffer for the whole sweep.
+func perScenario(n, chunk int, solve func([]float64)) {
+	for lo := 0; lo < n; lo += chunk {
+		scratch := make([]float64, chunk) // want "make allocates on every iteration"
+		solve(scratch)
+	}
+}
+
+// hoistedScratch is the approved shape (the montecarlo.go fix): one buffer,
+// resliced per chunk.
+func hoistedScratch(n, chunk int, solve func([]float64)) {
+	scratch := make([]float64, chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		solve(scratch[:hi-lo])
+	}
+}
+
+// labelPerScenario formats inside the scenario loop.
+func labelPerScenario(n int, sink func(string)) {
+	for s := 0; s < n; s++ {
+		sink(fmt.Sprintf("scenario %d", s)) // want "fmt.Sprintf boxes its operands"
+	}
+}
+
+// suppressed documents results-table rendering: rows, not scenarios.
+func suppressed(rows []int, sink func(string)) {
+	for _, r := range rows {
+		//lint:ignore allocsite results-table rendering, one row per sweep point, not a per-scenario path
+		sink(fmt.Sprintf("row %d", r))
+	}
+}

@@ -1,0 +1,40 @@
+// fixturepath: fixture/internal/waveform
+//
+// Variant fixture for the PR 9 watchlist extension: the allocsite rule is
+// active in internal/waveform, but only for envelope.go (atsetHotOnly); the
+// sibling measure.go in this package proves the narrowing.
+package waveform
+
+// accumulate folds samples into per-probe envelopes; allocating the fold
+// buffer per sample is the shape the watchlist extension exists to catch.
+func accumulate(samples [][]float64, nprobe int, sink func([]float64)) {
+	for _, s := range samples {
+		acc := make([]float64, nprobe) // want "make allocates on every iteration"
+		for i := 0; i < nprobe && i < len(s); i++ {
+			acc[i] += s[i]
+		}
+		sink(acc)
+	}
+}
+
+// accumulateHoisted is the approved shape: one buffer, zeroed per sample.
+func accumulateHoisted(samples [][]float64, nprobe int, sink func([]float64)) {
+	acc := make([]float64, nprobe)
+	for _, s := range samples {
+		for i := range acc {
+			acc[i] = 0
+		}
+		for i := 0; i < nprobe && i < len(s); i++ {
+			acc[i] += s[i]
+		}
+		sink(acc)
+	}
+}
+
+// suppressed documents a per-window buffer that escapes into the result.
+func suppressed(windows int, nprobe int, out [][]float64) {
+	for w := 0; w < windows; w++ {
+		//lint:ignore allocsite each window's envelope escapes into the result set; the allocation is the output
+		out[w] = make([]float64, nprobe)
+	}
+}

@@ -1,0 +1,118 @@
+// Fixture for the ctxflow analyzer: loops doing solver/journal-family work
+// per iteration while some path through the body reaches the next iteration
+// without consulting the function's context.Context parameter. solveColumn is
+// an in-module stand-in for the per-column solver step.
+package ctxflow
+
+import "context"
+
+func solveColumn(j int) error { return nil }
+
+func solveWith(ctx context.Context, j int) error { return nil }
+
+// uncheckedLoop never consults ctx: every iteration is an unchecked path.
+func uncheckedLoop(ctx context.Context, n int) {
+	for j := 0; j < n; j++ { // want "without consulting ctx"
+		_ = solveColumn(j)
+	}
+}
+
+// partialCheck consults ctx only under the flag: the flag-false path reaches
+// the next iteration unchecked, so the loop is still flagged.
+func partialCheck(ctx context.Context, n int, verbose bool) {
+	for j := 0; j < n; j++ { // want "without consulting ctx"
+		if verbose {
+			if ctx.Err() != nil {
+				return
+			}
+		}
+		_ = solveColumn(j)
+	}
+}
+
+// checkedLoop is the solver's contract: ctx.Err() at every column boundary.
+func checkedLoop(ctx context.Context, n int) {
+	for j := 0; j < n; j++ {
+		if ctx.Err() != nil {
+			return
+		}
+		_ = solveColumn(j)
+	}
+}
+
+// checkedBreak leaves the loop instead of returning; still a checked path.
+func checkedBreak(ctx context.Context, n int) {
+	for j := 0; j < n; j++ {
+		if ctx.Err() != nil {
+			break
+		}
+		_ = solveColumn(j)
+	}
+}
+
+// condChecked folds the check into the loop condition.
+func condChecked(ctx context.Context, n int) {
+	for j := 0; ctx.Err() == nil && j < n; j++ {
+		_ = solveColumn(j)
+	}
+}
+
+// doneSelect drains ctx.Done() each iteration.
+func doneSelect(ctx context.Context, jobs chan int) {
+	for j := range jobs {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		_ = solveColumn(j)
+	}
+}
+
+// workerSelect is the canonical worker loop: the blocking select consults
+// ctx.Done() on every iteration regardless of which case wins.
+func workerSelect(ctx context.Context, jobs chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case j := <-jobs:
+			_ = solveColumn(j)
+		}
+	}
+}
+
+// passesCtx hands ctx to the callee, which inherits the cancellation duty.
+func passesCtx(ctx context.Context, n int) {
+	for j := 0; j < n; j++ {
+		_ = solveWith(ctx, j)
+	}
+}
+
+// shortBody does no solver/journal work per iteration; not flagged.
+func shortBody(ctx context.Context, n int) int {
+	sum := 0
+	for j := 0; j < n; j++ {
+		sum += j
+	}
+	return sum
+}
+
+// solveInReturn leaves the loop through the return: the call is not
+// per-iteration work.
+func solveInReturn(ctx context.Context, n int) error {
+	for j := 0; j < n; j++ {
+		if j == n-1 {
+			return solveColumn(j)
+		}
+	}
+	return nil
+}
+
+// suppressed documents a bounded replay loop that cannot overrun.
+func suppressed(ctx context.Context, n int) {
+	//lint:ignore ctxflow fixture demonstrating the suppression policy
+	for j := 0; j < n; j++ {
+		_ = solveColumn(j)
+	}
+}

@@ -50,3 +50,13 @@ func suppressed(v float64) bool {
 func suppressedSameLine(v float64) bool {
 	return v == 0 //lint:ignore floateq fixture demonstrating same-line suppression
 }
+
+// suppressedMultiline: the directive covers the statement's full extent, so
+// the comparison on the continuation line is suppressed too (regression for
+// the first-line-only directive bug — it used to leak a finding for c == d).
+func suppressedMultiline(a, b, c, d float64) bool {
+	//lint:ignore floateq fixture demonstrating multi-line statement suppression
+	ok := a == b &&
+		c == d
+	return ok
+}

@@ -1,0 +1,91 @@
+// fixturepath: fixture/internal/serve
+//
+// Fixture for the fsyncorder analyzer: durable-state advances reachable while
+// a file write is still unsynced. The fixturepath directive places this
+// package at an internal/serve-suffixed import path and the file name
+// journal.go is on the write-path watchlist, so the rule is active here.
+package serve
+
+import "os"
+
+type wal struct {
+	f     *os.File
+	count int
+}
+
+// applyRecord is an in-module stand-in for the commit-call family.
+func (w *wal) applyRecord() {}
+
+// goodAppend is the contract: Write, error-check, Sync, then advance. The
+// error returns between Write and Sync are fine — they advance nothing.
+func (w *wal) goodAppend(b []byte) error {
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.count++
+	return nil
+}
+
+// countBeforeSync advances the progress counter before the Sync lands.
+func (w *wal) countBeforeSync(b []byte) error {
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	w.count++ // want "increment of w.count while a file write is still unsynced"
+	return w.f.Sync()
+}
+
+// assignBeforeSync assigns the progress field before the Sync lands.
+func (w *wal) assignBeforeSync(b []byte, n int) error {
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	w.count = n // want "assignment to w.count while a file write is still unsynced"
+	return w.f.Sync()
+}
+
+// successWithoutSync reports success while the bytes may still be in the page
+// cache: a crash after the return loses an acknowledged record.
+func (w *wal) successWithoutSync(b []byte) error {
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	return nil // want "success return while a file write is still unsynced"
+}
+
+// commitBeforeSync runs the apply-family call before the Sync lands.
+func (w *wal) commitBeforeSync(b []byte) error {
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	w.applyRecord() // want "call to applyRecord while a file write is still unsynced"
+	return w.f.Sync()
+}
+
+// syncOnOnePath only syncs the large-record path; the small-record path
+// reaches the success return with the write pending (may-analysis).
+func (w *wal) syncOnOnePath(b []byte) error {
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	if len(b) > 4096 {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil // want "success return while a file write is still unsynced"
+}
+
+// suppressed documents a group-commit write: the caller syncs once per batch
+// boundary.
+func (w *wal) suppressed(b []byte) error {
+	if _, err := w.f.Write(b); err != nil {
+		return err
+	}
+	//lint:ignore fsyncorder fixture demonstrating the suppression policy
+	w.count++
+	return w.f.Sync()
+}

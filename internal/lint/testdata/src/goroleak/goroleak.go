@@ -1,0 +1,99 @@
+// Fixture for the goroleak analyzer: go statements whose goroutine has no
+// join edge (WaitGroup.Done, channel send/close/receive, worker loop) on some
+// path, and named-call launches that carry nothing to join on.
+package goroleak
+
+import "sync"
+
+func work() {}
+
+func pump(ch chan int) {}
+
+// leaky signals nothing: Drain/Close can never account for it.
+func leaky() {
+	go func() { // want "goroutine has no join edge"
+		work()
+	}()
+}
+
+// partialJoin closes done only under the flag: the flag-false path exits the
+// goroutine silently (must-analysis over the closure CFG).
+func partialJoin(flag bool, done chan struct{}) {
+	go func() { // want "goroutine has no join edge"
+		if flag {
+			close(done)
+		}
+	}()
+}
+
+// silentSpinner never terminates and never signals; the infinite loop has no
+// join edge anywhere.
+func silentSpinner() {
+	go func() { // want "goroutine has no join edge"
+		for {
+			work()
+		}
+	}()
+}
+
+// deferDone is the canonical shape: the deferred Done runs at every exit.
+func deferDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// closeOnExit signals completion by closing the done channel.
+func closeOnExit(done chan struct{}) {
+	go func() {
+		work()
+		close(done)
+	}()
+}
+
+// sendResult joins through the result channel.
+func sendResult(res chan int) {
+	go func() {
+		res <- 1
+	}()
+}
+
+// producer sends forever: the consumer observes its progress, so the infinite
+// loop is accounted for.
+func producer(out chan int) {
+	go func() {
+		for i := 0; ; i++ {
+			out <- i
+		}
+	}()
+}
+
+// worker drains a channel: the producer closing jobs is the join edge.
+func worker(jobs chan int) {
+	go func() {
+		for j := range jobs {
+			_ = j
+		}
+	}()
+}
+
+// namedLeaky launches a named function with nothing to join on.
+func namedLeaky() {
+	go work() // want "carries no channel, WaitGroup or context to join on"
+}
+
+// namedWithChan passes a channel: the callee can join through it.
+func namedWithChan(ch chan int) {
+	go pump(ch)
+}
+
+// suppressed documents a fire-and-forget goroutine that is process-lifetime
+// by design.
+func suppressed() {
+	//lint:ignore goroleak fixture demonstrating the suppression policy
+	go func() {
+		work()
+	}()
+}

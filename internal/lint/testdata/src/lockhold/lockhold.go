@@ -1,0 +1,112 @@
+// fixturepath: fixture/internal/serve
+//
+// Fixture for the lockhold analyzer: sync.Mutex critical sections that reach
+// a blocking operation with the lock still held. The fixturepath directive
+// places this package at an internal/serve-suffixed import path, where the
+// rule is active. appendJournalRecord is an in-module stand-in for the
+// journal write path (its name matches the blocking-call family).
+package serve
+
+import "sync"
+
+type journal struct{ mu sync.Mutex }
+
+func (j *journal) appendJournalRecord(b []byte) error { return nil }
+
+// incJournalFailure is a counter helper: the name mentions the journal family
+// but the inc prefix exempts it.
+func (j *journal) incJournalFailure() {}
+
+type entry struct {
+	mu sync.Mutex
+	jw *journal
+	ch chan int
+	wg sync.WaitGroup
+}
+
+// deferUnlock holds e.mu for the whole body (deferred Unlock runs at exit),
+// so the journal append blocks every other waiter on the lock.
+func (e *entry) deferUnlock(b []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_ = e.jw.appendJournalRecord(b) // want "e.mu held across blocking call appendJournalRecord"
+}
+
+// sendUnderLock blocks on a channel send inside the critical section.
+func (e *entry) sendUnderLock(v int) {
+	e.mu.Lock()
+	e.ch <- v // want "e.mu held across channel send"
+	e.mu.Unlock()
+}
+
+// recvUnderLock blocks on a channel receive inside the critical section.
+func (e *entry) recvUnderLock() int {
+	e.mu.Lock()
+	v := <-e.ch // want "e.mu held across channel receive"
+	e.mu.Unlock()
+	return v
+}
+
+// waitUnderLock parks on a WaitGroup while holding the lock.
+func (e *entry) waitUnderLock() {
+	e.mu.Lock()
+	e.wg.Wait() // want "e.mu held across sync Wait"
+	e.mu.Unlock()
+}
+
+// selectUnderLock: a select without a default clause blocks.
+func (e *entry) selectUnderLock() {
+	e.mu.Lock()
+	select { // want "e.mu held across select"
+	case v := <-e.ch:
+		_ = v
+	}
+	e.mu.Unlock()
+}
+
+// branchHeld releases the lock on one path only; the blocking call is flagged
+// because the other path still holds it (may-analysis).
+func (e *entry) branchHeld(fast bool, b []byte) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+	}
+	_ = e.jw.appendJournalRecord(b) // want "e.mu held across blocking call appendJournalRecord"
+}
+
+// detached is the approved shape: snapshot under the lock, block outside it.
+func (e *entry) detached(b []byte) {
+	e.mu.Lock()
+	jw := e.jw
+	e.jw = nil
+	e.mu.Unlock()
+	if jw != nil {
+		_ = jw.appendJournalRecord(b)
+	}
+}
+
+// pollUnderLock is fine: a select with a default clause never blocks.
+func (e *entry) pollUnderLock() {
+	e.mu.Lock()
+	select {
+	case v := <-e.ch:
+		_ = v
+	default:
+	}
+	e.mu.Unlock()
+}
+
+// counterUnderLock is fine: the inc-prefixed helper counts, it doesn't block.
+func (e *entry) counterUnderLock() {
+	e.mu.Lock()
+	e.jw.incJournalFailure()
+	e.mu.Unlock()
+}
+
+// suppressed documents a serialized append that must stay under the lock.
+func (e *entry) suppressed(b []byte) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//lint:ignore lockhold fixture demonstrating the suppression policy
+	_ = e.jw.appendJournalRecord(b)
+}

@@ -119,3 +119,37 @@ func smwSuppressed() {
 	//lint:ignore uncheckederr fixture demonstrating the suppression policy
 	newSMWFactor(1)
 }
+
+// RunMonteCarlo stands in for the PR 9 sweep-driver family: a dropped error
+// publishes statistics computed over silently-missing scenarios.
+func RunMonteCarlo(n int) error {
+	if n <= 0 {
+		return errors.New("no scenarios")
+	}
+	return nil
+}
+
+// ExtractEnvelope stands in for the PR 9 envelope-extraction family.
+func ExtractEnvelope(samples []float64) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("no samples")
+	}
+	return samples, nil
+}
+
+func montecarloDiscard() {
+	RunMonteCarlo(128) // want "result of RunMonteCarlo discarded; error position 1"
+}
+
+func envelopeBlank(samples []float64) []float64 {
+	env, _ := ExtractEnvelope(samples) // want "error from ExtractEnvelope assigned to _"
+	return env
+}
+
+func sweepChecked(n int, samples []float64) error {
+	if err := RunMonteCarlo(n); err != nil {
+		return err
+	}
+	_, err := ExtractEnvelope(samples)
+	return err
+}

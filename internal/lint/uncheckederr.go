@@ -15,8 +15,10 @@ import (
 // degrade loudly, not vanish) — and, since the PR 8 parameter-varying batch,
 // the SMW/delta families (StampDelta, ApplyDelta, the smw capacitance
 // factorization), whose dropped errors would let a singular or mis-stamped
-// perturbation masquerade as the nominal solution.
-var errFamilyRe = regexp.MustCompile(`(?i)solve|factor|journal|checkpoint|smw|delta|^(LU|QR)`)
+// perturbation masquerade as the nominal solution. PR 9 adds the
+// envelope/montecarlo families: a dropped envelope-extraction or sweep error
+// publishes a statistics table computed over silently-missing scenarios.
+var errFamilyRe = regexp.MustCompile(`(?i)solve|factor|journal|checkpoint|smw|delta|montecarlo|envelope|^(LU|QR)`)
 
 // AnalyzerUncheckedErr flags discarded error results from Solve/Factorize/
 // LU/QR-family functions defined in this module: calls used as bare

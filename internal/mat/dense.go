@@ -272,7 +272,7 @@ func (m *Dense) String() string {
 			if j > 0 {
 				sb.WriteString(" ")
 			}
-			//lint:ignore atset String renders diagnostic output, not a hot path
+			//lint:ignore atset,allocsite String renders diagnostic output, not a hot path
 			fmt.Fprintf(&sb, "% .6g", m.At(i, j))
 		}
 		sb.WriteString("]\n")

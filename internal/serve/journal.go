@@ -212,6 +212,7 @@ func decodeCheckpointDelta(payload []byte) (*core.CheckpointDelta, error) {
 	}
 	d.Slabs = make([][]float64, d.K)
 	for s := range d.Slabs {
+		//lint:ignore allocsite decoded slabs are the record's output, one allocation per scenario slab is the contract
 		slab := make([]float64, cols*d.N)
 		for i := range slab {
 			slab[i] = math.Float64frombits(binary.LittleEndian.Uint64(p))

@@ -456,6 +456,7 @@ func (s *Server) executeJob(w http.ResponseWriter, r *http.Request, job *job, bo
 	// previous process); reopen it so this attempt's checkpoints append to the
 	// same file.
 	if s.journal && entry.jw == nil && !entry.journalBroken && entry.jpath != "" {
+		//lint:ignore lockhold reopen must be fenced by the entry lock or two resume attempts could attach two descriptors to one journal
 		if jw, err := openJobJournal(entry.jpath, s.cfg.ServeFault); err != nil {
 			s.met.incJournalFailure()
 			entry.journalBroken = true
@@ -554,17 +555,22 @@ func (s *Server) registerJob(job *job, body []byte) *jobEntry {
 // finishEntry retires a completed job: journal a done record, delete the
 // journal, drop the registry entry.
 func (s *Server) finishEntry(e *jobEntry) {
+	// Detach the journal under the lock, write outside it: the job is done,
+	// so no checkpoint append can race the detach, and the fsync latency of
+	// the done record must not stall readers of the entry.
 	e.mu.Lock()
-	if e.jw != nil && !e.journalBroken {
-		if err := e.jw.appendJournalDone(""); err != nil {
-			s.met.incJournalFailure()
-		}
-		if err := e.jw.removeJournal(); err != nil {
-			s.met.incJournalFailure()
-		}
-		e.jw = nil
-	}
+	jw := e.jw
+	broken := e.journalBroken
+	e.jw = nil
 	e.mu.Unlock()
+	if jw != nil && !broken {
+		if err := jw.appendJournalDone(""); err != nil {
+			s.met.incJournalFailure()
+		}
+		if err := jw.removeJournal(); err != nil {
+			s.met.incJournalFailure()
+		}
+	}
 	s.reg.remove(e)
 }
 
@@ -572,22 +578,28 @@ func (s *Server) finishEntry(e *jobEntry) {
 // the suspended pool (removing evicted journals so the directory stays
 // bounded).
 func (s *Server) suspendEntry(e *jobEntry, kind string, strike bool) {
+	// Keep the file but release the descriptor; a resume (possibly in a
+	// future process) reopens it. As in finishEntry, detach under the lock
+	// and close outside it — the interrupted handler is the only writer.
 	e.mu.Lock()
+	var jw *jobJournal
 	if e.jw != nil && !e.journalBroken {
-		// Keep the file but release the descriptor; a resume (possibly in a
-		// future process) reopens it.
+		jw = e.jw
 		e.jpath = e.jw.path
-		if err := e.jw.closeJournal(); err != nil {
-			s.met.incJournalFailure()
-		}
 		e.jw = nil
 	}
 	e.mu.Unlock()
+	if jw != nil {
+		if err := jw.closeJournal(); err != nil {
+			s.met.incJournalFailure()
+		}
+	}
 	s.met.incSuspended()
 	for _, ev := range s.reg.suspend(e, kind, strike) {
 		s.met.incEvicted()
 		ev.mu.Lock()
 		if ev.jw != nil {
+			//lint:ignore lockhold eviction fences a concurrent resume reattach with the entry lock; the entry is suspended so nobody streams under it
 			_ = ev.jw.removeJournal()
 			ev.jw = nil
 		} else if ev.jpath != "" {
@@ -616,6 +628,12 @@ func (s *Server) runJob(ctx context.Context, w http.ResponseWriter, job *job, en
 		}
 		h := job.T / float64(job.m)
 		for j := from; j < cp.Columns; j++ {
+			// Honor cancellation at column granularity, same as the solver:
+			// the batch solve below sees the cancelled ctx and produces the
+			// terminal record through the usual path.
+			if ctx.Err() != nil {
+				break
+			}
 			for sidx := range bufs {
 				if err := cp.StateColumn(bufs[sidx], sidx, j, job.scenarios[sidx].X0); err != nil {
 					sw.err = err

@@ -508,6 +508,7 @@ func (f *Factorization) Cond1Est() float64 {
 	for i := range x {
 		x[i] = 1 / float64(n)
 	}
+	xi := make([]float64, n) // sign vector, fully overwritten each iteration
 	est := 0.0
 	prev := -1
 	for iter := 0; iter < 5; iter++ {
@@ -523,7 +524,6 @@ func (f *Factorization) Cond1Est() float64 {
 			return math.Inf(1)
 		}
 		// ξ = sign(y); z = A⁻ᵀ·ξ.
-		xi := make([]float64, n)
 		for i, v := range y {
 			if v >= 0 {
 				xi[i] = 1
