@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"opmsim/internal/core"
 	"opmsim/internal/experiments"
@@ -44,17 +46,20 @@ func main() {
 		histFFTOut = flag.String("histfftout", "BENCH_history_fft.json", "machine-readable output path for -experiment historyfft")
 		batchOut   = flag.String("batchout", "BENCH_batch.json", "machine-readable output path for -experiment batch")
 		mcOut      = flag.String("mcout", "BENCH_montecarlo.json", "machine-readable output path for -experiment montecarlo")
+		scaleOut   = flag.String("scaleout", "BENCH_scale.json", "machine-readable output path for -experiment scale")
+		scaleSizes = flag.String("scalesizes", "", "comma-separated grid node counts for -experiment scale (default 1000,10000,100000; \"smoke\" = the CI-sized instance)")
+		scaleBase  = flag.String("scalebaseline", "", "baseline BENCH_scale.json to guard against: fail when the factorization speedup regresses >25% at any shared size")
 		history    = flag.String("history", "", "history engine mode for the history ablation: auto, exact, or fft (default: exact)")
 		seed       = flag.Int64("seed", 1, "seed for generated benchmark networks (Table II grid loads, MOR, scaling); same seed, same netlist")
 	)
 	flag.Parse()
-	if err := run(*experiment, *full, *repeat, *gridRows, *workers, *histOut, *histFFTOut, *batchOut, *mcOut, *history, *seed); err != nil {
+	if err := run(*experiment, *full, *repeat, *gridRows, *workers, *histOut, *histFFTOut, *batchOut, *mcOut, *scaleOut, *scaleSizes, *scaleBase, *history, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "opm-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(experiment string, full bool, repeat, gridRows, workers int, histOut, histFFTOut, batchOut, mcOut, history string, seed int64) error {
+func run(experiment string, full bool, repeat, gridRows, workers int, histOut, histFFTOut, batchOut, mcOut, scaleOut, scaleSizes, scaleBase, history string, seed int64) error {
 	runOne := func(name string) error {
 		switch name {
 		case "table1":
@@ -207,6 +212,47 @@ func run(experiment string, full bool, repeat, gridRows, workers int, histOut, h
 					return err
 				}
 				fmt.Printf("wrote %s\n", mcOut)
+			}
+		case "scale":
+			cfg := experiments.DefaultScale()
+			cfg.Workers = workers
+			if scaleSizes == "smoke" {
+				cfg = experiments.SmokeScale()
+			} else if scaleSizes != "" {
+				var sizes []int
+				for _, s := range strings.Split(scaleSizes, ",") {
+					v, err := strconv.Atoi(strings.TrimSpace(s))
+					if err != nil {
+						return fmt.Errorf("bad -scalesizes entry %q: %w", s, err)
+					}
+					sizes = append(sizes, v)
+				}
+				cfg.Sizes = sizes
+			}
+			var base *experiments.ScaleReport
+			if scaleBase != "" {
+				b, err := experiments.ReadScaleReport(scaleBase)
+				if err != nil {
+					return err
+				}
+				base = b
+			}
+			tbl, rep, err := experiments.ScaleBench(cfg)
+			if err != nil {
+				return err
+			}
+			tbl.Fprint(os.Stdout)
+			if scaleOut != "" {
+				if err := rep.WriteJSON(scaleOut); err != nil {
+					return err
+				}
+				fmt.Printf("wrote %s\n", scaleOut)
+			}
+			if base != nil {
+				if err := experiments.CompareScaleReports(rep, base, 0.25); err != nil {
+					return err
+				}
+				fmt.Printf("scale guard: speedups within 25%% of %s\n", scaleBase)
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

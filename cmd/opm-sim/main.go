@@ -89,8 +89,16 @@ func main() {
 		mcseed      = flag.Uint64("mcseed", 1, "Monte-Carlo RNG seed; same seed, same scenarios, bit-identical envelopes")
 		mcelems     = flag.Int("mcelems", 0, "cap on perturbed elements, netlist order (0 = every R, C, L, and CPE)")
 		mcrank      = flag.Int("mcrank", 0, "pencil-update rank limit: 0 measures the SMW/refactor crossover, >0 pins it, <0 forces refactorization")
+		corners     = flag.Bool("corners", false, "solve the deterministic tolerance corners (each element at ±tol alone, plus all-high/all-low) in one batched sweep and report the worst corner (linear netlists only)")
 	)
 	flag.Parse()
+	if *corners {
+		if err := runCorners(*netlistPath, *tol, *mcelems, *mcrank, *steps, *tstop, *nodes, *workers, *history, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "opm-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *montecarlo > 0 {
 		if err := runMonteCarlo(*netlistPath, *montecarlo, *tol, *mcseed, *mcelems, *mcrank, *steps, *tstop, *nodes, *workers, *history, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "opm-sim:", err)
@@ -556,6 +564,97 @@ func runMonteCarlo(netlistPath string, n int, tol float64, seed uint64, elems, r
 			}
 			fmt.Printf("%s\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\t%.6g\n",
 				labels[i], tj, env.Min(s, j), p05, env.Mean(s, j), p95, env.Max(s, j))
+		}
+	}
+	return nil
+}
+
+// runCorners solves the deterministic tolerance corners of the netlist —
+// scenario 0 nominal, each perturbable element alone at its ±tol extremes,
+// and the two global all-high/all-low corners — as one parameter-varying
+// batch (the per-element corners are rank-1 pencil deltas served by the SMW
+// update path), printing per-corner worst-case deviations and envelope
+// bounds at the probe columns.
+func runCorners(netlistPath string, tol float64, elems, rankLimit, steps int, tstop, nodes string, workers int, history string, verbose bool) error {
+	if netlistPath == "" {
+		return fmt.Errorf("-netlist is required")
+	}
+	histMode, err := core.ParseHistoryMode(history)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(netlistPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	deck, err := circuit.Parse(f)
+	if err != nil {
+		return err
+	}
+	T, m, err := resolveSpan(deck, tstop, steps)
+	if err != nil {
+		return err
+	}
+	mna, err := deck.Netlist.MNA()
+	if err != nil {
+		return err
+	}
+	if mna.Nonlinear != nil {
+		return fmt.Errorf("-corners requires a linear netlist (corners share one pencil factorization)")
+	}
+	if len(deck.ICs) > 0 {
+		return fmt.Errorf("-corners does not support .ic (corners start from rest)")
+	}
+	stateIdx, labels, err := selectStates(deck, mna, nodes)
+	if err != nil {
+		return err
+	}
+	names := netgen.PerturbableElements(deck.Netlist, elems)
+	if len(names) == 0 {
+		return fmt.Errorf("netlist has no perturbable elements (R, C, L, or CPE)")
+	}
+	res, err := experiments.CornerSweep(experiments.CornerConfig{
+		Netlist: deck.Netlist, Model: mna,
+		Elements: names, Tol: tol,
+		M: m, T: T,
+		UpdateRankLimit: rankLimit,
+		Options: core.Options{
+			Workers:     workers,
+			HistoryMode: histMode,
+			FactorCache: core.NewFactorCache(0),
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "corners: %d corners over %d elements (tol ±%g): %d SMW updates, %d refactorizations\n",
+			len(res.Corners)-1, len(names), tol, res.PencilUpdates, res.PencilRefactors)
+	}
+	if deck.Title != "" {
+		fmt.Printf("# %s\n", deck.Title)
+	}
+	fmt.Printf("# corners=%d tol=%g elements=%d steps=%d tstop=%g states=%d\n",
+		len(res.Corners), tol, len(names), m, T, mna.Sys.N())
+	fmt.Println("corner\tmax|dx|\tstate\tcolumn\tworst")
+	for c, corner := range res.Corners {
+		if c == 0 {
+			continue
+		}
+		mark := ""
+		if c == res.Worst {
+			mark = "*"
+		}
+		fmt.Printf("%s\t%.6g\t%s\t%d\t%s\n",
+			corner.Label, corner.MaxDeviation, mna.StateNames[corner.AtState], corner.AtColumn, mark)
+	}
+	env := res.Envelope
+	fmt.Println("node\tt\tmin\tmax")
+	for i, s := range stateIdx {
+		for _, j := range env.ProbeColumns() {
+			tj := T * (float64(j) + 0.5) / float64(m)
+			fmt.Printf("%s\t%.6g\t%.6g\t%.6g\n", labels[i], tj, env.Min(s, j), env.Max(s, j))
 		}
 	}
 	return nil

@@ -198,3 +198,34 @@ func TestRunTimeoutAndVerbose(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunCorners(t *testing.T) {
+	path := writeDeck(t, rcDeck)
+	if err := runCorners(path, 0.1, 0, 0, 16, "", "out", 0, "", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCorners("", 0.1, 0, 0, 16, "", "", 0, "", false); err == nil {
+		t.Fatal("accepted missing netlist")
+	}
+	// Corners start from rest; .ic decks are rejected.
+	ic := writeDeck(t, `discharge
+I1 0 n1 DC 0
+R1 n1 0 1k
+C1 n1 0 1u
+.ic n1=1
+.tran 10u 3m
+`)
+	if err := runCorners(ic, 0.1, 0, 0, 16, "", "", 0, "", false); err == nil {
+		t.Fatal("accepted an .ic deck")
+	}
+	// Nonlinear netlists share no pencil factorization across corners.
+	diode := writeDeck(t, `diode
+V1 in 0 STEP 1
+R1 in d 1k
+D1 d 0 0
+.tran 10u 1m
+`)
+	if err := runCorners(diode, 0.1, 0, 0, 16, "", "", 0, "", false); err == nil {
+		t.Fatal("accepted a nonlinear netlist")
+	}
+}

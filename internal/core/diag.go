@@ -111,11 +111,21 @@ const (
 	// produces the minimum-residual solution for numerically rank-deficient
 	// pencils that LU rejects.
 	TierQR
+	// TierSupernodal is the large-grid fast path tried before TierSparseLU
+	// when engaged (Options.Supernodal / SupernodalMinN): nested-dissection
+	// domain decomposition with supernodal blocked domain factors and a dense
+	// interface Schur complement. It sits above the scalar sparse tier in the
+	// chain — a failed or ill-conditioned supernodal factorization falls
+	// through to TierSparseLU — so it never counts as degradation. (Appended
+	// after TierQR to keep the existing tier indices stable in reports.)
+	TierSupernodal
 	numTiers
 )
 
 func (t Tier) String() string {
 	switch t {
+	case TierSupernodal:
+		return "supernodal-BBD"
 	case TierSparseLU:
 		return "sparse-LU"
 	case TierDenseLU:
@@ -216,8 +226,9 @@ func (r *SolveReport) Degraded() bool {
 // Summary renders the report as a short multi-line string for -verbose CLI
 // output and logs.
 func (r *SolveReport) Summary() string {
-	s := fmt.Sprintf("solve report: %d columns, %d factorizations; tiers: %s=%d %s=%d %s=%d",
+	s := fmt.Sprintf("solve report: %d columns, %d factorizations; tiers: %s=%d %s=%d %s=%d %s=%d",
 		r.Columns, r.Factorizations,
+		TierSupernodal, r.TierSolves[TierSupernodal],
 		TierSparseLU, r.TierSolves[TierSparseLU],
 		TierDenseLU, r.TierSolves[TierDenseLU],
 		TierQR, r.TierSolves[TierQR])

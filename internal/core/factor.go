@@ -15,6 +15,28 @@ import (
 // refinement against the exact sparse matrix recovers most of them.
 const defaultCondLimit = 1e14
 
+// DefaultSupernodalMinN is the pencil dimension at which Options.Supernodal
+// mode 0 (auto) engages the supernodal/BBD tier. Below it the scalar sparse
+// LU factors faster than the dissection + Schur assembly amortizes; the
+// crossover was measured on the netgen power-grid family (see DESIGN.md §15).
+const DefaultSupernodalMinN = 4096
+
+// supernodalEngaged resolves the Options.Supernodal mode against the pencil
+// dimension.
+func supernodalEngaged(n int, opt *Options) bool {
+	if opt.Supernodal > 0 {
+		return true
+	}
+	if opt.Supernodal < 0 {
+		return false
+	}
+	minN := opt.SupernodalMinN
+	if minN <= 0 {
+		minN = DefaultSupernodalMinN
+	}
+	return n >= minN
+}
+
 // pencilFactor is one leading-pencil factorization behind the tiered
 // graceful-degradation chain of the hardened solver core:
 //
@@ -29,6 +51,7 @@ const defaultCondLimit = 1e14
 // ErrSingularPencil. Every tier decision is recorded in the SolveReport.
 type pencilFactor struct {
 	tier    Tier
+	bbd     *sparse.BBD
 	sp      *sparse.Factorization
 	dense   *mat.LU
 	qr      *mat.QR
@@ -68,6 +91,28 @@ func factorPencilChain(a *sparse.CSR, col int, t float64, opt *Options, rep *Sol
 	}
 	rep.Factorizations++
 	pf := &pencilFactor{a: a, report: rep}
+
+	// Supernodal/BBD fast tier: tried first when engaged, abandoned silently
+	// (never recorded as a Fallback — the scalar sparse LU below it upholds
+	// the same accuracy contract) when the dissection degenerates, a diagonal
+	// block is singular under block-confined pivoting, or the condition
+	// estimate trips the limit.
+	if supernodalEngaged(a.R, opt) && !injected(TierSupernodal) {
+		if f, err := sparse.FactorBBD(a, sparse.BBDOptions{
+			PivotTol: opt.PivotTol, Workers: opt.Workers, Refine: opt.Refine,
+		}); err == nil {
+			if limit < 0 {
+				pf.tier, pf.bbd = TierSupernodal, f
+				return pf, nil
+			}
+			cond := f.Cond1Est()
+			rep.observeCond(cond)
+			if cond <= limit && !math.IsNaN(cond) {
+				pf.tier, pf.bbd, pf.cond = TierSupernodal, f, cond
+				return pf, nil
+			}
+		}
+	}
 
 	var sparseErr error
 	sparseCond := 0.0
@@ -129,8 +174,9 @@ func factorPencilChain(a *sparse.CSR, col int, t float64, opt *Options, rep *Sol
 // sparse tier's substitution/permutation/refinement panels and the dense
 // tier's refinement residual. One scratch per concurrently-solving group.
 type panelScratch struct {
-	sp    *sparse.PanelScratch // sparse tier
-	resid *mat.Dense           // dense tier refinement residual
+	bbd   *sparse.BBDPanelScratch // supernodal/BBD tier
+	sp    *sparse.PanelScratch    // sparse tier
+	resid *mat.Dense              // dense tier refinement residual
 }
 
 // newPanelScratch sizes scratch for panels of k right-hand sides against
@@ -138,6 +184,8 @@ type panelScratch struct {
 func (pf *pencilFactor) newPanelScratch(k int) *panelScratch {
 	s := &panelScratch{}
 	switch pf.tier {
+	case TierSupernodal:
+		s.bbd = pf.bbd.NewPanelScratch(k)
 	case TierSparseLU:
 		s.sp = pf.sp.NewPanelScratch(k)
 	case TierDenseLU:
@@ -155,6 +203,8 @@ func (pf *pencilFactor) newPanelScratch(k int) *panelScratch {
 // run groups concurrently and account K solves per column themselves.
 func (pf *pencilFactor) solvePanelInto(x, b *mat.Dense, s *panelScratch) error {
 	switch pf.tier {
+	case TierSupernodal:
+		return pf.bbd.SolvePanelInto(x, b, s.bbd)
 	case TierSparseLU:
 		return pf.sp.SolvePanelInto(x, b, s.sp)
 	case TierDenseLU:
@@ -214,6 +264,8 @@ func (pf *pencilFactor) solve(rhs []float64) ([]float64, error) {
 func (pf *pencilFactor) solveInto(dst, rhs []float64) error {
 	pf.report.TierSolves[pf.tier]++
 	switch pf.tier {
+	case TierSupernodal:
+		return pf.bbd.SolveInto(dst, rhs)
 	case TierSparseLU:
 		return pf.sp.SolveInto(dst, rhs)
 	case TierDenseLU:

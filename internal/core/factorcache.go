@@ -53,6 +53,10 @@ type factorKey struct {
 	pivotTol  uint64
 	condLimit uint64
 	refine    bool
+	// Supernodal-tier steering: engagement changes which tier factors, so two
+	// configurations differing here must not share an entry.
+	supernodal int
+	snMinN     int
 }
 
 // factorEntry couples the cached template with the fallback record to replay
@@ -162,14 +166,16 @@ func fingerprintCSR(a *sparse.CSR) uint64 {
 // dominant order, and factorization-relevant options.
 func cacheKey(a *sparse.CSR, h, alpha float64, opt *Options) factorKey {
 	return factorKey{
-		fp:        fingerprintCSR(a),
-		n:         a.R,
-		nnz:       a.NNZ(),
-		hBits:     math.Float64bits(h),
-		alphaBits: math.Float64bits(alpha),
-		pivotTol:  math.Float64bits(opt.PivotTol),
-		condLimit: math.Float64bits(opt.CondLimit),
-		refine:    opt.Refine,
+		fp:         fingerprintCSR(a),
+		n:          a.R,
+		nnz:        a.NNZ(),
+		hBits:      math.Float64bits(h),
+		alphaBits:  math.Float64bits(alpha),
+		pivotTol:   math.Float64bits(opt.PivotTol),
+		condLimit:  math.Float64bits(opt.CondLimit),
+		refine:     opt.Refine,
+		supernodal: opt.Supernodal,
+		snMinN:     opt.SupernodalMinN,
 	}
 }
 
@@ -182,6 +188,9 @@ func (pf *pencilFactor) template() *pencilFactor {
 	if pf.sp != nil {
 		t.sp = pf.sp.Share()
 	}
+	if pf.bbd != nil {
+		t.bbd = pf.bbd.Share()
+	}
 	return t
 }
 
@@ -193,6 +202,9 @@ func (pf *pencilFactor) instantiate(rep *SolveReport) *pencilFactor {
 	inst := &pencilFactor{tier: pf.tier, dense: pf.dense, qr: pf.qr, a: pf.a, cond: pf.cond, factorNS: pf.factorNS, report: rep}
 	if pf.sp != nil {
 		inst.sp = pf.sp.Share()
+	}
+	if pf.bbd != nil {
+		inst.bbd = pf.bbd.Share()
 	}
 	return inst
 }

@@ -69,6 +69,20 @@ type Options struct {
 	// SolveBatch ignores it too in favour of BatchOptions.OnColumn, whose
 	// barrier semantics keep the hook off the concurrent group tasks.
 	OnColumn func(col int, t float64, x []float64)
+	// Supernodal steers the supernodal/domain-decomposed factorization tier
+	// (nested-dissection BBD with blocked supernodal domain factors): 0 —
+	// the default — engages it automatically for pencils of dimension at
+	// least SupernodalMinN, 1 forces it regardless of size, −1 disables it.
+	// When engaged it is tried before the scalar sparse LU and falls through
+	// to it on any failure, so enabling it never loses robustness; solutions
+	// are bitwise-identical across Workers values either way.
+	Supernodal int
+	// SupernodalMinN overrides the automatic engagement threshold of the
+	// supernodal tier (0 → DefaultSupernodalMinN). Below the threshold the
+	// scalar sparse LU is cheaper: the dissection, Schur assembly, and dense
+	// interface factor only amortize once the pencil is large enough that
+	// fill dominates the scalar factorization.
+	SupernodalMinN int
 	// CondLimit bounds the acceptable 1-norm condition estimate of the
 	// sparse leading-pencil factorization before the solver falls back to
 	// dense LU with iterative refinement. 0 selects the default 1e14; a
@@ -458,6 +472,31 @@ func assembleLeading(sys *System, scale func(k int) float64) (*sparse.CSR, error
 		return nil, fmt.Errorf("core: no terms to assemble")
 	}
 	return m, nil
+}
+
+// LeadingPencil assembles the leading matrix M = Σ_k c₀⁽ᵏ⁾·E_k that every
+// column solve of an m-interval uniform run factors — the matrix the tiered
+// factorization chain (supernodal/BBD → sparse LU → dense → QR) receives —
+// and returns it with the step size h = T/m. It exists for harnesses that
+// benchmark or inspect the factorization stage in isolation (the scale
+// experiment); the solvers assemble internally.
+func LeadingPencil(sys *System, m int, T float64) (*sparse.CSR, float64, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, 0, err
+	}
+	bpf, err := basis.NewBPF(m, T)
+	if err != nil {
+		return nil, 0, err
+	}
+	coeffs := make([][]float64, len(sys.Terms))
+	for k, t := range sys.Terms {
+		coeffs[k] = bpf.DiffCoeffs(t.Order)
+	}
+	msys, err := assembleLeading(sys, func(k int) float64 { return coeffs[k][0] })
+	if err != nil {
+		return nil, 0, err
+	}
+	return msys, bpf.Step(), nil
 }
 
 // prepareInitialState validates X0 and returns the state offset x₀ and the

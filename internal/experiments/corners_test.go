@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"opmsim/internal/netgen"
+	"opmsim/internal/waveform"
+)
+
+func cornerTestConfig(t *testing.T, limit int) CornerConfig {
+	t.Helper()
+	lad, _, err := netgen.RCLadderNetlist(8, 100, 1e-9, waveform.Step(1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := lad.MNA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CornerConfig{
+		Netlist: lad, Model: model,
+		Elements:        netgen.PerturbableElements(lad, 4),
+		Tol:             0.1,
+		M:               32,
+		T:               5e-7,
+		UpdateRankLimit: limit,
+	}
+}
+
+func TestCornerSweepEnumeratesAllCorners(t *testing.T) {
+	cfg := cornerTestConfig(t, 64)
+	res, err := CornerSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	L := len(cfg.Elements)
+	want := netgen.CornerCount(L)
+	if len(res.Corners) != want {
+		t.Fatalf("corners = %d, want 2·%d+3 = %d", len(res.Corners), L, want)
+	}
+	if res.Corners[0].Label != "nominal" || res.Corners[0].MaxDeviation != 0 {
+		t.Fatalf("corner 0 = %+v, want zero-deviation nominal", res.Corners[0])
+	}
+	// Per-element corners alternate +/− per element, then the global pair.
+	for e := 0; e < L; e++ {
+		if got := res.Corners[1+2*e].Label; got != cfg.Elements[e]+"+" {
+			t.Fatalf("corner %d label %q, want %q", 1+2*e, got, cfg.Elements[e]+"+")
+		}
+		if got := res.Corners[2+2*e].Label; got != cfg.Elements[e]+"-" {
+			t.Fatalf("corner %d label %q, want %q", 2+2*e, got, cfg.Elements[e]+"-")
+		}
+	}
+	if res.Corners[want-2].Label != "all+" || res.Corners[want-1].Label != "all-" {
+		t.Fatalf("global corners labelled %q, %q", res.Corners[want-2].Label, res.Corners[want-1].Label)
+	}
+	// Every non-nominal corner of an RC ladder with ±10% must actually move
+	// the waveform, and Worst must point at the maximum.
+	for c := 1; c < want; c++ {
+		if res.Corners[c].MaxDeviation <= 0 {
+			t.Fatalf("corner %q shows zero deviation", res.Corners[c].Label)
+		}
+		if res.Corners[c].MaxDeviation > res.Corners[res.Worst].MaxDeviation {
+			t.Fatalf("Worst = %d but corner %d deviates more", res.Worst, c)
+		}
+	}
+	if res.Worst == 0 {
+		t.Fatal("Worst points at the nominal corner")
+	}
+	// Per-element corners are rank-1 deltas: with a generous rank limit all of
+	// them (plus the rank-L global corners under limit ≥ L) ride the SMW path.
+	if res.PencilUpdates != want-1 || res.PencilRefactors != 0 {
+		t.Fatalf("dispatch: %d updates, %d refactors, want %d/0", res.PencilUpdates, res.PencilRefactors, want-1)
+	}
+	if res.Envelope == nil || res.Envelope.Count() != int64(want) {
+		t.Fatalf("envelope folded %d corners, want %d", res.Envelope.Count(), want)
+	}
+}
+
+// The SMW update path and forced refactorization must tell the same story.
+func TestCornerSweepPathsAgree(t *testing.T) {
+	smw, err := CornerSweep(cornerTestConfig(t, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := CornerSweep(cornerTestConfig(t, -1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.PencilUpdates != 0 || ref.PencilRefactors != len(ref.Corners)-1 {
+		t.Fatalf("refactor leg dispatch: %d updates, %d refactors", ref.PencilUpdates, ref.PencilRefactors)
+	}
+	if len(smw.Corners) != len(ref.Corners) {
+		t.Fatalf("corner counts differ: %d vs %d", len(smw.Corners), len(ref.Corners))
+	}
+	for c := range smw.Corners {
+		a, b := smw.Corners[c].MaxDeviation, ref.Corners[c].MaxDeviation
+		if math.Abs(a-b) > 1e-9*(1+math.Abs(b)) {
+			t.Fatalf("corner %q: SMW deviation %g, refactor %g", smw.Corners[c].Label, a, b)
+		}
+	}
+	if smw.Worst != ref.Worst {
+		t.Fatalf("legs disagree on the worst corner: %d vs %d", smw.Worst, ref.Worst)
+	}
+}
+
+// Determinism: corner sweeps are sampling-free, so two runs must agree
+// bitwise, not just statistically.
+func TestCornerSweepBitwiseRepeatable(t *testing.T) {
+	a, err := CornerSweep(cornerTestConfig(t, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CornerSweep(cornerTestConfig(t, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Corners {
+		if math.Float64bits(a.Corners[c].MaxDeviation) != math.Float64bits(b.Corners[c].MaxDeviation) {
+			t.Fatalf("corner %q deviation differs across runs", a.Corners[c].Label)
+		}
+	}
+}
+
+func TestCornerSweepValidation(t *testing.T) {
+	if _, err := CornerSweep(CornerConfig{}); err == nil {
+		t.Fatal("accepted an empty config")
+	}
+	cfg := cornerTestConfig(t, 0)
+	cfg.Tol = 1.5
+	if _, err := CornerSweep(cfg); err == nil {
+		t.Fatal("accepted tol outside [0,1)")
+	}
+}
+
+func TestCornerTableRenders(t *testing.T) {
+	res, err := CornerSweep(cornerTestConfig(t, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := CornerTable(res)
+	if len(tbl.Rows) != len(res.Corners)-1 {
+		t.Fatalf("table rows = %d, want %d (nominal excluded)", len(tbl.Rows), len(res.Corners)-1)
+	}
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"opmsim/internal/core"
+	"opmsim/internal/netgen"
+	"opmsim/internal/sparse"
+)
+
+// The large-grid scaling benchmark behind BENCH_scale.json: for power grids
+// of growing node count (up to n = 10⁵ and beyond), time the leading-pencil
+// factorization through the scalar Gilbert–Peierls sparse LU versus the
+// supernodal/domain-decomposed BBD tier, verify the two solutions agree, and
+// report the speedup. The committed smoke baseline (BENCH_scale_smoke.json)
+// plus CompareScaleReports form the CI regression guard: speedup ratios are
+// machine-portable where absolute times are not, so the guard compares
+// ratios.
+
+// ScaleConfig parameterizes the sweep.
+type ScaleConfig struct {
+	// Sizes are the approximate grid node counts to sweep (netgen.PowerGridN).
+	Sizes []int
+	// M and T fix the BPF grid whose leading pencil is factored (only
+	// h = T/M enters the pencil).
+	M int
+	T float64
+	// Workers is handed to the BBD tier; results are bitwise-identical for
+	// every value, so it only affects wall-clock on multi-core hosts.
+	Workers int
+	// Solves is the number of single-vector solves timed per leg after the
+	// factorization (default 8).
+	Solves int
+}
+
+// DefaultScale covers the acceptance sweep: 10³, 10⁴, 10⁵ nodes.
+func DefaultScale() ScaleConfig {
+	return ScaleConfig{
+		Sizes: []int{1000, 10000, 100000},
+		M:     64,
+		T:     10e-9,
+	}
+}
+
+// SmokeScale is the CI-sized instance: one mid-size grid, bounded to well
+// under a minute on a single core.
+func SmokeScale() ScaleConfig {
+	return ScaleConfig{Sizes: []int{6000}, M: 64, T: 10e-9}
+}
+
+// ScaleRow is one grid size's outcome.
+type ScaleRow struct {
+	// N is the requested node count; States and NNZ describe the assembled
+	// NA leading pencil.
+	N      int `json:"n"`
+	States int `json:"states"`
+	NNZ    int `json:"nnz"`
+	// Scalar leg: Gilbert–Peierls sparse LU (RCM + threshold pivoting).
+	ScalarFactorNS int64 `json:"scalar_factor_ns"`
+	ScalarSolveNS  int64 `json:"scalar_solve_ns"`
+	ScalarFillNNZ  int   `json:"scalar_fill_nnz"`
+	// BBD leg: nested dissection + supernodal domain factors + dense Schur.
+	BBDFactorNS int64 `json:"bbd_factor_ns"`
+	BBDSolveNS  int64 `json:"bbd_solve_ns"`
+	BBDFillNNZ  int   `json:"bbd_fill_nnz"`
+	Parts       int   `json:"parts"`
+	IfaceN      int   `json:"iface_n"`
+	// FactorSpeedup = scalar factor time / BBD factor time; SolveSpeedup
+	// likewise for the per-vector solves.
+	FactorSpeedup float64 `json:"factor_speedup"`
+	SolveSpeedup  float64 `json:"solve_speedup"`
+	// MaxRelDiff is the worst relative component difference between the two
+	// legs' solutions of the same right-hand side.
+	MaxRelDiff float64 `json:"max_rel_diff"`
+}
+
+// ScaleReport is the machine-readable result written to BENCH_scale.json.
+type ScaleReport struct {
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Workers    int        `json:"workers"`
+	Rows       []ScaleRow `json:"rows"`
+	Notes      []string   `json:"notes"`
+}
+
+// WriteJSON writes the report to path.
+func (r *ScaleReport) WriteJSON(path string) error {
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// ReadScaleReport loads a report written by WriteJSON.
+func ReadScaleReport(path string) (*ScaleReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r ScaleReport
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("experiments: scale report %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// scaleRHS builds the deterministic right-hand side both legs solve: smooth,
+// dense, and size-independent in character.
+func scaleRHS(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + math.Sin(float64(i)*0.37)
+	}
+	return b
+}
+
+// ScaleBench runs the sweep.
+func ScaleBench(cfg ScaleConfig) (*Table, *ScaleReport, error) {
+	if len(cfg.Sizes) == 0 {
+		return nil, nil, fmt.Errorf("experiments: scale bench needs at least one size")
+	}
+	if cfg.Solves <= 0 {
+		cfg.Solves = 8
+	}
+	rep := &ScaleReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: cfg.Workers}
+	tbl := &Table{
+		Title:  "Grid scaling: scalar Gilbert–Peierls LU vs supernodal BBD factorization",
+		Header: []string{"n(req)", "states", "nnz", "scalar factor", "BBD factor", "speedup", "parts", "iface", "solve speedup", "rel diff"},
+	}
+	for _, size := range cfg.Sizes {
+		grid, err := netgen.PowerGrid3D(netgen.PowerGridN(size))
+		if err != nil {
+			return nil, nil, err
+		}
+		na, err := grid.Netlist.NA()
+		if err != nil {
+			return nil, nil, err
+		}
+		pencil, _, err := core.LeadingPencil(na.Sys, cfg.M, cfg.T)
+		if err != nil {
+			return nil, nil, err
+		}
+		n := pencil.R
+		row := ScaleRow{N: size, States: n, NNZ: pencil.NNZ()}
+
+		var sf *sparse.Factorization
+		dur, err := timeIt(1, func() error {
+			f, err := sparse.Factor(pencil, sparse.Options{})
+			sf = f
+			return err
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: scale n=%d: scalar factor: %w", size, err)
+		}
+		row.ScalarFactorNS = dur.Nanoseconds()
+		row.ScalarFillNNZ = sf.NNZFactors()
+
+		var bf *sparse.BBD
+		dur, err = timeIt(1, func() error {
+			f, err := sparse.FactorBBD(pencil, sparse.BBDOptions{Workers: cfg.Workers})
+			bf = f
+			return err
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: scale n=%d: BBD factor: %w", size, err)
+		}
+		row.BBDFactorNS = dur.Nanoseconds()
+		row.BBDFillNNZ = bf.NNZFactors()
+		row.Parts = bf.Parts()
+		row.IfaceN = bf.IfaceN()
+
+		b := scaleRHS(n)
+		//lint:ignore allocsite one solution vector per sweep size, not a per-solve path
+		xs := make([]float64, n)
+		//lint:ignore allocsite one solution vector per sweep size, not a per-solve path
+		xb := make([]float64, n)
+		dur, err = timeIt(cfg.Solves, func() error { return sf.SolveInto(xs, b) })
+		if err != nil {
+			return nil, nil, err
+		}
+		row.ScalarSolveNS = dur.Nanoseconds() / int64(cfg.Solves)
+		dur, err = timeIt(cfg.Solves, func() error { return bf.SolveInto(xb, b) })
+		if err != nil {
+			return nil, nil, err
+		}
+		row.BBDSolveNS = dur.Nanoseconds() / int64(cfg.Solves)
+
+		scale := 0.0
+		for _, v := range xs {
+			if a := math.Abs(v); a > scale {
+				scale = a
+			}
+		}
+		for i := range xs {
+			if d := math.Abs(xs[i]-xb[i]) / (1 + scale); d > row.MaxRelDiff {
+				row.MaxRelDiff = d
+			}
+		}
+		if row.MaxRelDiff > 1e-8 {
+			return nil, nil, fmt.Errorf("experiments: scale n=%d: BBD and scalar solutions disagree (rel diff %.3g)", size, row.MaxRelDiff)
+		}
+		row.FactorSpeedup = float64(row.ScalarFactorNS) / float64(row.BBDFactorNS)
+		row.SolveSpeedup = float64(row.ScalarSolveNS) / float64(row.BBDSolveNS)
+		rep.Rows = append(rep.Rows, row)
+		//lint:ignore allocsite results-table rendering, one row per sweep size, not a per-scenario path
+		tbl.AddRow(fmt.Sprint(size), fmt.Sprint(n), fmt.Sprint(row.NNZ),
+			fmtDur(time.Duration(row.ScalarFactorNS)), fmtDur(time.Duration(row.BBDFactorNS)),
+			fmt.Sprintf("%.2fx", row.FactorSpeedup),
+			fmt.Sprint(row.Parts), fmt.Sprint(row.IfaceN),
+			fmt.Sprintf("%.2fx", row.SolveSpeedup),
+			fmt.Sprintf("%.1e", row.MaxRelDiff))
+	}
+	rep.Notes = append(rep.Notes,
+		"scalar leg: Gilbert–Peierls sparse LU with RCM pre-ordering; BBD leg: nested-dissection domain decomposition with supernodal blocked domain factors and a dense Schur interface tier",
+		"both legs solve the same deterministic right-hand side; rel diff is the worst relative component difference",
+		"speedups are wall-clock on this host; the CI guard compares speedup ratios against the committed smoke baseline, which transfers across machines")
+	tbl.Notes = append(tbl.Notes, "factorization speedup = scalar / BBD wall-clock; solutions cross-checked to 1e-8 relative")
+	return tbl, rep, nil
+}
+
+// CompareScaleReports is the bench-regression guard: every baseline size
+// present in the current report must retain at least (1 − tol) of the
+// baseline's factorization speedup. With tol = 0.25 a >25 % regression of
+// the supernodal tier's advantage fails the comparison. Sizes missing from
+// either report are ignored (the smoke run covers a subset of the
+// acceptance sweep).
+func CompareScaleReports(current, baseline *ScaleReport, tol float64) error {
+	if tol <= 0 {
+		tol = 0.25
+	}
+	byN := map[int]ScaleRow{}
+	for _, r := range current.Rows {
+		byN[r.N] = r
+	}
+	matched := 0
+	for _, base := range baseline.Rows {
+		cur, ok := byN[base.N]
+		if !ok {
+			continue
+		}
+		matched++
+		floor := base.FactorSpeedup * (1 - tol)
+		if cur.FactorSpeedup < floor {
+			return fmt.Errorf("experiments: scale regression at n=%d: factor speedup %.2fx below %.2fx (baseline %.2fx − %.0f%%)",
+				base.N, cur.FactorSpeedup, floor, base.FactorSpeedup, tol*100)
+		}
+	}
+	if matched == 0 {
+		return fmt.Errorf("experiments: scale guard matched no sizes between current %v and baseline %v",
+			sizesOf(current), sizesOf(baseline))
+	}
+	return nil
+}
+
+func sizesOf(r *ScaleReport) []int {
+	var s []int
+	for _, row := range r.Rows {
+		s = append(s, row.N)
+	}
+	return s
+}

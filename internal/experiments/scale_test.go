@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Tiny end-to-end run of the scale harness (CI-sized grid): both legs must
+// factor, agree, and produce a well-formed report.
+func TestScaleBenchSmoke(t *testing.T) {
+	cfg := ScaleConfig{Sizes: []int{1500}, M: 32, T: 10e-9, Solves: 2}
+	tbl, rep, err := ScaleBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d/%d, want 1", len(rep.Rows), len(tbl.Rows))
+	}
+	row := rep.Rows[0]
+	if row.States < 1000 {
+		t.Fatalf("grid for n=1500 assembled only %d states", row.States)
+	}
+	if row.Parts < 2 || row.IfaceN <= 0 {
+		t.Fatalf("degenerate BBD leg: parts=%d iface=%d", row.Parts, row.IfaceN)
+	}
+	if row.ScalarFactorNS <= 0 || row.BBDFactorNS <= 0 {
+		t.Fatalf("missing timings: %+v", row)
+	}
+	if row.MaxRelDiff > 1e-8 {
+		t.Fatalf("legs disagree: rel diff %g", row.MaxRelDiff)
+	}
+	if row.FactorSpeedup <= 0 || row.SolveSpeedup <= 0 {
+		t.Fatalf("non-positive speedups: %+v", row)
+	}
+}
+
+func TestScaleReportRoundTrip(t *testing.T) {
+	rep := &ScaleReport{
+		GOMAXPROCS: 1,
+		Rows: []ScaleRow{
+			{N: 1000, States: 1200, FactorSpeedup: 3.5, SolveSpeedup: 1.2, Parts: 4, IfaceN: 80},
+		},
+		Notes: []string{"test"},
+	}
+	path := filepath.Join(t.TempDir(), "scale.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadScaleReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 1 || got.Rows[0].FactorSpeedup != 3.5 || got.Rows[0].N != 1000 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+	if _, err := ReadScaleReport(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("ReadScaleReport accepted a missing file")
+	}
+}
+
+// Unit tests of the regression guard on synthetic reports: within tolerance
+// passes, a >25% speedup regression fails, and disjoint size sets are a hard
+// error rather than a silent pass.
+func TestCompareScaleReports(t *testing.T) {
+	mk := func(n int, speedup float64) *ScaleReport {
+		return &ScaleReport{Rows: []ScaleRow{{N: n, FactorSpeedup: speedup}}}
+	}
+	if err := CompareScaleReports(mk(6000, 3.0), mk(6000, 3.5), 0.25); err != nil {
+		t.Fatalf("14%% drift within the 25%% band failed: %v", err)
+	}
+	err := CompareScaleReports(mk(6000, 2.0), mk(6000, 3.5), 0.25)
+	if err == nil {
+		t.Fatal("43% regression passed the guard")
+	}
+	if !strings.Contains(err.Error(), "regression at n=6000") {
+		t.Fatalf("unhelpful regression error: %v", err)
+	}
+	if err := CompareScaleReports(mk(6000, 3.0), mk(1000, 3.0), 0.25); err == nil {
+		t.Fatal("guard matched no sizes but did not error")
+	}
+	// Extra current sizes are fine as long as the baseline sizes match.
+	cur := &ScaleReport{Rows: []ScaleRow{{N: 1000, FactorSpeedup: 9.0}, {N: 6000, FactorSpeedup: 3.4}}}
+	if err := CompareScaleReports(cur, mk(6000, 3.5), 0.25); err != nil {
+		t.Fatalf("superset comparison failed: %v", err)
+	}
+}

@@ -22,6 +22,10 @@ const (
 	TierSparseLU = 0
 	TierDenseLU  = 1
 	TierQR       = 2
+	// TierSupernodal sits above TierSparseLU in the chain (tried first when
+	// engaged) but carries index 3: it was appended after TierQR to keep the
+	// earlier indices stable in serialized reports.
+	TierSupernodal = 3
 )
 
 // Hooks is the set of injection points the solver core consults. Every field

@@ -53,6 +53,13 @@ var atsetHotFiles = map[string]bool{
 	"parambatch.go": true,
 	"delta.go":      true,
 	"vec.go":        true,
+	// PR 10 supernodal/BBD surface: the blocked substitution kernels
+	// (snode.go), the dense Schur interface factor (denselu.go), and the
+	// domain-decomposed solve with its Schur patch assembly (bbd.go) run per
+	// column per solve on n=10⁵ grids.
+	"snode.go":   true,
+	"denselu.go": true,
+	"bbd.go":     true,
 }
 
 // atsetHotOnly narrows the watchlist within specific packages: for these
@@ -63,8 +70,10 @@ var atsetHotFiles = map[string]bool{
 // some of which share basenames (history.go, batch.go) with the core
 // watchlist.
 var atsetHotOnly = map[string]map[string]bool{
-	"internal/waveform":    {"envelope.go": true},
-	"internal/experiments": {"montecarlo.go": true},
+	"internal/waveform": {"envelope.go": true},
+	// PR 10 adds the scale sweep (per-size factor/solve timing loops) and the
+	// corner sweep (per-column deviation fold over every corner scenario).
+	"internal/experiments": {"montecarlo.go": true, "scale.go": true, "corners.go": true},
 }
 
 // atsetFileHot reports whether base in the package at pkgPath is on the hot

@@ -1,0 +1,28 @@
+// corners.go joined the internal/experiments watchlist in PR 10: the corner
+// sweep's OnColumn deviation fold runs per column over every corner scenario.
+package experiments
+
+import "fmt"
+
+// labelPerColumn formats a corner label inside the per-column fold.
+func labelPerColumn(cols, corners int, sink func(string)) {
+	for j := 0; j < cols; j++ {
+		for c := 0; c < corners; c++ {
+			sink(fmt.Sprintf("corner %d", c)) // want "fmt.Sprintf boxes its operands"
+		}
+	}
+}
+
+// foldDeviation is the approved shape: plain arithmetic over the shared
+// column slices, no per-column allocation.
+func foldDeviation(nominal, corner []float64, worst *float64) {
+	for i := range corner {
+		d := corner[i] - nominal[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > *worst {
+			*worst = d
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// scale.go joined the internal/experiments watchlist in PR 10: the scaling
+// sweep's timed solve loops run per size per repetition.
+package experiments
+
+// rhsPerSolve rebuilds the right-hand side inside the timed solve loop.
+func rhsPerSolve(n, solves int, solve func([]float64)) {
+	for s := 0; s < solves; s++ {
+		b := make([]float64, n) // want "make allocates on every iteration"
+		solve(b)
+	}
+}
+
+// rhsHoisted is the approved shape (the scale.go fix): build once, reuse.
+func rhsHoisted(n, solves int, solve func([]float64)) {
+	b := make([]float64, n)
+	for s := 0; s < solves; s++ {
+		solve(b)
+	}
+}

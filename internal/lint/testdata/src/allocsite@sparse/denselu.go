@@ -1,0 +1,14 @@
+// denselu.go is on the PR 10 hot-file list: the dense Schur sweeps run per
+// interface column per solve.
+package sparse
+
+// growPivotsPerPanel re-grows the pivot list from a fresh slice every panel.
+func growPivotsPerPanel(panels, w int) {
+	for p := 0; p < panels; p++ {
+		piv := []int{}
+		for k := 0; k < w; k++ {
+			piv = append(piv, p*w+k) // want "append to piv re-grows per iteration"
+		}
+		_ = piv
+	}
+}

@@ -1,0 +1,12 @@
+// nd.go is NOT on the hot-file list (the dissection runs once per
+// factorization, not per column): the identical element-wise shape below
+// must stay silent, or the file gate has regressed.
+package mat
+
+func levelFill(m *Dense, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, float64(i+j))
+		}
+	}
+}

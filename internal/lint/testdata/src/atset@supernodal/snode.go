@@ -1,0 +1,12 @@
+// snode.go is on the PR 10 hot-file list: the blocked substitution kernels
+// run per supernode per column, so element-wise access at loop depth ≥ 2
+// fires here.
+package mat
+
+func gatherBlocked(gb *Dense, width, ext int) {
+	for c := 0; c < width; c++ {
+		for r := 0; r < ext; r++ {
+			gb.Set(r, c, gb.At(r, c)*0.5) // want "element-wise gb.Set" "element-wise gb.At"
+		}
+	}
+}

@@ -97,3 +97,67 @@ func PerturbableElements(n *circuit.Netlist, limit int) []string {
 	}
 	return names
 }
+
+// Corner enumeration: the deterministic worst-case companion to the
+// Monte-Carlo sampler. For L perturbable elements the corner set has
+// 2L + 3 scenarios — the nominal circuit, each element alone at its +tol and
+// −tol extreme (rank-1 pencil deltas, the ideal workload for the SMW update
+// path), and the two global corners with every element simultaneously high
+// or low. CornerCount and CornerPerturb share the indexing so sweep drivers
+// can chunk corners like any other scenario stream.
+
+// CornerCount returns the scenario count of the corner set over L elements.
+func CornerCount(numElements int) int { return 2*numElements + 3 }
+
+// CornerPerturb returns the perturbations and a human-readable label for
+// corner index c of the corner set over names: 0 is the nominal circuit
+// (no perturbations), 1..2L the per-element ± extremes (odd = +tol,
+// even = −tol of element (c−1)/2), 2L+1 / 2L+2 the all-high / all-low
+// global corners.
+func CornerPerturb(n *circuit.Netlist, names []string, c int, tol float64) ([]circuit.Perturbation, string, error) {
+	if tol < 0 || tol >= 1 {
+		return nil, "", fmt.Errorf("netgen: corner tolerance %g outside [0,1)", tol)
+	}
+	L := len(names)
+	if c < 0 || c >= CornerCount(L) {
+		return nil, "", fmt.Errorf("netgen: corner index %d outside [0,%d)", c, CornerCount(L))
+	}
+	if c == 0 {
+		return nil, "nominal", nil
+	}
+	nominal := map[string]float64{}
+	for _, e := range n.Elements() {
+		nominal[e.Name] = e.Value
+	}
+	value := func(name string, sign float64) (circuit.Perturbation, error) {
+		v, ok := nominal[name]
+		if !ok {
+			return circuit.Perturbation{}, fmt.Errorf("netgen: corner element %q not in netlist", name)
+		}
+		return circuit.Perturbation{Name: name, Value: v * (1 + sign*tol)}, nil
+	}
+	if c <= 2*L {
+		elem, sign, tag := names[(c-1)/2], 1.0, "+"
+		if (c-1)%2 == 1 {
+			sign, tag = -1, "-"
+		}
+		p, err := value(elem, sign)
+		if err != nil {
+			return nil, "", err
+		}
+		return []circuit.Perturbation{p}, elem + tag, nil
+	}
+	sign, label := 1.0, "all+"
+	if c == 2*L+2 {
+		sign, label = -1, "all-"
+	}
+	perts := make([]circuit.Perturbation, 0, L)
+	for _, name := range names {
+		p, err := value(name, sign)
+		if err != nil {
+			return nil, "", err
+		}
+		perts = append(perts, p)
+	}
+	return perts, label, nil
+}

@@ -6,6 +6,7 @@ package netgen
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"opmsim/internal/circuit"
@@ -51,6 +52,30 @@ func DefaultPowerGrid() PowerGridConfig {
 		LoadDelay: 0.5e-9, LoadRise: 0.2e-9, LoadWidth: 2e-9,
 		Seed: 1,
 	}
+}
+
+// PowerGridN returns DefaultPowerGrid scaled to approximately n grid nodes
+// (3 layers over a square plane) — the knob the scale experiment and the
+// bench harness turn to sweep node counts from hundreds up to 10⁵ and
+// beyond. Pad pitch is kept fixed (pads per area constant) and the load
+// count grows with the plane so the electrical character — droop per node,
+// load density — does not drift with size; only the seed-driven load
+// placement differs between sizes.
+func PowerGridN(n int) PowerGridConfig {
+	cfg := DefaultPowerGrid()
+	if n < 12 {
+		n = 12
+	}
+	side := int(math.Ceil(math.Sqrt(float64(n) / float64(cfg.Layers))))
+	if side < 2 {
+		side = 2
+	}
+	cfg.Rows, cfg.Cols = side, side
+	cfg.NumLoads = side * side / 8
+	if cfg.NumLoads < 4 {
+		cfg.NumLoads = 4
+	}
+	return cfg
 }
 
 // PowerGrid is a generated grid: the netlist plus bookkeeping for the

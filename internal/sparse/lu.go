@@ -30,6 +30,12 @@ type LU struct {
 	pinv []int // original row -> pivot position
 
 	work []float64 // SolveInto forward-substitution scratch, lazily sized
+
+	// Supernodal blocked-substitution plan (Supernodalize); nil runs the
+	// scalar sweeps. sn is immutable once built and shared across views;
+	// snbuf is per-view gather scratch.
+	sn    *superNodes
+	snbuf []float64
 }
 
 // FactorLU factors the square sparse matrix a with pivot threshold tol in
@@ -251,6 +257,20 @@ func (f *LU) SolveInto(x, b []float64) error {
 	}
 	work := f.work
 	copy(work, b)
+	if f.sn != nil {
+		// Supernodal blocked sweeps: bitwise-identical to the scalar loops
+		// below (see snode.go for the argument), with external-row updates
+		// batched through vecops.
+		if f.snbuf == nil {
+			f.snbuf = make([]float64, f.n)
+		}
+		f.forwardBlocked(work)
+		for j := 0; j < f.n; j++ {
+			x[j] = work[f.perm[j]]
+		}
+		f.backwardBlocked(x)
+		return nil
+	}
 	// Forward: L y = P b, processed column by column in pivot order.
 	for j := 0; j < f.n; j++ {
 		yj := work[f.perm[j]]
@@ -323,6 +343,10 @@ type Options struct {
 	NoRCM bool
 	// Refine enables one step of iterative refinement per solve.
 	Refine bool
+	// Supernodal runs the supernodal symbolic analysis on the finished
+	// factors and routes SolveInto through the blocked substitution kernels
+	// (snode.go). Results are bitwise-identical to the scalar sweeps.
+	Supernodal bool
 }
 
 // Factorization couples a sparse LU with the optional fill-reducing
@@ -357,6 +381,9 @@ func Factor(a *CSR, opt Options) (*Factorization, error) {
 	lu, err := FactorLU(work, tol)
 	if err != nil {
 		return nil, err
+	}
+	if opt.Supernodal {
+		lu.Supernodalize()
 	}
 	f.lu = lu
 	return f, nil

@@ -1,0 +1,76 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRCMDisconnectedGraphCompletePermutation hardens RCM against graphs the
+// BFS cannot reach from one root: multiple components and fully isolated
+// nodes must still yield a complete permutation of [0,n), restarting the
+// sweep from the minimum-degree unvisited node of each component.
+func TestRCMDisconnectedGraphCompletePermutation(t *testing.T) {
+	// Three disjoint pieces: an 8-node path, a 5-node star, and two isolated
+	// nodes (no stored off-diagonals at all).
+	coo := NewCOO(15, 15)
+	for i := 0; i < 15; i++ {
+		coo.Add(i, i, 4)
+	}
+	for i := 0; i+1 < 8; i++ { // path on 0..7
+		coo.Add(i, i+1, -1)
+		coo.Add(i+1, i, -1)
+	}
+	for leaf := 9; leaf < 13; leaf++ { // star centered at 8
+		coo.Add(8, leaf, -1)
+		coo.Add(leaf, 8, -1)
+	}
+	// 13, 14 isolated.
+	a := coo.ToCSR()
+	perm := RCM(a)
+	if len(perm) != 15 {
+		t.Fatalf("RCM returned %d of 15 entries", len(perm))
+	}
+	seen := make([]bool, 15)
+	for _, v := range perm {
+		if v < 0 || v >= 15 || seen[v] {
+			t.Fatalf("invalid or duplicate permutation entry %d", v)
+		}
+		seen[v] = true
+	}
+	// Permuting by a complete permutation must keep the factorization usable.
+	if _, err := Factor(a, Options{}); err != nil {
+		t.Fatalf("factorization through RCM on disconnected graph: %v", err)
+	}
+}
+
+func TestRCMManyComponentsMatchesBandwidthContract(t *testing.T) {
+	// A block-diagonal matrix of shuffled band blocks: RCM must order every
+	// component and keep the overall bandwidth no worse than a couple of
+	// block widths.
+	rng := rand.New(rand.NewSource(42))
+	const blocks, bn = 6, 20
+	n := blocks * bn
+	coo := NewCOO(n, n)
+	for b := 0; b < blocks; b++ {
+		off := b * bn
+		pi := rng.Perm(bn)
+		for i := 0; i < bn; i++ {
+			coo.Add(off+pi[i], off+pi[i], 4)
+			for d := 1; d <= 2; d++ {
+				if i+d < bn {
+					coo.Add(off+pi[i], off+pi[i+d], -1)
+					coo.Add(off+pi[i+d], off+pi[i], -1)
+				}
+			}
+		}
+	}
+	a := coo.ToCSR()
+	perm := RCM(a)
+	if len(perm) != n {
+		t.Fatalf("RCM returned %d of %d entries", len(perm), n)
+	}
+	p := a.Permute(perm)
+	if bw := Bandwidth(p); bw > 3*bn {
+		t.Fatalf("bandwidth %d after RCM on %d disconnected band blocks (block size %d)", bw, blocks, bn)
+	}
+}
